@@ -1,0 +1,79 @@
+"""Model-choice ablation bench: LDA vs TF-IDF affinity, movement families,
+IC vs LT propagation.
+
+These are the DESIGN.md §5 design-choice knobs that the paper fixes without
+ablating; the bench quantifies how much each modeling choice moves the
+headline Average Influence metric on one BK-like day, holding the
+assignment algorithm (IA) and the scoring model (the paper's full
+LDA+Pareto+IC influence) constant.
+"""
+
+import pytest
+
+from repro import DITAPipeline, IAAssigner, PipelineConfig, PreparedInstance
+from repro.framework import Simulator
+
+
+def make_config(**overrides) -> PipelineConfig:
+    defaults = dict(
+        num_topics=20,
+        propagation_mode="fixed",
+        num_rrr_sets=20_000,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return PipelineConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def bk_day(bk_runner):
+    """One default-parameter day instance plus the reference full model."""
+    day = bk_runner.days[0]
+    instance = bk_runner.build_instance(day)
+    reference = DITAPipeline(make_config()).fit(instance)
+    return instance, reference.influence_model()
+
+
+def run_variant(benchmark, instance, scoring_model, **config_overrides):
+    """Fit the variant pipeline, assign with IA, score with the reference."""
+    def fit_and_assign():
+        models = DITAPipeline(make_config(**config_overrides)).fit(instance)
+        prepared = PreparedInstance(instance, models.influence_model())
+        return Simulator(make_config()).run_instance(
+            instance,
+            [IAAssigner()],
+            influence_model=models.influence_model(),
+            full_model=scoring_model,
+        )[0]
+
+    metrics = benchmark.pedantic(fit_and_assign, rounds=1, iterations=1)
+    print(
+        f"\n{config_overrides or 'reference'}: assigned={metrics.num_assigned} "
+        f"AI={metrics.average_influence:.4f}"
+    )
+    return metrics
+
+
+def test_reference_lda_pareto_ic(benchmark, bk_day):
+    instance, scoring = bk_day
+    metrics = run_variant(benchmark, instance, scoring)
+    assert metrics.num_assigned > 0
+
+
+def test_affinity_tfidf(benchmark, bk_day):
+    instance, scoring = bk_day
+    metrics = run_variant(benchmark, instance, scoring, affinity_engine="tfidf")
+    assert metrics.num_assigned > 0
+
+
+@pytest.mark.parametrize("family", ["exponential", "lognormal", "rayleigh"])
+def test_movement_family(benchmark, bk_day, family):
+    instance, scoring = bk_day
+    metrics = run_variant(benchmark, instance, scoring, movement_family=family)
+    assert metrics.num_assigned > 0
+
+
+def test_propagation_lt(benchmark, bk_day):
+    instance, scoring = bk_day
+    metrics = run_variant(benchmark, instance, scoring, propagation_model="lt")
+    assert metrics.num_assigned > 0

@@ -1,0 +1,25 @@
+"""Figures 11 (BK) and 12 (FS): the five algorithms as |W| varies.
+
+Paper shapes: CPU time and the number of assigned tasks grow with |W|;
+AI of the influence-aware algorithms exceeds MTA's; DIA travels least and
+MTA most.
+"""
+
+from figutil import check_comparison_shapes, run_and_print_comparison
+
+
+def test_fig11_12_effect_of_workers(benchmark, both_runners):
+    def run():
+        return run_and_print_comparison(
+            both_runners,
+            "num_workers",
+            lambda runner: runner.settings.worker_sweep,
+            figure="Fig.11/12",
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    check_comparison_shapes(results)
+    for result in results.values():
+        # More workers -> more assignments (for the coverage-seeking family).
+        assigned = result.metric_series("MTA", "num_assigned")
+        assert assigned[-1] >= assigned[0]

@@ -1,0 +1,32 @@
+"""Figures 13 (BK) and 14 (FS): the five algorithms as ϕ varies.
+
+Paper shapes: CPU time, assigned tasks and travel cost all grow with ϕ
+(longer validity -> more feasible pairs, some far away); AI/AP of the
+influence-aware family exceed MTA's.
+
+The sweep runs at the day-end assignment instant (assignment_hour = 24) so
+that ϕ controls the availability window; at the day start every deadline
+has hours of slack and the sweep is flat.
+"""
+
+from figutil import check_comparison_shapes, run_and_print_comparison
+
+
+def test_fig13_14_effect_of_validtime(benchmark, both_runners_day_end):
+    def run():
+        return run_and_print_comparison(
+            both_runners_day_end,
+            "valid_hours",
+            lambda runner: runner.settings.valid_hours_sweep,
+            figure="Fig.13/14",
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    check_comparison_shapes(results)
+    for result in results.values():
+        # Longer validity -> at least as many assigned tasks.
+        assigned = result.metric_series("MTA", "num_assigned")
+        assert assigned[-1] >= assigned[0]
+        # And (weakly) larger travel costs for the coverage maximizer.
+        travel = result.metric_series("MTA", "average_travel_km")
+        assert travel[-1] >= travel[0] * 0.8

@@ -1,0 +1,25 @@
+"""Figures 15 (BK) and 16 (FS): the five algorithms as r varies.
+
+Paper shapes: CPU time, assigned tasks and travel cost grow with r;
+AI and AP of MTA stay below the influence-aware algorithms.
+"""
+
+from figutil import check_comparison_shapes, run_and_print_comparison
+
+
+def test_fig15_16_effect_of_radius(benchmark, both_runners):
+    def run():
+        return run_and_print_comparison(
+            both_runners,
+            "reachable_km",
+            lambda runner: runner.settings.radius_sweep,
+            figure="Fig.15/16",
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    check_comparison_shapes(results)
+    for result in results.values():
+        assigned = result.metric_series("MTA", "num_assigned")
+        assert assigned[-1] >= assigned[0]
+        travel = result.metric_series("MTA", "average_travel_km")
+        assert travel[-1] >= travel[0]

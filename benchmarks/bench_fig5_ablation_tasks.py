@@ -1,0 +1,20 @@
+"""Figure 5: Average Influence of IA vs IA-WP / IA-AP / IA-AW as |S| varies.
+
+Paper shape: IA achieves the largest AI for every |S| (it uses all three
+influence components); on BK, IA-AP ranks second.
+"""
+
+from figutil import check_ablation_shapes, run_and_print_ablation
+
+
+def test_fig5_effect_of_tasks_on_ai(benchmark, both_runners):
+    def run():
+        return run_and_print_ablation(
+            both_runners,
+            "num_tasks",
+            lambda runner: runner.settings.task_sweep,
+            figure="Fig.5",
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    check_ablation_shapes(results)

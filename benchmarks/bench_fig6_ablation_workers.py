@@ -1,0 +1,20 @@
+"""Figure 6: Average Influence of the ablations as |W| varies.
+
+Paper shape: IA-WP (no affinity) is lowest in most cases — worker-task
+affinity matters more than willingness/propagation alone; IA stays on top.
+"""
+
+from figutil import check_ablation_shapes, run_and_print_ablation
+
+
+def test_fig6_effect_of_workers_on_ai(benchmark, both_runners):
+    def run():
+        return run_and_print_ablation(
+            both_runners,
+            "num_workers",
+            lambda runner: runner.settings.worker_sweep,
+            figure="Fig.6",
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    check_ablation_shapes(results)

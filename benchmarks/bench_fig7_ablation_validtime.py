@@ -1,0 +1,20 @@
+"""Figure 7: Average Influence of the ablations as the valid time ϕ varies.
+
+Paper shape: AI "changes randomly" with ϕ (no monotone trend) while IA
+remains on top of its ablations.
+"""
+
+from figutil import check_ablation_shapes, run_and_print_ablation
+
+
+def test_fig7_effect_of_validtime_on_ai(benchmark, both_runners_day_end):
+    def run():
+        return run_and_print_ablation(
+            both_runners_day_end,
+            "valid_hours",
+            lambda runner: runner.settings.valid_hours_sweep,
+            figure="Fig.7",
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    check_ablation_shapes(results)

@@ -1,0 +1,21 @@
+"""Figure 8: Average Influence of the ablations as the reachable radius r
+varies.
+
+Paper shape: AI moves non-monotonically with r while IA dominates the
+single-component ablations.
+"""
+
+from figutil import check_ablation_shapes, run_and_print_ablation
+
+
+def test_fig8_effect_of_radius_on_ai(benchmark, both_runners):
+    def run():
+        return run_and_print_ablation(
+            both_runners,
+            "reachable_km",
+            lambda runner: runner.settings.radius_sweep,
+            figure="Fig.8",
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    check_ablation_shapes(results)

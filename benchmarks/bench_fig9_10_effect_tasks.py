@@ -1,0 +1,30 @@
+"""Figures 9 (BK) and 10 (FS): MTA / IA / EIA / DIA / MI as |S| varies.
+
+Paper shapes: CPU time grows with |S| and MTA is cheapest; EIA assigns the
+most tasks; MI tops AI with the fewest assignments; AP of the
+influence-aware family exceeds MTA's; DIA has the lowest travel cost and
+travel cost falls as |S| grows.
+"""
+
+from figutil import check_comparison_shapes, mean_series, run_and_print_comparison
+
+
+def test_fig9_10_effect_of_tasks(benchmark, both_runners):
+    def run():
+        return run_and_print_comparison(
+            both_runners,
+            "num_tasks",
+            lambda runner: runner.settings.task_sweep,
+            figure="Fig.9/10",
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    check_comparison_shapes(results)
+    for result in results.values():
+        # Travel cost decreases as tasks densify (more nearby options).
+        for algorithm in ("IA", "MTA"):
+            series = result.metric_series(algorithm, "average_travel_km")
+            assert series[-1] <= series[0] * 1.25, (algorithm, series)
+        # Assigned tasks grow with |S| until worker saturation.
+        assigned = result.metric_series("EIA", "num_assigned")
+        assert assigned[-1] >= assigned[0]

@@ -1,0 +1,54 @@
+"""Substrate bench: LDA training throughput (variational vs Gibbs).
+
+Design-choice ablation from DESIGN.md §5: the pipeline defaults to
+variational Bayes because collapsed Gibbs is an order of magnitude slower
+at equal quality on our corpus sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.text import GibbsLDA, VariationalLDA
+
+
+def make_corpus(num_docs: int, doc_len: int = 40, vocab: int = 90, topics: int = 9, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    words = [f"w{i}" for i in range(vocab)]
+    topic_word = rng.dirichlet([0.1] * vocab, size=topics)
+    documents = []
+    for _ in range(num_docs):
+        theta = rng.dirichlet([0.2] * topics)
+        z = rng.choice(topics, size=doc_len, p=theta)
+        documents.append([words[rng.choice(vocab, p=topic_word[t])] for t in z])
+    return documents
+
+
+@pytest.mark.parametrize("num_docs", [100, 400])
+def test_variational_lda_fit(benchmark, num_docs):
+    documents = make_corpus(num_docs)
+    model = benchmark.pedantic(
+        lambda: VariationalLDA(num_topics=9, seed=1).fit(documents),
+        rounds=1, iterations=1,
+    )
+    assert model.doc_topic_.shape == (num_docs, 9)
+
+
+def test_gibbs_lda_fit_small(benchmark):
+    documents = make_corpus(60, doc_len=25)
+    model = benchmark.pedantic(
+        lambda: GibbsLDA(num_topics=9, iterations=60, seed=1).fit(documents),
+        rounds=1, iterations=1,
+    )
+    assert model.doc_topic_.shape == (60, 9)
+
+
+def test_variational_infer_throughput(benchmark):
+    documents = make_corpus(200)
+    model = VariationalLDA(num_topics=9, seed=1).fit(documents)
+    queries = make_corpus(50, seed=9)
+
+    def infer_all():
+        return [model.infer(q) for q in queries]
+
+    thetas = benchmark(infer_all)
+    assert len(thetas) == 50

@@ -1,0 +1,66 @@
+"""Substrate bench: geographic partitioning vs the global solve.
+
+Quantifies the quality/latency trade-off of :class:`PartitionedAssigner`:
+per-cell solves are much faster on large areas while losing only the
+border pairs (cells at the worker radius keep losses small).
+"""
+
+import numpy as np
+import pytest
+
+from repro.assignment import MTAAssigner, PartitionedAssigner, PreparedInstance
+from repro.data.instance import SCInstance
+from repro.entities import Task, Worker
+from repro.geo import Point
+
+
+def make_instance(num, spread, radius=10.0, seed=0):
+    rng = np.random.default_rng(seed)
+    workers = [
+        Worker(worker_id=i, location=Point(*rng.uniform(0, spread, 2)),
+               reachable_km=radius)
+        for i in range(num)
+    ]
+    tasks = [
+        Task(task_id=i, location=Point(*rng.uniform(0, spread, 2)),
+             publication_time=0.0, valid_hours=8.0)
+        for i in range(num)
+    ]
+    return SCInstance(
+        name="partition-bench",
+        current_time=0.0,
+        tasks=tasks,
+        workers=workers,
+        histories={},
+        social_edges=[],
+        all_worker_ids=tuple(range(num)),
+    )
+
+
+SIZE = 900
+SPREAD = 300.0
+
+
+def test_global_solve(benchmark):
+    instance = make_instance(SIZE, SPREAD)
+    assignment = benchmark.pedantic(
+        lambda: MTAAssigner().assign(PreparedInstance(instance)),
+        rounds=1, iterations=1,
+    )
+    print(f"\nglobal: {len(assignment)} assigned")
+    assert len(assignment) > 0
+
+
+@pytest.mark.parametrize("cell_km", [15.0, 50.0])
+def test_partitioned_solve(benchmark, cell_km):
+    instance = make_instance(SIZE, SPREAD)
+    assigner = PartitionedAssigner(MTAAssigner(), cell_km=cell_km)
+    assignment = benchmark.pedantic(
+        lambda: assigner.assign(PreparedInstance(instance)),
+        rounds=1, iterations=1,
+    )
+    global_count = len(MTAAssigner().assign(PreparedInstance(instance)))
+    loss = 1.0 - len(assignment) / max(global_count, 1)
+    print(f"\ncell={cell_km:g} km: {len(assignment)} assigned "
+          f"(global {global_count}, border loss {loss:.1%})")
+    assert len(assignment) >= global_count * 0.5

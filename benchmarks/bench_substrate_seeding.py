@@ -1,0 +1,58 @@
+"""Substrate bench: greedy RIS seed selection and LT vs IC sampling.
+
+Extension benches: CELF seed selection cost on growing RRR collections, and
+the relative cost of sampling reverse-reachable sets under IC (tree-shaped
+reverse BFS) vs LT (single-in-arc walks — much cheaper per set).
+"""
+
+import numpy as np
+import pytest
+
+from repro.propagation import (
+    RRRCollection,
+    SocialGraph,
+    sample_lt_rrr_sets,
+    sample_rrr_sets,
+    select_seeds,
+)
+
+
+def make_graph(num_workers: int, num_edges: int, seed: int = 0) -> SocialGraph:
+    rng = np.random.default_rng(seed)
+    edges = set()
+    # Preferential-attachment-flavoured random edges: bias toward low ids.
+    while len(edges) < num_edges:
+        a = int(rng.integers(num_workers))
+        b = int(rng.zipf(1.8)) % num_workers
+        if a != b:
+            edges.add((min(a, b), max(a, b)))
+    return SocialGraph(range(num_workers), edges)
+
+
+@pytest.mark.parametrize("num_sets", [5_000, 20_000])
+def test_celf_seed_selection(benchmark, num_sets):
+    graph = make_graph(800, 2400)
+    rng = np.random.default_rng(1)
+    collection = RRRCollection(num_workers=graph.num_workers)
+    roots, members = sample_rrr_sets(graph, num_sets, rng)
+    collection.extend(roots, members)
+
+    result = benchmark.pedantic(
+        lambda: select_seeds(collection, 50), rounds=1, iterations=1
+    )
+    assert len(result.seeds) == 50
+    print(f"\n{num_sets} sets -> spread({len(result.seeds)} seeds) = {result.estimated_spread:.1f}")
+
+
+@pytest.mark.parametrize("model", ["ic", "lt"])
+def test_rrr_sampling_model(benchmark, model):
+    graph = make_graph(800, 2400)
+    rng = np.random.default_rng(2)
+    sampler = sample_rrr_sets if model == "ic" else sample_lt_rrr_sets
+
+    roots, members = benchmark.pedantic(
+        lambda: sampler(graph, 10_000, rng), rounds=1, iterations=1
+    )
+    assert len(members) == 10_000
+    mean_size = sum(len(m) for m in members) / len(members)
+    print(f"\n{model}: mean RRR set size = {mean_size:.2f}")

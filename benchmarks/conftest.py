@@ -1,0 +1,70 @@
+"""Shared benchmark fixtures: the two synthetic worlds and their runners.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
+(default 0.15 — sweeps peak at ~375 tasks / 300 workers, finishing in
+minutes).  Set it to 1.0 to run the paper's absolute grid sizes.
+The fitted models are cached per (dataset, day) by the runner, so the
+per-figure benches share all expensive work.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.data import brightkite_like, foursquare_like, generate_dataset
+from repro.experiments import ExperimentRunner, ExperimentSettings
+from repro.framework import PipelineConfig
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+BENCH_DAYS = int(os.environ.get("REPRO_BENCH_DAYS", "2"))
+
+
+def _make_runner(
+    config_factory, seed: int, assignment_hour: float | None = None
+) -> ExperimentRunner:
+    dataset = generate_dataset(config_factory(scale=BENCH_SCALE, seed=seed))
+    settings = ExperimentSettings(
+        scale=BENCH_SCALE,
+        num_days=BENCH_DAYS,
+        seed=seed,
+        assignment_hour=assignment_hour,
+    )
+    pipeline = PipelineConfig(
+        num_topics=20,
+        propagation_mode="rpo",
+        epsilon=0.2,
+        max_rrr_sets=60_000,
+        seed=seed,
+    )
+    return ExperimentRunner(dataset, settings, pipeline)
+
+
+@pytest.fixture(scope="session")
+def bk_runner() -> ExperimentRunner:
+    """BK-like dataset runner (paper figures' subfigure (a))."""
+    return _make_runner(brightkite_like, seed=7)
+
+
+@pytest.fixture(scope="session")
+def fs_runner() -> ExperimentRunner:
+    """FS-like dataset runner (paper figures' subfigure (b))."""
+    return _make_runner(foursquare_like, seed=11)
+
+
+@pytest.fixture(scope="session")
+def both_runners(bk_runner, fs_runner):
+    return {"BK-like": bk_runner, "FS-like": fs_runner}
+
+
+@pytest.fixture(scope="session")
+def both_runners_day_end():
+    """Runners evaluating at the day end (assignment_hour = 24), where task
+    deadlines actually bind — used by the ϕ sweeps (Figures 7, 13, 14): a
+    task is available iff published within the last ϕ hours, so availability
+    grows with ϕ as the paper reports."""
+    return {
+        "BK-like": _make_runner(brightkite_like, seed=7, assignment_hour=24.0),
+        "FS-like": _make_runner(foursquare_like, seed=11, assignment_hour=24.0),
+    }

@@ -1,0 +1,85 @@
+"""Helpers shared by the per-figure benchmarks: run, print, shape-check."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.experiments import (
+    ExperimentRunner,
+    SweepResult,
+    format_series,
+    format_sweep_table,
+)
+
+
+def run_and_print_ablation(
+    runners: dict[str, ExperimentRunner],
+    parameter: str,
+    values_of: Callable[[ExperimentRunner], Sequence[float]],
+    figure: str,
+) -> dict[str, SweepResult]:
+    """Run the Figure 5-8 style ablation on both datasets and print AI."""
+    from repro.experiments import run_ablation_sweep
+
+    results = {}
+    for name, runner in runners.items():
+        result = run_ablation_sweep(runner, parameter, values_of(runner))
+        results[name] = result
+        print()
+        print(format_series(
+            result, "average_influence",
+            title=f"{figure} — Average Influence on {name} (vs {parameter})",
+        ))
+    return results
+
+
+def run_and_print_comparison(
+    runners: dict[str, ExperimentRunner],
+    parameter: str,
+    values_of: Callable[[ExperimentRunner], Sequence[float]],
+    figure: str,
+) -> dict[str, SweepResult]:
+    """Run the Figure 9-16 style comparison and print all five metrics."""
+    from repro.experiments import run_comparison_sweep
+
+    results = {}
+    for name, runner in runners.items():
+        result = run_comparison_sweep(runner, parameter, values_of(runner))
+        results[name] = result
+        print()
+        print(format_sweep_table(result, title=f"{figure} — {name} (vs {parameter})"))
+    return results
+
+
+def mean_series(result: SweepResult, algorithm: str, metric: str) -> float:
+    """Mean of one metric over the sweep (for coarse shape assertions)."""
+    series = result.metric_series(algorithm, metric)
+    return sum(series) / len(series)
+
+
+def check_comparison_shapes(results: dict[str, SweepResult]) -> None:
+    """Assert the headline orderings the paper reports, averaged over the
+    sweep (single points may cross; the paper's claims are about trends)."""
+    for result in results.values():
+        ai = {a: mean_series(result, a, "average_influence") for a in result.algorithms()}
+        travel = {a: mean_series(result, a, "average_travel_km") for a in result.algorithms()}
+        assigned = {a: mean_series(result, a, "num_assigned") for a in result.algorithms()}
+        # Influence-aware algorithms beat MTA on AI.
+        assert ai["IA"] >= ai["MTA"], (ai, "IA should beat MTA on AI")
+        assert ai["MI"] >= ai["MTA"], (ai, "MI should beat MTA on AI")
+        # MI tops AI but assigns the fewest tasks.
+        assert ai["MI"] >= max(ai["MTA"], ai["EIA"], ai["DIA"]) * 0.95
+        assert assigned["MI"] <= min(
+            assigned["MTA"], assigned["IA"], assigned["EIA"], assigned["DIA"]
+        ) + 1e-9
+        # DIA has the lowest travel cost among the influence-aware family.
+        assert travel["DIA"] <= min(travel["IA"], travel["EIA"]) + 1e-9
+
+
+def check_ablation_shapes(results: dict[str, SweepResult]) -> None:
+    """IA (full influence) should dominate each single-component ablation
+    on Average Influence, averaged over the sweep."""
+    for result in results.values():
+        ai = {a: mean_series(result, a, "average_influence") for a in result.algorithms()}
+        for variant in ("IA-WP", "IA-AP", "IA-AW"):
+            assert ai["IA"] >= ai[variant] * 0.98, (ai, f"IA should dominate {variant}")

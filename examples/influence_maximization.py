@@ -1,0 +1,66 @@
+"""Platform-level seeding: which workers should a campaign inform first?
+
+The paper scores one candidate worker per task; a task issuer running a
+city-wide campaign faces the classical influence-maximization question
+instead: pick the k workers whose combined cascades reach the most people.
+With the library's RRR machinery this is a greedy max-coverage over the
+already-sampled reverse-reachable sets (CELF), with the usual (1 - 1/e)
+guarantee.
+
+The example selects seed sets of growing size, compares them against both
+random seeds and the top-degree heuristic, and validates the RIS estimate
+with forward Independent Cascade simulation.
+"""
+
+import numpy as np
+
+from repro import InstanceBuilder, brightkite_like, generate_dataset
+from repro.propagation import (
+    RRRCollection,
+    SocialGraph,
+    estimate_spread,
+    sample_rrr_sets,
+    select_seeds,
+    spread_of_seeds,
+)
+
+
+def main() -> None:
+    dataset = generate_dataset(brightkite_like(scale=0.08, seed=13))
+    builder = InstanceBuilder(dataset)
+    day = builder.richest_days(count=1)[0]
+    instance = builder.build_day(day)
+
+    graph = SocialGraph(instance.all_worker_ids, instance.social_edges)
+    print(f"social network: {graph.num_workers} workers, "
+          f"{graph.num_edges // 2} friendships")
+
+    rng = np.random.default_rng(3)
+    collection = RRRCollection(num_workers=graph.num_workers)
+    roots, members = sample_rrr_sets(graph, 60_000, rng)
+    collection.extend(roots, members)
+
+    print(f"\n{'k':>3s} {'greedy':>9s} {'degree':>9s} {'random':>9s}")
+    degree_order = np.argsort(graph.in_degree)[::-1]
+    for k in (1, 2, 5, 10, 20):
+        greedy = select_seeds(collection, k)
+        degree_seeds = [int(w) for w in degree_order[:k]]
+        random_seeds = [int(w) for w in rng.choice(graph.num_workers, k, replace=False)]
+        print(f"{k:3d} {greedy.estimated_spread:9.2f} "
+              f"{spread_of_seeds(collection, degree_seeds):9.2f} "
+              f"{spread_of_seeds(collection, random_seeds):9.2f}")
+
+    # Validate the k=5 greedy estimate with forward IC simulation from each
+    # seed independently (an upper bound on the union cascade, close when
+    # cascades overlap little).
+    greedy5 = select_seeds(collection, 5)
+    forward = sum(
+        estimate_spread(graph, seed, runs=300, seed=7) for seed in greedy5.seeds
+    )
+    print(f"\nk=5 greedy: RIS union estimate = {greedy5.estimated_spread:.2f}, "
+          f"sum of forward per-seed cascades = {forward:.2f}")
+    print(f"seed workers (dense ids): {list(greedy5.seeds)}")
+
+
+if __name__ == "__main__":
+    main()

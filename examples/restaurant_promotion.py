@@ -1,0 +1,81 @@
+"""The paper's motivating scenario: promoting new restaurants.
+
+A restaurant owner publishes a leaflet-distribution task and wants the
+*most influential* worker — not merely the nearest one — so the promotion
+spreads through the social network to people who would actually visit
+(paper Section I, Figure 1).
+
+This example contrasts the naive nearest-worker choice with the
+influence-aware choice for a batch of "new restaurant" tasks and estimates
+how many workers each promotion ultimately reaches.
+"""
+
+import numpy as np
+
+from repro import (
+    DITAPipeline,
+    IAAssigner,
+    InstanceBuilder,
+    NearestNeighborAssigner,
+    PipelineConfig,
+    PreparedInstance,
+    Task,
+    evaluate_assignment,
+    foursquare_like,
+    generate_dataset,
+)
+from repro.propagation import estimate_spread
+
+
+def main() -> None:
+    dataset = generate_dataset(foursquare_like(scale=0.08, seed=3))
+    builder = InstanceBuilder(dataset, valid_hours=6.0, reachable_km=25.0)
+    day = builder.richest_days(count=1)[0]
+    instance = builder.build_day(day)
+
+    # Keep only "restaurant-like" tasks: the promotion batch.
+    food_tasks = [
+        t for t in instance.tasks
+        if any(c in ("restaurant", "cafe", "diner", "steakhouse", "pizza_place")
+               for c in t.categories)
+    ]
+    instance = instance.with_tasks(food_tasks[:25])
+    print(f"promoting {instance.num_tasks} new restaurants among "
+          f"{instance.num_workers} available workers")
+
+    config = PipelineConfig(num_topics=15, propagation_mode="fixed",
+                            num_rrr_sets=20_000, seed=5)
+    models = DITAPipeline(config).fit(instance)
+    influence = models.influence_model()
+    prepared = PreparedInstance(instance, influence)
+
+    naive = NearestNeighborAssigner().assign(prepared)
+    aware = IAAssigner().assign(prepared)
+
+    naive_metrics = evaluate_assignment("NN", naive, prepared)
+    aware_metrics = evaluate_assignment("IA", aware, prepared)
+
+    print(f"\n{'strategy':10s} {'assigned':>9s} {'AI':>9s} {'AP':>9s} {'travel km':>10s}")
+    for metrics in (naive_metrics, aware_metrics):
+        print(f"{metrics.algorithm:10s} {metrics.num_assigned:9d} "
+              f"{metrics.average_influence:9.4f} {metrics.average_propagation:9.3f} "
+              f"{metrics.average_travel_km:10.2f}")
+
+    # Ground-truth check with forward IC simulation: how many workers does
+    # the average promoter actually reach?
+    graph = models.graph
+    def average_cascade(assignment) -> float:
+        sizes = [
+            estimate_spread(graph, graph.index_of(pair.worker.worker_id),
+                            runs=300, seed=11)
+            for pair in assignment
+        ]
+        return float(np.mean(sizes)) if sizes else 0.0
+
+    print(f"\nmean simulated cascade size: "
+          f"nearest-worker = {average_cascade(naive):.2f}, "
+          f"influence-aware = {average_cascade(aware):.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets ``pip install -e .`` work offline (no PEP-517
+build isolation, no wheel requirement).  All metadata lives in
+``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,80 @@
+"""repro — a reproduction of "Influence-aware Task Assignment in Spatial
+Crowdsourcing" (Chen et al., ICDE 2022).
+
+The library implements the full DITA framework: LDA-based worker-task
+affinity, Historical-Acceptance worker willingness, RRR/RPO worker
+propagation, and the influence-aware assignment algorithms (IA, EIA, DIA)
+with the MTA and MI baselines, on top of from-scratch substrates (LDA,
+random walks, independent-cascade sampling, min-cost max-flow) and a
+synthetic check-in world standing in for the Brightkite/FourSquare datasets.
+
+Quickstart
+----------
+>>> from repro import (
+...     brightkite_like, generate_dataset, InstanceBuilder,
+...     DITAPipeline, PipelineConfig, PreparedInstance, IAAssigner,
+... )
+>>> dataset = generate_dataset(brightkite_like(scale=0.05))
+>>> instance = InstanceBuilder(dataset).build_day(day=5)
+>>> models = DITAPipeline(PipelineConfig().fast()).fit(instance)
+>>> prepared = PreparedInstance(instance, models.influence_model())
+>>> assignment = IAAssigner().assign(prepared)
+"""
+
+from repro.entities import Assignment, CheckIn, PerformedTask, Task, TaskHistory, Worker
+from repro.geo import BoundingBox, GridIndex, Point
+from repro.data import (
+    CheckInDataset,
+    InstanceBuilder,
+    SCInstance,
+    SyntheticConfig,
+    Venue,
+    brightkite_like,
+    foursquare_like,
+    generate_dataset,
+    load_dataset_from_snap,
+)
+from repro.affinity import AffinityModel
+from repro.willingness import HistoricalAcceptance
+from repro.propagation import RPO, RRRCollection, SocialGraph
+from repro.influence import InfluenceComponents, InfluenceModel, location_entropy
+from repro.assignment import (
+    Assigner,
+    DIAAssigner,
+    EIAAssigner,
+    IAAssigner,
+    MIAssigner,
+    MTAAssigner,
+    NearestNeighborAssigner,
+    PreparedInstance,
+)
+from repro.framework import (
+    DITAPipeline,
+    MetricsResult,
+    PaperDefaults,
+    PipelineConfig,
+    Simulator,
+    evaluate_assignment,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # entities & geo
+    "Task", "Worker", "CheckIn", "PerformedTask", "TaskHistory", "Assignment",
+    "Point", "BoundingBox", "GridIndex",
+    # data
+    "CheckInDataset", "Venue", "SyntheticConfig", "generate_dataset",
+    "brightkite_like", "foursquare_like", "InstanceBuilder", "SCInstance",
+    "load_dataset_from_snap",
+    # influence components
+    "AffinityModel", "HistoricalAcceptance", "SocialGraph", "RPO",
+    "RRRCollection", "InfluenceModel", "InfluenceComponents", "location_entropy",
+    # assignment
+    "Assigner", "PreparedInstance", "MTAAssigner", "IAAssigner", "EIAAssigner",
+    "DIAAssigner", "MIAssigner", "NearestNeighborAssigner",
+    # framework
+    "DITAPipeline", "PipelineConfig", "PaperDefaults", "Simulator",
+    "MetricsResult", "evaluate_assignment",
+]

@@ -1,0 +1,11 @@
+"""Worker-task affinity via LDA (paper Section III-A, Figure 3).
+
+Each worker's historical task categories form a document; the documents
+train an LDA model; a worker's and a task's topic proportions are compared
+to produce ``P_aff(w, s)``.
+"""
+
+from repro.affinity.model import AffinityModel
+from repro.affinity.tfidf import TfidfAffinity
+
+__all__ = ["AffinityModel", "TfidfAffinity"]

@@ -1,0 +1,114 @@
+"""Output-sensitive feasible-pair enumeration via spatial indexes.
+
+:func:`~repro.assignment.base.compute_feasible` materializes the dense
+``|W| x |S|`` distance and feasibility matrices — the right layout for the
+flow solvers at the paper's instance sizes.  For much larger instances the
+dense product dominates; this module enumerates only the feasible pairs by
+range-querying a spatial index over the tasks with each worker's reachable
+radius.
+
+Both paths implement the same two feasibility rules (paper Section IV-A):
+``d(w.l, s.l) <= w.r`` and ``t + d/speed <= s.p + s.phi``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.entities import Task, Worker
+from repro.geo import GridIndex, KDTree, Point
+
+IndexKind = Literal["kdtree", "grid", "dense"]
+
+
+@dataclass(frozen=True)
+class CandidatePair:
+    """One feasible worker-task pair with its distance."""
+
+    worker_index: int
+    task_index: int
+    distance_km: float
+
+
+def _pair_if_feasible(
+    worker: Worker,
+    worker_index: int,
+    task: Task,
+    task_index: int,
+    distance_km: float,
+    current_time: float,
+) -> CandidatePair | None:
+    if distance_km > worker.reachable_km:
+        return None
+    if current_time + distance_km / worker.speed_kmh > task.expiry_time:
+        return None
+    return CandidatePair(worker_index, task_index, distance_km)
+
+
+def _dense_pairs(
+    workers: list[Worker], tasks: list[Task], current_time: float
+) -> list[CandidatePair]:
+    pairs = []
+    for wi, worker in enumerate(workers):
+        for ti, task in enumerate(tasks):
+            pair = _pair_if_feasible(
+                worker, wi, task, ti,
+                worker.location.distance_to(task.location), current_time,
+            )
+            if pair is not None:
+                pairs.append(pair)
+    return pairs
+
+
+def _indexed_pairs(
+    workers: list[Worker],
+    tasks: list[Task],
+    current_time: float,
+    kind: IndexKind,
+) -> list[CandidatePair]:
+    entries: list[tuple[Point, int]] = [(t.location, i) for i, t in enumerate(tasks)]
+    if kind == "kdtree":
+        index: KDTree[int] | GridIndex[int] = KDTree(entries)
+    else:
+        # Cell size near the median radius keeps bucket scans short.
+        radii = sorted(w.reachable_km for w in workers)
+        cell = max(radii[len(radii) // 2], 1e-6) if radii else 1.0
+        grid: GridIndex[int] = GridIndex(cell_size_km=cell)
+        grid.insert_many(entries)
+        index = grid
+    pairs = []
+    for wi, worker in enumerate(workers):
+        for point, ti in index.query_radius(worker.location, worker.reachable_km):
+            pair = _pair_if_feasible(
+                worker, wi, tasks[ti], ti,
+                worker.location.distance_to(point), current_time,
+            )
+            if pair is not None:
+                pairs.append(pair)
+    pairs.sort(key=lambda p: (p.worker_index, p.task_index))
+    return pairs
+
+
+def candidate_pairs(
+    workers: list[Worker],
+    tasks: list[Task],
+    current_time: float,
+    index: IndexKind = "kdtree",
+) -> list[CandidatePair]:
+    """Enumerate all feasible worker-task pairs, sorted by (worker, task).
+
+    Parameters
+    ----------
+    index:
+        ``"kdtree"`` (default) or ``"grid"`` query a spatial index built
+        over the task locations; ``"dense"`` is the exhaustive scan used as
+        the correctness oracle and for tiny instances.
+    """
+    if index not in ("kdtree", "grid", "dense"):
+        raise ValueError(f"unknown index kind {index!r}")
+    if not workers or not tasks:
+        return []
+    if index == "dense":
+        return _dense_pairs(workers, tasks, current_time)
+    return _indexed_pairs(workers, tasks, current_time, index)

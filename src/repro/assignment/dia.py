@@ -1,0 +1,45 @@
+"""DIA — Distance-based Influence-aware Assignment (paper Section IV-C).
+
+Adapts IA by discounting influence with the worker's travel cost:
+
+    w(n_i, n_{|W|+j}) = 1 / (F(w_i.l, s_j.l) * if(w_i, s_j) + 1)
+    F(w.l, s.l) = 1 - min(1, d(w.l, s.l) / w.r)
+
+Closer workers keep more of their influence and therefore get higher
+priority, which empirically minimizes average travel cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.assignment.base import Assigner, PreparedInstance
+from repro.assignment.solvers import solve_lexicographic
+from repro.entities import Assignment
+
+
+class DIAAssigner(Assigner):
+    """Distance-discounted influence-aware MCMF assignment."""
+
+    name = "DIA"
+
+    def __init__(self, engine: str = "auto") -> None:
+        self.engine = engine
+
+    def edge_costs(self, prepared: PreparedInstance) -> np.ndarray:
+        """The DIA cost matrix ``1 / (F * if + 1)``."""
+        feasible = prepared.feasible
+        radius = np.array([w.reachable_km for w in feasible.workers])[:, None]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(radius > 0, feasible.distance_km / np.maximum(radius, 1e-12), 1.0)
+        discount = 1.0 - np.minimum(1.0, ratio)
+        return 1.0 / (discount * prepared.influence_matrix + 1.0)
+
+    def assign(self, prepared: PreparedInstance) -> Assignment:
+        feasible = prepared.feasible
+        if feasible.num_feasible == 0:
+            return Assignment()
+        pairs = solve_lexicographic(
+            self.edge_costs(prepared), feasible.mask, engine=self.engine
+        )
+        return prepared.build_assignment(pairs)

@@ -1,0 +1,42 @@
+"""EIA — Entropy-based Influence-aware Assignment (paper Section IV-B).
+
+Adapts IA by weighting each worker-task edge with the task's location
+entropy:
+
+    w(n_i, n_{|W|+j}) = (s.e + 1) / (if(w_i, s_j) + 1)
+
+Tasks whose historical visits concentrate on few workers (low entropy) get
+cheaper edges and therefore higher assignment priority, which empirically
+raises the total number of assigned tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.assignment.base import Assigner, PreparedInstance
+from repro.assignment.solvers import solve_lexicographic
+from repro.entities import Assignment
+
+
+class EIAAssigner(Assigner):
+    """Entropy-weighted influence-aware MCMF assignment."""
+
+    name = "EIA"
+
+    def __init__(self, engine: str = "auto") -> None:
+        self.engine = engine
+
+    def edge_costs(self, prepared: PreparedInstance) -> np.ndarray:
+        """The EIA cost matrix ``(s.e + 1) / (if + 1)``."""
+        entropy = prepared.entropy_vector()[None, :]
+        return (entropy + 1.0) / (prepared.influence_matrix + 1.0)
+
+    def assign(self, prepared: PreparedInstance) -> Assignment:
+        feasible = prepared.feasible
+        if feasible.num_feasible == 0:
+            return Assignment()
+        pairs = solve_lexicographic(
+            self.edge_costs(prepared), feasible.mask, engine=self.engine
+        )
+        return prepared.build_assignment(pairs)

@@ -1,0 +1,38 @@
+"""The naive nearest-worker greedy of the paper's running example (Fig. 1).
+
+Tasks are processed in publication order; each is given to the nearest
+still-free feasible worker.  Kept as an illustrative baseline — the
+introduction uses it to motivate influence-aware assignment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.assignment.base import Assigner, PreparedInstance
+from repro.entities import Assignment
+
+
+class NearestNeighborAssigner(Assigner):
+    """Greedy nearest-worker assignment."""
+
+    name = "NN"
+
+    def assign(self, prepared: PreparedInstance) -> Assignment:
+        feasible = prepared.feasible
+        if feasible.num_feasible == 0:
+            return Assignment()
+        order = np.argsort([t.publication_time for t in feasible.tasks], kind="stable")
+        used_workers: set[int] = set()
+        pairs: list[tuple[int, int]] = []
+        for column in order:
+            column = int(column)
+            candidates = np.nonzero(feasible.mask[:, column])[0]
+            candidates = [c for c in candidates if int(c) not in used_workers]
+            if not candidates:
+                continue
+            distances = feasible.distance_km[candidates, column]
+            best = int(candidates[int(np.argmin(distances))])
+            used_workers.add(best)
+            pairs.append((best, column))
+        return prepared.build_assignment(pairs)

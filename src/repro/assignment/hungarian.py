@@ -1,0 +1,133 @@
+"""A from-scratch Hungarian algorithm (Kuhn-Munkres, JV potentials form).
+
+The dense lexicographic engine in :mod:`repro.assignment.solvers` leans on
+scipy's rectangular assignment solver; this module provides the same exact
+optimum without scipy — the classic O(n^2 * m) shortest-augmenting-path
+formulation with dual potentials — both as an independent correctness
+witness for the other two engines and as the reference implementation
+discussed in DESIGN.md §5.
+
+:func:`hungarian` solves the *complete* rectangular problem (every row gets
+a column); :func:`solve_lexicographic_hungarian` layers the same BIG-penalty
+reduction the dense engine uses, turning max-cardinality-then-min-cost into
+a single complete assignment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hungarian(cost: np.ndarray) -> list[int]:
+    """Minimum-cost complete assignment of rows to distinct columns.
+
+    Parameters
+    ----------
+    cost:
+        ``n x m`` matrix with ``n <= m`` and finite entries.
+
+    Returns
+    -------
+    ``column_of_row`` — for each row, its assigned column.  Total cost is
+    minimal over all complete assignments.
+
+    Raises
+    ------
+    ValueError
+        If ``n > m`` or the matrix contains non-finite entries.
+    """
+    cost = np.asarray(cost, dtype=float)
+    if cost.ndim != 2:
+        raise ValueError(f"cost must be 2-d, got shape {cost.shape}")
+    n, m = cost.shape
+    if n == 0:
+        return []
+    if n > m:
+        raise ValueError(f"need rows <= columns, got {n} x {m} (transpose first)")
+    if not np.isfinite(cost).all():
+        raise ValueError("cost matrix must be finite")
+
+    infinity = float("inf")
+    # 1-indexed duals and matching, as in the classical presentation:
+    # u[i] row potential, v[j] column potential, p[j] = row matched to
+    # column j (0 = free), way[j] = previous column on the alternating path.
+    u = np.zeros(n + 1)
+    v = np.zeros(m + 1)
+    p = np.zeros(m + 1, dtype=int)
+    way = np.zeros(m + 1, dtype=int)
+
+    for i in range(1, n + 1):
+        p[0] = i
+        j0 = 0
+        minv = np.full(m + 1, infinity)
+        used = np.zeros(m + 1, dtype=bool)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            delta = infinity
+            j1 = 0
+            for j in range(1, m + 1):
+                if used[j]:
+                    continue
+                current = cost[i0 - 1, j - 1] - u[i0] - v[j]
+                if current < minv[j]:
+                    minv[j] = current
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(m + 1):
+                if used[j]:
+                    u[p[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        # Unwind the alternating path, flipping matched edges.
+        while j0 != 0:
+            j1 = way[j0]
+            p[j0] = p[j1]
+            j0 = j1
+
+    column_of_row = [0] * n
+    for j in range(1, m + 1):
+        if p[j] != 0:
+            column_of_row[p[j] - 1] = j - 1
+    return column_of_row
+
+
+def solve_lexicographic_hungarian(
+    cost: np.ndarray, feasible: np.ndarray
+) -> list[tuple[int, int]]:
+    """Max-cardinality-then-min-cost matching via the Hungarian algorithm.
+
+    Same contract as :func:`repro.assignment.solvers.solve_lexicographic_dense`
+    (and equivalence-tested against it): infeasible pairs are padded with a
+    penalty large enough that avoiding one always beats any real-cost total,
+    then matched pairs landing on a penalty cell are dropped.
+    """
+    cost = np.asarray(cost, dtype=float)
+    feasible = np.asarray(feasible, dtype=bool)
+    if cost.shape != feasible.shape:
+        raise ValueError(f"shape mismatch: cost {cost.shape} vs mask {feasible.shape}")
+    if cost.size == 0 or not feasible.any():
+        return []
+    real = cost[feasible]
+    if np.any(real < 0):
+        raise ValueError("costs must be non-negative")
+    matchable = min(cost.shape)
+    big = (float(real.max(initial=0.0)) + 1.0) * (matchable + 1)
+    padded = np.where(feasible, cost, big)
+
+    transposed = padded.shape[0] > padded.shape[1]
+    if transposed:
+        padded = padded.T
+    columns = hungarian(padded)
+    pairs = []
+    for row, column in enumerate(columns):
+        r, c = (column, row) if transposed else (row, column)
+        if feasible[r, c]:
+            pairs.append((r, c))
+    return pairs

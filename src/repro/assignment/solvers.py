@@ -1,0 +1,124 @@
+"""Lexicographic (max cardinality, then min cost) matching solvers.
+
+The ITA objective is lexicographic: maximize ``|A|`` first, minimize total
+edge cost second.  Two exact solvers are provided:
+
+* :func:`solve_lexicographic_mcmf` — builds the paper's Figure-4 flow graph
+  and runs the from-scratch successive-shortest-path MCMF
+  (:class:`repro.flow.MinCostMaxFlow`).  Since every augmentation increases
+  flow by one and SSP minimizes cost at maximum flow, the result is exactly
+  the lexicographic optimum.
+
+* :func:`solve_lexicographic_dense` — embeds the problem in a rectangular
+  assignment problem: infeasible pairs get a penalty ``BIG`` chosen so that
+  one avoided penalty always outweighs the sum of all real costs; scipy's
+  Jonker-Volgenant solver then returns a matching that first maximizes the
+  number of feasible pairs and then minimizes their cost.  Equivalent to the
+  MCMF solver (tested), orders of magnitude faster at paper scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.flow import FlowNetwork, MinCostMaxFlow
+
+
+def solve_lexicographic_dense(
+    cost: np.ndarray, feasible: np.ndarray
+) -> list[tuple[int, int]]:
+    """Solve max-cardinality-then-min-cost matching on a dense cost matrix.
+
+    Parameters
+    ----------
+    cost:
+        ``C x T`` non-negative costs (entries at infeasible positions are
+        ignored).
+    feasible:
+        ``C x T`` boolean mask of allowed pairs.
+
+    Returns
+    -------
+    list of ``(worker_row, task_column)`` pairs, feasible only.
+    """
+    cost = np.asarray(cost, dtype=float)
+    feasible = np.asarray(feasible, dtype=bool)
+    if cost.shape != feasible.shape:
+        raise ValueError(f"shape mismatch: cost {cost.shape} vs mask {feasible.shape}")
+    if cost.size == 0 or not feasible.any():
+        return []
+    finite_costs = cost[feasible]
+    if np.any(finite_costs < 0):
+        raise ValueError("costs must be non-negative")
+    max_real = float(finite_costs.max(initial=0.0))
+    matchable = min(cost.shape)
+    big = (max_real + 1.0) * (matchable + 1)
+    padded = np.where(feasible, cost, big)
+    rows, columns = linear_sum_assignment(padded)
+    return [
+        (int(r), int(c)) for r, c in zip(rows, columns) if feasible[r, c]
+    ]
+
+
+def solve_lexicographic_mcmf(
+    cost: np.ndarray, feasible: np.ndarray
+) -> list[tuple[int, int]]:
+    """Solve the same problem through the Figure-4 flow network.
+
+    Node layout: ``0`` = source, ``1..C`` = workers, ``C+1..C+T`` = tasks,
+    ``C+T+1`` = sink.  All capacities are 1; worker-task edges carry the
+    given costs; source/sink edges cost 0.
+    """
+    cost = np.asarray(cost, dtype=float)
+    feasible = np.asarray(feasible, dtype=bool)
+    if cost.shape != feasible.shape:
+        raise ValueError(f"shape mismatch: cost {cost.shape} vs mask {feasible.shape}")
+    n_workers, n_tasks = cost.shape
+    if cost.size == 0 or not feasible.any():
+        return []
+    if np.any(cost[feasible] < 0):
+        raise ValueError("costs must be non-negative")
+
+    source = 0
+    sink = n_workers + n_tasks + 1
+    network = FlowNetwork(num_nodes=n_workers + n_tasks + 2)
+    for row in range(n_workers):
+        network.add_edge(source, 1 + row, capacity=1, cost=0.0)
+    for column in range(n_tasks):
+        network.add_edge(1 + n_workers + column, sink, capacity=1, cost=0.0)
+    edge_of_pair: dict[int, tuple[int, int]] = {}
+    rows, columns = np.nonzero(feasible)
+    for row, column in zip(rows, columns):
+        edge_id = network.add_edge(
+            1 + int(row), 1 + n_workers + int(column), capacity=1, cost=float(cost[row, column])
+        )
+        edge_of_pair[edge_id] = (int(row), int(column))
+
+    MinCostMaxFlow(network).solve(source, sink)
+    return [
+        pair for edge_id, pair in edge_of_pair.items() if network.flow_on(edge_id) > 0
+    ]
+
+
+def solve_lexicographic(
+    cost: np.ndarray,
+    feasible: np.ndarray,
+    engine: str = "auto",
+    dense_threshold: int = 20_000,
+) -> list[tuple[int, int]]:
+    """Dispatch between the solvers.
+
+    ``"auto"`` uses the from-scratch MCMF below ``dense_threshold`` matrix
+    cells and the dense reduction above it; ``"hungarian"`` selects the
+    from-scratch Kuhn-Munkres engine (scipy-free, same optimum).
+    """
+    if engine not in ("auto", "dense", "mcmf", "hungarian"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if engine == "hungarian":
+        from repro.assignment.hungarian import solve_lexicographic_hungarian
+
+        return solve_lexicographic_hungarian(cost, feasible)
+    if engine == "mcmf" or (engine == "auto" and np.asarray(cost).size <= dense_threshold):
+        return solve_lexicographic_mcmf(cost, feasible)
+    return solve_lexicographic_dense(cost, feasible)

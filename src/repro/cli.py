@@ -1,0 +1,330 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Generate (or load) a dataset and print its statistics.
+``generate-data``
+    Materialize a synthetic BK/FS-like world as SNAP-format files.
+``assign``
+    Run the assignment algorithms on one day and print the metric table.
+``sweep``
+    Run a paper-style parameter sweep (comparison or ablation) and print
+    the per-figure series; optionally save JSON/CSV.
+``seeds``
+    Greedy influence-maximization seed selection over the social network.
+
+Every command accepts ``--world bk|fs --scale S --seed N`` to pick the
+synthetic world, or ``--snap-dir DIR`` to read SNAP-format files instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.data import (
+    CheckInDataset,
+    InstanceBuilder,
+    brightkite_like,
+    foursquare_like,
+    generate_dataset,
+    load_dataset_from_snap,
+)
+from repro.framework.config import PipelineConfig
+
+
+def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--world", choices=("bk", "fs"), default="bk",
+                        help="synthetic world family (default: bk)")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="population scale factor (default: 0.1)")
+    parser.add_argument("--seed", type=int, default=7, help="RNG seed")
+    parser.add_argument("--snap-dir", type=Path, default=None,
+                        help="load SNAP files (edges.txt/checkins.txt/"
+                             "categories.txt) from this directory instead")
+
+
+def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topics", type=int, default=20, help="LDA topics")
+    parser.add_argument("--rrr-sets", type=int, default=20_000,
+                        help="fixed RRR sample count")
+    parser.add_argument("--rpo", action="store_true",
+                        help="use the RPO bounds instead of fixed sampling")
+    parser.add_argument("--affinity", choices=("lda", "tfidf"), default="lda")
+    parser.add_argument("--movement", default="pareto",
+                        help="movement family (pareto/exponential/lognormal/rayleigh)")
+
+
+def _dataset_from(args: argparse.Namespace) -> CheckInDataset:
+    if args.snap_dir is not None:
+        categories = args.snap_dir / "categories.txt"
+        return load_dataset_from_snap(
+            name=args.snap_dir.name,
+            edges_path=args.snap_dir / "edges.txt",
+            checkins_path=args.snap_dir / "checkins.txt",
+            categories_path=categories if categories.exists() else None,
+        )
+    factory = brightkite_like if args.world == "bk" else foursquare_like
+    return generate_dataset(factory(scale=args.scale, seed=args.seed))
+
+
+def _pipeline_config(args: argparse.Namespace) -> PipelineConfig:
+    return PipelineConfig(
+        num_topics=args.topics,
+        affinity_engine=args.affinity,
+        movement_family=args.movement,
+        propagation_mode="rpo" if args.rpo else "fixed",
+        num_rrr_sets=args.rrr_sets,
+        seed=args.seed,
+    )
+
+
+# ------------------------------------------------------------------ commands
+def cmd_info(args: argparse.Namespace) -> int:
+    dataset = _dataset_from(args)
+    print(dataset.describe())
+    box = dataset.bounding_box()
+    print(f"area: {box.width:.1f} x {box.height:.1f} km")
+    builder = InstanceBuilder(dataset)
+    days = builder.richest_days(count=4)
+    print(f"richest days: {days}")
+    for day in days:
+        instance = builder.build_day(day)
+        print(f"  day {day}: {instance.num_workers} workers, "
+              f"{instance.num_tasks} tasks")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.data import validate_dataset
+
+    dataset = _dataset_from(args)
+    report = validate_dataset(dataset)
+    print(report)
+    return 0 if report.passed else 1
+
+
+def cmd_generate_data(args: argparse.Namespace) -> int:
+    from repro.data.writers import save_dataset_to_snap
+
+    dataset = _dataset_from(args)
+    paths = save_dataset_to_snap(dataset, args.out)
+    print(dataset.describe())
+    for kind, path in paths.items():
+        print(f"wrote {kind}: {path}")
+    return 0
+
+
+def cmd_assign(args: argparse.Namespace) -> int:
+    from repro.assignment import (
+        DIAAssigner,
+        EIAAssigner,
+        IAAssigner,
+        MIAssigner,
+        MTAAssigner,
+        NearestNeighborAssigner,
+        PreparedInstance,
+    )
+    from repro.framework import DITAPipeline, Simulator
+
+    known = {
+        "MTA": MTAAssigner,
+        "IA": IAAssigner,
+        "EIA": EIAAssigner,
+        "DIA": DIAAssigner,
+        "MI": MIAssigner,
+        "NN": NearestNeighborAssigner,
+    }
+    names = args.algorithms or ["MTA", "IA", "EIA", "DIA", "MI"]
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        print(f"unknown algorithm(s): {', '.join(unknown)}; "
+              f"choose from {', '.join(known)}", file=sys.stderr)
+        return 2
+
+    dataset = _dataset_from(args)
+    builder = InstanceBuilder(dataset, valid_hours=args.valid_hours,
+                              reachable_km=args.radius)
+    day = args.day if args.day is not None else builder.richest_days(count=1)[0]
+    instance = builder.build_day(
+        day, num_tasks=args.num_tasks, num_workers=args.num_workers,
+        assignment_hour=args.assignment_hour, seed=args.seed,
+    )
+    print(f"{instance.name}: {instance.num_workers} workers, "
+          f"{instance.num_tasks} tasks")
+
+    config = _pipeline_config(args)
+    simulator = Simulator(config)
+    results = simulator.run_instance(instance, [known[name]() for name in names])
+
+    header = f"{'algorithm':10s} {'assigned':>9s} {'AI':>9s} {'AP':>9s} " \
+             f"{'travel km':>10s} {'cpu s':>8s}"
+    print("\n" + header)
+    print("-" * len(header))
+    for metrics in results:
+        print(f"{metrics.algorithm:10s} {metrics.num_assigned:9d} "
+              f"{metrics.average_influence:9.4f} {metrics.average_propagation:9.3f} "
+              f"{metrics.average_travel_km:10.2f} {metrics.cpu_seconds:8.3f}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ExperimentRunner,
+        ExperimentSettings,
+        format_series,
+        format_sweep_table,
+        run_ablation_sweep,
+        run_comparison_sweep,
+    )
+    from repro.experiments.io import export_csv, save_sweep
+    from repro.experiments.report import write_report
+
+    dataset = _dataset_from(args)
+    settings = ExperimentSettings(scale=args.scale, num_days=args.days,
+                                  seed=args.seed,
+                                  assignment_hour=args.assignment_hour)
+    runner = ExperimentRunner(dataset, settings, _pipeline_config(args))
+
+    grids = {
+        "num_tasks": settings.task_sweep,
+        "num_workers": settings.worker_sweep,
+        "valid_hours": settings.valid_hours_sweep,
+        "reachable_km": settings.radius_sweep,
+    }
+    values = grids[args.parameter]
+    if args.kind == "ablation":
+        result = run_ablation_sweep(runner, args.parameter, values)
+        print(format_series(result, "average_influence",
+                            title=f"AI vs {args.parameter} ({dataset.name})"))
+    else:
+        result = run_comparison_sweep(runner, args.parameter, values)
+        print(format_sweep_table(result, title=f"{dataset.name} vs {args.parameter}"))
+
+    if args.out:
+        print(f"saved JSON: {save_sweep(result, args.out)}")
+    if args.csv:
+        print(f"saved CSV: {export_csv(result, args.csv)}")
+    if args.markdown:
+        title = f"{dataset.name} — {args.kind} vs {args.parameter}"
+        path = write_report({title: result}, args.markdown,
+                            heading="Sweep report")
+        print(f"saved markdown: {path}")
+    return 0
+
+
+def cmd_seeds(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.propagation import (
+        RRRCollection,
+        SocialGraph,
+        sample_rrr_sets,
+        select_seeds,
+    )
+
+    dataset = _dataset_from(args)
+    builder = InstanceBuilder(dataset)
+    day = builder.richest_days(count=1)[0]
+    instance = builder.build_day(day)
+    graph = SocialGraph(instance.all_worker_ids, instance.social_edges)
+    print(f"social network: {graph.num_workers} workers, "
+          f"{graph.num_edges // 2} friendships")
+
+    rng = np.random.default_rng(args.seed)
+    collection = RRRCollection(num_workers=graph.num_workers)
+    roots, members = sample_rrr_sets(graph, args.rrr_sets, rng)
+    collection.extend(roots, members)
+
+    result = select_seeds(collection, args.k)
+    print(f"\nestimated spread of {len(result.seeds)} seeds: "
+          f"{result.estimated_spread:.2f} workers")
+    print(f"{'rank':>5s} {'worker':>8s} {'marginal sets':>14s}")
+    for rank, (index, marginal) in enumerate(
+        zip(result.seeds, result.marginal_coverage), start=1
+    ):
+        print(f"{rank:5d} {graph.worker_at(index):8d} {marginal:14d}")
+    return 0
+
+
+# -------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Influence-aware task assignment (ICDE 2022) reproduction",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    info = subparsers.add_parser("info", help="dataset statistics")
+    _add_world_arguments(info)
+    info.set_defaults(handler=cmd_info)
+
+    validate = subparsers.add_parser(
+        "validate", help="statistical validation checks on a dataset"
+    )
+    _add_world_arguments(validate)
+    validate.set_defaults(handler=cmd_validate)
+
+    generate = subparsers.add_parser("generate-data",
+                                     help="write a synthetic world as SNAP files")
+    _add_world_arguments(generate)
+    generate.add_argument("--out", type=Path, required=True,
+                          help="output directory")
+    generate.set_defaults(handler=cmd_generate_data)
+
+    assign = subparsers.add_parser("assign", help="one-day assignment run")
+    _add_world_arguments(assign)
+    _add_pipeline_arguments(assign)
+    assign.add_argument("--day", type=int, default=None,
+                        help="zero-based day (default: richest)")
+    assign.add_argument("--num-tasks", type=int, default=None)
+    assign.add_argument("--num-workers", type=int, default=None)
+    assign.add_argument("--valid-hours", type=float, default=5.0)
+    assign.add_argument("--radius", type=float, default=25.0)
+    assign.add_argument("--assignment-hour", type=float, default=None,
+                        help="assignment instant as an offset into the day "
+                             "(default: day start; 24 = day end)")
+    assign.add_argument("--algorithms", nargs="*", default=None,
+                        help="subset of MTA IA EIA DIA MI NN")
+    assign.set_defaults(handler=cmd_assign)
+
+    sweep = subparsers.add_parser("sweep", help="paper-style parameter sweep")
+    _add_world_arguments(sweep)
+    _add_pipeline_arguments(sweep)
+    sweep.add_argument("--parameter", required=True,
+                       choices=("num_tasks", "num_workers", "valid_hours",
+                                "reachable_km"))
+    sweep.add_argument("--kind", choices=("comparison", "ablation"),
+                       default="comparison")
+    sweep.add_argument("--days", type=int, default=2,
+                       help="days averaged per point")
+    sweep.add_argument("--assignment-hour", type=float, default=None,
+                       help="assignment instant offset into the day "
+                            "(use 24 for ϕ sweeps so deadlines bind)")
+    sweep.add_argument("--out", type=Path, default=None, help="save JSON here")
+    sweep.add_argument("--csv", type=Path, default=None, help="save CSV here")
+    sweep.add_argument("--markdown", type=Path, default=None,
+                       help="save a markdown report here")
+    sweep.set_defaults(handler=cmd_sweep)
+
+    seeds = subparsers.add_parser("seeds",
+                                  help="greedy influence-maximization seeds")
+    _add_world_arguments(seeds)
+    seeds.add_argument("--k", type=int, default=10, help="number of seeds")
+    seeds.add_argument("--rrr-sets", type=int, default=50_000)
+    seeds.set_defaults(handler=cmd_seeds)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Dataset substrate: taxonomies, synthetic generators, loaders, instances.
+
+The paper evaluates on the Brightkite (BK) and FourSquare (FS) check-in
+datasets.  Those dumps are unavailable offline, so this package provides
+
+* :mod:`repro.data.categories` — a FourSquare-style category taxonomy;
+* :mod:`repro.data.synthetic` — statistically faithful synthetic generators
+  (power-law social graph, self-similar mobility, topical venue categories);
+* :mod:`repro.data.loaders` — parsers for the real SNAP-format dumps so the
+  pipeline runs unchanged on genuine data when present;
+* :mod:`repro.data.instance` — the per-day spatial-crowdsourcing instance
+  builder used by every experiment.
+"""
+
+from repro.data.dataset import CheckInDataset, Venue
+from repro.data.categories import CATEGORY_TAXONOMY, all_categories, category_group
+from repro.data.synthetic import (
+    SyntheticConfig,
+    generate_dataset,
+    brightkite_like,
+    foursquare_like,
+)
+from repro.data.instance import SCInstance, InstanceBuilder
+from repro.data.loaders import load_snap_edges, load_snap_checkins, load_dataset_from_snap
+from repro.data.writers import save_dataset_to_snap
+from repro.data.validation import CheckResult, ValidationReport, validate_dataset
+
+__all__ = [
+    "CheckInDataset",
+    "Venue",
+    "CATEGORY_TAXONOMY",
+    "all_categories",
+    "category_group",
+    "SyntheticConfig",
+    "generate_dataset",
+    "brightkite_like",
+    "foursquare_like",
+    "SCInstance",
+    "InstanceBuilder",
+    "load_snap_edges",
+    "load_snap_checkins",
+    "load_dataset_from_snap",
+    "save_dataset_to_snap",
+    "CheckResult",
+    "ValidationReport",
+    "validate_dataset",
+]

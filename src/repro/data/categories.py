@@ -1,0 +1,76 @@
+"""A venue-category taxonomy modeled on the FourSquare hierarchy.
+
+The paper extracts venue categories through the FourSquare API and feeds
+them to LDA as words.  Only the vocabulary and its group structure matter to
+the algorithms, so we ship a compact two-level taxonomy: nine top-level
+groups (matching FourSquare's) with leaf categories under each.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+#: Two-level taxonomy: top-level group -> tuple of leaf categories.
+CATEGORY_TAXONOMY: Mapping[str, tuple[str, ...]] = {
+    "arts_entertainment": (
+        "art_gallery", "movie_theater", "concert_hall", "museum", "stadium",
+        "theme_park", "aquarium", "bowling_alley", "casino", "comedy_club",
+    ),
+    "college_university": (
+        "classroom", "library_university", "dormitory", "campus_quad",
+        "lecture_hall", "student_center", "lab_building", "university_gym",
+    ),
+    "food": (
+        "restaurant", "cafe", "bakery", "pizza_place", "sushi_bar",
+        "burger_joint", "ice_cream_shop", "food_truck", "diner",
+        "steakhouse", "noodle_house", "bbq_joint", "dessert_shop",
+    ),
+    "nightlife": (
+        "bar", "nightclub", "pub", "lounge", "karaoke_bar",
+        "cocktail_bar", "beer_garden", "wine_bar",
+    ),
+    "outdoors_recreation": (
+        "park", "trail", "beach", "playground", "botanical_garden",
+        "campground", "lake", "ski_area", "dog_run", "scenic_lookout",
+    ),
+    "professional": (
+        "office", "coworking_space", "conference_center", "medical_center",
+        "tech_startup", "bank_office", "courthouse", "factory",
+    ),
+    "residence": (
+        "home", "apartment_building", "housing_development", "residential_street",
+    ),
+    "shops_services": (
+        "grocery_store", "clothing_store", "bookstore", "electronics_store",
+        "pharmacy", "salon", "gym", "hardware_store", "shopping_mall",
+        "convenience_store", "flower_shop", "pet_store",
+    ),
+    "travel_transport": (
+        "airport", "train_station", "bus_station", "hotel", "metro_station",
+        "ferry_terminal", "rental_car", "taxi_stand", "rest_area",
+    ),
+}
+
+
+def all_categories() -> tuple[str, ...]:
+    """Return every leaf category, ordered by group then position."""
+    leaves: list[str] = []
+    for group in sorted(CATEGORY_TAXONOMY):
+        leaves.extend(CATEGORY_TAXONOMY[group])
+    return tuple(leaves)
+
+
+def category_group(category: str) -> str:
+    """Return the top-level group of ``category``.
+
+    Raises :class:`KeyError` for an unknown category.
+    """
+    for group, leaves in CATEGORY_TAXONOMY.items():
+        if category in leaves:
+            return group
+    raise KeyError(f"unknown category: {category!r}")
+
+
+def group_names() -> tuple[str, ...]:
+    """Return the top-level group names, sorted."""
+    return tuple(sorted(CATEGORY_TAXONOMY))

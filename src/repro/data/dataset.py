@@ -1,0 +1,130 @@
+"""The check-in dataset container shared by synthetic and real data."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.entities import CheckIn
+from repro.exceptions import DataError
+from repro.geo import BoundingBox, Point
+
+
+@dataclass(frozen=True, slots=True)
+class Venue:
+    """A physical venue with a location and category labels."""
+
+    venue_id: int
+    location: Point
+    categories: tuple[str, ...]
+
+
+@dataclass
+class CheckInDataset:
+    """A check-in dataset: users, venues, check-ins, and a social network.
+
+    This is the common substrate corresponding to the paper's BK and FS
+    datasets.  Check-ins are kept sorted by time; several derived indices are
+    computed lazily and cached.
+    """
+
+    name: str
+    venues: dict[int, Venue]
+    checkins: list[CheckIn]
+    social_edges: list[tuple[int, int]]
+    user_ids: tuple[int, ...]
+    _by_user: dict[int, list[CheckIn]] = field(default_factory=dict, repr=False)
+    _by_day: dict[int, list[CheckIn]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.checkins:
+            raise DataError(f"dataset {self.name!r} has no check-ins")
+        if not self.user_ids:
+            raise DataError(f"dataset {self.name!r} has no users")
+        self.checkins = sorted(self.checkins, key=lambda c: c.time)
+        users = set(self.user_ids)
+        for u, v in self.social_edges:
+            if u not in users or v not in users:
+                raise DataError(f"social edge ({u}, {v}) references unknown user")
+        for checkin in self.checkins:
+            if checkin.user_id not in users:
+                raise DataError(f"check-in references unknown user {checkin.user_id}")
+            if checkin.venue_id not in self.venues:
+                raise DataError(f"check-in references unknown venue {checkin.venue_id}")
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def num_users(self) -> int:
+        """Number of users (potential workers)."""
+        return len(self.user_ids)
+
+    @property
+    def num_venues(self) -> int:
+        """Number of venues."""
+        return len(self.venues)
+
+    @property
+    def num_checkins(self) -> int:
+        """Number of check-in events."""
+        return len(self.checkins)
+
+    @property
+    def num_days(self) -> int:
+        """Number of days spanned (last check-in's day + 1)."""
+        return self.checkins[-1].day + 1 if self.checkins else 0
+
+    def bounding_box(self) -> BoundingBox:
+        """The minimal box containing every venue."""
+        return BoundingBox.around(v.location for v in self.venues.values())
+
+    # ---------------------------------------------------------------- indices
+    def checkins_by_user(self, user_id: int) -> list[CheckIn]:
+        """Return the user's check-ins, chronologically (cached)."""
+        if not self._by_user:
+            for checkin in self.checkins:
+                self._by_user.setdefault(checkin.user_id, []).append(checkin)
+        return self._by_user.get(user_id, [])
+
+    def checkins_on_day(self, day: int) -> list[CheckIn]:
+        """Return all check-ins on the zero-based ``day`` (cached)."""
+        if not self._by_day:
+            for checkin in self.checkins:
+                self._by_day.setdefault(checkin.day, []).append(checkin)
+        return self._by_day.get(day, [])
+
+    def active_days(self) -> list[int]:
+        """Days that have at least one check-in, ascending."""
+        if not self._by_day:
+            self.checkins_on_day(0)  # force index build
+        return sorted(self._by_day)
+
+    def describe(self) -> str:
+        """A short human-readable summary string."""
+        return (
+            f"{self.name}: {self.num_users} users, {len(self.social_edges)} social "
+            f"edges, {self.num_venues} venues, {self.num_checkins} check-ins over "
+            f"{self.num_days} days"
+        )
+
+    @staticmethod
+    def build(
+        name: str,
+        venues: Iterable[Venue],
+        checkins: Iterable[CheckIn],
+        social_edges: Iterable[tuple[int, int]],
+        user_ids: Iterable[int] | None = None,
+    ) -> "CheckInDataset":
+        """Convenience constructor that infers ``user_ids`` when omitted."""
+        checkin_list = list(checkins)
+        users: tuple[int, ...]
+        if user_ids is None:
+            users = tuple(sorted({c.user_id for c in checkin_list}))
+        else:
+            users = tuple(sorted(set(user_ids)))
+        return CheckInDataset(
+            name=name,
+            venues={v.venue_id: v for v in venues},
+            checkins=checkin_list,
+            social_edges=list(social_edges),
+            user_ids=users,
+        )

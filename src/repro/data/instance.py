@@ -1,0 +1,277 @@
+"""Build per-day spatial-crowdsourcing instances from a check-in dataset.
+
+This mirrors the paper's experimental setup (Section V-A):
+
+* time granularity is one day; workers/tasks of that day enter the framework;
+* every user who checks in on the day is an available worker, located at
+  their most recent check-in;
+* every venue checked into on the day spawns a task at the venue location,
+  published at the venue's earliest check-in of the day, carrying the venue
+  categories;
+* check-ins from *before* the day form the historical task-performing
+  records ``S_w`` used by the affinity, willingness and entropy models;
+* parameter sweeps (|S|, |W|) sample tasks/workers uniformly at random,
+  exactly like the paper's "random selection from the original dataset".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import CheckInDataset
+from repro.entities import PerformedTask, Task, TaskHistory, Worker
+from repro.exceptions import DataError
+from repro.geo import Point
+
+
+@dataclass
+class SCInstance:
+    """One time instance of the ITA problem.
+
+    Attributes
+    ----------
+    name:
+        Label, usually ``"<dataset>@day<d>"``.
+    current_time:
+        The assignment time ``t`` in hours since the dataset epoch.
+    tasks / workers:
+        The available tasks ``S`` and workers ``W`` at ``t``.
+    histories:
+        ``worker_id -> TaskHistory`` for *all* dataset users (the influence
+        model sums willingness over every worker in the social network, not
+        just the available ones).
+    social_edges:
+        Undirected friendship edges over user ids.
+    all_worker_ids:
+        Every user id in the social network.
+    venue_visits:
+        ``venue_id -> {user_id: visit count}`` over history, for location
+        entropy.
+    """
+
+    name: str
+    current_time: float
+    tasks: list[Task]
+    workers: list[Worker]
+    histories: dict[int, TaskHistory]
+    social_edges: list[tuple[int, int]]
+    all_worker_ids: tuple[int, ...]
+    venue_visits: dict[int, dict[int, int]] = field(default_factory=dict)
+
+    @property
+    def num_tasks(self) -> int:
+        """|S| at this instance."""
+        return len(self.tasks)
+
+    @property
+    def num_workers(self) -> int:
+        """|W| available at this instance."""
+        return len(self.workers)
+
+    def history_of(self, worker_id: int) -> TaskHistory:
+        """Return the worker's history (empty history if unseen)."""
+        history = self.histories.get(worker_id)
+        if history is None:
+            history = TaskHistory(worker_id=worker_id, performed=[])
+            self.histories[worker_id] = history
+        return history
+
+    def with_tasks(self, tasks: list[Task]) -> "SCInstance":
+        """Return a shallow copy with a different task list (for sweeps)."""
+        return SCInstance(
+            name=self.name,
+            current_time=self.current_time,
+            tasks=tasks,
+            workers=self.workers,
+            histories=self.histories,
+            social_edges=self.social_edges,
+            all_worker_ids=self.all_worker_ids,
+            venue_visits=self.venue_visits,
+        )
+
+    def with_workers(self, workers: list[Worker]) -> "SCInstance":
+        """Return a shallow copy with a different worker list (for sweeps)."""
+        return SCInstance(
+            name=self.name,
+            current_time=self.current_time,
+            tasks=self.tasks,
+            workers=workers,
+            histories=self.histories,
+            social_edges=self.social_edges,
+            all_worker_ids=self.all_worker_ids,
+            venue_visits=self.venue_visits,
+        )
+
+
+class InstanceBuilder:
+    """Derives :class:`SCInstance` objects from a :class:`CheckInDataset`.
+
+    Parameters
+    ----------
+    dataset:
+        The source check-in dataset.
+    valid_hours:
+        Task validity ``phi`` (paper default 5 h).
+    reachable_km:
+        Worker reachable radius ``r`` (paper default 25 km).
+    speed_kmh:
+        Common worker speed (paper default 5 km/h).
+    """
+
+    def __init__(
+        self,
+        dataset: CheckInDataset,
+        valid_hours: float = 5.0,
+        reachable_km: float = 25.0,
+        speed_kmh: float = 5.0,
+    ) -> None:
+        if valid_hours < 0:
+            raise DataError(f"valid_hours must be non-negative, got {valid_hours}")
+        if reachable_km < 0:
+            raise DataError(f"reachable_km must be non-negative, got {reachable_km}")
+        self.dataset = dataset
+        self.valid_hours = valid_hours
+        self.reachable_km = reachable_km
+        self.speed_kmh = speed_kmh
+
+    # -------------------------------------------------------------- internals
+    def _histories_before(self, cutoff_hours: float) -> dict[int, TaskHistory]:
+        """Task-performing records from check-ins strictly before ``cutoff``."""
+        histories: dict[int, TaskHistory] = {}
+        per_user: dict[int, list[PerformedTask]] = {}
+        for checkin in self.dataset.checkins:
+            if checkin.time >= cutoff_hours:
+                break  # checkins are time-sorted
+            per_user.setdefault(checkin.user_id, []).append(
+                PerformedTask(
+                    location=checkin.location,
+                    arrival_time=checkin.time,
+                    completion_time=checkin.time,
+                    categories=checkin.categories,
+                    venue_id=checkin.venue_id,
+                )
+            )
+        for user_id in self.dataset.user_ids:
+            histories[user_id] = TaskHistory(
+                worker_id=user_id, performed=per_user.get(user_id, [])
+            )
+        return histories
+
+    def _venue_visits_before(self, cutoff_hours: float) -> dict[int, dict[int, int]]:
+        """Historical per-venue visit counts for location entropy."""
+        visits: dict[int, dict[int, int]] = {}
+        for checkin in self.dataset.checkins:
+            if checkin.time >= cutoff_hours:
+                break
+            per_user = visits.setdefault(checkin.venue_id, {})
+            per_user[checkin.user_id] = per_user.get(checkin.user_id, 0) + 1
+        return visits
+
+    def _worker_location(self, user_id: int, cutoff_hours: float) -> Point | None:
+        """Most recent check-in location strictly before ``cutoff``."""
+        best: Point | None = None
+        for checkin in self.dataset.checkins_by_user(user_id):
+            if checkin.time >= cutoff_hours:
+                break
+            best = checkin.location
+        return best
+
+    # ----------------------------------------------------------------- public
+    def build_day(
+        self,
+        day: int,
+        num_tasks: int | None = None,
+        num_workers: int | None = None,
+        valid_hours: float | None = None,
+        reachable_km: float | None = None,
+        assignment_hour: float | None = None,
+        seed: int = 0,
+    ) -> SCInstance:
+        """Build the instance for a zero-based ``day``.
+
+        ``num_tasks`` / ``num_workers`` sample the day's population uniformly
+        at random (capped at availability), replicating the paper's sweep
+        construction.  ``valid_hours`` / ``reachable_km`` override the
+        builder defaults for ϕ and r sweeps.
+
+        ``assignment_hour`` sets the assignment instant ``t`` as an offset
+        into the day.  The default (``None`` = hour 0) evaluates at the day
+        start, where deadlines ``s.p + s.ϕ`` almost never bind; a late
+        instant (e.g. 24.0 = day end) makes ϕ control the availability
+        window — a task stays assignable only if it was published within the
+        last ϕ hours — reproducing the paper's observation that the number
+        of available tasks grows with ϕ.
+        """
+        day_checkins = self.dataset.checkins_on_day(day)
+        if not day_checkins:
+            raise DataError(f"day {day} has no check-ins in {self.dataset.name!r}")
+        phi = self.valid_hours if valid_hours is None else valid_hours
+        radius = self.reachable_km if reachable_km is None else reachable_km
+        day_start = 24.0 * day
+        rng = np.random.default_rng(seed)
+
+        # Tasks: one per venue checked into today, published at the venue's
+        # earliest check-in of the day.
+        earliest: dict[int, float] = {}
+        for checkin in day_checkins:
+            prev = earliest.get(checkin.venue_id)
+            if prev is None or checkin.time < prev:
+                earliest[checkin.venue_id] = checkin.time
+        tasks = [
+            Task(
+                task_id=venue_id,
+                location=self.dataset.venues[venue_id].location,
+                publication_time=publication,
+                valid_hours=phi,
+                categories=self.dataset.venues[venue_id].categories,
+                venue_id=venue_id,
+            )
+            for venue_id, publication in sorted(earliest.items())
+        ]
+
+        # Workers: users active today, located at their most recent check-in
+        # (the day's first check-in if they have no earlier history).
+        active_users = sorted({c.user_id for c in day_checkins})
+        first_today: dict[int, Point] = {}
+        for checkin in day_checkins:
+            first_today.setdefault(checkin.user_id, checkin.location)
+        workers = []
+        for user_id in active_users:
+            location = self._worker_location(user_id, day_start) or first_today[user_id]
+            workers.append(
+                Worker(
+                    worker_id=user_id,
+                    location=location,
+                    reachable_km=radius,
+                    speed_kmh=self.speed_kmh,
+                )
+            )
+
+        if num_tasks is not None and num_tasks < len(tasks):
+            idx = rng.choice(len(tasks), size=num_tasks, replace=False)
+            tasks = [tasks[i] for i in sorted(idx)]
+        if num_workers is not None and num_workers < len(workers):
+            idx = rng.choice(len(workers), size=num_workers, replace=False)
+            workers = [workers[i] for i in sorted(idx)]
+
+        current_time = day_start if assignment_hour is None else day_start + assignment_hour
+        return SCInstance(
+            name=f"{self.dataset.name}@day{day}",
+            current_time=current_time,
+            tasks=tasks,
+            workers=workers,
+            histories=self._histories_before(day_start),
+            social_edges=list(self.dataset.social_edges),
+            all_worker_ids=tuple(self.dataset.user_ids),
+            venue_visits=self._venue_visits_before(day_start),
+        )
+
+    def richest_days(self, count: int = 4, min_day: int = 1) -> list[int]:
+        """Return the ``count`` days with the most check-ins (skipping the
+        history-less day 0 by default) — the paper runs over 4 days of a
+        month and averages."""
+        candidates = [d for d in self.dataset.active_days() if d >= min_day]
+        candidates.sort(key=lambda d: len(self.dataset.checkins_on_day(d)), reverse=True)
+        return sorted(candidates[:count])

@@ -1,0 +1,276 @@
+"""Synthetic check-in dataset generators (the BK/FS substitution).
+
+The paper's experiments need three statistical properties from the data:
+
+1. a **power-law social network** (IC propagation and the RPO bounds depend
+   on the degree distribution; edge probability is ``1/in-degree``);
+2. **self-similar worker movement** (Historical Acceptance fits a Pareto
+   distribution to jump lengths — we generate jumps from a Pareto law, so the
+   model's assumption holds by construction, as it empirically does for the
+   real datasets per the paper's citations [25]-[27]);
+3. **topical venue categories** (LDA models worker category documents as
+   topic mixtures — we sample user preferences from a Dirichlet over
+   latent topics aligned with the taxonomy's top-level groups).
+
+``brightkite_like()`` and ``foursquare_like()`` provide presets whose
+relative shapes (users vs. edges vs. check-in density) mirror BK and FS at
+roughly 1/25 scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+import networkx as nx
+import numpy as np
+
+from repro.data.categories import CATEGORY_TAXONOMY, group_names
+from repro.data.dataset import CheckInDataset, Venue
+from repro.entities import CheckIn
+from repro.exceptions import ConfigurationError
+from repro.geo import BoundingBox, Point
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of the synthetic check-in world.
+
+    Attributes
+    ----------
+    name:
+        Dataset label (appears in reports).
+    num_users:
+        Number of users; each user is a potential worker.
+    num_venues:
+        Number of venues; each venue can spawn tasks.
+    num_days:
+        Number of simulated days of check-ins.
+    area_km:
+        Side of the square world in kilometres.
+    num_clusters:
+        Number of spatial venue clusters (city districts).
+    cluster_std_km:
+        Standard deviation of venue scatter around a cluster centre.
+    ba_attachment:
+        Barabási–Albert attachment parameter ``m`` (edges per new node);
+        yields a power-law degree distribution like BK/FS friendships.
+    mean_checkins_per_user_day:
+        Poisson mean of a user's daily check-in count.
+    active_probability:
+        Probability a user checks in at all on a given day.
+    pareto_shape:
+        Shape of the Pareto jump-length distribution (self-similar movement).
+    topic_concentration:
+        Dirichlet concentration of per-user topic preferences; smaller means
+        more sharply topical users (easier for LDA, like real data).
+    categories_per_venue:
+        Maximum number of leaf categories attached to a venue.
+    seed:
+        Seed of the generator; the whole dataset is a pure function of the
+        config.
+    """
+
+    name: str = "synthetic"
+    num_users: int = 800
+    num_venues: int = 600
+    num_days: int = 30
+    area_km: float = 60.0
+    num_clusters: int = 12
+    cluster_std_km: float = 2.5
+    ba_attachment: int = 3
+    mean_checkins_per_user_day: float = 2.0
+    active_probability: float = 0.55
+    pareto_shape: float = 1.8
+    topic_concentration: float = 0.25
+    categories_per_venue: int = 3
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_users < 2:
+            raise ConfigurationError("num_users must be at least 2")
+        if self.num_venues < 1:
+            raise ConfigurationError("num_venues must be at least 1")
+        if self.num_days < 1:
+            raise ConfigurationError("num_days must be at least 1")
+        if self.area_km <= 0:
+            raise ConfigurationError("area_km must be positive")
+        if not 0 < self.active_probability <= 1:
+            raise ConfigurationError("active_probability must be in (0, 1]")
+        if self.pareto_shape <= 0:
+            raise ConfigurationError("pareto_shape must be positive")
+        if self.ba_attachment < 1 or self.ba_attachment >= self.num_users:
+            raise ConfigurationError("ba_attachment must be in [1, num_users)")
+
+    def scaled(self, **overrides: object) -> "SyntheticConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+def brightkite_like(seed: int = 7, scale: float = 1.0) -> SyntheticConfig:
+    """A BK-shaped preset: more users than venues, sparser check-ins.
+
+    Brightkite has 58k users / 214k edges (≈3.7 edges per user) and ≈77
+    check-ins per user over 2.5 years.  We keep those ratios at laptop scale.
+    """
+    n_users = max(50, int(4200 * scale))
+    return SyntheticConfig(
+        name="BK-like",
+        num_users=n_users,
+        num_venues=max(30, int(3400 * scale)),
+        num_days=30,
+        area_km=80.0,
+        num_clusters=16,
+        ba_attachment=2,
+        mean_checkins_per_user_day=2.0,
+        active_probability=0.55,
+        seed=seed,
+    )
+
+
+def foursquare_like(seed: int = 11, scale: float = 1.0) -> SyntheticConfig:
+    """An FS-shaped preset: fewer users, denser social graph and check-ins.
+
+    FourSquare has 11k users / 47k edges (≈4.2 edges per user) and ≈122
+    check-ins per user over one year.
+    """
+    n_users = max(50, int(3600 * scale))
+    return SyntheticConfig(
+        name="FS-like",
+        num_users=n_users,
+        num_venues=max(30, int(2800 * scale)),
+        num_days=30,
+        area_km=60.0,
+        num_clusters=10,
+        ba_attachment=3,
+        mean_checkins_per_user_day=2.4,
+        active_probability=0.65,
+        seed=seed,
+    )
+
+
+# --------------------------------------------------------------------------
+# generation internals
+# --------------------------------------------------------------------------
+
+def _make_social_graph(config: SyntheticConfig, rng: np.random.Generator) -> list[tuple[int, int]]:
+    """Undirected power-law friendship edges via Barabási–Albert."""
+    graph = nx.barabasi_albert_graph(
+        config.num_users, config.ba_attachment, seed=int(rng.integers(0, 2**31 - 1))
+    )
+    return [(int(u), int(v)) for u, v in graph.edges()]
+
+
+def _make_venues(config: SyntheticConfig, rng: np.random.Generator) -> tuple[dict[int, Venue], np.ndarray]:
+    """Clustered venues with topic-correlated categories.
+
+    Each spatial cluster leans towards one latent topic (= taxonomy group),
+    mimicking real cities where districts specialise (nightlife quarter,
+    office park, ...).  Returns the venues and the per-venue topic array.
+    """
+    groups = group_names()
+    num_topics = len(groups)
+    box = BoundingBox.square(config.area_km)
+    margin = min(config.area_km * 0.1, 5.0)
+    centers = rng.uniform(margin, config.area_km - margin, size=(config.num_clusters, 2))
+    # Each cluster has a Dirichlet lean over topics, sharp enough to specialise.
+    cluster_topic = rng.dirichlet([0.5] * num_topics, size=config.num_clusters)
+
+    venues: dict[int, Venue] = {}
+    venue_topics = np.empty(config.num_venues, dtype=int)
+    for venue_id in range(config.num_venues):
+        cluster = int(rng.integers(config.num_clusters))
+        xy = rng.normal(centers[cluster], config.cluster_std_km)
+        location = box.clamp(Point(float(xy[0]), float(xy[1])))
+        topic = int(rng.choice(num_topics, p=cluster_topic[cluster]))
+        leaves = CATEGORY_TAXONOMY[groups[topic]]
+        n_cats = int(rng.integers(1, config.categories_per_venue + 1))
+        cats = tuple(rng.choice(leaves, size=min(n_cats, len(leaves)), replace=False))
+        venues[venue_id] = Venue(venue_id=venue_id, location=location, categories=cats)
+        venue_topics[venue_id] = topic
+    return venues, venue_topics
+
+
+def _user_day_times(
+    count: int, day: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sorted check-in hours within ``day`` with a diurnal bias.
+
+    Check-ins concentrate between 08:00 and 23:00, drawn from a beta law so
+    that mornings and evenings are busier than midday tails.
+    """
+    hours = 8.0 + 15.0 * rng.beta(2.0, 2.0, size=count)
+    return np.sort(day * 24.0 + hours)
+
+
+def generate_dataset(config: SyntheticConfig) -> CheckInDataset:
+    """Generate a full synthetic check-in dataset from ``config``.
+
+    The procedure per user and day:
+
+    1. decide activity (Bernoulli ``active_probability``);
+    2. draw a Poisson number of check-ins;
+    3. choose each venue by a product of *topical preference* (user's
+       Dirichlet topic mix vs. venue topic) and *distance decay* from the
+       user's current position with Pareto-tailed jump lengths;
+    4. move the user to the chosen venue.
+    """
+    rng = np.random.default_rng(config.seed)
+    social_edges = _make_social_graph(config, rng)
+    venues, venue_topics = _make_venues(config, rng)
+    groups = group_names()
+    num_topics = len(groups)
+
+    venue_xy = np.array([(venues[v].location.x, venues[v].location.y) for v in range(config.num_venues)])
+
+    # Per-user topical preference over taxonomy groups.
+    user_pref = rng.dirichlet([config.topic_concentration] * num_topics, size=config.num_users)
+    # Topical affinity of every user for every venue: pref[user, topic_of_venue].
+    user_venue_topical = user_pref[:, venue_topics] + 1e-6  # (num_users, num_venues)
+
+    # Distance-decay kernel between every venue pair, precomputed once:
+    # the Pareto-tailed density (d + 1)^-(shape + 1) that HA assumes.
+    delta = venue_xy[:, None, :] - venue_xy[None, :, :]
+    venue_decay = (np.sqrt((delta**2).sum(axis=2)) + 1.0) ** (-(config.pareto_shape + 1.0))
+
+    # Start each user at a random venue (their "home").
+    current_venue = rng.integers(config.num_venues, size=config.num_users)
+
+    checkins: list[CheckIn] = []
+    for day in range(config.num_days):
+        active = rng.random(config.num_users) < config.active_probability
+        counts = rng.poisson(config.mean_checkins_per_user_day, size=config.num_users)
+        for user_id in np.nonzero(active & (counts > 0))[0]:
+            user_id = int(user_id)
+            times = _user_day_times(int(counts[user_id]), day, rng)
+            topical = user_venue_topical[user_id]
+            for time in times:
+                weights = venue_decay[current_venue[user_id]] * topical
+                cumulative = np.cumsum(weights)
+                total = float(cumulative[-1])
+                if total <= 0 or not math.isfinite(total):
+                    venue_id = int(rng.integers(config.num_venues))
+                else:
+                    venue_id = int(
+                        np.searchsorted(cumulative, rng.random() * total, side="right")
+                    )
+                    venue_id = min(venue_id, config.num_venues - 1)
+                venue = venues[venue_id]
+                checkins.append(
+                    CheckIn(
+                        user_id=user_id,
+                        venue_id=venue_id,
+                        location=venue.location,
+                        time=float(time),
+                        categories=venue.categories,
+                    )
+                )
+                current_venue[user_id] = venue_id
+
+    return CheckInDataset.build(
+        name=config.name,
+        venues=venues.values(),
+        checkins=checkins,
+        social_edges=social_edges,
+        user_ids=range(config.num_users),
+    )

@@ -1,0 +1,228 @@
+"""Dataset validation: verify the statistical claims DESIGN.md §2 makes.
+
+The synthetic worlds stand in for Brightkite/FourSquare on the argument
+that they preserve the statistics the algorithms consume.  This module
+turns that argument into checks a pipeline can run on *any* dataset
+(synthetic or loaded from SNAP files):
+
+* **structural integrity** — referencing consistency, time-sortedness,
+  self-loop-free social edges;
+* **degree heavy-tail** — the social graph should be heavy-tailed
+  (max degree far above the mean; a large share of degree mass in the top
+  decile), as IC propagation behaviour depends on it;
+* **movement self-similarity** — per-user jump lengths should be closer in
+  log-likelihood to a Pareto fit than to an exponential fit (the HA
+  assumption);
+* **category concentration** — per-user category documents should be
+  concentrated (low normalized entropy) rather than uniform, or LDA topics
+  carry no signal.
+
+Each check returns a :class:`CheckResult`; :func:`validate_dataset` bundles
+them into a report.  Checks are diagnostics, not gates — they report
+measurements along with the pass verdict.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import CheckInDataset
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one validation check."""
+
+    name: str
+    passed: bool
+    measurements: dict[str, float] = field(default_factory=dict)
+    detail: str = ""
+
+    def __str__(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        numbers = ", ".join(f"{k}={v:.4g}" for k, v in self.measurements.items())
+        return f"[{verdict}] {self.name}: {numbers} {self.detail}".rstrip()
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All check results for one dataset."""
+
+    dataset: str
+    checks: tuple[CheckResult, ...]
+
+    @property
+    def passed(self) -> bool:
+        """True when every check passed."""
+        return all(check.passed for check in self.checks)
+
+    def __str__(self) -> str:
+        lines = [f"validation of {self.dataset}:"]
+        lines.extend(f"  {check}" for check in self.checks)
+        return "\n".join(lines)
+
+
+def check_integrity(dataset: CheckInDataset) -> CheckResult:
+    """Referential and ordering invariants (cheap, exact)."""
+    users = set(dataset.user_ids)
+    problems = []
+    times = [c.time for c in dataset.checkins]
+    if times != sorted(times):
+        problems.append("check-ins not time-sorted")
+    if any(u == v for u, v in dataset.social_edges):
+        problems.append("self-loop in social edges")
+    if any(c.user_id not in users for c in dataset.checkins):
+        problems.append("check-in references unknown user")
+    if any(c.venue_id not in dataset.venues for c in dataset.checkins):
+        problems.append("check-in references unknown venue")
+    return CheckResult(
+        name="integrity",
+        passed=not problems,
+        measurements={
+            "users": float(dataset.num_users),
+            "venues": float(dataset.num_venues),
+            "checkins": float(dataset.num_checkins),
+        },
+        detail="; ".join(problems),
+    )
+
+
+def check_degree_heavy_tail(
+    dataset: CheckInDataset, min_ratio: float = 3.0, min_top_decile_share: float = 0.25
+) -> CheckResult:
+    """The friendship graph should be heavy-tailed, not Erdős–Rényi-flat.
+
+    Passes when the max degree is at least ``min_ratio`` times the mean and
+    the top decile of users holds at least ``min_top_decile_share`` of all
+    degree mass.
+    """
+    degree: Counter[int] = Counter()
+    for u, v in dataset.social_edges:
+        degree[u] += 1
+        degree[v] += 1
+    if not degree:
+        return CheckResult("degree-heavy-tail", False, detail="no social edges")
+    values = np.sort(np.fromiter(degree.values(), dtype=float))[::-1]
+    mean = float(values.mean())
+    ratio = float(values[0]) / max(mean, 1e-12)
+    top = max(1, len(values) // 10)
+    share = float(values[:top].sum() / values.sum())
+    return CheckResult(
+        name="degree-heavy-tail",
+        passed=ratio >= min_ratio and share >= min_top_decile_share,
+        measurements={
+            "max_over_mean": ratio,
+            "top_decile_share": share,
+            "max_degree": float(values[0]),
+        },
+    )
+
+
+def _jump_lengths(dataset: CheckInDataset, min_history: int = 3) -> list[np.ndarray]:
+    """Per-user consecutive check-in distances (users with enough history)."""
+    jumps = []
+    for user_id in dataset.user_ids:
+        checkins = dataset.checkins_by_user(user_id)
+        if len(checkins) < min_history:
+            continue
+        locations = [c.location for c in checkins]
+        jumps.append(
+            np.array(
+                [a.distance_to(b) for a, b in zip(locations, locations[1:])]
+            )
+        )
+    return jumps
+
+
+def check_movement_self_similarity(
+    dataset: CheckInDataset, min_pareto_win_rate: float = 0.5
+) -> CheckResult:
+    """Pareto should beat exponential on per-user jump log-likelihood.
+
+    This is HA's modeling assumption (paper §III-B): self-similar movement.
+    For each user with history, fit both families by MLE on the shifted
+    jumps ``x = d + 1`` and compare mean log-likelihoods; the check passes
+    when Pareto wins for at least ``min_pareto_win_rate`` of users.
+    """
+    wins, total = 0, 0
+    for jumps in _jump_lengths(dataset):
+        x = jumps + 1.0
+        log_x = np.log(x)
+        if log_x.sum() <= 0:
+            continue  # degenerate user who never moved
+        total += 1
+        # Pareto(omega=1): shape = n / sum(ln x); ll = n ln(shape) - (shape+1) sum(ln x)
+        shape = len(x) / log_x.sum()
+        ll_pareto = len(x) * math.log(shape) - (shape + 1.0) * log_x.sum()
+        # Exponential on d: rate = 1/mean; ll = n ln(rate) - rate * sum(d)
+        mean = float(jumps.mean())
+        if mean <= 0:
+            continue
+        rate = 1.0 / mean
+        ll_exponential = len(jumps) * math.log(rate) - rate * float(jumps.sum())
+        if ll_pareto > ll_exponential:
+            wins += 1
+    if total == 0:
+        return CheckResult(
+            "movement-self-similarity", False, detail="no users with mobile history"
+        )
+    rate = wins / total
+    return CheckResult(
+        name="movement-self-similarity",
+        passed=rate >= min_pareto_win_rate,
+        measurements={"pareto_win_rate": rate, "users_tested": float(total)},
+    )
+
+
+def check_category_concentration(
+    dataset: CheckInDataset, max_mean_normalized_entropy: float = 0.9
+) -> CheckResult:
+    """Per-user category documents should be concentrated, not uniform.
+
+    Normalized entropy of a user's category counts lies in [0, 1]; 1 means
+    perfectly uniform interest (LDA learns nothing).  Passes when the mean
+    over users with >= 2 distinct categories stays below the threshold.
+    """
+    entropies = []
+    for user_id in dataset.user_ids:
+        counts = Counter(
+            category
+            for checkin in dataset.checkins_by_user(user_id)
+            for category in checkin.categories
+        )
+        if len(counts) < 2:
+            continue
+        total = sum(counts.values())
+        probabilities = np.array([c / total for c in counts.values()])
+        entropy = float(-(probabilities * np.log(probabilities)).sum())
+        entropies.append(entropy / math.log(len(counts)))
+    if not entropies:
+        return CheckResult(
+            "category-concentration", False, detail="no users with >= 2 categories"
+        )
+    mean_entropy = float(np.mean(entropies))
+    return CheckResult(
+        name="category-concentration",
+        passed=mean_entropy <= max_mean_normalized_entropy,
+        measurements={
+            "mean_normalized_entropy": mean_entropy,
+            "users_tested": float(len(entropies)),
+        },
+    )
+
+
+def validate_dataset(dataset: CheckInDataset) -> ValidationReport:
+    """Run every check and bundle the results."""
+    return ValidationReport(
+        dataset=dataset.name,
+        checks=(
+            check_integrity(dataset),
+            check_degree_heavy_tail(dataset),
+            check_movement_self_similarity(dataset),
+            check_category_concentration(dataset),
+        ),
+    )

@@ -1,0 +1,22 @@
+"""Core domain entities of the spatial-crowdsourcing platform.
+
+These mirror the paper's Definitions 1-4: spatial tasks, workers, worker-task
+assignments, plus check-ins and historical task-performing records used by
+the influence model.
+"""
+
+from repro.entities.task import Task
+from repro.entities.worker import Worker
+from repro.entities.checkin import CheckIn
+from repro.entities.records import PerformedTask, TaskHistory
+from repro.entities.assignment import Assignment, AssignedPair
+
+__all__ = [
+    "Task",
+    "Worker",
+    "CheckIn",
+    "PerformedTask",
+    "TaskHistory",
+    "Assignment",
+    "AssignedPair",
+]

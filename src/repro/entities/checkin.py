@@ -1,0 +1,48 @@
+"""Check-in events, the raw material of both datasets.
+
+A check-in records that a user visited a venue at a time.  The simulator
+derives tasks (from venues), worker availability (from check-in times) and
+historical task-performing records (from past check-ins) from these events,
+exactly as the paper's experimental setup does (Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo import Point
+
+
+@dataclass(frozen=True, slots=True)
+class CheckIn:
+    """A single user check-in.
+
+    Attributes
+    ----------
+    user_id:
+        The user (future worker) who checked in.
+    venue_id:
+        The venue visited.
+    location:
+        Venue location (planar km).
+    time:
+        Hours since the dataset epoch.
+    categories:
+        Venue category labels.
+    """
+
+    user_id: int
+    venue_id: int
+    location: Point
+    time: float
+    categories: tuple[str, ...] = ()
+
+    @property
+    def day(self) -> int:
+        """The zero-based day index of this check-in (24 h granularity)."""
+        return int(self.time // 24.0)
+
+    @property
+    def hour_of_day(self) -> float:
+        """Hours elapsed since that day's midnight."""
+        return self.time - 24.0 * self.day

@@ -1,0 +1,84 @@
+"""Historical task-performing records (the ``S_w`` of paper Section III-B).
+
+``S_w = {(s_1, ta_1, tl_1), ...}`` is a worker's chronological sequence of
+performed tasks with arrival and completion times.  Both the Historical
+Acceptance willingness model and the LDA affinity model consume these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.geo import Point
+
+
+@dataclass(frozen=True, slots=True)
+class PerformedTask:
+    """One completed task in a worker's history: ``(s_i, ta_i, tl_i)``."""
+
+    location: Point
+    arrival_time: float
+    completion_time: float
+    categories: tuple[str, ...] = ()
+    venue_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.completion_time < self.arrival_time:
+            raise ValueError(
+                f"completion_time {self.completion_time} precedes "
+                f"arrival_time {self.arrival_time}"
+            )
+
+
+@dataclass(slots=True)
+class TaskHistory:
+    """A worker's full historical task-performing record, time-ordered.
+
+    The constructor sorts by arrival time, so callers may pass records in any
+    order.  Iteration yields :class:`PerformedTask` chronologically.
+    """
+
+    worker_id: int
+    performed: list[PerformedTask] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.performed = sorted(self.performed, key=lambda p: p.arrival_time)
+
+    def __len__(self) -> int:
+        return len(self.performed)
+
+    def __iter__(self) -> Iterator[PerformedTask]:
+        return iter(self.performed)
+
+    def add(self, record: PerformedTask) -> None:
+        """Insert ``record`` keeping chronological order."""
+        self.performed.append(record)
+        self.performed.sort(key=lambda p: p.arrival_time)
+
+    @property
+    def locations(self) -> list[Point]:
+        """Visited locations in chronological order."""
+        return [p.location for p in self.performed]
+
+    @property
+    def category_document(self) -> list[str]:
+        """All categories of performed tasks, in order — the LDA document
+        ``dc_w`` of paper Figure 3."""
+        doc: list[str] = []
+        for record in self.performed:
+            doc.extend(record.categories)
+        return doc
+
+    def venue_visit_counts(self) -> dict[int, int]:
+        """Return ``venue_id -> number of visits`` (ignores ``None`` venues)."""
+        counts: dict[int, int] = {}
+        for record in self.performed:
+            if record.venue_id is not None:
+                counts[record.venue_id] = counts.get(record.venue_id, 0) + 1
+        return counts
+
+    @staticmethod
+    def from_records(worker_id: int, records: Iterable[PerformedTask]) -> "TaskHistory":
+        """Build a history from any iterable of performed-task records."""
+        return TaskHistory(worker_id=worker_id, performed=list(records))

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch every library failure with a single ``except`` clause while still
+being able to discriminate on the specific subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or combination of parameters was supplied."""
+
+
+class DataError(ReproError):
+    """A dataset is malformed, empty, or otherwise unusable."""
+
+
+class NotFittedError(ReproError):
+    """A model was queried before it was trained/fitted."""
+
+
+class GraphError(ReproError):
+    """A graph structure violates an invariant (bad node, bad edge, ...)."""
+
+
+class FlowError(GraphError):
+    """A flow-network operation failed (infeasible flow, bad capacity, ...)."""
+
+
+class AssignmentError(ReproError):
+    """Task assignment could not be performed on the given instance."""

@@ -1,0 +1,49 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+* :class:`ExperimentSettings` — scales the paper's parameter grids
+  (Table II and the sweep ranges of Figures 5-16) to a chosen dataset size;
+* :class:`ExperimentRunner` — fits the DITA models once per (dataset, day)
+  and reuses them across all sweep points, then runs the requested
+  algorithms and collects the five metrics;
+* :func:`run_ablation_sweep` — Figures 5-8 (IA vs IA-WP / IA-AP / IA-AW);
+* :func:`run_comparison_sweep` — Figures 9-16 (MTA / IA / EIA / DIA / MI);
+* :mod:`repro.experiments.tables` — plain-text rendering of result series.
+"""
+
+from repro.experiments.settings import ExperimentSettings
+from repro.experiments.runner import ExperimentRunner, SweepResult
+from repro.experiments.ablation import ABLATION_NAMES, run_ablation_sweep
+from repro.experiments.comparison import COMPARISON_ALGORITHMS, run_comparison_sweep
+from repro.experiments.tables import format_series, format_sweep_table
+from repro.experiments.io import export_csv, load_sweep, save_sweep
+from repro.experiments.report import render_report, sweep_section, write_report
+from repro.experiments.stats import (
+    ConfidenceInterval,
+    PairedDelta,
+    bootstrap_ci,
+    paired_bootstrap_delta,
+    summarize_runs,
+)
+
+__all__ = [
+    "ExperimentSettings",
+    "ExperimentRunner",
+    "SweepResult",
+    "run_ablation_sweep",
+    "run_comparison_sweep",
+    "ABLATION_NAMES",
+    "COMPARISON_ALGORITHMS",
+    "format_series",
+    "format_sweep_table",
+    "save_sweep",
+    "load_sweep",
+    "export_csv",
+    "render_report",
+    "sweep_section",
+    "write_report",
+    "ConfidenceInterval",
+    "PairedDelta",
+    "bootstrap_ci",
+    "paired_bootstrap_delta",
+    "summarize_runs",
+]

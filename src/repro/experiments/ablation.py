@@ -1,0 +1,44 @@
+"""Influence-modeling ablations: Figures 5-8 (paper Section V-B1).
+
+Four configurations of the IA algorithm, differing only in which influence
+components drive the assignment:
+
+* ``IA``    — full influence (affinity x willingness x propagation);
+* ``IA-WP`` — willingness + propagation (no affinity);
+* ``IA-AP`` — affinity + propagation (no willingness);
+* ``IA-AW`` — affinity + willingness (no propagation).
+
+All four are *scored* on the full influence (Average Influence, Eq. 6),
+which is what makes the comparison meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.assignment import Assigner, IAAssigner
+from repro.experiments.runner import ExperimentRunner, SweepResult
+from repro.framework.dita import FittedModels
+from repro.influence import InfluenceComponents
+
+#: Names of the four ablation configurations, in the paper's order.
+ABLATION_NAMES: tuple[str, ...] = ("IA", "IA-WP", "IA-AP", "IA-AW")
+
+
+def ablation_algorithms(
+    fitted: FittedModels,
+) -> Mapping[str, tuple[Assigner, InfluenceComponents | None]]:
+    """The factory handed to :meth:`ExperimentRunner.run_sweep`."""
+    return {
+        "IA": (IAAssigner(), None),
+        "IA-WP": (IAAssigner(), InfluenceComponents.without_affinity()),
+        "IA-AP": (IAAssigner(), InfluenceComponents.without_willingness()),
+        "IA-AW": (IAAssigner(), InfluenceComponents.without_propagation()),
+    }
+
+
+def run_ablation_sweep(
+    runner: ExperimentRunner, parameter: str, values: Sequence[float]
+) -> SweepResult:
+    """Run one of the Figure 5-8 sweeps and return the AI series."""
+    return runner.run_sweep(parameter, values, ablation_algorithms)

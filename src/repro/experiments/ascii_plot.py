@@ -1,0 +1,65 @@
+"""Terminal line plots for sweep results.
+
+The paper's figures are line charts; :func:`plot_series` renders an ASCII
+approximation so trends and crossovers are visible directly in a terminal
+or CI log, next to the exact numbers from :mod:`repro.experiments.tables`.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import SweepResult
+
+#: Marker characters cycled over algorithms.
+_MARKERS = "*o+x#@%&"
+
+
+def plot_series(
+    result: SweepResult,
+    metric: str,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render one metric of every algorithm as an ASCII line chart.
+
+    The x axis spans the sweep values, the y axis the metric range; each
+    algorithm gets a marker from :data:`_MARKERS`, listed in the legend.
+    """
+    algorithms = result.algorithms()
+    if not algorithms:
+        raise ValueError("empty sweep result")
+    series = {a: result.metric_series(a, metric) for a in algorithms}
+    y_min = min(min(s) for s in series.values())
+    y_max = max(max(s) for s in series.values())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    x_positions = [
+        round(i * (width - 1) / max(len(result.values) - 1, 1))
+        for i in range(len(result.values))
+    ]
+    for index, algorithm in enumerate(algorithms):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, value in zip(x_positions, series[algorithm]):
+            y = round((value - y_min) / (y_max - y_min) * (height - 1))
+            row = height - 1 - y
+            grid[row][x] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:>10.4f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_min:>10.4f} ┤" + "".join(grid[-1]))
+    left = f"{result.values[0]:g}"
+    right = f"{result.values[-1]:g}"
+    padding = max(width - len(left) - len(right), 1)
+    lines.append(" " * 12 + left + " " * padding + right)
+    lines.append(" " * 12 + f"({result.parameter})")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {a}" for i, a in enumerate(algorithms)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Persisting sweep results: JSON round-trip and CSV export.
+
+Experiment campaigns are expensive; this module lets the CLI and the
+benches save every :class:`~repro.experiments.SweepResult` to disk and
+reload it for later inspection or regression comparison.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.experiments.runner import SweepResult
+from repro.framework.metrics import MetricsResult
+
+#: Serialized metric fields, in column order.
+_FIELDS = (
+    "num_assigned",
+    "average_influence",
+    "average_propagation",
+    "average_travel_km",
+    "cpu_seconds",
+)
+
+
+def sweep_to_dict(result: SweepResult) -> dict:
+    """Convert a sweep result to a JSON-serializable dict."""
+    return {
+        "parameter": result.parameter,
+        "values": list(result.values),
+        "series": {
+            algorithm: {
+                str(value): {field: getattr(metrics, field) for field in _FIELDS}
+                for value, metrics in rows.items()
+            }
+            for algorithm, rows in result.series.items()
+        },
+    }
+
+
+def sweep_from_dict(payload: dict) -> SweepResult:
+    """Inverse of :func:`sweep_to_dict`."""
+    result = SweepResult(
+        parameter=payload["parameter"],
+        values=tuple(float(v) for v in payload["values"]),
+    )
+    for algorithm, rows in payload["series"].items():
+        result.series[algorithm] = {
+            float(value): MetricsResult(
+                algorithm=algorithm,
+                num_assigned=int(fields["num_assigned"]),
+                average_influence=float(fields["average_influence"]),
+                average_propagation=float(fields["average_propagation"]),
+                average_travel_km=float(fields["average_travel_km"]),
+                cpu_seconds=float(fields["cpu_seconds"]),
+            )
+            for value, fields in rows.items()
+        }
+    return result
+
+
+def save_sweep(result: SweepResult, path: str | Path) -> Path:
+    """Write a sweep result as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(sweep_to_dict(result), indent=2, sort_keys=True))
+    return path
+
+
+def load_sweep(path: str | Path) -> SweepResult:
+    """Load a sweep result saved by :func:`save_sweep`."""
+    return sweep_from_dict(json.loads(Path(path).read_text()))
+
+
+def export_csv(result: SweepResult, path: str | Path) -> Path:
+    """Write the sweep as a flat CSV (one row per algorithm x value)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["algorithm", result.parameter, *(f for f in _FIELDS)])
+        for algorithm, rows in result.series.items():
+            for value in result.values:
+                metrics = rows[value]
+                writer.writerow(
+                    [algorithm, value, *(getattr(metrics, field) for field in _FIELDS)]
+                )
+    return path

@@ -1,0 +1,116 @@
+"""Markdown report generation from sweep results (extension).
+
+Turns one or more :class:`~repro.experiments.SweepResult` objects into a
+GitHub-flavoured markdown document in the style of EXPERIMENTS.md: one
+section per sweep, one table per metric, plus an automatically derived
+"shape summary" (who wins on average, monotonicity of each series) so a
+reader can compare against the paper's claims without staring at numbers.
+
+Used by the CLI (``sweep --markdown out.md``) and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.runner import SweepResult
+from repro.experiments.tables import METRIC_LABELS
+
+
+def _mean(series: list[float]) -> float:
+    return sum(series) / len(series) if series else 0.0
+
+
+def _trend(series: list[float], tolerance: float = 1e-9) -> str:
+    """Classify a series as rising / falling / flat / mixed."""
+    if len(series) < 2:
+        return "flat"
+    deltas = [b - a for a, b in zip(series, series[1:])]
+    if all(abs(d) <= tolerance for d in deltas):
+        return "flat"
+    if all(d >= -tolerance for d in deltas):
+        return "rising"
+    if all(d <= tolerance for d in deltas):
+        return "falling"
+    return "mixed"
+
+
+def metric_table(result: SweepResult, metric: str) -> str:
+    """One metric as a markdown table (algorithms x sweep values)."""
+    if metric not in METRIC_LABELS:
+        raise ValueError(
+            f"unknown metric {metric!r} (choose from {sorted(METRIC_LABELS)})"
+        )
+    header = (
+        f"| algorithm | " + " | ".join(f"{v:g}" for v in result.values) + " |"
+    )
+    divider = "|---" * (len(result.values) + 1) + "|"
+    rows = []
+    for algorithm in result.algorithms():
+        series = result.metric_series(algorithm, metric)
+        cells = " | ".join(f"{v:.4f}" for v in series)
+        rows.append(f"| {algorithm} | {cells} |")
+    return "\n".join([header, divider, *rows])
+
+
+def shape_summary(result: SweepResult) -> str:
+    """Bullet list of derived shapes: per-metric winner and trends."""
+    lines = []
+    for metric, label in METRIC_LABELS.items():
+        means = {
+            algorithm: _mean(result.metric_series(algorithm, metric))
+            for algorithm in result.algorithms()
+        }
+        if not means:
+            continue
+        best = max(means, key=lambda a: means[a])
+        worst = min(means, key=lambda a: means[a])
+        trends = {
+            algorithm: _trend(result.metric_series(algorithm, metric))
+            for algorithm in result.algorithms()
+        }
+        trend_text = ", ".join(f"{a}: {t}" for a, t in trends.items())
+        lines.append(
+            f"- **{label}** — highest mean: {best} ({means[best]:.4g}), "
+            f"lowest: {worst} ({means[worst]:.4g}); trends vs "
+            f"{result.parameter}: {trend_text}"
+        )
+    return "\n".join(lines)
+
+
+def sweep_section(result: SweepResult, title: str) -> str:
+    """A full markdown section for one sweep."""
+    parts = [f"## {title}", "", shape_summary(result), ""]
+    for metric, label in METRIC_LABELS.items():
+        parts.append(f"### {label}")
+        parts.append("")
+        parts.append(metric_table(result, metric))
+        parts.append("")
+    return "\n".join(parts)
+
+
+def render_report(
+    sections: dict[str, SweepResult],
+    heading: str = "Sweep report",
+    preamble: str = "",
+) -> str:
+    """Assemble a full markdown report from named sweeps."""
+    parts = [f"# {heading}", ""]
+    if preamble:
+        parts.extend([preamble, ""])
+    for title, result in sections.items():
+        parts.append(sweep_section(result, title))
+    return "\n".join(parts).rstrip() + "\n"
+
+
+def write_report(
+    sections: dict[str, SweepResult],
+    path: str | Path,
+    heading: str = "Sweep report",
+    preamble: str = "",
+) -> Path:
+    """Render and write the report; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_report(sections, heading=heading, preamble=preamble))
+    return path

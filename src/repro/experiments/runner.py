@@ -1,0 +1,147 @@
+"""The sweep runner: fit models once per day, sweep parameters cheaply.
+
+Key observation exploited here: the fitted influence components (LDA
+affinity, HA willingness, RRR propagation) depend only on the *historical*
+records and the social network — not on which tasks/workers are sampled into
+an instance, nor on ϕ or r.  So the expensive fits happen once per
+(dataset, day) and are shared by every sweep point, mirroring how the paper
+could evaluate many configurations against one trained model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.assignment.base import Assigner
+from repro.data.dataset import CheckInDataset
+from repro.data.instance import InstanceBuilder, SCInstance
+from repro.experiments.settings import ExperimentSettings
+from repro.framework.config import PipelineConfig
+from repro.framework.dita import DITAPipeline, FittedModels
+from repro.framework.metrics import MetricsResult
+from repro.framework.simulator import AlgorithmRun, Simulator
+from repro.influence import InfluenceComponents
+
+
+@dataclass
+class SweepResult:
+    """Results of one sweep: ``series[algorithm][sweep_value] -> metrics``."""
+
+    parameter: str
+    values: tuple[float, ...]
+    series: dict[str, dict[float, MetricsResult]] = field(default_factory=dict)
+
+    def metric_series(self, algorithm: str, metric: str) -> list[float]:
+        """One metric of one algorithm along the sweep, in value order."""
+        rows = self.series[algorithm]
+        return [float(getattr(rows[v], metric)) for v in self.values]
+
+    def algorithms(self) -> list[str]:
+        """Algorithm names present, insertion-ordered."""
+        return list(self.series)
+
+
+class ExperimentRunner:
+    """Runs parameter sweeps over one dataset with per-day model caching."""
+
+    def __init__(
+        self,
+        dataset: CheckInDataset,
+        settings: ExperimentSettings | None = None,
+        pipeline_config: PipelineConfig | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.settings = settings or ExperimentSettings()
+        self.pipeline_config = pipeline_config or PipelineConfig()
+        self.pipeline = DITAPipeline(self.pipeline_config)
+        self.builder = InstanceBuilder(
+            dataset,
+            valid_hours=self.settings.defaults.valid_hours,
+            reachable_km=self.settings.defaults.reachable_km,
+            speed_kmh=self.settings.defaults.speed_kmh,
+        )
+        self._fitted: dict[int, FittedModels] = {}
+        self.days = self.builder.richest_days(count=self.settings.num_days)
+
+    def fitted_models(self, day: int) -> FittedModels:
+        """Fit (or reuse) the DITA models for one day."""
+        if day not in self._fitted:
+            self._fitted[day] = self.pipeline.fit(self.builder.build_day(day))
+        return self._fitted[day]
+
+    def build_instance(self, day: int, **overrides: float | int | None) -> SCInstance:
+        """Build the day's instance with sweep overrides applied."""
+        return self.builder.build_day(
+            day,
+            num_tasks=overrides.get("num_tasks", self.settings.default_tasks),  # type: ignore[arg-type]
+            num_workers=overrides.get("num_workers", self.settings.default_workers),  # type: ignore[arg-type]
+            valid_hours=overrides.get("valid_hours"),  # type: ignore[arg-type]
+            reachable_km=overrides.get("reachable_km"),  # type: ignore[arg-type]
+            assignment_hour=self.settings.assignment_hour,
+            seed=self.settings.seed,
+        )
+
+    def run_sweep(
+        self,
+        parameter: str,
+        values: Sequence[float],
+        algorithms_factory: Callable[[FittedModels], Mapping[str, tuple[Assigner, InfluenceComponents | None]]],
+    ) -> SweepResult:
+        """Sweep ``parameter`` over ``values``.
+
+        ``algorithms_factory`` maps the day's fitted models to the
+        algorithms to run: ``name -> (assigner, components-or-None)`` where
+        the components select an ablated influence model for assignment
+        (``None`` = full model).  Metrics are always scored with the full
+        model, as in the paper.
+        """
+        if parameter not in ("num_tasks", "num_workers", "valid_hours", "reachable_km"):
+            raise ValueError(f"unknown sweep parameter {parameter!r}")
+        result = SweepResult(parameter=parameter, values=tuple(float(v) for v in values))
+        accumulators: dict[str, dict[float, AlgorithmRun]] = {}
+
+        simulator = Simulator(self.pipeline_config, scoring_model="full")
+        for day in self.days:
+            fitted = self.fitted_models(day)
+            full_model = fitted.influence_model()
+            algorithms = algorithms_factory(fitted)
+            # Group algorithms by their (ablated) influence model so that
+            # each group shares one PreparedInstance — i.e. one influence
+            # matrix — per sweep point.
+            groups: dict[InfluenceComponents | None, list[tuple[str, Assigner]]] = {}
+            for name, (assigner, components) in algorithms.items():
+                groups.setdefault(components, []).append((name, assigner))
+            models = {
+                components: (
+                    full_model
+                    if components is None
+                    else fitted.influence_model(components)
+                )
+                for components in groups
+            }
+            for value in result.values:
+                overrides: dict[str, float | int | None] = {}
+                if parameter in ("num_tasks", "num_workers"):
+                    overrides[parameter] = int(value)
+                else:
+                    overrides[parameter] = value
+                instance = self.build_instance(day, **overrides)
+                for components, members in groups.items():
+                    metrics_list = simulator.run_instance(
+                        instance,
+                        [assigner for _, assigner in members],
+                        influence_model=models[components],
+                        full_model=full_model,
+                    )
+                    for (name, _), metrics in zip(members, metrics_list):
+                        run = accumulators.setdefault(name, {}).setdefault(
+                            value, AlgorithmRun(name)
+                        )
+                        run.per_day.append(metrics)
+
+        for name, per_value in accumulators.items():
+            result.series[name] = {
+                value: run.average() for value, run in per_value.items()
+            }
+        return result

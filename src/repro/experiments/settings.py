@@ -1,0 +1,80 @@
+"""Experiment scaling: the paper's grids, proportionally shrunk.
+
+The paper sweeps |S| in {500..2500} and |W| in {400..2000} over datasets of
+58k (BK) / 11k (FS) users.  Our synthetic worlds default to ~1/10 of the
+population, so the harness scales the task/worker grids by the same factor
+while keeping the ϕ and r grids absolute (they are physical quantities).
+``scale=1.0`` reproduces the paper's absolute grid sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.framework.config import PaperDefaults
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Scaled experiment grids.
+
+    Attributes
+    ----------
+    scale:
+        Population scale factor relative to the paper's grids.
+    num_days:
+        Days averaged per configuration (paper: 4).
+    assignment_hour:
+        Assignment instant as an offset into the day (see
+        :meth:`~repro.data.InstanceBuilder.build_day`); ``None`` evaluates
+        at the day start.  The ϕ sweeps use 24.0 so that task deadlines
+        actually bind.
+    defaults:
+        The Table II parameter values.
+    """
+
+    scale: float = 0.25
+    num_days: int = 2
+    seed: int = 7
+    assignment_hour: float | None = None
+    defaults: PaperDefaults = field(default_factory=PaperDefaults)
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {self.scale}")
+        if self.num_days < 1:
+            raise ConfigurationError("num_days must be >= 1")
+
+    def _scaled(self, value: int) -> int:
+        return max(10, round(value * self.scale))
+
+    @property
+    def default_tasks(self) -> int:
+        """Scaled Table II default |S| = 1500."""
+        return self._scaled(self.defaults.num_tasks)
+
+    @property
+    def default_workers(self) -> int:
+        """Scaled Table II default |W| = 1200."""
+        return self._scaled(self.defaults.num_workers)
+
+    @property
+    def task_sweep(self) -> tuple[int, ...]:
+        """Scaled |S| grid (paper: 500..2500)."""
+        return tuple(self._scaled(v) for v in self.defaults.task_sweep)
+
+    @property
+    def worker_sweep(self) -> tuple[int, ...]:
+        """Scaled |W| grid (paper: 400..2000)."""
+        return tuple(self._scaled(v) for v in self.defaults.worker_sweep)
+
+    @property
+    def valid_hours_sweep(self) -> tuple[float, ...]:
+        """The ϕ grid in hours (absolute, paper: 1..6)."""
+        return self.defaults.valid_hours_sweep
+
+    @property
+    def radius_sweep(self) -> tuple[float, ...]:
+        """The r grid in km (absolute, paper: 5..25)."""
+        return self.defaults.radius_sweep

@@ -1,0 +1,150 @@
+"""Statistical utilities for experiment campaigns (extension).
+
+The paper reports plain averages over 4 days.  For a reproduction it is
+useful to know how stable those averages are, so this module provides
+
+* :func:`bootstrap_ci` — a percentile bootstrap confidence interval for the
+  mean of a small sample (days are few, normality is doubtful — the
+  bootstrap is the standard tool);
+* :func:`paired_bootstrap_delta` — a CI on the mean difference between two
+  algorithms evaluated on the *same* days (paired, so day-to-day variance
+  cancels), with the sign test probability;
+* :func:`summarize_runs` — per-algorithm mean ± CI over a set of
+  :class:`~repro.framework.metrics.MetricsResult` day records.
+
+Everything is deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.framework.metrics import MetricsResult
+
+#: Metric attributes that can be summarized.
+METRIC_FIELDS = (
+    "num_assigned",
+    "average_influence",
+    "average_propagation",
+    "average_travel_km",
+    "cpu_seconds",
+)
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a two-sided percentile-bootstrap interval."""
+
+    mean: float
+    lower: float
+    upper: float
+    confidence: float
+
+    @property
+    def halfwidth(self) -> float:
+        """Half the interval width — a scalar stability summary."""
+        return (self.upper - self.lower) / 2.0
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} [{self.lower:.4g}, {self.upper:.4g}]"
+
+
+def bootstrap_ci(
+    sample: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile bootstrap CI for the mean of ``sample``.
+
+    A single observation yields a degenerate interval at the point estimate
+    (no resampling spread exists).
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if resamples < 1:
+        raise ValueError(f"resamples must be >= 1, got {resamples}")
+    values = np.asarray(sample, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    mean = float(values.mean())
+    if values.size == 1:
+        return ConfidenceInterval(mean, mean, mean, confidence)
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(values.size, size=(resamples, values.size))
+    means = values[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(means, [alpha, 1.0 - alpha])
+    return ConfidenceInterval(mean, float(lower), float(upper), confidence)
+
+
+@dataclass(frozen=True)
+class PairedDelta:
+    """Bootstrap summary of ``a - b`` over paired observations."""
+
+    mean_delta: float
+    ci: ConfidenceInterval
+    #: Fraction of bootstrap resamples in which the mean delta is > 0.
+    probability_positive: float
+
+    @property
+    def significant(self) -> bool:
+        """True when the CI excludes zero."""
+        return self.ci.lower > 0.0 or self.ci.upper < 0.0
+
+
+def paired_bootstrap_delta(
+    a: Sequence[float],
+    b: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> PairedDelta:
+    """Bootstrap the mean difference between paired samples.
+
+    ``a`` and ``b`` must be aligned (same days, same order).
+    """
+    a_values = np.asarray(a, dtype=float)
+    b_values = np.asarray(b, dtype=float)
+    if a_values.shape != b_values.shape:
+        raise ValueError(
+            f"paired samples must align, got {a_values.shape} vs {b_values.shape}"
+        )
+    deltas = a_values - b_values
+    ci = bootstrap_ci(deltas, confidence=confidence, resamples=resamples, seed=seed)
+    if deltas.size == 1:
+        probability = 1.0 if deltas[0] > 0 else 0.0
+    else:
+        rng = np.random.default_rng(seed)
+        indices = rng.integers(deltas.size, size=(resamples, deltas.size))
+        means = deltas[indices].mean(axis=1)
+        probability = float((means > 0).mean())
+    return PairedDelta(
+        mean_delta=float(deltas.mean()), ci=ci, probability_positive=probability
+    )
+
+
+def summarize_runs(
+    per_day: Mapping[str, Sequence[MetricsResult]],
+    metric: str,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> dict[str, ConfidenceInterval]:
+    """Mean ± bootstrap CI of one metric, per algorithm.
+
+    ``per_day`` maps algorithm name to its day-level metric records (the
+    ``AlgorithmRun.per_day`` lists the simulator accumulates).
+    """
+    if metric not in METRIC_FIELDS:
+        raise ValueError(f"unknown metric {metric!r}; choose from {METRIC_FIELDS}")
+    return {
+        algorithm: bootstrap_ci(
+            [float(getattr(record, metric)) for record in records],
+            confidence=confidence,
+            seed=seed,
+        )
+        for algorithm, records in per_day.items()
+    }

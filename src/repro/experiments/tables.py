@@ -1,0 +1,47 @@
+"""Plain-text rendering of sweep results (the "figures" of this repo).
+
+The original figures are line plots; we print the exact series that would
+be plotted so shapes (ordering, trends, crossovers) are inspectable in a
+terminal and diffable in CI.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import SweepResult
+
+#: Metric attribute -> column header used in rendered tables.
+METRIC_LABELS: dict[str, str] = {
+    "cpu_seconds": "CPU time (s)",
+    "num_assigned": "# assigned",
+    "average_influence": "AI",
+    "average_propagation": "AP",
+    "average_travel_km": "Travel (km)",
+}
+
+
+def format_series(result: SweepResult, metric: str, title: str = "") -> str:
+    """Render one metric of all algorithms along the sweep as a table."""
+    if metric not in METRIC_LABELS:
+        raise ValueError(f"unknown metric {metric!r} (choose from {sorted(METRIC_LABELS)})")
+    header_value = result.parameter
+    lines = []
+    if title:
+        lines.append(title)
+    width = max(len(a) for a in result.algorithms()) + 2
+    value_headers = "".join(f"{v:>12g}" for v in result.values)
+    lines.append(f"{header_value:<{width}}{value_headers}")
+    for algorithm in result.algorithms():
+        series = result.metric_series(algorithm, metric)
+        cells = "".join(f"{v:>12.4f}" for v in series)
+        lines.append(f"{algorithm:<{width}}{cells}")
+    return "\n".join(lines)
+
+
+def format_sweep_table(result: SweepResult, title: str = "") -> str:
+    """Render every metric of a sweep, one block per metric."""
+    blocks = []
+    if title:
+        blocks.append(f"=== {title} ===")
+    for metric, label in METRIC_LABELS.items():
+        blocks.append(format_series(result, metric, title=f"-- {label} --"))
+    return "\n\n".join(blocks)

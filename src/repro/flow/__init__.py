@@ -1,0 +1,31 @@
+"""Flow-network substrate: residual graphs, max-flow, min-cost max-flow.
+
+The paper converts task assignment to Minimum-Cost Maximum-Flow on the graph
+of Figure 4 and solves it with Ford-Fulkerson plus a cost-minimizing LP.  We
+implement the substrate from scratch:
+
+* :class:`FlowNetwork` — a residual network with paired forward/backward
+  edges;
+* :func:`edmonds_karp` — BFS-based Ford-Fulkerson (max flow only);
+* :class:`Dinic` — level-graph/blocking-flow max flow, the fast pure path;
+* :class:`MinCostMaxFlow` — successive shortest augmenting paths (SPFA),
+  which returns exactly the (max flow, min cost) pair the paper's
+  Ford-Fulkerson + LP pipeline produces, in one pass;
+* :class:`PotentialMinCostMaxFlow` — the same optimum via Dijkstra with
+  Johnson potentials (needs non-negative original costs — always true for
+  the assignment graphs).
+"""
+
+from repro.flow.network import FlowNetwork
+from repro.flow.maxflow import edmonds_karp, Dinic
+from repro.flow.mincost import MinCostMaxFlow, FlowResult
+from repro.flow.potentials import PotentialMinCostMaxFlow
+
+__all__ = [
+    "FlowNetwork",
+    "edmonds_karp",
+    "Dinic",
+    "MinCostMaxFlow",
+    "FlowResult",
+    "PotentialMinCostMaxFlow",
+]

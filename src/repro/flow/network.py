@@ -1,0 +1,80 @@
+"""A residual flow network with paired forward/backward edges.
+
+Every call to :meth:`FlowNetwork.add_edge` creates the forward edge and its
+zero-capacity residual twin at ``edge_id ^ 1``, the classic trick that lets
+augmenting algorithms push flow back without special-casing.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import FlowError
+
+
+class FlowNetwork:
+    """A directed flow network over ``num_nodes`` dense node ids.
+
+    Edges carry integer capacities (unit capacities in the assignment use
+    case) and float costs.  The structure-of-arrays layout keeps the hot
+    loops of the solvers allocation-free.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 2:
+            raise FlowError(f"a flow network needs >= 2 nodes, got {num_nodes}")
+        self.num_nodes = num_nodes
+        self.edge_to: list[int] = []
+        self.edge_cap: list[int] = []
+        self.edge_cost: list[float] = []
+        self.adjacency: list[list[int]] = [[] for _ in range(num_nodes)]
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise FlowError(f"node {node} out of range [0, {self.num_nodes})")
+
+    def add_edge(self, source: int, target: int, capacity: int, cost: float = 0.0) -> int:
+        """Add ``source -> target`` with ``capacity`` and per-unit ``cost``.
+
+        Returns the forward edge id; the residual twin lives at ``id ^ 1``
+        with capacity 0 and cost ``-cost``.
+        """
+        self._check_node(source)
+        self._check_node(target)
+        if source == target:
+            raise FlowError(f"self-loop on node {source}")
+        if capacity < 0:
+            raise FlowError(f"negative capacity {capacity}")
+        edge_id = len(self.edge_to)
+        self.edge_to.append(target)
+        self.edge_cap.append(capacity)
+        self.edge_cost.append(cost)
+        self.adjacency[source].append(edge_id)
+        self.edge_to.append(source)
+        self.edge_cap.append(0)
+        self.edge_cost.append(-cost)
+        self.adjacency[target].append(edge_id + 1)
+        return edge_id
+
+    @property
+    def num_edges(self) -> int:
+        """Number of forward edges."""
+        return len(self.edge_to) // 2
+
+    def flow_on(self, edge_id: int) -> int:
+        """Current flow on forward edge ``edge_id`` (= residual twin's cap)."""
+        if edge_id % 2 != 0:
+            raise FlowError("flow_on expects a forward (even) edge id")
+        return self.edge_cap[edge_id ^ 1]
+
+    def residual(self, edge_id: int) -> int:
+        """Remaining capacity of edge ``edge_id`` (forward or residual)."""
+        return self.edge_cap[edge_id]
+
+    def push(self, edge_id: int, amount: int) -> None:
+        """Push ``amount`` units through ``edge_id``, updating the twin."""
+        if amount < 0 or amount > self.edge_cap[edge_id]:
+            raise FlowError(
+                f"cannot push {amount} through edge {edge_id} "
+                f"(residual {self.edge_cap[edge_id]})"
+            )
+        self.edge_cap[edge_id] -= amount
+        self.edge_cap[edge_id ^ 1] += amount

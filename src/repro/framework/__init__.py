@@ -1,0 +1,41 @@
+"""The DITA framework: configuration, pipeline, metrics, and simulation.
+
+This package wires the substrates together exactly as Figure 2 does:
+
+1. :class:`DITAPipeline` fits the three influence components (LDA affinity,
+   HA willingness, RPO propagation) from an instance's historical records
+   and social network and returns an :class:`~repro.influence.InfluenceModel`;
+2. :mod:`repro.framework.metrics` computes the paper's evaluation metrics
+   (number of assigned tasks, Average Influence, Average Propagation,
+   travel cost, CPU time);
+3. :class:`Simulator` runs a set of algorithms over multiple day-instances
+   and averages, replicating "run over 4 days and report average results".
+"""
+
+from repro.framework.config import PaperDefaults, PipelineConfig
+from repro.framework.dita import DITAPipeline, FittedModels
+from repro.framework.metrics import MetricsResult, evaluate_assignment
+from repro.framework.online import (
+    OnlineResult,
+    OnlineSimulator,
+    OnlineStep,
+    WorkerArrival,
+    day_arrivals,
+)
+from repro.framework.simulator import AlgorithmRun, Simulator
+
+__all__ = [
+    "PaperDefaults",
+    "PipelineConfig",
+    "DITAPipeline",
+    "FittedModels",
+    "MetricsResult",
+    "evaluate_assignment",
+    "AlgorithmRun",
+    "Simulator",
+    "OnlineSimulator",
+    "OnlineResult",
+    "OnlineStep",
+    "WorkerArrival",
+    "day_arrivals",
+]

@@ -1,0 +1,86 @@
+"""Evaluation metrics (paper Section V-B).
+
+* **number of assigned tasks** — ``|A|``;
+* **Average Influence** (Eq. 6) — ``AI = sum_{(s,w) in A} if(w, s) / |A|``;
+* **Average Propagation** (Eq. 7) —
+  ``AP = sum_{(s,w) in A} sum_{w_j != w} P_pro(w, w_j) / |A|``;
+* **travel cost** — average worker-to-task distance over assigned pairs;
+* **CPU time** — wall-clock seconds of the assignment computation
+  (measured by the simulator, not here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.assignment.base import PreparedInstance
+from repro.entities import Assignment
+from repro.influence import InfluenceModel
+
+
+@dataclass(frozen=True)
+class MetricsResult:
+    """All per-assignment metrics of one algorithm run."""
+
+    algorithm: str
+    num_assigned: int
+    average_influence: float
+    average_propagation: float
+    average_travel_km: float
+    cpu_seconds: float = 0.0
+
+    def as_row(self) -> dict[str, float | int | str]:
+        """A flat dict for table/CSV output."""
+        return {
+            "algorithm": self.algorithm,
+            "assigned": self.num_assigned,
+            "AI": self.average_influence,
+            "AP": self.average_propagation,
+            "travel_km": self.average_travel_km,
+            "cpu_s": self.cpu_seconds,
+        }
+
+
+def evaluate_assignment(
+    algorithm: str,
+    assignment: Assignment,
+    prepared: PreparedInstance,
+    influence: InfluenceModel | None = None,
+    cpu_seconds: float = 0.0,
+) -> MetricsResult:
+    """Compute the metric bundle of one assignment.
+
+    ``influence`` defaults to the prepared instance's model; pass an
+    explicit (e.g. full, non-ablated) model to score ablation variants on a
+    common scale, as the paper's Figures 5-8 do.
+    """
+    model = influence if influence is not None else prepared.influence
+    count = len(assignment)
+    if count == 0:
+        return MetricsResult(
+            algorithm=algorithm,
+            num_assigned=0,
+            average_influence=0.0,
+            average_propagation=0.0,
+            average_travel_km=0.0,
+            cpu_seconds=cpu_seconds,
+        )
+
+    total_influence = 0.0
+    total_propagation = 0.0
+    if model is not None:
+        workers = [pair.worker for pair in assignment]
+        tasks = [pair.task for pair in assignment]
+        influence_matrix = model.influence_matrix(workers, tasks)
+        for i in range(count):
+            total_influence += float(influence_matrix[i, i])
+            total_propagation += model.propagation_to_others(workers[i].worker_id)
+
+    return MetricsResult(
+        algorithm=algorithm,
+        num_assigned=count,
+        average_influence=total_influence / count,
+        average_propagation=total_propagation / count,
+        average_travel_km=assignment.average_travel_km(),
+        cpu_seconds=cpu_seconds,
+    )

@@ -1,0 +1,77 @@
+"""Axis-aligned bounding boxes over planar kilometre coordinates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.geo.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                f"degenerate bounding box: ({self.min_x}, {self.min_y}) .. "
+                f"({self.max_x}, {self.max_y})"
+            )
+
+    @property
+    def width(self) -> float:
+        """Extent along x in kilometres."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Extent along y in kilometres."""
+        return self.max_y - self.min_y
+
+    @property
+    def center(self) -> Point:
+        """The centre point of the box."""
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, point: Point) -> bool:
+        """Return whether ``point`` lies inside the box (borders inclusive)."""
+        return self.min_x <= point.x <= self.max_x and self.min_y <= point.y <= self.max_y
+
+    def clamp(self, point: Point) -> Point:
+        """Return ``point`` clamped to lie within the box."""
+        return Point(
+            min(max(point.x, self.min_x), self.max_x),
+            min(max(point.y, self.min_y), self.max_y),
+        )
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """Return a new box grown by ``margin`` km on every side."""
+        return BoundingBox(
+            self.min_x - margin, self.min_y - margin, self.max_x + margin, self.max_y + margin
+        )
+
+    @staticmethod
+    def around(points: Iterable[Point]) -> "BoundingBox":
+        """Return the minimal box containing all ``points``.
+
+        Raises :class:`ValueError` for an empty iterable.
+        """
+        pts = list(points)
+        if not pts:
+            raise ValueError("cannot build a bounding box around zero points")
+        xs = [p.x for p in pts]
+        ys = [p.y for p in pts]
+        return BoundingBox(min(xs), min(ys), max(xs), max(ys))
+
+    @staticmethod
+    def square(side_km: float) -> "BoundingBox":
+        """Return a ``side_km x side_km`` box anchored at the origin."""
+        if side_km <= 0:
+            raise ValueError(f"side_km must be positive, got {side_km}")
+        return BoundingBox(0.0, 0.0, side_km, side_km)

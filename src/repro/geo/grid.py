@@ -1,0 +1,78 @@
+"""A uniform grid index for fast circular range queries over points.
+
+Assignment feasibility ("which tasks lie within a worker's reachable radius")
+is a range query answered for every worker at every time instance; a uniform
+grid turns the naive O(|W| * |S|) scan into an output-sensitive lookup.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Generic, Hashable, Iterable, Iterator, TypeVar
+
+from repro.geo.point import Point
+
+T = TypeVar("T", bound=Hashable)
+
+
+class GridIndex(Generic[T]):
+    """Buckets items by a uniform grid over the plane.
+
+    Parameters
+    ----------
+    cell_size_km:
+        Side length of each square cell.  A good default is the typical
+        query radius so that a range query touches O(9) cells.
+    """
+
+    def __init__(self, cell_size_km: float) -> None:
+        if cell_size_km <= 0:
+            raise ValueError(f"cell_size_km must be positive, got {cell_size_km}")
+        self._cell = cell_size_km
+        self._buckets: dict[tuple[int, int], list[tuple[Point, T]]] = defaultdict(list)
+        self._count = 0
+
+    def _key(self, point: Point) -> tuple[int, int]:
+        return (math.floor(point.x / self._cell), math.floor(point.y / self._cell))
+
+    def insert(self, point: Point, item: T) -> None:
+        """Insert ``item`` located at ``point``."""
+        self._buckets[self._key(point)].append((point, item))
+        self._count += 1
+
+    def insert_many(self, pairs: Iterable[tuple[Point, T]]) -> None:
+        """Insert many ``(point, item)`` pairs."""
+        for point, item in pairs:
+            self.insert(point, item)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def query_radius(self, center: Point, radius_km: float) -> Iterator[tuple[Point, T]]:
+        """Yield every ``(point, item)`` within ``radius_km`` of ``center``.
+
+        Border-inclusive, matching the paper's ``d(w.l, s.l) <= w.r``.
+        """
+        if radius_km < 0:
+            raise ValueError(f"radius_km must be non-negative, got {radius_km}")
+        r2 = radius_km * radius_km
+        kx_min = math.floor((center.x - radius_km) / self._cell)
+        kx_max = math.floor((center.x + radius_km) / self._cell)
+        ky_min = math.floor((center.y - radius_km) / self._cell)
+        ky_max = math.floor((center.y + radius_km) / self._cell)
+        for kx in range(kx_min, kx_max + 1):
+            for ky in range(ky_min, ky_max + 1):
+                bucket = self._buckets.get((kx, ky))
+                if not bucket:
+                    continue
+                for point, item in bucket:
+                    dx = point.x - center.x
+                    dy = point.y - center.y
+                    if dx * dx + dy * dy <= r2:
+                        yield point, item
+
+    def items(self) -> Iterator[tuple[Point, T]]:
+        """Yield every indexed ``(point, item)`` pair."""
+        for bucket in self._buckets.values():
+            yield from bucket

@@ -1,0 +1,157 @@
+"""A 2-d tree (k-d tree specialized to the plane) for circular range queries.
+
+The uniform :class:`~repro.geo.grid.GridIndex` answers radius queries in
+output-sensitive time only when the query radius is close to the cell size;
+worker reachable radii in the paper sweep from 5 to 25 km, so a single grid
+resolution is a compromise.  The k-d tree is resolution-free: it recursively
+halves the point set along alternating axes and prunes whole subtrees whose
+bounding half-plane is farther from the query center than the radius.
+
+The tree is static (built once per instance, like the task set) and stored
+in flat arrays — node ``i`` has children ``2i + 1`` and ``2i + 2`` would
+waste memory on unbalanced splits, so instead each node records its child
+indices explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Hashable, Iterator, Sequence, TypeVar
+
+from repro.geo.point import Point
+
+T = TypeVar("T", bound=Hashable)
+
+#: Number of points below which a node stores a flat leaf bucket.
+_LEAF_SIZE = 8
+
+
+@dataclass
+class _Node:
+    """One internal node or leaf of the tree."""
+
+    axis: int = -1  # -1 marks a leaf
+    split: float = 0.0
+    left: int = -1
+    right: int = -1
+    start: int = 0  # leaf payload range [start, stop) into the point arrays
+    stop: int = 0
+
+
+class KDTree(Generic[T]):
+    """A static planar k-d tree over ``(point, item)`` pairs.
+
+    Parameters
+    ----------
+    pairs:
+        The indexed points with their payloads.  The tree copies the input;
+        later mutation of the sequence does not affect the index.
+
+    Notes
+    -----
+    Construction is O(n log n) via median splits; a radius query visits
+    O(sqrt(n) + k) nodes for k reported points, which beats both the dense
+    scan and a mis-tuned grid on the paper's r in [5, 25] km sweeps.
+    """
+
+    def __init__(self, pairs: Sequence[tuple[Point, T]]) -> None:
+        self._points: list[Point] = [p for p, _ in pairs]
+        self._items: list[T] = [item for _, item in pairs]
+        self._order = list(range(len(self._points)))
+        self._nodes: list[_Node] = []
+        if self._order:
+            self._build(0, len(self._order), depth=0)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    # ------------------------------------------------------------ construction
+    def _coordinate(self, index: int, axis: int) -> float:
+        point = self._points[index]
+        return point.x if axis == 0 else point.y
+
+    def _build(self, start: int, stop: int, depth: int) -> int:
+        """Build the subtree over ``order[start:stop]``; return its node id."""
+        node_id = len(self._nodes)
+        self._nodes.append(_Node())
+        node = self._nodes[node_id]
+        if stop - start <= _LEAF_SIZE:
+            node.start, node.stop = start, stop
+            return node_id
+        axis = depth % 2
+        segment = self._order[start:stop]
+        segment.sort(key=lambda i: self._coordinate(i, axis))
+        self._order[start:stop] = segment
+        middle = (start + stop) // 2
+        node.axis = axis
+        node.split = self._coordinate(self._order[middle], axis)
+        node.left = self._build(start, middle, depth + 1)
+        node.right = self._build(middle, stop, depth + 1)
+        return node_id
+
+    # ----------------------------------------------------------------- queries
+    def query_radius(self, center: Point, radius_km: float) -> Iterator[tuple[Point, T]]:
+        """Yield every ``(point, item)`` within ``radius_km`` of ``center``.
+
+        Border-inclusive, matching the paper's ``d(w.l, s.l) <= w.r``.
+        """
+        if radius_km < 0:
+            raise ValueError(f"radius_km must be non-negative, got {radius_km}")
+        if not self._nodes:
+            return
+        r2 = radius_km * radius_km
+        stack = [0]
+        while stack:
+            node = self._nodes[stack.pop()]
+            if node.axis == -1:
+                for position in range(node.start, node.stop):
+                    index = self._order[position]
+                    point = self._points[index]
+                    dx = point.x - center.x
+                    dy = point.y - center.y
+                    if dx * dx + dy * dy <= r2:
+                        yield point, self._items[index]
+                continue
+            delta = (center.x if node.axis == 0 else center.y) - node.split
+            # The near child always intersects the query ball; the far child
+            # only if the splitting line is within the radius.
+            near, far = (node.left, node.right) if delta <= 0 else (node.right, node.left)
+            stack.append(near)
+            if delta * delta <= r2:
+                stack.append(far)
+
+    def nearest(self, center: Point) -> tuple[Point, T]:
+        """Return the indexed pair closest to ``center``.
+
+        Raises :class:`ValueError` on an empty tree.  Ties break arbitrarily.
+        """
+        if not self._nodes:
+            raise ValueError("nearest() on an empty KDTree")
+        best_d2 = float("inf")
+        best_index = -1
+        stack = [0]
+        while stack:
+            node = self._nodes[stack.pop()]
+            if node.axis == -1:
+                for position in range(node.start, node.stop):
+                    index = self._order[position]
+                    point = self._points[index]
+                    dx = point.x - center.x
+                    dy = point.y - center.y
+                    d2 = dx * dx + dy * dy
+                    if d2 < best_d2:
+                        best_d2 = d2
+                        best_index = index
+                continue
+            delta = (center.x if node.axis == 0 else center.y) - node.split
+            near, far = (node.left, node.right) if delta <= 0 else (node.right, node.left)
+            # Visit the far side only if it can still contain a closer point.
+            if delta * delta < best_d2:
+                stack.append(far)
+            stack.append(near)
+        return self._points[best_index], self._items[best_index]
+
+    def items(self) -> Iterator[tuple[Point, T]]:
+        """Yield every indexed ``(point, item)`` pair (tree order)."""
+        for index in self._order:
+            yield self._points[index], self._items[index]

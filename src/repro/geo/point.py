@@ -1,0 +1,46 @@
+"""A lightweight immutable 2-D point used for worker/task/venue locations."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable planar point with kilometre coordinates.
+
+    The library works in a local planar frame where both coordinates are in
+    kilometres; this matches the paper's use of Euclidean distance and a
+    worker speed of 5 km/h.  Points are hashable so they can key caches of
+    per-location statistics (e.g. location entropy).
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Return the Euclidean distance to ``other`` in kilometres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a new point displaced by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Return the midpoint between this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)`` as a plain tuple."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    @staticmethod
+    def origin() -> "Point":
+        """Return the origin point ``(0, 0)``."""
+        return Point(0.0, 0.0)

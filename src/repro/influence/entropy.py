@@ -1,0 +1,49 @@
+"""Location entropy (paper Section IV-B).
+
+For a task location with historical visitors ``W_s`` and visit counts
+``Num_w`` (total ``Num_s``):
+
+    s.e = - sum_{w in W_s} P_s(w) * ln P_s(w),    P_s(w) = Num_w / Num_s
+
+Low entropy means visits concentrate on few workers, so EIA prioritizes
+such tasks (they are hard to get done opportunistically).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.entities import Task
+
+
+def location_entropy(visit_counts: Mapping[int, int]) -> float:
+    """Entropy of the visitor distribution of one location.
+
+    ``visit_counts`` maps worker id to visit count; zero-count entries are
+    ignored.  An unvisited location has entropy 0 by convention.
+    """
+    total = sum(c for c in visit_counts.values() if c > 0)
+    if total <= 0:
+        return 0.0
+    entropy = 0.0
+    for count in visit_counts.values():
+        if count <= 0:
+            continue
+        p = count / total
+        entropy -= p * math.log(p)
+    return entropy
+
+
+def entropy_of_tasks(
+    tasks: Sequence[Task], venue_visits: Mapping[int, Mapping[int, int]]
+) -> dict[int, float]:
+    """Location entropy per task id, looked up through the task's venue.
+
+    Tasks without a venue or without history get entropy 0.
+    """
+    entropies: dict[int, float] = {}
+    for task in tasks:
+        visits = venue_visits.get(task.venue_id) if task.venue_id is not None else None
+        entropies[task.task_id] = location_entropy(visits) if visits else 0.0
+    return entropies

@@ -1,0 +1,182 @@
+"""The worker-task influence model (paper Section III-D).
+
+The full influence of a candidate worker ``w_s`` for task ``s`` is
+
+    if(w_s, s) = P_aff(w_s, s) * sum_{w_i != w_s} P_wil(w_i, s) * P_pro(w_s, w_i)
+
+The expensive inner sum is evaluated for *all* candidate workers and tasks
+at once through the RRR membership matrix (see
+:meth:`~repro.propagation.RRRCollection.weighted_root_cover_batch`), making
+the full ``|W| x |S|`` influence matrix a handful of sparse/dense products.
+
+Ablations (Section V-B1) drop one factor:
+
+* ``IA-WP`` — no affinity:      ``if = sum_i P_wil * P_pro``
+* ``IA-AP`` — no willingness:   ``if = P_aff * sigma(w_s)``
+* ``IA-AW`` — no propagation:   ``if = P_aff * sum_{i != s} P_wil(w_i, s)``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.affinity import AffinityModel
+from repro.entities import Task, Worker
+from repro.exceptions import ConfigurationError
+from repro.propagation import RRRCollection, SocialGraph
+from repro.willingness import HistoricalAcceptance
+
+
+@dataclass(frozen=True)
+class InfluenceComponents:
+    """Which of the three factors participate (for the paper's ablations)."""
+
+    affinity: bool = True
+    willingness: bool = True
+    propagation: bool = True
+
+    def __post_init__(self) -> None:
+        if not (self.affinity or self.willingness or self.propagation):
+            raise ConfigurationError("at least one influence component is required")
+
+    @staticmethod
+    def full() -> "InfluenceComponents":
+        """All three factors — the IA configuration."""
+        return InfluenceComponents()
+
+    @staticmethod
+    def without_affinity() -> "InfluenceComponents":
+        """IA-WP: willingness + propagation."""
+        return InfluenceComponents(affinity=False)
+
+    @staticmethod
+    def without_willingness() -> "InfluenceComponents":
+        """IA-AP: affinity + propagation."""
+        return InfluenceComponents(willingness=False)
+
+    @staticmethod
+    def without_propagation() -> "InfluenceComponents":
+        """IA-AW: affinity + willingness."""
+        return InfluenceComponents(propagation=False)
+
+
+class InfluenceModel:
+    """Combines affinity, willingness and propagation into ``if(w, s)``.
+
+    Parameters
+    ----------
+    graph:
+        The social network over all workers.
+    affinity / willingness:
+        Fitted component models.
+    propagation:
+        The RRR collection estimating ``P_pro`` (from
+        :class:`~repro.propagation.RPO` or fixed-count sampling).
+    components:
+        Ablation switch; defaults to the full model.
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        affinity: AffinityModel,
+        willingness: HistoricalAcceptance,
+        propagation: RRRCollection,
+        components: InfluenceComponents | None = None,
+    ) -> None:
+        self.graph = graph
+        self.affinity = affinity
+        self.willingness = willingness
+        self.propagation = propagation
+        self.components = components or InfluenceComponents.full()
+        self._sigma_cache: np.ndarray | None = None
+        # Root-count per worker for the self-term correction: the sets
+        # rooted at w always contain w, so P_pro(w, w) = |W|/N * #roots(w).
+        self._self_pro: np.ndarray | None = None
+
+    # ---------------------------------------------------------------- helpers
+    def _sigma_all(self) -> np.ndarray:
+        if self._sigma_cache is None:
+            self._sigma_cache = self.propagation.sigma_all()
+        return self._sigma_cache
+
+    def _self_propagation(self) -> np.ndarray:
+        if self._self_pro is None:
+            counts = np.bincount(
+                self.propagation.roots, minlength=self.graph.num_workers
+            ).astype(float)
+            n_sets = max(len(self.propagation), 1)
+            self._self_pro = self.graph.num_workers * counts / n_sets
+        return self._self_pro
+
+    def _willingness_matrix(self, tasks: Sequence[Task]) -> np.ndarray:
+        """``P_wil`` of every *network* worker for every task, aligned with
+        the graph's dense worker indices: shape ``(|W|, |S|)``."""
+        n = self.graph.num_workers
+        matrix = np.zeros((n, len(tasks)))
+        ha_ids = self.willingness.worker_ids
+        rows_in_graph = np.array(
+            [self.graph.index_of(w) for w in ha_ids], dtype=np.int64
+        )
+        for column, task in enumerate(tasks):
+            matrix[rows_in_graph, column] = self.willingness.willingness_all(task.location)
+        return matrix
+
+    # ------------------------------------------------------------------- API
+    def sigma(self, worker_id: int) -> float:
+        """Informed range of ``worker_id`` (the AP metric's per-worker term)."""
+        return float(self._sigma_all()[self.graph.index_of(worker_id)])
+
+    def propagation_to_others(self, worker_id: int) -> float:
+        """``sum_{w_j != w} P_pro(w, w_j)`` — Equation 7's per-pair term.
+
+        Equals the informed range minus the self term ``P_pro(w, w)``.
+        """
+        index = self.graph.index_of(worker_id)
+        value = float(self._sigma_all()[index] - self._self_propagation()[index])
+        return max(value, 0.0)
+
+    def influence_matrix(
+        self, workers: Sequence[Worker], tasks: Sequence[Task]
+    ) -> np.ndarray:
+        """``if(w, s)`` for every candidate worker x task: shape ``(C, T)``."""
+        if not workers or not tasks:
+            return np.zeros((len(workers), len(tasks)))
+        candidate_idx = np.array(
+            [self.graph.index_of(w.worker_id) for w in workers], dtype=np.int64
+        )
+        use = self.components
+
+        if use.willingness:
+            wil = self._willingness_matrix(tasks)  # (|W|, T)
+            if use.propagation:
+                inner_all = self.propagation.weighted_root_cover_batch(wil)  # (|W|, T)
+                # Remove the self term w_i = w_s.
+                inner = inner_all[candidate_idx, :] - (
+                    self._self_propagation()[candidate_idx, None]
+                    * wil[candidate_idx, :]
+                )
+            else:
+                # IA-AW: plain sum of other workers' willingness.
+                totals = wil.sum(axis=0, keepdims=True)  # (1, T)
+                inner = totals - wil[candidate_idx, :]
+        else:
+            # IA-AP: propagation only — the informed range of the candidate.
+            inner = np.repeat(
+                self._sigma_all()[candidate_idx, None], len(tasks), axis=1
+            )
+        inner = np.maximum(inner, 0.0)
+
+        if use.affinity:
+            aff = self.affinity.affinity_matrix(
+                [w.worker_id for w in workers], tasks
+            )
+            return aff * inner
+        return inner
+
+    def influence(self, worker: Worker, task: Task) -> float:
+        """``if(w, s)`` for a single pair (convenience wrapper)."""
+        return float(self.influence_matrix([worker], [task])[0, 0])

@@ -1,0 +1,46 @@
+"""Worker propagation via Independent Cascade and RRR sets (Section III-C/E).
+
+Components:
+
+* :class:`SocialGraph` — the directed propagation graph (undirected
+  friendships become edge pairs) with the paper's in-degree-based edge
+  probabilities ``P(u -> v) = 1 / indeg(v)``;
+* :mod:`repro.propagation.ic` — forward Independent Cascade simulation and
+  Monte-Carlo spread/pairwise estimators (the ground truth used to validate
+  the sampling machinery);
+* :class:`RRRCollection` / :func:`sample_rrr_sets` — Random Reverse
+  Reachable set generation (Definition 5);
+* :class:`RPO` — the Random reverse reachable-based Propagation Optimization
+  algorithm (Algorithm 1) with the iteration-based bound ``NR(k)`` and the
+  threshold-based bound ``N'_R(gamma)`` of Lemmas 4-6.
+"""
+
+from repro.propagation.graph import SocialGraph
+from repro.propagation.ic import simulate_ic, estimate_spread, estimate_informed_probabilities
+from repro.propagation.lt import (
+    estimate_spread_lt,
+    lt_collection,
+    sample_lt_rrr_sets,
+    simulate_lt,
+)
+from repro.propagation.rrr import RRRCollection, sample_rrr_sets
+from repro.propagation.rpo import RPO, RPOResult
+from repro.propagation.seeding import SeedingResult, select_seeds, spread_of_seeds
+
+__all__ = [
+    "SocialGraph",
+    "simulate_ic",
+    "estimate_spread",
+    "estimate_informed_probabilities",
+    "simulate_lt",
+    "estimate_spread_lt",
+    "sample_lt_rrr_sets",
+    "lt_collection",
+    "RRRCollection",
+    "sample_rrr_sets",
+    "RPO",
+    "RPOResult",
+    "SeedingResult",
+    "select_seeds",
+    "spread_of_seeds",
+]

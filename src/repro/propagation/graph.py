@@ -1,0 +1,195 @@
+"""The directed social propagation graph.
+
+Friendship edges are undirected; information can flow both ways, so each
+undirected edge {a, b} becomes the arc pair (a -> b) and (b -> a).  The
+paper's propagation probability for an arc into ``v`` is in-degree based:
+``P(u -> v) = 1 / indeg(v)`` ([29], [31], [41]).  Because that probability
+depends only on the head ``v``, sampling the live in-arcs of ``v`` during
+reverse-reachability generation is a single vectorized Bernoulli draw.
+
+Two alternative arc-probability models from the influence-maximization
+literature are available as extensions:
+
+* ``("uniform", p)`` — every arc live with the same probability ``p``
+  (the weighted-cascade constant model);
+* ``"trivalency"`` — each directed arc draws uniformly from
+  {0.1, 0.01, 0.001} (Chen et al.'s TRIVALENCY benchmark model).
+
+Adjacency is stored CSR-style (indptr + flat neighbor arrays) for both
+directions, which keeps BFS tight and memory predictable; per-arc
+probabilities are stored as flat arrays aligned with both CSR views.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import GraphError
+
+#: The trivalency model's arc-probability choices.
+TRIVALENCY_VALUES = (0.1, 0.01, 0.001)
+
+
+class SocialGraph:
+    """A directed propagation graph over worker ids.
+
+    Parameters
+    ----------
+    worker_ids:
+        All workers in the network ``W`` (isolated workers allowed).
+    edges:
+        Undirected friendship pairs (worker ids).  Self-loops are rejected;
+        duplicate edges are collapsed.
+    edge_probability:
+        Arc-probability model: ``"indegree"`` (paper default,
+        ``P(u -> v) = 1/indeg(v)``), ``("uniform", p)`` with ``p`` in
+        (0, 1], or ``"trivalency"``.
+    seed:
+        RNG seed for the trivalency draws (ignored by the other models).
+    """
+
+    def __init__(
+        self,
+        worker_ids: Sequence[int],
+        edges: Iterable[tuple[int, int]],
+        edge_probability: str | tuple[str, float] = "indegree",
+        seed: int = 0,
+    ) -> None:
+        self.worker_ids = tuple(sorted(set(worker_ids)))
+        if not self.worker_ids:
+            raise GraphError("social graph needs at least one worker")
+        self._index_of = {w: i for i, w in enumerate(self.worker_ids)}
+        n = len(self.worker_ids)
+
+        seen: set[tuple[int, int]] = set()
+        for u, v in edges:
+            if u == v:
+                raise GraphError(f"self-loop on worker {u}")
+            iu = self._index_of.get(u)
+            iv = self._index_of.get(v)
+            if iu is None or iv is None:
+                raise GraphError(f"edge ({u}, {v}) references unknown worker")
+            key = (min(iu, iv), max(iu, iv))
+            seen.add(key)
+
+        out_lists: list[list[int]] = [[] for _ in range(n)]
+        in_lists: list[list[int]] = [[] for _ in range(n)]
+        for iu, iv in seen:
+            out_lists[iu].append(iv)
+            out_lists[iv].append(iu)
+            in_lists[iv].append(iu)
+            in_lists[iu].append(iv)
+
+        self._out_indptr, self._out_flat = self._to_csr(out_lists)
+        self._in_indptr, self._in_flat = self._to_csr(in_lists)
+        self.in_degree = np.diff(self._in_indptr)
+        # P(u -> v) under the in-degree model: depends only on v.  Kept for
+        # the fast head-only sampling path and backward compatibility.
+        with np.errstate(divide="ignore"):
+            self.inform_probability = np.where(self.in_degree > 0, 1.0 / np.maximum(self.in_degree, 1), 0.0)
+        self.edge_probability = edge_probability
+        self._build_arc_probabilities(edge_probability, seed)
+
+    def _build_arc_probabilities(
+        self, model: str | tuple[str, float], seed: int
+    ) -> None:
+        """Fill the per-arc probability arrays aligned with both CSR views."""
+        n = len(self.worker_ids)
+        in_probs = np.zeros(len(self._in_flat))
+        if model == "indegree":
+            for node in range(n):
+                start, stop = self._in_indptr[node], self._in_indptr[node + 1]
+                in_probs[start:stop] = self.inform_probability[node]
+        elif model == "trivalency":
+            rng = np.random.default_rng(seed)
+            in_probs = rng.choice(TRIVALENCY_VALUES, size=len(self._in_flat))
+        elif (
+            isinstance(model, tuple)
+            and len(model) == 2
+            and model[0] == "uniform"
+        ):
+            p = float(model[1])
+            if not 0.0 < p <= 1.0:
+                raise GraphError(f"uniform arc probability must be in (0, 1], got {p}")
+            in_probs[:] = p
+        else:
+            raise GraphError(
+                f"unknown edge_probability model {model!r}; "
+                "choose 'indegree', 'trivalency', or ('uniform', p)"
+            )
+        self._in_arc_probs = in_probs
+
+        # Mirror onto the out-CSR view: arc (u -> v) sits at v's in-list
+        # position of u and at u's out-list position of v.
+        position: dict[tuple[int, int], float] = {}
+        for v in range(n):
+            start, stop = self._in_indptr[v], self._in_indptr[v + 1]
+            for offset in range(start, stop):
+                u = int(self._in_flat[offset])
+                position[(u, v)] = float(in_probs[offset])
+        out_probs = np.zeros(len(self._out_flat))
+        for u in range(n):
+            start, stop = self._out_indptr[u], self._out_indptr[u + 1]
+            for offset in range(start, stop):
+                v = int(self._out_flat[offset])
+                out_probs[offset] = position[(u, v)]
+        self._out_arc_probs = out_probs
+
+    def in_arc_probs(self, index: int) -> np.ndarray:
+        """``P(u -> index)`` for every in-neighbor ``u``, aligned with
+        :meth:`in_neighbors`."""
+        return self._in_arc_probs[self._in_indptr[index]: self._in_indptr[index + 1]]
+
+    def out_arc_probs(self, index: int) -> np.ndarray:
+        """``P(index -> v)`` for every out-neighbor ``v``, aligned with
+        :meth:`out_neighbors`."""
+        return self._out_arc_probs[self._out_indptr[index]: self._out_indptr[index + 1]]
+
+    @staticmethod
+    def _to_csr(lists: list[list[int]]) -> tuple[np.ndarray, np.ndarray]:
+        indptr = np.zeros(len(lists) + 1, dtype=np.int64)
+        for i, neighbors in enumerate(lists):
+            indptr[i + 1] = indptr[i] + len(neighbors)
+        flat = np.empty(int(indptr[-1]), dtype=np.int64)
+        for i, neighbors in enumerate(lists):
+            flat[indptr[i]: indptr[i + 1]] = sorted(neighbors)
+        return indptr, flat
+
+    # ------------------------------------------------------------------ views
+    @property
+    def num_workers(self) -> int:
+        """``|W|``."""
+        return len(self.worker_ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed arcs (twice the undirected edge count)."""
+        return int(self._out_indptr[-1])
+
+    def index_of(self, worker_id: int) -> int:
+        """Dense index of a worker id; raises :class:`GraphError` if unknown."""
+        index = self._index_of.get(worker_id)
+        if index is None:
+            raise GraphError(f"unknown worker id {worker_id}")
+        return index
+
+    def worker_at(self, index: int) -> int:
+        """Worker id at dense ``index``."""
+        return self.worker_ids[index]
+
+    def out_neighbors(self, index: int) -> np.ndarray:
+        """Dense indices of nodes this node can inform."""
+        return self._out_flat[self._out_indptr[index]: self._out_indptr[index + 1]]
+
+    def in_neighbors(self, index: int) -> np.ndarray:
+        """Dense indices of nodes that can inform this node."""
+        return self._in_flat[self._in_indptr[index]: self._in_indptr[index + 1]]
+
+    def degree_histogram(self) -> dict[int, int]:
+        """``degree -> count`` over the undirected degrees (for data checks)."""
+        histogram: dict[int, int] = {}
+        for degree in self.in_degree:
+            histogram[int(degree)] = histogram.get(int(degree), 0) + 1
+        return histogram

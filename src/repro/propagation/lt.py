@@ -1,0 +1,121 @@
+"""The Linear Threshold (LT) propagation model (extension).
+
+The paper simulates task-information spread with Independent Cascade; the
+influence-maximization literature it builds on ([28] Kempe et al., [31] Tang
+et al.) treats Linear Threshold as the other canonical diffusion model, so
+the library ships it as a drop-in alternative for sensitivity studies.
+
+Model
+-----
+Every worker ``v`` draws a private threshold ``theta_v ~ U[0, 1]``.  Each
+in-arc ``(u -> v)`` carries weight ``1 / indeg(v)`` — the same in-degree
+normalization the paper uses for IC probabilities, and the classical LT
+weighting with ``sum_u b(u, v) <= 1``.  A worker becomes informed once the
+total weight of informed in-neighbors reaches the threshold.
+
+Reverse-reachability sampling under LT picks, for each visited node, exactly
+**one** uniformly random in-neighbor (the standard RIS construction: with
+weights summing to 1, the live-edge graph of LT keeps a single in-arc per
+node).  This makes LT RRR sets paths rather than trees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.propagation.graph import SocialGraph
+from repro.propagation.rrr import RRRCollection
+
+
+def simulate_lt(graph: SocialGraph, seed_index: int, rng: np.random.Generator) -> np.ndarray:
+    """Run one LT diffusion from ``seed_index``.
+
+    Thresholds are drawn fresh per call.  Returns the dense indices of all
+    informed workers (including the seed), sorted.
+    """
+    n = graph.num_workers
+    thresholds = rng.random(n)
+    incoming_weight = np.zeros(n)
+    informed = np.zeros(n, dtype=bool)
+    informed[seed_index] = True
+    frontier = [seed_index]
+    while frontier:
+        next_frontier: list[int] = []
+        for node in frontier:
+            weights = graph.out_arc_probs(node)
+            for target, weight in zip(graph.out_neighbors(node), weights):
+                target = int(target)
+                if informed[target]:
+                    continue
+                incoming_weight[target] += float(weight)
+                if incoming_weight[target] >= thresholds[target]:
+                    informed[target] = True
+                    next_frontier.append(target)
+        frontier = next_frontier
+    return np.nonzero(informed)[0]
+
+
+def estimate_spread_lt(
+    graph: SocialGraph, seed_index: int, runs: int = 1000, seed: int = 0
+) -> float:
+    """Monte-Carlo estimate of the expected LT cascade size from one seed."""
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    rng = np.random.default_rng(seed)
+    total = 0
+    for _ in range(runs):
+        total += len(simulate_lt(graph, seed_index, rng))
+    return total / runs
+
+
+def _sample_one_lt(graph: SocialGraph, root: int, rng: np.random.Generator) -> np.ndarray:
+    """One LT reverse-reachable set: a random in-neighbor walk from ``root``.
+
+    In the live-edge view of LT each node keeps at most one in-arc: arc
+    ``(u -> v)`` with probability ``b(u, v)`` and none with probability
+    ``1 - sum_u b(u, v)``.  Under the paper's in-degree weights the sum is
+    exactly 1, so the walk always continues until it revisits a node or
+    reaches a source; under trivalency/uniform weights it may stop early.
+    """
+    visited = {root}
+    node = root
+    while True:
+        in_neighbors = graph.in_neighbors(node)
+        if len(in_neighbors) == 0:
+            break
+        weights = graph.in_arc_probs(node)
+        draw = rng.random()
+        cumulative = np.cumsum(weights)
+        position = int(np.searchsorted(cumulative, draw, side="right"))
+        if position >= len(in_neighbors):
+            break  # the "no live in-arc" outcome
+        node = int(in_neighbors[position])
+        if node in visited:
+            break
+        visited.add(node)
+    return np.fromiter(visited, dtype=np.int64, count=len(visited))
+
+
+def sample_lt_rrr_sets(
+    graph: SocialGraph, count: int, rng: np.random.Generator
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Sample ``count`` LT reverse-reachable sets with uniform random roots.
+
+    Returns ``(roots, members)`` with each member array sorted, the same
+    contract as :func:`repro.propagation.rrr.sample_rrr_sets`, so the
+    resulting sets load into an :class:`RRRCollection` unchanged.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    roots = rng.integers(graph.num_workers, size=count)
+    members = [np.sort(_sample_one_lt(graph, int(root), rng)) for root in roots]
+    return roots.astype(np.int64), members
+
+
+def lt_collection(graph: SocialGraph, count: int, seed: int = 0) -> RRRCollection:
+    """Convenience: an :class:`RRRCollection` of ``count`` LT RRR sets."""
+    rng = np.random.default_rng(seed)
+    collection = RRRCollection(num_workers=graph.num_workers)
+    roots, members = sample_lt_rrr_sets(graph, count, rng)
+    collection.extend(roots, members)
+    return collection

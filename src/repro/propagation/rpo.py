@@ -1,0 +1,167 @@
+"""The RPO algorithm (paper Algorithm 1) with its sample-size bounds.
+
+RPO decides *how many* RRR sets are enough for a (1 - epsilon)-approximate
+estimate of worker propagation, using two lower bounds:
+
+* the **iteration-based bound** (Lemma 6)
+
+      NR(k) = (2 + 2*eps_star/3) * (ln|W| + ln(1/lambda_star)) * |W|
+              / (eps_star^2 * k)
+
+  evaluated along the test ladder ``K = {|W|/2, |W|/4, ..., 2}``, with
+  ``gamma = (1 + eps_star) * k`` as the acceptance threshold on
+  ``N_p^opt = |W| * max_w f_R(w)``;
+
+* the **threshold-based bound** (Lemma 5)
+
+      N'_R(gamma) = 2 * |W| * ln(1/lambda) / (sigma_lb * eps^2)
+
+  where ``sigma_lb = N_p^opt * k / gamma`` lower-bounds the maximum informed
+  range ``sigma(w_tau)``.
+
+Failure probabilities follow the paper: ``lambda = 1/|W|^o`` and
+``lambda_star = 1/(|W|^o * log2|W|)``; the minimizing split between the two
+epsilons is ``eps_star = sqrt(2) * eps``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.propagation.graph import SocialGraph
+from repro.propagation.rrr import RRRCollection, sample_rrr_sets
+
+
+@dataclass(frozen=True)
+class RPOResult:
+    """Outcome of one RPO run.
+
+    Attributes
+    ----------
+    collection:
+        The final RRR collection (use its query methods for ``P_pro``).
+    k_used:
+        The ladder value at which the threshold test passed (0 if the ladder
+        was exhausted and the final iteration was accepted as fallback).
+    sigma_lower_bound:
+        The derived lower bound on the maximum informed range.
+    iteration_bound / threshold_bound:
+        The two sample-count bounds actually evaluated.
+    truncated:
+        True when ``max_sets`` capped generation below the theoretical bound.
+    """
+
+    collection: RRRCollection
+    k_used: float
+    sigma_lower_bound: float
+    iteration_bound: int
+    threshold_bound: int
+    truncated: bool
+
+
+class RPO:
+    """Random reverse reachable-based Propagation Optimization.
+
+    Parameters
+    ----------
+    epsilon:
+        Approximation parameter (paper default 0.1).
+    o:
+        Failure-probability exponent; ``lambda = 1/|W|^o`` (paper default 1).
+    max_sets:
+        Hard cap on the number of RRR sets (memory guard).  The paper's
+        bounds can demand millions of sets on loosely connected graphs; the
+        cap trades a documented amount of approximation for tractability and
+        is surfaced via :attr:`RPOResult.truncated`.
+    seed:
+        RNG seed; runs are reproducible.
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 0.1,
+        o: float = 1.0,
+        max_sets: int = 200_000,
+        seed: int = 0,
+    ) -> None:
+        if epsilon <= 0 or epsilon >= 1:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+        if o <= 0:
+            raise ConfigurationError(f"o must be positive, got {o}")
+        if max_sets < 1:
+            raise ConfigurationError(f"max_sets must be >= 1, got {max_sets}")
+        self.epsilon = epsilon
+        self.epsilon_star = math.sqrt(2.0) * epsilon
+        self.o = o
+        self.max_sets = max_sets
+        self.seed = seed
+
+    # ----------------------------------------------------------------- bounds
+    def iteration_bound(self, num_workers: int, k: float) -> int:
+        """``NR(k)`` of Lemma 6 (iteration-based lower bound)."""
+        if k <= 0:
+            raise ConfigurationError(f"k must be positive, got {k}")
+        lambda_star = 1.0 / (num_workers**self.o * max(math.log2(num_workers), 1.0))
+        eps = self.epsilon_star
+        numerator = (2.0 + 2.0 * eps / 3.0) * (math.log(num_workers) + math.log(1.0 / lambda_star)) * num_workers
+        return max(1, math.ceil(numerator / (eps * eps * k)))
+
+    def threshold_bound(self, num_workers: int, sigma_lower_bound: float) -> int:
+        """``N'_R(gamma)`` of Lemma 5 (threshold-based lower bound)."""
+        if sigma_lower_bound <= 0:
+            raise ConfigurationError("sigma lower bound must be positive")
+        lam = 1.0 / num_workers**self.o
+        numerator = 2.0 * num_workers * math.log(1.0 / lam)
+        return max(1, math.ceil(numerator / (sigma_lower_bound * self.epsilon * self.epsilon)))
+
+    # -------------------------------------------------------------------- run
+    def run(self, graph: SocialGraph) -> RPOResult:
+        """Execute Algorithm 1 on ``graph`` and return the RRR collection."""
+        n = graph.num_workers
+        rng = np.random.default_rng(self.seed)
+        collection = RRRCollection(num_workers=n)
+        truncated = False
+
+        k = n / 2.0
+        k_used = 0.0
+        sigma_lb = 1.0
+        nr_k = 0
+        # Ladder K = {|W|/2, |W|/4, ..., 2}; the final rung is always
+        # accepted so the algorithm terminates on sparse graphs.
+        while k >= 2.0:
+            nr_k = self.iteration_bound(n, k)
+            to_generate = min(nr_k, self.max_sets) - len(collection)
+            if to_generate > 0:
+                if nr_k > self.max_sets:
+                    truncated = True
+                roots, members = sample_rrr_sets(graph, to_generate, rng)
+                collection.extend(roots, members)
+            n_p_opt = n * float(collection.coverage_fraction().max())
+            gamma = (1.0 + self.epsilon_star) * k
+            if n_p_opt >= gamma or k / 2.0 < 2.0:
+                k_used = k if n_p_opt >= gamma else 0.0
+                sigma_lb = max(n_p_opt * k / gamma if gamma > 0 else 1.0, 1.0)
+                break
+            collection.clear()
+            k /= 2.0
+
+        n_prime = self.threshold_bound(n, sigma_lb)
+        deficit = min(n_prime, self.max_sets) - len(collection)
+        if n_prime > self.max_sets:
+            truncated = True
+        if deficit > 0:
+            roots, members = sample_rrr_sets(graph, deficit, rng)
+            collection.extend(roots, members)
+
+        return RPOResult(
+            collection=collection,
+            k_used=k_used,
+            sigma_lower_bound=sigma_lb,
+            iteration_bound=nr_k,
+            threshold_bound=n_prime,
+            truncated=truncated,
+        )

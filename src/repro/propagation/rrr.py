@@ -1,0 +1,213 @@
+"""Random Reverse Reachable (RRR) set generation and queries (Definition 5).
+
+An RRR set is sampled by (1) picking a root worker uniformly at random and
+(2) performing a reverse BFS in which each in-arc of a visited node ``v`` is
+live independently with probability ``1 / indeg(v)``.  The set contains every
+worker that reaches the root through live arcs — including the root itself
+(zero arcs is a finite path).
+
+:class:`RRRCollection` stores all sampled sets and answers the three queries
+the rest of the library needs, each vectorized:
+
+* ``coverage_fraction`` — ``f_R(w)``, the fraction of sets covering ``w``
+  (drives the greedy informed worker of Definition 8 and ``N_p``);
+* ``sigma`` — the informed range estimate ``|W|/N * count`` (Definition 6);
+* ``ppro`` / ``weighted_root_cover`` — the pairwise informed probability of
+  Equation 3 and its task-weighted aggregation used by the influence model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from repro.propagation.graph import SocialGraph
+
+
+def _sample_one(graph: SocialGraph, root: int, rng: np.random.Generator) -> np.ndarray:
+    """Reverse-BFS sample of one RRR set rooted at dense index ``root``."""
+    visited = {root}
+    frontier = [root]
+    while frontier:
+        next_frontier: list[int] = []
+        for node in frontier:
+            in_neighbors = graph.in_neighbors(node)
+            if len(in_neighbors) == 0:
+                continue
+            # Arc (u -> node) is live with its model probability; under the
+            # paper's in-degree model that is 1/indeg(node) for every u,
+            # and either way one vectorized draw suffices.
+            probs = graph.in_arc_probs(node)
+            live = in_neighbors[rng.random(len(in_neighbors)) < probs]
+            for u in live:
+                u = int(u)
+                if u not in visited:
+                    visited.add(u)
+                    next_frontier.append(u)
+        frontier = next_frontier
+    return np.fromiter(visited, dtype=np.int64, count=len(visited))
+
+
+@dataclass
+class RRRCollection:
+    """A bag of RRR sets with vectorized coverage queries."""
+
+    num_workers: int
+    roots: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    members: list[np.ndarray] = field(default_factory=list)
+    _cover_counts: np.ndarray | None = field(default=None, repr=False)
+    _membership: sparse.csr_matrix | None = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def extend(self, roots: np.ndarray, members: list[np.ndarray]) -> None:
+        """Append newly sampled sets, invalidating cached statistics."""
+        self.roots = np.concatenate([self.roots, roots])
+        self.members.extend(members)
+        self._cover_counts = None
+        self._membership = None
+
+    def clear(self) -> None:
+        """Drop every set (Algorithm 1 resets R between k-iterations)."""
+        self.roots = np.zeros(0, dtype=np.int64)
+        self.members = []
+        self._cover_counts = None
+        self._membership = None
+
+    def membership_matrix(self) -> sparse.csr_matrix:
+        """Sparse ``|W| x N`` indicator: entry (w, j) = 1 iff set j covers w."""
+        if self._membership is None:
+            if self.members:
+                member_flat = np.concatenate(self.members)
+                set_ids = np.repeat(
+                    np.arange(len(self.members), dtype=np.int64),
+                    [len(m) for m in self.members],
+                )
+                data = np.ones(len(member_flat))
+                self._membership = sparse.csr_matrix(
+                    (data, (member_flat, set_ids)),
+                    shape=(self.num_workers, len(self.members)),
+                )
+            else:
+                self._membership = sparse.csr_matrix((self.num_workers, 0))
+        return self._membership
+
+    # -------------------------------------------------------------- coverage
+    def cover_counts(self) -> np.ndarray:
+        """``count[w]`` = number of sets containing ``w`` (cached)."""
+        if self._cover_counts is None:
+            counts = np.zeros(self.num_workers, dtype=np.int64)
+            for member in self.members:
+                counts[member] += 1
+            self._cover_counts = counts
+        return self._cover_counts
+
+    def coverage_fraction(self) -> np.ndarray:
+        """``f_R(w)`` for every worker; zeros if the collection is empty."""
+        if not self.members:
+            return np.zeros(self.num_workers)
+        return self.cover_counts() / len(self.members)
+
+    def greedy_informed_worker(self) -> int:
+        """Dense index of the worker maximizing ``f_R`` (Definition 8)."""
+        if not self.members:
+            raise ValueError("empty RRR collection has no greedy informed worker")
+        return int(np.argmax(self.cover_counts()))
+
+    def sigma(self, worker_index: int) -> float:
+        """Informed-range estimate ``sigma(w) = |W|/N * count[w]`` (Def. 6)."""
+        if not self.members:
+            return 0.0
+        return self.num_workers * float(self.cover_counts()[worker_index]) / len(self.members)
+
+    def sigma_all(self) -> np.ndarray:
+        """``sigma(w)`` for every worker at once."""
+        if not self.members:
+            return np.zeros(self.num_workers)
+        return self.num_workers * self.cover_counts().astype(float) / len(self.members)
+
+    # -------------------------------------------------------------- pairwise
+    def ppro(self, source_index: int, target_index: int) -> float:
+        """Equation 3: ``P_pro(w_s, w_i)`` — probability that ``target`` is
+        informed by ``source`` = ``|W|/N *`` (number of target-rooted sets
+        covering the source)."""
+        if not self.members:
+            return 0.0
+        count = 0
+        for root, member in zip(self.roots, self.members):
+            if root != target_index:
+                continue
+            position = np.searchsorted(member, source_index)
+            if position < len(member) and member[position] == source_index:
+                count += 1
+        return self.num_workers * count / len(self.members)
+
+    def ppro_matrix_row(self, source_index: int) -> np.ndarray:
+        """``P_pro(w_s, w_i)`` for a fixed source against every target.
+
+        One pass over the sets: every target-rooted set covering the source
+        contributes ``|W|/N`` at the root's position.
+        """
+        out = np.zeros(self.num_workers)
+        if not self.members:
+            return out
+        scale = self.num_workers / len(self.members)
+        for root, member in zip(self.roots, self.members):
+            # membership test via searchsorted on the (small) sorted member array
+            position = np.searchsorted(member, source_index)
+            if position < len(member) and member[position] == source_index:
+                out[int(root)] += scale
+        return out
+
+    def weighted_root_cover(self, weight_by_root: np.ndarray) -> np.ndarray:
+        """Vectorized inner sum of the influence formula.
+
+        Given per-worker weights ``weight_by_root`` (e.g. ``P_wil(w_i, s)``),
+        returns for every candidate source ``w_s``
+
+            out[w_s] = |W|/N * sum_{sets j covering w_s} weight_by_root[root_j]
+
+        which equals ``sum_i weight[i] * P_pro(w_s, w_i)``.
+        """
+        out = self.weighted_root_cover_batch(np.asarray(weight_by_root)[:, None])
+        return out[:, 0]
+
+    def weighted_root_cover_batch(self, weights: np.ndarray) -> np.ndarray:
+        """Batched :meth:`weighted_root_cover` over many weight vectors.
+
+        ``weights`` has shape ``(|W|, T)`` (one column per task); the result
+        has the same shape, where
+
+            out[w_s, t] = sum_i weights[i, t] * P_pro(w_s, w_i)
+
+        computed as one sparse matrix product: ``scale * M @ weights[roots]``
+        with ``M`` the membership indicator.
+        """
+        weights = np.atleast_2d(np.asarray(weights, dtype=float))
+        if weights.shape[0] != self.num_workers:
+            raise ValueError(
+                f"weights must have {self.num_workers} rows, got {weights.shape[0]}"
+            )
+        if not self.members:
+            return np.zeros_like(weights)
+        scale = self.num_workers / len(self.members)
+        per_set = weights[self.roots, :]  # (N, T)
+        return scale * (self.membership_matrix() @ per_set)
+
+
+def sample_rrr_sets(
+    graph: SocialGraph, count: int, rng: np.random.Generator
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Sample ``count`` RRR sets with uniformly random roots.
+
+    Returns ``(roots, members)`` where each member array is **sorted** so
+    that membership tests can binary-search.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    roots = rng.integers(graph.num_workers, size=count)
+    members = [np.sort(_sample_one(graph, int(root), rng)) for root in roots]
+    return roots.astype(np.int64), members

@@ -1,0 +1,112 @@
+"""Vocabulary and corpus containers for the LDA substrate."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+class Vocabulary:
+    """A bidirectional word <-> id mapping.
+
+    Ids are dense and assigned in first-seen order, which keeps the
+    topic-word matrices small and reproducible.
+    """
+
+    def __init__(self, words: Iterable[str] = ()) -> None:
+        self._word_to_id: dict[str, int] = {}
+        self._id_to_word: list[str] = []
+        for word in words:
+            self.add(word)
+
+    def add(self, word: str) -> int:
+        """Add ``word`` if unseen; return its id either way."""
+        existing = self._word_to_id.get(word)
+        if existing is not None:
+            return existing
+        word_id = len(self._id_to_word)
+        self._word_to_id[word] = word_id
+        self._id_to_word.append(word)
+        return word_id
+
+    def id_of(self, word: str) -> int:
+        """Return the id of ``word``; raises :class:`KeyError` if unknown."""
+        return self._word_to_id[word]
+
+    def get(self, word: str) -> int | None:
+        """Return the id of ``word`` or ``None`` if unknown."""
+        return self._word_to_id.get(word)
+
+    def word_of(self, word_id: int) -> str:
+        """Return the word with id ``word_id``."""
+        return self._id_to_word[word_id]
+
+    def __len__(self) -> int:
+        return len(self._id_to_word)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._word_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_word)
+
+
+class Corpus:
+    """A tokenized corpus with a shared vocabulary.
+
+    Documents are stored both as id sequences (for Gibbs sampling) and as a
+    dense document-term count matrix (for variational inference).  Empty
+    documents are allowed — workers with no history simply get the prior.
+    """
+
+    def __init__(self, documents: Sequence[Sequence[str]], vocabulary: Vocabulary | None = None) -> None:
+        if vocabulary is None:
+            vocabulary = Vocabulary()
+            freeze = False
+        else:
+            freeze = True
+        self.vocabulary = vocabulary
+        self.doc_tokens: list[np.ndarray] = []
+        for doc in documents:
+            ids = []
+            for word in doc:
+                if freeze:
+                    word_id = vocabulary.get(word)
+                    if word_id is None:
+                        continue  # out-of-vocabulary words are dropped
+                else:
+                    word_id = vocabulary.add(word)
+                ids.append(word_id)
+            self.doc_tokens.append(np.array(ids, dtype=np.int64))
+        if len(self.vocabulary) == 0:
+            raise DataError("corpus has an empty vocabulary (all documents empty?)")
+
+    def __len__(self) -> int:
+        return len(self.doc_tokens)
+
+    @property
+    def num_words(self) -> int:
+        """Vocabulary size ``V``."""
+        return len(self.vocabulary)
+
+    @property
+    def num_tokens(self) -> int:
+        """Total token instances across documents."""
+        return int(sum(len(t) for t in self.doc_tokens))
+
+    def count_matrix(self) -> np.ndarray:
+        """Return the dense ``D x V`` document-term count matrix."""
+        matrix = np.zeros((len(self.doc_tokens), self.num_words), dtype=np.float64)
+        for row, tokens in enumerate(self.doc_tokens):
+            if len(tokens):
+                np.add.at(matrix[row], tokens, 1.0)
+        return matrix
+
+    def encode(self, document: Sequence[str]) -> np.ndarray:
+        """Encode an unseen document against the existing vocabulary,
+        silently dropping out-of-vocabulary words."""
+        ids = [self.vocabulary.get(w) for w in document]
+        return np.array([i for i in ids if i is not None], dtype=np.int64)

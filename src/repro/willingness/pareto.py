@@ -1,0 +1,71 @@
+"""Pareto movement model: shape estimation (paper Eq. 1) and tail mass.
+
+Worker movement lengths are modeled as Pareto with minimum ``omega = 1``
+(distances are shifted by +1 so the support starts at 1).  The maximum
+likelihood estimate of the shape is
+
+    pi = (|S_w| - 1) / sum_i ln(x_i),    x_i = d(s_i, s_{i+1}) + 1
+
+and the probability of moving at least distance ``d`` is the Pareto tail
+``(d + 1)^(-pi)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+#: Shape assigned to workers whose every observed jump had length zero
+#: (sum of logs is 0, Eq. 1 undefined).  A large shape encodes "this worker
+#: essentially never travels": the tail mass decays steeply with distance.
+DEGENERATE_SHAPE = 50.0
+
+#: Upper clamp protecting downstream exponentiation from overflow when a
+#: history contains one tiny positive jump.
+MAX_SHAPE = 50.0
+
+
+def fit_pareto_shape(consecutive_distances_km: Sequence[float]) -> float:
+    """MLE of the Pareto shape from consecutive jump distances (Eq. 1).
+
+    Parameters
+    ----------
+    consecutive_distances_km:
+        The ``|S_w| - 1`` distances between successive historical task
+        locations.  Values must be non-negative.
+
+    Returns
+    -------
+    float
+        The estimated shape ``pi``, clamped to ``(0, MAX_SHAPE]``.  Returns
+        :data:`DEGENERATE_SHAPE` when every jump is zero (the paper's
+        side-condition ``sum ln x_i != 0`` fails).
+
+    Raises
+    ------
+    ValueError
+        If the sequence is empty or contains a negative distance.
+    """
+    if len(consecutive_distances_km) == 0:
+        raise ValueError("need at least one consecutive distance to fit a shape")
+    log_sum = 0.0
+    for distance in consecutive_distances_km:
+        if distance < 0:
+            raise ValueError(f"negative distance: {distance}")
+        log_sum += math.log(distance + 1.0)
+    if log_sum <= 0.0:
+        return DEGENERATE_SHAPE
+    shape = len(consecutive_distances_km) / log_sum
+    return min(shape, MAX_SHAPE)
+
+
+def pareto_tail_probability(distance_km: float, shape: float) -> float:
+    """``P[jump >= distance]`` under the fitted Pareto: ``(d + 1)^(-pi)``.
+
+    Raises :class:`ValueError` for a negative distance or non-positive shape.
+    """
+    if distance_km < 0:
+        raise ValueError(f"negative distance: {distance_km}")
+    if shape <= 0:
+        raise ValueError(f"shape must be positive, got {shape}")
+    return (distance_km + 1.0) ** (-shape)

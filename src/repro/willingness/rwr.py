@@ -1,0 +1,108 @@
+"""Random Walk with Restart over a worker's historical task locations.
+
+The paper (Section III-B1) builds, per worker, a weight matrix over the
+locations of the worker's performed tasks and computes the stationary
+distribution ``P_w(w, s_i)`` — the probability the worker "stays at" each
+historical location.  We realise this with the standard RWR fixed point
+
+    p = (1 - c) * T^T p + c * q
+
+where ``T`` is the row-stochastic transition matrix derived from the
+worker's chronological movements (observed transitions between distinct
+locations), ``q`` is the restart distribution (uniform over visited
+locations), and ``c`` is the restart probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo import Point
+
+
+@dataclass(frozen=True)
+class StationaryDistribution:
+    """The RWR output: distinct locations and their stationary probabilities."""
+
+    locations: tuple[Point, ...]
+    probabilities: np.ndarray  # aligned with locations; sums to 1
+
+    def probability_of(self, location: Point) -> float:
+        """Return the stationary mass at ``location`` (0.0 if never visited)."""
+        for i, visited in enumerate(self.locations):
+            if visited == location:
+                return float(self.probabilities[i])
+        return 0.0
+
+
+def _transition_matrix(visit_sequence: list[int], num_states: int) -> np.ndarray:
+    """Row-stochastic matrix of observed transitions between distinct states.
+
+    States never left (or terminal) get a uniform row, keeping the chain
+    irreducible together with the restart term.
+    """
+    counts = np.zeros((num_states, num_states), dtype=float)
+    for a, b in zip(visit_sequence, visit_sequence[1:]):
+        counts[a, b] += 1.0
+    row_sums = counts.sum(axis=1, keepdims=True)
+    uniform = np.full((1, num_states), 1.0 / num_states)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        matrix = np.where(row_sums > 0, counts / np.where(row_sums == 0, 1, row_sums), uniform)
+    return matrix
+
+
+def random_walk_with_restart(
+    locations: list[Point],
+    restart: float = 0.15,
+    tol: float = 1e-10,
+    max_iter: int = 500,
+) -> StationaryDistribution:
+    """Compute the RWR stationary distribution of a location sequence.
+
+    Parameters
+    ----------
+    locations:
+        The worker's chronological task locations (may repeat).
+    restart:
+        Restart probability ``c`` in (0, 1]; higher values pull the
+        distribution towards the uniform restart vector.
+
+    Raises
+    ------
+    ValueError
+        If ``locations`` is empty or ``restart`` is out of range.
+    """
+    if not locations:
+        raise ValueError("cannot compute a stationary distribution of zero locations")
+    if not 0.0 < restart <= 1.0:
+        raise ValueError(f"restart must be in (0, 1], got {restart}")
+
+    distinct: list[Point] = []
+    index: dict[Point, int] = {}
+    sequence: list[int] = []
+    for location in locations:
+        state = index.get(location)
+        if state is None:
+            state = len(distinct)
+            index[location] = state
+            distinct.append(location)
+        sequence.append(state)
+
+    n = len(distinct)
+    if n == 1:
+        return StationaryDistribution(locations=tuple(distinct), probabilities=np.array([1.0]))
+
+    transition = _transition_matrix(sequence, n)
+    q = np.full(n, 1.0 / n)
+    p = q.copy()
+    for _ in range(max_iter):
+        new_p = (1.0 - restart) * (transition.T @ p) + restart * q
+        if float(np.abs(new_p - p).sum()) < tol:
+            p = new_p
+            break
+        p = new_p
+    p = np.maximum(p, 0.0)
+    p /= p.sum()
+    return StationaryDistribution(locations=tuple(distinct), probabilities=p)

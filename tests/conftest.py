@@ -1,0 +1,141 @@
+"""Shared fixtures: a tiny synthetic world and fitted models.
+
+Session-scoped where safe (everything here is immutable or treated as
+such) so the suite stays fast despite exercising the full pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DITAPipeline,
+    InstanceBuilder,
+    PipelineConfig,
+    PreparedInstance,
+    SyntheticConfig,
+    generate_dataset,
+)
+from repro.data.instance import SCInstance
+from repro.entities import PerformedTask, Task, TaskHistory, Worker
+from repro.framework.dita import FittedModels
+from repro.geo import Point
+from repro.propagation import SocialGraph
+
+
+TINY_CONFIG = SyntheticConfig(
+    name="tiny",
+    num_users=60,
+    num_venues=40,
+    num_days=12,
+    area_km=30.0,
+    num_clusters=4,
+    ba_attachment=2,
+    mean_checkins_per_user_day=2.0,
+    active_probability=0.7,
+    seed=123,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A 60-user synthetic check-in dataset."""
+    return generate_dataset(TINY_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def tiny_builder(tiny_dataset):
+    """Instance builder with paper-default ϕ/r over the tiny dataset."""
+    return InstanceBuilder(tiny_dataset, valid_hours=5.0, reachable_km=25.0)
+
+
+@pytest.fixture(scope="session")
+def tiny_instance(tiny_builder) -> SCInstance:
+    """A mid-dataset day instance with history behind it."""
+    return tiny_builder.build_day(day=6)
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> PipelineConfig:
+    """Cheap pipeline configuration for tests."""
+    return PipelineConfig(
+        num_topics=6,
+        propagation_mode="fixed",
+        num_rrr_sets=1500,
+        seed=42,
+    )
+
+
+@pytest.fixture(scope="session")
+def fitted_models(tiny_instance, fast_config) -> FittedModels:
+    """DITA models fitted once for the whole suite."""
+    return DITAPipeline(fast_config).fit(tiny_instance)
+
+
+@pytest.fixture(scope="session")
+def full_influence(fitted_models):
+    """The full (non-ablated) influence model."""
+    return fitted_models.influence_model()
+
+
+@pytest.fixture()
+def prepared(tiny_instance, full_influence) -> PreparedInstance:
+    """A fresh PreparedInstance per test (caches are per-instance)."""
+    return PreparedInstance(tiny_instance, full_influence)
+
+
+# ----------------------------------------------------------- tiny hand-built
+@pytest.fixture()
+def square_workers() -> list[Worker]:
+    """Four workers on a 10 km square."""
+    return [
+        Worker(worker_id=0, location=Point(0.0, 0.0), reachable_km=12.0),
+        Worker(worker_id=1, location=Point(10.0, 0.0), reachable_km=12.0),
+        Worker(worker_id=2, location=Point(0.0, 10.0), reachable_km=12.0),
+        Worker(worker_id=3, location=Point(10.0, 10.0), reachable_km=12.0),
+    ]
+
+
+@pytest.fixture()
+def square_tasks() -> list[Task]:
+    """Three tasks near the square's corners, generous deadlines."""
+    return [
+        Task(task_id=0, location=Point(1.0, 1.0), publication_time=0.0, valid_hours=10.0),
+        Task(task_id=1, location=Point(9.0, 1.0), publication_time=0.0, valid_hours=10.0),
+        Task(task_id=2, location=Point(5.0, 9.0), publication_time=0.0, valid_hours=10.0),
+    ]
+
+
+@pytest.fixture()
+def line_graph() -> SocialGraph:
+    """A path graph 0 - 1 - 2 - 3."""
+    return SocialGraph(range(4), [(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture()
+def history_factory():
+    """Factory building a TaskHistory from (x, y, t[, categories]) tuples."""
+
+    def build(worker_id: int, visits):
+        performed = []
+        for visit in visits:
+            x, y, t = visit[0], visit[1], visit[2]
+            cats = tuple(visit[3]) if len(visit) > 3 else ("cafe",)
+            performed.append(
+                PerformedTask(
+                    location=Point(x, y),
+                    arrival_time=t,
+                    completion_time=t,
+                    categories=cats,
+                    venue_id=None,
+                )
+            )
+        return TaskHistory(worker_id=worker_id, performed=performed)
+
+    return build
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2024)

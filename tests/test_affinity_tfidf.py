@@ -1,0 +1,119 @@
+"""Tests for repro.affinity.tfidf — the lexical affinity baseline."""
+
+import numpy as np
+import pytest
+
+from repro.affinity import AffinityModel, TfidfAffinity
+from repro.entities import Task
+from repro.exceptions import NotFittedError
+from repro.geo import Point
+
+
+def make_task(categories, task_id=0):
+    return Task(
+        task_id=task_id,
+        location=Point(0.0, 0.0),
+        publication_time=0.0,
+        valid_hours=5.0,
+        categories=tuple(categories),
+    )
+
+
+@pytest.fixture()
+def histories(history_factory):
+    return {
+        1: history_factory(1, [
+            (0, 0, 0, ["cafe", "cafe", "bar"]),
+            (1, 1, 1, ["cafe"]),
+        ]),
+        2: history_factory(2, [
+            (0, 0, 0, ["gym", "park"]),
+            (1, 1, 1, ["gym"]),
+        ]),
+        3: history_factory(3, [
+            (0, 0, 0, ["cafe", "gym"]),
+        ]),
+    }
+
+
+class TestTfidfAffinity:
+    def test_unfitted_raises(self):
+        model = TfidfAffinity()
+        with pytest.raises(NotFittedError):
+            model.affinity(1, make_task(["cafe"]))
+        with pytest.raises(NotFittedError):
+            _ = model.vocabulary_size
+
+    def test_all_empty_histories_rejected(self, history_factory):
+        empty = {1: history_factory(1, [])}
+        with pytest.raises(NotFittedError):
+            TfidfAffinity().fit(empty)
+
+    def test_vocabulary(self, histories):
+        model = TfidfAffinity().fit(histories)
+        assert model.vocabulary_size == 4  # bar cafe gym park
+
+    def test_affinity_in_unit_interval(self, histories):
+        model = TfidfAffinity().fit(histories)
+        for worker in (1, 2, 3):
+            for categories in (["cafe"], ["gym", "park"], ["bar", "cafe"]):
+                value = model.affinity(worker, make_task(categories))
+                assert 0.0 <= value <= 1.0 + 1e-12
+
+    def test_matching_categories_beat_disjoint(self, histories):
+        model = TfidfAffinity().fit(histories)
+        cafe_task = make_task(["cafe"])
+        assert model.affinity(1, cafe_task) > model.affinity(2, cafe_task)
+
+    def test_disjoint_categories_zero(self, histories):
+        """No smoothing across categories — the deficiency LDA fixes."""
+        model = TfidfAffinity().fit(histories)
+        assert model.affinity(2, make_task(["bar"])) == pytest.approx(0.0)
+
+    def test_identical_document_gives_unit_cosine(self, history_factory):
+        histories = {1: history_factory(1, [(0, 0, 0, ["cafe", "bar"])])}
+        model = TfidfAffinity().fit(histories)
+        assert model.affinity(1, make_task(["cafe", "bar"])) == pytest.approx(1.0)
+
+    def test_unknown_worker_zero_vector(self, histories):
+        model = TfidfAffinity().fit(histories)
+        assert model.affinity(99, make_task(["cafe"])) == 0.0
+
+    def test_unknown_category_ignored(self, histories):
+        model = TfidfAffinity().fit(histories)
+        mixed = model.affinity(1, make_task(["cafe", "opera"]))
+        pure = model.affinity(1, make_task(["cafe"]))
+        assert mixed > 0.0
+        assert mixed <= pure + 1e-12
+
+    def test_affinity_matrix_matches_pairwise(self, histories):
+        model = TfidfAffinity().fit(histories)
+        tasks = [make_task(["cafe"], 0), make_task(["gym", "park"], 1)]
+        matrix = model.affinity_matrix([1, 2, 3], tasks)
+        assert matrix.shape == (3, 2)
+        for i, worker in enumerate([1, 2, 3]):
+            for j, task in enumerate(tasks):
+                assert matrix[i, j] == pytest.approx(model.affinity(worker, task))
+
+    def test_empty_matrix_inputs(self, histories):
+        model = TfidfAffinity().fit(histories)
+        assert model.affinity_matrix([], []).shape == (0, 0)
+
+    def test_interface_matches_lda_model(self, histories):
+        """The pipeline-facing surface must match AffinityModel."""
+        for method in ("fit", "affinity", "affinity_matrix"):
+            assert hasattr(TfidfAffinity, method)
+            assert hasattr(AffinityModel, method)
+
+    def test_rare_category_outweighs_common_one(self, history_factory):
+        # "cafe" appears in every document, "opera" in one; a worker with
+        # both should match an opera task more strongly than a cafe task.
+        histories = {
+            1: history_factory(1, [(0, 0, 0, ["cafe", "opera"])]),
+            2: history_factory(2, [(0, 0, 0, ["cafe", "bar"])]),
+            3: history_factory(3, [(0, 0, 0, ["cafe", "gym"])]),
+        }
+        model = TfidfAffinity().fit(histories)
+        assert model.affinity(1, make_task(["opera"])) > model.affinity(
+            1, make_task(["cafe"])
+        )

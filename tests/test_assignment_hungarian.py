@@ -1,0 +1,138 @@
+"""Tests for repro.assignment.hungarian — from-scratch Kuhn-Munkres."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assignment import (
+    hungarian,
+    solve_lexicographic_dense,
+    solve_lexicographic_hungarian,
+    solve_lexicographic_mcmf,
+)
+from repro.assignment.solvers import solve_lexicographic
+
+
+def brute_force_min_cost(cost):
+    """Optimal complete assignment by enumeration (tiny matrices only)."""
+    n, m = cost.shape
+    best = float("inf")
+    for columns in itertools.permutations(range(m), n):
+        best = min(best, sum(cost[i, j] for i, j in enumerate(columns)))
+    return best
+
+
+class TestHungarian:
+    def test_empty_matrix(self):
+        assert hungarian(np.zeros((0, 5))) == []
+
+    def test_rejects_more_rows_than_columns(self):
+        with pytest.raises(ValueError):
+            hungarian(np.zeros((3, 2)))
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            hungarian(np.array([[1.0, np.inf]]))
+
+    def test_rejects_one_dimensional(self):
+        with pytest.raises(ValueError):
+            hungarian(np.zeros(4))
+
+    def test_identity_preference(self):
+        cost = np.array([[0.0, 9.0], [9.0, 0.0]])
+        assert hungarian(cost) == [0, 1]
+
+    def test_swap_preference(self):
+        cost = np.array([[9.0, 0.0], [0.0, 9.0]])
+        assert hungarian(cost) == [1, 0]
+
+    def test_rectangular_skips_expensive_column(self):
+        cost = np.array([[5.0, 1.0, 9.0], [1.0, 5.0, 9.0]])
+        assert hungarian(cost) == [1, 0]
+
+    def test_columns_distinct(self):
+        rng = np.random.default_rng(0)
+        cost = rng.random((8, 12))
+        columns = hungarian(cost)
+        assert len(set(columns)) == len(columns) == 8
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(1, 5),
+        extra=st.integers(0, 3),
+        seed=st.integers(0, 10_000),
+    )
+    def test_matches_brute_force(self, n, extra, seed):
+        rng = np.random.default_rng(seed)
+        cost = np.round(rng.random((n, n + extra)) * 10, 3)
+        columns = hungarian(cost)
+        got = sum(cost[i, j] for i, j in enumerate(columns))
+        assert got == pytest.approx(brute_force_min_cost(cost))
+
+    def test_ties_still_optimal(self):
+        cost = np.ones((3, 3))
+        columns = hungarian(cost)
+        assert sorted(columns) == [0, 1, 2]
+
+
+class TestLexicographicHungarian:
+    def test_empty_and_all_infeasible(self):
+        assert solve_lexicographic_hungarian(np.zeros((0, 0)), np.zeros((0, 0), bool)) == []
+        assert solve_lexicographic_hungarian(
+            np.ones((2, 2)), np.zeros((2, 2), bool)
+        ) == []
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            solve_lexicographic_hungarian(np.ones((2, 2)), np.ones((2, 3), bool))
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            solve_lexicographic_hungarian(
+                np.array([[-1.0]]), np.array([[True]])
+            )
+
+    def test_tall_matrix_transposed_internally(self):
+        # 3 workers, 1 task: exactly one pair chosen, the cheapest.
+        cost = np.array([[5.0], [1.0], [3.0]])
+        feasible = np.ones((3, 1), dtype=bool)
+        assert solve_lexicographic_hungarian(cost, feasible) == [(1, 0)]
+
+    def test_cardinality_dominates_cost(self):
+        # Taking the expensive pair for worker 0 allows worker 1 to match,
+        # so the 2-pair solution must win over the cheap 1-pair one.
+        cost = np.array([[0.1, 100.0], [np.nan, 0.1]])
+        cost = np.nan_to_num(cost, nan=0.0)
+        feasible = np.array([[True, True], [False, True]])
+        pairs = solve_lexicographic_hungarian(cost, feasible)
+        assert sorted(pairs) == [(0, 0), (1, 1)]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rows=st.integers(1, 7),
+        cols=st.integers(1, 7),
+        density=st.floats(0.1, 1.0),
+        seed=st.integers(0, 10_000),
+    )
+    def test_agrees_with_other_engines(self, rows, cols, density, seed):
+        rng = np.random.default_rng(seed)
+        cost = np.round(rng.random((rows, cols)) * 5, 3)
+        feasible = rng.random((rows, cols)) < density
+        ours = solve_lexicographic_hungarian(cost, feasible)
+        dense = solve_lexicographic_dense(cost, feasible)
+        mcmf = solve_lexicographic_mcmf(cost, feasible)
+        assert len(ours) == len(dense) == len(mcmf)
+        total = lambda pairs: sum(cost[r, c] for r, c in pairs)
+        assert total(ours) == pytest.approx(total(dense), abs=1e-9)
+        assert total(ours) == pytest.approx(total(mcmf), abs=1e-9)
+
+    def test_engine_dispatch(self):
+        cost = np.array([[1.0, 2.0], [2.0, 1.0]])
+        feasible = np.ones((2, 2), dtype=bool)
+        pairs = solve_lexicographic(cost, feasible, engine="hungarian")
+        assert sorted(pairs) == [(0, 0), (1, 1)]
+        with pytest.raises(ValueError):
+            solve_lexicographic(cost, feasible, engine="simplex")

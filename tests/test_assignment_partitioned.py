@@ -1,0 +1,107 @@
+"""Tests for repro.assignment.partitioned — per-cell assignment."""
+
+import numpy as np
+import pytest
+
+from repro.assignment import (
+    IAAssigner,
+    MTAAssigner,
+    PartitionedAssigner,
+    PreparedInstance,
+)
+from repro.data.instance import SCInstance
+from repro.entities import Task, Worker
+from repro.geo import Point
+
+
+def instance_of(workers, tasks):
+    return SCInstance(
+        name="partition-test",
+        current_time=0.0,
+        tasks=tasks,
+        workers=workers,
+        histories={},
+        social_edges=[],
+        all_worker_ids=tuple(w.worker_id for w in workers),
+    )
+
+
+def world(num, spread, seed=0, radius=10.0):
+    rng = np.random.default_rng(seed)
+    workers = [
+        Worker(worker_id=i, location=Point(*rng.uniform(0, spread, 2)),
+               reachable_km=radius)
+        for i in range(num)
+    ]
+    tasks = [
+        Task(task_id=i, location=Point(*rng.uniform(0, spread, 2)),
+             publication_time=0.0, valid_hours=8.0)
+        for i in range(num)
+    ]
+    return workers, tasks
+
+
+class TestPartitionedAssigner:
+    def test_rejects_bad_cell(self):
+        with pytest.raises(ValueError):
+            PartitionedAssigner(MTAAssigner(), cell_km=0.0)
+
+    def test_name_includes_cell_size(self):
+        assigner = PartitionedAssigner(MTAAssigner(), cell_km=25.0)
+        assert assigner.name == "MTA@25km"
+
+    def test_empty_instance(self):
+        prepared = PreparedInstance(instance_of([], []))
+        assignment = PartitionedAssigner(MTAAssigner(), cell_km=10.0).assign(prepared)
+        assert len(assignment) == 0
+
+    def test_single_cell_equals_global(self):
+        """With one cell covering everything the wrapper is the base."""
+        workers, tasks = world(20, spread=30.0, seed=1)
+        prepared = PreparedInstance(instance_of(workers, tasks))
+        global_assignment = MTAAssigner().assign(prepared)
+        partitioned = PartitionedAssigner(MTAAssigner(), cell_km=1000.0).assign(
+            PreparedInstance(instance_of(workers, tasks))
+        )
+        assert len(partitioned) == len(global_assignment)
+
+    def test_invariants_hold_across_cells(self):
+        workers, tasks = world(60, spread=80.0, seed=2)
+        prepared = PreparedInstance(instance_of(workers, tasks))
+        assignment = PartitionedAssigner(MTAAssigner(), cell_km=20.0).assign(prepared)
+        worker_ids = [p.worker.worker_id for p in assignment]
+        task_ids = [p.task.task_id for p in assignment]
+        assert len(set(worker_ids)) == len(worker_ids)
+        assert len(set(task_ids)) == len(task_ids)
+
+    def test_all_pairs_feasible(self):
+        workers, tasks = world(40, spread=60.0, seed=3, radius=15.0)
+        prepared = PreparedInstance(instance_of(workers, tasks))
+        assignment = PartitionedAssigner(MTAAssigner(), cell_km=15.0).assign(prepared)
+        for pair in assignment:
+            assert pair.travel_km <= pair.worker.reachable_km + 1e-9
+            arrival = pair.worker.travel_hours_to(pair.task.location)
+            assert arrival <= pair.task.expiry_time + 1e-9
+
+    def test_partitioning_loses_at_most_border_pairs(self):
+        """Per-cell cardinality is bounded by the global optimum and, with
+        cells larger than the radius, shouldn't collapse."""
+        workers, tasks = world(80, spread=100.0, seed=4, radius=10.0)
+        global_count = len(
+            MTAAssigner().assign(PreparedInstance(instance_of(workers, tasks)))
+        )
+        partitioned_count = len(
+            PartitionedAssigner(MTAAssigner(), cell_km=25.0).assign(
+                PreparedInstance(instance_of(workers, tasks))
+            )
+        )
+        assert partitioned_count <= global_count
+        assert partitioned_count >= global_count * 0.5
+
+    def test_works_with_influence_aware_base(self, tiny_instance, full_influence):
+        prepared = PreparedInstance(tiny_instance, full_influence)
+        global_ia = IAAssigner().assign(prepared)
+        partitioned = PartitionedAssigner(IAAssigner(), cell_km=15.0).assign(
+            PreparedInstance(tiny_instance, full_influence)
+        )
+        assert 0 < len(partitioned) <= len(global_ia)

@@ -1,0 +1,138 @@
+"""Tests for the lexicographic matching solvers.
+
+The critical property: both the from-scratch MCMF solver and the dense
+scipy reduction return (1) a maximum-cardinality matching that (2) has
+minimum total cost among such matchings.  They are cross-validated on
+random instances and against brute force on small ones.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assignment import solve_lexicographic_dense, solve_lexicographic_mcmf
+from repro.assignment.solvers import solve_lexicographic
+
+
+def brute_force(cost, feasible):
+    """Exhaustive lexicographic optimum for tiny instances."""
+    n_workers, n_tasks = cost.shape
+    best_size, best_cost = -1, float("inf")
+    workers = range(n_workers)
+    tasks = list(range(n_tasks))
+    for k in range(min(n_workers, n_tasks), -1, -1):
+        found_any = False
+        for worker_subset in itertools.combinations(workers, k):
+            for task_perm in itertools.permutations(tasks, k):
+                if all(feasible[w, t] for w, t in zip(worker_subset, task_perm)):
+                    found_any = True
+                    total = sum(cost[w, t] for w, t in zip(worker_subset, task_perm))
+                    if total < best_cost:
+                        best_cost = total
+        if found_any:
+            best_size = k
+            break
+    return best_size, (0.0 if best_size <= 0 else best_cost)
+
+
+def check_solution(pairs, cost, feasible, expected_size, expected_cost):
+    assert len(pairs) == expected_size
+    assert len({w for w, _ in pairs}) == len(pairs)
+    assert len({t for _, t in pairs}) == len(pairs)
+    for w, t in pairs:
+        assert feasible[w, t]
+    total = sum(cost[w, t] for w, t in pairs)
+    assert total == pytest.approx(expected_cost, abs=1e-9)
+
+
+class TestSolversExact:
+    @pytest.mark.parametrize("solver", [solve_lexicographic_dense, solve_lexicographic_mcmf])
+    def test_empty(self, solver):
+        assert solver(np.zeros((0, 0)), np.zeros((0, 0), dtype=bool)) == []
+
+    @pytest.mark.parametrize("solver", [solve_lexicographic_dense, solve_lexicographic_mcmf])
+    def test_no_feasible_pairs(self, solver):
+        cost = np.ones((2, 2))
+        assert solver(cost, np.zeros((2, 2), dtype=bool)) == []
+
+    @pytest.mark.parametrize("solver", [solve_lexicographic_dense, solve_lexicographic_mcmf])
+    def test_negative_cost_rejected(self, solver):
+        cost = np.array([[-1.0]])
+        with pytest.raises(ValueError):
+            solver(cost, np.array([[True]]))
+
+    @pytest.mark.parametrize("solver", [solve_lexicographic_dense, solve_lexicographic_mcmf])
+    def test_shape_mismatch_rejected(self, solver):
+        with pytest.raises(ValueError):
+            solver(np.ones((2, 2)), np.ones((2, 3), dtype=bool))
+
+    @pytest.mark.parametrize("solver", [solve_lexicographic_dense, solve_lexicographic_mcmf])
+    def test_cardinality_beats_cost(self, solver):
+        """A huge-cost pair must still be taken if it raises cardinality."""
+        cost = np.array([
+            [0.0, 1000.0],
+            [np.nan, np.nan],  # infeasible row values are never read
+        ])
+        feasible = np.array([[True, True], [True, False]])
+        cost = np.nan_to_num(cost, nan=0.0)
+        pairs = solver(cost, feasible)
+        # Max cardinality is 2: worker1->task0 forces worker0->task1 (cost 1000).
+        assert sorted(pairs) == [(0, 1), (1, 0)]
+
+    @pytest.mark.parametrize("solver", [solve_lexicographic_dense, solve_lexicographic_mcmf])
+    def test_min_cost_among_max_matchings(self, solver):
+        cost = np.array([
+            [1.0, 9.0],
+            [2.0, 3.0],
+        ])
+        feasible = np.ones((2, 2), dtype=bool)
+        pairs = solver(cost, feasible)
+        # Optimal: (0,0)+(1,1) = 4 over (0,1)+(1,0) = 11.
+        assert sorted(pairs) == [(0, 0), (1, 1)]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 4), st.data())
+    def test_both_match_brute_force(self, n_workers, n_tasks, data):
+        cost = np.array([
+            [data.draw(st.floats(0, 10)) for _ in range(n_tasks)]
+            for _ in range(n_workers)
+        ])
+        feasible = np.array([
+            [data.draw(st.booleans()) for _ in range(n_tasks)]
+            for _ in range(n_workers)
+        ])
+        expected_size, expected_cost = brute_force(cost, feasible)
+        expected_size = max(expected_size, 0)
+        for solver in (solve_lexicographic_dense, solve_lexicographic_mcmf):
+            pairs = solver(cost, feasible)
+            check_solution(pairs, cost, feasible, expected_size, expected_cost)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 8), st.integers(2, 8), st.integers(0, 10_000))
+    def test_engines_agree_on_random_instances(self, n_workers, n_tasks, seed):
+        rng = np.random.default_rng(seed)
+        cost = rng.random((n_workers, n_tasks))
+        feasible = rng.random((n_workers, n_tasks)) < 0.6
+        pairs_dense = solve_lexicographic_dense(cost, feasible)
+        pairs_mcmf = solve_lexicographic_mcmf(cost, feasible)
+        assert len(pairs_dense) == len(pairs_mcmf)
+        cost_dense = sum(cost[w, t] for w, t in pairs_dense)
+        cost_mcmf = sum(cost[w, t] for w, t in pairs_mcmf)
+        assert cost_dense == pytest.approx(cost_mcmf, abs=1e-6)
+
+
+class TestDispatch:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            solve_lexicographic(np.ones((1, 1)), np.ones((1, 1), dtype=bool), engine="quantum")
+
+    def test_auto_dispatch_small_and_large(self):
+        rng = np.random.default_rng(0)
+        cost = rng.random((3, 3))
+        feasible = np.ones((3, 3), dtype=bool)
+        small = solve_lexicographic(cost, feasible, engine="auto", dense_threshold=100)
+        large = solve_lexicographic(cost, feasible, engine="auto", dense_threshold=1)
+        assert sorted(small) == sorted(large)

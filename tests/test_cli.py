@@ -1,0 +1,130 @@
+"""Tests for repro.cli — the python -m repro command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--scale", "0.03", "--seed", "5"]
+FAST_PIPELINE = ["--topics", "5", "--rrr-sets", "500"]
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_world_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["info", "--world", "gowalla"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["info"])
+        assert args.world == "bk"
+        assert args.scale == 0.1
+        assert args.snap_dir is None
+
+
+class TestInfo:
+    def test_prints_statistics(self, capsys):
+        assert main(["info", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "users" in out
+        assert "richest days" in out
+
+    def test_fs_world(self, capsys):
+        assert main(["info", "--world", "fs", *FAST]) == 0
+        assert "FS-like" in capsys.readouterr().out
+
+
+class TestGenerateData:
+    def test_writes_snap_files(self, tmp_path, capsys):
+        out_dir = tmp_path / "world"
+        assert main(["generate-data", *FAST, "--out", str(out_dir)]) == 0
+        assert (out_dir / "edges.txt").exists()
+        assert (out_dir / "checkins.txt").exists()
+        assert (out_dir / "categories.txt").exists()
+
+    def test_roundtrip_through_info(self, tmp_path, capsys):
+        out_dir = tmp_path / "world"
+        main(["generate-data", *FAST, "--out", str(out_dir)])
+        capsys.readouterr()
+        assert main(["info", "--snap-dir", str(out_dir)]) == 0
+        assert "users" in capsys.readouterr().out
+
+
+class TestAssign:
+    def test_unknown_algorithm_fails(self, capsys):
+        code = main(["assign", *FAST, "--algorithms", "XYZ"])
+        assert code == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_metrics_table(self, capsys):
+        code = main([
+            "assign", *FAST, *FAST_PIPELINE,
+            "--algorithms", "MTA", "NN",
+            "--num-tasks", "30", "--num-workers", "30",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MTA" in out and "NN" in out
+        assert "assigned" in out
+
+    def test_movement_and_affinity_knobs(self, capsys):
+        code = main([
+            "assign", *FAST, *FAST_PIPELINE,
+            "--algorithms", "IA",
+            "--affinity", "tfidf", "--movement", "exponential",
+            "--num-tasks", "20", "--num-workers", "20",
+        ])
+        assert code == 0
+        assert "IA" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_comparison_sweep_with_exports(self, tmp_path, capsys):
+        json_path = tmp_path / "result.json"
+        csv_path = tmp_path / "result.csv"
+        code = main([
+            "sweep", *FAST, *FAST_PIPELINE,
+            "--parameter", "num_tasks", "--days", "1",
+            "--out", str(json_path), "--csv", str(csv_path),
+        ])
+        assert code == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["parameter"] == "num_tasks"
+        assert "MTA" in payload["series"]
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("algorithm,num_tasks")
+
+    def test_ablation_sweep(self, capsys):
+        code = main([
+            "sweep", *FAST, *FAST_PIPELINE,
+            "--parameter", "reachable_km", "--kind", "ablation", "--days", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IA-WP" in out
+
+
+class TestSeeds:
+    def test_seed_table(self, capsys):
+        code = main(["seeds", *FAST, "--k", "3", "--rrr-sets", "2000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimated spread" in out
+        # Three ranked rows.
+        assert all(f"\n    {rank} " in out for rank in (1, 2, 3))
+
+
+class TestValidate:
+    def test_synthetic_world_passes(self, capsys):
+        assert main(["validate", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS] integrity" in out
+        assert "movement-self-similarity" in out

@@ -1,0 +1,71 @@
+"""Tests for the assignment-instant knob of InstanceBuilder.build_day."""
+
+import pytest
+
+from repro.assignment import compute_feasible
+from repro.experiments import ExperimentRunner, ExperimentSettings
+from repro.framework import PipelineConfig
+
+
+class TestAssignmentHour:
+    def test_default_is_day_start(self, tiny_builder):
+        instance = tiny_builder.build_day(day=6)
+        assert instance.current_time == pytest.approx(24.0 * 6)
+
+    def test_offset_shifts_current_time(self, tiny_builder):
+        instance = tiny_builder.build_day(day=6, assignment_hour=24.0)
+        assert instance.current_time == pytest.approx(24.0 * 6 + 24.0)
+
+    def test_same_tasks_and_workers_either_way(self, tiny_builder):
+        """The instant changes feasibility, not the populations."""
+        start = tiny_builder.build_day(day=6)
+        end = tiny_builder.build_day(day=6, assignment_hour=24.0)
+        assert [t.task_id for t in start.tasks] == [t.task_id for t in end.tasks]
+        assert [w.worker_id for w in start.workers] == [
+            w.worker_id for w in end.workers
+        ]
+
+    def test_day_end_feasibility_grows_with_phi(self, tiny_dataset):
+        """At the day end a task is assignable only if published within the
+        last ϕ hours, so the feasible-pair count must be monotone in ϕ."""
+        from repro.data import InstanceBuilder
+
+        counts = []
+        for phi in (1.0, 3.0, 6.0, 12.0):
+            builder = InstanceBuilder(tiny_dataset, valid_hours=phi)
+            instance = builder.build_day(day=6, assignment_hour=24.0)
+            feasible = compute_feasible(
+                instance.workers, instance.tasks, instance.current_time
+            )
+            counts.append(feasible.num_feasible)
+        assert counts == sorted(counts)
+        assert counts[-1] > counts[0]
+
+    def test_day_start_feasibility_flat_in_phi(self, tiny_dataset):
+        """At the day start the deadline has >= ϕ hours of slack plus the
+        publication delay, so ϕ barely moves the feasible count."""
+        from repro.data import InstanceBuilder
+
+        counts = []
+        for phi in (1.0, 6.0):
+            builder = InstanceBuilder(tiny_dataset, valid_hours=phi)
+            instance = builder.build_day(day=6)
+            feasible = compute_feasible(
+                instance.workers, instance.tasks, instance.current_time
+            )
+            counts.append(feasible.num_feasible)
+        assert counts[1] >= counts[0]
+
+    def test_runner_threads_assignment_hour(self, tiny_dataset):
+        settings = ExperimentSettings(
+            scale=0.02, num_days=1, seed=3, assignment_hour=24.0
+        )
+        runner = ExperimentRunner(
+            tiny_dataset,
+            settings,
+            PipelineConfig(num_topics=5, propagation_mode="fixed",
+                           num_rrr_sets=300, seed=3),
+        )
+        day = runner.days[0]
+        instance = runner.build_instance(day)
+        assert instance.current_time == pytest.approx(24.0 * day + 24.0)

@@ -1,0 +1,39 @@
+"""Tests for the category taxonomy."""
+
+import pytest
+
+from repro.data.categories import (
+    CATEGORY_TAXONOMY,
+    all_categories,
+    category_group,
+    group_names,
+)
+
+
+class TestTaxonomy:
+    def test_nine_groups_like_foursquare(self):
+        assert len(CATEGORY_TAXONOMY) == 9
+
+    def test_no_duplicate_leaves(self):
+        leaves = all_categories()
+        assert len(leaves) == len(set(leaves))
+
+    def test_reasonable_vocabulary_size(self):
+        assert 60 <= len(all_categories()) <= 150
+
+    def test_category_group_roundtrip(self):
+        for group, leaves in CATEGORY_TAXONOMY.items():
+            for leaf in leaves:
+                assert category_group(leaf) == group
+
+    def test_unknown_category_raises(self):
+        with pytest.raises(KeyError):
+            category_group("warp_gate")
+
+    def test_group_names_sorted(self):
+        names = group_names()
+        assert list(names) == sorted(names)
+        assert set(names) == set(CATEGORY_TAXONOMY)
+
+    def test_all_categories_deterministic(self):
+        assert all_categories() == all_categories()

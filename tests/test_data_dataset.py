@@ -1,0 +1,84 @@
+"""Tests for the CheckInDataset container."""
+
+import pytest
+
+from repro.data import CheckInDataset, Venue
+from repro.entities import CheckIn
+from repro.exceptions import DataError
+from repro.geo import Point
+
+
+def make_dataset():
+    venues = [
+        Venue(venue_id=0, location=Point(0, 0), categories=("cafe",)),
+        Venue(venue_id=1, location=Point(5, 5), categories=("bar",)),
+    ]
+    checkins = [
+        CheckIn(user_id=1, venue_id=0, location=Point(0, 0), time=30.0),
+        CheckIn(user_id=2, venue_id=1, location=Point(5, 5), time=2.0),
+        CheckIn(user_id=1, venue_id=1, location=Point(5, 5), time=26.0),
+    ]
+    return CheckInDataset.build(
+        name="test",
+        venues=venues,
+        checkins=checkins,
+        social_edges=[(1, 2)],
+    )
+
+
+class TestCheckInDataset:
+    def test_checkins_sorted_by_time(self):
+        ds = make_dataset()
+        assert [c.time for c in ds.checkins] == [2.0, 26.0, 30.0]
+
+    def test_counts(self):
+        ds = make_dataset()
+        assert ds.num_users == 2
+        assert ds.num_venues == 2
+        assert ds.num_checkins == 3
+        assert ds.num_days == 2  # last check-in at t=30 -> day 1
+
+    def test_user_ids_inferred(self):
+        assert make_dataset().user_ids == (1, 2)
+
+    def test_checkins_by_user(self):
+        ds = make_dataset()
+        times = [c.time for c in ds.checkins_by_user(1)]
+        assert times == [26.0, 30.0]
+        assert ds.checkins_by_user(99) == []
+
+    def test_checkins_on_day(self):
+        ds = make_dataset()
+        assert len(ds.checkins_on_day(0)) == 1
+        assert len(ds.checkins_on_day(1)) == 2
+        assert ds.checkins_on_day(5) == []
+        assert ds.active_days() == [0, 1]
+
+    def test_bounding_box_covers_venues(self):
+        box = make_dataset().bounding_box()
+        assert box.contains(Point(0, 0)) and box.contains(Point(5, 5))
+
+    def test_describe_mentions_name(self):
+        assert "test" in make_dataset().describe()
+
+    def test_rejects_unknown_venue(self):
+        with pytest.raises(DataError):
+            CheckInDataset.build(
+                name="bad",
+                venues=[],
+                checkins=[CheckIn(user_id=1, venue_id=0, location=Point(0, 0), time=0.0)],
+                social_edges=[],
+            )
+
+    def test_rejects_edge_to_unknown_user(self):
+        with pytest.raises(DataError):
+            CheckInDataset.build(
+                name="bad",
+                venues=[Venue(venue_id=0, location=Point(0, 0), categories=())],
+                checkins=[CheckIn(user_id=1, venue_id=0, location=Point(0, 0), time=0.0)],
+                social_edges=[(1, 99)],
+            )
+
+    def test_rejects_empty_checkins(self):
+        with pytest.raises(DataError):
+            CheckInDataset.build(name="bad", venues=[], checkins=[], social_edges=[])

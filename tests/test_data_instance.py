@@ -1,0 +1,117 @@
+"""Tests for the per-day SC instance builder."""
+
+import pytest
+
+from repro.data import InstanceBuilder
+from repro.exceptions import DataError
+
+
+class TestInstanceBuilder:
+    def test_day_without_checkins_raises(self, tiny_dataset):
+        builder = InstanceBuilder(tiny_dataset)
+        with pytest.raises(DataError):
+            builder.build_day(day=9999)
+
+    def test_invalid_parameters_rejected(self, tiny_dataset):
+        with pytest.raises(DataError):
+            InstanceBuilder(tiny_dataset, valid_hours=-1.0)
+        with pytest.raises(DataError):
+            InstanceBuilder(tiny_dataset, reachable_km=-5.0)
+
+    def test_tasks_are_days_venues(self, tiny_dataset, tiny_builder):
+        day = 6
+        instance = tiny_builder.build_day(day)
+        venues_today = {c.venue_id for c in tiny_dataset.checkins_on_day(day)}
+        assert {t.task_id for t in instance.tasks} == venues_today
+
+    def test_task_publication_is_earliest_checkin_of_day(self, tiny_dataset, tiny_builder):
+        day = 6
+        instance = tiny_builder.build_day(day)
+        for task in instance.tasks:
+            times = [
+                c.time for c in tiny_dataset.checkins_on_day(day)
+                if c.venue_id == task.task_id
+            ]
+            assert task.publication_time == pytest.approx(min(times))
+
+    def test_workers_are_days_active_users(self, tiny_dataset, tiny_builder):
+        day = 6
+        instance = tiny_builder.build_day(day)
+        active = {c.user_id for c in tiny_dataset.checkins_on_day(day)}
+        assert {w.worker_id for w in instance.workers} == active
+
+    def test_worker_location_is_latest_past_checkin(self, tiny_dataset, tiny_builder):
+        day = 6
+        instance = tiny_builder.build_day(day)
+        cutoff = 24.0 * day
+        for worker in instance.workers[:10]:
+            past = [c for c in tiny_dataset.checkins_by_user(worker.worker_id) if c.time < cutoff]
+            if past:
+                assert worker.location == past[-1].location
+
+    def test_histories_strictly_before_day(self, tiny_builder):
+        day = 6
+        instance = tiny_builder.build_day(day)
+        cutoff = 24.0 * day
+        for history in instance.histories.values():
+            for record in history:
+                assert record.arrival_time < cutoff
+
+    def test_all_users_have_history_entries(self, tiny_dataset, tiny_builder):
+        instance = tiny_builder.build_day(6)
+        assert set(instance.histories) == set(tiny_dataset.user_ids)
+
+    def test_sampling_caps_and_subsets(self, tiny_builder):
+        full = tiny_builder.build_day(6)
+        sampled = tiny_builder.build_day(6, num_tasks=5, num_workers=7, seed=3)
+        assert sampled.num_tasks == 5
+        assert sampled.num_workers == 7
+        assert {t.task_id for t in sampled.tasks} <= {t.task_id for t in full.tasks}
+        # Oversized requests are capped at availability.
+        capped = tiny_builder.build_day(6, num_tasks=10**6, num_workers=10**6)
+        assert capped.num_tasks == full.num_tasks
+        assert capped.num_workers == full.num_workers
+
+    def test_sampling_deterministic_by_seed(self, tiny_builder):
+        a = tiny_builder.build_day(6, num_tasks=5, seed=3)
+        b = tiny_builder.build_day(6, num_tasks=5, seed=3)
+        c = tiny_builder.build_day(6, num_tasks=5, seed=4)
+        assert [t.task_id for t in a.tasks] == [t.task_id for t in b.tasks]
+        assert [t.task_id for t in a.tasks] != [t.task_id for t in c.tasks]
+
+    def test_parameter_overrides(self, tiny_builder):
+        instance = tiny_builder.build_day(6, valid_hours=2.5, reachable_km=7.0)
+        assert all(t.valid_hours == 2.5 for t in instance.tasks)
+        assert all(w.reachable_km == 7.0 for w in instance.workers)
+
+    def test_venue_visits_reflect_history(self, tiny_dataset, tiny_builder):
+        day = 6
+        instance = tiny_builder.build_day(day)
+        cutoff = 24.0 * day
+        expected_total = sum(1 for c in tiny_dataset.checkins if c.time < cutoff)
+        got_total = sum(
+            count
+            for per_user in instance.venue_visits.values()
+            for count in per_user.values()
+        )
+        assert got_total == expected_total
+
+    def test_richest_days_sorted_and_skip_day_zero(self, tiny_builder):
+        days = tiny_builder.richest_days(count=3)
+        assert days == sorted(days)
+        assert all(d >= 1 for d in days)
+        assert len(days) == 3
+
+    def test_with_tasks_and_with_workers_views(self, tiny_builder):
+        instance = tiny_builder.build_day(6)
+        fewer_tasks = instance.with_tasks(instance.tasks[:3])
+        assert fewer_tasks.num_tasks == 3
+        assert fewer_tasks.num_workers == instance.num_workers
+        fewer_workers = instance.with_workers(instance.workers[:2])
+        assert fewer_workers.num_workers == 2
+        assert fewer_workers.num_tasks == instance.num_tasks
+
+    def test_history_of_unknown_worker_is_empty(self, tiny_builder):
+        instance = tiny_builder.build_day(6)
+        history = instance.history_of(10**9)
+        assert len(history) == 0

@@ -1,0 +1,108 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticConfig, brightkite_like, foursquare_like, generate_dataset
+from repro.data.categories import all_categories
+from repro.exceptions import ConfigurationError
+
+
+class TestSyntheticConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(num_users=1)
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(num_days=0)
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(active_probability=0.0)
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(pareto_shape=-1.0)
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(num_users=10, ba_attachment=10)
+
+    def test_scaled_override(self):
+        config = SyntheticConfig(num_users=100).scaled(num_users=50, seed=9)
+        assert config.num_users == 50 and config.seed == 9
+
+    def test_presets_have_expected_shapes(self):
+        bk = brightkite_like(scale=0.1)
+        fs = foursquare_like(scale=0.1)
+        assert bk.name == "BK-like" and fs.name == "FS-like"
+        # BK: more users relative to FS at the same scale; FS denser graph.
+        assert bk.num_users > fs.num_users
+        assert fs.ba_attachment > bk.ba_attachment
+        assert fs.mean_checkins_per_user_day > bk.mean_checkins_per_user_day
+
+
+class TestGenerateDataset:
+    @pytest.fixture(scope="class")
+    def small(self):
+        return generate_dataset(
+            SyntheticConfig(
+                name="small", num_users=50, num_venues=30, num_days=8,
+                area_km=20.0, num_clusters=3, seed=5,
+            )
+        )
+
+    def test_deterministic_given_seed(self):
+        config = SyntheticConfig(num_users=30, num_venues=20, num_days=3, seed=77)
+        a = generate_dataset(config)
+        b = generate_dataset(config)
+        assert a.num_checkins == b.num_checkins
+        assert [(c.user_id, c.venue_id, c.time) for c in a.checkins[:20]] == [
+            (c.user_id, c.venue_id, c.time) for c in b.checkins[:20]
+        ]
+
+    def test_different_seeds_differ(self):
+        base = SyntheticConfig(num_users=30, num_venues=20, num_days=3)
+        a = generate_dataset(base.scaled(seed=1))
+        b = generate_dataset(base.scaled(seed=2))
+        assert [(c.user_id, c.time) for c in a.checkins] != [
+            (c.user_id, c.time) for c in b.checkins
+        ]
+
+    def test_all_referenced_ids_valid(self, small):
+        users = set(small.user_ids)
+        for checkin in small.checkins:
+            assert checkin.user_id in users
+            assert checkin.venue_id in small.venues
+
+    def test_categories_come_from_taxonomy(self, small):
+        vocabulary = set(all_categories())
+        for venue in small.venues.values():
+            assert venue.categories, "every venue needs at least one category"
+            assert set(venue.categories) <= vocabulary
+
+    def test_checkins_within_day_span(self, small):
+        assert small.checkins[-1].day < 8
+
+    def test_venues_inside_area(self, small):
+        for venue in small.venues.values():
+            assert 0.0 <= venue.location.x <= 20.0
+            assert 0.0 <= venue.location.y <= 20.0
+
+    def test_social_graph_connected_enough(self, small):
+        # BA graph with m=3 over 50 nodes has >= (n - m) * m edges.
+        assert len(small.social_edges) >= 50
+
+    def test_checkin_locations_match_venue(self, small):
+        for checkin in small.checkins[:100]:
+            assert checkin.location == small.venues[checkin.venue_id].location
+
+    def test_self_similar_movement(self, small):
+        """Consecutive jump lengths should be heavy-tailed: many small
+        jumps, few large ones (the Pareto property HA relies on)."""
+        per_user: dict[int, list[float]] = {}
+        for checkin in small.checkins:
+            per_user.setdefault(checkin.user_id, []).append(checkin)
+        jumps = []
+        for checkins in per_user.values():
+            checkins.sort(key=lambda c: c.time)
+            for a, b in zip(checkins, checkins[1:]):
+                jumps.append(a.location.distance_to(b.location))
+        jumps = np.array(jumps)
+        assert len(jumps) > 100
+        median = np.median(jumps)
+        p90 = np.percentile(jumps, 90)
+        assert p90 > 2 * max(median, 0.1)  # heavy tail

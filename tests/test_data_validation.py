@@ -1,0 +1,134 @@
+"""Tests for repro.data.validation — dataset statistical checks."""
+
+import numpy as np
+import pytest
+
+from repro.data import CheckInDataset, Venue, validate_dataset
+from repro.data.validation import (
+    check_category_concentration,
+    check_degree_heavy_tail,
+    check_integrity,
+    check_movement_self_similarity,
+)
+from repro.entities import CheckIn
+from repro.geo import Point
+
+
+def build_dataset(checkin_rows, edges, categories=("cafe",)):
+    """Rows are (user, venue, x, y, t)."""
+    venues = {}
+    checkins = []
+    for user, venue, x, y, t in checkin_rows:
+        if venue not in venues:
+            venues[venue] = Venue(
+                venue_id=venue, location=Point(x, y), categories=tuple(categories)
+            )
+        checkins.append(
+            CheckIn(
+                user_id=user,
+                venue_id=venue,
+                location=venues[venue].location,
+                time=t,
+                categories=venues[venue].categories,
+            )
+        )
+    users = {r[0] for r in checkin_rows}
+    return CheckInDataset.build(
+        name="handmade",
+        venues=venues.values(),
+        checkins=checkins,
+        social_edges=edges,
+        user_ids=users,
+    )
+
+
+class TestIntegrity:
+    def test_clean_dataset_passes(self, tiny_dataset):
+        result = check_integrity(tiny_dataset)
+        assert result.passed
+        assert result.measurements["users"] == tiny_dataset.num_users
+
+    def test_str_contains_verdict(self, tiny_dataset):
+        assert "[PASS] integrity" in str(check_integrity(tiny_dataset))
+
+
+class TestDegreeHeavyTail:
+    def test_no_edges_fails(self):
+        dataset = build_dataset([(0, 0, 0.0, 0.0, 1.0)], edges=[])
+        result = check_degree_heavy_tail(dataset)
+        assert not result.passed
+
+    def test_star_graph_passes(self):
+        # One hub with 20 leaves: max degree 20 vs mean < 2.
+        rows = [(i, 0, 0.0, 0.0, float(i)) for i in range(21)]
+        edges = [(0, i) for i in range(1, 21)]
+        result = check_degree_heavy_tail(build_dataset(rows, edges))
+        assert result.passed
+        assert result.measurements["max_degree"] == 20
+
+    def test_ring_graph_fails(self):
+        # Every node has degree exactly 2 — no heavy tail.
+        n = 30
+        rows = [(i, 0, 0.0, 0.0, float(i)) for i in range(n)]
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        result = check_degree_heavy_tail(build_dataset(rows, edges))
+        assert not result.passed
+
+    def test_synthetic_world_passes(self, tiny_dataset):
+        assert check_degree_heavy_tail(tiny_dataset).passed
+
+
+class TestMovementSelfSimilarity:
+    def test_synthetic_world_passes(self, tiny_dataset):
+        result = check_movement_self_similarity(tiny_dataset)
+        assert result.passed
+        assert result.measurements["pareto_win_rate"] >= 0.5
+
+    def test_no_mobile_history_fails(self):
+        dataset = build_dataset([(0, 0, 0.0, 0.0, 1.0)], edges=[])
+        assert not check_movement_self_similarity(dataset).passed
+
+    def test_heavy_tailed_jumps_prefer_pareto(self):
+        """Users whose jumps are Pareto-drawn must be classified as such."""
+        rng = np.random.default_rng(4)
+        rows = []
+        venue = 0
+        for user in range(12):
+            x = 0.0
+            for step in range(15):
+                # numpy's pareto() is the Lomax form: P(d > t) = (1+t)^-a,
+                # i.e. exactly the shifted-Pareto movement model of HA.
+                jump = float(rng.pareto(1.5))
+                x += jump
+                rows.append((user, venue, x, 0.0, float(user * 100 + step)))
+                venue += 1
+        dataset = build_dataset(rows, edges=[])
+        result = check_movement_self_similarity(dataset)
+        assert result.passed
+        assert result.measurements["pareto_win_rate"] > 0.8
+
+
+class TestCategoryConcentration:
+    def test_synthetic_world_passes(self, tiny_dataset):
+        assert check_category_concentration(tiny_dataset).passed
+
+    def test_single_category_users_fail_gracefully(self):
+        dataset = build_dataset(
+            [(0, 0, 0.0, 0.0, 1.0), (0, 0, 0.0, 0.0, 2.0)], edges=[]
+        )
+        result = check_category_concentration(dataset)
+        assert not result.passed
+        assert "categories" in result.detail
+
+
+class TestValidateDataset:
+    def test_full_report_on_synthetic(self, tiny_dataset):
+        report = validate_dataset(tiny_dataset)
+        assert report.passed
+        assert len(report.checks) == 4
+        assert "validation of tiny" in str(report)
+
+    def test_report_fails_when_any_check_fails(self):
+        dataset = build_dataset([(0, 0, 0.0, 0.0, 1.0)], edges=[])
+        report = validate_dataset(dataset)
+        assert not report.passed

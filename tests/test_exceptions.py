@@ -1,0 +1,73 @@
+"""Tests for the exception hierarchy and the 'own' simulator scoring path."""
+
+import pytest
+
+from repro import Simulator
+from repro.assignment import IAAssigner, MTAAssigner
+from repro.exceptions import (
+    AssignmentError,
+    ConfigurationError,
+    DataError,
+    FlowError,
+    GraphError,
+    NotFittedError,
+    ReproError,
+)
+from repro.influence import InfluenceComponents
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConfigurationError, DataError, NotFittedError, GraphError,
+        FlowError, AssignmentError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_flow_error_is_graph_error(self):
+        """Flow networks are graphs; a single except GraphError catches both."""
+        assert issubclass(FlowError, GraphError)
+
+    def test_catching_base_does_not_catch_unrelated(self):
+        with pytest.raises(ValueError):
+            try:
+                raise ValueError("not ours")
+            except ReproError:  # pragma: no cover - must not trigger
+                pytest.fail("ReproError must not catch ValueError")
+
+
+class TestSimulatorOwnScoring:
+    def test_own_scoring_uses_ablated_model(self, tiny_instance, fitted_models):
+        """With scoring_model='own', an ablated run is scored by its own
+        (ablated) influence — so its AI differs from full-model scoring."""
+        ablated = fitted_models.influence_model(
+            InfluenceComponents.without_affinity()
+        )
+        full = fitted_models.influence_model()
+        own = Simulator(scoring_model="own").run_instance(
+            tiny_instance, [IAAssigner()],
+            influence_model=ablated, full_model=full,
+        )[0]
+        scored_full = Simulator(scoring_model="full").run_instance(
+            tiny_instance, [IAAssigner()],
+            influence_model=ablated, full_model=full,
+        )[0]
+        assert own.num_assigned == scored_full.num_assigned
+        assert own.average_influence != pytest.approx(
+            scored_full.average_influence
+        )
+
+    def test_mta_identical_under_either_scoring_model(
+        self, tiny_instance, fitted_models
+    ):
+        """MTA ignores influence for assignment, so only the metric scale
+        changes — cardinality must match exactly."""
+        full = fitted_models.influence_model()
+        for mode in ("full", "own"):
+            result = Simulator(scoring_model=mode).run_instance(
+                tiny_instance, [MTAAssigner()],
+                influence_model=full, full_model=full,
+            )[0]
+            assert result.num_assigned > 0

@@ -1,0 +1,105 @@
+"""Tests for the experiment harness (settings, runner, sweeps, tables)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    ABLATION_NAMES,
+    COMPARISON_ALGORITHMS,
+    ExperimentRunner,
+    ExperimentSettings,
+    format_series,
+    format_sweep_table,
+    run_ablation_sweep,
+    run_comparison_sweep,
+)
+from repro.framework import PipelineConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_runner(tiny_dataset):
+    settings = ExperimentSettings(scale=0.02, num_days=1, seed=1)
+    config = PipelineConfig(num_topics=4, propagation_mode="fixed", num_rrr_sets=600, seed=1)
+    return ExperimentRunner(tiny_dataset, settings, config)
+
+
+class TestExperimentSettings:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSettings(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            ExperimentSettings(num_days=0)
+
+    def test_scale_one_matches_paper(self):
+        settings = ExperimentSettings(scale=1.0)
+        assert settings.task_sweep == (500, 1000, 1500, 2000, 2500)
+        assert settings.worker_sweep == (400, 800, 1200, 1600, 2000)
+        assert settings.default_tasks == 1500
+        assert settings.default_workers == 1200
+
+    def test_physical_grids_not_scaled(self):
+        settings = ExperimentSettings(scale=0.1)
+        assert settings.valid_hours_sweep == (1.0, 2.0, 3.0, 4.0, 5.0, 6.0)
+        assert settings.radius_sweep == (5.0, 10.0, 15.0, 20.0, 25.0)
+
+    def test_scaled_grids_floor(self):
+        settings = ExperimentSettings(scale=0.001)
+        assert all(v >= 10 for v in settings.task_sweep)
+
+
+class TestExperimentRunner:
+    def test_fitted_models_cached(self, tiny_runner):
+        day = tiny_runner.days[0]
+        assert tiny_runner.fitted_models(day) is tiny_runner.fitted_models(day)
+
+    def test_unknown_parameter_rejected(self, tiny_runner):
+        with pytest.raises(ValueError):
+            tiny_runner.run_sweep("gravity", [1.0], lambda fitted: {})
+
+    def test_comparison_sweep_structure(self, tiny_runner):
+        result = run_comparison_sweep(tiny_runner, "num_tasks", [10, 20])
+        assert set(result.algorithms()) == set(COMPARISON_ALGORITHMS)
+        assert result.values == (10.0, 20.0)
+        for name in COMPARISON_ALGORITHMS:
+            series = result.metric_series(name, "num_assigned")
+            assert len(series) == 2
+            assert all(v >= 0 for v in series)
+
+    def test_ablation_sweep_structure(self, tiny_runner):
+        result = run_ablation_sweep(tiny_runner, "reachable_km", [10.0, 25.0])
+        assert set(result.algorithms()) == set(ABLATION_NAMES)
+        for name in ABLATION_NAMES:
+            ai = result.metric_series(name, "average_influence")
+            assert len(ai) == 2 and all(v >= 0 for v in ai)
+
+    def test_mcmf_variants_share_cardinality_in_sweep(self, tiny_runner):
+        result = run_comparison_sweep(tiny_runner, "num_tasks", [15])
+        mta = result.metric_series("MTA", "num_assigned")[0]
+        for name in ("IA", "EIA", "DIA"):
+            assert result.metric_series(name, "num_assigned")[0] == mta
+
+    def test_valid_hours_sweep_override_applies(self, tiny_runner):
+        instance_short = tiny_runner.build_instance(tiny_runner.days[0], valid_hours=1.0)
+        instance_long = tiny_runner.build_instance(tiny_runner.days[0], valid_hours=6.0)
+        assert all(t.valid_hours == 1.0 for t in instance_short.tasks)
+        assert all(t.valid_hours == 6.0 for t in instance_long.tasks)
+
+
+class TestTables:
+    def test_format_series(self, tiny_runner):
+        result = run_comparison_sweep(tiny_runner, "num_tasks", [10])
+        text = format_series(result, "average_influence", title="AI")
+        assert "AI" in text
+        for name in COMPARISON_ALGORITHMS:
+            assert name in text
+
+    def test_format_series_unknown_metric(self, tiny_runner):
+        result = run_comparison_sweep(tiny_runner, "num_tasks", [10])
+        with pytest.raises(ValueError):
+            format_series(result, "happiness")
+
+    def test_format_sweep_table_contains_all_metrics(self, tiny_runner):
+        result = run_comparison_sweep(tiny_runner, "num_tasks", [10])
+        text = format_sweep_table(result, title="T")
+        for label in ("CPU time", "# assigned", "AI", "AP", "Travel"):
+            assert label in text

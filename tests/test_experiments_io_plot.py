@@ -1,0 +1,99 @@
+"""Tests for repro.experiments.io (persistence) and ascii_plot (rendering)."""
+
+import json
+
+import pytest
+
+from repro.experiments import SweepResult
+from repro.experiments.ascii_plot import plot_series
+from repro.experiments.io import (
+    export_csv,
+    load_sweep,
+    save_sweep,
+    sweep_from_dict,
+    sweep_to_dict,
+)
+from repro.framework.metrics import MetricsResult
+
+
+def make_sweep(values=(100.0, 200.0, 300.0)):
+    result = SweepResult(parameter="num_tasks", values=values)
+    for algorithm, base in (("MTA", 0.2), ("IA", 0.7)):
+        result.series[algorithm] = {
+            value: MetricsResult(
+                algorithm=algorithm,
+                num_assigned=int(value // 2),
+                average_influence=base + 0.001 * value,
+                average_propagation=3.0,
+                average_travel_km=10.0,
+                cpu_seconds=0.01,
+            )
+            for value in values
+        }
+    return result
+
+
+class TestJsonRoundTrip:
+    def test_dict_round_trip(self):
+        original = make_sweep()
+        restored = sweep_from_dict(sweep_to_dict(original))
+        assert restored.parameter == original.parameter
+        assert restored.values == original.values
+        for algorithm in original.algorithms():
+            for metric in ("num_assigned", "average_influence", "cpu_seconds"):
+                assert restored.metric_series(algorithm, metric) == pytest.approx(
+                    original.metric_series(algorithm, metric)
+                )
+
+    def test_file_round_trip(self, tmp_path):
+        original = make_sweep()
+        path = save_sweep(original, tmp_path / "nested" / "sweep.json")
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["parameter"] == "num_tasks"
+        restored = load_sweep(path)
+        # JSON is written with sorted keys (diff-friendly), so insertion
+        # order is not preserved — only membership is.
+        assert set(restored.algorithms()) == set(original.algorithms())
+
+    def test_csv_export(self, tmp_path):
+        path = export_csv(make_sweep(), tmp_path / "sweep.csv")
+        lines = path.read_text().splitlines()
+        assert lines[0] == (
+            "algorithm,num_tasks,num_assigned,average_influence,"
+            "average_propagation,average_travel_km,cpu_seconds"
+        )
+        # 2 algorithms x 3 values data rows.
+        assert len(lines) == 1 + 6
+        assert lines[1].startswith("MTA,100.0,50,")
+
+
+class TestAsciiPlot:
+    def test_empty_result_rejected(self):
+        empty = SweepResult(parameter="num_tasks", values=(1.0,))
+        with pytest.raises(ValueError):
+            plot_series(empty, "average_influence")
+
+    def test_contains_axes_and_legend(self):
+        text = plot_series(make_sweep(), "average_influence", title="AI plot")
+        assert text.startswith("AI plot")
+        assert "┤" in text
+        assert "(num_tasks)" in text
+        assert "* MTA" in text and "o IA" in text
+
+    def test_y_axis_spans_data_range(self):
+        sweep = make_sweep()
+        text = plot_series(sweep, "average_influence")
+        top = max(
+            max(sweep.metric_series(a, "average_influence"))
+            for a in sweep.algorithms()
+        )
+        assert f"{top:>10.4f}" in text
+
+    def test_constant_series_does_not_divide_by_zero(self):
+        text = plot_series(make_sweep(), "average_propagation")
+        assert "3.0000" in text
+
+    def test_single_value_sweep(self):
+        text = plot_series(make_sweep(values=(100.0,)), "average_influence")
+        assert "(num_tasks)" in text

@@ -1,0 +1,88 @@
+"""Tests for repro.experiments.report — markdown report generation."""
+
+import pytest
+
+from repro.experiments import SweepResult, render_report, write_report
+from repro.experiments.report import _trend, metric_table, shape_summary, sweep_section
+from repro.framework.metrics import MetricsResult
+
+
+def make_sweep():
+    result = SweepResult(parameter="num_tasks", values=(100.0, 200.0))
+
+    def record(algorithm, assigned, ai, cpu):
+        return MetricsResult(
+            algorithm=algorithm,
+            num_assigned=assigned,
+            average_influence=ai,
+            average_propagation=1.0,
+            average_travel_km=8.0,
+            cpu_seconds=cpu,
+        )
+
+    result.series["MTA"] = {
+        100.0: record("MTA", 90, 0.2, 0.01),
+        200.0: record("MTA", 150, 0.2, 0.03),
+    }
+    result.series["IA"] = {
+        100.0: record("IA", 90, 0.7, 0.02),
+        200.0: record("IA", 150, 0.8, 0.05),
+    }
+    return result
+
+
+class TestTrend:
+    def test_flat(self):
+        assert _trend([1.0, 1.0, 1.0]) == "flat"
+        assert _trend([1.0]) == "flat"
+
+    def test_rising_and_falling(self):
+        assert _trend([1.0, 2.0, 3.0]) == "rising"
+        assert _trend([3.0, 2.0, 1.0]) == "falling"
+
+    def test_mixed(self):
+        assert _trend([1.0, 3.0, 2.0]) == "mixed"
+
+
+class TestMetricTable:
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            metric_table(make_sweep(), "f1_score")
+
+    def test_markdown_structure(self):
+        table = metric_table(make_sweep(), "average_influence")
+        lines = table.splitlines()
+        assert lines[0].startswith("| algorithm | 100 | 200 |")
+        assert lines[1].startswith("|---")
+        assert any("| IA |" in line and "0.7000" in line for line in lines)
+
+
+class TestShapeSummary:
+    def test_identifies_winner_and_trend(self):
+        summary = shape_summary(make_sweep())
+        assert "highest mean: IA" in summary
+        assert "lowest: MTA" in summary
+        assert "rising" in summary  # IA's AI rises 0.7 -> 0.8
+
+
+class TestRenderReport:
+    def test_section_contains_all_metrics(self):
+        section = sweep_section(make_sweep(), "Fig. 9")
+        for label in ("CPU time (s)", "# assigned", "AI", "AP", "Travel (km)"):
+            assert f"### {label}" in section
+
+    def test_full_report(self):
+        report = render_report(
+            {"Fig. 9 (BK)": make_sweep()},
+            heading="Demo report",
+            preamble="Shapes, not numbers.",
+        )
+        assert report.startswith("# Demo report")
+        assert "Shapes, not numbers." in report
+        assert "## Fig. 9 (BK)" in report
+        assert report.endswith("\n")
+
+    def test_write_report(self, tmp_path):
+        path = write_report({"S": make_sweep()}, tmp_path / "sub" / "report.md")
+        assert path.exists()
+        assert path.read_text().startswith("# Sweep report")

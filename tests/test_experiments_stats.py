@@ -1,0 +1,136 @@
+"""Tests for repro.experiments.stats — bootstrap summaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.stats import (
+    METRIC_FIELDS,
+    ConfidenceInterval,
+    bootstrap_ci,
+    paired_bootstrap_delta,
+    summarize_runs,
+)
+from repro.framework.metrics import MetricsResult
+
+
+class TestBootstrapCI:
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.0)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=0.0)
+
+    def test_bad_resamples_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], resamples=0)
+
+    def test_single_observation_degenerate(self):
+        ci = bootstrap_ci([3.5])
+        assert ci.mean == ci.lower == ci.upper == 3.5
+        assert ci.halfwidth == 0.0
+
+    def test_constant_sample_zero_width(self):
+        ci = bootstrap_ci([2.0, 2.0, 2.0, 2.0])
+        assert ci.lower == ci.upper == 2.0
+
+    def test_interval_contains_mean(self):
+        rng = np.random.default_rng(1)
+        sample = rng.normal(10.0, 2.0, size=20)
+        ci = bootstrap_ci(sample, seed=4)
+        assert ci.lower <= ci.mean <= ci.upper
+
+    def test_deterministic_given_seed(self):
+        sample = [1.0, 4.0, 2.0, 8.0]
+        assert bootstrap_ci(sample, seed=9) == bootstrap_ci(sample, seed=9)
+
+    def test_width_shrinks_with_sample_size(self):
+        rng = np.random.default_rng(2)
+        small = bootstrap_ci(rng.normal(0, 1, 5), seed=1)
+        large = bootstrap_ci(rng.normal(0, 1, 200), seed=1)
+        assert large.halfwidth < small.halfwidth
+
+    @settings(max_examples=25)
+    @given(st.lists(st.floats(-100, 100, width=32).map(float), min_size=2, max_size=30))
+    def test_interval_within_sample_range(self, sample):
+        ci = bootstrap_ci(sample, seed=0)
+        assert min(sample) - 1e-9 <= ci.lower
+        assert ci.upper <= max(sample) + 1e-9
+
+    def test_str_format(self):
+        text = str(bootstrap_ci([1.0, 2.0, 3.0], seed=0))
+        assert "[" in text and "]" in text
+
+
+class TestPairedBootstrapDelta:
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_delta([1.0, 2.0], [1.0])
+
+    def test_clear_winner_significant(self):
+        a = [5.0, 6.0, 5.5, 5.8, 6.1]
+        b = [1.0, 1.2, 0.9, 1.1, 1.0]
+        delta = paired_bootstrap_delta(a, b, seed=3)
+        assert delta.mean_delta > 0
+        assert delta.significant
+        assert delta.probability_positive == 1.0
+
+    def test_identical_samples_not_significant(self):
+        a = [1.0, 2.0, 3.0]
+        delta = paired_bootstrap_delta(a, a, seed=3)
+        assert delta.mean_delta == 0.0
+        assert not delta.significant
+
+    def test_pairing_cancels_day_effects(self):
+        """A constant per-day offset shared by both algorithms must not
+        widen the delta interval."""
+        rng = np.random.default_rng(5)
+        day_effect = rng.normal(0, 50, size=10)
+        a = day_effect + 2.0
+        b = day_effect + 1.0
+        delta = paired_bootstrap_delta(a, b, seed=6)
+        assert delta.mean_delta == pytest.approx(1.0)
+        assert delta.significant
+
+    def test_single_pair(self):
+        delta = paired_bootstrap_delta([2.0], [1.0])
+        assert delta.mean_delta == 1.0
+        assert delta.probability_positive == 1.0
+
+
+class TestSummarizeRuns:
+    @staticmethod
+    def record(algorithm, ai):
+        return MetricsResult(
+            algorithm=algorithm,
+            num_assigned=10,
+            average_influence=ai,
+            average_propagation=1.0,
+            average_travel_km=5.0,
+        )
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_runs({}, "accuracy")
+
+    def test_per_algorithm_summary(self):
+        per_day = {
+            "IA": [self.record("IA", 0.8), self.record("IA", 0.9)],
+            "MTA": [self.record("MTA", 0.2), self.record("MTA", 0.3)],
+        }
+        summary = summarize_runs(per_day, "average_influence", seed=1)
+        assert set(summary) == {"IA", "MTA"}
+        assert isinstance(summary["IA"], ConfidenceInterval)
+        assert summary["IA"].mean == pytest.approx(0.85)
+        assert summary["MTA"].mean == pytest.approx(0.25)
+
+    def test_all_metric_fields_supported(self):
+        per_day = {"IA": [self.record("IA", 0.5)]}
+        for metric in METRIC_FIELDS:
+            summary = summarize_runs(per_day, metric)
+            assert "IA" in summary

@@ -1,0 +1,131 @@
+"""Tests for repro.flow.potentials — Dijkstra-with-potentials MCMF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FlowError
+from repro.flow import (
+    Dinic,
+    FlowNetwork,
+    MinCostMaxFlow,
+    PotentialMinCostMaxFlow,
+)
+
+
+def diamond_network():
+    """Source 0 -> {1, 2} -> sink 3 with asymmetric costs."""
+    network = FlowNetwork(4)
+    network.add_edge(0, 1, capacity=1, cost=0.0)
+    network.add_edge(0, 2, capacity=1, cost=0.0)
+    network.add_edge(1, 3, capacity=1, cost=5.0)
+    network.add_edge(2, 3, capacity=1, cost=1.0)
+    return network
+
+
+def random_bipartite(num_left, num_right, density, seed):
+    """A unit-capacity assignment graph with random costs; returns both an
+    SPFA copy and a potentials copy (identical structure)."""
+    rng = np.random.default_rng(seed)
+    mask = rng.random((num_left, num_right)) < density
+    cost = np.round(rng.random((num_left, num_right)) * 9, 3)
+    networks = []
+    for _ in range(2):
+        network = FlowNetwork(num_left + num_right + 2)
+        source, sink = 0, num_left + num_right + 1
+        for i in range(num_left):
+            network.add_edge(source, 1 + i, capacity=1, cost=0.0)
+        for j in range(num_right):
+            network.add_edge(1 + num_left + j, sink, capacity=1, cost=0.0)
+        for i in range(num_left):
+            for j in range(num_right):
+                if mask[i, j]:
+                    network.add_edge(
+                        1 + i, 1 + num_left + j, capacity=1, cost=float(cost[i, j])
+                    )
+        networks.append((network, source, sink))
+    return networks
+
+
+class TestPotentialSolver:
+    def test_source_equals_sink_rejected(self):
+        with pytest.raises(FlowError):
+            PotentialMinCostMaxFlow(FlowNetwork(2)).solve(0, 0)
+
+    def test_negative_cost_rejected(self):
+        network = FlowNetwork(2)
+        network.add_edge(0, 1, capacity=1, cost=-1.0)
+        with pytest.raises(FlowError):
+            PotentialMinCostMaxFlow(network).solve(0, 1)
+
+    def test_diamond_prefers_cheap_path(self):
+        network = diamond_network()
+        result = PotentialMinCostMaxFlow(network).solve(0, 3)
+        assert result.max_flow == 2
+        assert result.total_cost == pytest.approx(6.0)
+
+    def test_no_path_gives_zero(self):
+        network = FlowNetwork(3)
+        network.add_edge(0, 1, capacity=1, cost=1.0)
+        result = PotentialMinCostMaxFlow(network).solve(0, 2)
+        assert result.max_flow == 0
+        assert result.total_cost == 0.0
+
+    def test_flow_conservation(self):
+        networks = random_bipartite(6, 7, 0.5, seed=3)
+        network, source, sink = networks[0]
+        PotentialMinCostMaxFlow(network).solve(source, sink)
+        # Net flow out of every internal node must be zero.
+        for node in range(network.num_nodes):
+            if node in (source, sink):
+                continue
+            net = 0
+            for edge_id in range(0, len(network.edge_to), 2):
+                tail = network.edge_to[edge_id ^ 1]
+                head = network.edge_to[edge_id]
+                flow = network.flow_on(edge_id)
+                if tail == node:
+                    net += flow
+                if head == node:
+                    net -= flow
+            assert net == 0, f"node {node} violates conservation"
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        num_left=st.integers(1, 8),
+        num_right=st.integers(1, 8),
+        density=st.floats(0.1, 1.0),
+        seed=st.integers(0, 10_000),
+    )
+    def test_matches_spfa_solver(self, num_left, num_right, density, seed):
+        (spfa_net, s1, t1), (pot_net, s2, t2) = random_bipartite(
+            num_left, num_right, density, seed
+        )
+        spfa = MinCostMaxFlow(spfa_net).solve(s1, t1)
+        potentials = PotentialMinCostMaxFlow(pot_net).solve(s2, t2)
+        assert potentials.max_flow == spfa.max_flow
+        assert potentials.total_cost == pytest.approx(spfa.total_cost, abs=1e-6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        num_left=st.integers(1, 8),
+        num_right=st.integers(1, 8),
+        seed=st.integers(0, 10_000),
+    )
+    def test_flow_value_matches_dinic(self, num_left, num_right, seed):
+        """Max-flow value agrees with the dedicated max-flow solver."""
+        (net_a, s1, t1), (net_b, s2, t2) = random_bipartite(
+            num_left, num_right, 0.5, seed
+        )
+        potentials = PotentialMinCostMaxFlow(net_a).solve(s1, t1)
+        dinic_value = Dinic(net_b).max_flow(s2, t2)
+        assert potentials.max_flow == dinic_value
+
+    def test_costs_never_exceeded_by_capacity(self):
+        """Flow on every edge stays within capacity after solving."""
+        networks = random_bipartite(5, 5, 0.6, seed=11)
+        network, source, sink = networks[0]
+        PotentialMinCostMaxFlow(network).solve(source, sink)
+        for edge_id in range(0, len(network.edge_to), 2):
+            assert 0 <= network.flow_on(edge_id) <= 1

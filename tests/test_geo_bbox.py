@@ -1,0 +1,69 @@
+"""Tests for repro.geo.bbox."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo import BoundingBox, Point
+
+
+class TestBoundingBox:
+    def test_dimensions(self):
+        box = BoundingBox(0, 0, 4, 3)
+        assert box.width == 4
+        assert box.height == 3
+        assert box.center == Point(2.0, 1.5)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(5, 0, 0, 5)
+
+    def test_zero_area_allowed(self):
+        box = BoundingBox(1, 1, 1, 1)
+        assert box.width == 0 and box.contains(Point(1, 1))
+
+    def test_contains_border_inclusive(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert box.contains(Point(0, 0))
+        assert box.contains(Point(10, 10))
+        assert not box.contains(Point(10.001, 5))
+
+    def test_clamp(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert box.clamp(Point(-5, 5)) == Point(0, 5)
+        assert box.clamp(Point(20, -3)) == Point(10, 0)
+        assert box.clamp(Point(3, 4)) == Point(3, 4)
+
+    def test_expanded(self):
+        box = BoundingBox(0, 0, 2, 2).expanded(1.0)
+        assert box.min_x == -1 and box.max_y == 3
+
+    def test_around(self):
+        box = BoundingBox.around([Point(1, 5), Point(-2, 3), Point(4, 4)])
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-2, 3, 4, 5)
+
+    def test_around_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox.around([])
+
+    def test_square(self):
+        box = BoundingBox.square(7.0)
+        assert box.width == box.height == 7.0
+
+    def test_square_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            BoundingBox.square(0)
+
+    @given(st.lists(st.tuples(st.floats(-1e3, 1e3), st.floats(-1e3, 1e3)), min_size=1, max_size=20))
+    def test_around_contains_all_points(self, coords):
+        points = [Point(x, y) for x, y in coords]
+        box = BoundingBox.around(points)
+        assert all(box.contains(p) for p in points)
+
+    @given(
+        st.floats(-100, 100), st.floats(-100, 100),
+        st.floats(-500, 500), st.floats(-500, 500),
+    )
+    def test_clamp_result_always_inside(self, min_x, min_y, px, py):
+        box = BoundingBox(min_x, min_y, min_x + 50, min_y + 50)
+        assert box.contains(box.clamp(Point(px, py)))

@@ -1,0 +1,66 @@
+"""Tests for repro.geo.grid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import GridIndex, Point
+
+
+class TestGridIndex:
+    def test_insert_and_len(self):
+        grid = GridIndex(cell_size_km=1.0)
+        grid.insert(Point(0.5, 0.5), "a")
+        grid.insert(Point(5.0, 5.0), "b")
+        assert len(grid) == 2
+
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ValueError):
+            GridIndex(cell_size_km=0.0)
+
+    def test_rejects_negative_radius(self):
+        grid = GridIndex(cell_size_km=1.0)
+        with pytest.raises(ValueError):
+            list(grid.query_radius(Point(0, 0), -1.0))
+
+    def test_query_radius_includes_border(self):
+        grid = GridIndex(cell_size_km=1.0)
+        grid.insert(Point(3.0, 0.0), "edge")
+        hits = list(grid.query_radius(Point(0, 0), 3.0))
+        assert [item for _, item in hits] == ["edge"]
+
+    def test_query_radius_excludes_outside(self):
+        grid = GridIndex(cell_size_km=1.0)
+        grid.insert(Point(3.01, 0.0), "outside")
+        assert list(grid.query_radius(Point(0, 0), 3.0)) == []
+
+    def test_insert_many_and_items(self):
+        grid = GridIndex(cell_size_km=2.0)
+        pairs = [(Point(float(i), 0.0), i) for i in range(5)]
+        grid.insert_many(pairs)
+        assert sorted(item for _, item in grid.items()) == [0, 1, 2, 3, 4]
+
+    def test_negative_coordinates(self):
+        grid = GridIndex(cell_size_km=1.0)
+        grid.insert(Point(-5.5, -5.5), "neg")
+        hits = list(grid.query_radius(Point(-5.0, -5.0), 1.0))
+        assert [item for _, item in hits] == ["neg"]
+
+    @settings(max_examples=30)
+    @given(
+        st.lists(st.tuples(st.floats(-50, 50), st.floats(-50, 50)), min_size=0, max_size=40),
+        st.floats(-40, 40), st.floats(-40, 40), st.floats(0, 30),
+        st.floats(0.5, 10),
+    )
+    def test_matches_brute_force(self, coords, cx, cy, radius, cell):
+        grid = GridIndex(cell_size_km=cell)
+        for index, (x, y) in enumerate(coords):
+            grid.insert(Point(x, y), index)
+        center = Point(cx, cy)
+        expected = {
+            i for i, (x, y) in enumerate(coords)
+            if Point(x, y).distance_to(center) <= radius
+        }
+        got = {item for _, item in grid.query_radius(center, radius)}
+        assert got == expected

@@ -1,0 +1,125 @@
+"""Tests for repro.geo.kdtree."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import KDTree, Point
+
+
+def make_tree(coords):
+    return KDTree([(Point(x, y), i) for i, (x, y) in enumerate(coords)])
+
+
+# 32-bit floats keep squared distances representable in float64, so the
+# squared-comparison pruning of the tree agrees exactly with hypot-based
+# distances (tiny 64-bit values like 9e-289 underflow when squared).
+coordinate = st.floats(-50, 50, width=32).map(float)
+
+
+class TestKDTreeBasics:
+    def test_empty_tree(self):
+        tree = KDTree([])
+        assert len(tree) == 0
+        assert list(tree.query_radius(Point(0, 0), 10.0)) == []
+
+    def test_empty_tree_nearest_raises(self):
+        with pytest.raises(ValueError):
+            KDTree([]).nearest(Point(0, 0))
+
+    def test_rejects_negative_radius(self):
+        tree = make_tree([(0.0, 0.0)])
+        with pytest.raises(ValueError):
+            list(tree.query_radius(Point(0, 0), -1.0))
+
+    def test_single_point(self):
+        tree = make_tree([(1.0, 2.0)])
+        assert len(tree) == 1
+        hits = list(tree.query_radius(Point(0, 0), 3.0))
+        assert [item for _, item in hits] == [0]
+
+    def test_query_radius_includes_border(self):
+        tree = make_tree([(3.0, 0.0)])
+        hits = list(tree.query_radius(Point(0, 0), 3.0))
+        assert [item for _, item in hits] == [0]
+
+    def test_query_radius_excludes_outside(self):
+        tree = make_tree([(3.01, 0.0)])
+        assert list(tree.query_radius(Point(0, 0), 3.0)) == []
+
+    def test_zero_radius_hits_exact_point(self):
+        tree = make_tree([(1.0, 1.0), (2.0, 2.0)])
+        hits = list(tree.query_radius(Point(1.0, 1.0), 0.0))
+        assert [item for _, item in hits] == [0]
+
+    def test_items_returns_everything(self):
+        coords = [(float(i), float(-i)) for i in range(20)]
+        tree = make_tree(coords)
+        assert sorted(item for _, item in tree.items()) == list(range(20))
+
+    def test_duplicate_points_all_reported(self):
+        tree = KDTree([(Point(1.0, 1.0), "a"), (Point(1.0, 1.0), "b")])
+        hits = {item for _, item in tree.query_radius(Point(1, 1), 0.5)}
+        assert hits == {"a", "b"}
+
+    def test_deep_tree_beyond_leaf_size(self):
+        # 100 collinear points force many splits along one axis.
+        coords = [(float(i), 0.0) for i in range(100)]
+        tree = make_tree(coords)
+        hits = {item for _, item in tree.query_radius(Point(50.0, 0.0), 5.0)}
+        assert hits == set(range(45, 56))
+
+
+class TestKDTreeNearest:
+    def test_nearest_trivial(self):
+        tree = make_tree([(0.0, 0.0), (10.0, 10.0)])
+        point, item = tree.nearest(Point(1.0, 1.0))
+        assert item == 0
+        assert point == Point(0.0, 0.0)
+
+    def test_nearest_exact_hit(self):
+        tree = make_tree([(5.0, 5.0), (6.0, 6.0)])
+        _, item = tree.nearest(Point(6.0, 6.0))
+        assert item == 1
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.tuples(coordinate, coordinate), min_size=1, max_size=60),
+        coordinate, coordinate,
+    )
+    def test_nearest_matches_brute_force(self, coords, cx, cy):
+        tree = make_tree(coords)
+        center = Point(cx, cy)
+        _, item = tree.nearest(center)
+        best = min(
+            math.dist((x, y), (cx, cy)) for x, y in coords
+        )
+        got = math.dist(coords[item], (cx, cy))
+        assert got == pytest.approx(best)
+
+
+class TestKDTreeAgainstBruteForce:
+    @settings(max_examples=60)
+    @given(
+        st.lists(st.tuples(coordinate, coordinate), min_size=0, max_size=80),
+        coordinate, coordinate, st.floats(0, 40, width=32).map(float),
+    )
+    def test_radius_query_matches_brute_force(self, coords, cx, cy, radius):
+        tree = make_tree(coords)
+        center = Point(cx, cy)
+        expected = {
+            i for i, (x, y) in enumerate(coords)
+            if Point(x, y).distance_to(center) <= radius
+        }
+        got = {item for _, item in tree.query_radius(center, radius)}
+        assert got == expected
+
+    @settings(max_examples=20)
+    @given(st.integers(1, 500))
+    def test_full_radius_returns_all(self, n):
+        coords = [(float(i % 23), float(i % 7)) for i in range(n)]
+        tree = make_tree(coords)
+        got = {item for _, item in tree.query_radius(Point(10.0, 3.0), 1000.0)}
+        assert got == set(range(n))

@@ -1,0 +1,70 @@
+"""Tests for repro.geo.point."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo import Point
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestPointBasics:
+    def test_distance_to_pythagorean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(2.5, -7.0)
+        assert p.distance_to(p) == 0.0
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(10, 4)) == Point(5, 2)
+
+    def test_as_tuple_and_iter(self):
+        p = Point(1.5, 2.5)
+        assert p.as_tuple() == (1.5, 2.5)
+        assert list(p) == [1.5, 2.5]
+
+    def test_origin(self):
+        assert Point.origin() == Point(0.0, 0.0)
+
+    def test_hashable_and_usable_as_key(self):
+        d = {Point(1, 2): "a", Point(1, 3): "b"}
+        assert d[Point(1, 2)] == "a"
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 5.0  # type: ignore[misc]
+
+
+class TestPointProperties:
+    @given(finite, finite, finite, finite)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(finite, finite, finite, finite)
+    def test_distance_non_negative(self, x1, y1, x2, y2):
+        assert Point(x1, y1).distance_to(Point(x2, y2)) >= 0.0
+
+    @given(finite, finite, finite, finite, finite, finite)
+    def test_triangle_inequality(self, x1, y1, x2, y2, x3, y3):
+        a, b, c = Point(x1, y1), Point(x2, y2), Point(x3, y3)
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(finite, finite, finite, finite)
+    def test_midpoint_equidistant(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        m = a.midpoint(b)
+        assert a.distance_to(m) == pytest.approx(b.distance_to(m), abs=1e-6)
+
+    @given(finite, finite, finite, finite)
+    def test_translate_preserves_distance_to_translated(self, x, y, dx, dy):
+        a = Point(x, y)
+        b = a.translated(dx, dy)
+        assert a.distance_to(b) == pytest.approx(math.hypot(dx, dy), rel=1e-9, abs=1e-9)

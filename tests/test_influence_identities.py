@@ -1,0 +1,91 @@
+"""Algebraic identities of the influence model and its ablations.
+
+The ablated models are defined by dropping one factor from
+
+    if(w_s, s) = P_aff(w_s, s) * sum_{i != s} P_wil(w_i, s) * P_pro(w_s, w_i)
+
+so specific identities must hold between the four matrices; these tests pin
+the formulas, not just "the numbers differ".
+"""
+
+import numpy as np
+import pytest
+
+from repro.influence import InfluenceComponents, InfluenceModel
+
+
+@pytest.fixture()
+def matrices(fitted_models, tiny_instance):
+    """Influence matrices of the full model and the three ablations."""
+    workers = tiny_instance.workers
+    tasks = tiny_instance.tasks
+
+    def matrix_of(components):
+        return fitted_models.influence_model(components).influence_matrix(
+            workers, tasks
+        )
+
+    return {
+        "IA": matrix_of(None),
+        "IA-WP": matrix_of(InfluenceComponents.without_affinity()),
+        "IA-AP": matrix_of(InfluenceComponents.without_willingness()),
+        "IA-AW": matrix_of(InfluenceComponents.without_propagation()),
+        "affinity": fitted_models.affinity.affinity_matrix(
+            [w.worker_id for w in workers], tasks
+        ),
+    }
+
+
+class TestAblationIdentities:
+    def test_full_equals_affinity_times_wp(self, matrices):
+        """IA = P_aff ⊙ IA-WP elementwise (dropping affinity divides it out)."""
+        np.testing.assert_allclose(
+            matrices["IA"], matrices["affinity"] * matrices["IA-WP"],
+            rtol=1e-10, atol=1e-12,
+        )
+
+    def test_ap_is_rank_one_in_tasks(self, matrices):
+        """IA-AP = P_aff ⊙ (sigma(w) repeated over tasks): dividing out the
+        affinity leaves a candidate-only column, identical for every task."""
+        affinity = matrices["affinity"]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            inner = np.where(affinity > 0, matrices["IA-AP"] / affinity, np.nan)
+        for row in inner:
+            finite = row[np.isfinite(row)]
+            if len(finite) > 1:
+                assert np.allclose(finite, finite[0], rtol=1e-8)
+
+    def test_all_matrices_non_negative(self, matrices):
+        for name in ("IA", "IA-WP", "IA-AP", "IA-AW"):
+            assert (matrices[name] >= 0).all(), name
+
+    def test_components_produce_distinct_models(self, matrices):
+        names = ["IA", "IA-WP", "IA-AP", "IA-AW"]
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                assert not np.allclose(matrices[a], matrices[b]), (a, b)
+
+    def test_single_pair_matches_matrix(self, fitted_models, tiny_instance):
+        model = fitted_models.influence_model()
+        workers = tiny_instance.workers[:5]
+        tasks = tiny_instance.tasks[:5]
+        matrix = model.influence_matrix(workers, tasks)
+        for i, w in enumerate(workers):
+            for j, s in enumerate(tasks):
+                assert model.influence(w, s) == pytest.approx(
+                    float(matrix[i, j]), abs=1e-12
+                )
+
+
+class TestPropagationTerms:
+    def test_propagation_to_others_excludes_self(self, fitted_models, tiny_instance):
+        """sigma(w) counts the self term; Eq. 7's sum must not."""
+        model = fitted_models.influence_model()
+        for w in tiny_instance.workers[:10]:
+            sigma = model.sigma(w.worker_id)
+            others = model.propagation_to_others(w.worker_id)
+            assert 0.0 <= others <= sigma + 1e-9
+
+    def test_empty_inputs_give_empty_matrix(self, fitted_models):
+        model = fitted_models.influence_model()
+        assert model.influence_matrix([], []).shape == (0, 0)

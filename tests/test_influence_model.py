@@ -1,0 +1,117 @@
+"""Tests for the combined worker-task influence model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.influence import InfluenceComponents, InfluenceModel
+
+
+class TestInfluenceComponents:
+    def test_full_has_everything(self):
+        full = InfluenceComponents.full()
+        assert full.affinity and full.willingness and full.propagation
+
+    def test_ablations_drop_one(self):
+        assert not InfluenceComponents.without_affinity().affinity
+        assert not InfluenceComponents.without_willingness().willingness
+        assert not InfluenceComponents.without_propagation().propagation
+
+    def test_all_disabled_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InfluenceComponents(affinity=False, willingness=False, propagation=False)
+
+    def test_hashable_for_grouping(self):
+        assert InfluenceComponents.full() == InfluenceComponents()
+        assert len({InfluenceComponents.full(), InfluenceComponents()}) == 1
+
+
+class TestInfluenceModel:
+    def test_matrix_shape(self, fitted_models, tiny_instance):
+        model = fitted_models.influence_model()
+        matrix = model.influence_matrix(tiny_instance.workers[:5], tiny_instance.tasks[:7])
+        assert matrix.shape == (5, 7)
+
+    def test_matrix_non_negative(self, full_influence, tiny_instance):
+        matrix = full_influence.influence_matrix(tiny_instance.workers, tiny_instance.tasks)
+        assert (matrix >= 0.0).all()
+
+    def test_matrix_not_identically_zero(self, full_influence, tiny_instance):
+        matrix = full_influence.influence_matrix(tiny_instance.workers, tiny_instance.tasks)
+        assert matrix.max() > 0.0
+
+    def test_empty_inputs(self, full_influence):
+        assert full_influence.influence_matrix([], []).shape == (0, 0)
+
+    def test_single_pair_matches_matrix(self, full_influence, tiny_instance):
+        worker = tiny_instance.workers[0]
+        task = tiny_instance.tasks[0]
+        matrix = full_influence.influence_matrix([worker], [task])
+        assert full_influence.influence(worker, task) == pytest.approx(float(matrix[0, 0]))
+
+    def test_full_influence_is_affinity_times_inner(self, fitted_models, tiny_instance):
+        """if = P_aff * sum_i P_wil * P_pro — verified against the
+        components computed independently."""
+        model = fitted_models.influence_model()
+        worker = tiny_instance.workers[0]
+        task = tiny_instance.tasks[0]
+
+        graph = fitted_models.graph
+        wil = np.zeros(graph.num_workers)
+        for worker_id in fitted_models.willingness.worker_ids:
+            wil[graph.index_of(worker_id)] = fitted_models.willingness.willingness(
+                worker_id, task.location
+            )
+        source = graph.index_of(worker.worker_id)
+        ppro_row = fitted_models.propagation.ppro_matrix_row(source)
+        inner = sum(
+            wil[i] * ppro_row[i] for i in range(graph.num_workers) if i != source
+        )
+        expected = fitted_models.affinity.affinity(worker.worker_id, task) * inner
+        assert model.influence(worker, task) == pytest.approx(expected, rel=1e-6, abs=1e-12)
+
+    def test_ablation_without_affinity_ignores_topics(self, fitted_models, tiny_instance):
+        ablated = fitted_models.influence_model(InfluenceComponents.without_affinity())
+        full = fitted_models.influence_model()
+        workers, tasks = tiny_instance.workers[:4], tiny_instance.tasks[:4]
+        matrix_ablated = ablated.influence_matrix(workers, tasks)
+        matrix_full = full.influence_matrix(workers, tasks)
+        # Full = affinity * ablated (elementwise), with affinity <= 1 -> full <= ablated.
+        assert (matrix_full <= matrix_ablated + 1e-9).all()
+
+    def test_ablation_without_willingness_is_affinity_times_sigma(
+        self, fitted_models, tiny_instance
+    ):
+        ablated = fitted_models.influence_model(InfluenceComponents.without_willingness())
+        worker = tiny_instance.workers[1]
+        task = tiny_instance.tasks[1]
+        expected = (
+            fitted_models.affinity.affinity(worker.worker_id, task)
+            * ablated.sigma(worker.worker_id)
+        )
+        assert ablated.influence(worker, task) == pytest.approx(expected, rel=1e-9)
+
+    def test_ablation_without_propagation_sums_other_willingness(
+        self, fitted_models, tiny_instance
+    ):
+        ablated = fitted_models.influence_model(InfluenceComponents.without_propagation())
+        worker = tiny_instance.workers[2]
+        task = tiny_instance.tasks[2]
+        graph = fitted_models.graph
+        total = 0.0
+        for worker_id in fitted_models.willingness.worker_ids:
+            if worker_id == worker.worker_id:
+                continue
+            total += fitted_models.willingness.willingness(worker_id, task.location)
+        expected = fitted_models.affinity.affinity(worker.worker_id, task) * total
+        assert ablated.influence(worker, task) == pytest.approx(expected, rel=1e-6)
+
+    def test_sigma_positive_for_connected_worker(self, fitted_models, tiny_instance):
+        worker = tiny_instance.workers[0]
+        assert fitted_models.influence_model().sigma(worker.worker_id) >= 1.0 - 1e-6
+
+    def test_propagation_to_others_excludes_self(self, fitted_models, tiny_instance):
+        model = fitted_models.influence_model()
+        worker = tiny_instance.workers[0]
+        assert model.propagation_to_others(worker.worker_id) <= model.sigma(worker.worker_id)
+        assert model.propagation_to_others(worker.worker_id) >= 0.0

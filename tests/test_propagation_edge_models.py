@@ -1,0 +1,128 @@
+"""Tests for the alternative arc-probability models of SocialGraph."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.propagation import (
+    RRRCollection,
+    SocialGraph,
+    estimate_informed_probabilities,
+    sample_rrr_sets,
+    simulate_ic,
+    simulate_lt,
+)
+from repro.propagation.graph import TRIVALENCY_VALUES
+
+
+EDGES = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+
+
+def graph_with(model, seed=0):
+    return SocialGraph(range(4), EDGES, edge_probability=model, seed=seed)
+
+
+class TestModelValidation:
+    def test_default_is_indegree(self):
+        graph = SocialGraph(range(3), [(0, 1)])
+        assert graph.edge_probability == "indegree"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(GraphError):
+            graph_with("wc")
+
+    def test_uniform_probability_bounds(self):
+        with pytest.raises(GraphError):
+            graph_with(("uniform", 0.0))
+        with pytest.raises(GraphError):
+            graph_with(("uniform", 1.5))
+        graph_with(("uniform", 1.0))  # boundary accepted
+
+
+class TestArcProbabilityViews:
+    def test_indegree_in_arcs_match_inform_probability(self):
+        graph = graph_with("indegree")
+        for node in range(graph.num_workers):
+            probs = graph.in_arc_probs(node)
+            assert np.allclose(probs, graph.inform_probability[node])
+            assert len(probs) == len(graph.in_neighbors(node))
+
+    def test_uniform_all_arcs_equal(self):
+        graph = graph_with(("uniform", 0.3))
+        for node in range(graph.num_workers):
+            assert np.allclose(graph.in_arc_probs(node), 0.3)
+            assert np.allclose(graph.out_arc_probs(node), 0.3)
+
+    def test_trivalency_values_from_menu(self):
+        graph = graph_with("trivalency", seed=5)
+        for node in range(graph.num_workers):
+            for p in graph.in_arc_probs(node):
+                assert float(p) in TRIVALENCY_VALUES
+
+    def test_in_and_out_views_consistent(self):
+        """P(u -> v) must be identical whether read from u's out-list or
+        v's in-list."""
+        graph = graph_with("trivalency", seed=9)
+        for v in range(graph.num_workers):
+            in_neighbors = graph.in_neighbors(v)
+            in_probs = graph.in_arc_probs(v)
+            for u, p in zip(in_neighbors, in_probs):
+                out_neighbors = graph.out_neighbors(int(u))
+                out_probs = graph.out_arc_probs(int(u))
+                position = list(out_neighbors).index(v)
+                assert out_probs[position] == pytest.approx(float(p))
+
+    def test_trivalency_deterministic_by_seed(self):
+        a = graph_with("trivalency", seed=3)
+        b = graph_with("trivalency", seed=3)
+        c = graph_with("trivalency", seed=4)
+        assert np.array_equal(a._in_arc_probs, b._in_arc_probs)
+        assert not np.array_equal(a._in_arc_probs, c._in_arc_probs)
+
+
+class TestSamplingUnderModels:
+    @pytest.mark.parametrize("model", [("uniform", 0.2), "trivalency"])
+    def test_ic_and_lt_run(self, model):
+        graph = graph_with(model, seed=1)
+        rng = np.random.default_rng(0)
+        informed_ic = simulate_ic(graph, 0, rng)
+        informed_lt = simulate_lt(graph, 0, rng)
+        assert 0 in informed_ic
+        assert 0 in informed_lt
+
+    def test_uniform_low_p_spreads_less_than_high_p(self):
+        rng_low = np.random.default_rng(1)
+        rng_high = np.random.default_rng(1)
+        low = graph_with(("uniform", 0.05))
+        high = graph_with(("uniform", 0.95))
+        sizes_low = sum(len(simulate_ic(low, 0, rng_low)) for _ in range(300))
+        sizes_high = sum(len(simulate_ic(high, 0, rng_high)) for _ in range(300))
+        assert sizes_high > sizes_low
+
+    def test_rrr_estimate_matches_monte_carlo_uniform(self):
+        """Lemma 2 holds for any arc-probability model; verify under the
+        uniform model on a small graph."""
+        graph = SocialGraph(
+            range(6),
+            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 3), (1, 4)],
+            edge_probability=("uniform", 0.3),
+        )
+        rng = np.random.default_rng(7)
+        collection = RRRCollection(num_workers=6)
+        roots, members = sample_rrr_sets(graph, 40_000, rng)
+        collection.extend(roots, members)
+        source = 0
+        mc = estimate_informed_probabilities(graph, source, runs=8000, seed=3)
+        for target in range(1, 6):
+            rrr_estimate = collection.ppro(source, target)
+            assert rrr_estimate == pytest.approx(mc[target], abs=0.05), target
+
+    def test_lt_walk_can_stop_early_under_subunit_weights(self):
+        """With sum of in-weights < 1 some LT walks take the 'no live
+        in-arc' branch, so singleton sets must appear."""
+        graph = graph_with(("uniform", 0.05), seed=2)
+        rng = np.random.default_rng(0)
+        from repro.propagation import sample_lt_rrr_sets
+
+        _, members = sample_lt_rrr_sets(graph, 500, rng)
+        assert any(len(m) == 1 for m in members)

@@ -1,0 +1,64 @@
+"""Tests for the social propagation graph."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.propagation import SocialGraph
+
+
+class TestSocialGraph:
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            SocialGraph([], [])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            SocialGraph([0, 1], [(0, 0)])
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(GraphError):
+            SocialGraph([0, 1], [(0, 5)])
+
+    def test_duplicate_edges_collapsed(self):
+        graph = SocialGraph([0, 1], [(0, 1), (1, 0), (0, 1)])
+        assert graph.num_edges == 2  # one undirected edge = two arcs
+
+    def test_degrees_on_path(self, line_graph):
+        # Path 0-1-2-3: degrees 1,2,2,1.
+        np.testing.assert_array_equal(line_graph.in_degree, [1, 2, 2, 1])
+
+    def test_inform_probability_is_inverse_indegree(self, line_graph):
+        np.testing.assert_allclose(
+            line_graph.inform_probability, [1.0, 0.5, 0.5, 1.0]
+        )
+
+    def test_isolated_worker_allowed(self):
+        graph = SocialGraph([0, 1, 2], [(0, 1)])
+        assert graph.num_workers == 3
+        assert graph.in_degree[graph.index_of(2)] == 0
+        assert graph.inform_probability[graph.index_of(2)] == 0.0
+
+    def test_neighbors_symmetric_for_undirected_input(self, line_graph):
+        i1 = line_graph.index_of(1)
+        out_n = set(line_graph.out_neighbors(i1).tolist())
+        in_n = set(line_graph.in_neighbors(i1).tolist())
+        assert out_n == in_n == {line_graph.index_of(0), line_graph.index_of(2)}
+
+    def test_index_mapping_roundtrip(self):
+        graph = SocialGraph([10, 20, 30], [(10, 30)])
+        for worker_id in (10, 20, 30):
+            assert graph.worker_at(graph.index_of(worker_id)) == worker_id
+
+    def test_unknown_worker_index_raises(self, line_graph):
+        with pytest.raises(GraphError):
+            line_graph.index_of(999)
+
+    def test_degree_histogram(self, line_graph):
+        assert line_graph.degree_histogram() == {1: 2, 2: 2}
+
+    def test_neighbors_sorted(self):
+        graph = SocialGraph(range(5), [(2, 4), (2, 0), (2, 3)])
+        i2 = graph.index_of(2)
+        neighbors = graph.out_neighbors(i2).tolist()
+        assert neighbors == sorted(neighbors)

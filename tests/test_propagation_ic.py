@@ -1,0 +1,72 @@
+"""Tests for forward Independent Cascade simulation."""
+
+import numpy as np
+import pytest
+
+from repro.propagation import SocialGraph, estimate_informed_probabilities, estimate_spread, simulate_ic
+
+
+class TestSimulateIC:
+    def test_seed_always_informed(self, line_graph, rng):
+        informed = simulate_ic(line_graph, seed_index=0, rng=rng)
+        assert 0 in informed.tolist()
+
+    def test_isolated_seed_spreads_nowhere(self, rng):
+        graph = SocialGraph([0, 1, 2], [(1, 2)])
+        informed = simulate_ic(graph, graph.index_of(0), rng)
+        assert informed.tolist() == [graph.index_of(0)]
+
+    def test_informed_set_is_connected_reachable(self, rng):
+        # Two disconnected components; cascade never crosses.
+        graph = SocialGraph(range(6), [(0, 1), (1, 2), (3, 4), (4, 5)])
+        for _ in range(20):
+            informed = set(simulate_ic(graph, graph.index_of(0), rng).tolist())
+            component = {graph.index_of(i) for i in (0, 1, 2)}
+            assert informed <= component
+
+    def test_deterministic_chain_with_probability_one(self, rng):
+        # Path graph: every internal node has degree 2 -> p = 0.5, but the
+        # endpoints have degree 1 -> p = 1.0.  A 2-node graph must always
+        # propagate.
+        graph = SocialGraph([0, 1], [(0, 1)])
+        for _ in range(10):
+            informed = simulate_ic(graph, 0, rng)
+            assert sorted(informed.tolist()) == [0, 1]
+
+
+class TestEstimators:
+    def test_spread_at_least_one(self, line_graph):
+        assert estimate_spread(line_graph, 0, runs=200, seed=1) >= 1.0
+
+    def test_spread_rejects_zero_runs(self, line_graph):
+        with pytest.raises(ValueError):
+            estimate_spread(line_graph, 0, runs=0)
+
+    def test_probabilities_vector_properties(self, line_graph):
+        probs = estimate_informed_probabilities(line_graph, 0, runs=300, seed=2)
+        assert probs.shape == (4,)
+        assert probs[0] == pytest.approx(1.0)
+        assert ((0.0 <= probs) & (probs <= 1.0)).all()
+
+    def test_probabilities_decay_along_path(self):
+        graph = SocialGraph(range(5), [(0, 1), (1, 2), (2, 3), (3, 4)])
+        probs = estimate_informed_probabilities(graph, 0, runs=3000, seed=3)
+        # Monotone decay with distance from the seed.
+        assert probs[1] > probs[2] > probs[3] >= probs[4]
+
+    def test_two_node_exact_probability(self):
+        graph = SocialGraph([0, 1], [(0, 1)])
+        probs = estimate_informed_probabilities(graph, 0, runs=2000, seed=4)
+        assert probs[1] == pytest.approx(1.0)  # indeg 1 -> p = 1
+
+    def test_star_center_informs_leaves_with_p_one(self):
+        # Star: leaves have degree 1 -> p(center -> leaf) = 1.
+        graph = SocialGraph(range(4), [(0, 1), (0, 2), (0, 3)])
+        probs = estimate_informed_probabilities(graph, graph.index_of(0), runs=500, seed=5)
+        np.testing.assert_allclose(probs, 1.0)
+
+    def test_leaf_informs_center_with_p_third(self):
+        # Center has degree 3 -> p(leaf -> center) = 1/3.
+        graph = SocialGraph(range(4), [(0, 1), (0, 2), (0, 3)])
+        probs = estimate_informed_probabilities(graph, graph.index_of(1), runs=6000, seed=6)
+        assert probs[graph.index_of(0)] == pytest.approx(1.0 / 3.0, abs=0.03)

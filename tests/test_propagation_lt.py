@@ -1,0 +1,104 @@
+"""Tests for repro.propagation.lt — the Linear Threshold extension."""
+
+import numpy as np
+import pytest
+
+from repro.propagation import (
+    SocialGraph,
+    estimate_spread_lt,
+    lt_collection,
+    sample_lt_rrr_sets,
+    simulate_lt,
+)
+
+
+@pytest.fixture()
+def star_graph() -> SocialGraph:
+    """Hub 0 connected to leaves 1..5."""
+    return SocialGraph(range(6), [(0, i) for i in range(1, 6)])
+
+
+class TestSimulateLT:
+    def test_seed_always_informed(self, line_graph, rng):
+        informed = simulate_lt(line_graph, 0, rng)
+        assert 0 in informed
+
+    def test_informed_sorted_and_unique(self, star_graph, rng):
+        informed = simulate_lt(star_graph, 0, rng)
+        assert list(informed) == sorted(set(int(i) for i in informed))
+
+    def test_isolated_seed_spreads_nowhere(self, rng):
+        graph = SocialGraph(range(3), [(1, 2)])
+        informed = simulate_lt(graph, 0, rng)
+        assert list(informed) == [0]
+
+    def test_leaf_with_indegree_one_always_informed_by_hub(self, rng):
+        # A leaf in the star has indeg 1 so its single in-arc has weight 1,
+        # which meets any threshold in [0, 1): leaves are always informed.
+        graph = SocialGraph(range(2), [(0, 1)])
+        for _ in range(20):
+            informed = simulate_lt(graph, 0, rng)
+            assert list(informed) == [0, 1]
+
+    def test_spread_bounded_by_population(self, star_graph, rng):
+        for _ in range(10):
+            informed = simulate_lt(star_graph, 0, rng)
+            assert 1 <= len(informed) <= star_graph.num_workers
+
+
+class TestEstimateSpreadLT:
+    def test_rejects_zero_runs(self, line_graph):
+        with pytest.raises(ValueError):
+            estimate_spread_lt(line_graph, 0, runs=0)
+
+    def test_deterministic_chain_spread(self):
+        # In the path 0-1, worker 1 has indeg 1 -> always informed.
+        graph = SocialGraph(range(2), [(0, 1)])
+        assert estimate_spread_lt(graph, 0, runs=50) == pytest.approx(2.0)
+
+    def test_spread_reproducible_by_seed(self, star_graph):
+        a = estimate_spread_lt(star_graph, 0, runs=200, seed=5)
+        b = estimate_spread_lt(star_graph, 0, runs=200, seed=5)
+        assert a == b
+
+    def test_hub_spreads_more_than_leaf(self, star_graph):
+        hub = estimate_spread_lt(star_graph, 0, runs=400, seed=1)
+        leaf = estimate_spread_lt(star_graph, 1, runs=400, seed=1)
+        assert hub > leaf
+
+
+class TestSampleLTRRRSets:
+    def test_rejects_negative_count(self, line_graph, rng):
+        with pytest.raises(ValueError):
+            sample_lt_rrr_sets(line_graph, -1, rng)
+
+    def test_members_sorted_and_contain_root(self, line_graph, rng):
+        roots, members = sample_lt_rrr_sets(line_graph, 50, rng)
+        for root, member in zip(roots, members):
+            assert list(member) == sorted(member)
+            assert int(root) in member
+
+    def test_sets_are_walks_not_trees(self, star_graph, rng):
+        # LT reverse sets follow a single in-arc per node, so a set rooted
+        # at the hub contains the hub plus at most a walk through leaves —
+        # from a leaf, the only in-neighbor is the hub, then the walk either
+        # cycles back or continues to one other leaf.
+        roots, members = sample_lt_rrr_sets(star_graph, 200, rng)
+        for member in members:
+            assert len(member) <= 3
+
+    def test_collection_roundtrip(self, line_graph):
+        collection = lt_collection(line_graph, count=100, seed=9)
+        assert len(collection) == 100
+        assert collection.coverage_fraction().max() <= 1.0
+
+    def test_spread_estimate_matches_forward_simulation(self):
+        """RIS sigma under LT approximates forward Monte-Carlo spread."""
+        graph = SocialGraph(range(8), [
+            (0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (1, 7),
+        ])
+        collection = lt_collection(graph, count=30_000, seed=3)
+        for seed_worker in (0, 2, 5):
+            ris = collection.sigma(seed_worker)
+            forward = estimate_spread_lt(graph, seed_worker, runs=6000, seed=17)
+            assert ris == pytest.approx(forward, rel=0.12), (seed_worker, ris, forward)

@@ -1,0 +1,110 @@
+"""Tests for the RPO algorithm (Algorithm 1) and its bounds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.propagation import RPO, SocialGraph
+
+
+@pytest.fixture()
+def medium_graph(rng):
+    """A 40-node preferential-attachment-ish graph."""
+    import networkx as nx
+
+    g = nx.barabasi_albert_graph(40, 2, seed=11)
+    return SocialGraph(range(40), list(g.edges()))
+
+
+class TestRPOConfiguration:
+    def test_epsilon_validated(self):
+        with pytest.raises(ConfigurationError):
+            RPO(epsilon=0.0)
+        with pytest.raises(ConfigurationError):
+            RPO(epsilon=1.0)
+
+    def test_o_validated(self):
+        with pytest.raises(ConfigurationError):
+            RPO(o=0.0)
+
+    def test_max_sets_validated(self):
+        with pytest.raises(ConfigurationError):
+            RPO(max_sets=0)
+
+    def test_epsilon_star_is_sqrt2_epsilon(self):
+        rpo = RPO(epsilon=0.1)
+        assert rpo.epsilon_star == pytest.approx(math.sqrt(2) * 0.1)
+
+
+class TestBounds:
+    def test_iteration_bound_formula(self):
+        rpo = RPO(epsilon=0.1, o=1.0)
+        n, k = 100, 50.0
+        eps = rpo.epsilon_star
+        lambda_star = 1.0 / (n * math.log2(n))
+        expected = math.ceil(
+            (2 + 2 * eps / 3) * (math.log(n) + math.log(1 / lambda_star)) * n / (eps**2 * k)
+        )
+        assert rpo.iteration_bound(n, k) == expected
+
+    def test_iteration_bound_decreases_in_k(self):
+        rpo = RPO(epsilon=0.1)
+        assert rpo.iteration_bound(100, 50) < rpo.iteration_bound(100, 10)
+
+    def test_iteration_bound_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            RPO().iteration_bound(100, 0)
+
+    def test_threshold_bound_formula(self):
+        rpo = RPO(epsilon=0.1, o=1.0)
+        n, sigma_lb = 100, 10.0
+        expected = math.ceil(2 * n * math.log(n) / (sigma_lb * 0.01))
+        assert rpo.threshold_bound(n, sigma_lb) == expected
+
+    def test_threshold_bound_rejects_bad_sigma(self):
+        with pytest.raises(ConfigurationError):
+            RPO().threshold_bound(100, 0.0)
+
+    def test_threshold_bound_decreases_in_sigma(self):
+        rpo = RPO()
+        assert rpo.threshold_bound(100, 20.0) < rpo.threshold_bound(100, 2.0)
+
+
+class TestRPORun:
+    def test_run_produces_sets(self, medium_graph):
+        result = RPO(epsilon=0.3, max_sets=20_000, seed=1).run(medium_graph)
+        assert len(result.collection) > 0
+        assert result.sigma_lower_bound >= 1.0
+        assert result.threshold_bound >= 1
+
+    def test_run_deterministic(self, medium_graph):
+        a = RPO(epsilon=0.3, max_sets=5_000, seed=3).run(medium_graph)
+        b = RPO(epsilon=0.3, max_sets=5_000, seed=3).run(medium_graph)
+        assert len(a.collection) == len(b.collection)
+        np.testing.assert_array_equal(a.collection.roots, b.collection.roots)
+
+    def test_truncation_flag_set_when_capped(self, medium_graph):
+        result = RPO(epsilon=0.1, max_sets=100, seed=1).run(medium_graph)
+        assert result.truncated
+        assert len(result.collection) <= 100
+
+    def test_generates_at_least_threshold_bound_when_uncapped(self, medium_graph):
+        result = RPO(epsilon=0.4, max_sets=500_000, seed=2).run(medium_graph)
+        assert len(result.collection) >= min(result.threshold_bound, 500_000)
+
+    def test_estimates_close_to_monte_carlo(self):
+        """End-to-end: RPO's collection estimates sigma within tolerance."""
+        from repro.propagation import estimate_spread
+
+        graph = SocialGraph(range(6), [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)])
+        result = RPO(epsilon=0.15, max_sets=300_000, seed=5).run(graph)
+        for node in range(6):
+            mc = estimate_spread(graph, node, runs=20_000, seed=6)
+            assert result.collection.sigma(node) == pytest.approx(mc, rel=0.15), node
+
+    def test_small_graph_terminates(self):
+        graph = SocialGraph([0, 1], [(0, 1)])
+        result = RPO(epsilon=0.5, max_sets=10_000, seed=7).run(graph)
+        assert len(result.collection) > 0

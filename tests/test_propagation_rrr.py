@@ -1,0 +1,156 @@
+"""Tests for RRR set sampling and collection queries.
+
+The decisive test is Lemma 2: the RRR estimate of P[target informed by
+source] must agree with forward Monte-Carlo IC simulation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.propagation import (
+    RRRCollection,
+    SocialGraph,
+    estimate_informed_probabilities,
+    sample_rrr_sets,
+)
+
+
+@pytest.fixture()
+def star_graph():
+    return SocialGraph(range(4), [(0, 1), (0, 2), (0, 3)])
+
+
+def build_collection(graph, count, seed=0):
+    collection = RRRCollection(num_workers=graph.num_workers)
+    rng = np.random.default_rng(seed)
+    roots, members = sample_rrr_sets(graph, count, rng)
+    collection.extend(roots, members)
+    return collection
+
+
+class TestSampling:
+    def test_count_and_root_membership(self, line_graph):
+        rng = np.random.default_rng(1)
+        roots, members = sample_rrr_sets(line_graph, 50, rng)
+        assert len(roots) == len(members) == 50
+        for root, member in zip(roots, members):
+            assert root in member.tolist()  # root always reaches itself
+            assert np.all(np.sort(member) == member)  # sorted for bisect
+
+    def test_negative_count_rejected(self, line_graph):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            sample_rrr_sets(line_graph, -1, rng)
+
+    def test_members_within_component(self):
+        graph = SocialGraph(range(6), [(0, 1), (1, 2), (3, 4), (4, 5)])
+        rng = np.random.default_rng(2)
+        _, members = sample_rrr_sets(graph, 200, rng)
+        comp_a = {graph.index_of(i) for i in (0, 1, 2)}
+        comp_b = {graph.index_of(i) for i in (3, 4, 5)}
+        for member in members:
+            nodes = set(member.tolist())
+            assert nodes <= comp_a or nodes <= comp_b
+
+
+class TestCollectionQueries:
+    def test_empty_collection(self, line_graph):
+        collection = RRRCollection(num_workers=4)
+        assert len(collection) == 0
+        assert collection.sigma(0) == 0.0
+        assert collection.ppro(0, 1) == 0.0
+        np.testing.assert_array_equal(collection.coverage_fraction(), np.zeros(4))
+        with pytest.raises(ValueError):
+            collection.greedy_informed_worker()
+
+    def test_cover_counts_consistency(self, line_graph):
+        collection = build_collection(line_graph, 300)
+        counts = collection.cover_counts()
+        assert counts.sum() == sum(len(m) for m in collection.members)
+        fraction = collection.coverage_fraction()
+        np.testing.assert_allclose(fraction, counts / 300)
+
+    def test_sigma_all_matches_scalar(self, line_graph):
+        collection = build_collection(line_graph, 200)
+        sigmas = collection.sigma_all()
+        for i in range(4):
+            assert sigmas[i] == pytest.approx(collection.sigma(i))
+
+    def test_clear(self, line_graph):
+        collection = build_collection(line_graph, 50)
+        collection.clear()
+        assert len(collection) == 0
+        assert collection.cover_counts().sum() == 0
+
+    def test_membership_matrix_shape_and_content(self, line_graph):
+        collection = build_collection(line_graph, 60)
+        matrix = collection.membership_matrix()
+        assert matrix.shape == (4, 60)
+        np.testing.assert_array_equal(
+            np.asarray(matrix.sum(axis=1)).ravel(), collection.cover_counts()
+        )
+
+    def test_ppro_matrix_row_matches_scalar(self, line_graph):
+        collection = build_collection(line_graph, 500)
+        for source in range(4):
+            row = collection.ppro_matrix_row(source)
+            for target in range(4):
+                assert row[target] == pytest.approx(collection.ppro(source, target))
+
+    def test_weighted_root_cover_matches_manual(self, line_graph):
+        collection = build_collection(line_graph, 300)
+        weights = np.array([0.1, 0.4, 0.2, 0.3])
+        out = collection.weighted_root_cover(weights)
+        manual = np.zeros(4)
+        for source in range(4):
+            manual[source] = sum(
+                weights[target] * collection.ppro(source, target) for target in range(4)
+            )
+        np.testing.assert_allclose(out, manual, rtol=1e-9)
+
+    def test_weighted_root_cover_batch_matches_single(self, line_graph):
+        collection = build_collection(line_graph, 200)
+        rng = np.random.default_rng(5)
+        weights = rng.random((4, 3))
+        batch = collection.weighted_root_cover_batch(weights)
+        assert batch.shape == (4, 3)
+        for column in range(3):
+            np.testing.assert_allclose(
+                batch[:, column], collection.weighted_root_cover(weights[:, column])
+            )
+
+    def test_weighted_root_cover_batch_rejects_bad_shape(self, line_graph):
+        collection = build_collection(line_graph, 10)
+        with pytest.raises(ValueError):
+            collection.weighted_root_cover_batch(np.ones((7, 2)))
+
+
+class TestLemma2Agreement:
+    """P_pro from RRR sets must match forward Monte-Carlo IC (Lemma 2)."""
+
+    @pytest.mark.parametrize("edges", [
+        [(0, 1), (1, 2), (2, 3)],                      # path
+        [(0, 1), (0, 2), (0, 3)],                      # star
+        [(0, 1), (1, 2), (2, 0), (2, 3)],              # triangle + tail
+    ])
+    def test_rrr_matches_monte_carlo(self, edges):
+        graph = SocialGraph(range(4), edges)
+        collection = build_collection(graph, 60_000, seed=7)
+        for source in range(4):
+            mc = estimate_informed_probabilities(graph, source, runs=20_000, seed=8)
+            rrr = collection.ppro_matrix_row(source)
+            for target in range(4):
+                if target == source:
+                    continue
+                assert rrr[target] == pytest.approx(mc[target], abs=0.05), (
+                    f"source {source} target {target}"
+                )
+
+    def test_sigma_matches_monte_carlo_spread(self):
+        from repro.propagation import estimate_spread
+
+        graph = SocialGraph(range(4), [(0, 1), (1, 2), (2, 3)])
+        collection = build_collection(graph, 60_000, seed=9)
+        for seed_node in range(4):
+            mc = estimate_spread(graph, seed_node, runs=20_000, seed=10)
+            assert collection.sigma(seed_node) == pytest.approx(mc, rel=0.08)

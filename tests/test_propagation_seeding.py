@@ -1,0 +1,135 @@
+"""Tests for repro.propagation.seeding — greedy RIS influence maximization."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.propagation import (
+    RRRCollection,
+    SocialGraph,
+    sample_rrr_sets,
+    select_seeds,
+    spread_of_seeds,
+)
+
+
+def collection_from_sets(num_workers, sets):
+    """Build a collection with explicit member sets; root = first member."""
+    collection = RRRCollection(num_workers=num_workers)
+    roots = np.array([s[0] for s in sets], dtype=np.int64)
+    members = [np.sort(np.array(s, dtype=np.int64)) for s in sets]
+    collection.extend(roots, members)
+    return collection
+
+
+@pytest.fixture()
+def ba_collection() -> RRRCollection:
+    """RRR sets over a modest scale-free-ish graph."""
+    rng = np.random.default_rng(7)
+    edges = {(int(a), int(b)) for a, b in rng.integers(0, 40, size=(150, 2)) if a != b}
+    graph = SocialGraph(range(40), edges)
+    collection = RRRCollection(num_workers=40)
+    roots, members = sample_rrr_sets(graph, 4000, rng)
+    collection.extend(roots, members)
+    return collection
+
+
+class TestSelectSeeds:
+    def test_rejects_bad_k(self, ba_collection):
+        with pytest.raises(ValueError):
+            select_seeds(ba_collection, 0)
+
+    def test_rejects_empty_collection(self):
+        with pytest.raises(ValueError):
+            select_seeds(RRRCollection(num_workers=5), 1)
+
+    def test_first_seed_is_greedy_informed_worker(self, ba_collection):
+        result = select_seeds(ba_collection, 1)
+        assert result.seeds[0] == ba_collection.greedy_informed_worker()
+
+    def test_marginals_non_increasing(self, ba_collection):
+        result = select_seeds(ba_collection, 10)
+        assert list(result.marginal_coverage) == sorted(
+            result.marginal_coverage, reverse=True
+        )
+
+    def test_no_duplicate_seeds(self, ba_collection):
+        result = select_seeds(ba_collection, 15)
+        assert len(set(result.seeds)) == len(result.seeds)
+
+    def test_spread_matches_spread_of_seeds(self, ba_collection):
+        result = select_seeds(ba_collection, 5)
+        assert result.estimated_spread == pytest.approx(
+            spread_of_seeds(ba_collection, list(result.seeds))
+        )
+
+    def test_k_capped_at_population(self):
+        collection = collection_from_sets(3, [[0], [1], [2]])
+        result = select_seeds(collection, 100)
+        assert set(result.seeds) == {0, 1, 2}
+
+    def test_stops_when_everything_covered(self):
+        # Worker 0 covers both sets; adding more seeds gains nothing.
+        collection = collection_from_sets(4, [[0, 1], [0, 2]])
+        result = select_seeds(collection, 4)
+        assert result.seeds == (0,)
+        assert result.marginal_coverage == (1 + 1,)
+
+    def test_greedy_matches_exhaustive_on_small_cases(self):
+        """Greedy with k=2 achieves >= (1 - 1/e) of the best pair — on
+        these tiny hand cases it is in fact optimal."""
+        sets = [[0, 1], [1, 2], [2, 3], [3, 0], [1, 3], [0, 2]]
+        collection = collection_from_sets(4, sets)
+        result = select_seeds(collection, 2)
+        greedy_spread = result.estimated_spread
+
+        best = 0.0
+        for pair in itertools.combinations(range(4), 2):
+            best = max(best, spread_of_seeds(collection, list(pair)))
+        assert greedy_spread == pytest.approx(best)
+
+    def test_lazy_evaluation_matches_naive_greedy(self, ba_collection):
+        """CELF must pick exactly the naive greedy sequence (ties by index)."""
+        membership = ba_collection.membership_matrix().tocsr()
+        covered = np.zeros(len(ba_collection), dtype=bool)
+        expected = []
+        for _ in range(8):
+            gains = np.zeros(ba_collection.num_workers, dtype=int)
+            for worker in range(ba_collection.num_workers):
+                row = membership.indices[
+                    membership.indptr[worker]: membership.indptr[worker + 1]
+                ]
+                gains[worker] = np.count_nonzero(~covered[row])
+            for already in expected:
+                gains[already] = -1
+            best = int(np.argmax(gains))  # argmax ties -> smallest index
+            if gains[best] <= 0:
+                break
+            expected.append(best)
+            row = membership.indices[membership.indptr[best]: membership.indptr[best + 1]]
+            covered[row] = True
+        result = select_seeds(ba_collection, 8)
+        assert list(result.seeds) == expected
+
+
+class TestSpreadOfSeeds:
+    def test_empty_collection_is_zero(self):
+        assert spread_of_seeds(RRRCollection(num_workers=4), [0]) == 0.0
+
+    def test_out_of_range_seed_rejected(self):
+        collection = collection_from_sets(3, [[0]])
+        with pytest.raises(ValueError):
+            spread_of_seeds(collection, [7])
+
+    def test_monotone_in_seeds(self, ba_collection):
+        spread_1 = spread_of_seeds(ba_collection, [0])
+        spread_2 = spread_of_seeds(ba_collection, [0, 1])
+        assert spread_2 >= spread_1
+
+    def test_single_seed_equals_sigma(self, ba_collection):
+        """Coverage by one seed is exactly Definition 6's sigma estimate."""
+        for worker in (0, 5, 17):
+            assert spread_of_seeds(ba_collection, [worker]) == pytest.approx(
+                ba_collection.sigma(worker)
+            )

@@ -1,0 +1,69 @@
+"""Tests for the corpus/vocabulary substrate."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.text import Corpus, Vocabulary
+
+
+class TestVocabulary:
+    def test_add_assigns_dense_ids(self):
+        vocab = Vocabulary()
+        assert vocab.add("a") == 0
+        assert vocab.add("b") == 1
+        assert vocab.add("a") == 0  # idempotent
+        assert len(vocab) == 2
+
+    def test_lookup(self):
+        vocab = Vocabulary(["x", "y"])
+        assert vocab.id_of("y") == 1
+        assert vocab.word_of(0) == "x"
+        assert vocab.get("z") is None
+        assert "x" in vocab and "z" not in vocab
+        with pytest.raises(KeyError):
+            vocab.id_of("z")
+
+    def test_iteration_order(self):
+        vocab = Vocabulary(["c", "a", "b"])
+        assert list(vocab) == ["c", "a", "b"]
+
+
+class TestCorpus:
+    def test_builds_vocabulary(self):
+        corpus = Corpus([["a", "b"], ["b", "c", "c"]])
+        assert corpus.num_words == 3
+        assert len(corpus) == 2
+        assert corpus.num_tokens == 5
+
+    def test_count_matrix(self):
+        corpus = Corpus([["a", "b"], ["b", "b"]])
+        matrix = corpus.count_matrix()
+        assert matrix.shape == (2, 2)
+        a_id = corpus.vocabulary.id_of("a")
+        b_id = corpus.vocabulary.id_of("b")
+        assert matrix[0, a_id] == 1 and matrix[0, b_id] == 1
+        assert matrix[1, b_id] == 2
+        assert matrix.sum() == corpus.num_tokens
+
+    def test_empty_documents_allowed(self):
+        corpus = Corpus([[], ["a"], []])
+        assert len(corpus) == 3
+        assert corpus.count_matrix()[0].sum() == 0
+
+    def test_all_empty_raises(self):
+        with pytest.raises(DataError):
+            Corpus([[], []])
+
+    def test_frozen_vocabulary_drops_oov(self):
+        vocab = Vocabulary(["a", "b"])
+        corpus = Corpus([["a", "zzz", "b"]], vocabulary=vocab)
+        assert corpus.num_tokens == 2
+        assert len(vocab) == 2  # unchanged
+
+    def test_encode_drops_unknown_words(self):
+        corpus = Corpus([["a", "b"]])
+        encoded = corpus.encode(["b", "mystery", "a", "a"])
+        decoded = [corpus.vocabulary.word_of(i) for i in encoded]
+        assert decoded == ["b", "a", "a"]
+        assert corpus.encode(["mystery"]).size == 0

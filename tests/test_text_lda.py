@@ -1,0 +1,129 @@
+"""Tests for the from-scratch LDA implementations.
+
+Both engines are checked on a corpus with two *perfectly separable* topics:
+documents are drawn either from vocabulary {a, b, c} or from {x, y, z}.  A
+correct topic model must (1) produce valid probability simplexes and
+(2) place same-topic documents closer to each other than to the other
+group, and assign unseen documents correctly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.text import GibbsLDA, VariationalLDA
+
+
+def two_topic_corpus(rng: np.random.Generator, docs_per_topic: int = 12, doc_len: int = 30):
+    topic_a = ["alpha", "beta", "gamma"]
+    topic_b = ["xray", "yankee", "zulu"]
+    documents = []
+    for _ in range(docs_per_topic):
+        documents.append(list(rng.choice(topic_a, size=doc_len)))
+    for _ in range(docs_per_topic):
+        documents.append(list(rng.choice(topic_b, size=doc_len)))
+    return documents
+
+
+@pytest.fixture(params=["gibbs", "variational"])
+def engine_factory(request):
+    # alpha is set explicitly: the 50/K default heuristic targets K ~ 50 and
+    # oversmooths two-topic toy corpora.
+    if request.param == "gibbs":
+        return lambda **kw: GibbsLDA(num_topics=kw.get("num_topics", 2), alpha=0.1,
+                                     iterations=150, seed=kw.get("seed", 3))
+    return lambda **kw: VariationalLDA(num_topics=kw.get("num_topics", 2), alpha=0.1,
+                                       seed=kw.get("seed", 3))
+
+
+class TestLDACommon:
+    def test_rejects_bad_topic_count(self):
+        with pytest.raises(ValueError):
+            GibbsLDA(num_topics=0)
+        with pytest.raises(ValueError):
+            VariationalLDA(num_topics=-1)
+
+    def test_unfitted_infer_raises(self, engine_factory):
+        model = engine_factory()
+        with pytest.raises(NotFittedError):
+            model.infer(["alpha"])
+
+    def test_distributions_are_simplexes(self, engine_factory, rng):
+        model = engine_factory().fit(two_topic_corpus(rng))
+        assert model.doc_topic_ is not None and model.topic_word_ is not None
+        np.testing.assert_allclose(model.doc_topic_.sum(axis=1), 1.0, rtol=1e-6)
+        np.testing.assert_allclose(model.topic_word_.sum(axis=1), 1.0, rtol=1e-6)
+        assert (model.doc_topic_ >= 0).all()
+        assert (model.topic_word_ >= 0).all()
+
+    def test_separates_two_topics(self, engine_factory, rng):
+        docs = two_topic_corpus(rng)
+        model = engine_factory().fit(docs)
+        theta = model.doc_topic_
+        group_a = theta[:12].mean(axis=0)
+        group_b = theta[12:].mean(axis=0)
+        # The dominant topic of group A must differ from group B's.
+        assert int(np.argmax(group_a)) != int(np.argmax(group_b))
+        # And the separation should be strong.
+        assert group_a.max() > 0.8 and group_b.max() > 0.8
+
+    def test_infer_assigns_unseen_docs_to_right_topic(self, engine_factory, rng):
+        docs = two_topic_corpus(rng)
+        model = engine_factory().fit(docs)
+        theta_a = model.infer(["alpha", "beta", "alpha", "gamma"] * 4)
+        theta_b = model.infer(["zulu", "xray", "yankee", "zulu"] * 4)
+        assert int(np.argmax(theta_a)) != int(np.argmax(theta_b))
+        topic_of_a = int(np.argmax(model.doc_topic_[0]))
+        assert int(np.argmax(theta_a)) == topic_of_a
+
+    def test_infer_empty_doc_is_uniform(self, engine_factory, rng):
+        model = engine_factory().fit(two_topic_corpus(rng))
+        theta = model.infer([])
+        np.testing.assert_allclose(theta, 0.5, atol=1e-9)
+
+    def test_infer_oov_only_doc_is_uniform(self, engine_factory, rng):
+        model = engine_factory().fit(two_topic_corpus(rng))
+        theta = model.infer(["not-in-vocabulary"])
+        np.testing.assert_allclose(theta, 0.5, atol=1e-9)
+
+    def test_infer_returns_simplex(self, engine_factory, rng):
+        model = engine_factory().fit(two_topic_corpus(rng))
+        theta = model.infer(["alpha", "zulu"])
+        assert theta.sum() == pytest.approx(1.0)
+        assert (theta >= 0).all()
+
+    def test_deterministic_given_seed(self, engine_factory, rng):
+        docs = two_topic_corpus(rng)
+        a = engine_factory(seed=9).fit(docs)
+        b = engine_factory(seed=9).fit(docs)
+        np.testing.assert_allclose(a.doc_topic_, b.doc_topic_)
+        np.testing.assert_allclose(a.topic_word_, b.topic_word_)
+
+    def test_perplexity_proxy_better_than_uniform(self, engine_factory, rng):
+        docs = two_topic_corpus(rng)
+        model = engine_factory().fit(docs)
+        uniform_log_prob = np.log(1.0 / 6.0)  # 6 words in the vocabulary
+        assert model.perplexity_proxy() > uniform_log_prob
+
+
+class TestGibbsSpecifics:
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValueError):
+            GibbsLDA(num_topics=2, iterations=0)
+
+    def test_alpha_default_is_50_over_k(self):
+        assert GibbsLDA(num_topics=10).alpha == pytest.approx(5.0)
+
+
+class TestEngineAgreement:
+    def test_engines_agree_on_separable_corpus(self, rng):
+        docs = two_topic_corpus(rng)
+        gibbs = GibbsLDA(num_topics=2, iterations=150, seed=1).fit(docs)
+        variational = VariationalLDA(num_topics=2, seed=1).fit(docs)
+        # Match topics by best overlap, then compare document groupings.
+        for model in (gibbs, variational):
+            labels = np.argmax(model.doc_topic_, axis=1)
+            # Within-group consistency: all of group A same label, etc.
+            assert len(set(labels[:12].tolist())) == 1
+            assert len(set(labels[12:].tolist())) == 1
+            assert labels[0] != labels[-1]

@@ -1,0 +1,81 @@
+"""Tests for LDA introspection and held-out scoring."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.text import GibbsLDA, VariationalLDA
+
+
+TWO_TOPIC_DOCS = (
+    [["cafe", "bar", "cafe", "diner"]] * 10
+    + [["gym", "park", "gym", "trail"]] * 10
+)
+
+
+@pytest.fixture(scope="module", params=["variational", "gibbs"])
+def fitted(request):
+    if request.param == "gibbs":
+        model = GibbsLDA(num_topics=2, iterations=120, seed=3)
+    else:
+        model = VariationalLDA(num_topics=2, seed=3)
+    return model.fit(TWO_TOPIC_DOCS)
+
+
+class TestTopWords:
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            VariationalLDA(num_topics=2).top_words(0)
+
+    def test_topic_out_of_range(self, fitted):
+        with pytest.raises(ValueError):
+            fitted.top_words(5)
+
+    def test_descending_probabilities(self, fitted):
+        words = fitted.top_words(0, count=4)
+        probs = [p for _, p in words]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_topics_separate_the_two_themes(self, fitted):
+        """Each ground-truth theme should dominate one learned topic."""
+        top0 = {w for w, _ in fitted.top_words(0, count=2)}
+        top1 = {w for w, _ in fitted.top_words(1, count=2)}
+        food = {"cafe", "bar", "diner"}
+        sport = {"gym", "park", "trail"}
+        food_topics = sum(bool(top & food) for top in (top0, top1))
+        sport_topics = sum(bool(top & sport) for top in (top0, top1))
+        assert food_topics >= 1 and sport_topics >= 1
+        assert top0 != top1
+
+    def test_count_caps_at_vocabulary(self, fitted):
+        words = fitted.top_words(0, count=100)
+        assert len(words) == 6  # vocabulary size
+
+
+class TestHeldOutPerplexity:
+    def test_rejects_oov_only(self, fitted):
+        with pytest.raises(ValueError):
+            fitted.held_out_perplexity([["opera", "museum"]])
+
+    def test_in_distribution_beats_shuffled(self, fitted):
+        """Documents drawn from the training themes must score better
+        (lower perplexity) than theme-mixing documents."""
+        coherent = [["cafe", "bar", "cafe"], ["gym", "park", "gym"]]
+        mixed = [["cafe", "gym", "bar", "park", "diner", "trail"]]
+        assert fitted.held_out_perplexity(coherent) < fitted.held_out_perplexity(mixed)
+
+    def test_bounded_by_vocabulary(self, fitted):
+        """Perplexity can never exceed an all-OOV-free uniform model by
+        orders of magnitude — sanity band: (1, V^2]."""
+        value = fitted.held_out_perplexity([["cafe", "gym", "bar"]])
+        assert 1.0 < value <= 36.0  # V = 6
+
+    def test_oov_tokens_skipped(self, fitted):
+        with_oov = fitted.held_out_perplexity([["cafe", "bar", "spaceport"]])
+        without = fitted.held_out_perplexity([["cafe", "bar"]])
+        assert with_oov == pytest.approx(without, rel=0.2)
+
+    def test_perplexity_proxy_improves_with_training(self):
+        short = VariationalLDA(num_topics=2, max_iter=1, seed=7).fit(TWO_TOPIC_DOCS)
+        long = VariationalLDA(num_topics=2, max_iter=60, seed=7).fit(TWO_TOPIC_DOCS)
+        assert long.perplexity_proxy() >= short.perplexity_proxy() - 0.05

@@ -1,0 +1,145 @@
+"""Tests for repro.willingness.movement — plug-in movement families."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NotFittedError
+from repro.geo import Point
+from repro.willingness import (
+    MOVEMENT_FAMILIES,
+    ExponentialMovement,
+    GeneralizedHistoricalAcceptance,
+    HistoricalAcceptance,
+    LognormalMovement,
+    ParetoMovement,
+    RayleighMovement,
+    fit_pareto_shape,
+    make_movement_model,
+)
+
+ALL_FAMILIES = sorted(MOVEMENT_FAMILIES)
+
+jumps_strategy = st.lists(
+    st.floats(0, 50, width=32).map(float), min_size=1, max_size=20
+)
+
+
+class TestFamilyRegistry:
+    def test_four_families_registered(self):
+        assert ALL_FAMILIES == ["exponential", "lognormal", "pareto", "rayleigh"]
+
+    def test_make_movement_model(self):
+        assert isinstance(make_movement_model("pareto"), ParetoMovement)
+        assert isinstance(make_movement_model("rayleigh"), RayleighMovement)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            make_movement_model("levy")
+
+
+class TestFamilyContracts:
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_unfitted_tail_raises(self, family):
+        with pytest.raises(NotFittedError):
+            make_movement_model(family).tail(1.0)
+
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_empty_jumps_rejected(self, family):
+        with pytest.raises(ValueError):
+            make_movement_model(family).fit([])
+
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_negative_jump_rejected(self, family):
+        with pytest.raises(ValueError):
+            make_movement_model(family).fit([1.0, -0.5])
+
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    @settings(max_examples=25)
+    @given(jumps=jumps_strategy)
+    def test_tail_is_probability_and_decreasing(self, family, jumps):
+        model = make_movement_model(family).fit(jumps)
+        distances = np.array([0.0, 0.5, 1.0, 5.0, 25.0, 100.0])
+        tails = np.asarray(model.tail(distances), dtype=float)
+        assert np.all(tails >= 0.0) and np.all(tails <= 1.0 + 1e-12)
+        assert np.all(np.diff(tails) <= 1e-12), tails
+
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_degenerate_all_zero_jumps(self, family):
+        """A worker who never moved gets a near-zero far-field tail."""
+        model = make_movement_model(family).fit([0.0, 0.0, 0.0])
+        assert float(model.tail(25.0)) < 1e-6
+
+
+class TestSpecificFits:
+    def test_pareto_matches_eq1(self):
+        jumps = [1.0, 3.0, 7.0]
+        model = ParetoMovement().fit(jumps)
+        assert model.shape == pytest.approx(fit_pareto_shape(jumps))
+
+    def test_exponential_rate_is_reciprocal_mean(self):
+        model = ExponentialMovement().fit([2.0, 4.0])
+        assert model.rate == pytest.approx(1.0 / 3.0)
+        assert float(model.tail(0.0)) == pytest.approx(1.0)
+
+    def test_lognormal_mu_sigma(self):
+        jumps = [0.0, np.e - 1.0]  # logs: 0 and 1
+        model = LognormalMovement().fit(jumps)
+        assert model.mu == pytest.approx(0.5)
+        assert model.sigma == pytest.approx(0.5)
+        # At the median (ln(d+1) = mu) the tail is exactly 1/2.
+        median_distance = float(np.exp(0.5) - 1.0)
+        assert float(model.tail(median_distance)) == pytest.approx(0.5)
+
+    def test_rayleigh_sigma_sq(self):
+        model = RayleighMovement().fit([2.0, 4.0])
+        assert model.sigma_sq == pytest.approx((4.0 + 16.0) / 2.0 / 2.0)
+        assert float(model.tail(0.0)) == pytest.approx(1.0)
+
+
+class TestGeneralizedHA:
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            GeneralizedHistoricalAcceptance(family="levy")
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            GeneralizedHistoricalAcceptance().willingness(0, Point(0, 0))
+
+    def test_pareto_family_matches_reference_ha(self, history_factory):
+        histories = {
+            1: history_factory(1, [(0.0, 0.0, 0.0), (3.0, 4.0, 1.0), (6.0, 8.0, 2.0)]),
+            2: history_factory(2, [(1.0, 1.0, 0.0), (1.0, 2.0, 1.0)]),
+            3: history_factory(3, [(9.0, 9.0, 0.0)]),  # too short -> no model
+        }
+        reference = HistoricalAcceptance().fit(histories)
+        generalized = GeneralizedHistoricalAcceptance(family="pareto").fit(histories)
+        for target in (Point(0, 0), Point(5, 5), Point(-3, 7)):
+            for worker_id in (1, 2, 3):
+                assert generalized.willingness(worker_id, target) == pytest.approx(
+                    reference.willingness(worker_id, target)
+                ), (worker_id, target)
+
+    def test_willingness_all_alignment(self, history_factory):
+        histories = {
+            5: history_factory(5, [(0.0, 0.0, 0.0), (1.0, 0.0, 1.0)]),
+            9: history_factory(9, [(10.0, 10.0, 0.0), (11.0, 10.0, 1.0)]),
+        }
+        model = GeneralizedHistoricalAcceptance().fit(histories)
+        target = Point(0.0, 0.0)
+        vector = model.willingness_all(target)
+        assert vector.shape == (2,)
+        assert vector[0] == pytest.approx(model.willingness(5, target))
+        assert vector[1] == pytest.approx(model.willingness(9, target))
+        # The nearby worker is strictly more willing.
+        assert vector[0] > vector[1]
+
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_every_family_runs_end_to_end(self, family, history_factory):
+        histories = {
+            1: history_factory(1, [(0.0, 0.0, 0.0), (2.0, 0.0, 1.0), (2.0, 2.0, 2.0)]),
+        }
+        model = GeneralizedHistoricalAcceptance(family=family).fit(histories)
+        value = model.willingness(1, Point(1.0, 1.0))
+        assert 0.0 <= value <= 1.0

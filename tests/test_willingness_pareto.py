@@ -1,0 +1,69 @@
+"""Tests for the Pareto movement model (Eq. 1)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.willingness import fit_pareto_shape, pareto_tail_probability
+from repro.willingness.pareto import DEGENERATE_SHAPE, MAX_SHAPE
+
+
+class TestFitParetoShape:
+    def test_matches_equation_one(self):
+        distances = [1.0, 2.0, 4.0]
+        expected = 3 / sum(math.log(d + 1.0) for d in distances)
+        assert fit_pareto_shape(distances) == pytest.approx(expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_pareto_shape([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fit_pareto_shape([1.0, -0.5])
+
+    def test_all_zero_jumps_degenerate(self):
+        assert fit_pareto_shape([0.0, 0.0]) == DEGENERATE_SHAPE
+
+    def test_clamped_to_max(self):
+        # One infinitesimal jump -> enormous raw MLE, must clamp.
+        assert fit_pareto_shape([1e-12]) == MAX_SHAPE
+
+    def test_recovers_true_shape_from_samples(self, rng):
+        true_shape = 2.5
+        # Pareto samples with minimum 1: x = u^(-1/shape); distances = x - 1.
+        u = rng.random(20000)
+        distances = u ** (-1.0 / true_shape) - 1.0
+        assert fit_pareto_shape(distances) == pytest.approx(true_shape, rel=0.05)
+
+    @given(st.lists(st.floats(0.0, 1e4), min_size=1, max_size=50))
+    def test_shape_always_positive_and_bounded(self, distances):
+        shape = fit_pareto_shape(distances)
+        assert 0.0 < shape <= MAX_SHAPE
+
+
+class TestTailProbability:
+    def test_zero_distance_is_one(self):
+        assert pareto_tail_probability(0.0, 2.0) == pytest.approx(1.0)
+
+    def test_decreasing_in_distance(self):
+        shape = 1.8
+        values = [pareto_tail_probability(d, shape) for d in (0.0, 1.0, 5.0, 50.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_matches_formula(self):
+        assert pareto_tail_probability(3.0, 2.0) == pytest.approx((4.0) ** -2.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            pareto_tail_probability(-1.0, 2.0)
+        with pytest.raises(ValueError):
+            pareto_tail_probability(1.0, 0.0)
+
+    @given(st.floats(0.0, 1e6), st.floats(0.01, 50.0))
+    def test_always_a_probability(self, distance, shape):
+        value = pareto_tail_probability(distance, shape)
+        assert 0.0 <= value <= 1.0
