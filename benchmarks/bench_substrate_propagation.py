@@ -16,6 +16,7 @@ from repro.propagation import (
     SocialGraph,
     estimate_informed_probabilities,
     sample_rrr_sets,
+    sample_rrr_sets_batched,
 )
 
 
@@ -32,6 +33,22 @@ def test_rrr_sampling_rate(benchmark, num_nodes):
         lambda: sample_rrr_sets(graph, 5000, rng), rounds=1, iterations=1
     )
     assert len(members) == 5000
+
+
+@pytest.mark.parametrize("num_nodes", [200, 800])
+def test_rrr_sampling_rate_flat(benchmark, num_nodes):
+    """The zero-copy flat-CSR path: sampler output feeds extend_flat with no
+    per-set list materialization at all."""
+    graph = make_graph(num_nodes)
+    rng = np.random.default_rng(0)
+
+    def run():
+        collection = RRRCollection(num_workers=graph.num_workers)
+        collection.extend_flat(*sample_rrr_sets_batched(graph, 5000, rng))
+        return collection
+
+    collection = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(collection) == 5000
 
 
 def test_rpo_full_run(benchmark):
@@ -64,8 +81,7 @@ def test_rpo_agrees_with_monte_carlo(benchmark):
     def run():
         collection = RRRCollection(num_workers=graph.num_workers)
         rng = np.random.default_rng(5)
-        roots, members = sample_rrr_sets(graph, 40_000, rng)
-        collection.extend(roots, members)
+        collection.extend_flat(*sample_rrr_sets_batched(graph, 60_000, rng))
         return collection
 
     collection = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -21,7 +21,13 @@ All MCMF-based assigners accept an ``engine``:
 Both engines are equivalence-tested against each other in the test suite.
 """
 
-from repro.assignment.base import Assigner, FeasiblePairs, PreparedInstance, compute_feasible
+from repro.assignment.base import (
+    Assigner,
+    FeasiblePairs,
+    PreparedInstance,
+    RoundState,
+    compute_feasible,
+)
 from repro.assignment.candidates import CandidatePair, candidate_pairs
 from repro.assignment.hungarian import hungarian, solve_lexicographic_hungarian
 from repro.assignment.solvers import solve_lexicographic_dense, solve_lexicographic_mcmf
@@ -37,6 +43,7 @@ __all__ = [
     "Assigner",
     "FeasiblePairs",
     "PreparedInstance",
+    "RoundState",
     "compute_feasible",
     "CandidatePair",
     "candidate_pairs",

@@ -169,16 +169,22 @@ class InstanceBuilder:
             per_user[checkin.user_id] = per_user.get(checkin.user_id, 0) + 1
         return visits
 
-    def _worker_location(self, user_id: int, cutoff_hours: float) -> Point | None:
-        """Most recent check-in location strictly before ``cutoff``."""
+    # ----------------------------------------------------------------- public
+    def worker_location_at(self, user_id: int, time_hours: float) -> Point | None:
+        """Where the builder locates a worker at ``time_hours``: their most
+        recent check-in strictly before that time, or ``None`` if the user
+        has no earlier history.
+
+        This is the same rule :meth:`build_day` applies when placing the
+        day's workers, exposed so other schedulers (e.g. the online
+        batched-arrival loop) locate workers consistently.
+        """
         best: Point | None = None
         for checkin in self.dataset.checkins_by_user(user_id):
-            if checkin.time >= cutoff_hours:
+            if checkin.time >= time_hours:
                 break
             best = checkin.location
         return best
-
-    # ----------------------------------------------------------------- public
     def build_day(
         self,
         day: int,
@@ -239,7 +245,7 @@ class InstanceBuilder:
             first_today.setdefault(checkin.user_id, checkin.location)
         workers = []
         for user_id in active_users:
-            location = self._worker_location(user_id, day_start) or first_today[user_id]
+            location = self.worker_location_at(user_id, day_start) or first_today[user_id]
             workers.append(
                 Worker(
                     worker_id=user_id,

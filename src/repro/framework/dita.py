@@ -20,8 +20,8 @@ from repro.propagation import (
     RPO,
     RRRCollection,
     SocialGraph,
-    sample_lt_rrr_sets,
-    sample_rrr_sets,
+    sample_lt_rrr_sets_batched,
+    sample_rrr_sets_batched,
 )
 from repro.text import GibbsLDA, VariationalLDA
 from repro.willingness import GeneralizedHistoricalAcceptance, HistoricalAcceptance
@@ -102,12 +102,12 @@ class DITAPipeline:
             rng = np.random.default_rng(self.config.seed)
             propagation = RRRCollection(num_workers=graph.num_workers)
             sampler = (
-                sample_lt_rrr_sets
+                sample_lt_rrr_sets_batched
                 if self.config.propagation_model == "lt"
-                else sample_rrr_sets
+                else sample_rrr_sets_batched
             )
-            roots, members = sampler(graph, self.config.num_rrr_sets, rng)
-            propagation.extend(roots, members)
+            roots, indptr, flat = sampler(graph, self.config.num_rrr_sets, rng)
+            propagation.extend_flat(roots, indptr, flat)
 
         return FittedModels(
             graph=graph,

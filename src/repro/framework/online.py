@@ -11,7 +11,12 @@ window.
 
 The influence components are fitted once from history (they do not depend
 on the intra-day arrival order), so the online loop reuses one
-:class:`~repro.influence.InfluenceModel` across rounds.
+:class:`~repro.influence.InfluenceModel` across rounds.  Round preparation
+is incremental: a :class:`~repro.assignment.RoundState` caches per-worker
+influence/distance rows and per-task columns keyed by identity, so each
+batch round only computes the rectangles introduced by newly arrived
+workers and newly published tasks instead of rebuilding the prepared
+instance from scratch.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.assignment.base import Assigner, PreparedInstance
+from repro.assignment.base import Assigner, PreparedInstance, RoundState
 from repro.data.dataset import CheckInDataset
 from repro.data.instance import InstanceBuilder, SCInstance
 from repro.entities import Assignment, Task, Worker
@@ -112,7 +117,7 @@ def day_arrivals(
     for checkin in day_checkins:
         if checkin.user_id in first_seen:
             continue
-        location = builder._worker_location(checkin.user_id, day_start) or checkin.location
+        location = builder.worker_location_at(checkin.user_id, day_start) or checkin.location
         first_seen[checkin.user_id] = (
             checkin.time,
             Worker(
@@ -143,6 +148,12 @@ class OnlineSimulator:
     patience_hours:
         If set, an unassigned worker goes offline this many hours after
         arriving; ``None`` reproduces the paper's "online until assigned".
+    incremental:
+        When True (default) rounds are prepared through a shared
+        :class:`~repro.assignment.RoundState`, computing only the matrix
+        rectangles introduced by new arrivals/publications.  False rebuilds
+        every round from scratch — the reference path the incremental one is
+        regression-tested against.
     """
 
     def __init__(
@@ -151,6 +162,7 @@ class OnlineSimulator:
         influence_model: InfluenceModel | None,
         batch_hours: float = 1.0,
         patience_hours: float | None = None,
+        incremental: bool = True,
     ) -> None:
         if batch_hours <= 0:
             raise ValueError(f"batch_hours must be positive, got {batch_hours}")
@@ -160,6 +172,7 @@ class OnlineSimulator:
         self.influence_model = influence_model
         self.batch_hours = batch_hours
         self.patience_hours = patience_hours
+        self.incremental = incremental
 
     def run(
         self,
@@ -187,6 +200,7 @@ class OnlineSimulator:
         arrivals = sorted(arrivals, key=lambda a: a.arrival_time)
 
         result = OnlineResult()
+        round_state = RoundState(self.influence_model)
         online: dict[int, Worker] = {}
         arrived_at: dict[int, float] = {}
         open_tasks: dict[int, Task] = {}
@@ -236,7 +250,10 @@ class OnlineSimulator:
                     sorted(online.values(), key=lambda w: w.worker_id)
                 ).with_tasks(sorted(open_tasks.values(), key=lambda s: s.task_id))
                 round_instance.current_time = current
-                prepared = PreparedInstance(round_instance, self.influence_model)
+                if self.incremental:
+                    prepared = round_state.prepare(round_instance)
+                else:
+                    prepared = PreparedInstance(round_instance, self.influence_model)
                 started = time.perf_counter()
                 assignment = self.assigner.assign(prepared)
                 elapsed = time.perf_counter() - started

@@ -56,7 +56,6 @@ class GridIndex(Generic[T]):
         """
         if radius_km < 0:
             raise ValueError(f"radius_km must be non-negative, got {radius_km}")
-        r2 = radius_km * radius_km
         kx_min = math.floor((center.x - radius_km) / self._cell)
         kx_max = math.floor((center.x + radius_km) / self._cell)
         ky_min = math.floor((center.y - radius_km) / self._cell)
@@ -67,9 +66,9 @@ class GridIndex(Generic[T]):
                 if not bucket:
                     continue
                 for point, item in bucket:
-                    dx = point.x - center.x
-                    dy = point.y - center.y
-                    if dx * dx + dy * dy <= r2:
+                    # hypot, not squared comparison: squaring underflows on
+                    # subnormal offsets and disagrees with distance_to.
+                    if math.hypot(point.x - center.x, point.y - center.y) <= radius_km:
                         yield point, item
 
     def items(self) -> Iterator[tuple[Point, T]]:

@@ -96,8 +96,31 @@ class InfluenceModel:
         # Root-count per worker for the self-term correction: the sets
         # rooted at w always contain w, so P_pro(w, w) = |W|/N * #roots(w).
         self._self_pro: np.ndarray | None = None
+        # Per-task column caches (keyed by the frozen Task): the willingness
+        # column P_wil(., s) over all network workers and the propagation
+        # inner sum from weighted_root_cover.  Each column depends only on
+        # the task, so successive online rounds that mostly re-see the same
+        # open tasks pay for the expensive |W|-sized columns exactly once.
+        self._wil_columns: dict[Task, np.ndarray] = {}
+        self._wil_totals: dict[Task, float] = {}
+        self._inner_columns: dict[Task, np.ndarray] = {}
+        self._rows_in_graph: np.ndarray | None = None
+        self._propagation_version = propagation.version
+
+    #: Soft cap on cached per-task columns; beyond it the oldest entries are
+    #: evicted (insertion order).  Bounds memory on long multi-day runs where
+    #: expired tasks never return, while keeping every open task warm.
+    MAX_CACHED_TASK_COLUMNS = 4096
 
     # ---------------------------------------------------------------- helpers
+    def _check_propagation_freshness(self) -> None:
+        """Flush propagation-derived caches if the collection mutated."""
+        if self.propagation.version != self._propagation_version:
+            self._propagation_version = self.propagation.version
+            self._sigma_cache = None
+            self._self_pro = None
+            self._inner_columns.clear()
+
     def _sigma_all(self) -> np.ndarray:
         if self._sigma_cache is None:
             self._sigma_cache = self.propagation.sigma_all()
@@ -112,18 +135,50 @@ class InfluenceModel:
             self._self_pro = self.graph.num_workers * counts / n_sets
         return self._self_pro
 
-    def _willingness_matrix(self, tasks: Sequence[Task]) -> np.ndarray:
-        """``P_wil`` of every *network* worker for every task, aligned with
-        the graph's dense worker indices: shape ``(|W|, |S|)``."""
+    def _ensure_task_columns(self, tasks: Sequence[Task], need_inner: bool) -> None:
+        """Populate the per-task column caches for every unseen task.
+
+        The willingness column ``P_wil(., s)`` spans all network workers; the
+        inner column is its :meth:`weighted_root_cover` image.  The sparse
+        product in ``weighted_root_cover_batch`` is independent per column,
+        so batching only the missing tasks yields bit-identical columns to a
+        full recomputation.
+        """
         n = self.graph.num_workers
-        matrix = np.zeros((n, len(tasks)))
-        ha_ids = self.willingness.worker_ids
-        rows_in_graph = np.array(
-            [self.graph.index_of(w) for w in ha_ids], dtype=np.int64
-        )
-        for column, task in enumerate(tasks):
-            matrix[rows_in_graph, column] = self.willingness.willingness_all(task.location)
-        return matrix
+        if self._rows_in_graph is None:
+            self._rows_in_graph = self.graph.indices_of(self.willingness.worker_ids)
+        for task in tasks:
+            if task not in self._wil_columns:
+                column = np.zeros(n)
+                column[self._rows_in_graph] = self.willingness.willingness_all(
+                    task.location
+                )
+                self._wil_columns[task] = column
+                self._wil_totals[task] = float(column.sum())
+        if need_inner:
+            missing = [task for task in tasks if task not in self._inner_columns]
+            if missing:
+                wil = np.stack([self._wil_columns[task] for task in missing], axis=1)
+                fresh = self.propagation.weighted_root_cover_batch(wil)
+                for slot, task in enumerate(missing):
+                    self._inner_columns[task] = fresh[:, slot]
+        self._evict_stale_columns(tasks)
+
+    def _evict_stale_columns(self, tasks: Sequence[Task]) -> None:
+        """Drop the oldest cached columns once past the soft cap, never
+        evicting a task referenced by the current call."""
+        cap = max(self.MAX_CACHED_TASK_COLUMNS, 2 * len(tasks))
+        if len(self._wil_columns) <= cap:
+            return
+        keep = set(tasks)
+        for task in list(self._wil_columns):
+            if len(self._wil_columns) <= cap:
+                break
+            if task in keep:
+                continue
+            del self._wil_columns[task]
+            self._wil_totals.pop(task, None)
+            self._inner_columns.pop(task, None)
 
     # ------------------------------------------------------------------- API
     def sigma(self, worker_id: int) -> float:
@@ -145,24 +200,30 @@ class InfluenceModel:
         """``if(w, s)`` for every candidate worker x task: shape ``(C, T)``."""
         if not workers or not tasks:
             return np.zeros((len(workers), len(tasks)))
-        candidate_idx = np.array(
-            [self.graph.index_of(w.worker_id) for w in workers], dtype=np.int64
-        )
+        self._check_propagation_freshness()
+        candidate_idx = self.graph.indices_of([w.worker_id for w in workers])
         use = self.components
 
         if use.willingness:
-            wil = self._willingness_matrix(tasks)  # (|W|, T)
+            self._ensure_task_columns(tasks, need_inner=use.propagation)
+            # Gather only the candidate rows of the cached |W|-sized columns:
+            # O(C x T) per call, independent of network size.
+            wil = np.stack(
+                [self._wil_columns[task][candidate_idx] for task in tasks], axis=1
+            )
             if use.propagation:
-                inner_all = self.propagation.weighted_root_cover_batch(wil)  # (|W|, T)
+                inner_all = np.stack(
+                    [self._inner_columns[task][candidate_idx] for task in tasks],
+                    axis=1,
+                )
                 # Remove the self term w_i = w_s.
-                inner = inner_all[candidate_idx, :] - (
-                    self._self_propagation()[candidate_idx, None]
-                    * wil[candidate_idx, :]
+                inner = inner_all - (
+                    self._self_propagation()[candidate_idx, None] * wil
                 )
             else:
                 # IA-AW: plain sum of other workers' willingness.
-                totals = wil.sum(axis=0, keepdims=True)  # (1, T)
-                inner = totals - wil[candidate_idx, :]
+                totals = np.array([self._wil_totals[task] for task in tasks])
+                inner = totals[None, :] - wil
         else:
             # IA-AP: propagation only — the informed range of the candidate.
             inner = np.repeat(

@@ -16,28 +16,45 @@ Components:
 """
 
 from repro.propagation.graph import SocialGraph
-from repro.propagation.ic import simulate_ic, estimate_spread, estimate_informed_probabilities
+from repro.propagation.ic import (
+    estimate_informed_probabilities,
+    estimate_spread,
+    simulate_ic,
+    simulate_ic_batched,
+)
 from repro.propagation.lt import (
     estimate_spread_lt,
     lt_collection,
     sample_lt_rrr_sets,
+    sample_lt_rrr_sets_batched,
     simulate_lt,
+    simulate_lt_batched,
 )
-from repro.propagation.rrr import RRRCollection, sample_rrr_sets
+from repro.propagation.rrr import (
+    RRRCollection,
+    batched_cascade,
+    sample_rrr_sets,
+    sample_rrr_sets_batched,
+)
 from repro.propagation.rpo import RPO, RPOResult
 from repro.propagation.seeding import SeedingResult, select_seeds, spread_of_seeds
 
 __all__ = [
     "SocialGraph",
     "simulate_ic",
+    "simulate_ic_batched",
     "estimate_spread",
     "estimate_informed_probabilities",
     "simulate_lt",
+    "simulate_lt_batched",
     "estimate_spread_lt",
     "sample_lt_rrr_sets",
+    "sample_lt_rrr_sets_batched",
     "lt_collection",
     "RRRCollection",
+    "batched_cascade",
     "sample_rrr_sets",
+    "sample_rrr_sets_batched",
     "RPO",
     "RPOResult",
     "SeedingResult",

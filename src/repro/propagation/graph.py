@@ -15,9 +15,11 @@ literature are available as extensions:
 * ``"trivalency"`` — each directed arc draws uniformly from
   {0.1, 0.01, 0.001} (Chen et al.'s TRIVALENCY benchmark model).
 
-Adjacency is stored CSR-style (indptr + flat neighbor arrays) for both
-directions, which keeps BFS tight and memory predictable; per-arc
-probabilities are stored as flat arrays aligned with both CSR views.
+Adjacency is stored CSR-style (indptr + flat neighbor arrays); because the
+undirected doubling makes the in- and out-adjacency structurally identical,
+both views share the same arrays.  Construction, per-arc probability
+mirroring and the degree histogram are pure ``searchsorted`` / ``np.unique``
+index algebra — no Python dict/loop mirroring of the CSR structure.
 """
 
 from __future__ import annotations
@@ -60,48 +62,66 @@ class SocialGraph:
         self.worker_ids = tuple(sorted(set(worker_ids)))
         if not self.worker_ids:
             raise GraphError("social graph needs at least one worker")
+        self._ids_array = np.asarray(self.worker_ids, dtype=np.int64)
         self._index_of = {w: i for i, w in enumerate(self.worker_ids)}
         n = len(self.worker_ids)
 
-        seen: set[tuple[int, int]] = set()
-        for u, v in edges:
-            if u == v:
-                raise GraphError(f"self-loop on worker {u}")
-            iu = self._index_of.get(u)
-            iv = self._index_of.get(v)
-            if iu is None or iv is None:
-                raise GraphError(f"edge ({u}, {v}) references unknown worker")
-            key = (min(iu, iv), max(iu, iv))
-            seen.add(key)
+        edge_list = list(edges)
+        if edge_list:
+            pairs = np.asarray(edge_list, dtype=np.int64).reshape(-1, 2)
+            loops = pairs[:, 0] == pairs[:, 1]
+            if loops.any():
+                raise GraphError(f"self-loop on worker {int(pairs[loops][0, 0])}")
+            endpoint_u = self._lookup(pairs[:, 0], pairs)
+            endpoint_v = self._lookup(pairs[:, 1], pairs)
+            # Collapse duplicate undirected edges via unique canonical keys.
+            low = np.minimum(endpoint_u, endpoint_v)
+            high = np.maximum(endpoint_u, endpoint_v)
+            keys = np.unique(low * n + high)
+            low, high = keys // n, keys % n
+            src = np.concatenate([low, high])
+            dst = np.concatenate([high, low])
+            order = np.lexsort((dst, src))
+            flat = dst[order]
+            degree = np.bincount(src, minlength=n)
+        else:
+            flat = np.zeros(0, dtype=np.int64)
+            degree = np.zeros(n, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degree, out=indptr[1:])
 
-        out_lists: list[list[int]] = [[] for _ in range(n)]
-        in_lists: list[list[int]] = [[] for _ in range(n)]
-        for iu, iv in seen:
-            out_lists[iu].append(iv)
-            out_lists[iv].append(iu)
-            in_lists[iv].append(iu)
-            in_lists[iu].append(iv)
-
-        self._out_indptr, self._out_flat = self._to_csr(out_lists)
-        self._in_indptr, self._in_flat = self._to_csr(in_lists)
-        self.in_degree = np.diff(self._in_indptr)
+        # Undirected doubling makes in- and out-adjacency identical, so the
+        # two CSR views share storage; only per-arc probabilities differ.
+        self._out_indptr = self._in_indptr = indptr
+        self._out_flat = self._in_flat = flat
+        self.in_degree = degree
         # P(u -> v) under the in-degree model: depends only on v.  Kept for
         # the fast head-only sampling path and backward compatibility.
         with np.errstate(divide="ignore"):
-            self.inform_probability = np.where(self.in_degree > 0, 1.0 / np.maximum(self.in_degree, 1), 0.0)
+            self.inform_probability = np.where(
+                self.in_degree > 0, 1.0 / np.maximum(self.in_degree, 1), 0.0
+            )
         self.edge_probability = edge_probability
         self._build_arc_probabilities(edge_probability, seed)
+
+    def _lookup(self, ids: np.ndarray, pairs: np.ndarray) -> np.ndarray:
+        """Dense indices of worker ids, erroring on the first unknown edge."""
+        positions = np.searchsorted(self._ids_array, ids)
+        clipped = np.minimum(positions, len(self._ids_array) - 1)
+        bad = self._ids_array[clipped] != ids
+        if bad.any():
+            u, v = pairs[bad][0]
+            raise GraphError(f"edge ({int(u)}, {int(v)}) references unknown worker")
+        return positions
 
     def _build_arc_probabilities(
         self, model: str | tuple[str, float], seed: int
     ) -> None:
         """Fill the per-arc probability arrays aligned with both CSR views."""
         n = len(self.worker_ids)
-        in_probs = np.zeros(len(self._in_flat))
+        heads = np.repeat(np.arange(n, dtype=np.int64), self.in_degree)
         if model == "indegree":
-            for node in range(n):
-                start, stop = self._in_indptr[node], self._in_indptr[node + 1]
-                in_probs[start:stop] = self.inform_probability[node]
+            in_probs = self.inform_probability[heads]
         elif model == "trivalency":
             rng = np.random.default_rng(seed)
             in_probs = rng.choice(TRIVALENCY_VALUES, size=len(self._in_flat))
@@ -113,29 +133,36 @@ class SocialGraph:
             p = float(model[1])
             if not 0.0 < p <= 1.0:
                 raise GraphError(f"uniform arc probability must be in (0, 1], got {p}")
-            in_probs[:] = p
+            in_probs = np.full(len(self._in_flat), p)
         else:
             raise GraphError(
                 f"unknown edge_probability model {model!r}; "
                 "choose 'indegree', 'trivalency', or ('uniform', p)"
             )
-        self._in_arc_probs = in_probs
+        self._in_arc_probs = np.asarray(in_probs, dtype=float)
 
-        # Mirror onto the out-CSR view: arc (u -> v) sits at v's in-list
-        # position of u and at u's out-list position of v.
-        position: dict[tuple[int, int], float] = {}
-        for v in range(n):
-            start, stop = self._in_indptr[v], self._in_indptr[v + 1]
-            for offset in range(start, stop):
-                u = int(self._in_flat[offset])
-                position[(u, v)] = float(in_probs[offset])
-        out_probs = np.zeros(len(self._out_flat))
-        for u in range(n):
-            start, stop = self._out_indptr[u], self._out_indptr[u + 1]
-            for offset in range(start, stop):
-                v = int(self._out_flat[offset])
-                out_probs[offset] = position[(u, v)]
-        self._out_arc_probs = out_probs
+        # Mirror onto the out-CSR view: the arc (u -> v) sits at key u*n + v
+        # in the in view (u = flat entry, v = slice owner) and the out view
+        # (u = slice owner, v = flat entry); one argsort + searchsorted maps
+        # every out position to its in position.
+        in_keys = self._in_flat * n + heads
+        out_keys = heads * n + self._out_flat
+        order = np.argsort(in_keys)
+        positions = np.searchsorted(in_keys[order], out_keys)
+        self._out_arc_probs = self._in_arc_probs[order[positions]] if len(order) else (
+            np.zeros(0)
+        )
+
+    # ----------------------------------------------------------- CSR access
+    def in_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(indptr, flat_neighbors, arc_probs)`` of the in-adjacency —
+        ``arc_probs[k]`` is ``P(flat[k] -> owner)`` for the slice owner."""
+        return self._in_indptr, self._in_flat, self._in_arc_probs
+
+    def out_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(indptr, flat_neighbors, arc_probs)`` of the out-adjacency —
+        ``arc_probs[k]`` is ``P(owner -> flat[k])`` for the slice owner."""
+        return self._out_indptr, self._out_flat, self._out_arc_probs
 
     def in_arc_probs(self, index: int) -> np.ndarray:
         """``P(u -> index)`` for every in-neighbor ``u``, aligned with
@@ -146,16 +173,6 @@ class SocialGraph:
         """``P(index -> v)`` for every out-neighbor ``v``, aligned with
         :meth:`out_neighbors`."""
         return self._out_arc_probs[self._out_indptr[index]: self._out_indptr[index + 1]]
-
-    @staticmethod
-    def _to_csr(lists: list[list[int]]) -> tuple[np.ndarray, np.ndarray]:
-        indptr = np.zeros(len(lists) + 1, dtype=np.int64)
-        for i, neighbors in enumerate(lists):
-            indptr[i + 1] = indptr[i] + len(neighbors)
-        flat = np.empty(int(indptr[-1]), dtype=np.int64)
-        for i, neighbors in enumerate(lists):
-            flat[indptr[i]: indptr[i + 1]] = sorted(neighbors)
-        return indptr, flat
 
     # ------------------------------------------------------------------ views
     @property
@@ -175,6 +192,18 @@ class SocialGraph:
             raise GraphError(f"unknown worker id {worker_id}")
         return index
 
+    def indices_of(self, worker_ids: Sequence[int]) -> np.ndarray:
+        """Dense indices of many worker ids at once (vectorized lookup)."""
+        ids = np.asarray(worker_ids, dtype=np.int64)
+        if ids.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        positions = np.searchsorted(self._ids_array, ids)
+        clipped = np.minimum(positions, len(self._ids_array) - 1)
+        bad = self._ids_array[clipped] != ids
+        if bad.any():
+            raise GraphError(f"unknown worker id {int(ids[bad][0])}")
+        return positions
+
     def worker_at(self, index: int) -> int:
         """Worker id at dense ``index``."""
         return self.worker_ids[index]
@@ -189,7 +218,5 @@ class SocialGraph:
 
     def degree_histogram(self) -> dict[int, int]:
         """``degree -> count`` over the undirected degrees (for data checks)."""
-        histogram: dict[int, int] = {}
-        for degree in self.in_degree:
-            histogram[int(degree)] = histogram.get(int(degree), 0) + 1
-        return histogram
+        values, counts = np.unique(self.in_degree, return_counts=True)
+        return {int(degree): int(count) for degree, count in zip(values, counts)}

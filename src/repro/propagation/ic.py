@@ -6,8 +6,11 @@ own neighbors; the process stops when no new worker is informed.  The arc
 probability into ``v`` is ``1 / indeg(v)``.
 
 These simulators are the *ground truth* against which the RRR/RPO machinery
-is validated (Lemma 2 equates the two estimators in expectation); they are
-exponential-free but need many runs, hence only practical on small graphs.
+is validated (Lemma 2 equates the two estimators in expectation).  They run
+frontier-batched over the out-adjacency — all Monte-Carlo repetitions advance
+simultaneously through :func:`~repro.propagation.rrr.batched_cascade` — so
+the estimators stay practical for the validation sizes despite needing many
+runs.
 """
 
 from __future__ import annotations
@@ -15,6 +18,22 @@ from __future__ import annotations
 import numpy as np
 
 from repro.propagation.graph import SocialGraph
+from repro.propagation.rrr import batched_cascade
+
+
+def simulate_ic_batched(
+    graph: SocialGraph, seed_indices: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run one IC cascade per entry of ``seed_indices``, all at once.
+
+    Returns ``(indptr, flat)``: cascade ``j`` informed the sorted dense
+    indices ``flat[indptr[j]:indptr[j+1]]`` (always including its seed).
+    """
+    seeds = np.asarray(seed_indices, dtype=np.int64)
+    out_indptr, out_flat, out_probs = graph.out_csr()
+    return batched_cascade(
+        out_indptr, out_flat, out_probs, graph.num_workers, seeds, rng
+    )
 
 
 def simulate_ic(graph: SocialGraph, seed_index: int, rng: np.random.Generator) -> np.ndarray:
@@ -22,23 +41,8 @@ def simulate_ic(graph: SocialGraph, seed_index: int, rng: np.random.Generator) -
 
     Returns the dense indices of all informed workers (including the seed).
     """
-    informed = np.zeros(graph.num_workers, dtype=bool)
-    informed[seed_index] = True
-    frontier = [seed_index]
-    while frontier:
-        next_frontier: list[int] = []
-        for node in frontier:
-            neighbors = graph.out_neighbors(node)
-            if len(neighbors) == 0:
-                continue
-            probs = graph.out_arc_probs(node)
-            hits = neighbors[rng.random(len(neighbors)) < probs]
-            for target in hits:
-                if not informed[target]:
-                    informed[target] = True
-                    next_frontier.append(int(target))
-        frontier = next_frontier
-    return np.nonzero(informed)[0]
+    _, flat = simulate_ic_batched(graph, np.array([seed_index]), rng)
+    return flat
 
 
 def estimate_spread(
@@ -48,10 +52,9 @@ def estimate_spread(
     if runs < 1:
         raise ValueError(f"runs must be >= 1, got {runs}")
     rng = np.random.default_rng(seed)
-    total = 0
-    for _ in range(runs):
-        total += len(simulate_ic(graph, seed_index, rng))
-    return total / runs
+    seeds = np.full(runs, seed_index, dtype=np.int64)
+    indptr, _ = simulate_ic_batched(graph, seeds, rng)
+    return float(indptr[-1]) / runs
 
 
 def estimate_informed_probabilities(
@@ -66,8 +69,7 @@ def estimate_informed_probabilities(
     if runs < 1:
         raise ValueError(f"runs must be >= 1, got {runs}")
     rng = np.random.default_rng(seed)
-    counts = np.zeros(graph.num_workers)
-    for _ in range(runs):
-        informed = simulate_ic(graph, seed_index, rng)
-        counts[informed] += 1.0
+    seeds = np.full(runs, seed_index, dtype=np.int64)
+    _, flat = simulate_ic_batched(graph, seeds, rng)
+    counts = np.bincount(flat, minlength=graph.num_workers).astype(float)
     return counts / runs

@@ -17,6 +17,12 @@ Reverse-reachability sampling under LT picks, for each visited node, exactly
 **one** uniformly random in-neighbor (the standard RIS construction: with
 weights summing to 1, the live-edge graph of LT keeps a single in-arc per
 node).  This makes LT RRR sets paths rather than trees.
+
+Both directions run frontier-batched: forward diffusion advances every
+Monte-Carlo run at once with sorted-key accumulators for the per-(run, node)
+incoming weight, and reverse sampling advances every walk at once with one
+vectorized categorical draw per level — matching the flat-CSR engine in
+:mod:`repro.propagation.rrr`.
 """
 
 from __future__ import annotations
@@ -24,7 +30,91 @@ from __future__ import annotations
 import numpy as np
 
 from repro.propagation.graph import SocialGraph
-from repro.propagation.rrr import RRRCollection
+from repro.propagation.rrr import RRRCollection, merge_sorted, not_in_sorted
+
+_EMPTY_INT = np.zeros(0, dtype=np.int64)
+
+
+def simulate_lt_batched(
+    graph: SocialGraph, seed_indices: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run one LT diffusion per entry of ``seed_indices``, all at once.
+
+    Thresholds are drawn lazily, the first time a (run, node) pair receives
+    incoming weight — distributionally identical to drawing them upfront and
+    much cheaper than materializing a ``runs x |W|`` matrix.  Returns
+    ``(indptr, flat)``: run ``j`` informed the sorted dense indices
+    ``flat[indptr[j]:indptr[j+1]]`` (always including its seed).
+    """
+    seeds = np.asarray(seed_indices, dtype=np.int64)
+    count = len(seeds)
+    if count == 0:
+        return np.zeros(1, dtype=np.int64), _EMPTY_INT
+    n = graph.num_workers
+    out_indptr, out_flat, out_probs = graph.out_csr()
+
+    informed = np.arange(count, dtype=np.int64) * n + seeds
+    frontier_runs = np.arange(count, dtype=np.int64)
+    frontier_nodes = seeds
+    # Sorted accumulator over touched-but-uninformed (run, node) keys.
+    acc_keys = _EMPTY_INT
+    acc_weight = np.zeros(0)
+    acc_threshold = np.zeros(0)
+
+    while frontier_nodes.size:
+        starts = out_indptr[frontier_nodes]
+        lengths = out_indptr[frontier_nodes + 1] - starts
+        total = int(lengths.sum())
+        if total == 0:
+            break
+        offsets = np.cumsum(lengths) - lengths
+        arc_pos = np.repeat(starts - offsets, lengths) + np.arange(total, dtype=np.int64)
+        keys = np.repeat(frontier_runs, lengths) * n + out_flat[arc_pos]
+        weights = out_probs[arc_pos]
+
+        # Informed targets absorb no further weight.
+        keep = not_in_sorted(informed, keys)
+        keys, weights = keys[keep], weights[keep]
+        if keys.size == 0:
+            break
+        # Sum same-key contributions of this level.
+        order = np.argsort(keys)
+        keys, weights = keys[order], weights[order]
+        boundary = np.concatenate(([True], keys[1:] != keys[:-1]))
+        unique_keys = keys[boundary]
+        sums = np.add.reduceat(weights, np.nonzero(boundary)[0])
+
+        # Fold into the accumulator; unseen keys draw their threshold now.
+        new_mask = not_in_sorted(acc_keys, unique_keys)
+        existing = np.searchsorted(acc_keys, unique_keys[~new_mask])
+        acc_weight[existing] += sums[~new_mask]
+        insert_at = np.searchsorted(acc_keys, unique_keys[new_mask])
+        acc_keys = np.insert(acc_keys, insert_at, unique_keys[new_mask])
+        acc_weight = np.insert(acc_weight, insert_at, sums[new_mask])
+        acc_threshold = np.insert(
+            acc_threshold, insert_at, rng.random(int(new_mask.sum()))
+        )
+
+        # Only keys touched this level can newly cross their threshold.
+        touched = np.searchsorted(acc_keys, unique_keys)
+        crossed = acc_weight[touched] >= acc_threshold[touched]
+        newly = unique_keys[crossed]
+        if newly.size == 0:
+            break
+        retain = np.ones(len(acc_keys), dtype=bool)
+        retain[touched[crossed]] = False
+        acc_keys, acc_weight, acc_threshold = (
+            acc_keys[retain], acc_weight[retain], acc_threshold[retain]
+        )
+        informed = merge_sorted(informed, newly)
+        frontier_runs = newly // n
+        frontier_nodes = newly % n
+
+    run_ids = informed // n
+    flat = informed % n
+    indptr = np.zeros(count + 1, dtype=np.int64)
+    np.cumsum(np.bincount(run_ids, minlength=count), out=indptr[1:])
+    return indptr, flat
 
 
 def simulate_lt(graph: SocialGraph, seed_index: int, rng: np.random.Generator) -> np.ndarray:
@@ -33,26 +123,8 @@ def simulate_lt(graph: SocialGraph, seed_index: int, rng: np.random.Generator) -
     Thresholds are drawn fresh per call.  Returns the dense indices of all
     informed workers (including the seed), sorted.
     """
-    n = graph.num_workers
-    thresholds = rng.random(n)
-    incoming_weight = np.zeros(n)
-    informed = np.zeros(n, dtype=bool)
-    informed[seed_index] = True
-    frontier = [seed_index]
-    while frontier:
-        next_frontier: list[int] = []
-        for node in frontier:
-            weights = graph.out_arc_probs(node)
-            for target, weight in zip(graph.out_neighbors(node), weights):
-                target = int(target)
-                if informed[target]:
-                    continue
-                incoming_weight[target] += float(weight)
-                if incoming_weight[target] >= thresholds[target]:
-                    informed[target] = True
-                    next_frontier.append(target)
-        frontier = next_frontier
-    return np.nonzero(informed)[0]
+    _, flat = simulate_lt_batched(graph, np.array([seed_index]), rng)
+    return flat
 
 
 def estimate_spread_lt(
@@ -62,38 +134,75 @@ def estimate_spread_lt(
     if runs < 1:
         raise ValueError(f"runs must be >= 1, got {runs}")
     rng = np.random.default_rng(seed)
-    total = 0
-    for _ in range(runs):
-        total += len(simulate_lt(graph, seed_index, rng))
-    return total / runs
+    seeds = np.full(runs, seed_index, dtype=np.int64)
+    indptr, _ = simulate_lt_batched(graph, seeds, rng)
+    return float(indptr[-1]) / runs
 
 
-def _sample_one_lt(graph: SocialGraph, root: int, rng: np.random.Generator) -> np.ndarray:
-    """One LT reverse-reachable set: a random in-neighbor walk from ``root``.
+def sample_lt_rrr_sets_batched(
+    graph: SocialGraph, count: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample ``count`` LT reverse-reachable walks, all advanced at once.
 
     In the live-edge view of LT each node keeps at most one in-arc: arc
     ``(u -> v)`` with probability ``b(u, v)`` and none with probability
-    ``1 - sum_u b(u, v)``.  Under the paper's in-degree weights the sum is
-    exactly 1, so the walk always continues until it revisits a node or
-    reaches a source; under trivalency/uniform weights it may stop early.
+    ``1 - sum_u b(u, v)``.  Each level draws one uniform per active walk and
+    selects the in-neighbor whose cumulative-weight interval contains it —
+    a batched categorical draw over the concatenated in-arc slices.  A walk
+    stops at sources, on the "no live in-arc" outcome, or when it revisits a
+    node.
+
+    Returns ``(roots, indptr, flat)`` in the flat-CSR layout of
+    :meth:`~repro.propagation.rrr.RRRCollection.extend_flat`.
     """
-    visited = {root}
-    node = root
-    while True:
-        in_neighbors = graph.in_neighbors(node)
-        if len(in_neighbors) == 0:
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    n = graph.num_workers
+    roots = rng.integers(n, size=count).astype(np.int64)
+    if count == 0:
+        return roots, np.zeros(1, dtype=np.int64), _EMPTY_INT
+    in_indptr, in_flat, in_probs = graph.in_csr()
+
+    visited = np.arange(count, dtype=np.int64) * n + roots
+    walk_sets = np.arange(count, dtype=np.int64)
+    walk_nodes = roots
+
+    while walk_nodes.size:
+        starts = in_indptr[walk_nodes]
+        lengths = in_indptr[walk_nodes + 1] - starts
+        active = lengths > 0  # walks at sources stop
+        walk_sets, walk_nodes = walk_sets[active], walk_nodes[active]
+        starts, lengths = starts[active], lengths[active]
+        if walk_nodes.size == 0:
             break
-        weights = graph.in_arc_probs(node)
-        draw = rng.random()
-        cumulative = np.cumsum(weights)
-        position = int(np.searchsorted(cumulative, draw, side="right"))
-        if position >= len(in_neighbors):
-            break  # the "no live in-arc" outcome
-        node = int(in_neighbors[position])
-        if node in visited:
+        total = int(lengths.sum())
+        offsets = np.cumsum(lengths) - lengths
+        arc_pos = np.repeat(starts - offsets, lengths) + np.arange(total, dtype=np.int64)
+        cumulative = np.cumsum(in_probs[arc_pos])
+        base = np.concatenate(([0.0], cumulative))[offsets]
+        segment_cum = cumulative - np.repeat(base, lengths)
+        draws = np.repeat(rng.random(len(walk_nodes)), lengths)
+        # Within each slice the chosen position is the first with cumulative
+        # weight beyond the draw; counting the positions at or below the draw
+        # reproduces searchsorted(..., side="right") per segment.
+        above = (segment_cum > draws).astype(np.int64)
+        position = lengths - np.add.reduceat(above, offsets)
+        chosen = position < lengths  # otherwise: the "no live in-arc" outcome
+        next_nodes = in_flat[(starts + position)[chosen]]
+        keys = walk_sets[chosen] * n + next_nodes
+        # One key per walk and walk ids ascending => keys already sorted.
+        fresh = keys[not_in_sorted(visited, keys)]  # revisits end their walk
+        if fresh.size == 0:
             break
-        visited.add(node)
-    return np.fromiter(visited, dtype=np.int64, count=len(visited))
+        visited = merge_sorted(visited, fresh)
+        walk_sets = fresh // n
+        walk_nodes = fresh % n
+
+    set_ids = visited // n
+    flat = visited % n
+    indptr = np.zeros(count + 1, dtype=np.int64)
+    np.cumsum(np.bincount(set_ids, minlength=count), out=indptr[1:])
+    return roots, indptr, flat
 
 
 def sample_lt_rrr_sets(
@@ -105,17 +214,15 @@ def sample_lt_rrr_sets(
     contract as :func:`repro.propagation.rrr.sample_rrr_sets`, so the
     resulting sets load into an :class:`RRRCollection` unchanged.
     """
-    if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
-    roots = rng.integers(graph.num_workers, size=count)
-    members = [np.sort(_sample_one_lt(graph, int(root), rng)) for root in roots]
-    return roots.astype(np.int64), members
+    roots, indptr, flat = sample_lt_rrr_sets_batched(graph, count, rng)
+    members = [flat[indptr[j]: indptr[j + 1]] for j in range(count)]
+    return roots, members
 
 
 def lt_collection(graph: SocialGraph, count: int, seed: int = 0) -> RRRCollection:
     """Convenience: an :class:`RRRCollection` of ``count`` LT RRR sets."""
     rng = np.random.default_rng(seed)
     collection = RRRCollection(num_workers=graph.num_workers)
-    roots, members = sample_lt_rrr_sets(graph, count, rng)
-    collection.extend(roots, members)
+    roots, indptr, flat = sample_lt_rrr_sets_batched(graph, count, rng)
+    collection.extend_flat(roots, indptr, flat)
     return collection

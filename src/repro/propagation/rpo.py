@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.propagation.graph import SocialGraph
-from repro.propagation.rrr import RRRCollection, sample_rrr_sets
+from repro.propagation.rrr import RRRCollection, sample_rrr_sets_batched
 
 
 @dataclass(frozen=True)
@@ -138,8 +138,8 @@ class RPO:
             if to_generate > 0:
                 if nr_k > self.max_sets:
                     truncated = True
-                roots, members = sample_rrr_sets(graph, to_generate, rng)
-                collection.extend(roots, members)
+                roots, indptr, flat = sample_rrr_sets_batched(graph, to_generate, rng)
+                collection.extend_flat(roots, indptr, flat)
             n_p_opt = n * float(collection.coverage_fraction().max())
             gamma = (1.0 + self.epsilon_star) * k
             if n_p_opt >= gamma or k / 2.0 < 2.0:
@@ -154,8 +154,8 @@ class RPO:
         if n_prime > self.max_sets:
             truncated = True
         if deficit > 0:
-            roots, members = sample_rrr_sets(graph, deficit, rng)
-            collection.extend(roots, members)
+            roots, indptr, flat = sample_rrr_sets_batched(graph, deficit, rng)
+            collection.extend_flat(roots, indptr, flat)
 
         return RPOResult(
             collection=collection,

@@ -67,7 +67,6 @@ def select_seeds(collection: RRRCollection, k: int) -> SeedingResult:
         raise ValueError("cannot select seeds from an empty RRR collection")
     k = min(k, collection.num_workers)
 
-    membership = collection.membership_matrix().tocsr()
     covered = np.zeros(len(collection), dtype=bool)
     # Lazy queue of (-cached_gain, worker). Python's heap is a min-heap, so
     # negate; the worker index itself is the deterministic tie-break.
@@ -84,7 +83,7 @@ def select_seeds(collection: RRRCollection, k: int) -> SeedingResult:
         negative_gain, worker = heapq.heappop(queue)
         if chosen[worker]:
             continue
-        row = membership.indices[membership.indptr[worker]: membership.indptr[worker + 1]]
+        row = collection.sets_covering(worker)
         true_gain = int(np.count_nonzero(~covered[row]))
         if true_gain != -negative_gain:
             # Stale: re-push with the fresh bound and keep popping.
@@ -114,11 +113,9 @@ def spread_of_seeds(collection: RRRCollection, seeds: list[int]) -> float:
     """
     if len(collection) == 0:
         return 0.0
-    membership = collection.membership_matrix().tocsr()
     covered = np.zeros(len(collection), dtype=bool)
     for worker in seeds:
         if not 0 <= worker < collection.num_workers:
             raise ValueError(f"seed {worker} out of range [0, {collection.num_workers})")
-        row = membership.indices[membership.indptr[worker]: membership.indptr[worker + 1]]
-        covered[row] = True
+        covered[collection.sets_covering(worker)] = True
     return collection.num_workers * int(covered.sum()) / len(collection)

@@ -95,3 +95,41 @@ class TestPreparedInstance:
         if len(rows):
             assignment = prepared.build_assignment([(int(rows[0]), int(columns[0]))])
             assert len(assignment) == 1
+
+
+class TestBuildAssignmentUniqueness:
+    @pytest.fixture()
+    def wide_prepared(self):
+        from repro.data.instance import SCInstance
+        from repro.geo import Point
+
+        workers = [
+            Worker(worker_id=i, location=Point(0.0, 0.0), reachable_km=50.0, speed_kmh=100.0)
+            for i in range(2)
+        ]
+        tasks = [
+            Task(task_id=j, location=Point(1.0, 0.0), publication_time=0.0, valid_hours=10.0)
+            for j in range(2)
+        ]
+        instance = SCInstance(
+            name="uniq",
+            current_time=0.0,
+            tasks=tasks,
+            workers=workers,
+            histories={},
+            social_edges=[],
+            all_worker_ids=(0, 1),
+        )
+        return PreparedInstance(instance)
+
+    def test_duplicate_worker_rejected(self, wide_prepared):
+        with pytest.raises(ValueError, match="worker row 0 .* more than one task"):
+            wide_prepared.build_assignment([(0, 0), (0, 1)])
+
+    def test_duplicate_task_rejected(self, wide_prepared):
+        with pytest.raises(ValueError, match="task column 1 .* more than one worker"):
+            wide_prepared.build_assignment([(0, 1), (1, 1)])
+
+    def test_disjoint_pairs_accepted(self, wide_prepared):
+        assignment = wide_prepared.build_assignment([(0, 0), (1, 1)])
+        assert len(assignment) == 2

@@ -1,0 +1,194 @@
+"""Regression tests: incremental online rounds == full recomputation.
+
+The :class:`~repro.assignment.RoundState` cache must be an invisible
+optimization: every prepared matrix and every resulting assignment has to
+match the from-scratch per-round path bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.assignment import (
+    IAAssigner,
+    MTAAssigner,
+    PreparedInstance,
+    RoundState,
+)
+from repro.data.instance import SCInstance
+from repro.entities import Task, Worker
+from repro.framework import OnlineSimulator, WorkerArrival, day_arrivals
+from repro.geo import Point
+
+
+def make_instance(tasks, workers=(), current_time=0.0):
+    return SCInstance(
+        name="incremental-test",
+        current_time=current_time,
+        tasks=list(tasks),
+        workers=list(workers),
+        histories={},
+        social_edges=[],
+        all_worker_ids=tuple(range(50)),
+    )
+
+
+def make_task(task_id, x, y, published=0.0, phi=5.0):
+    return Task(
+        task_id=task_id, location=Point(x, y), publication_time=published,
+        valid_hours=phi,
+    )
+
+
+def make_worker(worker_id, x, y, radius=10.0, speed=5.0):
+    return Worker(
+        worker_id=worker_id, location=Point(x, y), reachable_km=radius,
+        speed_kmh=speed,
+    )
+
+
+class TestRoundStatePreparation:
+    def test_single_round_matches_fresh_preparation(self):
+        tasks = [make_task(i, float(i), 0.0) for i in range(4)]
+        workers = [make_worker(i, 0.5 * i, 1.0) for i in range(3)]
+        instance = make_instance(tasks, workers)
+        incremental = RoundState(influence=None).prepare(instance)
+        fresh = PreparedInstance(instance, influence=None)
+        np.testing.assert_array_equal(
+            incremental.feasible.distance_km, fresh.feasible.distance_km
+        )
+        np.testing.assert_array_equal(incremental.feasible.mask, fresh.feasible.mask)
+        np.testing.assert_array_equal(
+            incremental.influence_matrix, fresh.influence_matrix
+        )
+
+    def test_growing_and_shrinking_pools_stay_exact(self):
+        state = RoundState(influence=None)
+        tasks = [make_task(i, float(i), 0.0, phi=50.0) for i in range(6)]
+        workers = [make_worker(i, 0.3 * i, 0.5) for i in range(6)]
+        # Round 1: a slice of each pool; round 2: some leave, new ones join;
+        # round 3: later time shifts the deadline mask.
+        rounds = [
+            (tasks[:3], workers[:2], 0.0),
+            (tasks[1:5], [workers[1], workers[3], workers[4]], 1.0),
+            ([tasks[2], tasks[5]], workers[3:], 2.5),
+        ]
+        for round_tasks, round_workers, time in rounds:
+            instance = make_instance(round_tasks, round_workers, current_time=time)
+            incremental = state.prepare(instance)
+            fresh = PreparedInstance(instance, influence=None)
+            np.testing.assert_array_equal(
+                incremental.feasible.distance_km, fresh.feasible.distance_km
+            )
+            np.testing.assert_array_equal(
+                incremental.feasible.mask, fresh.feasible.mask
+            )
+            assert incremental.entropy_by_task == fresh.entropy_by_task
+
+    def test_empty_round_passthrough(self):
+        state = RoundState(influence=None)
+        prepared = state.prepare(make_instance([], []))
+        assert prepared.feasible.num_feasible == 0
+
+    def test_identity_change_invalidates_whole_row(self):
+        """A worker re-seen with a new location must not leak stale cells for
+        tasks absent from the round that detected the change."""
+        state = RoundState(influence=None)
+        task_a = make_task(0, 2.0, 0.0, phi=50.0)
+        task_b = make_task(1, 3.0, 0.0, phi=50.0)
+        worker = make_worker(7, 0.0, 0.0)
+        state.prepare(make_instance([task_a, task_b], [worker]))
+        moved = make_worker(7, 0.0, 1.0)
+        # Round 2 sees the moved worker with only task A ...
+        state.prepare(make_instance([task_a], [moved]))
+        # ... round 3 with task B must recompute B's cell, not reuse round 1.
+        prepared = state.prepare(make_instance([task_b], [moved]))
+        fresh = PreparedInstance(make_instance([task_b], [moved]))
+        np.testing.assert_array_equal(
+            prepared.feasible.distance_km, fresh.feasible.distance_km
+        )
+
+    def test_task_identity_change_refreshes_entropy(self):
+        state = RoundState(influence=None)
+        original = Task(
+            task_id=3, location=Point(1.0, 0.0), publication_time=0.0,
+            valid_hours=9.0, venue_id=10,
+        )
+        replaced = Task(
+            task_id=3, location=Point(1.0, 0.0), publication_time=0.0,
+            valid_hours=9.0, venue_id=99,
+        )
+        worker = make_worker(1, 0.0, 0.0)
+        instance = make_instance([original], [worker])
+        instance.venue_visits = {10: {1: 4, 2: 4}, 99: {1: 8}}
+        first = state.prepare(instance)
+        instance_2 = make_instance([replaced], [worker])
+        instance_2.venue_visits = instance.venue_visits
+        second = state.prepare(instance_2)
+        fresh = PreparedInstance(instance_2)
+        assert second.entropy_by_task == fresh.entropy_by_task
+        assert first.entropy_by_task != second.entropy_by_task
+
+    def test_influence_rows_cached_per_worker(self, tiny_instance, fitted_models):
+        """Influence cells computed through RoundState rectangles equal the
+        full-matrix path, even when workers/tasks arrive across rounds."""
+        influence_incremental = fitted_models.influence_model()
+        influence_full = fitted_models.influence_model()
+        workers = tiny_instance.workers
+        tasks = tiny_instance.tasks
+        state = RoundState(influence_incremental)
+        first = tiny_instance.with_workers(list(workers[:4])).with_tasks(list(tasks[:5]))
+        second = tiny_instance.with_workers(list(workers[2:8])).with_tasks(list(tasks[3:9]))
+        for round_instance in (first, second):
+            incremental = state.prepare(round_instance)
+            fresh = PreparedInstance(round_instance, influence_full)
+            np.testing.assert_array_equal(
+                incremental.influence_matrix, fresh.influence_matrix
+            )
+            np.testing.assert_array_equal(
+                incremental.feasible.mask, fresh.feasible.mask
+            )
+
+
+class TestOnlineEquivalence:
+    def _assignments(self, result):
+        return sorted(
+            (pair.worker.worker_id, pair.task.task_id)
+            for pair in result.assignment.pairs
+        )
+
+    def test_synthetic_day_identical_assignments(self):
+        tasks = [
+            make_task(i, float(i % 4), 0.3 * i, published=float(i % 3), phi=6.0)
+            for i in range(8)
+        ]
+        arrivals = [
+            WorkerArrival(worker=make_worker(i, 0.4 * i, 1.0), arrival_time=0.5 * i)
+            for i in range(7)
+        ]
+        incremental = OnlineSimulator(MTAAssigner(), None, batch_hours=1.0).run(
+            make_instance(tasks), arrivals
+        )
+        full = OnlineSimulator(
+            MTAAssigner(), None, batch_hours=1.0, incremental=False
+        ).run(make_instance(tasks), arrivals)
+        assert self._assignments(incremental) == self._assignments(full)
+        assert [s.assigned for s in incremental.steps] == [
+            s.assigned for s in full.steps
+        ]
+
+    def test_fitted_world_identical_assignments(
+        self, tiny_dataset, tiny_instance, fitted_models
+    ):
+        arrivals = day_arrivals(tiny_dataset, 6)
+        incremental = OnlineSimulator(
+            IAAssigner(), fitted_models.influence_model(), batch_hours=4.0
+        ).run(tiny_instance, arrivals)
+        full = OnlineSimulator(
+            IAAssigner(), fitted_models.influence_model(), batch_hours=4.0,
+            incremental=False,
+        ).run(tiny_instance, arrivals)
+        assert incremental.total_assigned > 0
+        assert self._assignments(incremental) == self._assignments(full)
+        assert [s.expired_tasks for s in incremental.steps] == [
+            s.expired_tasks for s in full.steps
+        ]
