@@ -10,15 +10,19 @@
 
 All MCMF-based assigners accept an ``engine``:
 
-* ``"mcmf"`` — the from-scratch successive-shortest-path solver
-  (:mod:`repro.flow`), exact, readable, O(F * E) — for small instances and
-  as the correctness reference;
+* ``"mcmf"`` — the from-scratch successive-shortest-path solver on the
+  general flow network (:mod:`repro.flow`), exact, readable — the
+  correctness reference;
+* ``"substrate"`` — the same SSP optimum through the array-native
+  bipartite engine (:mod:`repro.flow.bipartite`), an order of magnitude
+  faster than ``"mcmf"``;
 * ``"dense"`` — a lexicographic reduction to the rectangular assignment
-  problem solved by the Jonker-Volgenant implementation in scipy; returns
-  the same optimum orders of magnitude faster on paper-scale instances;
-* ``"auto"`` (default) — picks by instance size.
+  problem solved by the Jonker-Volgenant implementation in scipy; the
+  fallback for very large instances;
+* ``"auto"`` (default) — from-scratch substrate up to a size threshold,
+  dense beyond it.
 
-Both engines are equivalence-tested against each other in the test suite.
+All engines are equivalence-tested against each other in the test suite.
 """
 
 from repro.assignment.base import (
@@ -30,7 +34,12 @@ from repro.assignment.base import (
 )
 from repro.assignment.candidates import CandidatePair, candidate_pairs
 from repro.assignment.hungarian import hungarian, solve_lexicographic_hungarian
-from repro.assignment.solvers import solve_lexicographic_dense, solve_lexicographic_mcmf
+from repro.assignment.solvers import (
+    solve_lexicographic,
+    solve_lexicographic_dense,
+    solve_lexicographic_mcmf,
+    solve_lexicographic_substrate,
+)
 from repro.assignment.mta import MTAAssigner
 from repro.assignment.ia import IAAssigner
 from repro.assignment.eia import EIAAssigner
@@ -48,9 +57,11 @@ __all__ = [
     "CandidatePair",
     "candidate_pairs",
     "hungarian",
+    "solve_lexicographic",
     "solve_lexicographic_dense",
     "solve_lexicographic_hungarian",
     "solve_lexicographic_mcmf",
+    "solve_lexicographic_substrate",
     "MTAAssigner",
     "IAAssigner",
     "EIAAssigner",

@@ -19,7 +19,12 @@ from typing import Literal
 from repro.entities import Task, Worker
 from repro.geo import GridIndex, KDTree, Point
 
-IndexKind = Literal["kdtree", "grid", "dense"]
+IndexKind = Literal["kdtree", "grid", "dense", "auto"]
+
+#: Below this many worker-task cells the exhaustive scan beats building a
+#: spatial index.  Raised alongside the flow substrate rewrite: the dense
+#: matrices it feeds are cheap up to well past the paper's instance sizes.
+DENSE_SCAN_THRESHOLD = 4_096
 
 
 @dataclass(frozen=True)
@@ -103,12 +108,20 @@ def candidate_pairs(
     index:
         ``"kdtree"`` (default) or ``"grid"`` query a spatial index built
         over the task locations; ``"dense"`` is the exhaustive scan used as
-        the correctness oracle and for tiny instances.
+        the correctness oracle and for tiny instances; ``"auto"`` scans
+        exhaustively below :data:`DENSE_SCAN_THRESHOLD` cells and uses the
+        kd-tree beyond it.
     """
-    if index not in ("kdtree", "grid", "dense"):
+    if index not in ("kdtree", "grid", "dense", "auto"):
         raise ValueError(f"unknown index kind {index!r}")
     if not workers or not tasks:
         return []
+    if index == "auto":
+        index = (
+            "dense"
+            if len(workers) * len(tasks) <= DENSE_SCAN_THRESHOLD
+            else "kdtree"
+        )
     if index == "dense":
         return _dense_pairs(workers, tasks, current_time)
     return _indexed_pairs(workers, tasks, current_time, index)

@@ -13,8 +13,9 @@ from scipy import sparse
 from scipy.sparse.csgraph import maximum_bipartite_matching
 
 from repro.assignment.base import Assigner, PreparedInstance
+from repro.assignment.solvers import build_figure4_network
 from repro.entities import Assignment
-from repro.flow import Dinic, FlowNetwork
+from repro.flow import Dinic
 
 
 class MTAAssigner(Assigner):
@@ -25,11 +26,15 @@ class MTAAssigner(Assigner):
     engine:
         ``"flow"`` (from-scratch Dinic), ``"matching"`` (scipy
         Hopcroft-Karp) or ``"auto"`` (size-based dispatch).
+    flow_threshold:
+        Largest ``|W| x |S|`` matrix size ``"auto"`` still routes to the
+        from-scratch Dinic (raised 10x when the solver went array-native —
+        a 200k-cell instance levels in vectorized BFS in tens of ms).
     """
 
     name = "MTA"
 
-    def __init__(self, engine: str = "auto", flow_threshold: int = 20_000) -> None:
+    def __init__(self, engine: str = "auto", flow_threshold: int = 200_000) -> None:
         if engine not in ("auto", "flow", "matching"):
             raise ValueError(f"unknown engine {engine!r}")
         self.engine = engine
@@ -50,20 +55,10 @@ class MTAAssigner(Assigner):
 
     @staticmethod
     def _solve_flow(mask: np.ndarray) -> list[tuple[int, int]]:
-        n_workers, n_tasks = mask.shape
-        source = 0
-        sink = n_workers + n_tasks + 1
-        network = FlowNetwork(num_nodes=n_workers + n_tasks + 2)
-        for row in range(n_workers):
-            network.add_edge(source, 1 + row, capacity=1)
-        for column in range(n_tasks):
-            network.add_edge(1 + n_workers + column, sink, capacity=1)
-        edge_of_pair: dict[int, tuple[int, int]] = {}
-        for row, column in zip(*np.nonzero(mask)):
-            edge_id = network.add_edge(1 + int(row), 1 + n_workers + int(column), capacity=1)
-            edge_of_pair[edge_id] = (int(row), int(column))
-        Dinic(network).max_flow(source, sink)
-        return [p for e, p in edge_of_pair.items() if network.flow_on(e) > 0]
+        network, rows, columns, pair_edges = build_figure4_network(mask)
+        Dinic(network).max_flow(0, network.num_nodes - 1)
+        used = network.flows(pair_edges) > 0
+        return list(zip(rows[used].tolist(), columns[used].tolist()))
 
     @staticmethod
     def _solve_matching(mask: np.ndarray) -> list[tuple[int, int]]:

@@ -60,7 +60,9 @@ class PartitionedAssigner(Assigner):
             cells[self._cell_of(task.location.x, task.location.y)][1].append(task)
 
         merged = Assignment()
-        for workers, tasks in cells.values():
+        # Cells solve in key order: the merge result must not depend on the
+        # insertion order of the dicts above (golden-fixture determinism).
+        for _key, (workers, tasks) in sorted(cells.items()):
             if not workers or not tasks:
                 continue
             sub_instance = instance.with_workers(workers).with_tasks(tasks)

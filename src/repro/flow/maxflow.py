@@ -3,14 +3,22 @@
 Edmonds-Karp is the BFS instantiation of Ford-Fulkerson the paper cites; it
 is kept as the readable reference.  Dinic is the fast path used by the MTA
 baseline on large assignment graphs (unit capacities make it O(E * sqrt(V))).
+
+Dinic runs over the :meth:`~repro.flow.network.FlowNetwork.csr` arrays: the
+level BFS advances whole frontiers with one vectorized capacity mask per
+level, and only the blocking-flow DFS spine remains a Python loop (with
+current-arc pointers, so each phase touches every edge O(1) times
+amortized).
 """
 
 from __future__ import annotations
 
 from collections import deque
 
+import numpy as np
+
 from repro.exceptions import FlowError
-from repro.flow.network import FlowNetwork
+from repro.flow.network import FlowNetwork, csr_gather
 
 
 def edmonds_karp(network: FlowNetwork, source: int, sink: int) -> int:
@@ -20,6 +28,9 @@ def edmonds_karp(network: FlowNetwork, source: int, sink: int) -> int:
     """
     if source == sink:
         raise FlowError("source and sink must differ")
+    indptr, csr_edges = network.csr()
+    heads = network.edge_to
+    cap = network.edge_cap
     total = 0
     while True:
         parent_edge = [-1] * network.num_nodes
@@ -27,9 +38,10 @@ def edmonds_karp(network: FlowNetwork, source: int, sink: int) -> int:
         queue: deque[int] = deque([source])
         while queue and parent_edge[sink] == -1:
             node = queue.popleft()
-            for edge_id in network.adjacency[node]:
-                target = network.edge_to[edge_id]
-                if parent_edge[target] == -1 and network.edge_cap[edge_id] > 0:
+            for position in range(indptr[node], indptr[node + 1]):
+                edge_id = int(csr_edges[position])
+                target = int(heads[edge_id])
+                if parent_edge[target] == -1 and cap[edge_id] > 0:
                     parent_edge[target] = edge_id
                     queue.append(target)
         if parent_edge[sink] == -1:
@@ -39,55 +51,101 @@ def edmonds_karp(network: FlowNetwork, source: int, sink: int) -> int:
         node = sink
         while node != source:
             edge_id = parent_edge[node]
-            residual = network.edge_cap[edge_id]
+            residual = int(cap[edge_id])
             bottleneck = residual if bottleneck is None else min(bottleneck, residual)
-            node = network.edge_to[edge_id ^ 1]
+            node = int(heads[edge_id ^ 1])
         assert bottleneck is not None and bottleneck > 0
         node = sink
         while node != source:
             edge_id = parent_edge[node]
             network.push(edge_id, bottleneck)
-            node = network.edge_to[edge_id ^ 1]
+            node = int(heads[edge_id ^ 1])
         total += bottleneck
 
 
 class Dinic:
-    """Dinic's algorithm: BFS level graph + DFS blocking flow."""
+    """Dinic's algorithm: vectorized BFS level graph + DFS blocking flow."""
 
     def __init__(self, network: FlowNetwork) -> None:
         self.network = network
-        self._level: list[int] = []
-        self._iter: list[int] = []
+        self._level: np.ndarray = np.empty(0, dtype=np.int64)
 
     def _bfs(self, source: int, sink: int) -> bool:
+        """Level the residual graph, advancing whole frontiers per step."""
         network = self.network
-        self._level = [-1] * network.num_nodes
-        self._level[source] = 0
-        queue: deque[int] = deque([source])
-        while queue:
-            node = queue.popleft()
-            for edge_id in network.adjacency[node]:
-                target = network.edge_to[edge_id]
-                if network.edge_cap[edge_id] > 0 and self._level[target] < 0:
-                    self._level[target] = self._level[node] + 1
-                    queue.append(target)
-        return self._level[sink] >= 0
+        indptr, csr_edges = network.csr()
+        heads = network.edge_to
+        cap = network.edge_cap
+        level = np.full(network.num_nodes, -1, dtype=np.int64)
+        level[source] = 0
+        frontier = np.array([source], dtype=np.int64)
+        depth = 0
+        while frontier.size:
+            depth += 1
+            positions, _counts = csr_gather(indptr, frontier)
+            if positions.size == 0:
+                break
+            edges = csr_edges[positions]
+            edges = edges[cap[edges] > 0]
+            targets = heads[edges]
+            targets = targets[level[targets] < 0]
+            if targets.size == 0:
+                break
+            frontier = np.unique(targets)
+            level[frontier] = depth
+        self._level = level
+        return level[sink] >= 0
 
-    def _dfs(self, node: int, sink: int, limit: int) -> int:
-        if node == sink:
-            return limit
+    def _blocking_flow(self, source: int, sink: int) -> int:
+        """Current-arc DFS blocking flow over one level graph.
+
+        The spine runs on plain Python lists (scalar list indexing beats
+        ndarray scalar indexing several-fold); the updated capacities are
+        written back to the network's arrays before returning.
+        """
         network = self.network
-        adjacency = network.adjacency[node]
-        while self._iter[node] < len(adjacency):
-            edge_id = adjacency[self._iter[node]]
-            target = network.edge_to[edge_id]
-            if network.edge_cap[edge_id] > 0 and self._level[target] == self._level[node] + 1:
-                pushed = self._dfs(target, sink, min(limit, network.edge_cap[edge_id]))
-                if pushed > 0:
-                    network.push(edge_id, pushed)
-                    return pushed
-            self._iter[node] += 1
-        return 0
+        indptr_arr, csr_edges_arr = network.csr()
+        indptr = indptr_arr.tolist()
+        csr_edges = csr_edges_arr.tolist()
+        heads = network.edge_to.tolist()
+        cap = network.edge_cap.tolist()
+        level = self._level.tolist()
+        it = indptr[: network.num_nodes]
+        total = 0
+        path: list[int] = []
+        node = source
+        while True:
+            if node == sink:
+                bottleneck = min(cap[edge_id] for edge_id in path)
+                for edge_id in path:
+                    cap[edge_id] -= bottleneck
+                    cap[edge_id ^ 1] += bottleneck
+                total += bottleneck
+                # Restart from the source with current arcs retained.
+                path = []
+                node = source
+                continue
+            advanced = False
+            next_level = level[node] + 1
+            end = indptr[node + 1]
+            while it[node] < end:
+                edge_id = csr_edges[it[node]]
+                target = heads[edge_id]
+                if cap[edge_id] > 0 and level[target] == next_level:
+                    path.append(edge_id)
+                    node = target
+                    advanced = True
+                    break
+                it[node] += 1
+            if not advanced:
+                if node == source:
+                    break
+                # Dead end: retreat and advance the parent's current arc.
+                edge_id = path.pop()
+                node = heads[edge_id ^ 1]
+                it[node] += 1
+        network.edge_cap[:] = cap
+        return total
 
     def max_flow(self, source: int, sink: int) -> int:
         """Compute the maximum flow; mutates the underlying network."""
@@ -95,10 +153,5 @@ class Dinic:
             raise FlowError("source and sink must differ")
         total = 0
         while self._bfs(source, sink):
-            self._iter = [0] * self.network.num_nodes
-            while True:
-                pushed = self._dfs(source, sink, 1 << 60)
-                if pushed == 0:
-                    break
-                total += pushed
+            total += self._blocking_flow(source, sink)
         return total

@@ -1,20 +1,34 @@
 """Minimum-cost maximum-flow via successive shortest augmenting paths.
 
-Each round finds a minimum-cost path in the residual network (SPFA — a
-queue-based Bellman-Ford that tolerates the negative residual costs created
-by pushed flow) and augments along it.  With all original costs finite this
-terminates with the maximum flow whose total cost is minimal among all
-maximum flows — exactly the objective of the paper's Ford-Fulkerson + LP
-formulation, computed in one pass.
+Each round finds a minimum-cost path in the residual network and augments
+along it; with all original costs finite this terminates with the maximum
+flow whose total cost is minimal among all maximum flows — exactly the
+objective of the paper's Ford-Fulkerson + LP formulation, computed in one
+pass.
+
+Since the array-substrate rewrite the shortest-path phase is Dijkstra on
+Johnson-reduced costs (:mod:`repro.flow.potentials`), not SPFA: potentials
+``h`` keep every residual cost ``c + h(u) - h(v)`` non-negative, so each
+phase is O((V + E) log V) with vectorized per-node relaxation.  Graphs with
+negative *original* costs bootstrap their potentials with one guarded
+Bellman-Ford pass — a negative-cost cycle now raises :class:`FlowError`
+instead of hanging the solver.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.exceptions import FlowError
 from repro.flow.network import FlowNetwork
+from repro.flow.potentials import (
+    bellman_ford_potentials,
+    dijkstra_reduced,
+    extract_path,
+    scan_shortest_paths,
+)
 
 
 @dataclass(frozen=True)
@@ -26,67 +40,70 @@ class FlowResult:
 
 
 class MinCostMaxFlow:
-    """Successive-shortest-path MCMF over a :class:`FlowNetwork`."""
+    """Successive-shortest-path MCMF over a :class:`FlowNetwork`.
 
-    def __init__(self, network: FlowNetwork) -> None:
+    After :meth:`solve`, :attr:`potential` holds the final Johnson
+    potentials — the complementary-slackness certificate: every residual
+    edge has non-negative reduced cost, so the residual graph contains no
+    negative-cost cycle and the flow is cost-optimal at its value.
+
+    A network may carry flow already, provided that flow is min-cost for
+    its value (e.g. a previous :meth:`solve` — warm restart): the guarded
+    Bellman-Ford bootstrap prices the exposed negative twins.  A
+    *suboptimal* pre-flow leaves a negative residual cycle and raises
+    :class:`FlowError`, like any genuinely negative-cycled cost structure.
+    """
+
+    def __init__(self, network: FlowNetwork, engine: str = "auto") -> None:
+        if engine not in ("auto", "scan", "dijkstra"):
+            raise FlowError(f"unknown shortest-path engine {engine!r}")
         self.network = network
+        self.engine = engine
+        #: Final node potentials; ``None`` until :meth:`solve` runs.
+        self.potential: np.ndarray | None = None
 
-    def _spfa(self, source: int, sink: int) -> tuple[list[float], list[int]]:
-        """Shortest distances by cost and the incoming edge of each node."""
-        network = self.network
-        infinity = float("inf")
-        distance = [infinity] * network.num_nodes
-        in_edge = [-1] * network.num_nodes
-        in_queue = [False] * network.num_nodes
-        distance[source] = 0.0
-        queue: deque[int] = deque([source])
-        in_queue[source] = True
-        while queue:
-            node = queue.popleft()
-            in_queue[node] = False
-            node_distance = distance[node]
-            for edge_id in network.adjacency[node]:
-                if network.edge_cap[edge_id] <= 0:
-                    continue
-                target = network.edge_to[edge_id]
-                candidate = node_distance + network.edge_cost[edge_id]
-                if candidate < distance[target] - 1e-12:
-                    distance[target] = candidate
-                    in_edge[target] = edge_id
-                    if not in_queue[target]:
-                        in_queue[target] = True
-                        # Small-label-first heuristic keeps SPFA fast on
-                        # assignment graphs.
-                        if queue and candidate < distance[queue[0]]:
-                            queue.appendleft(target)
-                        else:
-                            queue.append(target)
-        return distance, in_edge
+    def _shortest_paths(self, source: int, sink: int, potential: np.ndarray):
+        engine = self.engine
+        if engine == "auto":
+            # Dense, shallow graphs (the assignment networks) are fastest
+            # under whole-graph scans; sparse deep ones under the heap.
+            engine = "scan" if 2 * self.network.num_edges >= 4 * self.network.num_nodes else "dijkstra"
+        if engine == "scan":
+            return scan_shortest_paths(self.network, source, potential, sink=sink)
+        return dijkstra_reduced(self.network, source, potential, sink=sink)
 
     def solve(self, source: int, sink: int) -> FlowResult:
         """Run MCMF from ``source`` to ``sink``; mutates the network."""
         if source == sink:
             raise FlowError("source and sink must differ")
         network = self.network
+        cap = network.edge_cap
+        cost = network.edge_cost
+        # Zero potentials are only valid when no *active* residual edge has
+        # negative cost — a network that already carries flow exposes the
+        # negated twins of its used edges, so check the residual graph, not
+        # just the forward costs.
+        active_costs = cost[cap > 0]
+        if active_costs.size and active_costs.min() < 0:
+            potential = bellman_ford_potentials(network, source)
+        else:
+            potential = np.zeros(network.num_nodes)
         total_flow = 0
         total_cost = 0.0
         while True:
-            distance, in_edge = self._spfa(source, sink)
+            distance, in_edge = self._shortest_paths(source, sink, potential)
             if in_edge[sink] == -1:
+                self.potential = potential
                 return FlowResult(max_flow=total_flow, total_cost=total_cost)
-            # Bottleneck along the found path.
-            bottleneck = None
-            node = sink
-            while node != source:
-                edge_id = in_edge[node]
-                residual = network.edge_cap[edge_id]
-                bottleneck = residual if bottleneck is None else min(bottleneck, residual)
-                node = network.edge_to[edge_id ^ 1]
-            assert bottleneck is not None and bottleneck > 0
-            node = sink
-            while node != source:
-                edge_id = in_edge[node]
-                network.push(edge_id, bottleneck)
-                node = network.edge_to[edge_id ^ 1]
+            # The search stops once the sink settles, so unsettled nodes only
+            # carry tentative labels; capping at distance[sink] keeps every
+            # residual reduced cost non-negative (Johnson's invariant).
+            potential += np.minimum(distance, distance[sink])
+
+            path = extract_path(network, source, sink, in_edge)
+            bottleneck = int(cap[path].min())
+            assert bottleneck > 0
+            cap[path] -= bottleneck
+            cap[path ^ 1] += bottleneck
             total_flow += bottleneck
-            total_cost += bottleneck * distance[sink]
+            total_cost += bottleneck * float(cost[path].sum())

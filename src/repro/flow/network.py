@@ -1,32 +1,118 @@
-"""A residual flow network with paired forward/backward edges.
+"""An array-native residual flow network with paired forward/backward edges.
 
-Every call to :meth:`FlowNetwork.add_edge` creates the forward edge and its
-zero-capacity residual twin at ``edge_id ^ 1``, the classic trick that lets
-augmenting algorithms push flow back without special-casing.
+Every edge insertion creates the forward edge and its zero-capacity residual
+twin at ``edge_id ^ 1``, the classic trick that lets augmenting algorithms
+push flow back without special-casing.  Storage is structure-of-arrays on
+numpy buffers with capacity doubling (the same slab discipline as
+``propagation.RRRCollection``), so bulk edge insertion, residual masks and
+per-frontier gathers in the solvers are all O(1) index algebra:
+
+* ``edge_to`` / ``edge_cap`` / ``edge_cost`` — per-directed-edge arrays
+  (twins interleaved with their forward edges);
+* ``csr()`` — a ``(indptr, csr_edges)`` adjacency view, rebuilt lazily
+  after structural changes; within a node, edges keep insertion order.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.exceptions import FlowError
+
+_INITIAL_CAPACITY = 32
+
+
+def csr_gather(indptr: np.ndarray, frontier: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Flat CSR positions of every entry in ``frontier``'s rows.
+
+    The frontier-batch gather shared by the solvers: returns
+    ``(positions, counts)`` where ``positions`` concatenates the ranges
+    ``indptr[f]:indptr[f+1]`` for each frontier node ``f`` (in frontier
+    order) and ``counts`` is the per-node range length.
+    """
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), counts
+    bounds = np.cumsum(counts)
+    positions = np.repeat(starts - (bounds - counts), counts) + np.arange(total)
+    return positions, counts
 
 
 class FlowNetwork:
     """A directed flow network over ``num_nodes`` dense node ids.
 
     Edges carry integer capacities (unit capacities in the assignment use
-    case) and float costs.  The structure-of-arrays layout keeps the hot
-    loops of the solvers allocation-free.
+    case) and float costs.  The flat-array layout keeps the hot loops of the
+    solvers allocation-free and lets callers add whole edge batches at once
+    with :meth:`add_edges`.
+
+    The ``edge_to`` / ``edge_cap`` / ``edge_cost`` properties return live
+    views into the current buffers; re-read them after adding edges rather
+    than holding a view across structural changes (capacity doubling swaps
+    the underlying buffer).
     """
 
     def __init__(self, num_nodes: int) -> None:
         if num_nodes < 2:
             raise FlowError(f"a flow network needs >= 2 nodes, got {num_nodes}")
         self.num_nodes = num_nodes
-        self.edge_to: list[int] = []
-        self.edge_cap: list[int] = []
-        self.edge_cost: list[float] = []
-        self.adjacency: list[list[int]] = [[] for _ in range(num_nodes)]
+        self._heads = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._tails = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._cap = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._cost = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._size = 0  # directed edges, twins included
+        self._indptr: np.ndarray | None = None
+        self._csr_edges: np.ndarray | None = None
 
+    # ------------------------------------------------------------- storage
+    def _ensure_capacity(self, needed: int) -> None:
+        capacity = len(self._heads)
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        for name in ("_heads", "_tails", "_cap", "_cost"):
+            old = getattr(self, name)
+            fresh = np.empty(capacity, dtype=old.dtype)
+            fresh[: self._size] = old[: self._size]
+            setattr(self, name, fresh)
+
+    @property
+    def edge_to(self) -> np.ndarray:
+        """Head node of every directed edge (twins interleaved)."""
+        return self._heads[: self._size]
+
+    @property
+    def edge_tail(self) -> np.ndarray:
+        """Tail node of every directed edge (twins interleaved)."""
+        return self._tails[: self._size]
+
+    @property
+    def edge_cap(self) -> np.ndarray:
+        """Residual capacity of every directed edge."""
+        return self._cap[: self._size]
+
+    @property
+    def edge_cost(self) -> np.ndarray:
+        """Per-unit cost of every directed edge (twins negated)."""
+        return self._cost[: self._size]
+
+    @property
+    def adjacency(self) -> list[list[int]]:
+        """Per-node outgoing edge-id lists (compatibility view).
+
+        Built from the CSR arrays on demand; prefer :meth:`csr` in
+        performance-sensitive code.
+        """
+        indptr, csr_edges = self.csr()
+        return [
+            csr_edges[indptr[node] : indptr[node + 1]].tolist()
+            for node in range(self.num_nodes)
+        ]
+
+    # ---------------------------------------------------------------- build
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.num_nodes:
             raise FlowError(f"node {node} out of range [0, {self.num_nodes})")
@@ -37,44 +123,125 @@ class FlowNetwork:
         Returns the forward edge id; the residual twin lives at ``id ^ 1``
         with capacity 0 and cost ``-cost``.
         """
-        self._check_node(source)
-        self._check_node(target)
-        if source == target:
-            raise FlowError(f"self-loop on node {source}")
-        if capacity < 0:
-            raise FlowError(f"negative capacity {capacity}")
-        edge_id = len(self.edge_to)
-        self.edge_to.append(target)
-        self.edge_cap.append(capacity)
-        self.edge_cost.append(cost)
-        self.adjacency[source].append(edge_id)
-        self.edge_to.append(source)
-        self.edge_cap.append(0)
-        self.edge_cost.append(-cost)
-        self.adjacency[target].append(edge_id + 1)
-        return edge_id
+        edge_ids = self.add_edges(
+            np.array([source], dtype=np.int64),
+            np.array([target], dtype=np.int64),
+            np.array([capacity]),
+            np.array([cost], dtype=np.float64),
+        )
+        return int(edge_ids[0])
 
+    def add_edges(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        capacities: np.ndarray,
+        costs: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Add a whole batch of edges at once; returns the forward edge ids.
+
+        All arguments are equal-length 1-d arrays; residual twins are created
+        exactly as in :meth:`add_edge`.  This is the fast path used by the
+        assignment-graph builders.
+        """
+        sources = np.asarray(sources, dtype=np.int64).ravel()
+        targets = np.asarray(targets, dtype=np.int64).ravel()
+        capacities = np.asarray(capacities).ravel()
+        if capacities.dtype.kind == "f":
+            if not np.all(np.floor(capacities) == capacities):
+                raise FlowError(
+                    "capacities must be integral (the residual arrays are int64); "
+                    f"got {float(capacities[np.floor(capacities) != capacities][0])}"
+                )
+        capacities = capacities.astype(np.int64)
+        if costs is None:
+            costs = np.zeros(len(sources), dtype=np.float64)
+        else:
+            costs = np.asarray(costs, dtype=np.float64).ravel()
+        if not (len(sources) == len(targets) == len(capacities) == len(costs)):
+            raise FlowError(
+                "add_edges arrays disagree on length: "
+                f"{len(sources)}/{len(targets)}/{len(capacities)}/{len(costs)}"
+            )
+        out_of_range = (sources < 0) | (sources >= self.num_nodes) | (
+            targets < 0
+        ) | (targets >= self.num_nodes)
+        if out_of_range.any():
+            bad = int(np.nonzero(out_of_range)[0][0])
+            node = int(sources[bad]) if not 0 <= sources[bad] < self.num_nodes else int(targets[bad])
+            raise FlowError(f"node {node} out of range [0, {self.num_nodes})")
+        loops = sources == targets
+        if loops.any():
+            raise FlowError(f"self-loop on node {int(sources[np.nonzero(loops)[0][0]])}")
+        negative = capacities < 0
+        if negative.any():
+            raise FlowError(
+                f"negative capacity {int(capacities[np.nonzero(negative)[0][0]])}"
+            )
+
+        count = len(sources)
+        base = self._size
+        self._ensure_capacity(base + 2 * count)
+        forward = base + 2 * np.arange(count, dtype=np.int64)
+        self._heads[forward] = targets
+        self._heads[forward + 1] = sources
+        self._tails[forward] = sources
+        self._tails[forward + 1] = targets
+        self._cap[forward] = capacities
+        self._cap[forward + 1] = 0
+        self._cost[forward] = costs
+        self._cost[forward + 1] = -costs
+        self._size = base + 2 * count
+        self._indptr = None
+        self._csr_edges = None
+        return forward
+
+    def csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(indptr, csr_edges)`` adjacency over directed edge ids.
+
+        ``csr_edges[indptr[u]:indptr[u+1]]`` lists node ``u``'s outgoing
+        edges in insertion order.  Rebuilt lazily after edge additions.
+        """
+        if self._indptr is None:
+            tails = self._tails[: self._size]
+            # Stable sort by tail keeps edges in insertion order per node.
+            self._csr_edges = np.argsort(tails, kind="stable").astype(np.int64)
+            counts = np.bincount(tails, minlength=self.num_nodes)
+            self._indptr = np.concatenate(
+                ([0], np.cumsum(counts, dtype=np.int64))
+            )
+        assert self._csr_edges is not None
+        return self._indptr, self._csr_edges
+
+    # ---------------------------------------------------------------- query
     @property
     def num_edges(self) -> int:
         """Number of forward edges."""
-        return len(self.edge_to) // 2
+        return self._size // 2
 
     def flow_on(self, edge_id: int) -> int:
         """Current flow on forward edge ``edge_id`` (= residual twin's cap)."""
         if edge_id % 2 != 0:
             raise FlowError("flow_on expects a forward (even) edge id")
-        return self.edge_cap[edge_id ^ 1]
+        return int(self._cap[edge_id ^ 1])
+
+    def flows(self, edge_ids: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`flow_on` over an array of forward edge ids."""
+        edge_ids = np.asarray(edge_ids, dtype=np.int64)
+        if (edge_ids % 2 != 0).any():
+            raise FlowError("flows expects forward (even) edge ids")
+        return self._cap[edge_ids ^ 1]
 
     def residual(self, edge_id: int) -> int:
         """Remaining capacity of edge ``edge_id`` (forward or residual)."""
-        return self.edge_cap[edge_id]
+        return int(self._cap[edge_id])
 
     def push(self, edge_id: int, amount: int) -> None:
         """Push ``amount`` units through ``edge_id``, updating the twin."""
-        if amount < 0 or amount > self.edge_cap[edge_id]:
+        if amount < 0 or amount > self._cap[edge_id]:
             raise FlowError(
                 f"cannot push {amount} through edge {edge_id} "
-                f"(residual {self.edge_cap[edge_id]})"
+                f"(residual {int(self._cap[edge_id])})"
             )
-        self.edge_cap[edge_id] -= amount
-        self.edge_cap[edge_id ^ 1] += amount
+        self._cap[edge_id] -= amount
+        self._cap[edge_id ^ 1] += amount

@@ -1,108 +1,269 @@
-"""Min-cost max-flow via Dijkstra with Johnson potentials (extension).
+"""Shared reduced-cost machinery for min-cost max-flow.
 
-The SPFA-based solver in :mod:`repro.flow.mincost` tolerates the negative
-residual costs created by pushed flow at the price of Bellman-Ford-style
-worst cases.  When every *original* edge cost is non-negative — true for all
-of the library's assignment graphs — the classic remedy is to maintain node
-potentials ``h`` and run Dijkstra on the reduced costs
+Successive-shortest-path MCMF needs, per augmentation, a cheapest residual
+path.  The classic Johnson trick maintains node potentials ``h`` so the
+reduced costs
 
-    c'(u, v) = c(u, v) + h(u) - h(v) >= 0,
+    c'(u, v) = c(u, v) + h(u) - h(v) >= 0
 
-updating ``h += dist`` after every augmentation.  Same exact optimum as the
-SPFA solver (equivalence-tested), with an O((V + E) log V) shortest-path
-phase instead of O(V * E).
+stay non-negative on every residual edge, which lets each phase run Dijkstra
+(O((V + E) log V)) instead of Bellman-Ford (O(V * E)).  This module hosts
+the pieces both solvers share:
+
+* :func:`dijkstra_reduced` — reduced-cost Dijkstra over the CSR arrays with
+  vectorized per-node relaxation;
+* :func:`bellman_ford_potentials` — a queue-based Bellman-Ford (SPFA) that
+  bootstraps valid potentials when original costs may be negative, with an
+  explicit relaxation-count guard that raises :class:`FlowError` on a
+  negative-cost cycle instead of looping forever;
+* :func:`extract_path` — walk the ``in_edge`` tree, returning the edge ids
+  from source to sink.
+
+:class:`PotentialMinCostMaxFlow` is kept as the historical name of the
+Dijkstra-with-potentials solver; since the rewrite it is simply
+:class:`repro.flow.mincost.MinCostMaxFlow` restricted to non-negative
+original costs (checked eagerly, matching its old contract).
 """
 
 from __future__ import annotations
 
 import heapq
 
+import numpy as np
+
 from repro.exceptions import FlowError
-from repro.flow.mincost import FlowResult
-from repro.flow.network import FlowNetwork
+from repro.flow.network import FlowNetwork, csr_gather
+
+#: Slack used when comparing float path costs.
+COST_EPS = 1e-12
+
+
+def _compact_reduced(
+    network: FlowNetwork, potential: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """CSR adjacency compacted to active edges, priced at reduced cost.
+
+    Both shortest-path engines start a run this way: the potentials and the
+    residual mask are fixed for the whole search, so active edges are
+    compacted and priced once in a few vectorized passes.  Returns
+    ``(act_indptr, act_edges, act_heads, act_reduced)``, with tiny float
+    negatives in the reduced costs clamped to zero.
+    """
+    indptr, csr_edges = network.csr()
+    active = network.edge_cap[csr_edges] > 0
+    act_edges = csr_edges[active]
+    cumulative = np.concatenate(([0], np.cumsum(active, dtype=np.int64)))
+    act_indptr = cumulative[indptr]
+    act_heads = network.edge_to[act_edges]
+    act_reduced = (
+        network.edge_cost[act_edges]
+        + potential[network.edge_tail[act_edges]]
+        - potential[act_heads]
+    )
+    np.maximum(act_reduced, 0.0, out=act_reduced)
+    return act_indptr, act_edges, act_heads, act_reduced
+
+
+def dijkstra_reduced(
+    network: FlowNetwork, source: int, potential: np.ndarray, sink: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shortest reduced-cost distances from ``source`` over residual edges.
+
+    Returns ``(distance, in_edge)``; unreachable nodes keep ``inf`` /
+    ``-1``.  ``potential`` must make every residual reduced cost
+    non-negative (tiny float negatives are clamped to zero).
+
+    The potentials and the residual mask are fixed for the whole run, so the
+    run starts by compacting the CSR adjacency down to the active edges and
+    pricing every one of them in a handful of vectorized passes; the heap
+    loop then only slices pre-priced views.  When ``sink`` is given the
+    search stops as soon as the sink settles — tentative labels of unsettled
+    nodes are then lower-bounded by ``distance[sink]``, which is exactly the
+    cap the caller must apply when folding distances back into potentials.
+    """
+    act_indptr, act_edges, act_heads, act_reduced = _compact_reduced(
+        network, potential
+    )
+    distance = np.full(network.num_nodes, np.inf)
+    in_edge = np.full(network.num_nodes, -1, dtype=np.int64)
+    done = np.zeros(network.num_nodes, dtype=bool)
+    distance[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        node_distance, node = heapq.heappop(heap)
+        if done[node]:
+            continue
+        done[node] = True
+        if node == sink:
+            break
+        low, high = act_indptr[node], act_indptr[node + 1]
+        if low == high:
+            continue
+        targets = act_heads[low:high]
+        candidates = node_distance + act_reduced[low:high]
+        better = np.nonzero(candidates < distance[targets] - COST_EPS)[0]
+        for position in better:
+            target = int(targets[position])
+            candidate = float(candidates[position])
+            # Re-check: the batch may relax the same target twice.
+            if candidate < distance[target] - COST_EPS:
+                distance[target] = candidate
+                in_edge[target] = int(act_edges[low + position])
+                heapq.heappush(heap, (candidate, target))
+    return distance, in_edge
+
+
+def scan_shortest_paths(
+    network: FlowNetwork, source: int, potential: np.ndarray, sink: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Label-correcting shortest paths by vectorized frontier scans.
+
+    Same contract as :func:`dijkstra_reduced` (non-negative reduced costs
+    guaranteed by ``potential``), different engine: a batched SPFA in the
+    style of ``propagation.batched_cascade`` — each level relaxes every
+    active residual edge leaving the current frontier with a handful of
+    numpy kernels, and improved nodes form the next frontier.  Duplicate
+    heads inside one batch are resolved exactly by re-scattering until no
+    candidate beats the written label (labels strictly decrease, so the
+    inner loop terminates).
+
+    When ``sink`` is given, labels at or above the sink's tentative label
+    are pruned: with non-negative reduced costs they can never lie on a
+    cheaper augmenting path, and the prefix labels of any node that *does*
+    end below the sink are themselves below the sink, so no needed
+    relaxation is ever dropped.  Pruned nodes keep stale/infinite labels —
+    callers must cap dual updates at ``distance[sink]``, exactly as for the
+    early-exiting Dijkstra.  This kills the label-correcting churn that
+    otherwise re-relaxes most of the graph every level.
+    """
+    act_indptr, act_edges, act_heads, act_reduced = _compact_reduced(
+        network, potential
+    )
+    distance = np.full(network.num_nodes, np.inf)
+    in_edge = np.full(network.num_nodes, -1, dtype=np.int64)
+    distance[source] = 0.0
+    frontier = np.array([source], dtype=np.int64)
+    while frontier.size:
+        if sink is not None:
+            frontier = frontier[distance[frontier] < distance[sink] - COST_EPS]
+            if frontier.size == 0:
+                break
+        positions, counts = csr_gather(act_indptr, frontier)
+        if positions.size == 0:
+            break
+        heads_batch = act_heads[positions]
+        candidates = np.repeat(distance[frontier], counts) + act_reduced[positions]
+        touched: list[np.ndarray] = []
+        while True:
+            limit = distance[heads_batch]
+            if sink is not None:
+                np.minimum(limit, distance[sink], out=limit)
+            improved = np.nonzero(candidates < limit - COST_EPS)[0]
+            if improved.size == 0:
+                break
+            winners = heads_batch[improved]
+            distance[winners] = candidates[improved]
+            in_edge[winners] = act_edges[positions[improved]]
+            touched.append(winners)
+        if not touched:
+            break
+        frontier = np.unique(np.concatenate(touched))
+    return distance, in_edge
+
+
+def bellman_ford_potentials(network: FlowNetwork, source: int) -> np.ndarray:
+    """Valid starting potentials when original costs may be negative.
+
+    Queue-based Bellman-Ford (SPFA) over the residual edges.  A node
+    re-entering the queue more than ``num_nodes`` times proves a
+    negative-cost cycle, which successive-shortest-path MCMF cannot price —
+    the guard raises :class:`FlowError` instead of relaxing forever (the
+    latent hazard of the pre-rewrite SPFA solver).  Nodes unreachable from
+    ``source`` get potential 0; they can never join an augmenting path.
+    """
+    indptr, csr_edges = network.csr()
+    heads = network.edge_to
+    cap = network.edge_cap
+    cost = network.edge_cost
+    num_nodes = network.num_nodes
+    distance = np.full(num_nodes, np.inf)
+    distance[source] = 0.0
+    in_queue = np.zeros(num_nodes, dtype=bool)
+    visits = np.zeros(num_nodes, dtype=np.int64)
+    queue = [source]
+    in_queue[source] = True
+    while queue:
+        next_queue: list[int] = []
+        for node in queue:
+            in_queue[node] = False
+        for node in queue:
+            node_distance = distance[node]
+            edges = csr_edges[indptr[node] : indptr[node + 1]]
+            edges = edges[cap[edges] > 0]
+            if edges.size == 0:
+                continue
+            targets = heads[edges]
+            candidates = node_distance + cost[edges]
+            improved = candidates < distance[targets] - COST_EPS
+            for target, candidate in zip(targets[improved], candidates[improved]):
+                target = int(target)
+                if candidate < distance[target] - COST_EPS:
+                    distance[target] = candidate
+                    if not in_queue[target]:
+                        visits[target] += 1
+                        if visits[target] > num_nodes:
+                            raise FlowError(
+                                "negative-cost cycle detected while computing "
+                                f"potentials (node {target} relaxed more than "
+                                f"{num_nodes} times)"
+                            )
+                        in_queue[target] = True
+                        next_queue.append(target)
+        queue = next_queue
+    np.nan_to_num(distance, copy=False, posinf=0.0)
+    return distance
+
+
+def extract_path(network: FlowNetwork, source: int, sink: int, in_edge: np.ndarray) -> np.ndarray:
+    """Edge ids of the found augmenting path, sink-to-source order reversed."""
+    heads = network.edge_to
+    path: list[int] = []
+    node = sink
+    while node != source:
+        edge_id = int(in_edge[node])
+        path.append(edge_id)
+        node = int(heads[edge_id ^ 1])
+    return np.asarray(path[::-1], dtype=np.int64)
 
 
 class PotentialMinCostMaxFlow:
-    """Successive shortest paths with Dijkstra + potentials.
+    """Dijkstra-with-potentials MCMF over non-negative original costs.
 
-    Requires every forward edge cost to be non-negative (checked at
-    :meth:`solve` time); the residual graph then never exposes a negative
-    reduced cost.
+    Historically this class was the fast alternative to the SPFA-based
+    :class:`~repro.flow.mincost.MinCostMaxFlow`; the rewrite made Johnson
+    potentials the main engine, so this wrapper only adds the eager
+    non-negative-cost check of its original contract before delegating.
     """
 
     def __init__(self, network: FlowNetwork) -> None:
         self.network = network
+        #: Final node potentials; ``None`` until :meth:`solve` runs.
+        self.potential: np.ndarray | None = None
 
-    def _dijkstra(
-        self, source: int, sink: int, potential: list[float]
-    ) -> tuple[list[float], list[int]]:
-        """Reduced-cost shortest distances and the incoming edge per node."""
-        network = self.network
-        infinity = float("inf")
-        distance = [infinity] * network.num_nodes
-        in_edge = [-1] * network.num_nodes
-        distance[source] = 0.0
-        heap: list[tuple[float, int]] = [(0.0, source)]
-        while heap:
-            d, node = heapq.heappop(heap)
-            if d > distance[node] + 1e-12:
-                continue
-            for edge_id in network.adjacency[node]:
-                if network.edge_cap[edge_id] <= 0:
-                    continue
-                target = network.edge_to[edge_id]
-                reduced = (
-                    network.edge_cost[edge_id] + potential[node] - potential[target]
-                )
-                # Clamp the tiny negatives produced by float accumulation.
-                if reduced < 0:
-                    reduced = 0.0
-                candidate = d + reduced
-                if candidate < distance[target] - 1e-12:
-                    distance[target] = candidate
-                    in_edge[target] = edge_id
-                    heapq.heappush(heap, (candidate, target))
-        return distance, in_edge
-
-    def solve(self, source: int, sink: int) -> FlowResult:
+    def solve(self, source: int, sink: int):
         """Run MCMF from ``source`` to ``sink``; mutates the network."""
-        if source == sink:
-            raise FlowError("source and sink must differ")
-        network = self.network
-        for edge_id in range(0, len(network.edge_cost), 2):
-            if network.edge_cost[edge_id] < 0:
+        from repro.flow.mincost import MinCostMaxFlow
+
+        forward_costs = self.network.edge_cost[0::2]
+        if forward_costs.size:
+            negative = np.nonzero(forward_costs < 0)[0]
+            if negative.size:
+                edge_id = int(negative[0]) * 2
                 raise FlowError(
                     "PotentialMinCostMaxFlow requires non-negative edge costs; "
-                    f"edge {edge_id} has cost {network.edge_cost[edge_id]}"
+                    f"edge {edge_id} has cost {float(forward_costs[negative[0]])}"
                 )
-
-        potential = [0.0] * network.num_nodes
-        total_flow = 0
-        total_cost = 0.0
-        while True:
-            distance, in_edge = self._dijkstra(source, sink, potential)
-            if in_edge[sink] == -1:
-                return FlowResult(max_flow=total_flow, total_cost=total_cost)
-            for node in range(network.num_nodes):
-                if distance[node] < float("inf"):
-                    potential[node] += distance[node]
-
-            bottleneck = None
-            node = sink
-            while node != source:
-                edge_id = in_edge[node]
-                residual = network.edge_cap[edge_id]
-                bottleneck = residual if bottleneck is None else min(bottleneck, residual)
-                node = network.edge_to[edge_id ^ 1]
-            assert bottleneck is not None and bottleneck > 0
-
-            path_cost = 0.0
-            node = sink
-            while node != source:
-                edge_id = in_edge[node]
-                network.push(edge_id, bottleneck)
-                path_cost += network.edge_cost[edge_id]
-                node = network.edge_to[edge_id ^ 1]
-
-            total_flow += bottleneck
-            total_cost += bottleneck * path_cost
+        solver = MinCostMaxFlow(self.network)
+        result = solver.solve(source, sink)
+        self.potential = solver.potential
+        return result

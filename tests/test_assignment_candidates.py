@@ -33,6 +33,29 @@ class TestCandidatePairs:
         with pytest.raises(ValueError):
             candidate_pairs(workers, tasks, 0.0, index="rtree")
 
+    def test_auto_matches_explicit_kinds(self):
+        # Small world: auto scans densely; results must match the kd-tree.
+        rng = np.random.default_rng(7)
+        worker_coords = [(float(x), float(y)) for x, y in rng.uniform(0, 20, (12, 2))]
+        task_coords = [(float(x), float(y)) for x, y in rng.uniform(0, 20, (9, 2))]
+        workers, tasks = build_world(worker_coords, task_coords)
+        auto = candidate_pairs(workers, tasks, 0.0, index="auto")
+        dense = candidate_pairs(workers, tasks, 0.0, index="dense")
+        kdtree = candidate_pairs(workers, tasks, 0.0, index="kdtree")
+        key = lambda p: (p.worker_index, p.task_index)
+        assert sorted(auto, key=key) == sorted(dense, key=key) == sorted(kdtree, key=key)
+
+    def test_auto_uses_index_above_threshold(self, monkeypatch):
+        import repro.assignment.candidates as candidates_module
+
+        monkeypatch.setattr(candidates_module, "DENSE_SCAN_THRESHOLD", 0)
+        workers, tasks = build_world([(0.0, 0.0)], [(1.0, 1.0)])
+        auto = candidate_pairs(workers, tasks, 0.0, index="auto")
+        dense = candidate_pairs(workers, tasks, 0.0, index="dense")
+        assert [(p.worker_index, p.task_index) for p in auto] == [
+            (p.worker_index, p.task_index) for p in dense
+        ]
+
     def test_radius_excludes_far_task(self):
         workers, tasks = build_world([(0, 0)], [(50, 50)], radius=5.0)
         assert candidate_pairs(workers, tasks, 0.0) == []

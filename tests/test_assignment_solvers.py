@@ -13,7 +13,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.assignment import solve_lexicographic_dense, solve_lexicographic_mcmf
+from repro.assignment import (
+    solve_lexicographic_dense,
+    solve_lexicographic_mcmf,
+    solve_lexicographic_substrate,
+)
 from repro.assignment.solvers import solve_lexicographic
 
 
@@ -49,27 +53,27 @@ def check_solution(pairs, cost, feasible, expected_size, expected_cost):
 
 
 class TestSolversExact:
-    @pytest.mark.parametrize("solver", [solve_lexicographic_dense, solve_lexicographic_mcmf])
+    @pytest.mark.parametrize("solver", [solve_lexicographic_dense, solve_lexicographic_mcmf, solve_lexicographic_substrate])
     def test_empty(self, solver):
         assert solver(np.zeros((0, 0)), np.zeros((0, 0), dtype=bool)) == []
 
-    @pytest.mark.parametrize("solver", [solve_lexicographic_dense, solve_lexicographic_mcmf])
+    @pytest.mark.parametrize("solver", [solve_lexicographic_dense, solve_lexicographic_mcmf, solve_lexicographic_substrate])
     def test_no_feasible_pairs(self, solver):
         cost = np.ones((2, 2))
         assert solver(cost, np.zeros((2, 2), dtype=bool)) == []
 
-    @pytest.mark.parametrize("solver", [solve_lexicographic_dense, solve_lexicographic_mcmf])
+    @pytest.mark.parametrize("solver", [solve_lexicographic_dense, solve_lexicographic_mcmf, solve_lexicographic_substrate])
     def test_negative_cost_rejected(self, solver):
         cost = np.array([[-1.0]])
         with pytest.raises(ValueError):
             solver(cost, np.array([[True]]))
 
-    @pytest.mark.parametrize("solver", [solve_lexicographic_dense, solve_lexicographic_mcmf])
+    @pytest.mark.parametrize("solver", [solve_lexicographic_dense, solve_lexicographic_mcmf, solve_lexicographic_substrate])
     def test_shape_mismatch_rejected(self, solver):
         with pytest.raises(ValueError):
             solver(np.ones((2, 2)), np.ones((2, 3), dtype=bool))
 
-    @pytest.mark.parametrize("solver", [solve_lexicographic_dense, solve_lexicographic_mcmf])
+    @pytest.mark.parametrize("solver", [solve_lexicographic_dense, solve_lexicographic_mcmf, solve_lexicographic_substrate])
     def test_cardinality_beats_cost(self, solver):
         """A huge-cost pair must still be taken if it raises cardinality."""
         cost = np.array([
@@ -82,7 +86,7 @@ class TestSolversExact:
         # Max cardinality is 2: worker1->task0 forces worker0->task1 (cost 1000).
         assert sorted(pairs) == [(0, 1), (1, 0)]
 
-    @pytest.mark.parametrize("solver", [solve_lexicographic_dense, solve_lexicographic_mcmf])
+    @pytest.mark.parametrize("solver", [solve_lexicographic_dense, solve_lexicographic_mcmf, solve_lexicographic_substrate])
     def test_min_cost_among_max_matchings(self, solver):
         cost = np.array([
             [1.0, 9.0],
@@ -106,7 +110,11 @@ class TestSolversExact:
         ])
         expected_size, expected_cost = brute_force(cost, feasible)
         expected_size = max(expected_size, 0)
-        for solver in (solve_lexicographic_dense, solve_lexicographic_mcmf):
+        for solver in (
+            solve_lexicographic_dense,
+            solve_lexicographic_mcmf,
+            solve_lexicographic_substrate,
+        ):
             pairs = solver(cost, feasible)
             check_solution(pairs, cost, feasible, expected_size, expected_cost)
 
@@ -118,10 +126,13 @@ class TestSolversExact:
         feasible = rng.random((n_workers, n_tasks)) < 0.6
         pairs_dense = solve_lexicographic_dense(cost, feasible)
         pairs_mcmf = solve_lexicographic_mcmf(cost, feasible)
-        assert len(pairs_dense) == len(pairs_mcmf)
+        pairs_substrate = solve_lexicographic_substrate(cost, feasible)
+        assert len(pairs_dense) == len(pairs_mcmf) == len(pairs_substrate)
         cost_dense = sum(cost[w, t] for w, t in pairs_dense)
         cost_mcmf = sum(cost[w, t] for w, t in pairs_mcmf)
+        cost_substrate = sum(cost[w, t] for w, t in pairs_substrate)
         assert cost_dense == pytest.approx(cost_mcmf, abs=1e-6)
+        assert cost_dense == pytest.approx(cost_substrate, abs=1e-6)
 
 
 class TestDispatch:
@@ -136,3 +147,21 @@ class TestDispatch:
         small = solve_lexicographic(cost, feasible, engine="auto", dense_threshold=100)
         large = solve_lexicographic(cost, feasible, engine="auto", dense_threshold=1)
         assert sorted(small) == sorted(large)
+
+    def test_explicit_engines_agree(self):
+        rng = np.random.default_rng(3)
+        cost = rng.random((6, 7))
+        feasible = rng.random((6, 7)) < 0.7
+        results = {
+            engine: sorted(solve_lexicographic(cost, feasible, engine=engine))
+            for engine in ("mcmf", "substrate", "dense", "hungarian")
+        }
+        sizes = {len(pairs) for pairs in results.values()}
+        assert len(sizes) == 1
+        totals = {
+            engine: sum(cost[w, t] for w, t in pairs)
+            for engine, pairs in results.items()
+        }
+        reference = totals["mcmf"]
+        for engine, total in totals.items():
+            assert total == pytest.approx(reference, abs=1e-9), engine

@@ -154,3 +154,96 @@ class TestMinCostMaxFlow:
     def test_source_equals_sink_rejected(self):
         with pytest.raises(FlowError):
             MinCostMaxFlow(classic_network()).solve(2, 2)
+
+
+class TestArraySubstrate:
+    """The flat-CSR network API added by the array rewrite."""
+
+    def test_add_edges_bulk_matches_scalar(self):
+        bulk = FlowNetwork(5)
+        ids = bulk.add_edges(
+            np.array([0, 1, 2]), np.array([1, 2, 4]),
+            np.array([3, 2, 1]), np.array([1.0, 2.0, 3.0]),
+        )
+        scalar = FlowNetwork(5)
+        expected = [
+            scalar.add_edge(0, 1, 3, 1.0),
+            scalar.add_edge(1, 2, 2, 2.0),
+            scalar.add_edge(2, 4, 1, 3.0),
+        ]
+        assert ids.tolist() == expected
+        assert bulk.edge_to.tolist() == scalar.edge_to.tolist()
+        assert bulk.edge_cap.tolist() == scalar.edge_cap.tolist()
+        assert bulk.edge_cost.tolist() == scalar.edge_cost.tolist()
+
+    def test_add_edges_validation(self):
+        network = FlowNetwork(3)
+        with pytest.raises(FlowError):
+            network.add_edges(np.array([0]), np.array([0]), np.array([1]))
+        with pytest.raises(FlowError):
+            network.add_edges(np.array([0]), np.array([9]), np.array([1]))
+        with pytest.raises(FlowError):
+            network.add_edges(np.array([0]), np.array([1]), np.array([-2]))
+        with pytest.raises(FlowError):
+            network.add_edges(np.array([0, 1]), np.array([1]), np.array([1]))
+
+    def test_csr_insertion_order_per_node(self):
+        network = FlowNetwork(4)
+        first = network.add_edge(0, 1, 1)
+        second = network.add_edge(0, 2, 1)
+        third = network.add_edge(0, 3, 1)
+        indptr, csr_edges = network.csr()
+        assert csr_edges[indptr[0] : indptr[1]].tolist() == [first, second, third]
+        # Adding edges invalidates and rebuilds the CSR lazily.
+        fourth = network.add_edge(0, 1, 2)
+        indptr, csr_edges = network.csr()
+        assert csr_edges[indptr[0] : indptr[1]].tolist() == [first, second, third, fourth]
+
+    def test_adjacency_compatibility_view(self):
+        network = FlowNetwork(3)
+        edge = network.add_edge(0, 1, 1)
+        other = network.add_edge(1, 2, 1)
+        adjacency = network.adjacency
+        assert adjacency[0] == [edge]
+        assert adjacency[1] == [edge ^ 1, other]
+        assert adjacency[2] == [other ^ 1]
+
+    def test_edge_tail_mirrors_edge_to(self):
+        network = FlowNetwork(3)
+        edge = network.add_edge(0, 2, 1)
+        assert network.edge_tail[edge] == 0
+        assert network.edge_to[edge] == 2
+        assert network.edge_tail[edge ^ 1] == 2
+        assert network.edge_to[edge ^ 1] == 0
+
+    def test_flows_vectorized(self):
+        network = FlowNetwork(4)
+        ids = network.add_edges(
+            np.array([0, 0]), np.array([1, 2]), np.array([2, 2])
+        )
+        network.push(int(ids[0]), 2)
+        assert network.flows(ids).tolist() == [2, 0]
+        with pytest.raises(FlowError):
+            network.flows(ids + 1)
+
+    def test_push_negative_amount_rejected(self):
+        network = FlowNetwork(2)
+        edge = network.add_edge(0, 1, 5)
+        with pytest.raises(FlowError):
+            network.push(edge, -1)
+
+    def test_capacity_doubling_preserves_edges(self):
+        network = FlowNetwork(3)
+        ids = [network.add_edge(0, 1, i + 1) for i in range(50)]
+        assert network.num_edges == 50
+        assert [network.residual(e) for e in ids] == list(range(1, 51))
+
+    def test_fractional_capacity_rejected(self):
+        network = FlowNetwork(3)
+        with pytest.raises(FlowError):
+            network.add_edge(0, 1, 1.9)
+        with pytest.raises(FlowError):
+            network.add_edges(np.array([0]), np.array([2]), np.array([0.5]))
+        # Integral floats are accepted and stored exactly.
+        edge = network.add_edge(0, 1, 2.0)
+        assert network.residual(edge) == 2
