@@ -1,0 +1,139 @@
+"""Substrate bench: streaming runtime throughput and round-latency tails.
+
+Drives :class:`~repro.stream.StreamRuntime` over synthetic Poisson streams
+at 10x and 100x the paper's per-day arrival volumes and reports events/sec
+plus p50/p99 round latency for each trigger policy (count, time window,
+hybrid, latency-adaptive).  A cross-check against the batched
+:class:`~repro.framework.OnlineSimulator` pins the equivalence configuration
+at bench scale.
+
+``REPRO_BENCH_SCALE`` scales the stream volumes like the other benches
+(default 0.15; CI smoke runs 0.05; 1.0 is the full 10-100x grid).
+"""
+
+import os
+
+import pytest
+
+from repro.assignment import MTAAssigner, NearestNeighborAssigner
+from repro.framework import OnlineSimulator, WorkerArrival
+from repro.stream import (
+    AdaptiveTrigger,
+    CountTrigger,
+    HybridTrigger,
+    StreamRuntime,
+    TimeWindowTrigger,
+    log_from_arrivals,
+    synthetic_stream,
+)
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+
+#: The paper's days peak around 2.5k tasks / 2k workers; one "rate unit"
+#: here is that volume per simulated day, multiplied by the rate factor.
+PAPER_DAY_WORKERS = 2000
+PAPER_DAY_TASKS = 2500
+
+
+def make_stream(rate_factor: int, seed: int = 17):
+    num_workers = max(int(PAPER_DAY_WORKERS * rate_factor * BENCH_SCALE), 50)
+    num_tasks = max(int(PAPER_DAY_TASKS * rate_factor * BENCH_SCALE), 50)
+    return synthetic_stream(
+        num_workers=num_workers,
+        num_tasks=num_tasks,
+        duration_hours=24.0,
+        area_km=60.0,
+        valid_hours=4.0,
+        reachable_km=20.0,
+        churn_fraction=0.05,
+        cancel_fraction=0.02,
+        seed=seed,
+    )
+
+
+TRIGGERS = {
+    "count": lambda: CountTrigger(64),
+    "window": lambda: TimeWindowTrigger(0.5),
+    "hybrid": lambda: HybridTrigger(64, 0.5),
+    "adaptive": lambda: AdaptiveTrigger(
+        target_seconds=0.05, initial_window_hours=0.5, min_window_hours=0.05,
+        max_window_hours=4.0,
+    ),
+}
+
+
+@pytest.mark.parametrize("rate_factor", [10, 100])
+@pytest.mark.parametrize("policy", sorted(TRIGGERS))
+def test_stream_trigger_policies(benchmark, policy, rate_factor):
+    base, log = make_stream(rate_factor)
+    runtime = StreamRuntime(
+        NearestNeighborAssigner(), None, TRIGGERS[policy](), base, log,
+        patience_hours=6.0,
+    )
+    result = benchmark.pedantic(runtime.run, rounds=1, iterations=1)
+    summary = result.summary()
+    print(
+        f"\n{policy:>8} @ {rate_factor:>3}x: {summary.rounds} rounds, "
+        f"{summary.assigned} assigned, {summary.events_per_second:,.0f} events/s, "
+        f"round latency p50 {summary.round_latency_p50 * 1e3:.2f} ms / "
+        f"p99 {summary.round_latency_p99 * 1e3:.2f} ms, "
+        f"task wait p50 {summary.task_wait_p50:.2f} h"
+    )
+    assert summary.assigned > 0
+    # Every admission event precedes the default end time (the latest task
+    # deadline), so all of them must have been drained; only expiry/churn
+    # events landing exactly on or after the end may remain unconsumed.
+    admissions = sum(1 for event in log if event.phase <= 1)
+    assert summary.events_drained >= admissions
+
+
+@pytest.mark.parametrize("rate_factor", [10])
+def test_stream_flow_assigner(benchmark, rate_factor):
+    """The MTA (flow-based) assigner under hybrid micro-batching."""
+    base, log = make_stream(rate_factor)
+    runtime = StreamRuntime(
+        MTAAssigner(), None, HybridTrigger(64, 0.5), base, log,
+        patience_hours=6.0,
+    )
+    result = benchmark.pedantic(runtime.run, rounds=1, iterations=1)
+    summary = result.summary()
+    print(
+        f"\nMTA hybrid @ {rate_factor}x: {summary.rounds} rounds, "
+        f"{summary.assigned} assigned, {summary.events_per_second:,.0f} events/s, "
+        f"p99 round {summary.round_latency_p99 * 1e3:.2f} ms"
+    )
+    assert summary.assigned > 0
+
+
+def test_stream_matches_online_simulator(benchmark):
+    """Equivalence configuration at bench scale: same pairs, same rounds."""
+    base, log = make_stream(10, seed=23)
+    arrivals = [
+        WorkerArrival(worker=event.worker, arrival_time=event.time)
+        for event in log
+        if type(event).__name__ == "WorkerArrivalEvent"
+    ]
+    tasks = [
+        event.task for event in log if type(event).__name__ == "TaskPublishEvent"
+    ]
+    instance = base.with_tasks(tasks)
+    online = OnlineSimulator(NearestNeighborAssigner(), None, batch_hours=1.0).run(
+        instance, arrivals
+    )
+    runtime = StreamRuntime(
+        NearestNeighborAssigner(), None, TimeWindowTrigger(1.0), base,
+        log_from_arrivals(arrivals, tasks),
+    )
+    result = benchmark.pedantic(runtime.run, rounds=1, iterations=1)
+    stream_pairs = sorted(
+        (p.worker.worker_id, p.task.task_id) for p in result.assignment.pairs
+    )
+    online_pairs = sorted(
+        (p.worker.worker_id, p.task.task_id) for p in online.assignment.pairs
+    )
+    print(
+        f"\nequivalence: {len(stream_pairs)} pairs, "
+        f"{len(result.rounds)} rounds (online {len(online.steps)})"
+    )
+    assert stream_pairs == online_pairs
+    assert [s.assigned for s in online.steps] == [r.assigned for r in result.rounds]

@@ -91,3 +91,46 @@ def test_rpo_agrees_with_monte_carlo(benchmark):
     errors = np.abs(rrr - mc)[1:]  # skip the self entry
     print(f"\nmax |RRR - MC| over targets: {errors.max():.4f}")
     assert errors.max() < 0.06
+
+
+def test_stamp_array_no_regression(benchmark):
+    """The preallocated stamp-bitmap visited set vs the sorted-merge
+    fallback: identical output (bit-for-bit, same RNG consumption) and no
+    performance regression on a dense burst."""
+    import time
+
+    import repro.propagation.rrr as rrr_module
+
+    graph = make_graph(800)
+
+    def sample(seed=0):
+        return sample_rrr_sets_batched(graph, 5000, np.random.default_rng(seed))
+
+    stamp_result = benchmark.pedantic(sample, rounds=1, iterations=1)
+
+    def best_of(repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = sample()
+            best = min(best, time.perf_counter() - started)
+        return result, best
+
+    _, stamp_seconds = best_of()
+    saved_limit = rrr_module.STAMP_ARRAY_LIMIT
+    rrr_module.STAMP_ARRAY_LIMIT = 0
+    try:
+        merge_result, merge_seconds = best_of()
+    finally:
+        rrr_module.STAMP_ARRAY_LIMIT = saved_limit
+
+    for stamp_array, merge_array in zip(stamp_result, merge_result):
+        np.testing.assert_array_equal(stamp_array, merge_array)
+    print(
+        f"\nstamp {stamp_seconds * 1e3:.1f} ms vs sorted-merge "
+        f"{merge_seconds * 1e3:.1f} ms ({merge_seconds / stamp_seconds:.2f}x)"
+    )
+    # Best-of-3 timings plus a generous margin keep this meaningful as a
+    # tripwire against catastrophic regressions without flaking on noisy
+    # shared CI runners (the real speedup is modest, ~1.1x on dense bursts).
+    assert stamp_seconds <= merge_seconds * 2.0

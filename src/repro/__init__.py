@@ -56,6 +56,14 @@ from repro.framework import (
     Simulator,
     evaluate_assignment,
 )
+from repro.stream import (
+    AdaptiveTrigger,
+    CountTrigger,
+    EventLog,
+    HybridTrigger,
+    StreamRuntime,
+    TimeWindowTrigger,
+)
 
 __version__ = "1.0.0"
 
@@ -77,4 +85,7 @@ __all__ = [
     # framework
     "DITAPipeline", "PipelineConfig", "PaperDefaults", "Simulator",
     "MetricsResult", "evaluate_assignment",
+    # streaming runtime
+    "StreamRuntime", "EventLog", "CountTrigger", "TimeWindowTrigger",
+    "HybridTrigger", "AdaptiveTrigger",
 ]

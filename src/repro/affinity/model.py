@@ -40,7 +40,13 @@ class AffinityModel:
     def __init__(self, num_topics: int = 50, lda: LDAModel | None = None, seed: int = 0) -> None:
         self.num_topics = num_topics
         self.lda = lda if lda is not None else VariationalLDA(num_topics=num_topics, seed=seed)
-        self._worker_topics: dict[int, np.ndarray] = {}
+        # Dense (num fitted workers x topics) proportions, row-aligned with
+        # the sorted worker ids — the same ordering SocialGraph assigns its
+        # dense indices, so consumers can gather rows instead of re-stacking
+        # per-worker vectors.
+        self._theta_matrix: np.ndarray | None = None
+        self._row_of: dict[int, int] = {}
+        self._unknown_topics: dict[int, np.ndarray] = {}
         self._task_topic_cache: dict[tuple[str, ...], np.ndarray] = {}
         self._fitted = False
 
@@ -56,8 +62,9 @@ class AffinityModel:
             raise NotFittedError("every worker history is empty; cannot train LDA")
         self.lda.fit(documents)
         assert self.lda.doc_topic_ is not None
-        for row, worker_id in enumerate(worker_ids):
-            self._worker_topics[worker_id] = self.lda.doc_topic_[row]
+        self._theta_matrix = np.asarray(self.lda.doc_topic_, dtype=float)
+        self._row_of = {worker_id: row for row, worker_id in enumerate(worker_ids)}
+        self._unknown_topics.clear()
         self._fitted = True
         return self
 
@@ -73,10 +80,35 @@ class AffinityModel:
     def worker_topics(self, worker_id: int) -> np.ndarray:
         """Topic proportions of a worker (uniform for unknown workers)."""
         self._require_fitted()
-        theta = self._worker_topics.get(worker_id)
+        assert self._theta_matrix is not None
+        row = self._row_of.get(worker_id)
+        if row is not None:
+            return self._theta_matrix[row]
+        theta = self._unknown_topics.get(worker_id)
         if theta is None:
             theta = np.full(self.effective_topics, 1.0 / self.effective_topics)
-            self._worker_topics[worker_id] = theta
+            self._unknown_topics[worker_id] = theta
+        return theta
+
+    def topic_matrix(self, worker_ids: Sequence[int]) -> np.ndarray:
+        """Dense topic proportions for ``worker_ids``, one gathered row each.
+
+        Equivalent to stacking :meth:`worker_topics` per id, but fitted
+        workers come out of the dense fit-time matrix in one fancy-indexing
+        gather; only unknown workers (uniform prior) are patched in
+        afterwards.
+        """
+        self._require_fitted()
+        assert self._theta_matrix is not None
+        rows = np.fromiter(
+            (self._row_of.get(worker_id, -1) for worker_id in worker_ids),
+            dtype=np.int64,
+            count=len(worker_ids),
+        )
+        theta = self._theta_matrix[rows]  # row -1 is a placeholder, fixed below
+        unknown = np.flatnonzero(rows < 0)
+        if unknown.size:
+            theta[unknown] = 1.0 / self.effective_topics
         return theta
 
     def task_topics(self, categories: Sequence[str]) -> np.ndarray:
@@ -96,10 +128,15 @@ class AffinityModel:
         return float(theta_w @ theta_s)
 
     def affinity_matrix(self, worker_ids: Sequence[int], tasks: Sequence[Task]) -> np.ndarray:
-        """Return the ``len(worker_ids) x len(tasks)`` affinity matrix."""
+        """Return the ``len(worker_ids) x len(tasks)`` affinity matrix.
+
+        The worker side is one dense gather from the fit-time topic matrix
+        (:meth:`topic_matrix`) — no per-worker Python stacking — and is
+        bit-identical to the historical per-vector path.
+        """
         self._require_fitted()
         if not worker_ids or not tasks:
             return np.zeros((len(worker_ids), len(tasks)))
-        theta_w = np.stack([self.worker_topics(w) for w in worker_ids])
+        theta_w = self.topic_matrix(worker_ids)
         theta_s = np.stack([self.task_topics(t.categories) for t in tasks])
         return theta_w @ theta_s.T

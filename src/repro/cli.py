@@ -13,6 +13,10 @@ Commands
     the per-figure series; optionally save JSON/CSV.
 ``seeds``
     Greedy influence-maximization seed selection over the social network.
+``stream``
+    Play one day as an event stream through the micro-batched
+    :class:`~repro.stream.StreamRuntime` and print latency/throughput
+    metrics; supports checkpointing and resuming runs.
 
 Every command accepts ``--world bk|fs --scale S --seed N`` to pick the
 synthetic world, or ``--snap-dir DIR`` to read SNAP-format files instead.
@@ -34,6 +38,30 @@ from repro.data import (
     load_dataset_from_snap,
 )
 from repro.framework.config import PipelineConfig
+
+
+#: Assignment algorithms offered by ``assign`` and ``stream``.
+ASSIGNER_NAMES = ("MTA", "IA", "EIA", "DIA", "MI", "NN")
+
+
+def _assigner_registry() -> dict[str, type]:
+    from repro.assignment import (
+        DIAAssigner,
+        EIAAssigner,
+        IAAssigner,
+        MIAssigner,
+        MTAAssigner,
+        NearestNeighborAssigner,
+    )
+
+    return {
+        "MTA": MTAAssigner,
+        "IA": IAAssigner,
+        "EIA": EIAAssigner,
+        "DIA": DIAAssigner,
+        "MI": MIAssigner,
+        "NN": NearestNeighborAssigner,
+    }
 
 
 def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
@@ -119,25 +147,9 @@ def cmd_generate_data(args: argparse.Namespace) -> int:
 
 
 def cmd_assign(args: argparse.Namespace) -> int:
-    from repro.assignment import (
-        DIAAssigner,
-        EIAAssigner,
-        IAAssigner,
-        MIAssigner,
-        MTAAssigner,
-        NearestNeighborAssigner,
-        PreparedInstance,
-    )
-    from repro.framework import DITAPipeline, Simulator
+    from repro.framework import Simulator
 
-    known = {
-        "MTA": MTAAssigner,
-        "IA": IAAssigner,
-        "EIA": EIAAssigner,
-        "DIA": DIAAssigner,
-        "MI": MIAssigner,
-        "NN": NearestNeighborAssigner,
-    }
+    known = _assigner_registry()
     names = args.algorithms or ["MTA", "IA", "EIA", "DIA", "MI"]
     unknown = [n for n in names if n not in known]
     if unknown:
@@ -250,6 +262,78 @@ def cmd_seeds(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    from repro.stream import (
+        AdaptiveTrigger,
+        CountTrigger,
+        HybridTrigger,
+        StreamRuntime,
+        TimeWindowTrigger,
+        day_stream,
+    )
+
+    assigner = _assigner_registry()[args.algorithm]()
+
+    dataset = _dataset_from(args)
+    builder = InstanceBuilder(dataset)
+    day = args.day if args.day is not None else builder.richest_days(count=1)[0]
+    instance, log = day_stream(
+        dataset, day, valid_hours=args.valid_hours, reachable_km=args.radius
+    )
+    print(f"{instance.name}: {len(log)} events "
+          f"({sum(1 for e in log if e.phase == 0)} arrivals, "
+          f"{len(instance.tasks)} tasks)")
+
+    influence = None
+    if not args.no_influence:
+        from repro.framework import DITAPipeline
+
+        influence = DITAPipeline(_pipeline_config(args)).fit(instance).influence_model()
+
+    if args.trigger == "count":
+        trigger = CountTrigger(args.batch_count)
+    elif args.trigger == "window":
+        trigger = TimeWindowTrigger(args.window_hours)
+    elif args.trigger == "hybrid":
+        trigger = HybridTrigger(args.batch_count, args.window_hours)
+    else:
+        trigger = AdaptiveTrigger(
+            target_seconds=args.latency_budget,
+            initial_window_hours=args.window_hours,
+        )
+
+    if args.resume is not None:
+        runtime = StreamRuntime.resume(
+            args.resume, assigner, influence, trigger, instance, log,
+            patience_hours=args.patience_hours,
+        )
+        print(f"resumed from {args.resume} at round {len(runtime.result.rounds)}")
+    else:
+        runtime = StreamRuntime(
+            assigner, influence, trigger, instance, log,
+            patience_hours=args.patience_hours,
+        )
+    result = runtime.run(max_rounds=args.max_rounds)
+
+    active = [r for r in result.rounds if r.assigned or r.drained_events]
+    shown = active[-args.show_rounds:] if args.show_rounds > 0 else []
+    if shown:
+        print(f"\n{'t':>7s} {'online':>7s} {'open':>6s} {'drained':>8s} "
+              f"{'assigned':>9s} {'expired':>8s} {'churned':>8s}")
+    for record in shown:
+        print(f"{record.time:7.2f} {record.online_workers:7d} "
+              f"{record.open_tasks:6d} {record.drained_events:8d} "
+              f"{record.assigned:9d} {record.expired_tasks:8d} "
+              f"{record.churned_workers:8d}")
+    print(f"\n{result.summary().as_text()}")
+    if not runtime.done:
+        print(f"\nstopped after {args.max_rounds} rounds (stream not exhausted)")
+    if args.checkpoint is not None:
+        saved = runtime.checkpoint(args.checkpoint)
+        print(f"checkpoint: {saved}")
+    return 0
+
+
 # -------------------------------------------------------------------- parser
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -316,6 +400,39 @@ def build_parser() -> argparse.ArgumentParser:
     seeds.add_argument("--k", type=int, default=10, help="number of seeds")
     seeds.add_argument("--rrr-sets", type=int, default=50_000)
     seeds.set_defaults(handler=cmd_seeds)
+
+    stream = subparsers.add_parser(
+        "stream", help="event-driven streaming run over one day"
+    )
+    _add_world_arguments(stream)
+    _add_pipeline_arguments(stream)
+    stream.add_argument("--day", type=int, default=None,
+                        help="zero-based day (default: richest)")
+    stream.add_argument("--valid-hours", type=float, default=5.0)
+    stream.add_argument("--radius", type=float, default=25.0)
+    stream.add_argument("--algorithm", choices=ASSIGNER_NAMES, default="IA")
+    stream.add_argument("--no-influence", action="store_true",
+                        help="skip fitting the influence model")
+    stream.add_argument("--trigger",
+                        choices=("count", "window", "hybrid", "adaptive"),
+                        default="window", help="micro-batch policy")
+    stream.add_argument("--batch-count", type=int, default=25,
+                        help="admissions per round (count/hybrid triggers)")
+    stream.add_argument("--window-hours", type=float, default=1.0,
+                        help="round spacing in sim hours (window/hybrid/adaptive)")
+    stream.add_argument("--latency-budget", type=float, default=0.25,
+                        help="adaptive trigger's per-round latency target (s)")
+    stream.add_argument("--patience-hours", type=float, default=None,
+                        help="churn unassigned workers after this many hours")
+    stream.add_argument("--max-rounds", type=int, default=None,
+                        help="stop after this many rounds (resumable)")
+    stream.add_argument("--show-rounds", type=int, default=12,
+                        help="how many active rounds to print")
+    stream.add_argument("--checkpoint", type=Path, default=None,
+                        help="save runtime state here after the run")
+    stream.add_argument("--resume", type=Path, default=None,
+                        help="resume from a checkpoint saved with --checkpoint")
+    stream.set_defaults(handler=cmd_stream)
 
     return parser
 

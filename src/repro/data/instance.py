@@ -135,16 +135,26 @@ class InstanceBuilder:
         self.valid_hours = valid_hours
         self.reachable_km = reachable_km
         self.speed_kmh = speed_kmh
+        # Searchsorted day index (built lazily, once): per-user and per-venue
+        # chronological arrays so that each build_day answers "everything
+        # strictly before cutoff" with one binary search per user/venue
+        # instead of re-scanning the full check-in list.
+        self._user_times: dict[int, np.ndarray] | None = None
+        self._user_performed: dict[int, list[PerformedTask]] = {}
+        self._venue_times: dict[int, np.ndarray] = {}
+        self._venue_visitors: dict[int, np.ndarray] = {}
 
     # -------------------------------------------------------------- internals
-    def _histories_before(self, cutoff_hours: float) -> dict[int, TaskHistory]:
-        """Task-performing records from check-ins strictly before ``cutoff``."""
-        histories: dict[int, TaskHistory] = {}
-        per_user: dict[int, list[PerformedTask]] = {}
-        for checkin in self.dataset.checkins:
-            if checkin.time >= cutoff_hours:
-                break  # checkins are time-sorted
-            per_user.setdefault(checkin.user_id, []).append(
+    def _ensure_day_index(self) -> None:
+        """Build the per-user/per-venue chronological index (idempotent)."""
+        if self._user_times is not None:
+            return
+        per_user_times: dict[int, list[float]] = {}
+        per_venue_times: dict[int, list[float]] = {}
+        per_venue_users: dict[int, list[int]] = {}
+        for checkin in self.dataset.checkins:  # time-sorted by contract
+            per_user_times.setdefault(checkin.user_id, []).append(checkin.time)
+            self._user_performed.setdefault(checkin.user_id, []).append(
                 PerformedTask(
                     location=checkin.location,
                     arrival_time=checkin.time,
@@ -153,20 +163,57 @@ class InstanceBuilder:
                     venue_id=checkin.venue_id,
                 )
             )
+            per_venue_times.setdefault(checkin.venue_id, []).append(checkin.time)
+            per_venue_users.setdefault(checkin.venue_id, []).append(checkin.user_id)
+        self._user_times = {
+            user_id: np.asarray(times) for user_id, times in per_user_times.items()
+        }
+        self._venue_times = {
+            venue_id: np.asarray(times) for venue_id, times in per_venue_times.items()
+        }
+        self._venue_visitors = {
+            venue_id: np.asarray(users, dtype=np.int64)
+            for venue_id, users in per_venue_users.items()
+        }
+
+    def _histories_before(self, cutoff_hours: float) -> dict[int, TaskHistory]:
+        """Task-performing records from check-ins strictly before ``cutoff``.
+
+        One ``searchsorted`` per user against their chronological check-in
+        times; the shared :class:`~repro.entities.PerformedTask` objects are
+        frozen, so the per-cutoff histories can alias prefixes of one
+        immutable timeline.
+        """
+        self._ensure_day_index()
+        assert self._user_times is not None
+        histories: dict[int, TaskHistory] = {}
         for user_id in self.dataset.user_ids:
-            histories[user_id] = TaskHistory(
-                worker_id=user_id, performed=per_user.get(user_id, [])
-            )
+            times = self._user_times.get(user_id)
+            if times is None:
+                performed: list[PerformedTask] = []
+            else:
+                prefix = int(np.searchsorted(times, cutoff_hours, side="left"))
+                performed = self._user_performed[user_id][:prefix]
+            histories[user_id] = TaskHistory(worker_id=user_id, performed=performed)
         return histories
 
     def _venue_visits_before(self, cutoff_hours: float) -> dict[int, dict[int, int]]:
-        """Historical per-venue visit counts for location entropy."""
+        """Historical per-venue visit counts for location entropy.
+
+        Per venue: binary-search the cutoff, then one ``np.unique`` over the
+        visitor prefix — no pass over the raw check-in list.
+        """
+        self._ensure_day_index()
         visits: dict[int, dict[int, int]] = {}
-        for checkin in self.dataset.checkins:
-            if checkin.time >= cutoff_hours:
-                break
-            per_user = visits.setdefault(checkin.venue_id, {})
-            per_user[checkin.user_id] = per_user.get(checkin.user_id, 0) + 1
+        for venue_id, times in self._venue_times.items():
+            prefix = int(np.searchsorted(times, cutoff_hours, side="left"))
+            if not prefix:
+                continue
+            users, counts = np.unique(self._venue_visitors[venue_id][:prefix],
+                                      return_counts=True)
+            visits[venue_id] = {
+                int(user): int(count) for user, count in zip(users, counts)
+            }
         return visits
 
     # ----------------------------------------------------------------- public
@@ -177,14 +224,19 @@ class InstanceBuilder:
 
         This is the same rule :meth:`build_day` applies when placing the
         day's workers, exposed so other schedulers (e.g. the online
-        batched-arrival loop) locate workers consistently.
+        batched-arrival loop and the streaming runtime) locate workers
+        consistently.
         """
-        best: Point | None = None
-        for checkin in self.dataset.checkins_by_user(user_id):
-            if checkin.time >= time_hours:
-                break
-            best = checkin.location
-        return best
+        self._ensure_day_index()
+        assert self._user_times is not None
+        times = self._user_times.get(user_id)
+        if times is None:
+            return None
+        prefix = int(np.searchsorted(times, time_hours, side="left"))
+        if prefix == 0:
+            return None
+        return self._user_performed[user_id][prefix - 1].location
+
     def build_day(
         self,
         day: int,

@@ -17,6 +17,17 @@ influence/distance rows and per-task columns keyed by identity, so each
 batch round only computes the rectangles introduced by newly arrived
 workers and newly published tasks instead of rebuilding the prepared
 instance from scratch.
+
+.. note::
+   The event-driven :class:`~repro.stream.StreamRuntime` is a strict
+   superset of this simulator: configured with a
+   :class:`~repro.stream.TimeWindowTrigger` over a
+   :func:`~repro.stream.log_from_arrivals` event log it reproduces
+   :meth:`OnlineSimulator.run` bit-identically (a regression-tested golden
+   cross-check), and adds count/hybrid/latency-adaptive micro-batching,
+   churn and cancellation events, a live spatial task index, wait/latency
+   metrics, and checkpoint/replay.  This module remains the compact
+   reference implementation the streaming runtime is pinned against.
 """
 
 from __future__ import annotations

@@ -46,6 +46,26 @@ class GridIndex(Generic[T]):
         for point, item in pairs:
             self.insert(point, item)
 
+    def remove(self, point: Point, item: T) -> None:
+        """Remove one ``(point, item)`` pair inserted earlier.
+
+        Live indexes (e.g. the streaming runtime's open-task index) retire
+        entries as tasks are assigned, expire, or are cancelled.  Raises
+        :class:`KeyError` if the pair is not present, so callers notice
+        bookkeeping bugs instead of silently diverging from their pools.
+        """
+        key = self._key(point)
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            for position, (stored_point, stored_item) in enumerate(bucket):
+                if stored_item == item and stored_point == point:
+                    bucket.pop(position)
+                    if not bucket:
+                        del self._buckets[key]
+                    self._count -= 1
+                    return
+        raise KeyError(f"({point}, {item!r}) is not in the index")
+
     def __len__(self) -> int:
         return self._count
 

@@ -297,6 +297,12 @@ class RRRCollection:
         return scale * (self.membership_matrix() @ per_set)
 
 
+#: Largest ``processes x nodes`` key space served by the O(1)-lookup stamp
+#: bitmap (64M cells = 64 MB of bool); beyond it the sorted-merge path keeps
+#: memory proportional to the visited set instead.
+STAMP_ARRAY_LIMIT = 1 << 26
+
+
 def batched_cascade(
     indptr: np.ndarray,
     flat: np.ndarray,
@@ -312,8 +318,16 @@ def batched_cascade(
     frontier node's slice fires independently with its ``arc_probs`` entry.
     Per level, the arc slices of *all* frontiers are concatenated, their
     Bernoulli outcomes drawn in one vectorized pass, and the surviving
-    ``(process, node)`` pairs deduped against the visited universe with
-    sorted-key index algebra — no per-process Python loop anywhere.
+    ``(process, node)`` pairs deduped against the visited universe — no
+    per-process Python loop anywhere.
+
+    Visited-set maintenance is a preallocated process-major stamp bitmap
+    (one flag per ``process * num_nodes + node`` key, reused across levels):
+    membership tests are O(level size) gathers and nothing is merged until a
+    single final sort.  When the key space exceeds
+    :data:`STAMP_ARRAY_LIMIT` cells, the engine falls back to the sorted
+    merge (``np.insert`` + ``searchsorted``) whose memory tracks the visited
+    set; both paths are bit-identical, including every RNG draw.
 
     The same engine serves reverse-reachability sampling (in-adjacency) and
     forward IC simulation (out-adjacency).  Returns ``(result_indptr,
@@ -324,11 +338,19 @@ def batched_cascade(
     if count == 0:
         return np.zeros(1, dtype=np.int64), _EMPTY_INT
     n = num_nodes
+    use_stamp = count * n <= STAMP_ARRAY_LIMIT
 
-    # The visited universe is a sorted array of keys process_id * n + node;
-    # start nodes are visited from the start, and ascending process ids keep
-    # the initial array sorted.
-    visited = np.arange(count, dtype=np.int64) * n + start_nodes
+    # Keys are process_id * n + node; start nodes are visited from the
+    # start, and ascending process ids keep the initial array sorted.
+    start_keys = np.arange(count, dtype=np.int64) * n + start_nodes
+    if use_stamp:
+        stamp = np.zeros(count * n, dtype=bool)
+        stamp[start_keys] = True
+        visited_chunks = [start_keys]
+        visited = _EMPTY_INT  # unused on this path
+    else:
+        visited = start_keys
+        visited_chunks = []
     frontier_procs = np.arange(count, dtype=np.int64)
     frontier_nodes = start_nodes
 
@@ -348,12 +370,23 @@ def batched_cascade(
             break
         keys = np.sort(candidate_procs * n + candidate_nodes)
         keys = keys[np.concatenate(([True], keys[1:] != keys[:-1]))]
-        fresh = keys[not_in_sorted(visited, keys)]
-        if fresh.size == 0:
-            break
-        visited = merge_sorted(visited, fresh)
+        if use_stamp:
+            fresh = keys[~stamp[keys]]
+            if fresh.size == 0:
+                break
+            stamp[fresh] = True
+            visited_chunks.append(fresh)
+        else:
+            fresh = keys[not_in_sorted(visited, keys)]
+            if fresh.size == 0:
+                break
+            visited = merge_sorted(visited, fresh)
         frontier_procs = fresh // n
         frontier_nodes = fresh % n
+
+    if use_stamp:
+        # One sort at the end instead of one merge per level.
+        visited = np.sort(np.concatenate(visited_chunks))
 
     # visited is sorted process-major with ascending nodes inside each
     # process, which is exactly the flat-CSR layout with sorted slices.

@@ -1,0 +1,77 @@
+"""repro.stream — the event-driven streaming runtime.
+
+The paper's online protocol (workers online until assigned, tasks live
+until expiry) as a continuous-serving subsystem rather than a precomputed
+day loop:
+
+* :mod:`repro.stream.events` — typed arrival/publish/expiry/churn/cancel
+  events in a deterministic, replayable :class:`EventLog` (built from
+  dataset days or synthetic generators);
+* :mod:`repro.stream.scheduler` — pluggable micro-batch triggers (count,
+  time window, hybrid, latency-adaptive);
+* :mod:`repro.stream.state` — live worker/task pools with an incrementally
+  maintained spatial index, reusing the PR-1 round caches;
+* :mod:`repro.stream.metrics` — wait-time/latency percentiles, throughput,
+  expiry/churn rates;
+* :mod:`repro.stream.runtime` — :class:`StreamRuntime`, the loop tying it
+  together (bit-identical to the batched ``OnlineSimulator`` under
+  equivalent boundaries);
+* :mod:`repro.stream.checkpoint` — npz snapshot + bit-identical resume.
+"""
+
+from repro.stream.checkpoint import load_checkpoint, restore_runtime, save_checkpoint
+from repro.stream.events import (
+    EventLog,
+    StreamEvent,
+    TaskCancelEvent,
+    TaskExpiryEvent,
+    TaskPublishEvent,
+    WorkerArrivalEvent,
+    WorkerChurnEvent,
+    day_stream,
+    expiry_events,
+    log_from_arrivals,
+    synthetic_stream,
+)
+from repro.stream.metrics import RoundRecord, StreamMetrics, StreamSummary
+from repro.stream.runtime import StreamResult, StreamRuntime
+from repro.stream.scheduler import (
+    AdaptiveTrigger,
+    CountTrigger,
+    HybridTrigger,
+    TimeWindowTrigger,
+    Trigger,
+)
+from repro.stream.state import StreamState
+
+__all__ = [
+    # events
+    "StreamEvent",
+    "WorkerArrivalEvent",
+    "TaskPublishEvent",
+    "TaskCancelEvent",
+    "TaskExpiryEvent",
+    "WorkerChurnEvent",
+    "EventLog",
+    "expiry_events",
+    "log_from_arrivals",
+    "day_stream",
+    "synthetic_stream",
+    # scheduling
+    "Trigger",
+    "CountTrigger",
+    "TimeWindowTrigger",
+    "HybridTrigger",
+    "AdaptiveTrigger",
+    # state & metrics
+    "StreamState",
+    "RoundRecord",
+    "StreamMetrics",
+    "StreamSummary",
+    # runtime & checkpoints
+    "StreamRuntime",
+    "StreamResult",
+    "save_checkpoint",
+    "load_checkpoint",
+    "restore_runtime",
+]

@@ -1,0 +1,213 @@
+"""Checkpoint/replay: snapshot a :class:`StreamRuntime` to npz and resume.
+
+A checkpoint captures everything the runtime needs to continue
+*bit-identically* from where it stopped:
+
+* the **event cursor** and simulation clock — the log itself is not copied;
+  a fingerprint of its ``(time, phase, entity)`` triples is stored instead,
+  and :func:`restore_runtime` refuses to resume against a different log;
+* the **pools**, stored as indices of the arrival/publish events that
+  introduced each pooled entity (entities are rebuilt from the log, so the
+  snapshot stays numeric — no pickled objects);
+* the **accumulated result** (assignment pairs as event-index pairs, all
+  metrics arrays) so the resumed runtime's final result equals the
+  uninterrupted run's, not just its tail;
+* **trigger adaptation state** and the **RNG state** of the runtime's
+  generator, keeping adaptive policies and stochastic extensions on the
+  same trajectory.
+
+Round wall-clock timings are data (they are part of the metrics arrays) but
+never inputs to control flow in deterministic triggers, so replay equality
+holds for everything except the timings themselves.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.stream.events import EventLog, TaskPublishEvent, WorkerArrivalEvent
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.stream.runtime import StreamRuntime
+
+#: Format marker; bumped on incompatible layout changes.
+CHECKPOINT_VERSION = 1
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+def _json_default(value):
+    """Make RNG bit-generator state JSON-safe (Philox/SFC64 carry arrays)."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.integer):
+        return int(value)
+    raise TypeError(f"cannot serialize {type(value).__name__} in checkpoint meta")
+
+
+def _entity_event_indices(log: EventLog, cursor: int) -> tuple[dict, dict]:
+    """Map each arrival/publish payload (≤ cursor) to its last event index.
+
+    Workers and tasks are frozen, hashable dataclasses, so equal payloads
+    collapse onto one index — any equal event rebuilds an identical entity.
+    """
+    worker_index: dict = {}
+    task_index: dict = {}
+    for position in range(cursor):
+        event = log[position]
+        if isinstance(event, WorkerArrivalEvent):
+            worker_index[event.worker] = position
+        elif isinstance(event, TaskPublishEvent):
+            task_index[event.task] = position
+    return worker_index, task_index
+
+
+def save_checkpoint(runtime: "StreamRuntime", path: str | Path) -> Path:
+    """Write the runtime's complete state to ``path`` (npz, no pickle)."""
+    path = Path(path)
+    state = runtime.state
+    worker_events, task_events = _entity_event_indices(runtime.log, runtime.cursor)
+
+    pool_worker_ids = sorted(state.workers)
+    pool_task_ids = sorted(state.tasks)
+    try:
+        pool_worker_events = np.array(
+            [worker_events[state.workers[i]] for i in pool_worker_ids], dtype=np.int64
+        ) if pool_worker_ids else _EMPTY
+        pool_task_events = np.array(
+            [task_events[state.tasks[i]] for i in pool_task_ids], dtype=np.int64
+        ) if pool_task_ids else _EMPTY
+        pairs = runtime.result.assignment.pairs
+        assigned_worker_events = np.array(
+            [worker_events[p.worker] for p in pairs], dtype=np.int64
+        ) if pairs else _EMPTY
+        assigned_task_events = np.array(
+            [task_events[p.task] for p in pairs], dtype=np.int64
+        ) if pairs else _EMPTY
+    except KeyError as error:  # pragma: no cover - guards state/log mismatch
+        raise DataError(
+            f"runtime state references an entity absent from the log: {error}"
+        ) from error
+
+    meta = {
+        "version": CHECKPOINT_VERSION,
+        "fingerprint": runtime.log.fingerprint(),
+        "cursor": runtime.cursor,
+        "clock": runtime.clock,
+        "start_time": runtime._start_time,
+        "end_time": runtime._end_time,
+        "started": runtime._started,
+        "done": runtime._done,
+        "pending_start_round": runtime._pending_start_round,
+        "patience_hours": runtime.patience_hours,
+        "trigger": runtime.trigger.state_dict(),
+        "rng_state": (
+            runtime.rng.bit_generator.state if runtime.rng is not None else None
+        ),
+    }
+    np.savez(
+        path,
+        meta=json.dumps(meta, default=_json_default),
+        pool_worker_events=pool_worker_events,
+        pool_worker_arrived_at=np.array(
+            [state.arrived_at[i] for i in pool_worker_ids], dtype=float
+        ),
+        pool_task_events=pool_task_events,
+        pool_task_published_at=np.array(
+            [state.published_at[i] for i in pool_task_ids], dtype=float
+        ),
+        assigned_worker_events=assigned_worker_events,
+        assigned_task_events=assigned_task_events,
+        **{
+            f"metrics_{key}": np.asarray(value)
+            for key, value in runtime.result.metrics.state_dict().items()
+        },
+    )
+    # np.savez appends .npz when missing; report the real file.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_checkpoint(path: str | Path) -> dict:
+    """Read a checkpoint into a plain dict of meta + arrays."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        payload = {key: data[key] for key in data.files}
+    payload["meta"] = json.loads(str(payload["meta"]))
+    version = payload["meta"].get("version")
+    if version != CHECKPOINT_VERSION:
+        raise DataError(
+            f"unsupported checkpoint version {version!r} "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    return payload
+
+
+def restore_runtime(runtime: "StreamRuntime", path: str | Path) -> "StreamRuntime":
+    """Load ``path`` into a freshly constructed runtime (in place).
+
+    The runtime must have been built with the same log (fingerprint
+    checked) and equivalent deterministic collaborators; trigger and RNG
+    state are overwritten from the snapshot.
+    """
+    payload = load_checkpoint(path)
+    meta = payload["meta"]
+    if meta["fingerprint"] != runtime.log.fingerprint():
+        raise DataError(
+            "checkpoint was taken against a different event log "
+            "(fingerprint mismatch)"
+        )
+    if meta["patience_hours"] != runtime.patience_hours:
+        raise DataError(
+            f"checkpoint used patience_hours={meta['patience_hours']}, "
+            f"runtime was built with {runtime.patience_hours}"
+        )
+
+    state = runtime.state
+    log = runtime.log
+    for event_index, arrived in zip(
+        payload["pool_worker_events"], payload["pool_worker_arrived_at"]
+    ):
+        worker = log[int(event_index)].worker
+        state.workers[worker.worker_id] = worker
+        state.arrived_at[worker.worker_id] = float(arrived)
+    for event_index, published in zip(
+        payload["pool_task_events"], payload["pool_task_published_at"]
+    ):
+        task = log[int(event_index)].task
+        state.tasks[task.task_id] = task
+        state.published_at[task.task_id] = float(published)
+        state.task_index.insert(task.location, task.task_id)
+
+    for worker_index, task_index in zip(
+        payload["assigned_worker_events"], payload["assigned_task_events"]
+    ):
+        runtime.result.assignment.add(
+            log[int(task_index)].task, log[int(worker_index)].worker
+        )
+    runtime.result.metrics.load_state_dict(
+        {
+            "rounds": payload["metrics_rounds"],
+            "task_waits": payload["metrics_task_waits"],
+            "worker_waits": payload["metrics_worker_waits"],
+            "wall_seconds": float(payload["metrics_wall_seconds"]),
+        }
+    )
+
+    runtime._cursor = int(meta["cursor"])
+    runtime._clock = float(meta["clock"])
+    runtime._start_time = float(meta["start_time"])
+    runtime._end_time = (
+        float(meta["end_time"]) if meta["end_time"] is not None else None
+    )
+    runtime._started = bool(meta["started"])
+    runtime._done = bool(meta["done"])
+    runtime._pending_start_round = bool(meta["pending_start_round"])
+    if meta["trigger"]:
+        runtime.trigger.load_state_dict(meta["trigger"])
+    if meta["rng_state"] is not None and runtime.rng is not None:
+        runtime.rng.bit_generator.state = meta["rng_state"]
+    return runtime

@@ -1,0 +1,382 @@
+"""Typed stream events and the time-ordered :class:`EventLog`.
+
+The paper's online protocol is a *stream*: workers come online, tasks are
+published and later expire, and (beyond the paper) workers may churn out or
+tasks be cancelled.  This module gives each of those occurrences a typed
+event and merges arbitrary event sources into one deterministic, replayable
+log.
+
+Ordering
+--------
+Events sort by ``(time, phase, entity_id, seq)``.  The phase encodes the
+round semantics of :class:`~repro.framework.online.OnlineSimulator` exactly:
+
+* *admission* phases (arrival < publish < cancel) apply at a round whose
+  time ``T`` satisfies ``event.time <= T`` — a worker arriving exactly at a
+  round boundary participates in that round;
+* *deferred* phases (expiry, churn) apply only when ``event.time < T`` —
+  a task whose deadline coincides with the boundary is still assignable in
+  that round (the simulator's strict ``expiry_time < current`` check).
+
+Because the tie-break ends in the entity id, simultaneous events replay in
+the same order no matter how the sources were interleaved before the merge
+— provided no two *distinct* events share all of (time, phase, entity id).
+Such a degenerate pair (e.g. the same worker arriving twice at the same
+instant with different locations) keeps source order under the stable sort,
+so streams that need that case replayable must disambiguate timestamps
+themselves.
+
+Construction
+------------
+:meth:`EventLog.merged` heap-merges already-sorted iterables;
+:func:`day_stream` turns a :class:`~repro.data.CheckInDataset` day into the
+exact event set the batched :class:`OnlineSimulator` plays; and
+:func:`synthetic_stream` generates Poisson-style arrival/publication streams
+(with optional churn and cancellations) for load tests far beyond the
+paper's scale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from itertools import chain
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.data.dataset import CheckInDataset
+from repro.data.instance import InstanceBuilder, SCInstance
+from repro.entities import Task, Worker
+from repro.geo import Point
+
+#: Admission phases: the event applies at round time ``T`` when ``time <= T``.
+PHASE_ARRIVAL = 0
+PHASE_PUBLISH = 1
+PHASE_CANCEL = 2
+#: Deferred phases: the event applies only when ``time < T`` (strict), so a
+#: deadline exactly on a round boundary does not bind in that round.
+PHASE_EXPIRY = 3
+PHASE_CHURN = 4
+
+#: First deferred phase — the drain cutoff used by the runtime.
+DEFERRED_PHASE = PHASE_EXPIRY
+
+
+@dataclass(frozen=True, slots=True)
+class StreamEvent:
+    """Base event: a timestamp plus the ordering phase."""
+
+    time: float
+
+    phase: int = -1  # overridden per subclass
+
+    @property
+    def entity_id(self) -> int:
+        """The worker/task id the event concerns (tie-break component)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerArrivalEvent(StreamEvent):
+    """A worker comes online (re-arrival replaces the pooled worker)."""
+
+    worker: Worker = None  # type: ignore[assignment]
+    phase: int = PHASE_ARRIVAL
+
+    @property
+    def entity_id(self) -> int:
+        return self.worker.worker_id
+
+
+@dataclass(frozen=True, slots=True)
+class TaskPublishEvent(StreamEvent):
+    """A task becomes available at its publication time."""
+
+    task: Task = None  # type: ignore[assignment]
+    phase: int = PHASE_PUBLISH
+
+    @property
+    def entity_id(self) -> int:
+        return self.task.task_id
+
+
+@dataclass(frozen=True, slots=True)
+class TaskCancelEvent(StreamEvent):
+    """The requester withdraws an open task before its deadline."""
+
+    task_id: int = -1
+    phase: int = PHASE_CANCEL
+
+    @property
+    def entity_id(self) -> int:
+        return self.task_id
+
+
+@dataclass(frozen=True, slots=True)
+class TaskExpiryEvent(StreamEvent):
+    """A task's deadline passes; no-op if it was assigned or cancelled."""
+
+    task_id: int = -1
+    phase: int = PHASE_EXPIRY
+
+    @property
+    def entity_id(self) -> int:
+        return self.task_id
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerChurnEvent(StreamEvent):
+    """A worker goes offline; no-op if already assigned (or never pooled)."""
+
+    worker_id: int = -1
+    phase: int = PHASE_CHURN
+
+    @property
+    def entity_id(self) -> int:
+        return self.worker_id
+
+
+def _sort_key(event: StreamEvent) -> tuple[float, int, int]:
+    return (event.time, event.phase, event.entity_id)
+
+
+class EventLog:
+    """An immutable, time-ordered sequence of stream events.
+
+    The log is materialized (not a consuming heap) so that a cursor index is
+    a complete description of replay progress — checkpoints store the cursor
+    and resumed runs re-read the identical tail.
+    """
+
+    def __init__(self, events: Iterable[StreamEvent]) -> None:
+        staged = list(events)
+        staged.sort(key=_sort_key)
+        self._events: tuple[StreamEvent, ...] = tuple(staged)
+
+    @classmethod
+    def merged(cls, *sources: Iterable[StreamEvent]) -> "EventLog":
+        """Combine several event sources into one deterministic log.
+
+        The constructor's single ordering pass (stable sort on
+        ``(time, phase, entity_id)``) subsumes any merge, so sources need
+        no internal ordering and contribute no extra per-source cost.
+        """
+        return cls(chain(*sources))
+
+    # -------------------------------------------------------------- sequence
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __getitem__(self, index: int) -> StreamEvent:
+        return self._events[index]
+
+    def __iter__(self) -> Iterator[StreamEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> tuple[StreamEvent, ...]:
+        """The ordered events (immutable)."""
+        return self._events
+
+    # ------------------------------------------------------------ properties
+    def start_time(self) -> float | None:
+        """Earliest admission-event time (``None`` if no admissions)."""
+        times = [
+            ev.time for ev in self._events if ev.phase in (PHASE_ARRIVAL, PHASE_PUBLISH)
+        ]
+        return min(times) if times else None
+
+    def has_arrivals(self) -> bool:
+        """Whether any worker-arrival event is present."""
+        return any(ev.phase == PHASE_ARRIVAL for ev in self._events)
+
+    def last_deadline(self) -> float | None:
+        """Latest expiry-event time (the natural default end of a run)."""
+        times = [ev.time for ev in self._events if ev.phase == PHASE_EXPIRY]
+        return max(times) if times else None
+
+    def fingerprint(self) -> str:
+        """A digest of every event, payloads included.
+
+        Stored in checkpoints so a resume against a different log fails
+        fast instead of silently replaying the wrong stream — including
+        logs with identical timing but different worker/task attributes
+        (e.g. the same day rebuilt with another reachable radius).
+        """
+        digest = hashlib.sha256()
+        for event in self._events:
+            digest.update(
+                struct.pack("<dqq", event.time, event.phase, event.entity_id)
+            )
+            if isinstance(event, WorkerArrivalEvent):
+                worker = event.worker
+                digest.update(
+                    struct.pack(
+                        "<dddd",
+                        worker.location.x,
+                        worker.location.y,
+                        worker.reachable_km,
+                        worker.speed_kmh,
+                    )
+                )
+            elif isinstance(event, TaskPublishEvent):
+                task = event.task
+                digest.update(
+                    struct.pack(
+                        "<ddddq",
+                        task.location.x,
+                        task.location.y,
+                        task.publication_time,
+                        task.valid_hours,
+                        -1 if task.venue_id is None else task.venue_id,
+                    )
+                )
+                for category in task.categories:
+                    digest.update(category.encode("utf-8"))
+                    digest.update(b"\x00")
+        return digest.hexdigest()
+
+
+def expiry_events(tasks: Sequence[Task]) -> list[TaskExpiryEvent]:
+    """One deadline event per task, at ``publication_time + valid_hours``."""
+    return [TaskExpiryEvent(time=task.expiry_time, task_id=task.task_id) for task in tasks]
+
+
+def log_from_arrivals(
+    arrivals: Iterable["object"],
+    tasks: Sequence[Task],
+    extra: Iterable[StreamEvent] = (),
+) -> EventLog:
+    """Build the log the batched online simulator implicitly plays.
+
+    ``arrivals`` is a sequence of
+    :class:`~repro.framework.online.WorkerArrival` (duck-typed: anything with
+    ``worker`` and ``arrival_time``); each task contributes a publish and an
+    expiry event.  ``extra`` may add churn/cancellation events.
+    """
+    events: list[StreamEvent] = [
+        WorkerArrivalEvent(time=a.arrival_time, worker=a.worker) for a in arrivals
+    ]
+    events.extend(
+        TaskPublishEvent(time=task.publication_time, task=task) for task in tasks
+    )
+    events.extend(expiry_events(tasks))
+    events.extend(extra)
+    return EventLog(events)
+
+
+def day_stream(
+    dataset: CheckInDataset,
+    day: int,
+    valid_hours: float = 5.0,
+    reachable_km: float = 25.0,
+    speed_kmh: float = 5.0,
+) -> tuple[SCInstance, EventLog]:
+    """One dataset day as ``(base_instance, event_log)``.
+
+    The base instance supplies histories, the social network and venue
+    visits (its worker list is superseded by the arrival events), exactly as
+    :meth:`OnlineSimulator.run` consumes
+    :func:`~repro.framework.online.day_arrivals`.
+    """
+    from repro.framework.online import day_arrivals
+
+    builder = InstanceBuilder(
+        dataset, valid_hours=valid_hours, reachable_km=reachable_km, speed_kmh=speed_kmh
+    )
+    instance = builder.build_day(day)
+    arrivals = day_arrivals(
+        dataset, day, reachable_km=reachable_km, speed_kmh=speed_kmh
+    )
+    return instance, log_from_arrivals(arrivals, instance.tasks)
+
+
+def synthetic_stream(
+    num_workers: int,
+    num_tasks: int,
+    duration_hours: float = 24.0,
+    area_km: float = 50.0,
+    valid_hours: float = 5.0,
+    reachable_km: float = 25.0,
+    speed_kmh: float = 5.0,
+    churn_fraction: float = 0.0,
+    cancel_fraction: float = 0.0,
+    seed: int = 0,
+) -> tuple[SCInstance, EventLog]:
+    """A Poisson-style synthetic stream for load tests.
+
+    Workers arrive and tasks publish uniformly over ``[0, duration_hours)``
+    on an ``area_km`` square (a homogeneous Poisson process conditioned on
+    the totals).  A ``churn_fraction`` of workers goes offline after an
+    exponential online period; a ``cancel_fraction`` of tasks is withdrawn
+    halfway to its deadline.  Scaling ``num_workers``/``num_tasks`` with the
+    duration fixed raises the arrival *rate* — the bench runs 10-100x the
+    paper's per-day volumes this way.
+    """
+    if num_workers < 0 or num_tasks < 0:
+        raise ValueError("num_workers and num_tasks must be non-negative")
+    if duration_hours <= 0:
+        raise ValueError(f"duration_hours must be positive, got {duration_hours}")
+    rng = np.random.default_rng(seed)
+    events: list[StreamEvent] = []
+
+    worker_times = np.sort(rng.uniform(0.0, duration_hours, size=num_workers))
+    worker_xy = rng.uniform(0.0, area_km, size=(num_workers, 2))
+    for worker_id in range(num_workers):
+        worker = Worker(
+            worker_id=worker_id,
+            location=Point(float(worker_xy[worker_id, 0]), float(worker_xy[worker_id, 1])),
+            reachable_km=reachable_km,
+            speed_kmh=speed_kmh,
+        )
+        events.append(
+            WorkerArrivalEvent(time=float(worker_times[worker_id]), worker=worker)
+        )
+
+    task_times = np.sort(rng.uniform(0.0, duration_hours, size=num_tasks))
+    task_xy = rng.uniform(0.0, area_km, size=(num_tasks, 2))
+    tasks = [
+        Task(
+            task_id=task_id,
+            location=Point(float(task_xy[task_id, 0]), float(task_xy[task_id, 1])),
+            publication_time=float(task_times[task_id]),
+            valid_hours=valid_hours,
+        )
+        for task_id in range(num_tasks)
+    ]
+    events.extend(TaskPublishEvent(time=t.publication_time, task=t) for t in tasks)
+    events.extend(expiry_events(tasks))
+
+    if churn_fraction > 0.0 and num_workers:
+        churners = np.flatnonzero(rng.random(num_workers) < churn_fraction)
+        stays = rng.exponential(scale=2.0, size=len(churners))
+        for slot, worker_id in enumerate(churners):
+            events.append(
+                WorkerChurnEvent(
+                    time=float(worker_times[worker_id] + stays[slot]),
+                    worker_id=int(worker_id),
+                )
+            )
+    if cancel_fraction > 0.0 and num_tasks:
+        cancelled = np.flatnonzero(rng.random(num_tasks) < cancel_fraction)
+        for task_id in cancelled:
+            task = tasks[task_id]
+            events.append(
+                TaskCancelEvent(
+                    time=task.publication_time + 0.5 * task.valid_hours,
+                    task_id=int(task_id),
+                )
+            )
+
+    base = SCInstance(
+        name=f"synthetic-stream-{seed}",
+        current_time=0.0,
+        tasks=[],
+        workers=[],
+        histories={},
+        social_edges=[],
+        all_worker_ids=tuple(range(num_workers)),
+    )
+    return base, EventLog(events)

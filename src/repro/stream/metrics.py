@@ -1,0 +1,206 @@
+"""Streaming metrics: wait times, round latency percentiles, throughput.
+
+The batched online simulator reports per-round pool sizes and CPU time; a
+serving runtime additionally needs *latency distributions* — how long tasks
+wait between publication and assignment, how expensive rounds are at the
+tail, and how fast the runtime drains its event stream.
+:class:`StreamMetrics` collects all of it incrementally and serializes to a
+checkpointable state dict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class RoundRecord:
+    """Everything observed about one assignment round.
+
+    ``online_workers`` / ``open_tasks`` are the pool sizes *before* the
+    round's assignment (matching
+    :class:`~repro.framework.online.OnlineStep`); ``drained_events`` counts
+    the log events consumed since the previous round; ``round_seconds`` is
+    the wall-clock cost of the assignment computation alone.
+    """
+
+    index: int
+    time: float
+    online_workers: int
+    open_tasks: int
+    drained_events: int
+    assigned: int
+    expired_tasks: int
+    churned_workers: int
+    cancelled_tasks: int
+    round_seconds: float
+
+
+@dataclass(frozen=True, slots=True)
+class StreamSummary:
+    """Aggregate view of a finished (or in-flight) streaming run."""
+
+    rounds: int
+    assigned: int
+    expired: int
+    churned: int
+    cancelled: int
+    events_drained: int
+    sim_hours: float
+    wall_seconds: float
+    task_wait_p50: float
+    task_wait_p90: float
+    task_wait_p99: float
+    round_latency_p50: float
+    round_latency_p99: float
+    events_per_second: float
+    assigned_per_sim_hour: float
+    expiry_rate: float
+    churn_rate: float
+
+    def as_text(self) -> str:
+        """A compact multi-line report for CLIs and examples."""
+        return "\n".join(
+            [
+                f"rounds:            {self.rounds}",
+                f"events drained:    {self.events_drained}"
+                f" ({self.events_per_second:,.0f} events/s)",
+                f"assigned:          {self.assigned}"
+                f" ({self.assigned_per_sim_hour:.1f} per sim hour)",
+                f"expired:           {self.expired} (rate {self.expiry_rate:.2f})",
+                f"churned:           {self.churned} (rate {self.churn_rate:.2f})",
+                f"cancelled:         {self.cancelled}",
+                f"task wait (h):     p50 {self.task_wait_p50:.2f}"
+                f"  p90 {self.task_wait_p90:.2f}  p99 {self.task_wait_p99:.2f}",
+                f"round latency (s): p50 {self.round_latency_p50:.4f}"
+                f"  p99 {self.round_latency_p99:.4f}",
+            ]
+        )
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    if not len(values):
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+class StreamMetrics:
+    """Incrementally collected streaming statistics.
+
+    All state lives in plain lists/counters so :meth:`state_dict` /
+    :meth:`load_state_dict` round-trip exactly through a checkpoint.
+    """
+
+    def __init__(self) -> None:
+        self.rounds: list[RoundRecord] = []
+        self.task_waits: list[float] = []
+        self.worker_waits: list[float] = []
+        self.total_assigned = 0
+        self.total_expired = 0
+        self.total_churned = 0
+        self.total_cancelled = 0
+        self.total_drained = 0
+        self.wall_seconds = 0.0
+
+    # ------------------------------------------------------------ recording
+    def on_round(self, record: RoundRecord) -> None:
+        """Record one completed round."""
+        self.rounds.append(record)
+        self.total_assigned += record.assigned
+        self.total_expired += record.expired_tasks
+        self.total_churned += record.churned_workers
+        self.total_cancelled += record.cancelled_tasks
+        self.total_drained += record.drained_events
+
+    def on_assigned(self, task_wait_hours: float, worker_wait_hours: float) -> None:
+        """Record one matched pair's waits (publication/arrival to round)."""
+        self.task_waits.append(task_wait_hours)
+        self.worker_waits.append(worker_wait_hours)
+
+    def add_wall_seconds(self, seconds: float) -> None:
+        """Accumulate wall-clock time spent inside ``run`` (drain + rounds)."""
+        self.wall_seconds += seconds
+
+    # ------------------------------------------------------------- summaries
+    def round_latency_percentiles(
+        self, qs: Sequence[float] = (50.0, 90.0, 99.0)
+    ) -> dict[float, float]:
+        """Percentiles of per-round assignment latency in seconds."""
+        latencies = [r.round_seconds for r in self.rounds]
+        return {q: _percentile(latencies, q) for q in qs}
+
+    def task_wait_percentiles(
+        self, qs: Sequence[float] = (50.0, 90.0, 99.0)
+    ) -> dict[float, float]:
+        """Percentiles of publication-to-assignment wait in sim hours."""
+        return {q: _percentile(self.task_waits, q) for q in qs}
+
+    @property
+    def sim_hours(self) -> float:
+        """Simulated time covered by the recorded rounds."""
+        if not self.rounds:
+            return 0.0
+        return self.rounds[-1].time - self.rounds[0].time
+
+    def summary(self) -> StreamSummary:
+        """Freeze the current counters into a :class:`StreamSummary`."""
+        latency = self.round_latency_percentiles((50.0, 99.0))
+        waits = self.task_wait_percentiles((50.0, 90.0, 99.0))
+        sim_hours = self.sim_hours
+        seen_tasks = self.total_assigned + self.total_expired + self.total_cancelled
+        seen_workers = self.total_assigned + self.total_churned
+        return StreamSummary(
+            rounds=len(self.rounds),
+            assigned=self.total_assigned,
+            expired=self.total_expired,
+            churned=self.total_churned,
+            cancelled=self.total_cancelled,
+            events_drained=self.total_drained,
+            sim_hours=sim_hours,
+            wall_seconds=self.wall_seconds,
+            task_wait_p50=waits[50.0],
+            task_wait_p90=waits[90.0],
+            task_wait_p99=waits[99.0],
+            round_latency_p50=latency[50.0],
+            round_latency_p99=latency[99.0],
+            events_per_second=(
+                self.total_drained / self.wall_seconds if self.wall_seconds > 0 else 0.0
+            ),
+            assigned_per_sim_hour=(
+                self.total_assigned / sim_hours if sim_hours > 0 else 0.0
+            ),
+            expiry_rate=(self.total_expired / seen_tasks if seen_tasks else 0.0),
+            churn_rate=(self.total_churned / seen_workers if seen_workers else 0.0),
+        )
+
+    # ----------------------------------------------------------- checkpoints
+    def state_dict(self) -> dict[str, Any]:
+        """All collector state as plain arrays/scalars (for checkpoints)."""
+        fields = RoundRecord.__slots__
+        return {
+            "rounds": np.array(
+                [[getattr(r, name) for name in fields] for r in self.rounds],
+                dtype=float,
+            ).reshape(len(self.rounds), len(fields)),
+            "task_waits": np.asarray(self.task_waits, dtype=float),
+            "worker_waits": np.asarray(self.worker_waits, dtype=float),
+            "wall_seconds": self.wall_seconds,
+        }
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output bit-exactly."""
+        fields = RoundRecord.__slots__
+        int_fields = {name for name in fields if name not in ("time", "round_seconds")}
+        self.__init__()
+        for row in np.asarray(state["rounds"], dtype=float).reshape(-1, len(fields)):
+            values = {
+                name: (int(value) if name in int_fields else float(value))
+                for name, value in zip(fields, row)
+            }
+            self.on_round(RoundRecord(**values))
+        self.task_waits = [float(v) for v in np.asarray(state["task_waits"])]
+        self.worker_waits = [float(v) for v in np.asarray(state["worker_waits"])]
+        self.wall_seconds = float(state["wall_seconds"])

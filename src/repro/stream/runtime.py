@@ -1,0 +1,359 @@
+"""The event-driven streaming runtime.
+
+:class:`StreamRuntime` consumes an :class:`~repro.stream.events.EventLog`
+through a :class:`~repro.stream.scheduler.Trigger`, maintaining live pools
+(:class:`~repro.stream.state.StreamState`) and firing assignment rounds at
+the trigger's micro-batch boundaries.  It is a strict superset of the
+batched :class:`~repro.framework.online.OnlineSimulator`:
+
+* with a :class:`~repro.stream.scheduler.TimeWindowTrigger` whose window
+  equals the simulator's ``batch_hours`` (and a log built by
+  :func:`~repro.stream.events.log_from_arrivals` over the same arrivals and
+  tasks), the produced assignments are **bit-identical** to
+  ``OnlineSimulator.run`` — pinned by a golden cross-check test;
+* count/hybrid/adaptive triggers, churn and cancellation events, live
+  spatial queries, wait/latency metrics and checkpoint/replay go beyond it.
+
+The runtime is resumable: ``run(max_rounds=...)`` stops after a bounded
+number of rounds with all state intact, :meth:`checkpoint` snapshots that
+state to disk, and :meth:`resume` reconstructs a runtime that continues the
+run bit-identically (regression-tested against an uninterrupted run).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.assignment.base import Assigner
+from repro.data.instance import SCInstance
+from repro.entities import Assignment
+from repro.influence import InfluenceModel
+from repro.stream.events import (
+    DEFERRED_PHASE,
+    PHASE_ARRIVAL,
+    PHASE_PUBLISH,
+    EventLog,
+    TaskCancelEvent,
+    TaskExpiryEvent,
+    WorkerChurnEvent,
+)
+from repro.stream.metrics import RoundRecord, StreamMetrics, StreamSummary
+from repro.stream.scheduler import Trigger
+from repro.stream.state import StreamState
+
+
+class StreamResult:
+    """The accumulating outcome of a streaming run."""
+
+    def __init__(self) -> None:
+        self.assignment = Assignment()
+        self.metrics = StreamMetrics()
+
+    @property
+    def rounds(self) -> list[RoundRecord]:
+        """Per-round records, in firing order."""
+        return self.metrics.rounds
+
+    @property
+    def total_assigned(self) -> int:
+        """Tasks assigned so far."""
+        return self.metrics.total_assigned
+
+    @property
+    def total_expired(self) -> int:
+        """Tasks that expired unassigned so far."""
+        return self.metrics.total_expired
+
+    @property
+    def total_churned(self) -> int:
+        """Workers that left unassigned so far."""
+        return self.metrics.total_churned
+
+    @property
+    def total_cancelled(self) -> int:
+        """Tasks withdrawn by cancellation events so far."""
+        return self.metrics.total_cancelled
+
+    def summary(self) -> StreamSummary:
+        """Aggregate metrics snapshot."""
+        return self.metrics.summary()
+
+
+class StreamRuntime:
+    """Plays an event log through micro-batched assignment rounds.
+
+    Parameters
+    ----------
+    assigner:
+        The assignment algorithm run at every round.
+    influence_model:
+        The fitted influence model shared by all rounds (``None`` for
+        influence-free assigners).
+    trigger:
+        The micro-batch policy (count / time window / hybrid / adaptive).
+    base_instance:
+        Context shared by every round instance: histories, social network,
+        venue visits.  Its own worker/task lists are ignored — pools are
+        fed exclusively by the event log.
+    log:
+        The time-ordered event stream to replay.
+    end_time:
+        Last round time; defaults to the latest expiry-event time (the
+        online simulator's "latest task deadline"), falling back to the
+        base instance's ``current_time`` for logs without deadlines.
+    patience_hours:
+        If set, unassigned workers churn out this many hours after arrival
+        (strict, like the online simulator); explicit
+        :class:`~repro.stream.events.WorkerChurnEvent` entries work with or
+        without it.
+    incremental:
+        Prepare rounds through the shared PR-1 cache rectangles (True,
+        default) or from scratch every round (False, the reference path).
+    index_cell_km:
+        Cell size of the live open-task grid index.
+    rng:
+        Optional generator for stochastic policies; its state is captured
+        by checkpoints so replays stay deterministic.
+    """
+
+    def __init__(
+        self,
+        assigner: Assigner,
+        influence_model: InfluenceModel | None,
+        trigger: Trigger,
+        base_instance: SCInstance,
+        log: EventLog,
+        end_time: float | None = None,
+        patience_hours: float | None = None,
+        incremental: bool = True,
+        index_cell_km: float = 25.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if patience_hours is not None and patience_hours < 0:
+            raise ValueError(
+                f"patience_hours must be non-negative, got {patience_hours}"
+            )
+        self.assigner = assigner
+        self.trigger = trigger
+        self.log = log
+        self.patience_hours = patience_hours
+        self.rng = rng
+        self.state = StreamState(
+            base_instance,
+            influence_model,
+            incremental=incremental,
+            index_cell_km=index_cell_km,
+        )
+        self._result = StreamResult()
+        self._cursor = 0
+        self._clock = base_instance.current_time
+        self._start_time = base_instance.current_time
+        self._end_time = end_time
+        self._started = False
+        self._done = False
+        self._pending_start_round = False
+
+    # ------------------------------------------------------------ properties
+    @property
+    def result(self) -> StreamResult:
+        """The (possibly still accumulating) run outcome."""
+        return self._result
+
+    @property
+    def done(self) -> bool:
+        """Whether the stream has been fully played out."""
+        return self._done
+
+    @property
+    def cursor(self) -> int:
+        """Index of the next unconsumed log event."""
+        return self._cursor
+
+    @property
+    def clock(self) -> float:
+        """The last round time (or the start time before any round)."""
+        return self._clock
+
+    @property
+    def end_time(self) -> float | None:
+        """The resolved end of the run (None until started)."""
+        return self._end_time if self._started else None
+
+    # ----------------------------------------------------------------- start
+    def _start(self) -> None:
+        if self._started:
+            return
+        base = self.state.base_instance
+        start = self.log.start_time()
+        if start is None:
+            start = base.current_time
+        elif not self.log.has_arrivals():
+            # Mirror OnlineSimulator: without arrivals the base instance's
+            # clock can still precede the first publication.
+            start = min(start, base.current_time)
+        self._start_time = start
+        self._clock = start
+        if self._end_time is None:
+            deadline = self.log.last_deadline()
+            self._end_time = deadline if deadline is not None else base.current_time
+        self._pending_start_round = self.trigger.fires_at_start
+        self._started = True
+
+    # ------------------------------------------------------------ scheduling
+    def _next_fire_time(self) -> float:
+        """When the next round fires: start round, count hit, boundary, or
+        the final flush at the end time."""
+        if self._pending_start_round:
+            return self._start_time
+        boundary = self.trigger.next_boundary(self._clock)
+        if boundary is not None:
+            boundary = min(boundary, self._end_time)
+        count = self.trigger.count
+        if count is not None:
+            pending = 0
+            for position in range(self._cursor, len(self.log)):
+                event = self.log[position]
+                if event.time > self._end_time:
+                    break
+                if boundary is not None and event.time > boundary:
+                    break
+                if event.phase in (PHASE_ARRIVAL, PHASE_PUBLISH):
+                    pending += 1
+                    if pending >= count:
+                        return event.time
+        if boundary is not None:
+            return boundary
+        return self._end_time
+
+    # ----------------------------------------------------------------- drain
+    def _drain_until(self, fire_time: float) -> tuple[int, int, int, int]:
+        """Apply every due event, then the expiry/churn sweeps.
+
+        Admission events (arrival/publish/cancel) apply when ``time <=
+        fire_time``; deferred events (expiry/churn) only when strictly
+        earlier, so deadlines on the boundary do not bind in this round.
+        """
+        state = self.state
+        drained = expired = churned = cancelled = 0
+        while self._cursor < len(self.log):
+            event = self.log[self._cursor]
+            if event.time > fire_time:
+                break
+            if event.time == fire_time and event.phase >= DEFERRED_PHASE:
+                break
+            removed_task, removed_worker = state.apply(event)
+            if removed_task:
+                if isinstance(event, TaskExpiryEvent):
+                    expired += 1
+                elif isinstance(event, TaskCancelEvent):
+                    cancelled += 1
+            if removed_worker and isinstance(event, WorkerChurnEvent):
+                churned += 1
+            self._cursor += 1
+            drained += 1
+        expired += len(state.expire_tasks(fire_time))
+        churned += len(state.churn_workers(fire_time, self.patience_hours))
+        return drained, expired, churned, cancelled
+
+    # ----------------------------------------------------------------- round
+    def _fire_round(self, fire_time: float) -> RoundRecord:
+        drained, expired, churned, cancelled = self._drain_until(fire_time)
+        state = self.state
+        pool_workers = state.num_online_workers
+        pool_tasks = state.num_open_tasks
+        assigned = 0
+        elapsed = 0.0
+        if pool_workers and pool_tasks:
+            started = time.perf_counter()
+            assignment, waits = state.run_assignment(self.assigner, fire_time)
+            elapsed = time.perf_counter() - started
+            for pair, (task_wait, worker_wait) in zip(assignment, waits):
+                self._result.assignment.add(pair.task, pair.worker)
+                self._result.metrics.on_assigned(task_wait, worker_wait)
+            assigned = len(assignment)
+        record = RoundRecord(
+            index=len(self._result.rounds),
+            time=fire_time,
+            online_workers=pool_workers,
+            open_tasks=pool_tasks,
+            drained_events=drained,
+            assigned=assigned,
+            expired_tasks=expired,
+            churned_workers=churned,
+            cancelled_tasks=cancelled,
+            round_seconds=elapsed,
+        )
+        self._result.metrics.on_round(record)
+        self.trigger.on_round(record)
+        self._clock = fire_time
+        self._pending_start_round = False
+        if fire_time >= self._end_time:
+            self._done = True
+        return record
+
+    # ------------------------------------------------------------------- run
+    def run(self, max_rounds: int | None = None) -> StreamResult:
+        """Play the stream until done (or for ``max_rounds`` more rounds).
+
+        Repeated calls continue where the previous one stopped; once the
+        stream is exhausted the accumulated result is simply returned.
+        """
+        if max_rounds is not None and max_rounds < 0:
+            raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
+        self._start()
+        started = time.perf_counter()
+        fired = 0
+        try:
+            while not self._done and (max_rounds is None or fired < max_rounds):
+                self._fire_round(self._next_fire_time())
+                fired += 1
+        finally:
+            self._result.metrics.add_wall_seconds(time.perf_counter() - started)
+        return self._result
+
+    # ----------------------------------------------------------- checkpoints
+    def checkpoint(self, path: str | Path) -> Path:
+        """Snapshot the complete runtime state to an ``.npz`` file."""
+        from repro.stream.checkpoint import save_checkpoint
+
+        return save_checkpoint(self, path)
+
+    @classmethod
+    def resume(
+        cls,
+        path: str | Path,
+        assigner: Assigner,
+        influence_model: InfluenceModel | None,
+        trigger: Trigger,
+        base_instance: SCInstance,
+        log: EventLog,
+        patience_hours: float | None = None,
+        incremental: bool = True,
+        index_cell_km: float = 25.0,
+        rng: np.random.Generator | None = None,
+    ) -> "StreamRuntime":
+        """Reconstruct a runtime from a checkpoint and the original log.
+
+        The caller supplies the same (deterministic) collaborators the
+        checkpointed run used; the snapshot restores cursor, clock, pools,
+        accumulated results, trigger adaptation state and RNG state, after
+        verifying the log fingerprint matches.
+        """
+        from repro.stream.checkpoint import restore_runtime
+
+        runtime = cls(
+            assigner,
+            influence_model,
+            trigger,
+            base_instance,
+            log,
+            patience_hours=patience_hours,
+            incremental=incremental,
+            index_cell_km=index_cell_km,
+            rng=rng,
+        )
+        restore_runtime(runtime, path)
+        return runtime

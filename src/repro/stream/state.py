@@ -1,0 +1,201 @@
+"""Live runtime state: worker/task pools with a live spatial index.
+
+:class:`StreamState` is the mutable heart of the streaming runtime.  It
+keeps the online worker pool and the open task pool, applies drained events
+to them, and maintains two acceleration structures incrementally:
+
+* a :class:`~repro.geo.GridIndex` over the open tasks, updated on every
+  publish/assign/expire/cancel, so "which tasks could this worker reach" is
+  an output-sensitive lookup at any instant (:meth:`tasks_near`) instead of
+  a pool scan;
+* the PR-1 round caches — a shared :class:`~repro.assignment.RoundState`
+  whose distance/influence rectangles (and the
+  :class:`~repro.influence.InfluenceModel` per-task columns behind them)
+  persist across rounds, so each round only pays for newly arrived workers
+  and newly published tasks.
+
+Pool mutation semantics mirror
+:class:`~repro.framework.online.OnlineSimulator` exactly (re-arrival
+replaces the pooled worker, expiry and churn are strict-inequality sweeps),
+which is what makes the runtime's golden cross-check bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.assignment.base import Assigner, PreparedInstance, RoundState
+from repro.data.instance import SCInstance
+from repro.entities import Assignment, Task, Worker
+from repro.geo import GridIndex, Point
+from repro.influence import InfluenceModel
+from repro.stream.events import (
+    StreamEvent,
+    TaskCancelEvent,
+    TaskExpiryEvent,
+    TaskPublishEvent,
+    WorkerArrivalEvent,
+    WorkerChurnEvent,
+)
+
+
+class StreamState:
+    """Mutable pools + incremental indexes between assignment rounds.
+
+    Parameters
+    ----------
+    base_instance:
+        Supplies the immutable context every round instance shares —
+        histories, social network, venue visits, ``all_worker_ids``.
+    influence:
+        The fitted influence model reused by every round (or ``None``).
+    incremental:
+        When True, rounds are prepared through a shared
+        :class:`~repro.assignment.RoundState`; False rebuilds each round
+        from scratch (the regression reference, exactly as in the online
+        simulator).
+    index_cell_km:
+        Cell size of the live task index; defaults to the paper's 25 km
+        reachable radius so a range query touches O(9) cells.
+    """
+
+    def __init__(
+        self,
+        base_instance: SCInstance,
+        influence: InfluenceModel | None,
+        incremental: bool = True,
+        index_cell_km: float = 25.0,
+    ) -> None:
+        self.base_instance = base_instance
+        self.influence = influence
+        self.incremental = incremental
+        self.round_state = RoundState(influence)
+        self.workers: dict[int, Worker] = {}
+        self.tasks: dict[int, Task] = {}
+        self.arrived_at: dict[int, float] = {}
+        self.published_at: dict[int, float] = {}
+        self.task_index: GridIndex[int] = GridIndex(index_cell_km)
+        self._index_cell_km = index_cell_km
+
+    # -------------------------------------------------------------- pools
+    @property
+    def num_online_workers(self) -> int:
+        """Workers currently online."""
+        return len(self.workers)
+
+    @property
+    def num_open_tasks(self) -> int:
+        """Tasks currently open."""
+        return len(self.tasks)
+
+    def _index_remove(self, task: Task) -> None:
+        self.task_index.remove(task.location, task.task_id)
+
+    def apply(self, event: StreamEvent) -> tuple[bool, bool]:
+        """Apply one drained event to the pools and the live index.
+
+        Returns ``(removed_task, removed_worker)`` — whether the event
+        actually retired a pooled entity (expiry/cancel/churn of something
+        no longer pooled is a no-op), so callers count outcomes from the
+        single dispatch that produced them.
+        """
+        if isinstance(event, WorkerArrivalEvent):
+            self.workers[event.worker.worker_id] = event.worker
+            self.arrived_at[event.worker.worker_id] = event.time
+        elif isinstance(event, TaskPublishEvent):
+            previous = self.tasks.get(event.task.task_id)
+            if previous is not None:
+                self._index_remove(previous)
+            self.tasks[event.task.task_id] = event.task
+            self.published_at[event.task.task_id] = event.time
+            self.task_index.insert(event.task.location, event.task.task_id)
+        elif isinstance(event, (TaskCancelEvent, TaskExpiryEvent)):
+            task = self.tasks.pop(event.task_id, None)
+            if task is not None:
+                self._index_remove(task)
+                self.published_at.pop(event.task_id, None)
+                return True, False
+        elif isinstance(event, WorkerChurnEvent):
+            if self.workers.pop(event.worker_id, None) is not None:
+                self.arrived_at.pop(event.worker_id, None)
+                return False, True
+        else:  # pragma: no cover - new event kinds must be wired explicitly
+            raise TypeError(f"unsupported stream event {event!r}")
+        return False, False
+
+    # -------------------------------------------------------------- sweeps
+    def expire_tasks(self, now: float) -> list[Task]:
+        """Remove and return open tasks whose deadline strictly passed.
+
+        The safety net behind explicit :class:`TaskExpiryEvent`\\ s: logs
+        built by :func:`~repro.stream.events.log_from_arrivals` carry one
+        expiry event per task (making this sweep find nothing), but
+        hand-built logs without them still expire correctly.
+        """
+        expired = [task for task in self.tasks.values() if task.expiry_time < now]
+        for task in expired:
+            del self.tasks[task.task_id]
+            self._index_remove(task)
+            self.published_at.pop(task.task_id, None)
+        return expired
+
+    def churn_workers(self, now: float, patience_hours: float | None) -> list[int]:
+        """Remove and return workers whose patience strictly ran out."""
+        if patience_hours is None:
+            return []
+        churned = [
+            worker_id
+            for worker_id, since in self.arrived_at.items()
+            if worker_id in self.workers and now - since > patience_hours
+        ]
+        for worker_id in churned:
+            del self.workers[worker_id]
+            self.arrived_at.pop(worker_id, None)
+        return churned
+
+    # ------------------------------------------------------------- queries
+    def tasks_near(self, center: Point, radius_km: float) -> Iterator[Task]:
+        """Open tasks within ``radius_km`` of ``center`` (live index)."""
+        for _, task_id in self.task_index.query_radius(center, radius_km):
+            yield self.tasks[task_id]
+
+    # -------------------------------------------------------------- rounds
+    def round_instance(self, now: float) -> SCInstance:
+        """The current pools as a deterministic :class:`SCInstance`."""
+        instance = self.base_instance.with_workers(
+            sorted(self.workers.values(), key=lambda w: w.worker_id)
+        ).with_tasks(sorted(self.tasks.values(), key=lambda t: t.task_id))
+        instance.current_time = now
+        return instance
+
+    def prepare_round(self, now: float) -> PreparedInstance:
+        """A prepared instance for an assignment round at ``now``."""
+        instance = self.round_instance(now)
+        if self.incremental:
+            return self.round_state.prepare(instance)
+        return PreparedInstance(instance, self.influence)
+
+    def run_assignment(
+        self, assigner: Assigner, now: float
+    ) -> tuple[Assignment, list[tuple[float, float]]]:
+        """Run one assignment round and retire the matched pairs.
+
+        Returns the assignment plus the per-pair ``(task_wait,
+        worker_wait)`` hours (publication/arrival to ``now``), in pair
+        order — the pools and timestamp maps stay consistent because every
+        retirement path (assign, expire, cancel, churn) clears its entries
+        here in the state layer.
+        """
+        assignment = assigner.assign(self.prepare_round(now))
+        waits: list[tuple[float, float]] = []
+        for pair in assignment:
+            del self.workers[pair.worker.worker_id]
+            task = self.tasks.pop(pair.task.task_id)
+            self._index_remove(task)
+            waits.append(
+                (
+                    now - self.published_at.pop(pair.task.task_id),
+                    now - self.arrived_at.pop(pair.worker.worker_id),
+                )
+            )
+        return assignment, waits

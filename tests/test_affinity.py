@@ -94,3 +94,52 @@ class TestAffinityModel:
         task = tiny_instance.tasks[0]
         worker_id = tiny_instance.workers[0].worker_id
         assert 0.0 <= model.affinity(worker_id, task) <= 1.0
+
+
+class TestDenseTopicMatrix:
+    """The fit-time worker-topic matrix must be an invisible optimization:
+    bit-identical affinity matrices vs per-worker stacking."""
+
+    def test_affinity_matrix_bit_identical_to_stacked_path(self, topical_histories):
+        model = AffinityModel(num_topics=4, seed=0).fit(topical_histories)
+        tasks = [
+            make_task(("restaurant",), task_id=0),
+            make_task(("nightclub", "bar"), task_id=1),
+        ]
+        worker_ids = [0, 1, 2, 99]  # 99 is unknown -> uniform prior
+        matrix = model.affinity_matrix(worker_ids, tasks)
+        stacked = np.stack([model.worker_topics(w) for w in worker_ids]) @ np.stack(
+            [model.task_topics(t.categories) for t in tasks]
+        ).T
+        np.testing.assert_array_equal(matrix, stacked)
+
+    def test_topic_matrix_rows_match_worker_topics(self, topical_histories):
+        model = AffinityModel(num_topics=4, seed=0).fit(topical_histories)
+        theta = model.topic_matrix([1, 0, 42])
+        np.testing.assert_array_equal(theta[0], model.worker_topics(1))
+        np.testing.assert_array_equal(theta[1], model.worker_topics(0))
+        np.testing.assert_array_equal(
+            theta[2], np.full(model.effective_topics, 1.0 / model.effective_topics)
+        )
+
+    def test_topic_matrix_rows_aligned_with_sorted_fit_ids(self, topical_histories):
+        """Row r of the fit-time matrix belongs to the r-th sorted worker id —
+        the same dense ordering SocialGraph assigns its indices."""
+        model = AffinityModel(num_topics=4, seed=0).fit(topical_histories)
+        for row, worker_id in enumerate(sorted(topical_histories)):
+            np.testing.assert_array_equal(
+                model._theta_matrix[row], model.worker_topics(worker_id)
+            )
+
+    def test_topic_matrix_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            AffinityModel(num_topics=3).topic_matrix([0])
+
+    def test_refit_clears_unknown_worker_cache(self, topical_histories, history_factory):
+        model = AffinityModel(num_topics=4, seed=0).fit(topical_histories)
+        uniform = model.worker_topics(7)
+        assert np.allclose(uniform, 1.0 / model.effective_topics)
+        extended = dict(topical_histories)
+        extended[7] = history_factory(7, [(0, 0, t, ("museum",)) for t in range(6)])
+        model.fit(extended)
+        assert not np.allclose(model.worker_topics(7), uniform)

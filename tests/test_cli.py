@@ -128,3 +128,47 @@ class TestValidate:
         out = capsys.readouterr().out
         assert "[PASS] integrity" in out
         assert "movement-self-similarity" in out
+
+
+class TestStream:
+    def test_window_trigger_run(self, capsys):
+        assert main(["stream", *FAST, "--no-influence", "--trigger", "window",
+                     "--window-hours", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out
+        assert "rounds:" in out
+        assert "round latency" in out
+
+    def test_count_trigger_with_patience(self, capsys):
+        assert main(["stream", *FAST, "--no-influence", "--trigger", "count",
+                     "--batch-count", "10", "--patience-hours", "3"]) == 0
+        assert "churned" in capsys.readouterr().out
+
+    def test_adaptive_trigger(self, capsys):
+        assert main(["stream", *FAST, "--no-influence", "--trigger", "adaptive",
+                     "--latency-budget", "0.5"]) == 0
+        assert "rounds:" in capsys.readouterr().out
+
+    def test_with_influence_model(self, capsys):
+        assert main(["stream", *FAST, *FAST_PIPELINE, "--algorithm", "IA",
+                     "--trigger", "hybrid", "--batch-count", "20"]) == 0
+        assert "assigned" in capsys.readouterr().out
+
+    def test_show_rounds_zero_suppresses_table(self, capsys):
+        assert main(["stream", *FAST, "--no-influence", "--show-rounds", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "online" not in out  # no per-round table header
+        assert "rounds:" in out  # summary still printed
+
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        checkpoint = tmp_path / "stream.npz"
+        assert main(["stream", *FAST, "--no-influence", "--max-rounds", "4",
+                     "--checkpoint", str(checkpoint)]) == 0
+        out = capsys.readouterr().out
+        assert "stopped after 4 rounds" in out
+        assert checkpoint.exists()
+        assert main(["stream", *FAST, "--no-influence",
+                     "--resume", str(checkpoint)]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+        assert "stopped after" not in out

@@ -115,3 +115,91 @@ class TestInstanceBuilder:
         instance = tiny_builder.build_day(6)
         history = instance.history_of(10**9)
         assert len(history) == 0
+
+
+class TestSearchsortedDayIndex:
+    """The per-user/per-venue day index must reproduce the historical
+    full-scan semantics exactly, across a multi-day sweep."""
+
+    def _brute_force_histories(self, dataset, cutoff):
+        per_user = {}
+        for checkin in dataset.checkins:
+            if checkin.time >= cutoff:
+                break
+            per_user.setdefault(checkin.user_id, []).append(checkin)
+        return per_user
+
+    def _brute_force_visits(self, dataset, cutoff):
+        visits = {}
+        for checkin in dataset.checkins:
+            if checkin.time >= cutoff:
+                break
+            per_user = visits.setdefault(checkin.venue_id, {})
+            per_user[checkin.user_id] = per_user.get(checkin.user_id, 0) + 1
+        return visits
+
+    def test_multi_day_sweep_matches_full_scan(self, tiny_dataset):
+        builder = InstanceBuilder(tiny_dataset)
+        days = tiny_dataset.num_days
+        for day in sorted(set([1, 3, days // 2, days - 1])):
+            if not tiny_dataset.checkins_on_day(day):
+                continue
+            cutoff = 24.0 * day
+            instance = builder.build_day(day)
+            expected = self._brute_force_histories(tiny_dataset, cutoff)
+            for user_id in tiny_dataset.user_ids:
+                performed = instance.histories[user_id].performed
+                checkins = expected.get(user_id, [])
+                assert len(performed) == len(checkins)
+                for task, checkin in zip(performed, checkins):
+                    assert task.arrival_time == checkin.time
+                    assert task.venue_id == checkin.venue_id
+                    assert task.location == checkin.location
+            assert instance.venue_visits == self._brute_force_visits(
+                tiny_dataset, cutoff
+            )
+
+    def test_sweep_descending_days_unaffected_by_cache(self, tiny_dataset):
+        """The index is immutable: visiting days out of order must give the
+        same instances as two fresh builders visiting them in order."""
+        shared = InstanceBuilder(tiny_dataset)
+        days = [d for d in (6, 2, 9) if tiny_dataset.checkins_on_day(d)]
+        for day in days:
+            fresh = InstanceBuilder(tiny_dataset)
+            from_shared = shared.build_day(day)
+            from_fresh = fresh.build_day(day)
+            assert from_shared.venue_visits == from_fresh.venue_visits
+            for user_id in tiny_dataset.user_ids:
+                assert (
+                    [p.arrival_time for p in from_shared.histories[user_id].performed]
+                    == [p.arrival_time for p in from_fresh.histories[user_id].performed]
+                )
+
+    def test_worker_location_at_matches_linear_scan(self, tiny_dataset):
+        builder = InstanceBuilder(tiny_dataset)
+        for user_id in list(tiny_dataset.user_ids)[:10]:
+            checkins = tiny_dataset.checkins_by_user(user_id)
+            for cutoff in (0.0, 24.0, 24.0 * 5, 24.0 * 100):
+                expected = None
+                for checkin in checkins:
+                    if checkin.time >= cutoff:
+                        break
+                    expected = checkin.location
+                assert builder.worker_location_at(user_id, cutoff) == expected
+
+    def test_histories_do_not_leak_future_checkins(self, tiny_dataset):
+        builder = InstanceBuilder(tiny_dataset)
+        early = builder.build_day(2)
+        late = builder.build_day(9)
+        cutoff = 24.0 * 2
+        for user_id in tiny_dataset.user_ids:
+            assert all(
+                p.arrival_time < cutoff
+                for p in early.histories[user_id].performed
+            )
+            # Building a later day must not mutate the earlier histories.
+            assert all(
+                p.arrival_time < cutoff
+                for p in early.histories[user_id].performed
+            )
+        assert len(late.histories) == len(early.histories)

@@ -64,3 +64,59 @@ class TestGridIndex:
         }
         got = {item for _, item in grid.query_radius(center, radius)}
         assert got == expected
+
+
+class TestGridIndexRemoval:
+    def test_remove_deletes_one_entry(self):
+        grid = GridIndex(cell_size_km=1.0)
+        grid.insert(Point(0.5, 0.5), "a")
+        grid.insert(Point(0.5, 0.5), "b")
+        grid.remove(Point(0.5, 0.5), "a")
+        assert len(grid) == 1
+        assert [item for _, item in grid.items()] == ["b"]
+
+    def test_remove_missing_raises(self):
+        grid = GridIndex(cell_size_km=1.0)
+        grid.insert(Point(0.5, 0.5), "a")
+        with pytest.raises(KeyError):
+            grid.remove(Point(0.5, 0.5), "zzz")
+        with pytest.raises(KeyError):
+            grid.remove(Point(9.5, 9.5), "a")  # wrong bucket
+
+    def test_remove_then_query_consistent(self):
+        grid = GridIndex(cell_size_km=2.0)
+        for index in range(6):
+            grid.insert(Point(float(index), 0.0), index)
+        grid.remove(Point(2.0, 0.0), 2)
+        grid.remove(Point(3.0, 0.0), 3)
+        hits = sorted(item for _, item in grid.query_radius(Point(0.0, 0.0), 10.0))
+        assert hits == [0, 1, 4, 5]
+        assert len(grid) == 4
+
+    def test_remove_duplicate_pairs_one_at_a_time(self):
+        grid = GridIndex(cell_size_km=1.0)
+        grid.insert(Point(0.0, 0.0), "dup")
+        grid.insert(Point(0.0, 0.0), "dup")
+        grid.remove(Point(0.0, 0.0), "dup")
+        assert len(grid) == 1
+        grid.remove(Point(0.0, 0.0), "dup")
+        assert len(grid) == 0
+
+    @settings(max_examples=25)
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=30),
+           st.data())
+    def test_insert_remove_random_matches_multiset(self, items, data):
+        grid = GridIndex(cell_size_km=1.5)
+        alive = []
+        for item in items:
+            point = Point(float(item % 5), float(item % 3))
+            grid.insert(point, item)
+            alive.append((point, item))
+        removals = data.draw(st.integers(0, len(alive)))
+        for _ in range(removals):
+            index = data.draw(st.integers(0, len(alive) - 1))
+            point, item = alive.pop(index)
+            grid.remove(point, item)
+        assert sorted(item for _, item in grid.items()) == sorted(
+            item for _, item in alive
+        )

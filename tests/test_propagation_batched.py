@@ -274,3 +274,52 @@ class TestBatchedLT:
         for root, member in zip(roots, flat_to_members(indptr, flat)):
             assert root in member.tolist()
             assert np.all(np.diff(member) > 0)
+
+
+class TestStampArrayPath:
+    """The preallocated process-major stamp bitmap must be an invisible
+    optimization: identical output *and* identical RNG consumption to the
+    sorted-merge fallback, on every engine built on batched_cascade."""
+
+    def _graph(self, num_nodes=120, seed=9):
+        rng = np.random.default_rng(seed)
+        edges = {
+            tuple(sorted(pair))
+            for pair in rng.integers(num_nodes, size=(4 * num_nodes, 2))
+            if pair[0] != pair[1]
+        }
+        return SocialGraph(range(num_nodes), sorted(edges))
+
+    def test_rrr_sampling_bit_identical_to_fallback(self, monkeypatch):
+        import repro.propagation.rrr as rrr_module
+
+        graph = self._graph()
+        stamp = sample_rrr_sets_batched(graph, 800, np.random.default_rng(3))
+        monkeypatch.setattr(rrr_module, "STAMP_ARRAY_LIMIT", 0)
+        fallback = sample_rrr_sets_batched(graph, 800, np.random.default_rng(3))
+        for stamp_array, fallback_array in zip(stamp, fallback):
+            np.testing.assert_array_equal(stamp_array, fallback_array)
+
+    def test_ic_simulation_bit_identical_to_fallback(self, monkeypatch):
+        import repro.propagation.rrr as rrr_module
+
+        graph = self._graph(seed=11)
+        seeds = np.random.default_rng(1).integers(graph.num_workers, size=600)
+        stamp = simulate_ic_batched(graph, seeds, np.random.default_rng(5))
+        monkeypatch.setattr(rrr_module, "STAMP_ARRAY_LIMIT", 0)
+        fallback = simulate_ic_batched(graph, seeds, np.random.default_rng(5))
+        np.testing.assert_array_equal(stamp[0], fallback[0])
+        np.testing.assert_array_equal(stamp[1], fallback[1])
+
+    def test_rng_consumption_identical(self, monkeypatch):
+        """Both paths must leave the generator in the same state, so that
+        surrounding pipelines (e.g. RPO ladders) stay reproducible."""
+        import repro.propagation.rrr as rrr_module
+
+        graph = self._graph(seed=21)
+        rng_stamp = np.random.default_rng(8)
+        sample_rrr_sets_batched(graph, 300, rng_stamp)
+        monkeypatch.setattr(rrr_module, "STAMP_ARRAY_LIMIT", 0)
+        rng_fallback = np.random.default_rng(8)
+        sample_rrr_sets_batched(graph, 300, rng_fallback)
+        assert rng_stamp.integers(1 << 30) == rng_fallback.integers(1 << 30)

@@ -1,0 +1,228 @@
+"""Tests for repro.stream.events — typed events and the EventLog."""
+
+import pytest
+
+from repro.entities import Task, Worker
+from repro.geo import Point  # noqa: F401 - used in payload fingerprint tests
+from repro.stream import (
+    EventLog,
+    TaskCancelEvent,
+    TaskExpiryEvent,
+    TaskPublishEvent,
+    WorkerArrivalEvent,
+    WorkerChurnEvent,
+    day_stream,
+    expiry_events,
+    log_from_arrivals,
+    synthetic_stream,
+)
+from repro.stream.events import PHASE_ARRIVAL, PHASE_EXPIRY, PHASE_PUBLISH
+
+
+def make_worker(worker_id, x=0.0, y=0.0):
+    return Worker(worker_id=worker_id, location=Point(x, y), reachable_km=10.0)
+
+
+def make_task(task_id, published=0.0, phi=5.0, x=1.0, y=0.0):
+    return Task(
+        task_id=task_id, location=Point(x, y), publication_time=published,
+        valid_hours=phi,
+    )
+
+
+class TestEventTypes:
+    def test_entity_ids(self):
+        assert WorkerArrivalEvent(time=1.0, worker=make_worker(7)).entity_id == 7
+        assert TaskPublishEvent(time=1.0, task=make_task(3)).entity_id == 3
+        assert TaskCancelEvent(time=1.0, task_id=4).entity_id == 4
+        assert TaskExpiryEvent(time=1.0, task_id=5).entity_id == 5
+        assert WorkerChurnEvent(time=1.0, worker_id=6).entity_id == 6
+
+    def test_admission_phases_precede_deferred(self):
+        assert PHASE_ARRIVAL < PHASE_EXPIRY
+        assert PHASE_PUBLISH < PHASE_EXPIRY
+
+    def test_expiry_events_use_deadlines(self):
+        events = expiry_events([make_task(0, published=2.0, phi=3.0)])
+        assert events[0].time == pytest.approx(5.0)
+        assert events[0].task_id == 0
+
+
+class TestEventLogOrdering:
+    def test_sorted_by_time_then_phase_then_entity(self):
+        log = EventLog(
+            [
+                TaskExpiryEvent(time=1.0, task_id=0),
+                WorkerArrivalEvent(time=1.0, worker=make_worker(2)),
+                TaskPublishEvent(time=1.0, task=make_task(1, published=1.0)),
+                WorkerArrivalEvent(time=0.5, worker=make_worker(9)),
+            ]
+        )
+        kinds = [(e.time, e.phase, e.entity_id) for e in log]
+        assert kinds == sorted(kinds)
+        assert log[0].entity_id == 9  # earliest time first
+        assert log[1].phase == PHASE_ARRIVAL  # arrival before publish at t=1
+
+    def test_simultaneous_events_deterministic_across_source_orders(self):
+        """The same event set yields the same log order however the sources
+        were interleaved (tie-break = time, phase, entity id)."""
+        events = [
+            WorkerArrivalEvent(time=2.0, worker=make_worker(5)),
+            WorkerArrivalEvent(time=2.0, worker=make_worker(1)),
+            TaskPublishEvent(time=2.0, task=make_task(8, published=2.0)),
+            TaskExpiryEvent(time=2.0, task_id=3),
+        ]
+        forward = EventLog(events)
+        backward = EventLog(reversed(events))
+        assert forward.events == backward.events
+        assert [e.entity_id for e in forward] == [1, 5, 8, 3]
+
+    def test_merged_combines_sources(self):
+        arrivals = [
+            WorkerArrivalEvent(time=t, worker=make_worker(i))
+            for i, t in enumerate((0.0, 2.0, 4.0))
+        ]
+        publishes = [
+            TaskPublishEvent(time=t, task=make_task(i, published=t))
+            for i, t in enumerate((3.0, 1.0))  # unsorted source is fine
+        ]
+        log = EventLog.merged(arrivals, publishes)
+        assert [e.time for e in log] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_len_getitem_iter(self):
+        log = EventLog([WorkerArrivalEvent(time=0.0, worker=make_worker(1))])
+        assert len(log) == 1
+        assert log[0].entity_id == 1
+        assert list(log) == [log[0]]
+
+
+class TestEventLogProperties:
+    def test_start_time_ignores_deferred_events(self):
+        log = EventLog(
+            [
+                TaskExpiryEvent(time=0.5, task_id=0),
+                TaskPublishEvent(time=2.0, task=make_task(0, published=2.0)),
+            ]
+        )
+        assert log.start_time() == pytest.approx(2.0)
+
+    def test_start_time_none_without_admissions(self):
+        assert EventLog([TaskExpiryEvent(time=1.0, task_id=0)]).start_time() is None
+        assert EventLog([]).start_time() is None
+
+    def test_has_arrivals(self):
+        assert not EventLog([]).has_arrivals()
+        assert EventLog(
+            [WorkerArrivalEvent(time=0.0, worker=make_worker(1))]
+        ).has_arrivals()
+
+    def test_last_deadline(self):
+        tasks = [make_task(0, published=0.0, phi=2.0), make_task(1, published=1.0, phi=5.0)]
+        log = log_from_arrivals([], tasks)
+        assert log.last_deadline() == pytest.approx(6.0)
+        assert EventLog([]).last_deadline() is None
+
+    def test_fingerprint_sensitive_to_content(self):
+        log_a = EventLog([WorkerArrivalEvent(time=0.0, worker=make_worker(1))])
+        log_b = EventLog([WorkerArrivalEvent(time=0.0, worker=make_worker(2))])
+        assert log_a.fingerprint() == EventLog(log_a.events).fingerprint()
+        assert log_a.fingerprint() != log_b.fingerprint()
+
+    def test_fingerprint_sensitive_to_payload_attributes(self):
+        """Identical (time, id) but different worker/task attributes must
+        change the fingerprint — resuming a checkpoint against the same day
+        rebuilt with another radius or validity must fail fast."""
+        wide = EventLog(
+            [WorkerArrivalEvent(
+                time=1.0,
+                worker=Worker(worker_id=3, location=Point(0, 0), reachable_km=25.0),
+            )]
+        )
+        narrow = EventLog(
+            [WorkerArrivalEvent(
+                time=1.0,
+                worker=Worker(worker_id=3, location=Point(0, 0), reachable_km=10.0),
+            )]
+        )
+        assert wide.fingerprint() != narrow.fingerprint()
+        short = EventLog(
+            [TaskPublishEvent(time=1.0, task=make_task(3, phi=2.0))]
+        )
+        long = EventLog(
+            [TaskPublishEvent(time=1.0, task=make_task(3, phi=8.0))]
+        )
+        assert short.fingerprint() != long.fingerprint()
+        plain = EventLog(
+            [TaskPublishEvent(time=1.0, task=make_task(3))]
+        )
+        tagged_task = Task(
+            task_id=3, location=Point(1.0, 0.0), publication_time=0.0,
+            valid_hours=5.0, categories=("cafe",),
+        )
+        tagged = EventLog([TaskPublishEvent(time=1.0, task=tagged_task)])
+        assert plain.fingerprint() != tagged.fingerprint()
+
+
+class TestLogBuilders:
+    def test_log_from_arrivals_has_publish_and_expiry_per_task(self):
+        from repro.framework import WorkerArrival
+
+        tasks = [make_task(0, published=0.0), make_task(1, published=2.0)]
+        arrivals = [WorkerArrival(worker=make_worker(3), arrival_time=1.0)]
+        log = log_from_arrivals(arrivals, tasks)
+        assert sum(isinstance(e, TaskPublishEvent) for e in log) == 2
+        assert sum(isinstance(e, TaskExpiryEvent) for e in log) == 2
+        assert sum(isinstance(e, WorkerArrivalEvent) for e in log) == 1
+
+    def test_log_from_arrivals_extra_events(self):
+        log = log_from_arrivals(
+            [], [make_task(0)], extra=[WorkerChurnEvent(time=1.0, worker_id=4)]
+        )
+        assert sum(isinstance(e, WorkerChurnEvent) for e in log) == 1
+
+    def test_day_stream_matches_day_arrivals(self, tiny_dataset, tiny_builder):
+        from repro.framework import day_arrivals
+
+        instance, log = day_stream(tiny_dataset, 6)
+        arrivals = day_arrivals(tiny_dataset, 6)
+        log_workers = {
+            e.worker.worker_id for e in log if isinstance(e, WorkerArrivalEvent)
+        }
+        assert log_workers == {a.worker.worker_id for a in arrivals}
+        assert sum(isinstance(e, TaskPublishEvent) for e in log) == len(instance.tasks)
+
+
+class TestSyntheticStream:
+    def test_volumes_and_window(self):
+        base, log = synthetic_stream(
+            num_workers=40, num_tasks=30, duration_hours=12.0, seed=3
+        )
+        assert sum(isinstance(e, WorkerArrivalEvent) for e in log) == 40
+        assert sum(isinstance(e, TaskPublishEvent) for e in log) == 30
+        assert sum(isinstance(e, TaskExpiryEvent) for e in log) == 30
+        admissions = [e.time for e in log if e.phase in (PHASE_ARRIVAL, PHASE_PUBLISH)]
+        assert 0.0 <= min(admissions) and max(admissions) < 12.0
+        assert base.all_worker_ids == tuple(range(40))
+
+    def test_churn_and_cancel_fractions(self):
+        _, log = synthetic_stream(
+            num_workers=200, num_tasks=200, churn_fraction=0.5,
+            cancel_fraction=0.5, seed=5,
+        )
+        churns = sum(isinstance(e, WorkerChurnEvent) for e in log)
+        cancels = sum(isinstance(e, TaskCancelEvent) for e in log)
+        assert 50 < churns < 150
+        assert 50 < cancels < 150
+
+    def test_deterministic_by_seed(self):
+        _, log_a = synthetic_stream(num_workers=20, num_tasks=20, seed=11)
+        _, log_b = synthetic_stream(num_workers=20, num_tasks=20, seed=11)
+        _, log_c = synthetic_stream(num_workers=20, num_tasks=20, seed=12)
+        assert log_a.fingerprint() == log_b.fingerprint()
+        assert log_a.fingerprint() != log_c.fingerprint()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            synthetic_stream(num_workers=-1, num_tasks=0)
+        with pytest.raises(ValueError):
+            synthetic_stream(num_workers=1, num_tasks=1, duration_hours=0.0)

@@ -1,0 +1,105 @@
+"""Tests for repro.stream.metrics — collectors, percentiles, summaries."""
+
+import pytest
+
+from repro.stream import RoundRecord, StreamMetrics
+
+
+def make_record(index=0, time=0.0, assigned=0, expired=0, churned=0,
+                cancelled=0, drained=0, seconds=0.0, workers=0, tasks=0):
+    return RoundRecord(
+        index=index, time=time, online_workers=workers, open_tasks=tasks,
+        drained_events=drained, assigned=assigned, expired_tasks=expired,
+        churned_workers=churned, cancelled_tasks=cancelled,
+        round_seconds=seconds,
+    )
+
+
+class TestCounters:
+    def test_on_round_accumulates(self):
+        metrics = StreamMetrics()
+        metrics.on_round(make_record(index=0, time=0.0, assigned=2, expired=1,
+                                     drained=5, seconds=0.1))
+        metrics.on_round(make_record(index=1, time=2.0, churned=3, cancelled=1,
+                                     drained=2, seconds=0.3))
+        assert metrics.total_assigned == 2
+        assert metrics.total_expired == 1
+        assert metrics.total_churned == 3
+        assert metrics.total_cancelled == 1
+        assert metrics.total_drained == 7
+        assert metrics.sim_hours == pytest.approx(2.0)
+
+    def test_wait_recording(self):
+        metrics = StreamMetrics()
+        metrics.on_assigned(1.5, 0.5)
+        metrics.on_assigned(2.5, 1.0)
+        assert metrics.task_waits == [1.5, 2.5]
+        assert metrics.worker_waits == [0.5, 1.0]
+        assert metrics.task_wait_percentiles((50.0,))[50.0] == pytest.approx(2.0)
+
+    def test_percentiles_empty_safe(self):
+        metrics = StreamMetrics()
+        assert metrics.round_latency_percentiles()[99.0] == 0.0
+        assert metrics.task_wait_percentiles()[50.0] == 0.0
+        assert metrics.sim_hours == 0.0
+
+
+class TestSummary:
+    def test_rates_and_throughput(self):
+        metrics = StreamMetrics()
+        metrics.on_round(make_record(index=0, time=0.0, assigned=3, expired=1,
+                                     drained=10, seconds=0.2))
+        metrics.on_round(make_record(index=1, time=4.0, assigned=1, churned=2,
+                                     cancelled=1, drained=6, seconds=0.4))
+        metrics.on_assigned(1.0, 0.0)
+        metrics.add_wall_seconds(2.0)
+        summary = metrics.summary()
+        assert summary.rounds == 2
+        assert summary.assigned == 4
+        assert summary.events_drained == 16
+        assert summary.events_per_second == pytest.approx(8.0)
+        assert summary.assigned_per_sim_hour == pytest.approx(1.0)
+        # 4 assigned + 1 expired + 1 cancelled tasks seen; 4 + 2 workers seen.
+        assert summary.expiry_rate == pytest.approx(1 / 6)
+        assert summary.churn_rate == pytest.approx(2 / 6)
+        assert summary.round_latency_p99 == pytest.approx(0.398, abs=1e-3)
+
+    def test_zero_division_guards(self):
+        summary = StreamMetrics().summary()
+        assert summary.events_per_second == 0.0
+        assert summary.assigned_per_sim_hour == 0.0
+        assert summary.expiry_rate == 0.0
+        assert summary.churn_rate == 0.0
+
+    def test_as_text_smoke(self):
+        metrics = StreamMetrics()
+        metrics.on_round(make_record(assigned=1, drained=3, seconds=0.01))
+        text = metrics.summary().as_text()
+        assert "rounds:" in text and "task wait" in text
+
+
+class TestStateDict:
+    def test_roundtrip_bit_exact(self):
+        metrics = StreamMetrics()
+        metrics.on_round(make_record(index=0, time=0.25, assigned=2, expired=1,
+                                     drained=7, seconds=0.125, workers=5, tasks=9))
+        metrics.on_round(make_record(index=1, time=1.75, churned=1, cancelled=2,
+                                     drained=3, seconds=0.5))
+        metrics.on_assigned(0.75, 0.25)
+        metrics.add_wall_seconds(1.5)
+
+        restored = StreamMetrics()
+        restored.load_state_dict(metrics.state_dict())
+        assert restored.rounds == metrics.rounds
+        assert restored.task_waits == metrics.task_waits
+        assert restored.worker_waits == metrics.worker_waits
+        assert restored.wall_seconds == metrics.wall_seconds
+        assert restored.total_assigned == metrics.total_assigned
+        assert restored.total_drained == metrics.total_drained
+
+    def test_roundtrip_empty(self):
+        metrics = StreamMetrics()
+        restored = StreamMetrics()
+        restored.load_state_dict(metrics.state_dict())
+        assert restored.rounds == []
+        assert restored.wall_seconds == 0.0
