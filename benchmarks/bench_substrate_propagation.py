@@ -93,6 +93,127 @@ def test_rpo_agrees_with_monte_carlo(benchmark):
     assert errors.max() < 0.06
 
 
+def _simulate_lt_batched_insert(graph, seed_indices, rng):
+    """The pre-refactor LT engine: per-level ``np.insert`` accumulator
+    rebuilds.  Embedded as the baseline the ping-pong merge accumulator is
+    asserted bit-identical to (same RNG consumption) and not slower than."""
+    from repro.propagation.rrr import merge_sorted, not_in_sorted
+
+    seeds = np.asarray(seed_indices, dtype=np.int64)
+    count = len(seeds)
+    n = graph.num_workers
+    out_indptr, out_flat, out_probs = graph.out_csr()
+
+    informed = np.arange(count, dtype=np.int64) * n + seeds
+    frontier_runs = np.arange(count, dtype=np.int64)
+    frontier_nodes = seeds
+    acc_keys = np.zeros(0, dtype=np.int64)
+    acc_weight = np.zeros(0)
+    acc_threshold = np.zeros(0)
+
+    while frontier_nodes.size:
+        starts = out_indptr[frontier_nodes]
+        lengths = out_indptr[frontier_nodes + 1] - starts
+        total = int(lengths.sum())
+        if total == 0:
+            break
+        offsets = np.cumsum(lengths) - lengths
+        arc_pos = np.repeat(starts - offsets, lengths) + np.arange(total, dtype=np.int64)
+        keys = np.repeat(frontier_runs, lengths) * n + out_flat[arc_pos]
+        weights = out_probs[arc_pos]
+
+        keep = not_in_sorted(informed, keys)
+        keys, weights = keys[keep], weights[keep]
+        if keys.size == 0:
+            break
+        order = np.argsort(keys)
+        keys, weights = keys[order], weights[order]
+        boundary = np.concatenate(([True], keys[1:] != keys[:-1]))
+        unique_keys = keys[boundary]
+        sums = np.add.reduceat(weights, np.nonzero(boundary)[0])
+
+        new_mask = not_in_sorted(acc_keys, unique_keys)
+        existing = np.searchsorted(acc_keys, unique_keys[~new_mask])
+        acc_weight[existing] += sums[~new_mask]
+        insert_at = np.searchsorted(acc_keys, unique_keys[new_mask])
+        acc_keys = np.insert(acc_keys, insert_at, unique_keys[new_mask])
+        acc_weight = np.insert(acc_weight, insert_at, sums[new_mask])
+        acc_threshold = np.insert(
+            acc_threshold, insert_at, rng.random(int(new_mask.sum()))
+        )
+
+        touched = np.searchsorted(acc_keys, unique_keys)
+        crossed = acc_weight[touched] >= acc_threshold[touched]
+        newly = unique_keys[crossed]
+        if newly.size == 0:
+            break
+        retain = np.ones(len(acc_keys), dtype=bool)
+        retain[touched[crossed]] = False
+        acc_keys, acc_weight, acc_threshold = (
+            acc_keys[retain], acc_weight[retain], acc_threshold[retain]
+        )
+        informed = merge_sorted(informed, newly)
+        frontier_runs = newly // n
+        frontier_nodes = newly % n
+
+    run_ids = informed // n
+    flat = informed % n
+    indptr = np.zeros(count + 1, dtype=np.int64)
+    np.cumsum(np.bincount(run_ids, minlength=count), out=indptr[1:])
+    return indptr, flat
+
+
+def test_lt_accumulator_no_regression(benchmark):
+    """The LT weight accumulator (dense slab, with the sorted ping-pong
+    merge fallback) vs the legacy np.insert rebuild: bit-identical output
+    (same RNG consumption) and no performance regression on a dense
+    multi-seed burst."""
+    import time
+
+    import repro.propagation.lt as lt_module
+    from repro.propagation.lt import simulate_lt_batched
+
+    graph = make_graph(800)
+    seeds = np.arange(800, dtype=np.int64).repeat(4)  # 3200 concurrent runs
+
+    def run_current(seed=9):
+        return simulate_lt_batched(graph, seeds, np.random.default_rng(seed))
+
+    current_result = benchmark.pedantic(run_current, rounds=1, iterations=1)
+
+    def best_of(fn, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - started)
+        return result, best
+
+    _, current_seconds = best_of(run_current)
+    insert_result, insert_seconds = best_of(
+        lambda: _simulate_lt_batched_insert(graph, seeds, np.random.default_rng(9))
+    )
+    saved_limit = lt_module.LT_SLAB_LIMIT
+    lt_module.LT_SLAB_LIMIT = 0  # force the merge-accumulator fallback
+    try:
+        fallback_result, fallback_seconds = best_of(run_current)
+    finally:
+        lt_module.LT_SLAB_LIMIT = saved_limit
+
+    for current_array, reference in zip(current_result, insert_result):
+        np.testing.assert_array_equal(current_array, reference)
+    for fallback_array, reference in zip(fallback_result, insert_result):
+        np.testing.assert_array_equal(fallback_array, reference)
+    print(
+        f"\nLT slab {current_seconds * 1e3:.1f} ms vs np.insert "
+        f"{insert_seconds * 1e3:.1f} ms ({insert_seconds / current_seconds:.2f}x); "
+        f"merge fallback {fallback_seconds * 1e3:.1f} ms"
+    )
+    # Best-of-3 with a generous margin: a tripwire against reintroducing the
+    # per-level O(size) rebuilds, not a flaky CI timing assertion.
+    assert current_seconds <= insert_seconds * 2.0
+
+
 def test_stamp_array_no_regression(benchmark):
     """The preallocated stamp-bitmap visited set vs the sorted-merge
     fallback: identical output (bit-for-bit, same RNG consumption) and no

@@ -5,25 +5,70 @@ size; the standard scaling remedy in spatial crowdsourcing (see the
 authors' follow-up, "Task allocation with geographic partition", CIKM'21)
 is to split the area into cells, solve each cell independently, and merge.
 
-:class:`PartitionedAssigner` wraps any base :class:`~repro.assignment.base.
-Assigner`: tasks are bucketed into square cells, each worker joins the cell
-containing them, and the base algorithm runs per cell on a sub-instance.
-Workers near a cell border may lose access to feasible tasks in the
-neighbouring cell, so the result is a (usually slight) under-assignment
-relative to the global optimum — the classic quality/latency trade-off,
-quantified in ``benchmarks/bench_substrate_partition.py``.
+This module holds the **partition/merge core** shared by the two spatial
+decompositions in the library:
+
+* :func:`bucket_pools` groups workers and tasks by an arbitrary spatial
+  key; :func:`merge_assignments` folds per-bucket assignments back together
+  in deterministic sorted-key order (so results never depend on dict
+  insertion order — golden-fixture determinism).
+* :class:`PartitionedAssigner` applies them offline with a plain
+  square-cell key: workers near a cell border may lose access to feasible
+  tasks in the neighbouring cell, so the result is a (usually slight)
+  under-assignment relative to the global optimum — the classic
+  quality/latency trade-off, quantified in
+  ``benchmarks/bench_substrate_partition.py``.
+* The streaming :class:`~repro.stream.shards.ShardLayout` /
+  ``ShardExecutor`` pair applies the same core with a radius-aware
+  component key whose buckets never split a feasible pair, making the
+  merge exact rather than an approximation.
 
 The wrapper preserves the per-instance invariants (each worker and task at
-most once) by construction, since the cells partition both sets.
+most once) by construction, since the buckets partition both sets.
 """
 
 from __future__ import annotations
 
-import math
 from collections import defaultdict
+from typing import Callable, Hashable, Iterable, Sequence
 
 from repro.assignment.base import Assigner, PreparedInstance
-from repro.entities import Assignment
+from repro.entities import Assignment, Task, Worker
+from repro.geo import Point, cell_key
+
+
+def bucket_pools(
+    workers: Iterable[Worker],
+    tasks: Iterable[Task],
+    key_of: Callable[[Point], Hashable],
+) -> dict[Hashable, tuple[list[Worker], list[Task]]]:
+    """Group workers and tasks by the spatial key of their location.
+
+    The shared partition step of every spatial decomposition: offline
+    cells, streaming shards.  Input order is preserved inside each bucket.
+    """
+    buckets: dict[Hashable, tuple[list[Worker], list[Task]]] = defaultdict(
+        lambda: ([], [])
+    )
+    for worker in workers:
+        buckets[key_of(worker.location)][0].append(worker)
+    for task in tasks:
+        buckets[key_of(task.location)][1].append(task)
+    return buckets
+
+
+def merge_assignments(parts: Sequence[Assignment]) -> Assignment:
+    """Fold per-bucket assignments into one, in the order given.
+
+    Callers pass parts in sorted bucket-key order, which makes the merged
+    pair order a pure function of the event data — never of dict insertion
+    or pool-scheduling order.
+    """
+    merged = Assignment()
+    for part in parts:
+        for pair in part:
+            merged.add(pair.task, pair.worker)
+    return merged
 
 
 class PartitionedAssigner(Assigner):
@@ -46,27 +91,20 @@ class PartitionedAssigner(Assigner):
         self.cell_km = cell_km
         self.name = f"{base.name}@{cell_km:g}km"
 
-    def _cell_of(self, x: float, y: float) -> tuple[int, int]:
-        return (math.floor(x / self.cell_km), math.floor(y / self.cell_km))
-
     def assign(self, prepared: PreparedInstance) -> Assignment:
         instance = prepared.instance
-        cells: dict[tuple[int, int], tuple[list, list]] = defaultdict(
-            lambda: ([], [])
+        buckets = bucket_pools(
+            instance.workers,
+            instance.tasks,
+            lambda location: cell_key(location.x, location.y, self.cell_km),
         )
-        for worker in instance.workers:
-            cells[self._cell_of(worker.location.x, worker.location.y)][0].append(worker)
-        for task in instance.tasks:
-            cells[self._cell_of(task.location.x, task.location.y)][1].append(task)
-
-        merged = Assignment()
+        parts: list[Assignment] = []
         # Cells solve in key order: the merge result must not depend on the
-        # insertion order of the dicts above (golden-fixture determinism).
-        for _key, (workers, tasks) in sorted(cells.items()):
+        # insertion order of the buckets (golden-fixture determinism).
+        for _key, (workers, tasks) in sorted(buckets.items()):
             if not workers or not tasks:
                 continue
             sub_instance = instance.with_workers(workers).with_tasks(tasks)
             sub_prepared = PreparedInstance(sub_instance, prepared.influence)
-            for pair in self.base.assign(sub_prepared):
-                merged.add(pair.task, pair.worker)
-        return merged
+            parts.append(self.base.assign(sub_prepared))
+        return merge_assignments(parts)

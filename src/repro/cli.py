@@ -262,7 +262,53 @@ def cmd_seeds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_stream_flags(args: argparse.Namespace, trigger) -> str | None:
+    """Check checkpoint/trigger/shard flag combinations before any work.
+
+    Returns an error message (or None) — run *before* datasets are built
+    and influence models fitted, so a mismatched ``--resume`` fails in
+    milliseconds with a clear message instead of a fingerprint traceback
+    after minutes of fitting.
+    """
+    if args.executor != "serial" and args.shards is None:
+        return "--executor requires --shards (the unsharded runtime has no backend)"
+    if args.shards is not None and args.shards < 1:
+        return f"--shards must be >= 1, got {args.shards}"
+    if args.max_rounds is not None and args.max_rounds < 0:
+        return f"--max-rounds must be non-negative, got {args.max_rounds}"
+    if args.resume is None:
+        return None
+
+    from repro.exceptions import DataError
+    from repro.stream import load_checkpoint_meta, validate_checkpoint_meta
+
+    if not args.resume.exists():
+        return f"--resume checkpoint not found: {args.resume}"
+    try:
+        meta = load_checkpoint_meta(args.resume)
+        validate_checkpoint_meta(
+            meta,
+            trigger_kind=trigger.kind,
+            patience_hours=args.patience_hours,
+            sharded=args.shards is not None,
+            shard_request=(
+                {"shards": args.shards, "cell_km": None}
+                if args.shards is not None else None
+            ),
+        )
+    except DataError as error:
+        return (
+            f"cannot resume from {args.resume}: {error} "
+            "(--trigger/--patience-hours/--shards must match the "
+            "checkpointed run)"
+        )
+    except (OSError, ValueError) as error:
+        return f"cannot read checkpoint {args.resume}: {error}"
+    return None
+
+
 def cmd_stream(args: argparse.Namespace) -> int:
+    from repro.exceptions import DataError
     from repro.stream import (
         AdaptiveTrigger,
         CountTrigger,
@@ -273,6 +319,23 @@ def cmd_stream(args: argparse.Namespace) -> int:
     )
 
     assigner = _assigner_registry()[args.algorithm]()
+
+    if args.trigger == "count":
+        trigger = CountTrigger(args.batch_count)
+    elif args.trigger == "window":
+        trigger = TimeWindowTrigger(args.window_hours)
+    elif args.trigger == "hybrid":
+        trigger = HybridTrigger(args.batch_count, args.window_hours)
+    else:
+        trigger = AdaptiveTrigger(
+            target_seconds=args.latency_budget,
+            initial_window_hours=args.window_hours,
+        )
+
+    problem = _validate_stream_flags(args, trigger)
+    if problem is not None:
+        print(problem, file=sys.stderr)
+        return 2
 
     dataset = _dataset_from(args)
     builder = InstanceBuilder(dataset)
@@ -290,30 +353,31 @@ def cmd_stream(args: argparse.Namespace) -> int:
 
         influence = DITAPipeline(_pipeline_config(args)).fit(instance).influence_model()
 
-    if args.trigger == "count":
-        trigger = CountTrigger(args.batch_count)
-    elif args.trigger == "window":
-        trigger = TimeWindowTrigger(args.window_hours)
-    elif args.trigger == "hybrid":
-        trigger = HybridTrigger(args.batch_count, args.window_hours)
-    else:
-        trigger = AdaptiveTrigger(
-            target_seconds=args.latency_budget,
-            initial_window_hours=args.window_hours,
-        )
-
     if args.resume is not None:
-        runtime = StreamRuntime.resume(
-            args.resume, assigner, influence, trigger, instance, log,
-            patience_hours=args.patience_hours,
-        )
+        try:
+            runtime = StreamRuntime.resume(
+                args.resume, assigner, influence, trigger, instance, log,
+                patience_hours=args.patience_hours,
+                shards=args.shards, executor=args.executor,
+            )
+        except DataError as error:
+            print(f"cannot resume from {args.resume}: {error}", file=sys.stderr)
+            return 2
         print(f"resumed from {args.resume} at round {len(runtime.result.rounds)}")
     else:
         runtime = StreamRuntime(
             assigner, influence, trigger, instance, log,
             patience_hours=args.patience_hours,
+            shards=args.shards, executor=args.executor,
         )
-    result = runtime.run(max_rounds=args.max_rounds)
+    if runtime.shard_executor is not None:
+        layout = runtime.shard_executor.layout
+        print(f"sharded: {layout.num_shards} shards over "
+              f"{len(layout.cells)} cells ({args.executor} backend)")
+    try:
+        result = runtime.run(max_rounds=args.max_rounds)
+    finally:
+        runtime.close()
 
     active = [r for r in result.rounds if r.assigned or r.drained_events]
     shown = active[-args.show_rounds:] if args.show_rounds > 0 else []
@@ -424,6 +488,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="adaptive trigger's per-round latency target (s)")
     stream.add_argument("--patience-hours", type=float, default=None,
                         help="churn unassigned workers after this many hours")
+    stream.add_argument("--shards", type=int, default=None,
+                        help="run rounds sharded by grid-cell components "
+                             "(at most this many shards; exact decomposition)")
+    stream.add_argument("--executor",
+                        choices=("serial", "thread", "process"),
+                        default="serial",
+                        help="shard backend (requires --shards)")
     stream.add_argument("--max-rounds", type=int, default=None,
                         help="stop after this many rounds (resumable)")
     stream.add_argument("--show-rounds", type=int, default=12,

@@ -15,7 +15,7 @@ from repro.geo.distance import (
     pairwise_euclidean,
 )
 from repro.geo.bbox import BoundingBox
-from repro.geo.grid import GridIndex
+from repro.geo.grid import GridIndex, cell_gap_km, cell_key
 from repro.geo.kdtree import KDTree
 
 __all__ = [
@@ -23,6 +23,8 @@ __all__ = [
     "BoundingBox",
     "GridIndex",
     "KDTree",
+    "cell_key",
+    "cell_gap_km",
     "euclidean",
     "haversine_km",
     "travel_time_hours",

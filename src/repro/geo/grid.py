@@ -16,6 +16,31 @@ from repro.geo.point import Point
 T = TypeVar("T", bound=Hashable)
 
 
+def cell_key(x: float, y: float, cell_km: float) -> tuple[int, int]:
+    """The uniform-grid cell containing planar point ``(x, y)``.
+
+    The one cell quantization shared by every spatial partitioner —
+    :class:`GridIndex` buckets, the offline
+    :class:`~repro.assignment.PartitionedAssigner` cells, and the streaming
+    shard planner — so an entity lands in the same cell no matter which
+    layer asks.
+    """
+    return (math.floor(x / cell_km), math.floor(y / cell_km))
+
+
+def cell_gap_km(cell_a: tuple[int, int], cell_b: tuple[int, int], cell_km: float) -> float:
+    """Minimum distance between any two points of two grid cells.
+
+    Zero for identical or edge/corner-adjacent cells; otherwise the
+    Euclidean gap between the squares.  The shard planner links two cells
+    exactly when this gap does not exceed the largest worker radius — the
+    radius-aware halo that keeps every feasible pair inside one shard.
+    """
+    gap_x = max(0, abs(cell_a[0] - cell_b[0]) - 1) * cell_km
+    gap_y = max(0, abs(cell_a[1] - cell_b[1]) - 1) * cell_km
+    return math.hypot(gap_x, gap_y)
+
+
 class GridIndex(Generic[T]):
     """Buckets items by a uniform grid over the plane.
 
@@ -34,7 +59,7 @@ class GridIndex(Generic[T]):
         self._count = 0
 
     def _key(self, point: Point) -> tuple[int, int]:
-        return (math.floor(point.x / self._cell), math.floor(point.y / self._cell))
+        return cell_key(point.x, point.y, self._cell)
 
     def insert(self, point: Point, item: T) -> None:
         """Insert ``item`` located at ``point``."""

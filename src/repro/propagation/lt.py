@@ -19,10 +19,12 @@ weights summing to 1, the live-edge graph of LT keeps a single in-arc per
 node).  This makes LT RRR sets paths rather than trees.
 
 Both directions run frontier-batched: forward diffusion advances every
-Monte-Carlo run at once with sorted-key accumulators for the per-(run, node)
-incoming weight, and reverse sampling advances every walk at once with one
-vectorized categorical draw per level — matching the flat-CSR engine in
-:mod:`repro.propagation.rrr`.
+Monte-Carlo run at once, accumulating per-(run, node) incoming weight in
+dense direct-indexed slabs when the key space fits
+(:data:`LT_SLAB_LIMIT`, the analogue of the IC engine's stamp bitmap) and
+in a sorted ping-pong merge accumulator beyond it; reverse sampling
+advances every walk at once with one vectorized categorical draw per
+level — matching the flat-CSR engine in :mod:`repro.propagation.rrr`.
 """
 
 from __future__ import annotations
@@ -33,6 +35,95 @@ from repro.propagation.graph import SocialGraph
 from repro.propagation.rrr import RRRCollection, merge_sorted, not_in_sorted
 
 _EMPTY_INT = np.zeros(0, dtype=np.int64)
+
+#: Largest ``runs x nodes`` key space served by the dense O(1)-lookup
+#: weight/threshold slabs (4M cells ≈ 70 MB across the three arrays);
+#: beyond it the sorted ping-pong merge accumulator keeps memory
+#: proportional to the touched set.  Both paths are bit-identical,
+#: including every RNG draw — the LT analogue of
+#: :data:`repro.propagation.rrr.STAMP_ARRAY_LIMIT`.
+LT_SLAB_LIMIT = 1 << 22
+
+
+class _ThresholdAccumulator:
+    """Sorted ``(run, node) -> (weight, threshold)`` map for batched LT.
+
+    Keeps the touched keys of every pending run in sorted order across
+    levels.  Insertions run as one vectorized two-pointer merge between a
+    pair of preallocated ping-pong buffers (scatter by ``searchsorted``
+    rank) instead of the per-level ``np.insert`` rebuilds this replaced.
+    Keys that cross their threshold are *not* removed: once a (run, node)
+    pair is informed, the caller's ``not_in_sorted(informed, ...)`` filter
+    guarantees it is never touched again, so tolerating dead entries
+    trades a little ``searchsorted`` width for eliminating the second
+    full-buffer compaction rewrite every level.  The arithmetic and the
+    RNG draw order are exactly those of the insert-based version, so
+    results stay bit-identical.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self._keys = [np.empty(capacity, dtype=np.int64) for _ in range(2)]
+        self._weight = [np.empty(capacity) for _ in range(2)]
+        self._threshold = [np.empty(capacity) for _ in range(2)]
+        self._active = 0
+        self._size = 0
+
+    def _spare(self, needed: int) -> int:
+        spare = 1 - self._active
+        if len(self._keys[spare]) < needed:
+            capacity = max(needed, 2 * len(self._keys[spare]))
+            self._keys[spare] = np.empty(capacity, dtype=np.int64)
+            self._weight[spare] = np.empty(capacity)
+            self._threshold[spare] = np.empty(capacity)
+        return spare
+
+    def fold(
+        self, unique_keys: np.ndarray, sums: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Fold one level's per-key weight sums in; return crossed keys.
+
+        Existing keys accumulate weight; unseen keys draw their threshold
+        now (one ``rng.random`` call, in key order) and merge in; the
+        (sorted) keys whose accumulated weight reached the threshold this
+        level are returned.
+        """
+        keys = self._keys[self._active][: self._size]
+        weight = self._weight[self._active][: self._size]
+        new_mask = not_in_sorted(keys, unique_keys)
+        existing = np.searchsorted(keys, unique_keys[~new_mask])
+        weight[existing] += sums[~new_mask]
+
+        new_keys = unique_keys[new_mask]
+        if new_keys.size:
+            size = self._size
+            threshold = self._threshold[self._active][:size]
+            spare = self._spare(size + new_keys.size)
+            # Two-pointer merge positions, computed vectorized: each side's
+            # destination rank is its own rank plus its rank in the other.
+            old_target = np.arange(size, dtype=np.int64) + np.searchsorted(
+                new_keys, keys
+            )
+            new_target = np.searchsorted(keys, new_keys) + np.arange(
+                new_keys.size, dtype=np.int64
+            )
+            draws = rng.random(new_keys.size)
+            for buffers, old_values, new_values in (
+                (self._keys, keys, new_keys),
+                (self._weight, weight, sums[new_mask]),
+                (self._threshold, threshold, draws),
+            ):
+                destination = buffers[spare]
+                destination[old_target] = old_values
+                destination[new_target] = new_values
+            self._active = spare
+            self._size = size + new_keys.size
+            keys = self._keys[self._active][: self._size]
+            weight = self._weight[self._active][: self._size]
+
+        threshold = self._threshold[self._active][: self._size]
+        touched = np.searchsorted(keys, unique_keys)
+        crossed = weight[touched] >= threshold[touched]
+        return unique_keys[crossed]
 
 
 def simulate_lt_batched(
@@ -56,10 +147,16 @@ def simulate_lt_batched(
     informed = np.arange(count, dtype=np.int64) * n + seeds
     frontier_runs = np.arange(count, dtype=np.int64)
     frontier_nodes = seeds
-    # Sorted accumulator over touched-but-uninformed (run, node) keys.
-    acc_keys = _EMPTY_INT
-    acc_weight = np.zeros(0)
-    acc_threshold = np.zeros(0)
+    # Accumulated weight + lazily drawn threshold per touched (run, node)
+    # key: dense direct-indexed slabs when the key space fits, else a
+    # sorted merge accumulator (bit-identical either way).
+    use_slab = count * n <= LT_SLAB_LIMIT
+    if use_slab:
+        weight_slab = np.zeros(count * n)
+        threshold_slab = np.empty(count * n)
+        touched_slab = np.zeros(count * n, dtype=bool)
+    else:
+        accumulator = _ThresholdAccumulator()
 
     while frontier_nodes.size:
         starts = out_indptr[frontier_nodes]
@@ -84,28 +181,23 @@ def simulate_lt_batched(
         unique_keys = keys[boundary]
         sums = np.add.reduceat(weights, np.nonzero(boundary)[0])
 
-        # Fold into the accumulator; unseen keys draw their threshold now.
-        new_mask = not_in_sorted(acc_keys, unique_keys)
-        existing = np.searchsorted(acc_keys, unique_keys[~new_mask])
-        acc_weight[existing] += sums[~new_mask]
-        insert_at = np.searchsorted(acc_keys, unique_keys[new_mask])
-        acc_keys = np.insert(acc_keys, insert_at, unique_keys[new_mask])
-        acc_weight = np.insert(acc_weight, insert_at, sums[new_mask])
-        acc_threshold = np.insert(
-            acc_threshold, insert_at, rng.random(int(new_mask.sum()))
-        )
-
-        # Only keys touched this level can newly cross their threshold.
-        touched = np.searchsorted(acc_keys, unique_keys)
-        crossed = acc_weight[touched] >= acc_threshold[touched]
-        newly = unique_keys[crossed]
+        # Fold into the accumulator; unseen keys draw their threshold now,
+        # and only keys touched this level can newly cross it.
+        if use_slab:
+            new_mask = ~touched_slab[unique_keys]
+            new_keys = unique_keys[new_mask]
+            weight_slab[unique_keys[~new_mask]] += sums[~new_mask]
+            weight_slab[new_keys] = sums[new_mask]
+            threshold_slab[new_keys] = rng.random(new_keys.size)
+            touched_slab[new_keys] = True
+            crossed = (
+                weight_slab[unique_keys] >= threshold_slab[unique_keys]
+            )
+            newly = unique_keys[crossed]
+        else:
+            newly = accumulator.fold(unique_keys, sums, rng)
         if newly.size == 0:
             break
-        retain = np.ones(len(acc_keys), dtype=bool)
-        retain[touched[crossed]] = False
-        acc_keys, acc_weight, acc_threshold = (
-            acc_keys[retain], acc_weight[retain], acc_threshold[retain]
-        )
         informed = merge_sorted(informed, newly)
         frontier_runs = newly // n
         frontier_nodes = newly % n

@@ -15,11 +15,21 @@ day loop:
   expiry/churn rates;
 * :mod:`repro.stream.runtime` — :class:`StreamRuntime`, the loop tying it
   together (bit-identical to the batched ``OnlineSimulator`` under
-  equivalent boundaries);
-* :mod:`repro.stream.checkpoint` — npz snapshot + bit-identical resume.
+  equivalent boundaries), plus :class:`ShardExecutor`, the cell-sharded
+  round executor (serial / thread-pool / process-pool backends);
+* :mod:`repro.stream.shards` — :class:`ShardLayout`, the radius-aware
+  cell partition that never splits a feasible (worker, task) pair;
+* :mod:`repro.stream.checkpoint` — npz snapshot + bit-identical resume
+  (including shard layout and per-shard RNG state).
 """
 
-from repro.stream.checkpoint import load_checkpoint, restore_runtime, save_checkpoint
+from repro.stream.checkpoint import (
+    load_checkpoint,
+    load_checkpoint_meta,
+    restore_runtime,
+    save_checkpoint,
+    validate_checkpoint_meta,
+)
 from repro.stream.events import (
     EventLog,
     StreamEvent,
@@ -34,7 +44,13 @@ from repro.stream.events import (
     synthetic_stream,
 )
 from repro.stream.metrics import RoundRecord, StreamMetrics, StreamSummary
-from repro.stream.runtime import StreamResult, StreamRuntime
+from repro.stream.runtime import (
+    EXECUTOR_BACKENDS,
+    ShardExecutor,
+    StreamResult,
+    StreamRuntime,
+)
+from repro.stream.shards import ShardLayout
 from repro.stream.scheduler import (
     AdaptiveTrigger,
     CountTrigger,
@@ -68,10 +84,15 @@ __all__ = [
     "RoundRecord",
     "StreamMetrics",
     "StreamSummary",
-    # runtime & checkpoints
+    # runtime, sharding & checkpoints
     "StreamRuntime",
     "StreamResult",
+    "ShardExecutor",
+    "ShardLayout",
+    "EXECUTOR_BACKENDS",
     "save_checkpoint",
     "load_checkpoint",
+    "load_checkpoint_meta",
+    "validate_checkpoint_meta",
     "restore_runtime",
 ]

@@ -12,9 +12,12 @@ A checkpoint captures everything the runtime needs to continue
 * the **accumulated result** (assignment pairs as event-index pairs, all
   metrics arrays) so the resumed runtime's final result equals the
   uninterrupted run's, not just its tail;
-* **trigger adaptation state** and the **RNG state** of the runtime's
-  generator, keeping adaptive policies and stochastic extensions on the
-  same trajectory.
+* **trigger adaptation state** (plus the trigger's policy kind, so a
+  resume under a different policy fails with a clear message) and the
+  **RNG state** of the runtime's generator, keeping adaptive policies and
+  stochastic extensions on the same trajectory;
+* for sharded runs, the **shard layout** and the **per-shard RNG states**,
+  so a resumed run partitions its rounds identically.
 
 Round wall-clock timings are data (they are part of the metrics arrays) but
 never inputs to control flow in deterministic triggers, so replay equality
@@ -30,13 +33,15 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.exceptions import DataError
-from repro.stream.events import EventLog, TaskPublishEvent, WorkerArrivalEvent
+from repro.stream.events import KIND_ARRIVAL, KIND_PUBLISH, EventLog
+from repro.stream.shards import ShardLayout
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.stream.runtime import StreamRuntime
 
 #: Format marker; bumped on incompatible layout changes.
-CHECKPOINT_VERSION = 1
+#: v2: columnar event-log fingerprints, trigger kinds, shard layout + RNGs.
+CHECKPOINT_VERSION = 2
 
 _EMPTY = np.zeros(0, dtype=np.int64)
 
@@ -58,12 +63,13 @@ def _entity_event_indices(log: EventLog, cursor: int) -> tuple[dict, dict]:
     """
     worker_index: dict = {}
     task_index: dict = {}
+    kinds = log.kinds
     for position in range(cursor):
-        event = log[position]
-        if isinstance(event, WorkerArrivalEvent):
-            worker_index[event.worker] = position
-        elif isinstance(event, TaskPublishEvent):
-            task_index[event.task] = position
+        kind = int(kinds[position])
+        if kind == KIND_ARRIVAL:
+            worker_index[log.worker_at(position)] = position
+        elif kind == KIND_PUBLISH:
+            task_index[log.task_at(position)] = position
     return worker_index, task_index
 
 
@@ -105,9 +111,15 @@ def save_checkpoint(runtime: "StreamRuntime", path: str | Path) -> Path:
         "done": runtime._done,
         "pending_start_round": runtime._pending_start_round,
         "patience_hours": runtime.patience_hours,
+        "trigger_kind": runtime.trigger.kind,
         "trigger": runtime.trigger.state_dict(),
         "rng_state": (
             runtime.rng.bit_generator.state if runtime.rng is not None else None
+        ),
+        "shards": (
+            {**runtime.shard_executor.state_dict(), "requested": runtime.shard_request}
+            if runtime.shard_executor is not None
+            else None
         ),
     }
     np.savez(
@@ -136,14 +148,74 @@ def load_checkpoint(path: str | Path) -> dict:
     """Read a checkpoint into a plain dict of meta + arrays."""
     with np.load(Path(path), allow_pickle=False) as data:
         payload = {key: data[key] for key in data.files}
-    payload["meta"] = json.loads(str(payload["meta"]))
-    version = payload["meta"].get("version")
+    payload["meta"] = _parse_meta(payload["meta"])
+    return payload
+
+
+def load_checkpoint_meta(path: str | Path) -> dict:
+    """Read only a checkpoint's meta dict (no metrics/pool arrays).
+
+    The cheap pre-flight read for :func:`validate_checkpoint_meta` callers
+    (npz members load lazily, so the arrays stay on disk).
+    """
+    with np.load(Path(path), allow_pickle=False) as data:
+        return _parse_meta(data["meta"])
+
+
+def _parse_meta(raw) -> dict:
+    meta = json.loads(str(raw))
+    version = meta.get("version")
     if version != CHECKPOINT_VERSION:
         raise DataError(
             f"unsupported checkpoint version {version!r} "
             f"(expected {CHECKPOINT_VERSION})"
         )
-    return payload
+    return meta
+
+
+def validate_checkpoint_meta(
+    meta: dict,
+    trigger_kind: str,
+    patience_hours: float | None,
+    sharded: bool,
+    shard_request: dict | None = None,
+) -> None:
+    """Check a checkpoint's meta against a run configuration.
+
+    The single source of the compatibility rules: :func:`restore_runtime`
+    enforces them before touching any state, and the ``stream`` CLI calls
+    this *before* datasets are built and influence models fitted, so a
+    mismatched ``--resume`` fails in milliseconds with the same message
+    instead of after minutes of fitting.  Raises :class:`DataError` on the
+    first mismatch.
+    """
+    if meta["trigger_kind"] != trigger_kind:
+        raise DataError(
+            f"checkpoint was taken with a {meta['trigger_kind']!r} trigger, "
+            f"this run uses {trigger_kind!r} — resume with the same "
+            "trigger policy"
+        )
+    if meta["patience_hours"] != patience_hours:
+        raise DataError(
+            f"checkpoint used patience_hours={meta['patience_hours']}, "
+            f"this run uses {patience_hours}"
+        )
+    if (meta.get("shards") is None) != (not sharded):
+        saved = "an unsharded" if meta.get("shards") is None else "a sharded"
+        built = "sharded" if sharded else "unsharded"
+        raise DataError(
+            f"checkpoint was taken from {saved} run, this run is "
+            f"{built} — pass the same shards/executor configuration"
+        )
+    if sharded and shard_request is not None:
+        saved_request = meta["shards"].get("requested")
+        if saved_request is not None and saved_request != shard_request:
+            raise DataError(
+                f"checkpoint was taken with shards={saved_request['shards']}, "
+                f"cell_km={saved_request['cell_km']}; this run requests "
+                f"shards={shard_request['shards']}, "
+                f"cell_km={shard_request['cell_km']}"
+            )
 
 
 def restore_runtime(runtime: "StreamRuntime", path: str | Path) -> "StreamRuntime":
@@ -160,11 +232,22 @@ def restore_runtime(runtime: "StreamRuntime", path: str | Path) -> "StreamRuntim
             "checkpoint was taken against a different event log "
             "(fingerprint mismatch)"
         )
-    if meta["patience_hours"] != runtime.patience_hours:
-        raise DataError(
-            f"checkpoint used patience_hours={meta['patience_hours']}, "
-            f"runtime was built with {runtime.patience_hours}"
-        )
+    validate_checkpoint_meta(
+        meta,
+        trigger_kind=runtime.trigger.kind,
+        patience_hours=runtime.patience_hours,
+        sharded=runtime.shard_executor is not None,
+        shard_request=runtime.shard_request,
+    )
+    shard_meta = meta.get("shards")
+    if shard_meta is not None:
+        saved_layout = ShardLayout.from_state_dict(shard_meta["layout"])
+        if saved_layout != runtime.shard_executor.layout:
+            raise DataError(
+                "checkpoint shard layout does not match the runtime's "
+                "(different shard count or planning cell size?)"
+            )
+        runtime.shard_executor.load_state_dict(shard_meta)
 
     state = runtime.state
     log = runtime.log

@@ -1,10 +1,23 @@
-"""Typed stream events and the time-ordered :class:`EventLog`.
+"""Typed stream events and the columnar, time-ordered :class:`EventLog`.
 
 The paper's online protocol is a *stream*: workers come online, tasks are
 published and later expire, and (beyond the paper) workers may churn out or
 tasks be cancelled.  This module gives each of those occurrences a typed
 event and merges arbitrary event sources into one deterministic, replayable
 log.
+
+Storage model
+-------------
+The log is **columnar**: one structured numpy array
+(:attr:`EventLog.columns` with fields ``time``, ``phase``, ``kind``,
+``entity_id``, ``payload``, ``x``, ``y``) plus object payload *side-tables*
+holding the :class:`~repro.entities.Worker` / :class:`~repro.entities.Task`
+each arrival/publish row introduces.  Building, cursor replay
+(:meth:`EventLog.drain_stop`), count scheduling
+(:meth:`EventLog.next_count_time`), shard planning
+(:meth:`EventLog.cell_keys`) and fingerprinting are array operations; the
+per-event dataclass wrappers are materialized lazily, only where object
+access is genuinely wanted (``log[i]``, iteration).
 
 Ordering
 --------
@@ -14,7 +27,7 @@ round semantics of :class:`~repro.framework.online.OnlineSimulator` exactly:
 * *admission* phases (arrival < publish < cancel) apply at a round whose
   time ``T`` satisfies ``event.time <= T`` — a worker arriving exactly at a
   round boundary participates in that round;
-* *deferred* phases (expiry, churn) apply only when ``event.time < T`` —
+* *deferred* phases (expiry, churn) apply only when ``time < T`` —
   a task whose deadline coincides with the boundary is still assignable in
   that round (the simulator's strict ``expiry_time < current`` check).
 
@@ -29,11 +42,13 @@ themselves.
 Construction
 ------------
 :meth:`EventLog.merged` heap-merges already-sorted iterables;
+:meth:`EventLog.from_columns` builds straight from arrays (no per-event
+wrappers at all — the path the high-rate generators use);
 :func:`day_stream` turns a :class:`~repro.data.CheckInDataset` day into the
 exact event set the batched :class:`OnlineSimulator` plays; and
 :func:`synthetic_stream` generates Poisson-style arrival/publication streams
-(with optional churn and cancellations) for load tests far beyond the
-paper's scale.
+(with optional churn, cancellations and spatially separated *clusters*) for
+load tests far beyond the paper's scale.
 """
 
 from __future__ import annotations
@@ -62,6 +77,43 @@ PHASE_CHURN = 4
 
 #: First deferred phase — the drain cutoff used by the runtime.
 DEFERRED_PHASE = PHASE_EXPIRY
+
+#: Event kinds (the ``kind`` column).  Kinds currently map 1:1 onto phases,
+#: but are stored separately so future event classes can share a phase
+#: (e.g. a relocation event ordering like an arrival).
+KIND_ARRIVAL = 0
+KIND_PUBLISH = 1
+KIND_CANCEL = 2
+KIND_EXPIRY = 3
+KIND_CHURN = 4
+
+#: ``phase`` of each kind, indexed by kind code.
+KIND_PHASE = np.array(
+    [PHASE_ARRIVAL, PHASE_PUBLISH, PHASE_CANCEL, PHASE_EXPIRY, PHASE_CHURN],
+    dtype=np.int64,
+)
+
+#: The columnar layout: one row per event.  ``payload`` indexes the worker
+#: side-table (arrivals) or the task side-table (publishes), -1 otherwise;
+#: ``x``/``y`` are the payload location (NaN for rows without one).
+EVENT_DTYPE = np.dtype(
+    [
+        ("time", "<f8"),
+        ("phase", "<i8"),
+        ("kind", "<i8"),
+        ("entity_id", "<i8"),
+        ("payload", "<i8"),
+        ("x", "<f8"),
+        ("y", "<f8"),
+    ]
+)
+
+_EMPTY_INT = np.zeros(0, dtype=np.int64)
+
+#: Packing offset of :meth:`EventLog.cell_keys`: cell indices must satisfy
+#: ``|k| < CELL_OFFSET`` so ``(kx, ky)`` packs into one int64 without
+#: overflow ((2 * CELL_OFFSET)**2 < 2**63).
+CELL_OFFSET = 2**25
 
 
 @dataclass(frozen=True, slots=True)
@@ -138,22 +190,176 @@ class WorkerChurnEvent(StreamEvent):
         return self.worker_id
 
 
-def _sort_key(event: StreamEvent) -> tuple[float, int, int]:
-    return (event.time, event.phase, event.entity_id)
+def _event_row(event: StreamEvent) -> tuple[int, int, object]:
+    """``(kind, entity_id, payload_or_None)`` of one event object."""
+    if isinstance(event, WorkerArrivalEvent):
+        return KIND_ARRIVAL, event.worker.worker_id, event.worker
+    if isinstance(event, TaskPublishEvent):
+        return KIND_PUBLISH, event.task.task_id, event.task
+    if isinstance(event, TaskCancelEvent):
+        return KIND_CANCEL, event.task_id, None
+    if isinstance(event, TaskExpiryEvent):
+        return KIND_EXPIRY, event.task_id, None
+    if isinstance(event, WorkerChurnEvent):
+        return KIND_CHURN, event.worker_id, None
+    raise TypeError(f"unsupported stream event {event!r}")
 
 
 class EventLog:
-    """An immutable, time-ordered sequence of stream events.
+    """An immutable, time-ordered, columnar sequence of stream events.
 
     The log is materialized (not a consuming heap) so that a cursor index is
     a complete description of replay progress — checkpoints store the cursor
     and resumed runs re-read the identical tail.
     """
 
-    def __init__(self, events: Iterable[StreamEvent]) -> None:
+    def __init__(self, events: Iterable[StreamEvent] = ()) -> None:
         staged = list(events)
-        staged.sort(key=_sort_key)
-        self._events: tuple[StreamEvent, ...] = tuple(staged)
+        count = len(staged)
+        time = np.empty(count, dtype=np.float64)
+        kind = np.empty(count, dtype=np.int64)
+        entity = np.empty(count, dtype=np.int64)
+        payload = np.full(count, -1, dtype=np.int64)
+        workers: list[Worker] = []
+        tasks: list[Task] = []
+        for position, event in enumerate(staged):
+            event_kind, entity_id, body = _event_row(event)
+            time[position] = event.time
+            kind[position] = event_kind
+            entity[position] = entity_id
+            if event_kind == KIND_ARRIVAL:
+                payload[position] = len(workers)
+                workers.append(body)
+            elif event_kind == KIND_PUBLISH:
+                payload[position] = len(tasks)
+                tasks.append(body)
+        self._init_from_arrays(time, kind, entity, payload, workers, tasks)
+
+    # ----------------------------------------------------------- construction
+    @classmethod
+    def from_columns(
+        cls,
+        time: np.ndarray,
+        kind: np.ndarray,
+        entity_id: np.ndarray,
+        payload: np.ndarray | None = None,
+        workers: Sequence[Worker] = (),
+        tasks: Sequence[Task] = (),
+    ) -> "EventLog":
+        """Build a log straight from column arrays (no event objects).
+
+        ``payload`` holds, per row, the index of the row's worker (arrival
+        rows, into ``workers``) or task (publish rows, into ``tasks``) and
+        -1 elsewhere; when omitted, arrival/publish rows are matched to the
+        side-tables in row order.  Rows may be in any order — the
+        constructor applies the canonical ``(time, phase, entity_id)``
+        stable sort itself.
+        """
+        time = np.ascontiguousarray(time, dtype=np.float64)
+        kind = np.ascontiguousarray(kind, dtype=np.int64)
+        entity_id = np.ascontiguousarray(entity_id, dtype=np.int64)
+        if not (len(time) == len(kind) == len(entity_id)):
+            raise ValueError(
+                "time, kind and entity_id columns must have equal length"
+            )
+        if kind.size and (kind.min() < 0 or kind.max() >= len(KIND_PHASE)):
+            raise ValueError("kind column contains an unknown event kind")
+        if payload is None:
+            payload = np.full(len(time), -1, dtype=np.int64)
+            payload[kind == KIND_ARRIVAL] = np.arange(
+                int((kind == KIND_ARRIVAL).sum()), dtype=np.int64
+            )
+            payload[kind == KIND_PUBLISH] = np.arange(
+                int((kind == KIND_PUBLISH).sum()), dtype=np.int64
+            )
+        else:
+            payload = np.ascontiguousarray(payload, dtype=np.int64)
+            if len(payload) != len(time):
+                raise ValueError("payload column must have the row count")
+            for kind_code, table, label in (
+                (KIND_ARRIVAL, workers, "workers"),
+                (KIND_PUBLISH, tasks, "tasks"),
+            ):
+                refs = payload[kind == kind_code]
+                if refs.size and (refs.min() < 0 or refs.max() >= len(table)):
+                    raise ValueError(
+                        f"payload indices of kind-{kind_code} rows must lie in "
+                        f"[0, {len(table)}) — the {label} side-table"
+                    )
+        log = cls.__new__(cls)
+        log._init_from_arrays(
+            time, kind, entity_id, payload, list(workers), list(tasks)
+        )
+        return log
+
+    def _init_from_arrays(
+        self,
+        time: np.ndarray,
+        kind: np.ndarray,
+        entity: np.ndarray,
+        payload: np.ndarray,
+        workers: list[Worker],
+        tasks: list[Task],
+    ) -> None:
+        count = len(time)
+        phase = KIND_PHASE[kind] if count else _EMPTY_INT
+        order = np.lexsort((entity, phase, time))
+        columns = np.zeros(count, dtype=EVENT_DTYPE)
+        columns["time"] = time[order]
+        columns["phase"] = phase[order]
+        columns["kind"] = kind[order]
+        columns["entity_id"] = entity[order]
+
+        # Renumber payloads in sorted-row order so the columnar form (and
+        # therefore the fingerprint) is independent of the source order.
+        source_payload = payload[order]
+        arrival_rows = np.flatnonzero(columns["kind"] == KIND_ARRIVAL)
+        publish_rows = np.flatnonzero(columns["kind"] == KIND_PUBLISH)
+        self._workers: tuple[Worker, ...] = tuple(
+            workers[source_payload[row]] for row in arrival_rows
+        )
+        self._tasks: tuple[Task, ...] = tuple(
+            tasks[source_payload[row]] for row in publish_rows
+        )
+        sorted_payload = np.full(count, -1, dtype=np.int64)
+        sorted_payload[arrival_rows] = np.arange(len(arrival_rows), dtype=np.int64)
+        sorted_payload[publish_rows] = np.arange(len(publish_rows), dtype=np.int64)
+        columns["payload"] = sorted_payload
+
+        xs = np.full(count, np.nan)
+        ys = np.full(count, np.nan)
+        for slot, row in enumerate(arrival_rows):
+            location = self._workers[slot].location
+            xs[row], ys[row] = location.x, location.y
+        for slot, row in enumerate(publish_rows):
+            location = self._tasks[slot].location
+            xs[row], ys[row] = location.x, location.y
+        columns["x"] = xs
+        columns["y"] = ys
+        columns.setflags(write=False)
+        self.columns: np.ndarray = columns
+
+        self._worker_attrs = np.array(
+            [
+                (w.location.x, w.location.y, w.reachable_km, w.speed_kmh)
+                for w in self._workers
+            ],
+            dtype=np.float64,
+        ).reshape(len(self._workers), 4)
+        self._task_attrs = np.array(
+            [
+                (t.location.x, t.location.y, t.publication_time, t.valid_hours)
+                for t in self._tasks
+            ],
+            dtype=np.float64,
+        ).reshape(len(self._tasks), 4)
+        self._task_venues = np.array(
+            [-1 if t.venue_id is None else t.venue_id for t in self._tasks],
+            dtype=np.int64,
+        )
+        self._admissions = np.flatnonzero(columns["phase"] <= PHASE_PUBLISH)
+        self._event_cache: list[StreamEvent | None] = [None] * count
+        self._events_tuple: tuple[StreamEvent, ...] | None = None
 
     @classmethod
     def merged(cls, *sources: Iterable[StreamEvent]) -> "EventLog":
@@ -167,75 +373,177 @@ class EventLog:
 
     # -------------------------------------------------------------- sequence
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self.columns)
 
     def __getitem__(self, index: int) -> StreamEvent:
-        return self._events[index]
+        event = self._event_cache[index]
+        if event is None:
+            event = self._materialize(index)
+            self._event_cache[index] = event
+        return event
 
     def __iter__(self) -> Iterator[StreamEvent]:
-        return iter(self._events)
+        for index in range(len(self.columns)):
+            yield self[index]
+
+    def _materialize(self, index: int) -> StreamEvent:
+        row = self.columns[index]
+        kind = int(row["kind"])
+        time = float(row["time"])
+        if kind == KIND_ARRIVAL:
+            return WorkerArrivalEvent(time=time, worker=self._workers[row["payload"]])
+        if kind == KIND_PUBLISH:
+            return TaskPublishEvent(time=time, task=self._tasks[row["payload"]])
+        entity = int(row["entity_id"])
+        if kind == KIND_CANCEL:
+            return TaskCancelEvent(time=time, task_id=entity)
+        if kind == KIND_EXPIRY:
+            return TaskExpiryEvent(time=time, task_id=entity)
+        return WorkerChurnEvent(time=time, worker_id=entity)
 
     @property
     def events(self) -> tuple[StreamEvent, ...]:
-        """The ordered events (immutable)."""
-        return self._events
+        """The ordered events, materialized once and cached (immutable)."""
+        if self._events_tuple is None:
+            self._events_tuple = tuple(self[index] for index in range(len(self)))
+        return self._events_tuple
+
+    # ------------------------------------------------------------ column API
+    @property
+    def times(self) -> np.ndarray:
+        """The ``time`` column (sorted ascending, read-only)."""
+        return self.columns["time"]
+
+    @property
+    def phases(self) -> np.ndarray:
+        """The ``phase`` column (read-only)."""
+        return self.columns["phase"]
+
+    @property
+    def kinds(self) -> np.ndarray:
+        """The ``kind`` column (read-only)."""
+        return self.columns["kind"]
+
+    @property
+    def entity_ids(self) -> np.ndarray:
+        """The ``entity_id`` column (read-only)."""
+        return self.columns["entity_id"]
+
+    def worker_at(self, index: int) -> Worker:
+        """The worker payload of the arrival event at ``index``."""
+        slot = int(self.columns["payload"][index])
+        if int(self.columns["kind"][index]) != KIND_ARRIVAL or slot < 0:
+            raise IndexError(f"event {index} is not a worker arrival")
+        return self._workers[slot]
+
+    def task_at(self, index: int) -> Task:
+        """The task payload of the publish event at ``index``."""
+        slot = int(self.columns["payload"][index])
+        if int(self.columns["kind"][index]) != KIND_PUBLISH or slot < 0:
+            raise IndexError(f"event {index} is not a task publish")
+        return self._tasks[slot]
+
+    def drain_stop(self, cursor: int, fire_time: float) -> int:
+        """First undrained index for a round at ``fire_time`` (array op).
+
+        Everything strictly before ``fire_time`` drains; at the boundary
+        itself only admission phases do (deferred expiry/churn wait for the
+        next round) — exactly the runtime's event-by-event scan, as two
+        ``searchsorted`` calls on the sorted ``(time, phase)`` key.
+        """
+        times = self.columns["time"]
+        lo = int(np.searchsorted(times, fire_time, side="left"))
+        hi = int(np.searchsorted(times, fire_time, side="right"))
+        cut = lo + int(
+            np.searchsorted(self.columns["phase"][lo:hi], DEFERRED_PHASE, side="left")
+        )
+        return max(cursor, cut)
+
+    def next_count_time(
+        self, cursor: int, count: int, limit_time: float
+    ) -> float | None:
+        """When the ``count``-th admission at or after ``cursor`` occurs.
+
+        Returns ``None`` when fewer than ``count`` admissions remain or the
+        count-th one lies beyond ``limit_time`` — the count-trigger
+        scheduling query, answered from the precomputed admission-position
+        index instead of an event scan.
+        """
+        start = int(np.searchsorted(self._admissions, cursor, side="left"))
+        target = start + count - 1
+        if target >= len(self._admissions):
+            return None
+        fire = float(self.columns["time"][self._admissions[target]])
+        return fire if fire <= limit_time else None
+
+    def cell_keys(self, cell_km: float) -> np.ndarray:
+        """Grid-cell key per event row, quantizing ``x``/``y`` by ``cell_km``.
+
+        Rows without a location (cancel/expiry/churn) get the
+        out-of-range sentinel cell ``(CELL_OFFSET, CELL_OFFSET)``.  Keys
+        pack ``(kx, ky)`` into one int64 (each offset by ``CELL_OFFSET``,
+        valid for ``|k| < CELL_OFFSET`` — tens of millions of cells per
+        axis), matching :func:`repro.geo.cell_key` on the payload
+        locations — the shard planner's input.
+        """
+        if cell_km <= 0:
+            raise ValueError(f"cell_km must be positive, got {cell_km}")
+        xs = self.columns["x"]
+        ys = self.columns["y"]
+        located = ~np.isnan(xs)
+        kx = np.full(len(xs), CELL_OFFSET, dtype=np.int64)
+        ky = np.full(len(ys), CELL_OFFSET, dtype=np.int64)
+        kx[located] = np.floor(xs[located] / cell_km).astype(np.int64)
+        ky[located] = np.floor(ys[located] / cell_km).astype(np.int64)
+        return (kx + CELL_OFFSET) * (2 * CELL_OFFSET) + (ky + CELL_OFFSET)
+
+    def max_reachable_km(self) -> float:
+        """Largest worker radius in the log (0.0 without arrivals)."""
+        if not len(self._worker_attrs):
+            return 0.0
+        return float(self._worker_attrs[:, 2].max())
 
     # ------------------------------------------------------------ properties
     def start_time(self) -> float | None:
         """Earliest admission-event time (``None`` if no admissions)."""
-        times = [
-            ev.time for ev in self._events if ev.phase in (PHASE_ARRIVAL, PHASE_PUBLISH)
-        ]
-        return min(times) if times else None
+        if not len(self._admissions):
+            return None
+        return float(self.columns["time"][self._admissions[0]])
 
     def has_arrivals(self) -> bool:
         """Whether any worker-arrival event is present."""
-        return any(ev.phase == PHASE_ARRIVAL for ev in self._events)
+        return bool(len(self._workers))
 
     def last_deadline(self) -> float | None:
         """Latest expiry-event time (the natural default end of a run)."""
-        times = [ev.time for ev in self._events if ev.phase == PHASE_EXPIRY]
-        return max(times) if times else None
+        expiries = self.columns["time"][self.columns["kind"] == KIND_EXPIRY]
+        return float(expiries.max()) if len(expiries) else None
 
     def fingerprint(self) -> str:
-        """A digest of every event, payloads included.
+        """A digest of the columnar buffers, payload attributes included.
 
         Stored in checkpoints so a resume against a different log fails
         fast instead of silently replaying the wrong stream — including
         logs with identical timing but different worker/task attributes
-        (e.g. the same day rebuilt with another reachable radius).
+        (e.g. the same day rebuilt with another reachable radius).  Hashes
+        the structured-array buffer and the payload attribute tables
+        directly (no per-event serialization); the exact digests are pinned
+        by a regression test.
         """
         digest = hashlib.sha256()
-        for event in self._events:
-            digest.update(
-                struct.pack("<dqq", event.time, event.phase, event.entity_id)
-            )
-            if isinstance(event, WorkerArrivalEvent):
-                worker = event.worker
-                digest.update(
-                    struct.pack(
-                        "<dddd",
-                        worker.location.x,
-                        worker.location.y,
-                        worker.reachable_km,
-                        worker.speed_kmh,
-                    )
-                )
-            elif isinstance(event, TaskPublishEvent):
-                task = event.task
-                digest.update(
-                    struct.pack(
-                        "<ddddq",
-                        task.location.x,
-                        task.location.y,
-                        task.publication_time,
-                        task.valid_hours,
-                        -1 if task.venue_id is None else task.venue_id,
-                    )
-                )
-                for category in task.categories:
-                    digest.update(category.encode("utf-8"))
-                    digest.update(b"\x00")
+        digest.update(b"repro-eventlog-v2")
+        digest.update(
+            struct.pack("<qqq", len(self), len(self._workers), len(self._tasks))
+        )
+        digest.update(np.ascontiguousarray(self.columns).tobytes())
+        digest.update(np.ascontiguousarray(self._worker_attrs).tobytes())
+        digest.update(np.ascontiguousarray(self._task_attrs).tobytes())
+        digest.update(np.ascontiguousarray(self._task_venues).tobytes())
+        for task in self._tasks:
+            for category in task.categories:
+                digest.update(category.encode("utf-8"))
+                digest.update(b"\x00")
+            digest.update(b"\x01")
         return digest.hexdigest()
 
 
@@ -303,6 +611,8 @@ def synthetic_stream(
     speed_kmh: float = 5.0,
     churn_fraction: float = 0.0,
     cancel_fraction: float = 0.0,
+    clusters: int = 1,
+    cluster_gap_km: float | None = None,
     seed: int = 0,
 ) -> tuple[SCInstance, EventLog]:
     """A Poisson-style synthetic stream for load tests.
@@ -314,29 +624,56 @@ def synthetic_stream(
     halfway to its deadline.  Scaling ``num_workers``/``num_tasks`` with the
     duration fixed raises the arrival *rate* — the bench runs 10-100x the
     paper's per-day volumes this way.
+
+    ``clusters > 1`` models a multi-city world: entities are split across
+    ``clusters`` ``area_km`` squares laid out on a grid whose squares are
+    separated by ``cluster_gap_km`` (default ``3 * reachable_km``, wide
+    enough that the conservative cell-granularity shard planner provably
+    separates them), so no feasible (worker, task) pair ever crosses
+    clusters — the decomposition the sharded round executor exploits.
+    ``clusters=1`` reproduces the historical single-square stream
+    draw-for-draw.
     """
     if num_workers < 0 or num_tasks < 0:
         raise ValueError("num_workers and num_tasks must be non-negative")
     if duration_hours <= 0:
         raise ValueError(f"duration_hours must be positive, got {duration_hours}")
+    if clusters < 1:
+        raise ValueError(f"clusters must be >= 1, got {clusters}")
+    if cluster_gap_km is None:
+        cluster_gap_km = 3.0 * reachable_km
+    elif cluster_gap_km <= 0:
+        raise ValueError(f"cluster_gap_km must be positive, got {cluster_gap_km}")
     rng = np.random.default_rng(seed)
-    events: list[StreamEvent] = []
+
+    grid_side = int(np.ceil(np.sqrt(clusters)))
+    pitch = area_km + cluster_gap_km
+
+    def cluster_origins(assignments: np.ndarray) -> np.ndarray:
+        return np.column_stack(
+            (assignments % grid_side, assignments // grid_side)
+        ) * pitch
 
     worker_times = np.sort(rng.uniform(0.0, duration_hours, size=num_workers))
     worker_xy = rng.uniform(0.0, area_km, size=(num_workers, 2))
-    for worker_id in range(num_workers):
-        worker = Worker(
+    if clusters > 1:
+        worker_xy = worker_xy + cluster_origins(
+            rng.integers(clusters, size=num_workers)
+        )
+    workers = [
+        Worker(
             worker_id=worker_id,
             location=Point(float(worker_xy[worker_id, 0]), float(worker_xy[worker_id, 1])),
             reachable_km=reachable_km,
             speed_kmh=speed_kmh,
         )
-        events.append(
-            WorkerArrivalEvent(time=float(worker_times[worker_id]), worker=worker)
-        )
+        for worker_id in range(num_workers)
+    ]
 
     task_times = np.sort(rng.uniform(0.0, duration_hours, size=num_tasks))
     task_xy = rng.uniform(0.0, area_km, size=(num_tasks, 2))
+    if clusters > 1:
+        task_xy = task_xy + cluster_origins(rng.integers(clusters, size=num_tasks))
     tasks = [
         Task(
             task_id=task_id,
@@ -346,30 +683,40 @@ def synthetic_stream(
         )
         for task_id in range(num_tasks)
     ]
-    events.extend(TaskPublishEvent(time=t.publication_time, task=t) for t in tasks)
-    events.extend(expiry_events(tasks))
+
+    # Columns, assembled without per-event wrapper objects: arrivals,
+    # publishes, expiries, then optional churn/cancel rows.
+    times = [worker_times, task_times, task_times + valid_hours]
+    kinds = [
+        np.full(num_workers, KIND_ARRIVAL, dtype=np.int64),
+        np.full(num_tasks, KIND_PUBLISH, dtype=np.int64),
+        np.full(num_tasks, KIND_EXPIRY, dtype=np.int64),
+    ]
+    entities = [
+        np.arange(num_workers, dtype=np.int64),
+        np.arange(num_tasks, dtype=np.int64),
+        np.arange(num_tasks, dtype=np.int64),
+    ]
 
     if churn_fraction > 0.0 and num_workers:
         churners = np.flatnonzero(rng.random(num_workers) < churn_fraction)
         stays = rng.exponential(scale=2.0, size=len(churners))
-        for slot, worker_id in enumerate(churners):
-            events.append(
-                WorkerChurnEvent(
-                    time=float(worker_times[worker_id] + stays[slot]),
-                    worker_id=int(worker_id),
-                )
-            )
+        times.append(worker_times[churners] + stays)
+        kinds.append(np.full(len(churners), KIND_CHURN, dtype=np.int64))
+        entities.append(churners.astype(np.int64))
     if cancel_fraction > 0.0 and num_tasks:
         cancelled = np.flatnonzero(rng.random(num_tasks) < cancel_fraction)
-        for task_id in cancelled:
-            task = tasks[task_id]
-            events.append(
-                TaskCancelEvent(
-                    time=task.publication_time + 0.5 * task.valid_hours,
-                    task_id=int(task_id),
-                )
-            )
+        times.append(task_times[cancelled] + 0.5 * valid_hours)
+        kinds.append(np.full(len(cancelled), KIND_CANCEL, dtype=np.int64))
+        entities.append(cancelled.astype(np.int64))
 
+    log = EventLog.from_columns(
+        np.concatenate(times),
+        np.concatenate(kinds),
+        np.concatenate(entities),
+        workers=workers,
+        tasks=tasks,
+    )
     base = SCInstance(
         name=f"synthetic-stream-{seed}",
         current_time=0.0,
@@ -379,4 +726,4 @@ def synthetic_stream(
         social_edges=[],
         all_worker_ids=tuple(range(num_workers)),
     )
-    return base, EventLog(events)
+    return base, log

@@ -1,4 +1,4 @@
-"""The event-driven streaming runtime.
+"""The event-driven streaming runtime and the sharded round executor.
 
 :class:`StreamRuntime` consumes an :class:`~repro.stream.events.EventLog`
 through a :class:`~repro.stream.scheduler.Trigger`, maintaining live pools
@@ -14,34 +14,43 @@ batched :class:`~repro.framework.online.OnlineSimulator`:
 * count/hybrid/adaptive triggers, churn and cancellation events, live
   spatial queries, wait/latency metrics and checkpoint/replay go beyond it.
 
+Rounds can execute **sharded**: :class:`ShardExecutor` splits each round's
+pools along a :class:`~repro.stream.shards.ShardLayout` (planned once per
+run, radius-aware, so no feasible pair is ever split), runs candidate
+generation + assignment per shard — serially or on a thread/process pool —
+and merges per-shard assignments in deterministic sorted-shard order
+through the same :func:`~repro.assignment.partitioned.merge_assignments`
+core the offline :class:`~repro.assignment.PartitionedAssigner` uses.
+Because no feasible pair crosses shards, the sharded round solves the same
+problem as the unsharded one, split into independent sub-problems.
+
 The runtime is resumable: ``run(max_rounds=...)`` stops after a bounded
 number of rounds with all state intact, :meth:`checkpoint` snapshots that
-state to disk, and :meth:`resume` reconstructs a runtime that continues the
-run bit-identically (regression-tested against an uninterrupted run).
+state to disk (including shard layout and per-shard RNG state), and
+:meth:`resume` reconstructs a runtime that continues the run bit-identically
+(regression-tested against an uninterrupted run).
 """
 
 from __future__ import annotations
 
+import os
 import time
+from concurrent.futures import Executor as _FuturesExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
-from repro.assignment.base import Assigner
+from repro.assignment.base import Assigner, PreparedInstance, RoundState
+from repro.assignment.partitioned import bucket_pools, merge_assignments
 from repro.data.instance import SCInstance
 from repro.entities import Assignment
 from repro.influence import InfluenceModel
-from repro.stream.events import (
-    DEFERRED_PHASE,
-    PHASE_ARRIVAL,
-    PHASE_PUBLISH,
-    EventLog,
-    TaskCancelEvent,
-    TaskExpiryEvent,
-    WorkerChurnEvent,
-)
+from repro.stream.events import EventLog
 from repro.stream.metrics import RoundRecord, StreamMetrics, StreamSummary
 from repro.stream.scheduler import Trigger
+from repro.stream.shards import ShardLayout
 from repro.stream.state import StreamState
 
 
@@ -82,6 +91,182 @@ class StreamResult:
         return self.metrics.summary()
 
 
+#: Deterministic entropy pool for per-shard generators; spawn key = shard id.
+_SHARD_RNG_ENTROPY = 0x5AD5
+
+#: Recognized :class:`ShardExecutor` backends.
+EXECUTOR_BACKENDS = ("serial", "thread", "process")
+
+
+def _assign_shard(assigner: Assigner, prepared: PreparedInstance) -> Assignment:
+    """One shard's solve — module-level so process pools can pickle it."""
+    return assigner.assign(prepared)
+
+
+class ShardExecutor:
+    """Runs one assignment round as independent per-shard solves.
+
+    Each round: bucket the live pools by
+    :meth:`~repro.stream.shards.ShardLayout.shard_of`, prepare every
+    non-empty shard through its own persistent
+    :class:`~repro.assignment.RoundState` (the PR-1 incremental rectangles,
+    per shard), solve the shards on the configured backend, and merge the
+    per-shard assignments in ascending shard order.
+
+    Preparation always happens in the calling thread — prepared instances
+    are fully materialized (feasibility, influence, entropy) before
+    dispatch, so worker threads/processes only run the solver and never
+    touch the shared influence-model caches concurrently.
+
+    Backends
+    --------
+    ``serial``
+        Solve shards one after another in the calling thread.  Already
+        faster than unsharded on decomposable worlds: k shards of n/k
+        entities beat one solve of n for any super-linear solver.
+    ``thread``
+        A :class:`~concurrent.futures.ThreadPoolExecutor`; effective for
+        numpy-heavy solvers that release the GIL.
+    ``process``
+        A :class:`~concurrent.futures.ProcessPoolExecutor`; prepared
+        shards are pickled to the workers, so this pays off only when the
+        per-shard solve clearly dominates the shipping cost.
+
+    A per-shard :class:`numpy.random.Generator` stream is maintained and
+    checkpointed: :meth:`rng_for` is the seed source for stochastic
+    assignment policies run inside a shard (deterministic assigners never
+    consume it).  When the runtime was given a user generator the shard
+    streams are spawned from it (so the user's seed governs them); without
+    one they fall back to a fixed entropy pool — deterministic either way,
+    and resumed bit-exactly from checkpoints.
+    """
+
+    def __init__(
+        self,
+        layout: ShardLayout,
+        influence: InfluenceModel | None = None,
+        backend: str = "serial",
+        max_workers: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if backend not in EXECUTOR_BACKENDS:
+            raise ValueError(
+                f"unknown executor backend {backend!r}; "
+                f"choose from {', '.join(EXECUTOR_BACKENDS)}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.layout = layout
+        self.influence = influence
+        self.backend = backend
+        # Cap the default at the core count: pools wider than the machine
+        # only add fork/pickle overhead (notably on the process backend).
+        self.max_workers = max_workers or min(
+            layout.num_shards, os.cpu_count() or 1
+        )
+        self.round_states: dict[int, RoundState] = {}
+        if rng is not None:
+            spawned = rng.spawn(layout.num_shards)
+            self.rngs: dict[int, np.random.Generator] = dict(enumerate(spawned))
+        else:
+            self.rngs = {
+                shard: np.random.default_rng(
+                    np.random.SeedSequence(
+                        entropy=_SHARD_RNG_ENTROPY, spawn_key=(shard,)
+                    )
+                )
+                for shard in range(layout.num_shards)
+            }
+        self._pool: _FuturesExecutor | None = None
+
+    def rng_for(self, shard: int) -> np.random.Generator:
+        """The checkpointed random stream owned by ``shard``."""
+        return self.rngs[shard]
+
+    # ----------------------------------------------------------------- round
+    def _prepare_shard(
+        self, shard: int, state: StreamState, sub_instance: SCInstance
+    ) -> PreparedInstance:
+        if state.incremental:
+            round_state = self.round_states.get(shard)
+            if round_state is None:
+                round_state = self.round_states[shard] = RoundState(self.influence)
+            return round_state.prepare(sub_instance)
+        prepared = PreparedInstance(sub_instance, self.influence)
+        # Force the lazy caches now, in the calling thread (see class doc).
+        prepared.feasible
+        prepared.influence_matrix
+        prepared.entropy_by_task
+        return prepared
+
+    def _pool_executor(self) -> _FuturesExecutor:
+        if self._pool is None:
+            if self.backend == "thread":
+                self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            else:
+                self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def run_round(
+        self, state: StreamState, assigner: Assigner, now: float
+    ) -> tuple[Assignment, list[tuple[float, float]]]:
+        """Solve one round shard-by-shard and retire the matched pairs.
+
+        Returns the merged assignment plus per-pair waits, exactly like
+        :meth:`StreamState.run_assignment` — the runtime treats the two
+        paths interchangeably.
+        """
+        layout = self.layout
+        buckets = bucket_pools(
+            (state.workers[key] for key in sorted(state.workers)),
+            (state.tasks[key] for key in sorted(state.tasks)),
+            layout.shard_of,
+        )
+        work: list[tuple[int, PreparedInstance]] = []
+        for shard in sorted(buckets):
+            workers, tasks = buckets[shard]
+            if not workers or not tasks:
+                continue
+            sub_instance = state.base_instance.with_workers(workers).with_tasks(tasks)
+            sub_instance.current_time = now
+            work.append((shard, self._prepare_shard(shard, state, sub_instance)))
+
+        if self.backend == "serial" or len(work) <= 1:
+            parts = [assigner.assign(prepared) for _, prepared in work]
+        else:
+            pool = self._pool_executor()
+            futures = [
+                pool.submit(_assign_shard, assigner, prepared)
+                for _, prepared in work
+            ]
+            parts = [future.result() for future in futures]
+        merged = merge_assignments(parts)
+        return merged, state.retire_pairs(merged, now)
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for the serial backend)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ----------------------------------------------------------- checkpoints
+    def state_dict(self) -> dict[str, Any]:
+        """Layout + per-shard RNG states (JSON-serializable)."""
+        return {
+            "layout": self.layout.state_dict(),
+            "rngs": [
+                self.rngs[shard].bit_generator.state
+                for shard in range(self.layout.num_shards)
+            ],
+        }
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        """Restore per-shard RNG states (the layout is validated upstream)."""
+        for shard, rng_state in enumerate(state["rngs"]):
+            self.rngs[shard].bit_generator.state = rng_state
+
+
 class StreamRuntime:
     """Plays an event log through micro-batched assignment rounds.
 
@@ -117,6 +302,18 @@ class StreamRuntime:
     rng:
         Optional generator for stochastic policies; its state is captured
         by checkpoints so replays stay deterministic.
+    shards:
+        When set, rounds execute sharded: a
+        :class:`~repro.stream.shards.ShardLayout` is planned from the log
+        (radius-aware, at most ``shards`` shards) and every round runs
+        through a :class:`ShardExecutor`.  ``None`` keeps the plain
+        single-solve path.
+    executor:
+        Shard backend: ``"serial"`` (default), ``"thread"`` or
+        ``"process"``; ignored without ``shards``.
+    shard_cell_km:
+        Planning cell size for the shard layout (default: the log's
+        largest worker radius).
     """
 
     def __init__(
@@ -131,6 +328,9 @@ class StreamRuntime:
         incremental: bool = True,
         index_cell_km: float = 25.0,
         rng: np.random.Generator | None = None,
+        shards: int | None = None,
+        executor: str = "serial",
+        shard_cell_km: float | None = None,
     ) -> None:
         if patience_hours is not None and patience_hours < 0:
             raise ValueError(
@@ -141,6 +341,17 @@ class StreamRuntime:
         self.log = log
         self.patience_hours = patience_hours
         self.rng = rng
+        self.shard_executor: ShardExecutor | None = None
+        #: The *requested* shard configuration (vs the planned layout, which
+        #: may use fewer bins); persisted in checkpoints so a resume with a
+        #: different ``--shards``/cell size fails in the cheap pre-flight.
+        self.shard_request: dict | None = None
+        if shards is not None:
+            layout = ShardLayout.plan(log, shards, cell_km=shard_cell_km)
+            self.shard_executor = ShardExecutor(
+                layout, influence=influence_model, backend=executor, rng=rng
+            )
+            self.shard_request = {"shards": shards, "cell_km": shard_cell_km}
         self.state = StreamState(
             base_instance,
             influence_model,
@@ -213,17 +424,10 @@ class StreamRuntime:
             boundary = min(boundary, self._end_time)
         count = self.trigger.count
         if count is not None:
-            pending = 0
-            for position in range(self._cursor, len(self.log)):
-                event = self.log[position]
-                if event.time > self._end_time:
-                    break
-                if boundary is not None and event.time > boundary:
-                    break
-                if event.phase in (PHASE_ARRIVAL, PHASE_PUBLISH):
-                    pending += 1
-                    if pending >= count:
-                        return event.time
+            limit = self._end_time if boundary is None else boundary
+            fire = self.log.next_count_time(self._cursor, count, limit)
+            if fire is not None:
+                return fire
         if boundary is not None:
             return boundary
         return self._end_time
@@ -235,25 +439,16 @@ class StreamRuntime:
         Admission events (arrival/publish/cancel) apply when ``time <=
         fire_time``; deferred events (expiry/churn) only when strictly
         earlier, so deadlines on the boundary do not bind in this round.
+        The due range is located with two ``searchsorted`` calls on the
+        columnar log and applied straight from the columns.
         """
         state = self.state
-        drained = expired = churned = cancelled = 0
-        while self._cursor < len(self.log):
-            event = self.log[self._cursor]
-            if event.time > fire_time:
-                break
-            if event.time == fire_time and event.phase >= DEFERRED_PHASE:
-                break
-            removed_task, removed_worker = state.apply(event)
-            if removed_task:
-                if isinstance(event, TaskExpiryEvent):
-                    expired += 1
-                elif isinstance(event, TaskCancelEvent):
-                    cancelled += 1
-            if removed_worker and isinstance(event, WorkerChurnEvent):
-                churned += 1
-            self._cursor += 1
-            drained += 1
+        stop = self.log.drain_stop(self._cursor, fire_time)
+        expired, churned, cancelled = state.apply_log_slice(
+            self.log, self._cursor, stop
+        )
+        drained = stop - self._cursor
+        self._cursor = stop
         expired += len(state.expire_tasks(fire_time))
         churned += len(state.churn_workers(fire_time, self.patience_hours))
         return drained, expired, churned, cancelled
@@ -268,7 +463,12 @@ class StreamRuntime:
         elapsed = 0.0
         if pool_workers and pool_tasks:
             started = time.perf_counter()
-            assignment, waits = state.run_assignment(self.assigner, fire_time)
+            if self.shard_executor is not None:
+                assignment, waits = self.shard_executor.run_round(
+                    state, self.assigner, fire_time
+                )
+            else:
+                assignment, waits = state.run_assignment(self.assigner, fire_time)
             elapsed = time.perf_counter() - started
             for pair, (task_wait, worker_wait) in zip(assignment, waits):
                 self._result.assignment.add(pair.task, pair.worker)
@@ -314,6 +514,12 @@ class StreamRuntime:
             self._result.metrics.add_wall_seconds(time.perf_counter() - started)
         return self._result
 
+    def close(self) -> None:
+        """Release executor resources (worker pools); the runtime stays
+        resumable — a later ``run`` simply recreates the pool."""
+        if self.shard_executor is not None:
+            self.shard_executor.close()
+
     # ----------------------------------------------------------- checkpoints
     def checkpoint(self, path: str | Path) -> Path:
         """Snapshot the complete runtime state to an ``.npz`` file."""
@@ -334,13 +540,18 @@ class StreamRuntime:
         incremental: bool = True,
         index_cell_km: float = 25.0,
         rng: np.random.Generator | None = None,
+        shards: int | None = None,
+        executor: str = "serial",
+        shard_cell_km: float | None = None,
     ) -> "StreamRuntime":
         """Reconstruct a runtime from a checkpoint and the original log.
 
         The caller supplies the same (deterministic) collaborators the
         checkpointed run used; the snapshot restores cursor, clock, pools,
-        accumulated results, trigger adaptation state and RNG state, after
-        verifying the log fingerprint matches.
+        accumulated results, trigger adaptation state, shard layout and
+        RNG state (runtime-level and per-shard), after verifying the log
+        fingerprint — and, for sharded runs, the replanned layout —
+        matches.
         """
         from repro.stream.checkpoint import restore_runtime
 
@@ -354,6 +565,9 @@ class StreamRuntime:
             incremental=incremental,
             index_cell_km=index_cell_km,
             rng=rng,
+            shards=shards,
+            executor=executor,
+            shard_cell_km=shard_cell_km,
         )
         restore_runtime(runtime, path)
         return runtime

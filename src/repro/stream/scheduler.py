@@ -34,6 +34,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
 class Trigger(abc.ABC):
     """Decides the firing times of assignment rounds."""
 
+    #: Stable policy name ("count"/"window"/...): recorded in checkpoints so
+    #: a resume under a different policy fails with a clear message (and the
+    #: CLI can validate flag combinations before doing any work).
+    kind: str = "trigger"
+
     #: Fire at the N-th admission event since the last round (None = never).
     count: int | None = None
 
@@ -67,6 +72,7 @@ class CountTrigger(Trigger):
     drains whatever never reached a full batch.
     """
 
+    kind = "count"
     fires_at_start = False
 
     def __init__(self, count: int) -> None:
@@ -85,6 +91,8 @@ class TimeWindowTrigger(Trigger):
     :class:`~repro.framework.online.OnlineSimulator` boundaries exactly.
     """
 
+    kind = "window"
+
     def __init__(self, window_hours: float) -> None:
         if window_hours <= 0:
             raise ValueError(f"window_hours must be positive, got {window_hours}")
@@ -99,6 +107,8 @@ class TimeWindowTrigger(Trigger):
 
 class HybridTrigger(Trigger):
     """Fire on whichever of a count or a time window comes first."""
+
+    kind = "hybrid"
 
     def __init__(self, count: int, window_hours: float) -> None:
         if count < 1:
@@ -132,6 +142,8 @@ class AdaptiveTrigger(Trigger):
     (e.g. pool sizes) so that adaptation — and therefore checkpoint/replay —
     is reproducible.
     """
+
+    kind = "adaptive"
 
     def __init__(
         self,

@@ -1,0 +1,213 @@
+"""Cell-partitioned shard planning for the streaming runtime.
+
+:class:`ShardLayout` splits the plane of a run into *shards*: groups of
+:func:`~repro.geo.cell_key` grid cells such that **no feasible (worker,
+task) pair is ever split across shards**.  Two cells are linked whenever
+the minimum distance between them (:func:`~repro.geo.cell_gap_km`) does not
+exceed the largest worker radius appearing anywhere in the event log — a
+radius-aware halo — and shards are unions of the resulting connected
+components.  Any pair with ``d(w.l, s.l) <= w.r`` therefore lands in one
+shard, so running the assigner per shard and merging in sorted shard order
+(the :func:`~repro.assignment.partitioned.merge_assignments` core shared
+with the offline :class:`~repro.assignment.PartitionedAssigner`) is an
+*exact* decomposition of the round, not a border-lossy approximation.
+
+The layout is planned once per run from the full columnar
+:class:`~repro.stream.events.EventLog` (every location that can ever enter
+the pools is known upfront), stays fixed for the run, and serializes into
+checkpoints so a resumed run shards identically.
+
+The flip side of exactness: a world whose occupied cells form one connected
+blob yields one component, and the planner honestly reports that nothing
+can be split (``num_shards`` collapses to 1).  Sharding pays off on worlds
+with spatial structure — multiple cities/clusters separated by more than
+the worker radius — which is what
+:func:`~repro.stream.events.synthetic_stream` models with ``clusters > 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.geo import Point, cell_gap_km, cell_key
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.stream.events import EventLog
+
+#: Fallback cell size when the log names no worker radius (no arrivals).
+DEFAULT_CELL_KM = 25.0
+
+
+def unpack_cell(packed: int) -> tuple[int, int]:
+    """Invert the int64 cell packing of :meth:`EventLog.cell_keys`."""
+    from repro.stream.events import CELL_OFFSET
+
+    base = 2 * CELL_OFFSET
+    return (int(packed) // base - CELL_OFFSET, int(packed) % base - CELL_OFFSET)
+
+
+class _UnionFind:
+    """Plain union-find by index, path-halving, union by size."""
+
+    def __init__(self, count: int) -> None:
+        self.parent = list(range(count))
+        self.size = [1] * count
+
+    def find(self, node: int) -> int:
+        parent = self.parent
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    def union(self, a: int, b: int) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return
+        if self.size[root_a] < self.size[root_b]:
+            root_a, root_b = root_b, root_a
+        self.parent[root_b] = root_a
+        self.size[root_a] += self.size[root_b]
+
+
+@dataclass
+class ShardLayout:
+    """A fixed cell→shard map with the no-split-pair guarantee.
+
+    Attributes
+    ----------
+    cell_km:
+        Side length of the planning cells.
+    num_shards:
+        Number of shard bins actually used (``<=`` the requested count —
+        a world with fewer connected components cannot use more shards).
+    max_radius_km:
+        The radius the halo was planned for; pairs within this distance
+        are guaranteed unsplit.
+    cells:
+        Occupied planning cell → shard id.
+    """
+
+    cell_km: float
+    num_shards: int
+    max_radius_km: float
+    cells: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    @classmethod
+    def plan(
+        cls,
+        log: "EventLog",
+        num_shards: int,
+        cell_km: float | None = None,
+    ) -> "ShardLayout":
+        """Plan a layout for ``log`` aiming for ``num_shards`` shards.
+
+        Occupied cells come from every arrival/publish location in the
+        log; cells whose gap is within the log's largest worker radius are
+        unioned; the resulting components are packed into at most
+        ``num_shards`` bins, largest-load first onto the least-loaded bin
+        (ties by bin index) — fully deterministic for a given log.
+        """
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        radius = log.max_reachable_km()
+        if cell_km is None:
+            # Half the radius: cell-gap linking overestimates closeness by
+            # up to two cell widths, so R/2 cells split any two regions
+            # separated by more than 2R (R cells would need 3R).
+            cell_km = radius / 2.0 if radius > 0 else DEFAULT_CELL_KM
+        if cell_km <= 0:
+            raise ValueError(f"cell_km must be positive, got {cell_km}")
+
+        packed = log.cell_keys(cell_km)
+        located = ~np.isnan(log.columns["x"])
+        occupied, loads = np.unique(packed[located], return_counts=True)
+        keys = [unpack_cell(value) for value in occupied]
+        if not keys:
+            return cls(cell_km=cell_km, num_shards=1, max_radius_km=radius)
+
+        index_of = {key: position for position, key in enumerate(keys)}
+        reach = int(np.ceil(radius / cell_km)) + 1
+        offsets = [
+            (dx, dy)
+            for dx in range(-reach, reach + 1)
+            for dy in range(-reach, reach + 1)
+            if (dx, dy) > (0, 0)  # half-plane: each unordered pair once
+            if cell_gap_km((0, 0), (dx, dy), cell_km) <= radius
+        ]
+        union = _UnionFind(len(keys))
+        for position, (kx, ky) in enumerate(keys):
+            for dx, dy in offsets:
+                neighbor = index_of.get((kx + dx, ky + dy))
+                if neighbor is not None:
+                    union.union(position, neighbor)
+
+        components: dict[int, list[int]] = {}
+        for position in range(len(keys)):
+            components.setdefault(union.find(position), []).append(position)
+        # Deterministic packing: heaviest component first, onto the
+        # least-loaded bin, ties broken by the component's smallest cell.
+        ordered = sorted(
+            components.values(),
+            key=lambda members: (-int(loads[members].sum()), min(members)),
+        )
+        bins = min(num_shards, len(ordered))
+        bin_load = [0] * bins
+        cells: dict[tuple[int, int], int] = {}
+        for members in ordered:
+            shard = min(range(bins), key=lambda b: (bin_load[b], b))
+            bin_load[shard] += int(loads[members].sum())
+            for member in members:
+                cells[keys[member]] = shard
+        return cls(
+            cell_km=cell_km,
+            num_shards=bins,
+            max_radius_km=radius,
+            cells=cells,
+        )
+
+    # --------------------------------------------------------------- queries
+    def shard_of_cell(self, key: tuple[int, int]) -> int:
+        """Shard of a planning cell (deterministic hash for unseen cells).
+
+        Every location reachable through the event log is in ``cells``;
+        the hash fallback only exists so hand-mutated pools cannot crash
+        the executor, and is as deterministic as the map itself.
+        """
+        shard = self.cells.get(key)
+        if shard is not None:
+            return shard
+        return ((key[0] * 73856093) ^ (key[1] * 19349663)) % self.num_shards
+
+    def shard_of(self, location: Point) -> int:
+        """Shard owning a planar location."""
+        return self.shard_of_cell(cell_key(location.x, location.y, self.cell_km))
+
+    def component_count(self) -> int:
+        """Distinct shards that actually own at least one cell."""
+        return len(set(self.cells.values())) if self.cells else 1
+
+    # ----------------------------------------------------------- checkpoints
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-serializable description (checkpoint payload)."""
+        return {
+            "cell_km": self.cell_km,
+            "num_shards": self.num_shards,
+            "max_radius_km": self.max_radius_km,
+            "cells": [[kx, ky, shard] for (kx, ky), shard in sorted(self.cells.items())],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict[str, Any]) -> "ShardLayout":
+        """Rebuild a layout from :meth:`state_dict` output."""
+        return cls(
+            cell_km=float(state["cell_km"]),
+            num_shards=int(state["num_shards"]),
+            max_radius_km=float(state["max_radius_km"]),
+            cells={
+                (int(kx), int(ky)): int(shard) for kx, ky, shard in state["cells"]
+            },
+        )

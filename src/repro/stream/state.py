@@ -30,6 +30,12 @@ from repro.entities import Assignment, Task, Worker
 from repro.geo import GridIndex, Point
 from repro.influence import InfluenceModel
 from repro.stream.events import (
+    KIND_ARRIVAL,
+    KIND_CANCEL,
+    KIND_CHURN,
+    KIND_EXPIRY,
+    KIND_PUBLISH,
+    EventLog,
     StreamEvent,
     TaskCancelEvent,
     TaskExpiryEvent,
@@ -100,28 +106,85 @@ class StreamState:
         single dispatch that produced them.
         """
         if isinstance(event, WorkerArrivalEvent):
-            self.workers[event.worker.worker_id] = event.worker
-            self.arrived_at[event.worker.worker_id] = event.time
-        elif isinstance(event, TaskPublishEvent):
-            previous = self.tasks.get(event.task.task_id)
+            return self.apply_kind(
+                KIND_ARRIVAL, event.time, event.worker.worker_id, worker=event.worker
+            )
+        if isinstance(event, TaskPublishEvent):
+            return self.apply_kind(
+                KIND_PUBLISH, event.time, event.task.task_id, task=event.task
+            )
+        if isinstance(event, TaskCancelEvent):
+            return self.apply_kind(KIND_CANCEL, event.time, event.task_id)
+        if isinstance(event, TaskExpiryEvent):
+            return self.apply_kind(KIND_EXPIRY, event.time, event.task_id)
+        if isinstance(event, WorkerChurnEvent):
+            return self.apply_kind(KIND_CHURN, event.time, event.worker_id)
+        raise TypeError(f"unsupported stream event {event!r}")
+
+    def apply_kind(
+        self,
+        kind: int,
+        time: float,
+        entity_id: int,
+        worker: Worker | None = None,
+        task: Task | None = None,
+    ) -> tuple[bool, bool]:
+        """Kind-coded :meth:`apply` — the columnar replay entry point."""
+        if kind == KIND_ARRIVAL:
+            self.workers[entity_id] = worker
+            self.arrived_at[entity_id] = time
+        elif kind == KIND_PUBLISH:
+            previous = self.tasks.get(entity_id)
             if previous is not None:
                 self._index_remove(previous)
-            self.tasks[event.task.task_id] = event.task
-            self.published_at[event.task.task_id] = event.time
-            self.task_index.insert(event.task.location, event.task.task_id)
-        elif isinstance(event, (TaskCancelEvent, TaskExpiryEvent)):
-            task = self.tasks.pop(event.task_id, None)
-            if task is not None:
-                self._index_remove(task)
-                self.published_at.pop(event.task_id, None)
+            self.tasks[entity_id] = task
+            self.published_at[entity_id] = time
+            self.task_index.insert(task.location, entity_id)
+        elif kind == KIND_CANCEL or kind == KIND_EXPIRY:
+            pooled = self.tasks.pop(entity_id, None)
+            if pooled is not None:
+                self._index_remove(pooled)
+                self.published_at.pop(entity_id, None)
                 return True, False
-        elif isinstance(event, WorkerChurnEvent):
-            if self.workers.pop(event.worker_id, None) is not None:
-                self.arrived_at.pop(event.worker_id, None)
+        elif kind == KIND_CHURN:
+            if self.workers.pop(entity_id, None) is not None:
+                self.arrived_at.pop(entity_id, None)
                 return False, True
         else:  # pragma: no cover - new event kinds must be wired explicitly
-            raise TypeError(f"unsupported stream event {event!r}")
+            raise TypeError(f"unsupported stream event kind {kind!r}")
         return False, False
+
+    def apply_log_slice(
+        self, log: EventLog, start: int, stop: int
+    ) -> tuple[int, int, int]:
+        """Apply log rows ``[start, stop)`` straight from the columns.
+
+        Returns ``(expired, churned, cancelled)`` retirement counts; the
+        drained-event count is simply ``stop - start``.  Payload objects
+        (workers/tasks) come from the log's side-tables — no per-event
+        wrappers are materialized.
+        """
+        kinds = log.kinds
+        times = log.times
+        entities = log.entity_ids
+        expired = churned = cancelled = 0
+        for position in range(start, stop):
+            kind = int(kinds[position])
+            removed_task, removed_worker = self.apply_kind(
+                kind,
+                float(times[position]),
+                int(entities[position]),
+                worker=log.worker_at(position) if kind == KIND_ARRIVAL else None,
+                task=log.task_at(position) if kind == KIND_PUBLISH else None,
+            )
+            if removed_task:
+                if kind == KIND_EXPIRY:
+                    expired += 1
+                elif kind == KIND_CANCEL:
+                    cancelled += 1
+            if removed_worker and kind == KIND_CHURN:
+                churned += 1
+        return expired, churned, cancelled
 
     # -------------------------------------------------------------- sweeps
     def expire_tasks(self, now: float) -> list[Task]:
@@ -187,6 +250,17 @@ class StreamState:
         here in the state layer.
         """
         assignment = assigner.assign(self.prepare_round(now))
+        return assignment, self.retire_pairs(assignment, now)
+
+    def retire_pairs(
+        self, assignment: Assignment, now: float
+    ) -> list[tuple[float, float]]:
+        """Retire matched pairs from the pools; returns per-pair waits.
+
+        Shared by the plain and sharded round paths — however an
+        assignment was produced, retirement (pools, live index, timestamp
+        maps) happens here so the state stays consistent.
+        """
         waits: list[tuple[float, float]] = []
         for pair in assignment:
             del self.workers[pair.worker.worker_id]
@@ -198,4 +272,4 @@ class StreamState:
                     now - self.arrived_at.pop(pair.worker.worker_id),
                 )
             )
-        return assignment, waits
+        return waits

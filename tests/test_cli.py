@@ -172,3 +172,60 @@ class TestStream:
         out = capsys.readouterr().out
         assert "resumed from" in out
         assert "stopped after" not in out
+
+    def test_sharded_run(self, capsys):
+        assert main(["stream", *FAST, "--no-influence", "--shards", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded:" in out
+        assert "rounds:" in out
+
+    def test_executor_requires_shards(self, capsys):
+        assert main(["stream", *FAST, "--no-influence",
+                     "--executor", "thread"]) == 2
+        assert "--executor requires --shards" in capsys.readouterr().err
+
+    def test_resume_missing_checkpoint_fails_fast(self, tmp_path, capsys):
+        assert main(["stream", *FAST, "--no-influence",
+                     "--resume", str(tmp_path / "missing.npz")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_resume_with_mismatched_trigger_fails_fast(self, tmp_path, capsys):
+        checkpoint = tmp_path / "stream.npz"
+        assert main(["stream", *FAST, "--no-influence", "--max-rounds", "2",
+                     "--trigger", "window", "--checkpoint", str(checkpoint)]) == 0
+        capsys.readouterr()
+        assert main(["stream", *FAST, "--no-influence", "--trigger", "count",
+                     "--resume", str(checkpoint)]) == 2
+        err = capsys.readouterr().err
+        assert "'window'" in err
+        assert "'count'" in err
+        assert "--trigger" in err
+
+    def test_resume_with_mismatched_shards_fails_fast(self, tmp_path, capsys):
+        checkpoint = tmp_path / "stream.npz"
+        assert main(["stream", *FAST, "--no-influence", "--max-rounds", "2",
+                     "--checkpoint", str(checkpoint)]) == 0
+        capsys.readouterr()
+        assert main(["stream", *FAST, "--no-influence", "--shards", "2",
+                     "--resume", str(checkpoint)]) == 2
+        assert "unsharded run" in capsys.readouterr().err
+
+    def test_resume_with_mismatched_shard_count_fails_fast(self, tmp_path, capsys):
+        checkpoint = tmp_path / "stream.npz"
+        assert main(["stream", *FAST, "--no-influence", "--max-rounds", "2",
+                     "--shards", "4", "--checkpoint", str(checkpoint)]) == 0
+        capsys.readouterr()
+        assert main(["stream", *FAST, "--no-influence", "--shards", "2",
+                     "--resume", str(checkpoint)]) == 2
+        err = capsys.readouterr().err
+        assert "shards=4" in err
+        assert "shards=2" in err
+
+    def test_resume_with_mismatched_patience_fails_fast(self, tmp_path, capsys):
+        checkpoint = tmp_path / "stream.npz"
+        assert main(["stream", *FAST, "--no-influence", "--max-rounds", "2",
+                     "--checkpoint", str(checkpoint)]) == 0
+        capsys.readouterr()
+        assert main(["stream", *FAST, "--no-influence",
+                     "--patience-hours", "2", "--resume", str(checkpoint)]) == 2
+        assert "--patience-hours" in capsys.readouterr().err

@@ -163,6 +163,192 @@ class TestEventLogProperties:
         assert plain.fingerprint() != tagged.fingerprint()
 
 
+class TestFingerprintPinned:
+    """Regression pins for the columnar buffer fingerprint.
+
+    The digests hash the structured-array buffer and the payload attribute
+    tables directly; these exact values guard against silent format drift —
+    a stale checkpoint must keep failing fast with the same fingerprint it
+    was saved with.  If a deliberate format change breaks these, bump
+    ``CHECKPOINT_VERSION`` and re-pin.
+    """
+
+    def test_empty_log(self):
+        assert EventLog([]).fingerprint() == (
+            "a4a1965ea4083371a44768f5190c24feb0e3d7a74fa3f3d9bf5336d67ca7a846"
+        )
+
+    def test_hand_built_log_all_event_kinds(self):
+        log = EventLog([
+            WorkerArrivalEvent(
+                time=0.25,
+                worker=Worker(worker_id=3, location=Point(1.5, -2.0),
+                              reachable_km=12.5, speed_kmh=4.0),
+            ),
+            TaskPublishEvent(
+                time=0.5,
+                task=Task(task_id=7, location=Point(0.0, 3.25),
+                          publication_time=0.5, valid_hours=2.0,
+                          categories=("cafe", "bar"), venue_id=11),
+            ),
+            TaskCancelEvent(time=1.0, task_id=7),
+            TaskExpiryEvent(time=2.5, task_id=7),
+            WorkerChurnEvent(time=3.0, worker_id=3),
+        ])
+        assert log.fingerprint() == (
+            "aba38c1758324362e2a7a08aa52c93fa524bee94a3d5e9c37121466d527c7fa9"
+        )
+
+    def test_synthetic_stream_log(self):
+        _, log = synthetic_stream(
+            num_workers=12, num_tasks=9, duration_hours=6.0,
+            churn_fraction=0.25, cancel_fraction=0.25, seed=11,
+        )
+        assert log.fingerprint() == (
+            "5a64966fc8a842e624e535e217fb327f0f2ab7a71c821696dade1bd14dbf71be"
+        )
+
+    def test_fingerprint_independent_of_construction_path(self):
+        """Array-built and object-built logs of the same events hash alike."""
+        _, log = synthetic_stream(
+            num_workers=10, num_tasks=8, duration_hours=6.0,
+            churn_fraction=0.3, cancel_fraction=0.3, seed=19,
+        )
+        rebuilt = EventLog(log.events)
+        assert rebuilt.fingerprint() == log.fingerprint()
+        assert rebuilt.events == log.events
+
+
+class TestColumnarAccess:
+    def test_columns_sorted_and_typed(self):
+        _, log = synthetic_stream(num_workers=6, num_tasks=5, seed=2)
+        columns = log.columns
+        key = list(zip(columns["time"], columns["phase"], columns["entity_id"]))
+        assert key == sorted(key)
+        assert not columns.flags.writeable
+
+    def test_payload_side_tables(self):
+        _, log = synthetic_stream(num_workers=4, num_tasks=3, seed=2)
+        import numpy as np
+
+        arrivals = np.flatnonzero(log.kinds == 0)
+        for index in arrivals:
+            worker = log.worker_at(int(index))
+            assert worker.worker_id == int(log.entity_ids[index])
+        publishes = np.flatnonzero(log.kinds == 1)
+        for index in publishes:
+            task = log.task_at(int(index))
+            assert task.task_id == int(log.entity_ids[index])
+        with pytest.raises(IndexError):
+            log.worker_at(int(publishes[0]))
+        with pytest.raises(IndexError):
+            log.task_at(int(arrivals[0]))
+
+    def test_drain_stop_matches_event_scan(self):
+        from repro.stream.events import DEFERRED_PHASE
+
+        _, log = synthetic_stream(
+            num_workers=30, num_tasks=25, duration_hours=8.0,
+            churn_fraction=0.3, cancel_fraction=0.3, seed=5,
+        )
+        for fire_time in (0.0, 1.0, 3.7, float(log.times[7]), 100.0):
+            expected = 0
+            while expected < len(log):
+                event = log[expected]
+                if event.time > fire_time:
+                    break
+                if event.time == fire_time and event.phase >= DEFERRED_PHASE:
+                    break
+                expected += 1
+            assert log.drain_stop(0, fire_time) == expected
+        assert log.drain_stop(len(log), 0.0) == len(log)  # cursor floor
+
+    def test_next_count_time_matches_event_scan(self):
+        _, log = synthetic_stream(
+            num_workers=20, num_tasks=20, duration_hours=8.0, seed=6
+        )
+        for cursor in (0, 5, len(log) - 3):
+            for count in (1, 4, 50):
+                for limit in (2.0, 8.0, 100.0):
+                    pending = 0
+                    expected = None
+                    for position in range(cursor, len(log)):
+                        event = log[position]
+                        if event.time > limit:
+                            break
+                        if event.phase in (PHASE_ARRIVAL, PHASE_PUBLISH):
+                            pending += 1
+                            if pending >= count:
+                                expected = event.time
+                                break
+                    assert log.next_count_time(cursor, count, limit) == expected
+
+    def test_from_columns_matches_object_construction(self):
+        import numpy as np
+
+        worker = Worker(worker_id=4, location=Point(1.0, 2.0), reachable_km=9.0)
+        task = Task(task_id=6, location=Point(2.0, 1.0), publication_time=0.5,
+                    valid_hours=3.0)
+        from_objects = EventLog([
+            WorkerArrivalEvent(time=1.0, worker=worker),
+            TaskPublishEvent(time=0.5, task=task),
+            TaskExpiryEvent(time=3.5, task_id=6),
+        ])
+        from_arrays = EventLog.from_columns(
+            np.array([1.0, 0.5, 3.5]),
+            np.array([0, 1, 3]),
+            np.array([4, 6, 6]),
+            workers=[worker],
+            tasks=[task],
+        )
+        assert from_arrays.events == from_objects.events
+        assert from_arrays.fingerprint() == from_objects.fingerprint()
+
+    def test_from_columns_rejects_bad_input(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            EventLog.from_columns(np.zeros(2), np.zeros(1, np.int64), np.zeros(2, np.int64))
+        with pytest.raises(ValueError):
+            EventLog.from_columns(np.zeros(1), np.array([9]), np.zeros(1, np.int64))
+
+    def test_from_columns_rejects_bad_payload_references(self):
+        import numpy as np
+
+        worker = Worker(worker_id=1, location=Point(0.0, 0.0), reachable_km=5.0)
+        with pytest.raises(ValueError, match="payload"):
+            EventLog.from_columns(  # -1 sentinel on an arrival row
+                np.array([1.0]), np.array([0]), np.array([1]),
+                payload=np.array([-1]), workers=[worker],
+            )
+        with pytest.raises(ValueError, match="payload"):
+            EventLog.from_columns(  # out-of-range side-table index
+                np.array([1.0]), np.array([0]), np.array([1]),
+                payload=np.array([3]), workers=[worker],
+            )
+        with pytest.raises(ValueError, match="row count"):
+            EventLog.from_columns(
+                np.array([1.0]), np.array([0]), np.array([1]),
+                payload=np.array([0, 0]), workers=[worker],
+            )
+
+    def test_cell_keys_sentinel_and_quantization(self):
+        import numpy as np
+
+        from repro.stream.shards import unpack_cell
+
+        _, log = synthetic_stream(num_workers=3, num_tasks=2,
+                                  churn_fraction=1.0, seed=8)
+        keys = log.cell_keys(5.0)
+        located = ~np.isnan(log.columns["x"])
+        for index in np.flatnonzero(located):
+            kx, ky = unpack_cell(int(keys[index]))
+            assert kx == int(np.floor(log.columns["x"][index] / 5.0))
+            assert ky == int(np.floor(log.columns["y"][index] / 5.0))
+        with pytest.raises(ValueError):
+            log.cell_keys(0.0)
+
+
 class TestLogBuilders:
     def test_log_from_arrivals_has_publish_and_expiry_per_task(self):
         from repro.framework import WorkerArrival
@@ -226,3 +412,35 @@ class TestSyntheticStream:
             synthetic_stream(num_workers=-1, num_tasks=0)
         with pytest.raises(ValueError):
             synthetic_stream(num_workers=1, num_tasks=1, duration_hours=0.0)
+        with pytest.raises(ValueError):
+            synthetic_stream(num_workers=1, num_tasks=1, clusters=0)
+        with pytest.raises(ValueError):
+            synthetic_stream(num_workers=1, num_tasks=1, clusters=2,
+                             cluster_gap_km=0.0)
+
+    def test_clusters_are_separated_beyond_reachability(self):
+        import numpy as np
+
+        reachable = 8.0
+        _, log = synthetic_stream(
+            num_workers=60, num_tasks=50, area_km=20.0,
+            reachable_km=reachable, clusters=4, seed=13,
+        )
+        xs = log.columns["x"]
+        ys = log.columns["y"]
+        located = ~np.isnan(xs)
+        points = np.column_stack((xs[located], ys[located]))
+        # Label each point by its cluster square (pitch = area + gap).
+        pitch = 20.0 + 3.0 * reachable
+        labels = (points // pitch).astype(int)
+        assert len({tuple(row) for row in labels}) == 4
+        for a in range(len(points)):
+            for b in range(a + 1, len(points)):
+                if tuple(labels[a]) != tuple(labels[b]):
+                    assert np.hypot(*(points[a] - points[b])) > reachable
+
+    def test_single_cluster_is_default_draw_identical(self):
+        _, explicit = synthetic_stream(num_workers=15, num_tasks=12, seed=21,
+                                       clusters=1)
+        _, default = synthetic_stream(num_workers=15, num_tasks=12, seed=21)
+        assert explicit.fingerprint() == default.fingerprint()

@@ -1,0 +1,375 @@
+"""Tests for the sharded round path: layout planning + executor determinism.
+
+The load-bearing property: a sharded :class:`StreamRuntime` — any shard
+count, any executor backend — produces **bit-identical** assignments and
+metrics to the unsharded runtime (and hence, under window triggers, to the
+batched ``OnlineSimulator``), because the radius-aware layout never splits
+a feasible (worker, task) pair.
+"""
+
+import numpy as np
+import pytest
+
+from repro.assignment import IAAssigner, MTAAssigner, NearestNeighborAssigner
+from repro.entities import Task, Worker
+from repro.exceptions import DataError
+from repro.framework import OnlineSimulator, WorkerArrival
+from repro.geo import Point
+from repro.stream import (
+    HybridTrigger,
+    ShardExecutor,
+    ShardLayout,
+    StreamRuntime,
+    TimeWindowTrigger,
+    day_stream,
+    log_from_arrivals,
+    synthetic_stream,
+)
+from repro.stream.events import KIND_ARRIVAL, KIND_PUBLISH
+
+
+def clustered_world(clusters=4, seed=41, num_workers=120, num_tasks=140,
+                    reachable_km=8.0):
+    return synthetic_stream(
+        num_workers=num_workers, num_tasks=num_tasks, duration_hours=24.0,
+        area_km=20.0, valid_hours=4.0, reachable_km=reachable_km,
+        churn_fraction=0.05, cancel_fraction=0.02, clusters=clusters,
+        seed=seed,
+    )
+
+
+def sorted_pairs(result):
+    return sorted(
+        (pair.worker.worker_id, pair.task.task_id)
+        for pair in result.assignment.pairs
+    )
+
+
+def round_rows(result):
+    """Per-round records minus the wall-clock timing field."""
+    return [
+        (r.index, r.time, r.online_workers, r.open_tasks, r.drained_events,
+         r.assigned, r.expired_tasks, r.churned_workers, r.cancelled_tasks)
+        for r in result.rounds
+    ]
+
+
+class TestShardLayoutPlanning:
+    def test_separated_clusters_become_shards(self):
+        _, log = clustered_world(clusters=4)
+        layout = ShardLayout.plan(log, 4)
+        assert layout.num_shards == 4
+        assert layout.component_count() == 4
+
+    def test_never_splits_a_feasible_pair(self):
+        _, log = clustered_world(clusters=5, num_workers=80, num_tasks=80)
+        for requested in (2, 3, 5, 9):
+            layout = ShardLayout.plan(log, requested)
+            workers = [log.worker_at(int(i))
+                       for i in np.flatnonzero(log.kinds == KIND_ARRIVAL)]
+            tasks = [log.task_at(int(i))
+                     for i in np.flatnonzero(log.kinds == KIND_PUBLISH)]
+            for worker in workers:
+                shard = layout.shard_of(worker.location)
+                for task in tasks:
+                    if worker.location.distance_to(task.location) <= worker.reachable_km:
+                        assert layout.shard_of(task.location) == shard
+
+    def test_dense_single_blob_collapses_to_one_shard(self):
+        # Uniform world, radius comparable to the area: everything connects.
+        _, log = synthetic_stream(
+            num_workers=100, num_tasks=100, area_km=40.0, reachable_km=20.0,
+            seed=7,
+        )
+        layout = ShardLayout.plan(log, 8)
+        assert layout.num_shards == 1
+
+    def test_planning_is_deterministic(self):
+        _, log = clustered_world()
+        assert ShardLayout.plan(log, 4) == ShardLayout.plan(log, 4)
+
+    def test_state_dict_roundtrip(self):
+        _, log = clustered_world()
+        layout = ShardLayout.plan(log, 4)
+        assert ShardLayout.from_state_dict(layout.state_dict()) == layout
+
+    def test_empty_log_plans_one_empty_shard(self):
+        from repro.stream import EventLog
+
+        layout = ShardLayout.plan(EventLog([]), 4)
+        assert layout.num_shards == 1
+        assert layout.cells == {}
+        # The hash fallback still answers deterministically.
+        point = Point(3.0, 4.0)
+        assert layout.shard_of(point) == layout.shard_of(point) == 0
+
+    def test_rejects_bad_parameters(self):
+        _, log = clustered_world(num_workers=10, num_tasks=10)
+        with pytest.raises(ValueError):
+            ShardLayout.plan(log, 0)
+        with pytest.raises(ValueError):
+            ShardLayout.plan(log, 2, cell_km=0.0)
+
+    def test_unknown_cell_fallback_is_stable(self):
+        _, log = clustered_world(num_workers=10, num_tasks=10)
+        layout = ShardLayout.plan(log, 3)
+        far = Point(1e5, -1e5)
+        assert 0 <= layout.shard_of(far) < layout.num_shards
+        assert layout.shard_of(far) == layout.shard_of(far)
+
+
+class TestShardedRoundDeterminism:
+    """Sharded == unsharded, bit for bit, across counts and backends."""
+
+    @pytest.mark.parametrize("assigner_cls", [NearestNeighborAssigner, IAAssigner])
+    @pytest.mark.parametrize("shards,backend", [
+        (1, "serial"), (2, "serial"), (4, "serial"), (9, "serial"),
+        (4, "thread"),
+    ])
+    def test_synthetic_world(self, assigner_cls, shards, backend):
+        base, log = clustered_world()
+        plain = StreamRuntime(
+            assigner_cls(), None, HybridTrigger(48, 1.0), base, log,
+            patience_hours=6.0,
+        ).run()
+        runtime = StreamRuntime(
+            assigner_cls(), None, HybridTrigger(48, 1.0), base, log,
+            patience_hours=6.0, shards=shards, executor=backend,
+        )
+        sharded = runtime.run()
+        runtime.close()
+        assert plain.total_assigned > 0
+        assert sorted_pairs(sharded) == sorted_pairs(plain)
+        assert round_rows(sharded) == round_rows(plain)
+        assert sorted(sharded.metrics.task_waits) == sorted(plain.metrics.task_waits)
+        assert sorted(sharded.metrics.worker_waits) == sorted(plain.metrics.worker_waits)
+
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    def test_property_random_worlds(self, seed):
+        """Property sweep: random worlds, random-ish shard counts."""
+        rng = np.random.default_rng(seed)
+        clusters = int(rng.integers(2, 6))
+        base, log = clustered_world(
+            clusters=clusters, seed=seed,
+            num_workers=int(rng.integers(40, 90)),
+            num_tasks=int(rng.integers(40, 90)),
+        )
+        shards = int(rng.integers(1, 8))
+        plain = StreamRuntime(
+            NearestNeighborAssigner(), None, HybridTrigger(32, 1.0), base, log,
+        ).run()
+        runtime = StreamRuntime(
+            NearestNeighborAssigner(), None, HybridTrigger(32, 1.0), base, log,
+            shards=shards,
+        )
+        sharded = runtime.run()
+        assert sorted_pairs(sharded) == sorted_pairs(plain)
+        assert round_rows(sharded) == round_rows(plain)
+
+    def test_process_backend(self):
+        base, log = clustered_world(num_workers=50, num_tasks=50)
+        plain = StreamRuntime(
+            NearestNeighborAssigner(), None, TimeWindowTrigger(2.0), base, log,
+        ).run()
+        runtime = StreamRuntime(
+            NearestNeighborAssigner(), None, TimeWindowTrigger(2.0), base, log,
+            shards=4, executor="process",
+        )
+        sharded = runtime.run()
+        runtime.close()
+        assert sorted_pairs(sharded) == sorted_pairs(plain)
+        assert round_rows(sharded) == round_rows(plain)
+
+    def test_non_incremental_matches_too(self):
+        base, log = clustered_world()
+        plain = StreamRuntime(
+            IAAssigner(), None, TimeWindowTrigger(1.0), base, log,
+            incremental=False,
+        ).run()
+        runtime = StreamRuntime(
+            IAAssigner(), None, TimeWindowTrigger(1.0), base, log,
+            incremental=False, shards=4, executor="thread",
+        )
+        sharded = runtime.run()
+        runtime.close()
+        assert sorted_pairs(sharded) == sorted_pairs(plain)
+
+    def test_matches_online_simulator_on_clustered_world(self):
+        """Transitivity made explicit: sharded == unsharded == batched
+        OnlineSimulator under equivalent window boundaries."""
+        base, log = clustered_world(seed=23)
+        arrivals = [
+            WorkerArrival(worker=log.worker_at(int(i)), arrival_time=float(log.times[i]))
+            for i in np.flatnonzero(log.kinds == KIND_ARRIVAL)
+        ]
+        tasks = [log.task_at(int(i)) for i in np.flatnonzero(log.kinds == KIND_PUBLISH)]
+        online = OnlineSimulator(MTAAssigner(), None, batch_hours=1.0).run(
+            base.with_tasks(tasks), arrivals
+        )
+        runtime = StreamRuntime(
+            MTAAssigner(), None, TimeWindowTrigger(1.0), base,
+            log_from_arrivals(arrivals, tasks), shards=4,
+        )
+        sharded = runtime.run()
+        online_pairs = sorted(
+            (p.worker.worker_id, p.task.task_id) for p in online.assignment.pairs
+        )
+        assert sorted_pairs(sharded) == online_pairs
+        assert [s.assigned for s in online.steps] == [
+            r.assigned for r in sharded.rounds
+        ]
+
+    def test_fitted_world(self, tiny_dataset, tiny_instance, fitted_models):
+        """Sharding a fitted dataset day (influence model live) stays exact,
+        even when the world collapses to few components."""
+        _, log = day_stream(tiny_dataset, 6)
+        plain = StreamRuntime(
+            IAAssigner(), fitted_models.influence_model(), TimeWindowTrigger(4.0),
+            tiny_instance, log,
+        ).run()
+        runtime = StreamRuntime(
+            IAAssigner(), fitted_models.influence_model(), TimeWindowTrigger(4.0),
+            tiny_instance, log, shards=4, shard_cell_km=5.0,
+        )
+        sharded = runtime.run()
+        assert plain.total_assigned > 0
+        assert sorted_pairs(sharded) == sorted_pairs(plain)
+        assert round_rows(sharded) == round_rows(plain)
+
+
+class TestShardExecutor:
+    def test_rejects_unknown_backend(self):
+        _, log = clustered_world(num_workers=10, num_tasks=10)
+        layout = ShardLayout.plan(log, 2)
+        with pytest.raises(ValueError):
+            ShardExecutor(layout, backend="gpu")
+        with pytest.raises(ValueError):
+            ShardExecutor(layout, max_workers=0)
+
+    def test_per_shard_round_states_accumulate(self):
+        base, log = clustered_world()
+        runtime = StreamRuntime(
+            NearestNeighborAssigner(), None, TimeWindowTrigger(1.0), base, log,
+            shards=4,
+        )
+        runtime.run()
+        executor = runtime.shard_executor
+        assert set(executor.round_states) <= set(range(executor.layout.num_shards))
+        assert len(executor.round_states) > 1  # several shards saw rounds
+
+    def test_shard_rngs_spawn_from_user_generator(self):
+        _, log = clustered_world(num_workers=20, num_tasks=20)
+        layout = ShardLayout.plan(log, 3)
+        seeded_a = ShardExecutor(layout, rng=np.random.default_rng(7))
+        seeded_b = ShardExecutor(layout, rng=np.random.default_rng(7))
+        other = ShardExecutor(layout, rng=np.random.default_rng(8))
+        default = ShardExecutor(layout)
+        for shard in range(layout.num_shards):
+            assert (
+                seeded_a.rng_for(shard).bit_generator.state
+                == seeded_b.rng_for(shard).bit_generator.state
+            )
+            assert (
+                seeded_a.rng_for(shard).bit_generator.state
+                != other.rng_for(shard).bit_generator.state
+            )
+            assert (
+                seeded_a.rng_for(shard).bit_generator.state
+                != default.rng_for(shard).bit_generator.state
+            )
+
+    def test_rng_state_dict_roundtrip(self):
+        _, log = clustered_world(num_workers=20, num_tasks=20)
+        layout = ShardLayout.plan(log, 3)
+        executor = ShardExecutor(layout)
+        executor.rngs[0].random(5)  # advance one shard's stream
+        snapshot = executor.state_dict()
+        fresh = ShardExecutor(ShardLayout.from_state_dict(snapshot["layout"]))
+        assert (
+            fresh.rngs[0].bit_generator.state != executor.rngs[0].bit_generator.state
+        )
+        fresh.load_state_dict(snapshot)
+        for shard in range(layout.num_shards):
+            assert (
+                fresh.rngs[shard].bit_generator.state
+                == executor.rngs[shard].bit_generator.state
+            )
+
+
+class TestShardedCheckpoint:
+    def _runtime(self, base, log, shards=4, executor="serial"):
+        return StreamRuntime(
+            NearestNeighborAssigner(), None, HybridTrigger(32, 1.0), base, log,
+            patience_hours=6.0, shards=shards, executor=executor,
+        )
+
+    def test_resume_is_bit_identical(self, tmp_path):
+        base, log = clustered_world(seed=47)
+        uninterrupted = self._runtime(base, log).run()
+
+        interrupted = self._runtime(base, log)
+        interrupted.run(max_rounds=5)
+        interrupted.rngs_probe = interrupted.shard_executor.rngs[0].random()
+        saved = interrupted.checkpoint(tmp_path / "sharded.npz")
+        resumed_runtime = StreamRuntime.resume(
+            saved, NearestNeighborAssigner(), None, HybridTrigger(32, 1.0),
+            base, log, patience_hours=6.0, shards=4,
+        )
+        resumed = resumed_runtime.run()
+        assert sorted_pairs(resumed) == sorted_pairs(uninterrupted)
+        assert round_rows(resumed) == round_rows(uninterrupted)
+        # The consumed per-shard RNG stream resumes where it stopped.
+        assert (
+            resumed_runtime.shard_executor.rngs[0].random()
+            == interrupted.shard_executor.rngs[0].random()
+        )
+
+    def test_refuses_shardedness_mismatch(self, tmp_path):
+        base, log = clustered_world(seed=47)
+        sharded = self._runtime(base, log)
+        sharded.run(max_rounds=2)
+        saved = sharded.checkpoint(tmp_path / "sharded.npz")
+        with pytest.raises(DataError, match="sharded"):
+            StreamRuntime.resume(
+                saved, NearestNeighborAssigner(), None, HybridTrigger(32, 1.0),
+                base, log, patience_hours=6.0,
+            )
+
+        plain = StreamRuntime(
+            NearestNeighborAssigner(), None, HybridTrigger(32, 1.0), base, log,
+            patience_hours=6.0,
+        )
+        plain.run(max_rounds=2)
+        saved_plain = plain.checkpoint(tmp_path / "plain.npz")
+        with pytest.raises(DataError, match="unsharded"):
+            StreamRuntime.resume(
+                saved_plain, NearestNeighborAssigner(), None, HybridTrigger(32, 1.0),
+                base, log, patience_hours=6.0, shards=4,
+            )
+
+    def test_refuses_shard_count_mismatch(self, tmp_path):
+        base, log = clustered_world(seed=47)
+        sharded = self._runtime(base, log)
+        sharded.run(max_rounds=2)
+        saved = sharded.checkpoint(tmp_path / "sharded.npz")
+        with pytest.raises(DataError, match="shards=4"):
+            StreamRuntime.resume(
+                saved, NearestNeighborAssigner(), None, HybridTrigger(32, 1.0),
+                base, log, patience_hours=6.0, shards=2,
+            )
+        with pytest.raises(DataError, match="cell_km"):
+            StreamRuntime.resume(
+                saved, NearestNeighborAssigner(), None, HybridTrigger(32, 1.0),
+                base, log, patience_hours=6.0, shards=4, shard_cell_km=2.0,
+            )
+
+    def test_refuses_trigger_kind_mismatch(self, tmp_path):
+        base, log = clustered_world(seed=47)
+        sharded = self._runtime(base, log)
+        sharded.run(max_rounds=2)
+        saved = sharded.checkpoint(tmp_path / "sharded.npz")
+        with pytest.raises(DataError, match="trigger"):
+            StreamRuntime.resume(
+                saved, NearestNeighborAssigner(), None, TimeWindowTrigger(1.0),
+                base, log, patience_hours=6.0, shards=4,
+            )
