@@ -1,0 +1,187 @@
+"""Substrate bench: multi-day replay with relocation and admission control.
+
+Drives :class:`~repro.stream.StreamRuntime` over multi-day synthetic
+streams (overnight relocation waves, overnight churn, clustered cities) at
+10x and 100x the paper's per-day arrival volumes, and measures what the
+multi-day serving path adds on top of the single-day benches:
+
+* **events/sec** across day boundaries (relocation rows drain through the
+  same columnar slice path as arrivals);
+* **p99 round latency** — day-boundary rounds are the worst case: they
+  drain a whole relocation wave plus the overnight churn sweep at once;
+* **shed rate** under the admission controller at a deterministic latency
+  budget, against the ungated run's round-latency tail.
+
+Two things are asserted at every scale:
+
+* multi-day replay is exact: sharded == unsharded on relocation-heavy
+  logs, and the disabled-admission run is bit-identical to a runtime
+  without the controller;
+* deferring under overload never loses work (assigned + expired +
+  cancelled + still-open + backlog accounts for every publish).
+
+``REPRO_BENCH_SCALE`` scales the stream volumes like the other benches
+(default 0.15; CI smoke runs 0.05; 1.0 is the full 10-100x grid).
+"""
+
+import os
+
+import pytest
+
+from repro.assignment import NearestNeighborAssigner
+from repro.stream import (
+    AdmissionController,
+    StreamRuntime,
+    TimeWindowTrigger,
+    synthetic_stream,
+)
+from repro.stream.events import KIND_RELOCATE
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+
+PAPER_DAY_WORKERS = 2000
+PAPER_DAY_TASKS = 2500
+
+DAYS = 3
+CLUSTERS = 6
+
+#: Deterministic admission feedback: a fixed per-open-task cost estimate,
+#: so the bench's shed rates are reproducible run to run.
+COST_PER_OPEN_TASK = 0.0005
+
+
+def make_multiday_stream(rate_factor: int, seed: int = 71):
+    num_workers = max(int(PAPER_DAY_WORKERS * rate_factor * BENCH_SCALE), 120)
+    num_tasks = max(int(PAPER_DAY_TASKS * rate_factor * BENCH_SCALE), 120)
+    return synthetic_stream(
+        num_workers=num_workers,
+        num_tasks=num_tasks,
+        duration_hours=24.0,
+        days=DAYS,
+        area_km=25.0,
+        valid_hours=4.0,
+        reachable_km=10.0,
+        churn_fraction=0.03,
+        cancel_fraction=0.02,
+        clusters=CLUSTERS,
+        relocate_fraction=0.5,
+        overnight_churn_fraction=0.1,
+        relocate_span="world",
+        seed=seed,
+    )
+
+
+def run_variant(base, log, shards=None, admission=None):
+    runtime = StreamRuntime(
+        NearestNeighborAssigner(), None, TimeWindowTrigger(0.5), base, log,
+        patience_hours=8.0, shards=shards, admission=admission,
+    )
+    try:
+        result = runtime.run()
+    finally:
+        runtime.close()
+    return runtime, result
+
+
+def sorted_pairs(result):
+    return sorted(
+        (pair.worker.worker_id, pair.task.task_id)
+        for pair in result.assignment.pairs
+    )
+
+
+@pytest.mark.parametrize("rate_factor", [10, 100])
+def test_multiday_replay_throughput(benchmark, rate_factor):
+    """Events/sec and round-latency tail across day boundaries."""
+    base, log = make_multiday_stream(rate_factor)
+    relocations = int((log.kinds == KIND_RELOCATE).sum())
+    assert relocations > 0
+
+    _, result = benchmark.pedantic(
+        lambda: run_variant(base, log), rounds=1, iterations=1
+    )
+    summary = result.summary()
+    boundary_rounds = [
+        r for r in result.rounds if r.relocated_workers > 0
+    ]
+    print(
+        f"\n{rate_factor:>3}x rate, {DAYS} days: {len(log)} events "
+        f"({relocations} relocations), {summary.events_per_second:,.0f} events/s, "
+        f"round p50/p99 {summary.round_latency_p50 * 1e3:.2f}/"
+        f"{summary.round_latency_p99 * 1e3:.2f} ms, "
+        f"{len(boundary_rounds)} relocation rounds "
+        f"(relocated {summary.relocated})"
+    )
+    assert summary.relocated == result.metrics.total_relocated > 0
+
+
+def test_multiday_sharded_exactness(benchmark):
+    """Sharded == unsharded on the relocation-heavy multi-day log."""
+    base, log = make_multiday_stream(10)
+    _, plain = run_variant(base, log)
+    _, sharded = benchmark.pedantic(
+        lambda: run_variant(base, log, shards=CLUSTERS), rounds=1, iterations=1
+    )
+    assert sorted_pairs(sharded) == sorted_pairs(plain)
+    assert [r.assigned for r in sharded.rounds] == [
+        r.assigned for r in plain.rounds
+    ]
+
+
+@pytest.mark.parametrize("rate_factor", [10])
+def test_admission_control_shed_rate(benchmark, rate_factor):
+    """Shed rate and latency relief under a deterministic budget.
+
+    Runs at the 10x rate only: the assertion set needs four full replays
+    (ungated, shed, defer, never-overloaded), which at 100x would dwarf
+    every other bench in the smoke job without changing what is measured.
+    """
+    base, log = make_multiday_stream(rate_factor)
+    _, ungated = run_variant(base, log)
+
+    # Budget at roughly half the ungated p99-equivalent pool cost: boundary
+    # bursts overload, steady-state rounds stay healthy.
+    peak_pool = max(r.open_tasks for r in ungated.rounds)
+    budget = max(COST_PER_OPEN_TASK * peak_pool / 2.0, COST_PER_OPEN_TASK)
+    cost_of = lambda record: COST_PER_OPEN_TASK * record.open_tasks  # noqa: E731
+
+    shed_runtime, shed_run = benchmark.pedantic(
+        lambda: run_variant(
+            base, log,
+            admission=AdmissionController(budget, "shed", cost_of=cost_of),
+        ),
+        rounds=1, iterations=1,
+    )
+    defer_runtime, defer_run = run_variant(
+        base, log,
+        admission=AdmissionController(budget, "defer", cost_of=cost_of),
+    )
+    ungated_summary = ungated.summary()
+    shed_summary = shed_run.summary()
+    defer_summary = defer_run.summary()
+    print(
+        f"\n{rate_factor:>3}x rate: ungated p99 "
+        f"{ungated_summary.round_latency_p99 * 1e3:.2f} ms | shed rate "
+        f"{shed_summary.shed_rate:.2f} ({shed_summary.shed} tasks), p99 "
+        f"{shed_summary.round_latency_p99 * 1e3:.2f} ms | defer "
+        f"{defer_summary.deferred} parked, p99 "
+        f"{defer_summary.round_latency_p99 * 1e3:.2f} ms"
+    )
+    assert shed_summary.shed > 0
+    # Defer conserves work (modulo tasks still open at the horizon end).
+    from repro.stream.events import KIND_PUBLISH
+
+    accounted = (
+        defer_run.total_assigned + defer_run.total_expired
+        + defer_run.total_cancelled + defer_runtime.state.num_open_tasks
+        + defer_runtime.admission.backlog_size
+    )
+    assert accounted == int((log.kinds == KIND_PUBLISH).sum())
+
+    # Disabled admission control is bit-identical to no controller at all.
+    _, never = run_variant(
+        base, log,
+        admission=AdmissionController(1e9, "defer", cost_of=cost_of),
+    )
+    assert sorted_pairs(never) == sorted_pairs(ungated)
+    assert never.summary().deferred == never.summary().shed == 0

@@ -14,9 +14,11 @@ Commands
 ``seeds``
     Greedy influence-maximization seed selection over the social network.
 ``stream``
-    Play one day as an event stream through the micro-batched
-    :class:`~repro.stream.StreamRuntime` and print latency/throughput
-    metrics; supports checkpointing and resuming runs.
+    Play one day (or, with ``--days N``, a multi-day horizon with
+    overnight relocation and churn) as an event stream through the
+    micro-batched :class:`~repro.stream.StreamRuntime` and print
+    latency/throughput metrics; supports checkpointing/resuming runs and
+    latency-budget admission control (``--admission-budget/-policy``).
 
 Every command accepts ``--world bk|fs --scale S --seed N`` to pick the
 synthetic world, or ``--snap-dir DIR`` to read SNAP-format files instead.
@@ -262,8 +264,18 @@ def cmd_seeds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _admission_request(args: argparse.Namespace) -> dict | None:
+    """The run's admission-control identity (None when disabled)."""
+    if args.admission_budget is None:
+        return None
+    return {
+        "policy": args.admission_policy or "defer",
+        "budget_seconds": args.admission_budget,
+    }
+
+
 def _validate_stream_flags(args: argparse.Namespace, trigger) -> str | None:
-    """Check checkpoint/trigger/shard flag combinations before any work.
+    """Check checkpoint/trigger/shard/admission flag combinations early.
 
     Returns an error message (or None) — run *before* datasets are built
     and influence models fitted, so a mismatched ``--resume`` fails in
@@ -276,6 +288,12 @@ def _validate_stream_flags(args: argparse.Namespace, trigger) -> str | None:
         return f"--shards must be >= 1, got {args.shards}"
     if args.max_rounds is not None and args.max_rounds < 0:
         return f"--max-rounds must be non-negative, got {args.max_rounds}"
+    if args.days < 1:
+        return f"--days must be >= 1, got {args.days}"
+    if args.admission_policy is not None and args.admission_budget is None:
+        return "--admission-policy requires --admission-budget"
+    if args.admission_budget is not None and args.admission_budget <= 0:
+        return f"--admission-budget must be positive, got {args.admission_budget}"
     if args.resume is None:
         return None
 
@@ -295,12 +313,13 @@ def _validate_stream_flags(args: argparse.Namespace, trigger) -> str | None:
                 {"shards": args.shards, "cell_km": None}
                 if args.shards is not None else None
             ),
+            admission=_admission_request(args),
         )
     except DataError as error:
         return (
             f"cannot resume from {args.resume}: {error} "
-            "(--trigger/--patience-hours/--shards must match the "
-            "checkpointed run)"
+            "(--trigger/--patience-hours/--shards/--admission-* must match "
+            "the checkpointed run)"
         )
     except (OSError, ValueError) as error:
         return f"cannot read checkpoint {args.resume}: {error}"
@@ -311,12 +330,15 @@ def cmd_stream(args: argparse.Namespace) -> int:
     from repro.exceptions import DataError
     from repro.stream import (
         AdaptiveTrigger,
+        AdmissionController,
         CountTrigger,
         HybridTrigger,
         StreamRuntime,
         TimeWindowTrigger,
         day_stream,
+        multi_day_stream,
     )
+    from repro.stream.events import KIND_ARRIVAL, KIND_RELOCATE
 
     assigner = _assigner_registry()[args.algorithm]()
 
@@ -340,12 +362,30 @@ def cmd_stream(args: argparse.Namespace) -> int:
     dataset = _dataset_from(args)
     builder = InstanceBuilder(dataset)
     day = args.day if args.day is not None else builder.richest_days(count=1)[0]
-    instance, log = day_stream(
-        dataset, day, valid_hours=args.valid_hours, reachable_km=args.radius
-    )
+    if args.days > 1:
+        replay_days = [
+            d for d in range(day, day + args.days)
+            if dataset.checkins_on_day(d)
+        ]
+        instance, log = multi_day_stream(
+            dataset, replay_days,
+            valid_hours=args.valid_hours, reachable_km=args.radius,
+        )
+    else:
+        instance, log = day_stream(
+            dataset, day, valid_hours=args.valid_hours, reachable_km=args.radius
+        )
     print(f"{instance.name}: {len(log)} events "
-          f"({sum(1 for e in log if e.phase == 0)} arrivals, "
+          f"({int((log.kinds == KIND_ARRIVAL).sum())} arrivals, "
+          f"{int((log.kinds == KIND_RELOCATE).sum())} relocations, "
           f"{len(instance.tasks)} tasks)")
+
+    admission = None
+    if args.admission_budget is not None:
+        admission = AdmissionController(
+            budget_seconds=args.admission_budget,
+            policy=args.admission_policy or "defer",
+        )
 
     influence = None
     if not args.no_influence:
@@ -359,6 +399,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
                 args.resume, assigner, influence, trigger, instance, log,
                 patience_hours=args.patience_hours,
                 shards=args.shards, executor=args.executor,
+                admission=admission,
             )
         except DataError as error:
             print(f"cannot resume from {args.resume}: {error}", file=sys.stderr)
@@ -369,6 +410,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
             assigner, influence, trigger, instance, log,
             patience_hours=args.patience_hours,
             shards=args.shards, executor=args.executor,
+            admission=admission,
         )
     if runtime.shard_executor is not None:
         layout = runtime.shard_executor.layout
@@ -472,6 +514,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_pipeline_arguments(stream)
     stream.add_argument("--day", type=int, default=None,
                         help="zero-based day (default: richest)")
+    stream.add_argument("--days", type=int, default=1,
+                        help="replay this many consecutive days as one "
+                             "continuous stream with overnight relocation "
+                             "and churn (default: 1)")
     stream.add_argument("--valid-hours", type=float, default=5.0)
     stream.add_argument("--radius", type=float, default=25.0)
     stream.add_argument("--algorithm", choices=ASSIGNER_NAMES, default="IA")
@@ -488,6 +534,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="adaptive trigger's per-round latency target (s)")
     stream.add_argument("--patience-hours", type=float, default=None,
                         help="churn unassigned workers after this many hours")
+    stream.add_argument("--admission-budget", type=float, default=None,
+                        help="per-round latency budget (s) above which the "
+                             "admission controller defers/sheds publishes")
+    stream.add_argument("--admission-policy", choices=("defer", "shed"),
+                        default=None,
+                        help="what happens to gated publishes (default: "
+                             "defer; requires --admission-budget)")
     stream.add_argument("--shards", type=int, default=None,
                         help="run rounds sharded by grid-cell components "
                              "(at most this many shards; exact decomposition)")

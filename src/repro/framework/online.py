@@ -25,9 +25,12 @@ instance from scratch.
    :func:`~repro.stream.log_from_arrivals` event log it reproduces
    :meth:`OnlineSimulator.run` bit-identically (a regression-tested golden
    cross-check), and adds count/hybrid/latency-adaptive micro-batching,
-   churn and cancellation events, a live spatial task index, wait/latency
-   metrics, and checkpoint/replay.  This module remains the compact
-   reference implementation the streaming runtime is pinned against.
+   churn/cancellation/relocation events, multi-day replay, latency-budget
+   admission control, a live spatial task index, wait/latency metrics, and
+   checkpoint/replay.  This module remains the compact reference
+   implementation the streaming runtime is pinned against — the scenario
+   differential matrix in ``tests/scenarios/`` cross-checks every
+   scenario class against it.
 """
 
 from __future__ import annotations
@@ -113,18 +116,26 @@ def day_arrivals(
     day: int,
     reachable_km: float = 25.0,
     speed_kmh: float = 5.0,
+    builder: InstanceBuilder | None = None,
 ) -> list[WorkerArrival]:
     """Worker arrivals for a day: each active user comes online at their
     first check-in of the day, located as the day-instance builder locates
-    them (most recent prior check-in, else that first check-in)."""
+    them (most recent prior check-in, else that first check-in).
+
+    ``builder`` reuses a caller's :class:`InstanceBuilder` (and with it the
+    searchsorted day index, which is expensive to rebuild); it must have
+    been constructed with the same ``reachable_km``/``speed_kmh``.
+    Multi-day callers pass one builder for the whole horizon.
+    """
     day_checkins = dataset.checkins_on_day(day)
     if not day_checkins:
         raise DataError(f"day {day} has no check-ins in {dataset.name!r}")
     day_start = 24.0 * day
     first_seen: dict[int, tuple[float, Worker]] = {}
-    builder = InstanceBuilder(
-        dataset, reachable_km=reachable_km, speed_kmh=speed_kmh
-    )
+    if builder is None:
+        builder = InstanceBuilder(
+            dataset, reachable_km=reachable_km, speed_kmh=speed_kmh
+        )
     for checkin in day_checkins:
         if checkin.user_id in first_seen:
             continue

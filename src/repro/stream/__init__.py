@@ -38,14 +38,18 @@ from repro.stream.events import (
     TaskPublishEvent,
     WorkerArrivalEvent,
     WorkerChurnEvent,
+    WorkerRelocateEvent,
     day_stream,
     expiry_events,
     log_from_arrivals,
+    multi_day_stream,
     synthetic_stream,
 )
 from repro.stream.metrics import RoundRecord, StreamMetrics, StreamSummary
 from repro.stream.runtime import (
+    ADMISSION_POLICIES,
     EXECUTOR_BACKENDS,
+    AdmissionController,
     ShardExecutor,
     StreamResult,
     StreamRuntime,
@@ -68,10 +72,12 @@ __all__ = [
     "TaskCancelEvent",
     "TaskExpiryEvent",
     "WorkerChurnEvent",
+    "WorkerRelocateEvent",
     "EventLog",
     "expiry_events",
     "log_from_arrivals",
     "day_stream",
+    "multi_day_stream",
     "synthetic_stream",
     # scheduling
     "Trigger",
@@ -87,6 +93,8 @@ __all__ = [
     # runtime, sharding & checkpoints
     "StreamRuntime",
     "StreamResult",
+    "AdmissionController",
+    "ADMISSION_POLICIES",
     "ShardExecutor",
     "ShardLayout",
     "EXECUTOR_BACKENDS",

@@ -6,9 +6,11 @@ A checkpoint captures everything the runtime needs to continue
 * the **event cursor** and simulation clock — the log itself is not copied;
   a fingerprint of its ``(time, phase, entity)`` triples is stored instead,
   and :func:`restore_runtime` refuses to resume against a different log;
-* the **pools**, stored as indices of the arrival/publish events that
-  introduced each pooled entity (entities are rebuilt from the log, so the
-  snapshot stays numeric — no pickled objects);
+* the **pools**, stored as indices of the arrival/relocation/publish
+  events that introduced each pooled entity (entities are rebuilt from the
+  log, so the snapshot stays numeric — no pickled objects; a relocated
+  worker resolves to the relocation row whose synthesized payload it is,
+  so mid-relocation resumes are event-for-event identical);
 * the **accumulated result** (assignment pairs as event-index pairs, all
   metrics arrays) so the resumed runtime's final result equals the
   uninterrupted run's, not just its tail;
@@ -17,7 +19,10 @@ A checkpoint captures everything the runtime needs to continue
   **RNG state** of the runtime's generator, keeping adaptive policies and
   stochastic extensions on the same trajectory;
 * for sharded runs, the **shard layout** and the **per-shard RNG states**,
-  so a resumed run partitions its rounds identically.
+  so a resumed run partitions its rounds identically;
+* for admission-controlled runs, the **controller state** — overload flag,
+  deferred backlog (as publish event indices) and cumulative counters — so
+  a resumed run defers/sheds exactly as the uninterrupted one.
 
 Round wall-clock timings are data (they are part of the metrics arrays) but
 never inputs to control flow in deterministic triggers, so replay equality
@@ -33,7 +38,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.exceptions import DataError
-from repro.stream.events import KIND_ARRIVAL, KIND_PUBLISH, EventLog
+from repro.stream.events import KIND_ARRIVAL, KIND_PUBLISH, KIND_RELOCATE, EventLog
 from repro.stream.shards import ShardLayout
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
@@ -41,7 +46,10 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
 
 #: Format marker; bumped on incompatible layout changes.
 #: v2: columnar event-log fingerprints, trigger kinds, shard layout + RNGs.
-CHECKPOINT_VERSION = 2
+#: v3: relocation-aware pool/assignment event indices, admission-controller
+#:     state, and the wider per-round metrics rows
+#:     (relocated/deferred/shed columns).
+CHECKPOINT_VERSION = 3
 
 _EMPTY = np.zeros(0, dtype=np.int64)
 
@@ -56,17 +64,20 @@ def _json_default(value):
 
 
 def _entity_event_indices(log: EventLog, cursor: int) -> tuple[dict, dict]:
-    """Map each arrival/publish payload (≤ cursor) to its last event index.
+    """Map each worker/task payload (≤ cursor) to its last event index.
 
     Workers and tasks are frozen, hashable dataclasses, so equal payloads
     collapse onto one index — any equal event rebuilds an identical entity.
+    Relocation rows carry the synthesized relocated worker, so a pooled (or
+    assigned) worker that moved resolves to the relocation row that last
+    produced its current state.
     """
     worker_index: dict = {}
     task_index: dict = {}
     kinds = log.kinds
     for position in range(cursor):
         kind = int(kinds[position])
-        if kind == KIND_ARRIVAL:
+        if kind == KIND_ARRIVAL or kind == KIND_RELOCATE:
             worker_index[log.worker_at(position)] = position
         elif kind == KIND_PUBLISH:
             task_index[log.task_at(position)] = position
@@ -119,6 +130,11 @@ def save_checkpoint(runtime: "StreamRuntime", path: str | Path) -> Path:
         "shards": (
             {**runtime.shard_executor.state_dict(), "requested": runtime.shard_request}
             if runtime.shard_executor is not None
+            else None
+        ),
+        "admission": (
+            runtime.admission.state_dict()
+            if runtime.admission is not None
             else None
         ),
     }
@@ -179,6 +195,7 @@ def validate_checkpoint_meta(
     patience_hours: float | None,
     sharded: bool,
     shard_request: dict | None = None,
+    admission: dict | None = None,
 ) -> None:
     """Check a checkpoint's meta against a run configuration.
 
@@ -216,6 +233,21 @@ def validate_checkpoint_meta(
                 f"shards={shard_request['shards']}, "
                 f"cell_km={shard_request['cell_km']}"
             )
+    saved_admission = meta.get("admission")
+    if (saved_admission is None) != (admission is None):
+        saved = "without" if saved_admission is None else "with"
+        built = "with" if admission is not None else "without"
+        raise DataError(
+            f"checkpoint was taken {saved} admission control, this run is "
+            f"{built} it — pass the same admission configuration"
+        )
+    if saved_admission is not None and admission is not None:
+        for field in ("policy", "budget_seconds"):
+            if saved_admission.get(field) != admission.get(field):
+                raise DataError(
+                    f"checkpoint admission {field}={saved_admission.get(field)!r} "
+                    f"does not match this run's {admission.get(field)!r}"
+                )
 
 
 def restore_runtime(runtime: "StreamRuntime", path: str | Path) -> "StreamRuntime":
@@ -238,6 +270,14 @@ def restore_runtime(runtime: "StreamRuntime", path: str | Path) -> "StreamRuntim
         patience_hours=runtime.patience_hours,
         sharded=runtime.shard_executor is not None,
         shard_request=runtime.shard_request,
+        admission=(
+            {
+                "policy": runtime.admission.policy,
+                "budget_seconds": runtime.admission.budget_seconds,
+            }
+            if runtime.admission is not None
+            else None
+        ),
     )
     shard_meta = meta.get("shards")
     if shard_meta is not None:
@@ -248,19 +288,22 @@ def restore_runtime(runtime: "StreamRuntime", path: str | Path) -> "StreamRuntim
                 "(different shard count or planning cell size?)"
             )
         runtime.shard_executor.load_state_dict(shard_meta)
+    admission_meta = meta.get("admission")
+    if admission_meta is not None:
+        runtime.admission.load_state_dict(admission_meta)
 
     state = runtime.state
     log = runtime.log
     for event_index, arrived in zip(
         payload["pool_worker_events"], payload["pool_worker_arrived_at"]
     ):
-        worker = log[int(event_index)].worker
+        worker = log.worker_at(int(event_index))
         state.workers[worker.worker_id] = worker
         state.arrived_at[worker.worker_id] = float(arrived)
     for event_index, published in zip(
         payload["pool_task_events"], payload["pool_task_published_at"]
     ):
-        task = log[int(event_index)].task
+        task = log.task_at(int(event_index))
         state.tasks[task.task_id] = task
         state.published_at[task.task_id] = float(published)
         state.task_index.insert(task.location, task.task_id)
@@ -269,7 +312,7 @@ def restore_runtime(runtime: "StreamRuntime", path: str | Path) -> "StreamRuntim
         payload["assigned_worker_events"], payload["assigned_task_events"]
     ):
         runtime.result.assignment.add(
-            log[int(task_index)].task, log[int(worker_index)].worker
+            log.task_at(int(task_index)), log.worker_at(int(worker_index))
         )
     runtime.result.metrics.load_state_dict(
         {

@@ -21,8 +21,9 @@ access is genuinely wanted (``log[i]``, iteration).
 
 Ordering
 --------
-Events sort by ``(time, phase, entity_id, seq)``.  The phase encodes the
-round semantics of :class:`~repro.framework.online.OnlineSimulator` exactly:
+Events sort by ``(time, phase, entity_id, kind, seq)``.  The phase encodes
+the round semantics of :class:`~repro.framework.online.OnlineSimulator`
+exactly:
 
 * *admission* phases (arrival < publish < cancel) apply at a round whose
   time ``T`` satisfies ``event.time <= T`` — a worker arriving exactly at a
@@ -31,13 +32,14 @@ round semantics of :class:`~repro.framework.online.OnlineSimulator` exactly:
   a task whose deadline coincides with the boundary is still assignable in
   that round (the simulator's strict ``expiry_time < current`` check).
 
-Because the tie-break ends in the entity id, simultaneous events replay in
-the same order no matter how the sources were interleaved before the merge
-— provided no two *distinct* events share all of (time, phase, entity id).
-Such a degenerate pair (e.g. the same worker arriving twice at the same
-instant with different locations) keeps source order under the stable sort,
-so streams that need that case replayable must disambiguate timestamps
-themselves.
+Because the tie-break runs through entity id and kind, simultaneous events
+replay in the same order no matter how the sources were interleaved before
+the merge — an arrival and a relocation of the same worker at the same
+instant deterministically order arrival-first — provided no two *distinct*
+events share all of (time, phase, entity id, kind).  Such a degenerate
+pair (e.g. the same worker arriving twice at the same instant with
+different locations) keeps source order under the stable sort, so streams
+that need that case replayable must disambiguate timestamps themselves.
 
 Construction
 ------------
@@ -45,10 +47,26 @@ Construction
 :meth:`EventLog.from_columns` builds straight from arrays (no per-event
 wrappers at all — the path the high-rate generators use);
 :func:`day_stream` turns a :class:`~repro.data.CheckInDataset` day into the
-exact event set the batched :class:`OnlineSimulator` plays; and
+exact event set the batched :class:`OnlineSimulator` plays;
+:func:`multi_day_stream` chains several days into one continuous replay
+with overnight relocation and churn between them; and
 :func:`synthetic_stream` generates Poisson-style arrival/publication streams
-(with optional churn, cancellations and spatially separated *clusters*) for
-load tests far beyond the paper's scale.
+(with optional churn, cancellations, spatially separated *clusters* and
+multi-day relocation waves) for load tests far beyond the paper's scale.
+
+Relocation
+----------
+:class:`WorkerRelocateEvent` (kind 5) shares the arrival phase: a live
+worker's location update is an admission-time change.  The log synthesizes
+the relocated :class:`~repro.entities.Worker` payload at construction by
+composing the worker's most recent prior arrival/relocation with the new
+coordinates, so every worker row — original or relocated — carries a full
+payload: replay applies it directly, :meth:`EventLog.cell_keys` sees the
+relocated position (which is how the shard planner's never-split invariant
+extends to relocation for free — the layout is planned from *every*
+location the log can ever pool), and checkpoints reference it by row index.
+A relocation of a worker who is not pooled (already assigned or churned)
+applies as a no-op.
 """
 
 from __future__ import annotations
@@ -64,6 +82,7 @@ import numpy as np
 from repro.data.dataset import CheckInDataset
 from repro.data.instance import InstanceBuilder, SCInstance
 from repro.entities import Task, Worker
+from repro.exceptions import DataError
 from repro.geo import Point
 
 #: Admission phases: the event applies at round time ``T`` when ``time <= T``.
@@ -78,18 +97,26 @@ PHASE_CHURN = 4
 #: First deferred phase — the drain cutoff used by the runtime.
 DEFERRED_PHASE = PHASE_EXPIRY
 
-#: Event kinds (the ``kind`` column).  Kinds currently map 1:1 onto phases,
-#: but are stored separately so future event classes can share a phase
-#: (e.g. a relocation event ordering like an arrival).
+#: Event kinds (the ``kind`` column).  Kinds are stored separately from
+#: phases so event classes can share a phase: relocation (kind 5) orders
+#: like an arrival — a live worker's location update is an admission.
 KIND_ARRIVAL = 0
 KIND_PUBLISH = 1
 KIND_CANCEL = 2
 KIND_EXPIRY = 3
 KIND_CHURN = 4
+KIND_RELOCATE = 5
 
 #: ``phase`` of each kind, indexed by kind code.
 KIND_PHASE = np.array(
-    [PHASE_ARRIVAL, PHASE_PUBLISH, PHASE_CANCEL, PHASE_EXPIRY, PHASE_CHURN],
+    [
+        PHASE_ARRIVAL,
+        PHASE_PUBLISH,
+        PHASE_CANCEL,
+        PHASE_EXPIRY,
+        PHASE_CHURN,
+        PHASE_ARRIVAL,  # relocation admits like an arrival
+    ],
     dtype=np.int64,
 )
 
@@ -190,6 +217,28 @@ class WorkerChurnEvent(StreamEvent):
         return self.worker_id
 
 
+@dataclass(frozen=True, slots=True)
+class WorkerRelocateEvent(StreamEvent):
+    """A live worker moves to a new location (multi-day replay).
+
+    Shares the arrival phase — a location update is an admission-time
+    change — but, unlike an arrival, carries no full worker payload and is
+    a **no-op when the worker is not pooled** (already assigned or churned).
+    The log synthesizes the relocated :class:`~repro.entities.Worker`
+    payload at construction time by composing the worker's most recent
+    arrival/relocation attributes with the new coordinates, so replay,
+    sharding and checkpoints all see ordinary worker payloads.
+    """
+
+    worker_id: int = -1
+    location: Point = None  # type: ignore[assignment]
+    phase: int = PHASE_ARRIVAL
+
+    @property
+    def entity_id(self) -> int:
+        return self.worker_id
+
+
 def _event_row(event: StreamEvent) -> tuple[int, int, object]:
     """``(kind, entity_id, payload_or_None)`` of one event object."""
     if isinstance(event, WorkerArrivalEvent):
@@ -202,6 +251,8 @@ def _event_row(event: StreamEvent) -> tuple[int, int, object]:
         return KIND_EXPIRY, event.task_id, None
     if isinstance(event, WorkerChurnEvent):
         return KIND_CHURN, event.worker_id, None
+    if isinstance(event, WorkerRelocateEvent):
+        return KIND_RELOCATE, event.worker_id, event.location
     raise TypeError(f"unsupported stream event {event!r}")
 
 
@@ -220,6 +271,8 @@ class EventLog:
         kind = np.empty(count, dtype=np.int64)
         entity = np.empty(count, dtype=np.int64)
         payload = np.full(count, -1, dtype=np.int64)
+        xs = np.full(count, np.nan)
+        ys = np.full(count, np.nan)
         workers: list[Worker] = []
         tasks: list[Task] = []
         for position, event in enumerate(staged):
@@ -233,7 +286,9 @@ class EventLog:
             elif event_kind == KIND_PUBLISH:
                 payload[position] = len(tasks)
                 tasks.append(body)
-        self._init_from_arrays(time, kind, entity, payload, workers, tasks)
+            elif event_kind == KIND_RELOCATE:
+                xs[position], ys[position] = body.x, body.y
+        self._init_from_arrays(time, kind, entity, payload, workers, tasks, xs, ys)
 
     # ----------------------------------------------------------- construction
     @classmethod
@@ -245,25 +300,64 @@ class EventLog:
         payload: np.ndarray | None = None,
         workers: Sequence[Worker] = (),
         tasks: Sequence[Task] = (),
+        x: np.ndarray | None = None,
+        y: np.ndarray | None = None,
     ) -> "EventLog":
         """Build a log straight from column arrays (no event objects).
 
         ``payload`` holds, per row, the index of the row's worker (arrival
         rows, into ``workers``) or task (publish rows, into ``tasks``) and
         -1 elsewhere; when omitted, arrival/publish rows are matched to the
-        side-tables in row order.  Rows may be in any order — the
-        constructor applies the canonical ``(time, phase, entity_id)``
-        stable sort itself.
+        side-tables in row order.  Relocation rows carry no payload: their
+        new coordinates come from the ``x``/``y`` columns (required
+        whenever a ``KIND_RELOCATE`` row is present) and the relocated
+        worker is synthesized from the entity's most recent prior
+        arrival/relocation.  Rows may be in any order — the constructor
+        applies the canonical ``(time, phase, entity_id)`` stable sort
+        itself.
+
+        Malformed input — mismatched column lengths, unknown kind codes,
+        non-finite times, NaN relocation coordinates, payload references
+        outside the side-tables, or a relocation preceding any arrival of
+        its worker — raises :class:`~repro.exceptions.DataError` up front
+        instead of surfacing as an index error rounds later.
         """
         time = np.ascontiguousarray(time, dtype=np.float64)
         kind = np.ascontiguousarray(kind, dtype=np.int64)
         entity_id = np.ascontiguousarray(entity_id, dtype=np.int64)
         if not (len(time) == len(kind) == len(entity_id)):
-            raise ValueError(
-                "time, kind and entity_id columns must have equal length"
+            raise DataError(
+                "time, kind and entity_id columns must have equal length, got "
+                f"{len(time)}/{len(kind)}/{len(entity_id)}"
             )
         if kind.size and (kind.min() < 0 or kind.max() >= len(KIND_PHASE)):
-            raise ValueError("kind column contains an unknown event kind")
+            bad = np.unique(kind[(kind < 0) | (kind >= len(KIND_PHASE))])
+            raise DataError(
+                f"kind column contains unknown event kind codes {bad.tolist()} "
+                f"(known: 0..{len(KIND_PHASE) - 1})"
+            )
+        if time.size and not np.isfinite(time).all():
+            raise DataError("time column contains non-finite values")
+        relocating = kind == KIND_RELOCATE
+        if relocating.any():
+            if x is None or y is None:
+                raise DataError(
+                    "relocation rows require the x and y coordinate columns"
+                )
+        if x is not None or y is not None:
+            if x is None or y is None:
+                raise DataError("x and y columns must be given together")
+            x = np.ascontiguousarray(x, dtype=np.float64)
+            y = np.ascontiguousarray(y, dtype=np.float64)
+            if not (len(x) == len(y) == len(time)):
+                raise DataError("x and y columns must have the row count")
+            bad_coords = relocating & (np.isnan(x) | np.isnan(y))
+            if bad_coords.any():
+                raise DataError(
+                    "relocation rows "
+                    f"{np.flatnonzero(bad_coords).tolist()[:5]} have NaN "
+                    "coordinates"
+                )
         if payload is None:
             payload = np.full(len(time), -1, dtype=np.int64)
             payload[kind == KIND_ARRIVAL] = np.arange(
@@ -275,20 +369,20 @@ class EventLog:
         else:
             payload = np.ascontiguousarray(payload, dtype=np.int64)
             if len(payload) != len(time):
-                raise ValueError("payload column must have the row count")
+                raise DataError("payload column must have the row count")
             for kind_code, table, label in (
                 (KIND_ARRIVAL, workers, "workers"),
                 (KIND_PUBLISH, tasks, "tasks"),
             ):
                 refs = payload[kind == kind_code]
                 if refs.size and (refs.min() < 0 or refs.max() >= len(table)):
-                    raise ValueError(
+                    raise DataError(
                         f"payload indices of kind-{kind_code} rows must lie in "
                         f"[0, {len(table)}) — the {label} side-table"
                     )
         log = cls.__new__(cls)
         log._init_from_arrays(
-            time, kind, entity_id, payload, list(workers), list(tasks)
+            time, kind, entity_id, payload, list(workers), list(tasks), x, y
         )
         return log
 
@@ -300,10 +394,16 @@ class EventLog:
         payload: np.ndarray,
         workers: list[Worker],
         tasks: list[Task],
+        x: np.ndarray | None = None,
+        y: np.ndarray | None = None,
     ) -> None:
         count = len(time)
         phase = KIND_PHASE[kind] if count else _EMPTY_INT
-        order = np.lexsort((entity, phase, time))
+        # Kind joins the sort key as the final tie-break so an arrival and
+        # a relocation of the same worker at the same instant (both in the
+        # arrival phase) order deterministically — arrival first — no
+        # matter how the source rows were interleaved.
+        order = np.lexsort((kind, entity, phase, time))
         columns = np.zeros(count, dtype=EVENT_DTYPE)
         columns["time"] = time[order]
         columns["phase"] = phase[order]
@@ -312,28 +412,72 @@ class EventLog:
 
         # Renumber payloads in sorted-row order so the columnar form (and
         # therefore the fingerprint) is independent of the source order.
+        # Relocation rows synthesize their payload here: the entity's most
+        # recent prior arrival/relocation payload moved to the row's new
+        # coordinates — so downstream consumers (replay, shard planning,
+        # checkpoints) see ordinary worker payloads on every worker row.
         source_payload = payload[order]
-        arrival_rows = np.flatnonzero(columns["kind"] == KIND_ARRIVAL)
-        publish_rows = np.flatnonzero(columns["kind"] == KIND_PUBLISH)
-        self._workers: tuple[Worker, ...] = tuple(
-            workers[source_payload[row]] for row in arrival_rows
-        )
-        self._tasks: tuple[Task, ...] = tuple(
-            tasks[source_payload[row]] for row in publish_rows
-        )
+        sorted_kind = columns["kind"]
+        sorted_entity = columns["entity_id"]
         sorted_payload = np.full(count, -1, dtype=np.int64)
-        sorted_payload[arrival_rows] = np.arange(len(arrival_rows), dtype=np.int64)
-        sorted_payload[publish_rows] = np.arange(len(publish_rows), dtype=np.int64)
-        columns["payload"] = sorted_payload
-
         xs = np.full(count, np.nan)
         ys = np.full(count, np.nan)
-        for slot, row in enumerate(arrival_rows):
-            location = self._workers[slot].location
-            xs[row], ys[row] = location.x, location.y
-        for slot, row in enumerate(publish_rows):
-            location = self._tasks[slot].location
-            xs[row], ys[row] = location.x, location.y
+        arrival_rows = np.flatnonzero(sorted_kind == KIND_ARRIVAL)
+        publish_rows = np.flatnonzero(sorted_kind == KIND_PUBLISH)
+        if not (kind == KIND_RELOCATE).any():
+            # Fast path (no relocations — every single-day builder): only
+            # arrival/publish rows carry payloads or locations.
+            worker_table = [workers[source_payload[row]] for row in arrival_rows]
+            task_table = [tasks[source_payload[row]] for row in publish_rows]
+            sorted_payload[arrival_rows] = np.arange(
+                len(arrival_rows), dtype=np.int64
+            )
+            sorted_payload[publish_rows] = np.arange(
+                len(publish_rows), dtype=np.int64
+            )
+            for slot, row in enumerate(arrival_rows):
+                location = worker_table[slot].location
+                xs[row], ys[row] = location.x, location.y
+            for slot, row in enumerate(publish_rows):
+                location = task_table[slot].location
+                xs[row], ys[row] = location.x, location.y
+        else:
+            source_x = x[order] if x is not None else None
+            source_y = y[order] if y is not None else None
+            worker_table = []
+            task_table = []
+            latest_worker: dict[int, Worker] = {}
+            for row in range(count):
+                row_kind = sorted_kind[row]
+                if row_kind == KIND_ARRIVAL:
+                    worker = workers[source_payload[row]]
+                    latest_worker[int(sorted_entity[row])] = worker
+                elif row_kind == KIND_RELOCATE:
+                    previous = latest_worker.get(int(sorted_entity[row]))
+                    if previous is None:
+                        raise DataError(
+                            f"relocation of worker {int(sorted_entity[row])} "
+                            f"at t={float(columns['time'][row])} precedes any "
+                            "arrival of that worker"
+                        )
+                    worker = previous.moved_to(
+                        Point(float(source_x[row]), float(source_y[row]))
+                    )
+                    latest_worker[int(sorted_entity[row])] = worker
+                elif row_kind == KIND_PUBLISH:
+                    task = tasks[source_payload[row]]
+                    sorted_payload[row] = len(task_table)
+                    task_table.append(task)
+                    xs[row], ys[row] = task.location.x, task.location.y
+                    continue
+                else:
+                    continue
+                sorted_payload[row] = len(worker_table)
+                worker_table.append(worker)
+                xs[row], ys[row] = worker.location.x, worker.location.y
+        self._workers: tuple[Worker, ...] = tuple(worker_table)
+        self._tasks: tuple[Task, ...] = tuple(task_table)
+        columns["payload"] = sorted_payload
         columns["x"] = xs
         columns["y"] = ys
         columns.setflags(write=False)
@@ -353,6 +497,13 @@ class EventLog:
             ],
             dtype=np.float64,
         ).reshape(len(self._tasks), 4)
+        for attrs, label in ((self._worker_attrs, "worker"),
+                             (self._task_attrs, "task")):
+            if len(attrs) and np.isnan(attrs[:, :2]).any():
+                raise DataError(
+                    f"{label} payloads contain NaN coordinates — the live "
+                    "index and shard planner require finite locations"
+                )
         self._task_venues = np.array(
             [-1 if t.venue_id is None else t.venue_id for t in self._tasks],
             dtype=np.int64,
@@ -399,6 +550,12 @@ class EventLog:
             return TaskCancelEvent(time=time, task_id=entity)
         if kind == KIND_EXPIRY:
             return TaskExpiryEvent(time=time, task_id=entity)
+        if kind == KIND_RELOCATE:
+            return WorkerRelocateEvent(
+                time=time,
+                worker_id=entity,
+                location=Point(float(row["x"]), float(row["y"])),
+            )
         return WorkerChurnEvent(time=time, worker_id=entity)
 
     @property
@@ -430,10 +587,17 @@ class EventLog:
         return self.columns["entity_id"]
 
     def worker_at(self, index: int) -> Worker:
-        """The worker payload of the arrival event at ``index``."""
+        """The worker payload of the arrival/relocation event at ``index``.
+
+        For relocation rows this is the synthesized relocated worker — the
+        most recent prior arrival's attributes at the row's new location.
+        """
         slot = int(self.columns["payload"][index])
-        if int(self.columns["kind"][index]) != KIND_ARRIVAL or slot < 0:
-            raise IndexError(f"event {index} is not a worker arrival")
+        if (
+            int(self.columns["kind"][index]) not in (KIND_ARRIVAL, KIND_RELOCATE)
+            or slot < 0
+        ):
+            raise IndexError(f"event {index} is not a worker arrival/relocation")
         return self._workers[slot]
 
     def task_at(self, index: int) -> Task:
@@ -601,6 +765,99 @@ def day_stream(
     return instance, log_from_arrivals(arrivals, instance.tasks)
 
 
+def multi_day_stream(
+    dataset: CheckInDataset,
+    days: Sequence[int],
+    valid_hours: float = 5.0,
+    reachable_km: float = 25.0,
+    speed_kmh: float = 5.0,
+) -> tuple[SCInstance, EventLog]:
+    """Several dataset days as one continuous ``(base_instance, event_log)``.
+
+    Multi-day replay follows the paper's "online until assigned" protocol
+    over the whole horizon: a worker **arrives** once, at their first
+    check-in of their first active day; on each *later* active day they
+    **relocate** at that day's first check-in to that day's location (a
+    no-op if they were assigned in the meantime — an assigned worker is
+    done for the horizon); and they **churn overnight** at the start of
+    the next replayed day after their *last* active day (they left the
+    platform — relocations never resurrect a churned worker).  Each day
+    contributes its task set; task ids are renumbered sequentially across
+    the horizon so same-venue tasks on different days stay distinct.
+
+    The base instance is the first day's (histories, social network, venue
+    visits are fitted once, exactly as a single-day run fits them).
+    """
+    from dataclasses import replace
+
+    from repro.framework.online import day_arrivals
+
+    days = list(days)
+    if not days:
+        raise DataError("multi_day_stream needs at least one day")
+    if sorted(set(days)) != days:
+        raise DataError(f"days must be strictly increasing, got {days}")
+
+    builder = InstanceBuilder(
+        dataset, valid_hours=valid_hours, reachable_km=reachable_km, speed_kmh=speed_kmh
+    )
+    base = builder.build_day(days[0])
+
+    per_day_arrivals = [
+        day_arrivals(
+            dataset, day, reachable_km=reachable_km, speed_kmh=speed_kmh,
+            builder=builder,
+        )
+        for day in days
+    ]
+    last_active: dict[int, int] = {}
+    for position, arrivals in enumerate(per_day_arrivals):
+        for arrival in arrivals:
+            last_active[arrival.worker.worker_id] = position
+
+    events: list[StreamEvent] = []
+    all_tasks: list[Task] = []
+    next_task_id = 0
+    seen: set[int] = set()
+    for position, (day, arrivals) in enumerate(zip(days, per_day_arrivals)):
+        day_instance = base if position == 0 else builder.build_day(day)
+        for task in sorted(day_instance.tasks, key=lambda t: t.task_id):
+            all_tasks.append(replace(task, task_id=next_task_id))
+            next_task_id += 1
+
+        for arrival in arrivals:
+            worker_id = arrival.worker.worker_id
+            if worker_id in seen:
+                events.append(
+                    WorkerRelocateEvent(
+                        time=arrival.arrival_time,
+                        worker_id=worker_id,
+                        location=arrival.worker.location,
+                    )
+                )
+            else:
+                seen.add(worker_id)
+                events.append(
+                    WorkerArrivalEvent(time=arrival.arrival_time, worker=arrival.worker)
+                )
+        if position + 1 < len(days):
+            boundary = 24.0 * days[position + 1]
+            events.extend(
+                WorkerChurnEvent(time=boundary, worker_id=worker_id)
+                for worker_id in sorted(
+                    worker_id
+                    for worker_id, last in last_active.items()
+                    if last == position
+                )
+            )
+
+    events.extend(
+        TaskPublishEvent(time=task.publication_time, task=task) for task in all_tasks
+    )
+    events.extend(expiry_events(all_tasks))
+    return base.with_tasks(all_tasks), EventLog(events)
+
+
 def synthetic_stream(
     num_workers: int,
     num_tasks: int,
@@ -613,6 +870,10 @@ def synthetic_stream(
     cancel_fraction: float = 0.0,
     clusters: int = 1,
     cluster_gap_km: float | None = None,
+    days: int = 1,
+    relocate_fraction: float = 0.0,
+    overnight_churn_fraction: float = 0.0,
+    relocate_span: str = "cluster",
     seed: int = 0,
 ) -> tuple[SCInstance, EventLog]:
     """A Poisson-style synthetic stream for load tests.
@@ -633,6 +894,17 @@ def synthetic_stream(
     clusters — the decomposition the sharded round executor exploits.
     ``clusters=1`` reproduces the historical single-square stream
     draw-for-draw.
+
+    ``days > 1`` turns the stream into a multi-day replay: arrivals and
+    publications spread over ``days * duration_hours`` and, at every day
+    boundary, each already-arrived worker independently churns overnight
+    (probability ``overnight_churn_fraction``) or relocates (probability
+    ``relocate_fraction``) — a :class:`WorkerRelocateEvent` at the exact
+    boundary time, drawn within the worker's own cluster square
+    (``relocate_span="cluster"``) or anywhere in the multi-city world
+    (``relocate_span="world"``, the mass-migration shape that stresses the
+    shard planner's never-split invariant).  ``days=1`` draws exactly the
+    historical single-day stream.
     """
     if num_workers < 0 or num_tasks < 0:
         raise ValueError("num_workers and num_tasks must be non-negative")
@@ -644,7 +916,24 @@ def synthetic_stream(
         cluster_gap_km = 3.0 * reachable_km
     elif cluster_gap_km <= 0:
         raise ValueError(f"cluster_gap_km must be positive, got {cluster_gap_km}")
+    if days < 1:
+        raise ValueError(f"days must be >= 1, got {days}")
+    if not (0.0 <= relocate_fraction <= 1.0):
+        raise ValueError(f"relocate_fraction must lie in [0, 1], got {relocate_fraction}")
+    if not (0.0 <= overnight_churn_fraction <= 1.0):
+        raise ValueError(
+            f"overnight_churn_fraction must lie in [0, 1], got {overnight_churn_fraction}"
+        )
+    if relocate_fraction + overnight_churn_fraction > 1.0:
+        raise ValueError(
+            "relocate_fraction + overnight_churn_fraction must not exceed 1"
+        )
+    if relocate_span not in ("cluster", "world"):
+        raise ValueError(
+            f"relocate_span must be 'cluster' or 'world', got {relocate_span!r}"
+        )
     rng = np.random.default_rng(seed)
+    horizon_hours = duration_hours * days
 
     grid_side = int(np.ceil(np.sqrt(clusters)))
     pitch = area_km + cluster_gap_km
@@ -654,12 +943,12 @@ def synthetic_stream(
             (assignments % grid_side, assignments // grid_side)
         ) * pitch
 
-    worker_times = np.sort(rng.uniform(0.0, duration_hours, size=num_workers))
+    worker_times = np.sort(rng.uniform(0.0, horizon_hours, size=num_workers))
     worker_xy = rng.uniform(0.0, area_km, size=(num_workers, 2))
+    worker_clusters = np.zeros(num_workers, dtype=np.int64)
     if clusters > 1:
-        worker_xy = worker_xy + cluster_origins(
-            rng.integers(clusters, size=num_workers)
-        )
+        worker_clusters = rng.integers(clusters, size=num_workers)
+        worker_xy = worker_xy + cluster_origins(worker_clusters)
     workers = [
         Worker(
             worker_id=worker_id,
@@ -670,7 +959,7 @@ def synthetic_stream(
         for worker_id in range(num_workers)
     ]
 
-    task_times = np.sort(rng.uniform(0.0, duration_hours, size=num_tasks))
+    task_times = np.sort(rng.uniform(0.0, horizon_hours, size=num_tasks))
     task_xy = rng.uniform(0.0, area_km, size=(num_tasks, 2))
     if clusters > 1:
         task_xy = task_xy + cluster_origins(rng.integers(clusters, size=num_tasks))
@@ -710,12 +999,56 @@ def synthetic_stream(
         kinds.append(np.full(len(cancelled), KIND_CANCEL, dtype=np.int64))
         entities.append(cancelled.astype(np.int64))
 
+    relocation_xy: list[np.ndarray] = []
+    if days > 1 and num_workers:
+        alive = np.ones(num_workers, dtype=bool)
+        for boundary_day in range(1, days):
+            boundary = boundary_day * duration_hours
+            present = alive & (worker_times < boundary)
+            draws = rng.random(num_workers)
+            churns = present & (draws < overnight_churn_fraction)
+            moves = (
+                present
+                & ~churns
+                & (draws < overnight_churn_fraction + relocate_fraction)
+            )
+            new_xy = rng.uniform(0.0, area_km, size=(num_workers, 2))
+            if clusters > 1:
+                span_clusters = (
+                    rng.integers(clusters, size=num_workers)
+                    if relocate_span == "world"
+                    else worker_clusters
+                )
+                new_xy = new_xy + cluster_origins(span_clusters)
+            alive[churns] = False
+            if churns.any():
+                ids = np.flatnonzero(churns)
+                times.append(np.full(len(ids), boundary))
+                kinds.append(np.full(len(ids), KIND_CHURN, dtype=np.int64))
+                entities.append(ids.astype(np.int64))
+                relocation_xy.append(np.full((len(ids), 2), np.nan))
+            if moves.any():
+                ids = np.flatnonzero(moves)
+                times.append(np.full(len(ids), boundary))
+                kinds.append(np.full(len(ids), KIND_RELOCATE, dtype=np.int64))
+                entities.append(ids.astype(np.int64))
+                relocation_xy.append(new_xy[ids])
+
+    all_times = np.concatenate(times)
+    coords = None
+    if relocation_xy:
+        base_rows = len(all_times) - sum(len(block) for block in relocation_xy)
+        coords = np.vstack(
+            [np.full((base_rows, 2), np.nan), *relocation_xy]
+        )
     log = EventLog.from_columns(
-        np.concatenate(times),
+        all_times,
         np.concatenate(kinds),
         np.concatenate(entities),
         workers=workers,
         tasks=tasks,
+        x=coords[:, 0] if coords is not None else None,
+        y=coords[:, 1] if coords is not None else None,
     )
     base = SCInstance(
         name=f"synthetic-stream-{seed}",

@@ -25,6 +25,9 @@ class RoundRecord:
     :class:`~repro.framework.online.OnlineStep`); ``drained_events`` counts
     the log events consumed since the previous round; ``round_seconds`` is
     the wall-clock cost of the assignment computation alone.
+    ``relocated_workers`` counts live-worker relocations applied in the
+    round's drain; ``deferred_tasks`` / ``shed_tasks`` count publish events
+    diverted by the admission controller (both stay 0 without one).
     """
 
     index: int
@@ -37,6 +40,9 @@ class RoundRecord:
     churned_workers: int
     cancelled_tasks: int
     round_seconds: float
+    relocated_workers: int = 0
+    deferred_tasks: int = 0
+    shed_tasks: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -48,6 +54,9 @@ class StreamSummary:
     expired: int
     churned: int
     cancelled: int
+    relocated: int
+    deferred: int
+    shed: int
     events_drained: int
     sim_hours: float
     wall_seconds: float
@@ -60,25 +69,36 @@ class StreamSummary:
     assigned_per_sim_hour: float
     expiry_rate: float
     churn_rate: float
+    shed_rate: float
 
     def as_text(self) -> str:
         """A compact multi-line report for CLIs and examples."""
-        return "\n".join(
+        lines = [
+            f"rounds:            {self.rounds}",
+            f"events drained:    {self.events_drained}"
+            f" ({self.events_per_second:,.0f} events/s)",
+            f"assigned:          {self.assigned}"
+            f" ({self.assigned_per_sim_hour:.1f} per sim hour)",
+            f"expired:           {self.expired} (rate {self.expiry_rate:.2f})",
+            f"churned:           {self.churned} (rate {self.churn_rate:.2f})",
+            f"cancelled:         {self.cancelled}",
+        ]
+        if self.relocated:
+            lines.append(f"relocated:         {self.relocated}")
+        if self.deferred or self.shed:
+            lines.append(
+                f"admission:         deferred {self.deferred}, "
+                f"shed {self.shed} (rate {self.shed_rate:.2f})"
+            )
+        lines.extend(
             [
-                f"rounds:            {self.rounds}",
-                f"events drained:    {self.events_drained}"
-                f" ({self.events_per_second:,.0f} events/s)",
-                f"assigned:          {self.assigned}"
-                f" ({self.assigned_per_sim_hour:.1f} per sim hour)",
-                f"expired:           {self.expired} (rate {self.expiry_rate:.2f})",
-                f"churned:           {self.churned} (rate {self.churn_rate:.2f})",
-                f"cancelled:         {self.cancelled}",
                 f"task wait (h):     p50 {self.task_wait_p50:.2f}"
                 f"  p90 {self.task_wait_p90:.2f}  p99 {self.task_wait_p99:.2f}",
                 f"round latency (s): p50 {self.round_latency_p50:.4f}"
                 f"  p99 {self.round_latency_p99:.4f}",
             ]
         )
+        return "\n".join(lines)
 
 
 def _percentile(values: Sequence[float], q: float) -> float:
@@ -102,6 +122,9 @@ class StreamMetrics:
         self.total_expired = 0
         self.total_churned = 0
         self.total_cancelled = 0
+        self.total_relocated = 0
+        self.total_deferred = 0
+        self.total_shed = 0
         self.total_drained = 0
         self.wall_seconds = 0.0
 
@@ -113,6 +136,9 @@ class StreamMetrics:
         self.total_expired += record.expired_tasks
         self.total_churned += record.churned_workers
         self.total_cancelled += record.cancelled_tasks
+        self.total_relocated += record.relocated_workers
+        self.total_deferred += record.deferred_tasks
+        self.total_shed += record.shed_tasks
         self.total_drained += record.drained_events
 
     def on_assigned(self, task_wait_hours: float, worker_wait_hours: float) -> None:
@@ -150,7 +176,10 @@ class StreamMetrics:
         latency = self.round_latency_percentiles((50.0, 99.0))
         waits = self.task_wait_percentiles((50.0, 90.0, 99.0))
         sim_hours = self.sim_hours
-        seen_tasks = self.total_assigned + self.total_expired + self.total_cancelled
+        seen_tasks = (
+            self.total_assigned + self.total_expired + self.total_cancelled
+            + self.total_shed
+        )
         seen_workers = self.total_assigned + self.total_churned
         return StreamSummary(
             rounds=len(self.rounds),
@@ -158,6 +187,9 @@ class StreamMetrics:
             expired=self.total_expired,
             churned=self.total_churned,
             cancelled=self.total_cancelled,
+            relocated=self.total_relocated,
+            deferred=self.total_deferred,
+            shed=self.total_shed,
             events_drained=self.total_drained,
             sim_hours=sim_hours,
             wall_seconds=self.wall_seconds,
@@ -174,6 +206,7 @@ class StreamMetrics:
             ),
             expiry_rate=(self.total_expired / seen_tasks if seen_tasks else 0.0),
             churn_rate=(self.total_churned / seen_workers if seen_workers else 0.0),
+            shed_rate=(self.total_shed / seen_tasks if seen_tasks else 0.0),
         )
 
     # ----------------------------------------------------------- checkpoints

@@ -11,8 +11,10 @@ batched :class:`~repro.framework.online.OnlineSimulator`:
   :func:`~repro.stream.events.log_from_arrivals` over the same arrivals and
   tasks), the produced assignments are **bit-identical** to
   ``OnlineSimulator.run`` — pinned by a golden cross-check test;
-* count/hybrid/adaptive triggers, churn and cancellation events, live
-  spatial queries, wait/latency metrics and checkpoint/replay go beyond it.
+* count/hybrid/adaptive triggers, churn/cancellation/relocation events,
+  admission control (:class:`AdmissionController` — defer or shed low-value
+  task admissions when round latency blows a budget), live spatial queries,
+  wait/latency metrics and checkpoint/replay go beyond it.
 
 Rounds can execute **sharded**: :class:`ShardExecutor` splits each round's
 pools along a :class:`~repro.stream.shards.ShardLayout` (planned once per
@@ -47,7 +49,7 @@ from repro.assignment.partitioned import bucket_pools, merge_assignments
 from repro.data.instance import SCInstance
 from repro.entities import Assignment
 from repro.influence import InfluenceModel
-from repro.stream.events import EventLog
+from repro.stream.events import KIND_PUBLISH, EventLog
 from repro.stream.metrics import RoundRecord, StreamMetrics, StreamSummary
 from repro.stream.scheduler import Trigger
 from repro.stream.shards import ShardLayout
@@ -96,6 +98,170 @@ _SHARD_RNG_ENTROPY = 0x5AD5
 
 #: Recognized :class:`ShardExecutor` backends.
 EXECUTOR_BACKENDS = ("serial", "thread", "process")
+
+#: Recognized :class:`AdmissionController` policies.
+ADMISSION_POLICIES = ("defer", "shed")
+
+
+class AdmissionController:
+    """Defers or sheds low-value task admissions under latency overload.
+
+    When a round's observed cost exceeds ``budget_seconds`` the controller
+    turns *overloaded*; while overloaded, publish events whose value falls
+    below ``protect_value`` are diverted away from the pool:
+
+    ``defer``
+        The task is parked in a backlog and re-admitted — original
+        publication time intact, so its wait keeps accruing — at the first
+        round where the controller is healthy again.  A parked task whose
+        expiry/cancel event drains meanwhile is discarded and counted as
+        expired/cancelled like any pooled task.  The stream's final flush
+        round force-releases the backlog and admits publishes directly
+        (deferring at the end of the stream would silently drop work), so
+        defer conserves every publish: assigned, expired or cancelled.
+    ``shed``
+        The task is dropped outright and only counted.
+
+    The controller leaves the overloaded state once the observed cost
+    falls below ``resume_fraction * budget_seconds`` (hysteresis, like the
+    adaptive trigger's half-budget growth rule).
+
+    ``value_of(task) -> float`` makes the "low-value" notion pluggable:
+    tasks valued at or above ``protect_value`` are always admitted, budget
+    or not.  The default (``None``) treats every task as sheddable.
+    ``cost_of(record) -> float`` selects the feedback signal; the default
+    is the measured wall-clock ``round_seconds``, and tests pass a
+    deterministic function of the
+    :class:`~repro.stream.metrics.RoundRecord` so runs — and therefore
+    checkpoint/replay — are reproducible.
+
+    The runtime never consults the controller when it is not configured:
+    ``StreamRuntime(admission=None)`` (the default) replays the exact
+    ungated code path, so disabled admission control is bit-identical to a
+    runtime without the feature.
+    """
+
+    def __init__(
+        self,
+        budget_seconds: float,
+        policy: str = "defer",
+        value_of=None,
+        protect_value: float = float("inf"),
+        cost_of=None,
+        resume_fraction: float = 0.5,
+    ) -> None:
+        if budget_seconds <= 0:
+            raise ValueError(
+                f"budget_seconds must be positive, got {budget_seconds}"
+            )
+        if policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {policy!r}; "
+                f"choose from {', '.join(ADMISSION_POLICIES)}"
+            )
+        if not (0.0 < resume_fraction <= 1.0):
+            raise ValueError(
+                f"resume_fraction must lie in (0, 1], got {resume_fraction}"
+            )
+        self.budget_seconds = budget_seconds
+        self.policy = policy
+        self.value_of = value_of
+        self.protect_value = protect_value
+        self.cost_of = cost_of if cost_of is not None else (
+            lambda record: record.round_seconds
+        )
+        self.resume_fraction = resume_fraction
+        self.overloaded = False
+        #: task_id -> (publish event position, publication event time).
+        self._backlog: dict[int, tuple[int, float]] = {}
+        self.total_deferred = 0
+        self.total_shed = 0
+        self._round_deferred = 0
+        self._round_shed = 0
+
+    # ------------------------------------------------------------------ gate
+    def offer(self, position: int, task, time: float) -> bool:
+        """Gate one publish event; False diverts it away from the pool."""
+        if not self.overloaded:
+            return True
+        if self.value_of is not None and self.value_of(task) >= self.protect_value:
+            return True
+        if self.policy == "defer":
+            self._backlog[task.task_id] = (position, time)
+            self._round_deferred += 1
+            self.total_deferred += 1
+        else:
+            self._round_shed += 1
+            self.total_shed += 1
+        return False
+
+    def discard(self, task_id: int) -> bool:
+        """Drop a parked task on expiry/cancel; True if it was parked."""
+        return self._backlog.pop(task_id, None) is not None
+
+    def release(self, force: bool = False) -> list[tuple[int, int, float]]:
+        """Backlog entries to re-admit now: ``(task_id, position, time)``.
+
+        Empty while overloaded (unless ``force``, the final-flush path);
+        otherwise drains the whole backlog in publish-event order
+        (deterministic).
+        """
+        if (self.overloaded and not force) or not self._backlog:
+            return []
+        released = sorted(
+            (position, task_id, time)
+            for task_id, (position, time) in self._backlog.items()
+        )
+        self._backlog.clear()
+        return [(task_id, position, time) for position, task_id, time in released]
+
+    @property
+    def backlog_size(self) -> int:
+        """Tasks currently parked by the defer policy."""
+        return len(self._backlog)
+
+    # -------------------------------------------------------------- feedback
+    def take_round_counts(self) -> tuple[int, int]:
+        """``(deferred, shed)`` since the last call (round bookkeeping)."""
+        counts = (self._round_deferred, self._round_shed)
+        self._round_deferred = 0
+        self._round_shed = 0
+        return counts
+
+    def on_round(self, record) -> None:
+        """Observe a completed round and update the overload state."""
+        cost = float(self.cost_of(record))
+        if cost > self.budget_seconds:
+            self.overloaded = True
+        elif cost < self.resume_fraction * self.budget_seconds:
+            self.overloaded = False
+
+    # ----------------------------------------------------------- checkpoints
+    def state_dict(self) -> dict[str, Any]:
+        """Serializable control state (policy echoed for resume validation)."""
+        return {
+            "policy": self.policy,
+            "budget_seconds": self.budget_seconds,
+            "overloaded": self.overloaded,
+            "backlog": [
+                [task_id, position, time]
+                for task_id, (position, time) in sorted(self._backlog.items())
+            ],
+            "total_deferred": self.total_deferred,
+            "total_shed": self.total_shed,
+        }
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output (compatibility pre-validated)."""
+        self.overloaded = bool(state["overloaded"])
+        self._backlog = {
+            int(task_id): (int(position), float(time))
+            for task_id, position, time in state["backlog"]
+        }
+        self.total_deferred = int(state["total_deferred"])
+        self.total_shed = int(state["total_shed"])
+        self._round_deferred = 0
+        self._round_shed = 0
 
 
 def _assign_shard(assigner: Assigner, prepared: PreparedInstance) -> Assignment:
@@ -314,6 +480,11 @@ class StreamRuntime:
     shard_cell_km:
         Planning cell size for the shard layout (default: the log's
         largest worker radius).
+    admission:
+        Optional :class:`AdmissionController` deferring/shedding low-value
+        task admissions when observed round latency exceeds its budget.
+        ``None`` (the default) replays the exact ungated path — disabled
+        admission control is provably a no-op.
     """
 
     def __init__(
@@ -331,6 +502,7 @@ class StreamRuntime:
         shards: int | None = None,
         executor: str = "serial",
         shard_cell_km: float | None = None,
+        admission: AdmissionController | None = None,
     ) -> None:
         if patience_hours is not None and patience_hours < 0:
             raise ValueError(
@@ -341,6 +513,7 @@ class StreamRuntime:
         self.log = log
         self.patience_hours = patience_hours
         self.rng = rng
+        self.admission = admission
         self.shard_executor: ShardExecutor | None = None
         #: The *requested* shard configuration (vs the planned layout, which
         #: may use fewer bins); persisted in checkpoints so a resume with a
@@ -433,29 +606,46 @@ class StreamRuntime:
         return self._end_time
 
     # ----------------------------------------------------------------- drain
-    def _drain_until(self, fire_time: float) -> tuple[int, int, int, int]:
+    def _drain_until(self, fire_time: float) -> tuple[int, int, int, int, int]:
         """Apply every due event, then the expiry/churn sweeps.
 
-        Admission events (arrival/publish/cancel) apply when ``time <=
-        fire_time``; deferred events (expiry/churn) only when strictly
-        earlier, so deadlines on the boundary do not bind in this round.
-        The due range is located with two ``searchsorted`` calls on the
-        columnar log and applied straight from the columns.
+        Admission events (arrival/publish/cancel/relocate) apply when
+        ``time <= fire_time``; deferred events (expiry/churn) only when
+        strictly earlier, so deadlines on the boundary do not bind in this
+        round.  The due range is located with two ``searchsorted`` calls on
+        the columnar log and applied straight from the columns.  With an
+        admission controller configured, a healthy round first re-admits
+        the deferred backlog (original publication times intact), then
+        gates the new publishes.
         """
         state = self.state
         stop = self.log.drain_stop(self._cursor, fire_time)
-        expired, churned, cancelled = state.apply_log_slice(
-            self.log, self._cursor, stop
+        gate = self.admission
+        if self.admission is not None:
+            final_flush = fire_time >= self._end_time
+            for task_id, position, published in self.admission.release(
+                force=final_flush
+            ):
+                state.apply_kind(
+                    KIND_PUBLISH, published, task_id,
+                    task=self.log.task_at(position),
+                )
+            if final_flush and self.admission.policy == "defer":
+                gate = None  # deferring at the end of the stream drops work
+        expired, churned, cancelled, relocated = state.apply_log_slice(
+            self.log, self._cursor, stop, admission=gate
         )
         drained = stop - self._cursor
         self._cursor = stop
         expired += len(state.expire_tasks(fire_time))
         churned += len(state.churn_workers(fire_time, self.patience_hours))
-        return drained, expired, churned, cancelled
+        return drained, expired, churned, cancelled, relocated
 
     # ----------------------------------------------------------------- round
     def _fire_round(self, fire_time: float) -> RoundRecord:
-        drained, expired, churned, cancelled = self._drain_until(fire_time)
+        drained, expired, churned, cancelled, relocated = self._drain_until(
+            fire_time
+        )
         state = self.state
         pool_workers = state.num_online_workers
         pool_tasks = state.num_open_tasks
@@ -474,6 +664,9 @@ class StreamRuntime:
                 self._result.assignment.add(pair.task, pair.worker)
                 self._result.metrics.on_assigned(task_wait, worker_wait)
             assigned = len(assignment)
+        deferred = shed = 0
+        if self.admission is not None:
+            deferred, shed = self.admission.take_round_counts()
         record = RoundRecord(
             index=len(self._result.rounds),
             time=fire_time,
@@ -485,9 +678,14 @@ class StreamRuntime:
             churned_workers=churned,
             cancelled_tasks=cancelled,
             round_seconds=elapsed,
+            relocated_workers=relocated,
+            deferred_tasks=deferred,
+            shed_tasks=shed,
         )
         self._result.metrics.on_round(record)
         self.trigger.on_round(record)
+        if self.admission is not None:
+            self.admission.on_round(record)
         self._clock = fire_time
         self._pending_start_round = False
         if fire_time >= self._end_time:
@@ -543,13 +741,15 @@ class StreamRuntime:
         shards: int | None = None,
         executor: str = "serial",
         shard_cell_km: float | None = None,
+        admission: AdmissionController | None = None,
     ) -> "StreamRuntime":
         """Reconstruct a runtime from a checkpoint and the original log.
 
         The caller supplies the same (deterministic) collaborators the
         checkpointed run used; the snapshot restores cursor, clock, pools,
-        accumulated results, trigger adaptation state, shard layout and
-        RNG state (runtime-level and per-shard), after verifying the log
+        accumulated results, trigger adaptation state, admission-control
+        state (overload flag + deferred backlog), shard layout and RNG
+        state (runtime-level and per-shard), after verifying the log
         fingerprint — and, for sharded runs, the replanned layout —
         matches.
         """
@@ -568,6 +768,7 @@ class StreamRuntime:
             shards=shards,
             executor=executor,
             shard_cell_km=shard_cell_km,
+            admission=admission,
         )
         restore_runtime(runtime, path)
         return runtime

@@ -17,6 +17,16 @@ The layout is planned once per run from the full columnar
 the pools is known upfront), stays fixed for the run, and serializes into
 checkpoints so a resumed run shards identically.
 
+**Relocation and the never-split invariant.**  Relocation rows carry their
+new coordinates in the log's ``x``/``y`` columns, so
+:meth:`EventLog.cell_keys` — and therefore the set of occupied cells the
+planner unions — includes every position a worker can ever occupy, not
+just where it first arrived.  That is the layout refresh rule for
+multi-day replay: the layout need not change mid-run because it was
+planned against all relocation targets upfront; a relocated worker lands
+in a planned cell whose halo links it to every task within its radius.
+:meth:`ShardLayout.covers` makes the rule checkable.
+
 The flip side of exactness: a world whose occupied cells form one connected
 blob yields one component, and the planner honestly reports that nothing
 can be split (``num_shards`` collapses to 1).  Sharding pays off on worlds
@@ -189,6 +199,22 @@ class ShardLayout:
     def component_count(self) -> int:
         """Distinct shards that actually own at least one cell."""
         return len(set(self.cells.values())) if self.cells else 1
+
+    def covers(self, log: "EventLog") -> bool:
+        """Whether every located event row of ``log`` maps to a planned cell.
+
+        True for any layout planned (with this ``cell_km``) from a log
+        containing these rows — arrival, publish *and relocation* positions
+        are all planning inputs — so the deterministic-hash fallback of
+        :meth:`shard_of_cell` never fires during replay.  False means the
+        log was not the one this layout was planned for.
+        """
+        packed = log.cell_keys(self.cell_km)
+        located = ~np.isnan(log.columns["x"])
+        return all(
+            unpack_cell(int(value)) in self.cells
+            for value in np.unique(packed[located])
+        )
 
     # ----------------------------------------------------------- checkpoints
     def state_dict(self) -> dict[str, Any]:

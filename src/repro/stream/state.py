@@ -35,6 +35,7 @@ from repro.stream.events import (
     KIND_CHURN,
     KIND_EXPIRY,
     KIND_PUBLISH,
+    KIND_RELOCATE,
     EventLog,
     StreamEvent,
     TaskCancelEvent,
@@ -42,6 +43,7 @@ from repro.stream.events import (
     TaskPublishEvent,
     WorkerArrivalEvent,
     WorkerChurnEvent,
+    WorkerRelocateEvent,
 )
 
 
@@ -119,6 +121,16 @@ class StreamState:
             return self.apply_kind(KIND_EXPIRY, event.time, event.task_id)
         if isinstance(event, WorkerChurnEvent):
             return self.apply_kind(KIND_CHURN, event.time, event.worker_id)
+        if isinstance(event, WorkerRelocateEvent):
+            pooled = self.workers.get(event.worker_id)
+            if pooled is None:
+                return False, False
+            return self.apply_kind(
+                KIND_RELOCATE,
+                event.time,
+                event.worker_id,
+                worker=pooled.moved_to(event.location),
+            )
         raise TypeError(f"unsupported stream event {event!r}")
 
     def apply_kind(
@@ -150,32 +162,67 @@ class StreamState:
             if self.workers.pop(entity_id, None) is not None:
                 self.arrived_at.pop(entity_id, None)
                 return False, True
+        elif kind == KIND_RELOCATE:
+            # A live worker's location update: the pooled worker object is
+            # replaced (arrival time unchanged — the wait keeps accruing).
+            # The task grid index holds tasks only, so nothing spatial moves
+            # here; the RoundState rectangles invalidate themselves because
+            # the same id now maps to a different (frozen) Worker.
+            if entity_id in self.workers:
+                self.workers[entity_id] = worker
         else:  # pragma: no cover - new event kinds must be wired explicitly
             raise TypeError(f"unsupported stream event kind {kind!r}")
         return False, False
 
     def apply_log_slice(
-        self, log: EventLog, start: int, stop: int
-    ) -> tuple[int, int, int]:
+        self, log: EventLog, start: int, stop: int, admission=None
+    ) -> tuple[int, int, int, int]:
         """Apply log rows ``[start, stop)`` straight from the columns.
 
-        Returns ``(expired, churned, cancelled)`` retirement counts; the
+        Returns ``(expired, churned, cancelled, relocated)`` counts; the
         drained-event count is simply ``stop - start``.  Payload objects
         (workers/tasks) come from the log's side-tables — no per-event
         wrappers are materialized.
+
+        ``admission`` is an optional gate (duck-typed —
+        :class:`~repro.stream.runtime.AdmissionController`): publish rows
+        are offered to it first (``offer(position, task, time)`` returning
+        False diverts the task away from the pool), and expiry/cancel rows
+        first discard any backlog entry (``discard(task_id)``), counting
+        the retirement even though the task never reached the pool.  With
+        ``admission=None`` the path is exactly the ungated replay.
         """
         kinds = log.kinds
         times = log.times
         entities = log.entity_ids
-        expired = churned = cancelled = 0
+        expired = churned = cancelled = relocated = 0
         for position in range(start, stop):
             kind = int(kinds[position])
+            entity_id = int(entities[position])
+            worker = task = None
+            if kind == KIND_ARRIVAL or kind == KIND_RELOCATE:
+                worker = log.worker_at(position)
+            elif kind == KIND_PUBLISH:
+                task = log.task_at(position)
+                if admission is not None and not admission.offer(
+                    position, task, float(times[position])
+                ):
+                    continue
+            elif admission is not None and kind in (KIND_EXPIRY, KIND_CANCEL):
+                if admission.discard(entity_id):
+                    if kind == KIND_EXPIRY:
+                        expired += 1
+                    else:
+                        cancelled += 1
+                    continue
+            if kind == KIND_RELOCATE and entity_id in self.workers:
+                relocated += 1
             removed_task, removed_worker = self.apply_kind(
                 kind,
                 float(times[position]),
-                int(entities[position]),
-                worker=log.worker_at(position) if kind == KIND_ARRIVAL else None,
-                task=log.task_at(position) if kind == KIND_PUBLISH else None,
+                entity_id,
+                worker=worker,
+                task=task,
             )
             if removed_task:
                 if kind == KIND_EXPIRY:
@@ -184,7 +231,7 @@ class StreamState:
                     cancelled += 1
             if removed_worker and kind == KIND_CHURN:
                 churned += 1
-        return expired, churned, cancelled
+        return expired, churned, cancelled, relocated
 
     # -------------------------------------------------------------- sweeps
     def expire_tasks(self, now: float) -> list[Task]:

@@ -2,12 +2,25 @@
 
 Session-scoped where safe (everything here is immutable or treated as
 such) so the suite stays fast despite exercising the full pipeline.
+
+Hypothesis profiles: the suite loads the ``ci`` profile by default —
+derandomized (fixed seed, so property failures reproduce across runs and
+machines) with ``deadline=None`` (shared CI runners are too noisy for
+per-example timing limits).  Set ``HYPOTHESIS_PROFILE=dev`` to explore
+with fresh random seeds locally.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
+
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 from repro import (
     DITAPipeline,

@@ -1,0 +1,352 @@
+"""The cross-engine scenario differential matrix.
+
+For every scenario class in :mod:`tests.scenarios.generators` this module
+asserts the three equivalences the streaming stack claims, bit for bit:
+
+1. **Cross-engine** — ``StreamRuntime`` under a window trigger reproduces
+   the batched ``OnlineSimulator`` on the scenario's simulator view
+   (pairs, per-round assigned/expired/churned counts, pool sizes).  The
+   rush-hour scenario asserts this *with relocations included* (mapped to
+   re-arrivals — see the generator docstring for why that is exact).
+2. **Sharded == unsharded** — across shard counts, assigners and
+   executor backends, on the full scenario log (relocations, churn,
+   cancellations and all).
+3. **Checkpoint/resume** — a v3 checkpoint taken mid-stream (mid-
+   relocation wave where the scenario has one) resumes event-for-event
+   identically, admission-control state included.
+
+Plus the admission-control contract: disabled (or never-overloaded)
+admission control is a provable no-op, and the defer/shed policies behave
+as documented under a deterministic cost signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assignment import (
+    EIAAssigner,
+    IAAssigner,
+    MIAssigner,
+    MTAAssigner,
+    NearestNeighborAssigner,
+)
+from repro.framework import OnlineSimulator
+from repro.stream import AdmissionController, StreamRuntime, TimeWindowTrigger
+from repro.stream.events import KIND_PUBLISH, KIND_RELOCATE
+
+from tests.scenarios.generators import SCENARIOS
+
+
+def pairs(result):
+    return sorted(
+        (p.worker.worker_id, p.task.task_id) for p in result.assignment.pairs
+    )
+
+
+def round_rows(result):
+    """Per-round records minus the wall-clock timing field."""
+    return [
+        (r.index, r.time, r.online_workers, r.open_tasks, r.drained_events,
+         r.assigned, r.expired_tasks, r.churned_workers, r.cancelled_tasks,
+         r.relocated_workers, r.deferred_tasks, r.shed_tasks)
+        for r in result.rounds
+    ]
+
+
+def make_runtime(scenario, assigner, *, log=None, **kwargs):
+    return StreamRuntime(
+        assigner, None, TimeWindowTrigger(scenario.batch_hours),
+        scenario.base, scenario.log if log is None else log,
+        patience_hours=scenario.patience_hours, **kwargs,
+    )
+
+
+def run_stream(scenario, assigner, *, log=None, **kwargs):
+    runtime = make_runtime(scenario, assigner, log=log, **kwargs)
+    try:
+        return runtime.run()
+    finally:
+        runtime.close()
+
+
+@pytest.fixture(scope="module", params=sorted(SCENARIOS))
+def scenario(request):
+    return SCENARIOS[request.param]()
+
+
+@pytest.fixture(scope="module")
+def nn_reference(scenario):
+    """The unsharded, ungated NearestNeighbor run of the full log."""
+    return run_stream(scenario, NearestNeighborAssigner())
+
+
+class TestCrossEngine:
+    """StreamRuntime(TimeWindowTrigger) == OnlineSimulator, per scenario."""
+
+    @pytest.mark.parametrize("assigner_cls", [NearestNeighborAssigner, MTAAssigner])
+    def test_matches_online_simulator(self, scenario, assigner_cls):
+        online = OnlineSimulator(
+            assigner_cls(), None, batch_hours=scenario.batch_hours,
+            patience_hours=scenario.patience_hours,
+        ).run(scenario.base.with_tasks(scenario.sim_tasks), scenario.sim_arrivals)
+        streamed = run_stream(scenario, assigner_cls(), log=scenario.sim_log)
+
+        assert online.total_assigned > 0, "degenerate scenario assigns nothing"
+        assert pairs(online) == pairs(streamed)
+        assert [s.time for s in online.steps] == [r.time for r in streamed.rounds]
+        assert [s.assigned for s in online.steps] == [
+            r.assigned for r in streamed.rounds
+        ]
+        assert [s.expired_tasks for s in online.steps] == [
+            r.expired_tasks for r in streamed.rounds
+        ]
+        assert [s.churned_workers for s in online.steps] == [
+            r.churned_workers for r in streamed.rounds
+        ]
+        assert [s.online_workers for s in online.steps] == [
+            r.online_workers for r in streamed.rounds
+        ]
+        assert [s.open_tasks for s in online.steps] == [
+            r.open_tasks for r in streamed.rounds
+        ]
+
+    def test_rush_hour_equivalence_includes_relocations(self):
+        """The relocation wave itself is covered by the simulator claim."""
+        scenario = SCENARIOS["rush_hour_relocation"]()
+        assert scenario.sim_log is scenario.log
+        assert int((scenario.log.kinds == KIND_RELOCATE).sum()) > 5
+        streamed = run_stream(scenario, NearestNeighborAssigner())
+        assert streamed.metrics.total_relocated == int(
+            (scenario.log.kinds == KIND_RELOCATE).sum()
+        )
+
+
+class TestShardedUnsharded:
+    """Sharded == unsharded, bit for bit, on the full scenario logs."""
+
+    def test_across_shard_counts(self, scenario, nn_reference):
+        for shards in scenario.shard_counts:
+            sharded = run_stream(
+                scenario, NearestNeighborAssigner(), shards=shards
+            )
+            assert pairs(sharded) == pairs(nn_reference), f"shards={shards}"
+            assert round_rows(sharded) == round_rows(nn_reference)
+            assert sorted(sharded.metrics.task_waits) == sorted(
+                nn_reference.metrics.task_waits
+            )
+
+    @pytest.mark.parametrize("assigner_cls", [
+        IAAssigner, MTAAssigner, EIAAssigner, MIAssigner,
+    ])
+    def test_all_assigners_on_decomposable_worlds(self, assigner_cls):
+        for name in ("multi_city", "mass_relocation"):
+            scenario = SCENARIOS[name]()
+            plain = run_stream(scenario, assigner_cls())
+            sharded = run_stream(
+                scenario, assigner_cls(), shards=scenario.shard_counts[-1]
+            )
+            assert plain.total_assigned > 0
+            assert pairs(sharded) == pairs(plain), name
+            assert round_rows(sharded) == round_rows(plain), name
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_executor_backends(self, backend):
+        scenario = SCENARIOS["mass_relocation"]()
+        plain = run_stream(scenario, NearestNeighborAssigner())
+        sharded = run_stream(
+            scenario, NearestNeighborAssigner(), shards=4, executor=backend
+        )
+        assert pairs(sharded) == pairs(plain)
+        assert round_rows(sharded) == round_rows(plain)
+
+    def test_relocated_positions_are_planned_cells(self):
+        """The layout refresh rule: relocation targets are planning inputs,
+        so every position the pools can ever hold maps to a planned cell."""
+        from repro.stream import ShardLayout
+
+        scenario = SCENARIOS["mass_relocation"]()
+        layout = ShardLayout.plan(scenario.log, 5)
+        assert layout.covers(scenario.log)
+
+    def test_never_splits_feasible_pairs_after_relocation(self):
+        """No relocated worker may end up sharded away from a reachable
+        task — the never-split invariant judged at *relocated* positions."""
+        from repro.stream import ShardLayout
+
+        scenario = SCENARIOS["mass_relocation"]()
+        log = scenario.log
+        layout = ShardLayout.plan(log, 5)
+        tasks = [log.task_at(int(i))
+                 for i in np.flatnonzero(log.kinds == KIND_PUBLISH)]
+        for index in np.flatnonzero(log.kinds == KIND_RELOCATE):
+            worker = log.worker_at(int(index))
+            shard = layout.shard_of(worker.location)
+            for task in tasks:
+                if worker.location.distance_to(task.location) <= worker.reachable_km:
+                    assert layout.shard_of(task.location) == shard
+
+
+def mid_relocation_round(full_result, log) -> int:
+    """A round count whose cursor lands inside the relocation window."""
+    relocations = log.times[log.kinds == KIND_RELOCATE]
+    times = [r.time for r in full_result.rounds]
+    if len(relocations):
+        first, last = float(relocations.min()), float(relocations.max())
+        for index, when in enumerate(times):
+            if first <= when < last:
+                return index + 1
+    return max(1, len(times) // 2)
+
+
+class TestCheckpointResume:
+    """v3 checkpoints resume event-for-event identically, mid-relocation."""
+
+    def test_resume_matches_uninterrupted(self, scenario, nn_reference, tmp_path):
+        stop_after = mid_relocation_round(nn_reference, scenario.log)
+        interrupted = make_runtime(scenario, NearestNeighborAssigner())
+        interrupted.run(max_rounds=stop_after)
+        if scenario.has_relocations:
+            consumed = int(
+                (scenario.log.kinds[: interrupted.cursor] == KIND_RELOCATE).sum()
+            )
+            total = int((scenario.log.kinds == KIND_RELOCATE).sum())
+            assert 0 < consumed < total, "checkpoint must land mid-relocation"
+        saved = interrupted.checkpoint(tmp_path / f"{scenario.name}.npz")
+        resumed = StreamRuntime.resume(
+            saved, NearestNeighborAssigner(), None,
+            TimeWindowTrigger(scenario.batch_hours), scenario.base, scenario.log,
+            patience_hours=scenario.patience_hours,
+        ).run()
+        assert pairs(resumed) == pairs(nn_reference)
+        assert round_rows(resumed) == round_rows(nn_reference)
+
+    def test_sharded_resume_with_admission(self, tmp_path):
+        """The full stack at once: shards + admission + relocations across a
+        checkpoint boundary."""
+        scenario = SCENARIOS["mass_relocation"]()
+        cost = lambda record: float(record.open_tasks)  # noqa: E731
+
+        def controller():
+            return AdmissionController(
+                budget_seconds=12.0, policy="defer", cost_of=cost
+            )
+
+        full = run_stream(
+            scenario, NearestNeighborAssigner(), shards=4,
+            admission=controller(),
+        )
+        interrupted = make_runtime(
+            scenario, NearestNeighborAssigner(), shards=4,
+            admission=controller(),
+        )
+        interrupted.run(max_rounds=mid_relocation_round(full, scenario.log))
+        saved = interrupted.checkpoint(tmp_path / "stack.npz")
+        resumed = StreamRuntime.resume(
+            saved, NearestNeighborAssigner(), None,
+            TimeWindowTrigger(scenario.batch_hours), scenario.base, scenario.log,
+            patience_hours=scenario.patience_hours, shards=4,
+            admission=controller(),
+        ).run()
+        assert pairs(resumed) == pairs(full)
+        assert round_rows(resumed) == round_rows(full)
+
+
+class TestAdmissionControl:
+    """Off by default and a no-op when disabled; defer/shed as documented."""
+
+    def test_disabled_admission_is_noop(self, scenario, nn_reference):
+        """A controller that never overloads produces bit-identical output
+        to a runtime with no controller at all (the default)."""
+        never = AdmissionController(
+            budget_seconds=1e9, cost_of=lambda record: float(record.open_tasks)
+        )
+        gated = run_stream(scenario, NearestNeighborAssigner(), admission=never)
+        assert pairs(gated) == pairs(nn_reference)
+        assert round_rows(gated) == round_rows(nn_reference)
+        assert gated.metrics.total_deferred == 0
+        assert gated.metrics.total_shed == 0
+
+    def test_defer_parks_then_recovers(self):
+        scenario = SCENARIOS["quiet_then_burst"]()
+        cost = lambda record: float(record.open_tasks)  # noqa: E731
+        controller = AdmissionController(10.0, "defer", cost_of=cost)
+        runtime = make_runtime(
+            scenario, NearestNeighborAssigner(), admission=controller
+        )
+        deferred = runtime.run()
+        assert deferred.metrics.total_deferred > 0
+        assert deferred.metrics.total_shed == 0
+        assert any(r.deferred_tasks > 0 for r in deferred.rounds)
+        # Defer never drops work: the backlog is empty once the stream ends
+        # (the final flush force-releases it) and every publish is either
+        # assigned, expired, cancelled, or still open in the pool — exactly
+        # the ungated accounting.
+        assert controller.backlog_size == 0
+        publishes = int((scenario.log.kinds == KIND_PUBLISH).sum())
+        accounted = (
+            deferred.total_assigned + deferred.total_expired
+            + deferred.total_cancelled + runtime.state.num_open_tasks
+        )
+        assert accounted == publishes
+
+    def test_shed_drops_and_records(self):
+        scenario = SCENARIOS["quiet_then_burst"]()
+        cost = lambda record: float(record.open_tasks)  # noqa: E731
+        runtime = make_runtime(
+            scenario, NearestNeighborAssigner(),
+            admission=AdmissionController(10.0, "shed", cost_of=cost),
+        )
+        shed = runtime.run()
+        assert shed.metrics.total_shed > 0
+        assert shed.metrics.total_deferred == 0
+        assert any(r.shed_tasks > 0 for r in shed.rounds)
+        assert shed.summary().shed_rate > 0.0
+        # Shed work is gone for good; everything else follows the ungated
+        # accounting (assigned, expired, cancelled, or still open).
+        publishes = int((scenario.log.kinds == KIND_PUBLISH).sum())
+        accounted = (
+            shed.total_assigned + shed.total_expired + shed.total_cancelled
+            + shed.metrics.total_shed + runtime.state.num_open_tasks
+        )
+        assert accounted == publishes
+
+    def test_defer_beats_shed_on_served_volume(self):
+        scenario = SCENARIOS["quiet_then_burst"]()
+        cost = lambda record: float(record.open_tasks)  # noqa: E731
+        deferred = run_stream(
+            scenario, NearestNeighborAssigner(),
+            admission=AdmissionController(10.0, "defer", cost_of=cost),
+        )
+        shed = run_stream(
+            scenario, NearestNeighborAssigner(),
+            admission=AdmissionController(10.0, "shed", cost_of=cost),
+        )
+        assert deferred.total_assigned >= shed.total_assigned
+
+    def test_deterministic_under_fixed_cost_signal(self):
+        scenario = SCENARIOS["quiet_then_burst"]()
+        cost = lambda record: float(record.open_tasks)  # noqa: E731
+        runs = [
+            run_stream(
+                scenario, NearestNeighborAssigner(),
+                admission=AdmissionController(10.0, "defer", cost_of=cost),
+            )
+            for _ in range(2)
+        ]
+        assert pairs(runs[0]) == pairs(runs[1])
+        assert round_rows(runs[0]) == round_rows(runs[1])
+
+    def test_protected_tasks_bypass_the_gate(self):
+        scenario = SCENARIOS["quiet_then_burst"]()
+        cost = lambda record: float(record.open_tasks)  # noqa: E731
+        protected = run_stream(
+            scenario, NearestNeighborAssigner(),
+            admission=AdmissionController(
+                10.0, "shed", cost_of=cost,
+                value_of=lambda task: float(task.task_id),
+                protect_value=0.0,  # every task's value >= 0 -> all protected
+            ),
+        )
+        assert protected.metrics.total_shed == 0

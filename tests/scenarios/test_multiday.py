@@ -1,0 +1,265 @@
+"""Multi-day replay: builders, relocation semantics, and engine parity.
+
+``multi_day_stream`` is the dataset-backed multi-day builder (arrive on
+the first active day, relocate on later active days, churn overnight when
+gone); ``synthetic_stream(days=...)`` is its synthetic counterpart.  Both
+feed the same runtime, so the differentials here pin the multi-day shapes
+against the single-day builders and the batched simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assignment import IAAssigner, NearestNeighborAssigner
+from repro.exceptions import DataError
+from repro.framework import OnlineSimulator
+from repro.stream import (
+    StreamRuntime,
+    TimeWindowTrigger,
+    day_stream,
+    multi_day_stream,
+    synthetic_stream,
+)
+from repro.stream.events import (
+    KIND_ARRIVAL,
+    KIND_CHURN,
+    KIND_PUBLISH,
+    KIND_RELOCATE,
+)
+
+from tests.scenarios.test_differential import pairs, round_rows
+
+
+DAYS = [5, 6, 7]
+
+
+@pytest.fixture(scope="module")
+def multiday(tiny_dataset):
+    return multi_day_stream(tiny_dataset, DAYS)
+
+
+class TestMultiDayBuilder:
+    def test_single_day_matches_day_stream(self, tiny_dataset):
+        """A one-day horizon is exactly the single-day builder's log
+        (modulo the sequential task renumbering)."""
+        single_instance, single_log = day_stream(tiny_dataset, 6)
+        multi_instance, multi_log = multi_day_stream(tiny_dataset, [6])
+        assert len(multi_log) == len(single_log)
+        assert np.array_equal(multi_log.times, single_log.times)
+        assert np.array_equal(multi_log.kinds, single_log.kinds)
+        assert len(multi_instance.tasks) == len(single_instance.tasks)
+        # Renumbered ids are 0..n-1 but the venues/locations line up.
+        singles = sorted(single_instance.tasks, key=lambda t: t.task_id)
+        multis = sorted(multi_instance.tasks, key=lambda t: t.task_id)
+        assert [t.venue_id for t in multis] == [t.venue_id for t in singles]
+        assert [t.location for t in multis] == [t.location for t in singles]
+
+    def test_repeat_actives_relocate_not_rearrive(self, tiny_dataset, multiday):
+        _, log = multiday
+        arrivals = log.entity_ids[log.kinds == KIND_ARRIVAL]
+        relocations = log.entity_ids[log.kinds == KIND_RELOCATE]
+        assert len(relocations) > 0, "no repeat-active workers across days"
+        # Each worker arrives exactly once; every later active day is a
+        # relocation or follows an overnight churn (then re-arrival).
+        from repro.framework import day_arrivals
+
+        per_day = [
+            {a.worker.worker_id for a in day_arrivals(tiny_dataset, d)}
+            for d in DAYS
+        ]
+        both = per_day[0] & per_day[1]
+        reloc_times = log.times[log.kinds == KIND_RELOCATE]
+        day1_window = (reloc_times >= 24.0 * DAYS[1]) & (
+            reloc_times < 24.0 * (DAYS[1] + 1)
+        )
+        assert set(relocations[day1_window]) <= both
+
+    def test_overnight_churn_at_boundaries(self, tiny_dataset, multiday):
+        _, log = multiday
+        churns = np.flatnonzero(log.kinds == KIND_CHURN)
+        assert len(churns) > 0, "nobody left between days"
+        boundaries = {24.0 * d for d in DAYS[1:]}
+        assert {float(log.times[i]) for i in churns} <= boundaries
+
+    def test_task_ids_unique_across_days(self, multiday):
+        instance, log = multiday
+        ids = [t.task_id for t in instance.tasks]
+        assert len(ids) == len(set(ids))
+        publishes = log.entity_ids[log.kinds == KIND_PUBLISH]
+        assert len(publishes) == len(set(publishes.tolist())) == len(ids)
+
+    def test_relocated_payloads_track_day_locations(self, tiny_dataset, multiday):
+        """Each relocation's synthesized payload sits at that day's
+        builder location for the worker."""
+        from repro.data import InstanceBuilder
+
+        _, log = multiday
+        builder = InstanceBuilder(tiny_dataset)
+        for index in np.flatnonzero(log.kinds == KIND_RELOCATE)[:10]:
+            worker = log.worker_at(int(index))
+            day = int(log.times[index] // 24.0)
+            expected = builder.worker_location_at(worker.worker_id, 24.0 * day)
+            if expected is not None:
+                assert worker.location == expected
+
+    def test_rejects_bad_day_lists(self, tiny_dataset):
+        with pytest.raises(DataError, match="at least one day"):
+            multi_day_stream(tiny_dataset, [])
+        with pytest.raises(DataError, match="strictly increasing"):
+            multi_day_stream(tiny_dataset, [7, 6])
+        with pytest.raises(DataError, match="strictly increasing"):
+            multi_day_stream(tiny_dataset, [6, 6])
+
+
+class TestMultiDayEngineParity:
+    def test_sharded_matches_unsharded_on_fitted_days(self, multiday):
+        base, log = multiday
+        plain = StreamRuntime(
+            NearestNeighborAssigner(), None, TimeWindowTrigger(2.0), base, log,
+        ).run()
+        runtime = StreamRuntime(
+            NearestNeighborAssigner(), None, TimeWindowTrigger(2.0), base, log,
+            shards=4, shard_cell_km=5.0,
+        )
+        sharded = runtime.run()
+        assert plain.total_assigned > 0
+        assert pairs(sharded) == pairs(plain)
+        assert round_rows(sharded) == round_rows(plain)
+
+    def test_relocation_free_horizon_matches_online_simulator(self):
+        """A multi-day synthetic horizon without relocation/churn is fully
+        simulator-expressible: one continuous run across day boundaries."""
+        base, log = synthetic_stream(
+            num_workers=40, num_tasks=50, duration_hours=8.0, days=3,
+            area_km=20.0, valid_hours=3.0, reachable_km=8.0, seed=211,
+        )
+        from tests.scenarios.generators import _arrivals_of, _tasks_of
+
+        arrivals = _arrivals_of(log)
+        tasks = _tasks_of(log)
+        online = OnlineSimulator(IAAssigner(), None, batch_hours=1.0).run(
+            base.with_tasks(tasks), arrivals
+        )
+        streamed = StreamRuntime(
+            IAAssigner(), None, TimeWindowTrigger(1.0), base, log,
+        ).run()
+        assert online.total_assigned > 0
+        assert pairs(online) == pairs(streamed)
+        assert [s.assigned for s in online.steps] == [
+            r.assigned for r in streamed.rounds
+        ]
+
+    def test_checkpoint_mid_overnight_relocation(self, multiday, tmp_path):
+        base, log = multiday
+        full = StreamRuntime(
+            NearestNeighborAssigner(), None, TimeWindowTrigger(2.0), base, log,
+        ).run()
+        reloc_times = log.times[log.kinds == KIND_RELOCATE]
+        first_boundary = float(reloc_times.min())
+        stop_after = next(
+            i + 1 for i, r in enumerate(full.rounds) if r.time >= first_boundary
+        )
+        interrupted = StreamRuntime(
+            NearestNeighborAssigner(), None, TimeWindowTrigger(2.0), base, log,
+        )
+        interrupted.run(max_rounds=stop_after)
+        consumed = int((log.kinds[: interrupted.cursor] == KIND_RELOCATE).sum())
+        assert 0 < consumed < len(reloc_times)
+        saved = interrupted.checkpoint(tmp_path / "multiday.npz")
+        resumed = StreamRuntime.resume(
+            saved, NearestNeighborAssigner(), None, TimeWindowTrigger(2.0),
+            base, log,
+        ).run()
+        assert pairs(resumed) == pairs(full)
+        assert round_rows(resumed) == round_rows(full)
+
+
+class TestSyntheticMultiDayProperties:
+    def test_relocations_only_at_boundaries(self):
+        _, log = synthetic_stream(
+            num_workers=50, num_tasks=10, duration_hours=6.0, days=4,
+            relocate_fraction=0.7, seed=31,
+        )
+        reloc_times = log.times[log.kinds == KIND_RELOCATE]
+        assert len(reloc_times) > 0
+        assert set(np.unique(reloc_times)) <= {6.0, 12.0, 18.0}
+
+    def test_churned_workers_stop_relocating(self):
+        _, log = synthetic_stream(
+            num_workers=80, num_tasks=10, duration_hours=6.0, days=5,
+            relocate_fraction=0.5, overnight_churn_fraction=0.5, seed=37,
+        )
+        churn_time = {}
+        for index in np.flatnonzero(log.kinds == KIND_CHURN):
+            worker = int(log.entity_ids[index])
+            churn_time.setdefault(worker, float(log.times[index]))
+        for index in np.flatnonzero(log.kinds == KIND_RELOCATE):
+            worker = int(log.entity_ids[index])
+            if worker in churn_time:
+                assert float(log.times[index]) < churn_time[worker]
+
+    def test_cluster_span_keeps_workers_in_their_city(self):
+        reachable = 5.0
+        _, log = synthetic_stream(
+            num_workers=40, num_tasks=10, duration_hours=6.0, days=3,
+            area_km=10.0, reachable_km=reachable, clusters=4,
+            relocate_fraction=0.8, relocate_span="cluster", seed=41,
+        )
+        pitch = 10.0 + 3.0 * reachable
+        for index in np.flatnonzero(log.kinds == KIND_RELOCATE):
+            worker_id = int(log.entity_ids[index])
+            arrival_rows = np.flatnonzero(
+                (log.kinds == KIND_ARRIVAL) & (log.entity_ids == worker_id)
+            )
+            home = log.worker_at(int(arrival_rows[0])).location
+            moved = log.worker_at(int(index)).location
+            assert int(home.x // pitch) == int(moved.x // pitch)
+            assert int(home.y // pitch) == int(moved.y // pitch)
+
+    def test_world_span_crosses_cities(self):
+        _, log = synthetic_stream(
+            num_workers=60, num_tasks=10, duration_hours=6.0, days=3,
+            area_km=10.0, reachable_km=5.0, clusters=4,
+            relocate_fraction=0.9, relocate_span="world", seed=43,
+        )
+        pitch = 10.0 + 15.0
+        crossed = 0
+        for index in np.flatnonzero(log.kinds == KIND_RELOCATE):
+            worker_id = int(log.entity_ids[index])
+            arrival_rows = np.flatnonzero(
+                (log.kinds == KIND_ARRIVAL) & (log.entity_ids == worker_id)
+            )
+            home = log.worker_at(int(arrival_rows[0])).location
+            moved = log.worker_at(int(index)).location
+            if (int(home.x // pitch), int(home.y // pitch)) != (
+                int(moved.x // pitch), int(moved.y // pitch)
+            ):
+                crossed += 1
+        assert crossed > 0
+
+    def test_single_day_is_draw_identical_to_legacy(self):
+        _, legacy = synthetic_stream(num_workers=20, num_tasks=15, seed=53)
+        _, explicit = synthetic_stream(
+            num_workers=20, num_tasks=15, days=1, relocate_fraction=0.0,
+            overnight_churn_fraction=0.0, seed=53,
+        )
+        assert legacy.fingerprint() == explicit.fingerprint()
+
+    def test_rejects_bad_multi_day_parameters(self):
+        with pytest.raises(ValueError, match="days"):
+            synthetic_stream(num_workers=1, num_tasks=1, days=0)
+        with pytest.raises(ValueError, match="relocate_fraction"):
+            synthetic_stream(num_workers=1, num_tasks=1, days=2,
+                             relocate_fraction=1.5)
+        with pytest.raises(ValueError, match="overnight_churn_fraction"):
+            synthetic_stream(num_workers=1, num_tasks=1, days=2,
+                             overnight_churn_fraction=-0.1)
+        with pytest.raises(ValueError, match="exceed 1"):
+            synthetic_stream(num_workers=1, num_tasks=1, days=2,
+                             relocate_fraction=0.7,
+                             overnight_churn_fraction=0.7)
+        with pytest.raises(ValueError, match="relocate_span"):
+            synthetic_stream(num_workers=1, num_tasks=1, days=2,
+                             relocate_span="galaxy")

@@ -1,0 +1,151 @@
+"""Shared hypothesis strategies for the streaming test suite.
+
+One place for the generators every stream/shard/scenario property test
+draws from, so "a random world" means the same thing across files:
+
+* :func:`world_configs` — keyword dictionaries for
+  :func:`repro.stream.synthetic_stream`, spanning single-blob and
+  multi-city worlds, churn/cancel noise and multi-day relocation waves;
+* :func:`stream_worlds` — the materialized ``(base_instance, log)`` pair;
+* :func:`event_logs` — small hand-assembled logs exercising every event
+  kind (relocations always follow an arrival of the same worker, as the
+  log requires);
+* :func:`trigger_factories` — zero-argument factories for fresh trigger
+  instances (triggers are stateful, so shared instances would leak state
+  between runs being compared).
+
+The CI hypothesis profile (derandomized, ``deadline=None``) is registered
+and loaded in ``tests/conftest.py`` so property tests are reproducible and
+never fail on shared-runner timing.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.entities import Task, Worker
+from repro.geo import Point
+from repro.stream import (
+    CountTrigger,
+    EventLog,
+    HybridTrigger,
+    TaskCancelEvent,
+    TaskExpiryEvent,
+    TaskPublishEvent,
+    TimeWindowTrigger,
+    WorkerArrivalEvent,
+    WorkerChurnEvent,
+    WorkerRelocateEvent,
+    synthetic_stream,
+)
+
+
+@st.composite
+def world_configs(draw, max_workers: int = 70, max_tasks: int = 70,
+                  multi_day: bool = False) -> dict:
+    """Keyword arguments for :func:`synthetic_stream`."""
+    clusters = draw(st.sampled_from([1, 2, 3, 4]))
+    config = {
+        "num_workers": draw(st.integers(10, max_workers)),
+        "num_tasks": draw(st.integers(10, max_tasks)),
+        "duration_hours": draw(st.sampled_from([6.0, 12.0, 24.0])),
+        "area_km": draw(st.sampled_from([10.0, 20.0])),
+        "valid_hours": draw(st.sampled_from([2.0, 4.0])),
+        "reachable_km": draw(st.sampled_from([4.0, 8.0])),
+        "churn_fraction": draw(st.sampled_from([0.0, 0.1, 0.3])),
+        "cancel_fraction": draw(st.sampled_from([0.0, 0.1])),
+        "clusters": clusters,
+        "seed": draw(st.integers(0, 2**16)),
+    }
+    if multi_day:
+        config["days"] = draw(st.integers(2, 4))
+        config["duration_hours"] = draw(st.sampled_from([6.0, 8.0]))
+        config["relocate_fraction"] = draw(st.sampled_from([0.2, 0.5, 0.8]))
+        config["overnight_churn_fraction"] = draw(st.sampled_from([0.0, 0.2]))
+        config["relocate_span"] = draw(
+            st.sampled_from(["cluster", "world"] if clusters > 1 else ["cluster"])
+        )
+    return config
+
+
+@st.composite
+def stream_worlds(draw, max_workers: int = 70, max_tasks: int = 70,
+                  multi_day: bool = False):
+    """A materialized ``(base_instance, EventLog)`` synthetic world."""
+    return synthetic_stream(**draw(world_configs(
+        max_workers=max_workers, max_tasks=max_tasks, multi_day=multi_day
+    )))
+
+
+@st.composite
+def event_logs(draw, max_events: int = 40) -> EventLog:
+    """Small hand-assembled logs covering every event kind.
+
+    Times are drawn from a coarse grid so simultaneous events (and the
+    phase tie-break they exercise) actually occur; relocation events are
+    only emitted for workers with an earlier arrival, as the log requires.
+    """
+    times = st.integers(0, 24).map(lambda h: h / 2.0)
+    coords = st.integers(-20, 20).map(float)
+    num_workers = draw(st.integers(1, 6))
+    num_tasks = draw(st.integers(1, 6))
+
+    events = []
+    arrival_time: dict[int, float] = {}
+    for worker_id in range(num_workers):
+        t = draw(times)
+        arrival_time[worker_id] = t
+        events.append(WorkerArrivalEvent(
+            time=t,
+            worker=Worker(
+                worker_id=worker_id,
+                location=Point(draw(coords), draw(coords)),
+                reachable_km=draw(st.sampled_from([5.0, 10.0])),
+            ),
+        ))
+    for task_id in range(num_tasks):
+        published = draw(times)
+        task = Task(
+            task_id=task_id,
+            location=Point(draw(coords), draw(coords)),
+            publication_time=published,
+            valid_hours=draw(st.sampled_from([1.0, 3.0, 6.0])),
+        )
+        events.append(TaskPublishEvent(time=published, task=task))
+        events.append(TaskExpiryEvent(time=task.expiry_time, task_id=task_id))
+
+    extras = draw(st.integers(0, max(0, max_events - len(events))))
+    for _ in range(extras):
+        kind = draw(st.sampled_from(["churn", "cancel", "relocate"]))
+        if kind == "churn":
+            events.append(WorkerChurnEvent(
+                time=draw(times), worker_id=draw(st.integers(0, num_workers - 1))
+            ))
+        elif kind == "cancel":
+            events.append(TaskCancelEvent(
+                time=draw(times), task_id=draw(st.integers(0, num_tasks - 1))
+            ))
+        else:
+            worker_id = draw(st.integers(0, num_workers - 1))
+            offset = draw(st.sampled_from([0.5, 1.0, 2.0]))
+            events.append(WorkerRelocateEvent(
+                time=arrival_time[worker_id] + offset,
+                worker_id=worker_id,
+                location=Point(draw(coords), draw(coords)),
+            ))
+    return EventLog(draw(st.permutations(events)))
+
+
+@st.composite
+def trigger_factories(draw):
+    """A zero-argument factory building a fresh, equivalent trigger."""
+    kind = draw(st.sampled_from(["window", "count", "hybrid"]))
+    if kind == "window":
+        window = draw(st.sampled_from([0.5, 1.0, 2.0]))
+        return lambda: TimeWindowTrigger(window)
+    if kind == "count":
+        count = draw(st.integers(5, 40))
+        return lambda: CountTrigger(count)
+    count = draw(st.integers(10, 50))
+    window = draw(st.sampled_from([1.0, 2.0]))
+    return lambda: HybridTrigger(count, window)

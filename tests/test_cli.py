@@ -229,3 +229,81 @@ class TestStream:
         assert main(["stream", *FAST, "--no-influence",
                      "--patience-hours", "2", "--resume", str(checkpoint)]) == 2
         assert "--patience-hours" in capsys.readouterr().err
+
+
+class TestStreamMultiDayAndAdmission:
+    """The --days and --admission-* surface: runs and flag validation."""
+
+    def test_multi_day_run(self, capsys):
+        assert main(["stream", *FAST, "--no-influence", "--days", "3",
+                     "--day", "5", "--show-rounds", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "relocations" in out
+        assert "rounds:" in out
+
+    def test_admission_defer_run(self, capsys):
+        assert main(["stream", *FAST, "--no-influence",
+                     "--admission-budget", "0.5", "--show-rounds", "0"]) == 0
+        assert "rounds:" in capsys.readouterr().out
+
+    def test_admission_shed_run(self, capsys):
+        assert main(["stream", *FAST, "--no-influence",
+                     "--admission-budget", "0.5",
+                     "--admission-policy", "shed", "--show-rounds", "0"]) == 0
+        assert "rounds:" in capsys.readouterr().out
+
+    def test_days_must_be_positive(self, capsys):
+        assert main(["stream", *FAST, "--no-influence", "--days", "0"]) == 2
+        assert "--days" in capsys.readouterr().err
+
+    def test_admission_policy_requires_budget(self, capsys):
+        assert main(["stream", *FAST, "--no-influence",
+                     "--admission-policy", "shed"]) == 2
+        assert "--admission-budget" in capsys.readouterr().err
+
+    def test_admission_budget_must_be_positive(self, capsys):
+        assert main(["stream", *FAST, "--no-influence",
+                     "--admission-budget", "0"]) == 2
+        assert "--admission-budget" in capsys.readouterr().err
+
+    def test_admission_budget_rejects_negative(self, capsys):
+        assert main(["stream", *FAST, "--no-influence",
+                     "--admission-budget", "-1"]) == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_resume_with_mismatched_admission_fails_fast(self, tmp_path, capsys):
+        checkpoint = tmp_path / "stream.npz"
+        assert main(["stream", *FAST, "--no-influence", "--max-rounds", "2",
+                     "--checkpoint", str(checkpoint)]) == 0
+        capsys.readouterr()
+        assert main(["stream", *FAST, "--no-influence",
+                     "--admission-budget", "1.0",
+                     "--resume", str(checkpoint)]) == 2
+        err = capsys.readouterr().err
+        assert "admission" in err
+        assert "--admission-*" in err
+
+    def test_resume_with_mismatched_admission_policy_fails_fast(
+        self, tmp_path, capsys
+    ):
+        checkpoint = tmp_path / "stream.npz"
+        assert main(["stream", *FAST, "--no-influence", "--max-rounds", "2",
+                     "--admission-budget", "1.0",
+                     "--checkpoint", str(checkpoint)]) == 0
+        capsys.readouterr()
+        assert main(["stream", *FAST, "--no-influence",
+                     "--admission-budget", "1.0",
+                     "--admission-policy", "shed",
+                     "--resume", str(checkpoint)]) == 2
+        assert "policy" in capsys.readouterr().err
+
+    def test_admission_resume_round_trip(self, tmp_path, capsys):
+        checkpoint = tmp_path / "stream.npz"
+        assert main(["stream", *FAST, "--no-influence", "--max-rounds", "2",
+                     "--admission-budget", "1.0", "--days", "2", "--day", "5",
+                     "--checkpoint", str(checkpoint)]) == 0
+        capsys.readouterr()
+        assert main(["stream", *FAST, "--no-influence",
+                     "--admission-budget", "1.0", "--days", "2", "--day", "5",
+                     "--resume", str(checkpoint), "--show-rounds", "0"]) == 0
+        assert "resumed from" in capsys.readouterr().out

@@ -269,7 +269,7 @@ class TestCheckpointValidation:
         runtime.run(max_rounds=1)
         saved = runtime.checkpoint(tmp_path / "ck.npz")
         payload = load_checkpoint(saved)
-        assert payload["meta"]["version"] == 2
+        assert payload["meta"]["version"] == 3
 
         import json
 
@@ -288,3 +288,167 @@ class TestCheckpointValidation:
         saved = runtime.checkpoint(tmp_path / "bare")
         assert saved.suffix == ".npz"
         assert saved.exists()
+
+
+def relocation_world(seed=61):
+    """A multi-day synthetic world with relocation waves and churn."""
+    return synthetic_stream(
+        num_workers=50, num_tasks=60, duration_hours=8.0, days=3,
+        area_km=12.0, valid_hours=3.0, reachable_km=5.0, clusters=3,
+        relocate_fraction=0.5, overnight_churn_fraction=0.15, seed=seed,
+    )
+
+
+def admission_rounds(result):
+    return [
+        (r.index, r.relocated_workers, r.deferred_tasks, r.shed_tasks)
+        for r in result.rounds
+    ]
+
+
+class TestAdaptiveTriggerUnderRelocationAndAdmission:
+    """Satellite: adaptive windows + admission + relocation across resume.
+
+    The adaptive trigger's feedback and the admission controller's cost
+    both run off a deterministic function of the round record, so the
+    whole control loop — window halving/growth, overload flips, backlog
+    release — must replay bit-identically through a checkpoint.
+    """
+
+    @staticmethod
+    def _trigger():
+        # Deterministic feedback: pretend every pooled task costs 20 ms.
+        return AdaptiveTrigger(
+            target_seconds=0.4, initial_window_hours=1.0,
+            min_window_hours=0.25, max_window_hours=4.0,
+            cost_of=lambda record: 0.02 * record.open_tasks,
+        )
+
+    @staticmethod
+    def _admission():
+        from repro.stream import AdmissionController
+
+        return AdmissionController(
+            budget_seconds=0.2, policy="defer",
+            cost_of=lambda record: 0.05 * record.open_tasks,
+        )
+
+    def _runtime(self, base, log):
+        return StreamRuntime(
+            NearestNeighborAssigner(), None, self._trigger(), base, log,
+            admission=self._admission(),
+        )
+
+    def test_resume_matches_uninterrupted(self, tmp_path):
+        base, log = relocation_world()
+        full = self._runtime(base, log).run()
+        assert full.metrics.total_relocated > 0
+        assert full.metrics.total_deferred > 0
+
+        interrupted = self._runtime(base, log)
+        interrupted.run(max_rounds=max(2, len(full.rounds) // 2))
+        saved = interrupted.checkpoint(tmp_path / "adaptive-admission.npz")
+        resumed_runtime = StreamRuntime.resume(
+            saved, NearestNeighborAssigner(), None, self._trigger(), base, log,
+            admission=self._admission(),
+        )
+        resumed = resumed_runtime.run()
+        assert pairs(resumed) == pairs(full)
+        assert round_tuples(resumed) == round_tuples(full)
+        assert admission_rounds(resumed) == admission_rounds(full)
+
+    def test_trigger_and_admission_state_survive_the_round_trip(self, tmp_path):
+        base, log = relocation_world(seed=67)
+        runtime = self._runtime(base, log)
+        runtime.run(max_rounds=8)
+        window_before = runtime.trigger.window_hours
+        overloaded_before = runtime.admission.overloaded
+        backlog_before = sorted(runtime.admission._backlog.items())
+        saved = runtime.checkpoint(tmp_path / "state.npz")
+
+        resumed = StreamRuntime.resume(
+            saved, NearestNeighborAssigner(), None, self._trigger(), base, log,
+            admission=self._admission(),
+        )
+        assert resumed.trigger.window_hours == window_before
+        assert resumed.admission.overloaded == overloaded_before
+        assert sorted(resumed.admission._backlog.items()) == backlog_before
+        assert resumed.admission.total_deferred == runtime.admission.total_deferred
+
+    def test_admission_mismatch_rejected(self, tmp_path):
+        from repro.stream import AdmissionController
+
+        base, log = relocation_world(seed=71)
+        runtime = self._runtime(base, log)
+        runtime.run(max_rounds=3)
+        saved = runtime.checkpoint(tmp_path / "adm.npz")
+        with pytest.raises(DataError, match="admission"):
+            StreamRuntime.resume(
+                saved, NearestNeighborAssigner(), None, self._trigger(),
+                base, log,
+            )
+        with pytest.raises(DataError, match="policy"):
+            StreamRuntime.resume(
+                saved, NearestNeighborAssigner(), None, self._trigger(),
+                base, log,
+                admission=AdmissionController(
+                    budget_seconds=0.2, policy="shed",
+                    cost_of=lambda record: 0.05 * record.open_tasks,
+                ),
+            )
+        with pytest.raises(DataError, match="budget"):
+            StreamRuntime.resume(
+                saved, NearestNeighborAssigner(), None, self._trigger(),
+                base, log,
+                admission=AdmissionController(
+                    budget_seconds=0.8, policy="defer",
+                    cost_of=lambda record: 0.05 * record.open_tasks,
+                ),
+            )
+
+    def test_unaffected_checkpoint_rejects_admission_resume(self, tmp_path):
+        base, log = relocation_world(seed=73)
+        plain = StreamRuntime(
+            NearestNeighborAssigner(), None, TimeWindowTrigger(1.0), base, log,
+        )
+        plain.run(max_rounds=3)
+        saved = plain.checkpoint(tmp_path / "plain.npz")
+        with pytest.raises(DataError, match="admission"):
+            StreamRuntime.resume(
+                saved, NearestNeighborAssigner(), None, TimeWindowTrigger(1.0),
+                base, log, admission=self._admission(),
+            )
+
+
+class TestRelocatedPoolRoundTrip:
+    """Pools holding relocated workers snapshot and restore exactly."""
+
+    def test_relocated_worker_survives_resume(self, tmp_path):
+        from repro.stream import WorkerArrivalEvent, WorkerRelocateEvent
+        from repro.stream.events import EventLog, expiry_events
+        from repro.stream import TaskPublishEvent
+
+        worker = Worker(worker_id=1, location=Point(0.0, 0.0), reachable_km=4.0)
+        far_task = make_task(0, 30.0, published=5.0, phi=4.0)
+        log = EventLog([
+            WorkerArrivalEvent(time=0.0, worker=worker),
+            WorkerRelocateEvent(time=2.0, worker_id=1, location=Point(29.0, 0.0)),
+            TaskPublishEvent(time=5.0, task=far_task),
+            *expiry_events([far_task]),
+        ])
+        base = make_instance()
+        runtime = StreamRuntime(
+            NearestNeighborAssigner(), None, TimeWindowTrigger(1.0), base, log,
+        )
+        runtime.run(max_rounds=4)  # past the relocation, before the publish
+        assert runtime.state.workers[1].location.x == 29.0
+        saved = runtime.checkpoint(tmp_path / "reloc.npz")
+
+        resumed = StreamRuntime.resume(
+            saved, NearestNeighborAssigner(), None, TimeWindowTrigger(1.0),
+            base, log,
+        )
+        assert resumed.state.workers[1].location.x == 29.0
+        result = resumed.run()
+        # Only the relocated position makes the far task reachable.
+        assert pairs(result) == [(1, 0)]

@@ -1,6 +1,7 @@
 """Tests for repro.stream.events — typed events and the EventLog."""
 
 import pytest
+from hypothesis import given, settings
 
 from repro.entities import Task, Worker
 from repro.geo import Point  # noqa: F401 - used in payload fingerprint tests
@@ -11,12 +12,15 @@ from repro.stream import (
     TaskPublishEvent,
     WorkerArrivalEvent,
     WorkerChurnEvent,
+    WorkerRelocateEvent,
     day_stream,
     expiry_events,
     log_from_arrivals,
     synthetic_stream,
 )
 from repro.stream.events import PHASE_ARRIVAL, PHASE_EXPIRY, PHASE_PUBLISH
+
+from tests.strategies import event_logs, stream_worlds
 
 
 def make_worker(worker_id, x=0.0, y=0.0):
@@ -304,29 +308,109 @@ class TestColumnarAccess:
         assert from_arrays.events == from_objects.events
         assert from_arrays.fingerprint() == from_objects.fingerprint()
 
-    def test_from_columns_rejects_bad_input(self):
+    def test_from_columns_rejects_mismatched_column_lengths(self):
         import numpy as np
 
-        with pytest.raises(ValueError):
+        from repro.exceptions import DataError
+
+        with pytest.raises(DataError, match="equal length"):
             EventLog.from_columns(np.zeros(2), np.zeros(1, np.int64), np.zeros(2, np.int64))
-        with pytest.raises(ValueError):
+        with pytest.raises(DataError, match="equal length"):
+            EventLog.from_columns(np.zeros(1), np.zeros(1, np.int64), np.zeros(3, np.int64))
+
+    def test_from_columns_rejects_unknown_kind_codes(self):
+        import numpy as np
+
+        from repro.exceptions import DataError
+
+        with pytest.raises(DataError, match="unknown event kind"):
             EventLog.from_columns(np.zeros(1), np.array([9]), np.zeros(1, np.int64))
+        with pytest.raises(DataError, match="unknown event kind"):
+            EventLog.from_columns(np.zeros(1), np.array([-1]), np.zeros(1, np.int64))
+
+    def test_from_columns_rejects_non_finite_times(self):
+        import numpy as np
+
+        from repro.exceptions import DataError
+
+        with pytest.raises(DataError, match="non-finite"):
+            EventLog.from_columns(
+                np.array([np.nan]), np.array([3]), np.array([0])
+            )
+
+    def test_from_columns_rejects_nan_coordinates(self):
+        import numpy as np
+
+        from repro.exceptions import DataError
+
+        worker = Worker(worker_id=1, location=Point(0.0, 0.0), reachable_km=5.0)
+        # A relocation row with NaN target coordinates.
+        with pytest.raises(DataError, match="NaN"):
+            EventLog.from_columns(
+                np.array([0.0, 1.0]), np.array([0, 5]), np.array([1, 1]),
+                workers=[worker],
+                x=np.array([np.nan, np.nan]), y=np.array([np.nan, 2.0]),
+            )
+        # A payload entity with a NaN location.
+        bad_task = Task(
+            task_id=2, location=Point(float("nan"), 0.0),
+            publication_time=0.0, valid_hours=1.0,
+        )
+        with pytest.raises(DataError, match="NaN coordinates"):
+            EventLog.from_columns(
+                np.array([0.0]), np.array([1]), np.array([2]), tasks=[bad_task]
+            )
+
+    def test_from_columns_rejects_relocation_without_coordinates(self):
+        import numpy as np
+
+        from repro.exceptions import DataError
+
+        worker = Worker(worker_id=1, location=Point(0.0, 0.0), reachable_km=5.0)
+        with pytest.raises(DataError, match="x and y"):
+            EventLog.from_columns(
+                np.array([0.0, 1.0]), np.array([0, 5]), np.array([1, 1]),
+                workers=[worker],
+            )
+        with pytest.raises(DataError, match="given together"):
+            EventLog.from_columns(
+                np.array([0.0]), np.array([0]), np.array([1]),
+                workers=[worker], x=np.array([0.0]),
+            )
+        with pytest.raises(DataError, match="row count"):
+            EventLog.from_columns(
+                np.array([0.0]), np.array([0]), np.array([1]),
+                workers=[worker], x=np.array([0.0]), y=np.array([0.0, 1.0]),
+            )
+
+    def test_from_columns_rejects_relocation_of_unknown_worker(self):
+        import numpy as np
+
+        from repro.exceptions import DataError
+
+        with pytest.raises(DataError, match="precedes any arrival"):
+            EventLog.from_columns(
+                np.array([1.0]), np.array([5]), np.array([7]),
+                x=np.array([1.0]), y=np.array([2.0]),
+            )
 
     def test_from_columns_rejects_bad_payload_references(self):
         import numpy as np
 
+        from repro.exceptions import DataError
+
         worker = Worker(worker_id=1, location=Point(0.0, 0.0), reachable_km=5.0)
-        with pytest.raises(ValueError, match="payload"):
+        with pytest.raises(DataError, match="payload"):
             EventLog.from_columns(  # -1 sentinel on an arrival row
                 np.array([1.0]), np.array([0]), np.array([1]),
                 payload=np.array([-1]), workers=[worker],
             )
-        with pytest.raises(ValueError, match="payload"):
+        with pytest.raises(DataError, match="payload"):
             EventLog.from_columns(  # out-of-range side-table index
                 np.array([1.0]), np.array([0]), np.array([1]),
                 payload=np.array([3]), workers=[worker],
             )
-        with pytest.raises(ValueError, match="row count"):
+        with pytest.raises(DataError, match="row count"):
             EventLog.from_columns(
                 np.array([1.0]), np.array([0]), np.array([1]),
                 payload=np.array([0, 0]), workers=[worker],
@@ -444,3 +528,80 @@ class TestSyntheticStream:
                                        clusters=1)
         _, default = synthetic_stream(num_workers=15, num_tasks=12, seed=21)
         assert explicit.fingerprint() == default.fingerprint()
+
+
+class TestLogInvariantProperties:
+    """Property tests over the shared strategies (tests/strategies.py)."""
+
+    @settings(max_examples=30)
+    @given(log=event_logs())
+    def test_canonical_order_and_rebuild_identity(self, log):
+        """Any event mix sorts canonically, and rebuilding a log from its
+        own materialized events reproduces columns and fingerprint."""
+        key = list(zip(log.times, log.phases, log.entity_ids))
+        assert key == sorted(key)
+        rebuilt = EventLog(log.events)
+        assert rebuilt.fingerprint() == log.fingerprint()
+        assert rebuilt.events == log.events
+
+    @settings(max_examples=30)
+    @given(log=event_logs())
+    def test_worker_rows_always_carry_payloads(self, log):
+        """Every arrival/relocation row resolves to a Worker whose id is
+        the row's entity, at the row's coordinates."""
+        import numpy as np
+
+        for index in np.flatnonzero(
+            (log.kinds == 0) | (log.kinds == 5)
+        ):
+            worker = log.worker_at(int(index))
+            assert worker.worker_id == int(log.entity_ids[index])
+            assert worker.location.x == log.columns["x"][index]
+            assert worker.location.y == log.columns["y"][index]
+
+    @settings(max_examples=30)
+    @given(log=event_logs())
+    def test_relocation_payload_composes_latest_prior_state(self, log):
+        """A relocation's synthesized payload carries the attributes of the
+        worker's nearest preceding arrival/relocation row."""
+        import numpy as np
+
+        for index in np.flatnonzero(log.kinds == 5):
+            worker_id = int(log.entity_ids[index])
+            prior = [
+                i for i in np.flatnonzero(
+                    ((log.kinds == 0) | (log.kinds == 5))
+                    & (log.entity_ids == worker_id)
+                )
+                if i < index
+            ]
+            assert prior, "log construction must reject orphan relocations"
+            previous = log.worker_at(int(prior[-1]))
+            relocated = log.worker_at(int(index))
+            assert relocated.reachable_km == previous.reachable_km
+            assert relocated.speed_kmh == previous.speed_kmh
+
+    @settings(max_examples=15)
+    @given(world=stream_worlds(max_workers=40, max_tasks=40, multi_day=True))
+    def test_synthetic_worlds_replay_deterministically(self, world):
+        """Generated multi-day worlds are self-consistent: replay through a
+        fresh log of the same events is fingerprint-identical."""
+        _, log = world
+        assert EventLog(log.events).fingerprint() == log.fingerprint()
+
+
+class TestRelocationOrdering:
+    def test_same_instant_arrival_and_relocation_order_arrival_first(self):
+        """Kind is the final sort key: an arrival and a relocation of the
+        same worker at the same time order deterministically (arrival
+        first), whichever way the source rows were interleaved."""
+        from repro.geo import Point as P
+
+        arrival = WorkerArrivalEvent(time=2.0, worker=make_worker(4))
+        move = WorkerRelocateEvent(time=2.0, worker_id=4, location=P(7.0, 7.0))
+        forward = EventLog([arrival, move])
+        backward = EventLog([move, arrival])
+        assert forward.events == backward.events
+        assert forward.fingerprint() == backward.fingerprint()
+        assert isinstance(forward[0], WorkerArrivalEvent)
+        assert forward.worker_at(1).location == P(7.0, 7.0)

@@ -103,3 +103,42 @@ class TestStateDict:
         restored.load_state_dict(metrics.state_dict())
         assert restored.rounds == []
         assert restored.wall_seconds == 0.0
+
+
+class TestAdmissionAndRelocationMetrics:
+    def test_new_counters_accumulate_and_roundtrip(self):
+        metrics = StreamMetrics()
+        metrics.on_round(RoundRecord(
+            index=0, time=0.0, online_workers=5, open_tasks=6,
+            drained_events=11, assigned=2, expired_tasks=0, churned_workers=0,
+            cancelled_tasks=0, round_seconds=0.1, relocated_workers=3,
+            deferred_tasks=4, shed_tasks=1,
+        ))
+        assert metrics.total_relocated == 3
+        assert metrics.total_deferred == 4
+        assert metrics.total_shed == 1
+        state = metrics.state_dict()
+        fresh = StreamMetrics()
+        fresh.load_state_dict(state)
+        assert fresh.total_relocated == 3
+        assert fresh.total_deferred == 4
+        assert fresh.total_shed == 1
+        assert fresh.rounds[0].relocated_workers == 3
+
+    def test_summary_shed_rate_counts_shed_as_seen(self):
+        metrics = StreamMetrics()
+        metrics.on_round(RoundRecord(
+            index=0, time=0.0, online_workers=0, open_tasks=0,
+            drained_events=0, assigned=3, expired_tasks=1, churned_workers=0,
+            cancelled_tasks=0, round_seconds=0.0, shed_tasks=4,
+        ))
+        summary = metrics.summary()
+        assert summary.shed == 4
+        assert summary.shed_rate == pytest.approx(4 / 8)
+        assert "shed 4" in summary.as_text()
+
+    def test_default_record_fields_keep_legacy_shape(self):
+        record = make_record(assigned=1)
+        assert record.relocated_workers == 0
+        assert record.deferred_tasks == 0
+        assert record.shed_tasks == 0

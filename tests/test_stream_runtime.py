@@ -377,3 +377,71 @@ class TestEdgeCases:
         assert len(runtime.state.task_index) == runtime.state.num_open_tasks == 4
         runtime.run()  # the t=4 round drains the t=3 expiries
         assert len(runtime.state.task_index) == runtime.state.num_open_tasks == 0
+
+
+class TestAdmissionControllerValidation:
+    def test_rejects_bad_parameters(self):
+        from repro.stream import AdmissionController
+
+        with pytest.raises(ValueError, match="budget_seconds"):
+            AdmissionController(budget_seconds=0.0)
+        with pytest.raises(ValueError, match="policy"):
+            AdmissionController(budget_seconds=1.0, policy="drop")
+        with pytest.raises(ValueError, match="resume_fraction"):
+            AdmissionController(budget_seconds=1.0, resume_fraction=0.0)
+
+    def test_hysteresis(self):
+        from repro.stream import AdmissionController
+        from repro.stream.metrics import RoundRecord
+
+        def record(cost):
+            return RoundRecord(
+                index=0, time=0.0, online_workers=0, open_tasks=0,
+                drained_events=0, assigned=0, expired_tasks=0,
+                churned_workers=0, cancelled_tasks=0, round_seconds=cost,
+            )
+
+        controller = AdmissionController(budget_seconds=1.0)
+        assert not controller.overloaded
+        controller.on_round(record(1.5))
+        assert controller.overloaded
+        controller.on_round(record(0.8))  # within hysteresis band: stays
+        assert controller.overloaded
+        controller.on_round(record(0.4))  # below half budget: recovers
+        assert not controller.overloaded
+
+
+class TestAdmissionFinalFlush:
+    def test_backlog_force_released_when_stream_ends_overloaded(self):
+        """A run that ends while still over budget must not strand parked
+        tasks: the final flush releases the backlog and admits directly."""
+        from repro.stream import AdmissionController
+
+        workers = [
+            WorkerArrivalEvent(
+                time=0.0,
+                worker=Worker(worker_id=i, location=Point(float(i), 0.0),
+                              reachable_km=20.0),
+            )
+            for i in range(4)
+        ]
+        tasks = [make_task(i, float(i), published=1.0, phi=6.0) for i in range(4)]
+        log = EventLog([
+            *workers,
+            *(TaskPublishEvent(time=1.0, task=t) for t in tasks),
+        ])
+        controller = AdmissionController(
+            budget_seconds=0.5, policy="defer",
+            cost_of=lambda record: 1.0,  # permanently over budget
+        )
+        runtime = StreamRuntime(
+            NearestNeighborAssigner(), None, TimeWindowTrigger(1.0),
+            make_instance(current_time=0.0), log, end_time=3.0,
+            admission=controller,
+        )
+        result = runtime.run()
+        assert controller.overloaded  # never recovered...
+        assert controller.backlog_size == 0  # ...yet nothing is stranded
+        assert result.metrics.total_deferred == 4
+        # The final round assigned the force-released tasks.
+        assert result.total_assigned == 4

@@ -9,6 +9,8 @@ a feasible (worker, task) pair.
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.assignment import IAAssigner, MTAAssigner, NearestNeighborAssigner
 from repro.entities import Task, Worker
@@ -26,6 +28,8 @@ from repro.stream import (
     synthetic_stream,
 )
 from repro.stream.events import KIND_ARRIVAL, KIND_PUBLISH
+
+from tests.strategies import stream_worlds, trigger_factories
 
 
 def clustered_world(clusters=4, seed=41, num_workers=120, num_tasks=140,
@@ -160,6 +164,28 @@ class TestShardedRoundDeterminism:
         ).run()
         runtime = StreamRuntime(
             NearestNeighborAssigner(), None, HybridTrigger(32, 1.0), base, log,
+            shards=shards,
+        )
+        sharded = runtime.run()
+        assert sorted_pairs(sharded) == sorted_pairs(plain)
+        assert round_rows(sharded) == round_rows(plain)
+
+    @settings(max_examples=12)
+    @given(
+        world=stream_worlds(max_workers=50, max_tasks=50, multi_day=True),
+        make_trigger=trigger_factories(),
+        shards=st.integers(1, 8),
+    )
+    def test_hypothesis_worlds_and_triggers(self, world, make_trigger, shards):
+        """Shared-strategy sweep: any synthetic multi-day world (relocation
+        waves included), any trigger policy, any shard count — sharded and
+        unsharded rounds stay bit-identical."""
+        base, log = world
+        plain = StreamRuntime(
+            NearestNeighborAssigner(), None, make_trigger(), base, log,
+        ).run()
+        runtime = StreamRuntime(
+            NearestNeighborAssigner(), None, make_trigger(), base, log,
             shards=shards,
         )
         sharded = runtime.run()

@@ -158,3 +158,76 @@ class TestQueriesAndRounds:
         state.apply(TaskPublishEvent(time=0.0, task=make_task(7)))
         prepared = state.prepare_round(0.0)
         assert prepared.feasible.num_feasible == 1
+
+
+class TestRelocation:
+    def test_relocates_live_worker_keeping_arrival_time(self, state):
+        from repro.stream import WorkerRelocateEvent
+
+        state.apply(WorkerArrivalEvent(time=1.0, worker=make_worker(3)))
+        state.apply(WorkerRelocateEvent(time=4.0, worker_id=3,
+                                        location=Point(9.0, 9.0)))
+        assert state.num_online_workers == 1
+        assert state.workers[3].location == Point(9.0, 9.0)
+        assert state.workers[3].reachable_km == 10.0  # attributes preserved
+        assert state.arrived_at[3] == pytest.approx(1.0)  # wait keeps accruing
+
+    def test_relocation_of_absent_worker_is_noop(self, state):
+        from repro.stream import WorkerRelocateEvent
+
+        removed = state.apply(WorkerRelocateEvent(time=1.0, worker_id=8,
+                                                  location=Point(1.0, 1.0)))
+        assert removed == (False, False)
+        assert state.num_online_workers == 0
+
+    def test_relocation_after_assignment_is_noop(self, state):
+        from repro.stream import WorkerRelocateEvent
+
+        state.apply(WorkerArrivalEvent(time=0.0, worker=make_worker(3)))
+        state.apply(TaskPublishEvent(time=0.0, task=make_task(7)))
+        assignment, _ = state.run_assignment(NearestNeighborAssigner(), 1.0)
+        assert len(assignment) == 1
+        state.apply(WorkerRelocateEvent(time=2.0, worker_id=3,
+                                        location=Point(5.0, 5.0)))
+        assert state.num_online_workers == 0
+
+    def test_relocation_feeds_next_round_feasibility(self, state):
+        """After relocating, a previously unreachable task becomes the
+        worker's match — the RoundState caches must not serve stale rows."""
+        from repro.stream import WorkerRelocateEvent
+
+        state.apply(WorkerArrivalEvent(time=0.0, worker=make_worker(1, radius=4.0)))
+        far = make_task(2, x=30.0, phi=50.0)
+        state.apply(TaskPublishEvent(time=0.0, task=far))
+        assignment, _ = state.run_assignment(NearestNeighborAssigner(), 1.0)
+        assert len(assignment) == 0
+        state.apply(WorkerRelocateEvent(time=2.0, worker_id=1,
+                                        location=Point(29.0, 0.0)))
+        assignment, waits = state.run_assignment(NearestNeighborAssigner(), 3.0)
+        assert [(p.worker.worker_id, p.task.task_id) for p in assignment] == [(1, 2)]
+        # Task waited 3h from publication; worker 3h from *arrival* (t=0).
+        assert waits == [(3.0, 3.0)]
+
+    def test_columnar_slice_counts_applied_relocations_only(self, state):
+        import numpy as np
+
+        from repro.stream.events import EventLog, KIND_RELOCATE
+
+        from repro.stream import WorkerArrivalEvent as Arrive
+        from repro.stream import WorkerChurnEvent as Churn
+        from repro.stream import WorkerRelocateEvent as Move
+
+        log = EventLog([
+            Arrive(time=0.0, worker=make_worker(1)),
+            Arrive(time=0.0, worker=make_worker(2)),
+            Churn(time=1.0, worker_id=2),
+            Move(time=2.0, worker_id=1, location=Point(3.0, 3.0)),   # applies
+            Move(time=2.5, worker_id=2, location=Point(4.0, 4.0)),   # no-op
+        ])
+        expired, churned, cancelled, relocated = state.apply_log_slice(
+            log, 0, len(log)
+        )
+        assert (expired, churned, cancelled, relocated) == (0, 1, 0, 1)
+        assert state.workers[1].location == Point(3.0, 3.0)
+        assert 2 not in state.workers
+        assert int((log.kinds == KIND_RELOCATE).sum()) == 2
