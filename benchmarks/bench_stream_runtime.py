@@ -7,6 +7,12 @@ hybrid, latency-adaptive).  A cross-check against the batched
 :class:`~repro.framework.OnlineSimulator` pins the equivalence configuration
 at bench scale.
 
+Two further column groups cover the pipelined executor on a clustered
+8-shard world: **pipelined vs serial** (the overlapped per-shard
+prepare+solve path must beat the serial sharded path by >= 1.3x round p50
+at the 100x rate) and **rebalance on vs off** (the EWMA repacker must not
+regress round latency while producing identical output).
+
 ``REPRO_BENCH_SCALE`` scales the stream volumes like the other benches
 (default 0.15; CI smoke runs 0.05; 1.0 is the full 10-100x grid).
 """
@@ -21,6 +27,7 @@ from repro.stream import (
     AdaptiveTrigger,
     CountTrigger,
     HybridTrigger,
+    ShardRebalancer,
     StreamRuntime,
     TimeWindowTrigger,
     log_from_arrivals,
@@ -103,6 +110,119 @@ def test_stream_flow_assigner(benchmark, rate_factor):
         f"p99 round {summary.round_latency_p99 * 1e3:.2f} ms"
     )
     assert summary.assigned > 0
+
+
+#: Separated city clusters for the pipelined/rebalance columns (mirrors
+#: ``bench_stream_shards``: the world shape whose rounds decompose).
+CLUSTERS = 8
+
+
+def make_clustered_stream(rate_factor: int, seed: int = 31):
+    num_workers = max(int(PAPER_DAY_WORKERS * rate_factor * BENCH_SCALE), 80)
+    num_tasks = max(int(PAPER_DAY_TASKS * rate_factor * BENCH_SCALE), 80)
+    return synthetic_stream(
+        num_workers=num_workers,
+        num_tasks=num_tasks,
+        duration_hours=24.0,
+        area_km=25.0,
+        valid_hours=4.0,
+        reachable_km=10.0,
+        churn_fraction=0.05,
+        cancel_fraction=0.02,
+        clusters=CLUSTERS,
+        seed=seed,
+    )
+
+
+#: Admissions per micro-batch for the pipelined column.  Uniform count
+#: batches keep every round comparably heavy, so the p50 round latency
+#: measures the typical overlapped round rather than the near-empty
+#: boundary rounds a skewed time-window stream produces.
+PIPELINE_BATCH = 4096
+
+
+def run_sharded(base, log, *, trigger, executor="serial", pipeline=False,
+                rebalance=None):
+    with StreamRuntime(
+        NearestNeighborAssigner(), None, trigger, base, log,
+        patience_hours=6.0, shards=CLUSTERS, executor=executor,
+        pipeline=pipeline, rebalance=rebalance,
+    ) as runtime:
+        return runtime.run()
+
+
+def sorted_pairs(result):
+    return sorted(
+        (pair.worker.worker_id, pair.task.task_id)
+        for pair in result.assignment.pairs
+    )
+
+
+def latency_columns(label, summary):
+    return (
+        f"{label} p50 {summary.round_latency_p50 * 1e3:.2f} ms / "
+        f"p99 {summary.round_latency_p99 * 1e3:.2f} ms"
+    )
+
+
+@pytest.mark.parametrize("rate_factor", [10, 100])
+def test_pipelined_vs_serial_rounds(benchmark, rate_factor):
+    """The tentpole column: overlapped per-shard prepare+solve vs serial."""
+    base, log = make_clustered_stream(rate_factor)
+    serial = run_sharded(base, log, trigger=CountTrigger(PIPELINE_BATCH))
+    pipelined = benchmark.pedantic(
+        lambda: run_sharded(base, log, trigger=CountTrigger(PIPELINE_BATCH),
+                            executor="thread", pipeline=True),
+        rounds=1, iterations=1,
+    )
+
+    assert sorted_pairs(pipelined) == sorted_pairs(serial)
+    assert [r.assigned for r in pipelined.rounds] == [
+        r.assigned for r in serial.rounds
+    ]
+
+    serial_summary = serial.summary()
+    pipelined_summary = pipelined.summary()
+    speedup = (
+        serial_summary.round_latency_p50 / pipelined_summary.round_latency_p50
+        if pipelined_summary.round_latency_p50 > 0 else float("inf")
+    )
+    phases = pipelined.metrics.phase_totals()
+    print(
+        f"\n{rate_factor:>3}x rate, {CLUSTERS} shards: "
+        f"{latency_columns('serial', serial_summary)}, "
+        f"{latency_columns('pipelined', pipelined_summary)} "
+        f"({speedup:.2f}x); pipelined phases (s) "
+        + "  ".join(f"{name} {seconds:.2f}" for name, seconds in phases.items())
+    )
+    assert phases["prepare"] > 0.0 and phases["solve"] > 0.0
+    if BENCH_SCALE >= 0.15 and rate_factor >= 100:
+        assert speedup >= 1.3, (
+            f"pipelined round latency regressed: {speedup:.2f}x < 1.3x"
+        )
+
+
+@pytest.mark.parametrize("rate_factor", [10, 100])
+def test_rebalance_on_vs_off(benchmark, rate_factor):
+    """The EWMA repacker: identical output, no round-latency regression."""
+    base, log = make_clustered_stream(rate_factor)
+    off = run_sharded(base, log, trigger=TimeWindowTrigger(2.0))
+    on = benchmark.pedantic(
+        lambda: run_sharded(base, log, trigger=TimeWindowTrigger(2.0),
+                            rebalance=ShardRebalancer(interval=8)),
+        rounds=1, iterations=1,
+    )
+
+    assert sorted_pairs(on) == sorted_pairs(off)
+    off_summary = off.summary()
+    on_summary = on.summary()
+    print(
+        f"\n{rate_factor:>3}x rate, {CLUSTERS} shards: "
+        f"{latency_columns('rebalance-off', off_summary)}, "
+        f"{latency_columns('rebalance-on', on_summary)}; "
+        f"{on.metrics.total_repacks} repacks"
+    )
+    assert on_summary.assigned == off_summary.assigned > 0
 
 
 def test_stream_matches_online_simulator(benchmark):

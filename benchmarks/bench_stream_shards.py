@@ -63,15 +63,11 @@ def sorted_pairs(result):
 
 
 def run_variant(base, log, assigner, shards=None, executor="serial"):
-    runtime = StreamRuntime(
+    with StreamRuntime(
         assigner, None, TimeWindowTrigger(0.5), base, log,
         patience_hours=6.0, shards=shards, executor=executor,
-    )
-    try:
-        result = runtime.run()
-    finally:
-        runtime.close()
-    return result
+    ) as runtime:
+        return runtime.run()
 
 
 def test_shard_layout_planning_rate(benchmark):

@@ -274,6 +274,17 @@ def _admission_request(args: argparse.Namespace) -> dict | None:
     }
 
 
+def _rebalance_request(args: argparse.Namespace) -> dict | None:
+    """The run's shard-rebalance identity (None when disabled)."""
+    if not args.rebalance:
+        return None
+    return {
+        "interval": args.rebalance_interval,
+        "alpha": args.rebalance_alpha,
+        "hysteresis": args.rebalance_hysteresis,
+    }
+
+
 def _validate_stream_flags(args: argparse.Namespace, trigger) -> str | None:
     """Check checkpoint/trigger/shard/admission flag combinations early.
 
@@ -284,6 +295,18 @@ def _validate_stream_flags(args: argparse.Namespace, trigger) -> str | None:
     """
     if args.executor != "serial" and args.shards is None:
         return "--executor requires --shards (the unsharded runtime has no backend)"
+    if args.pipeline and args.shards is None:
+        return "--pipeline requires --shards (there is nothing to overlap)"
+    if args.rebalance and args.shards is None:
+        return "--rebalance requires --shards (there is no layout to repack)"
+    if args.rebalance_interval < 1:
+        return f"--rebalance-interval must be >= 1, got {args.rebalance_interval}"
+    if not 0.0 < args.rebalance_alpha <= 1.0:
+        return f"--rebalance-alpha must be in (0, 1], got {args.rebalance_alpha}"
+    if args.rebalance_hysteresis < 0.0:
+        return (
+            f"--rebalance-hysteresis must be >= 0, got {args.rebalance_hysteresis}"
+        )
     if args.shards is not None and args.shards < 1:
         return f"--shards must be >= 1, got {args.shards}"
     if args.max_rounds is not None and args.max_rounds < 0:
@@ -314,12 +337,14 @@ def _validate_stream_flags(args: argparse.Namespace, trigger) -> str | None:
                 if args.shards is not None else None
             ),
             admission=_admission_request(args),
+            pipeline=args.pipeline,
+            rebalance=_rebalance_request(args),
         )
     except DataError as error:
         return (
             f"cannot resume from {args.resume}: {error} "
-            "(--trigger/--patience-hours/--shards/--admission-* must match "
-            "the checkpointed run)"
+            "(--trigger/--patience-hours/--shards/--pipeline/--rebalance-*/"
+            "--admission-* must match the checkpointed run)"
         )
     except (OSError, ValueError) as error:
         return f"cannot read checkpoint {args.resume}: {error}"
@@ -333,6 +358,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
         AdmissionController,
         CountTrigger,
         HybridTrigger,
+        ShardRebalancer,
         StreamRuntime,
         TimeWindowTrigger,
         day_stream,
@@ -387,6 +413,14 @@ def cmd_stream(args: argparse.Namespace) -> int:
             policy=args.admission_policy or "defer",
         )
 
+    rebalance = None
+    if args.rebalance:
+        rebalance = ShardRebalancer(
+            interval=args.rebalance_interval,
+            alpha=args.rebalance_alpha,
+            hysteresis=args.rebalance_hysteresis,
+        )
+
     influence = None
     if not args.no_influence:
         from repro.framework import DITAPipeline
@@ -400,43 +434,56 @@ def cmd_stream(args: argparse.Namespace) -> int:
                 patience_hours=args.patience_hours,
                 shards=args.shards, executor=args.executor,
                 admission=admission,
+                pipeline=args.pipeline, rebalance=rebalance,
             )
         except DataError as error:
             print(f"cannot resume from {args.resume}: {error}", file=sys.stderr)
             return 2
-        print(f"resumed from {args.resume} at round {len(runtime.result.rounds)}")
     else:
         runtime = StreamRuntime(
             assigner, influence, trigger, instance, log,
             patience_hours=args.patience_hours,
             shards=args.shards, executor=args.executor,
             admission=admission,
+            pipeline=args.pipeline, rebalance=rebalance,
         )
-    if runtime.shard_executor is not None:
-        layout = runtime.shard_executor.layout
-        print(f"sharded: {layout.num_shards} shards over "
-              f"{len(layout.cells)} cells ({args.executor} backend)")
-    try:
+    # Context-managed so pipelined executors never leak worker threads,
+    # whatever path exits the block (including validation errors below).
+    with runtime:
+        if args.resume is not None:
+            print(f"resumed from {args.resume} "
+                  f"at round {len(runtime.result.rounds)}")
+        if runtime.shard_executor is not None:
+            layout = runtime.shard_executor.layout
+            mode = " pipelined" if args.pipeline else ""
+            print(f"sharded: {layout.num_shards} shards over "
+                  f"{len(layout.cells)} cells ({args.executor}{mode} backend)")
         result = runtime.run(max_rounds=args.max_rounds)
-    finally:
-        runtime.close()
 
-    active = [r for r in result.rounds if r.assigned or r.drained_events]
-    shown = active[-args.show_rounds:] if args.show_rounds > 0 else []
-    if shown:
-        print(f"\n{'t':>7s} {'online':>7s} {'open':>6s} {'drained':>8s} "
-              f"{'assigned':>9s} {'expired':>8s} {'churned':>8s}")
-    for record in shown:
-        print(f"{record.time:7.2f} {record.online_workers:7d} "
-              f"{record.open_tasks:6d} {record.drained_events:8d} "
-              f"{record.assigned:9d} {record.expired_tasks:8d} "
-              f"{record.churned_workers:8d}")
-    print(f"\n{result.summary().as_text()}")
-    if not runtime.done:
-        print(f"\nstopped after {args.max_rounds} rounds (stream not exhausted)")
-    if args.checkpoint is not None:
-        saved = runtime.checkpoint(args.checkpoint)
-        print(f"checkpoint: {saved}")
+        active = [r for r in result.rounds if r.assigned or r.drained_events]
+        shown = active[-args.show_rounds:] if args.show_rounds > 0 else []
+        if shown:
+            print(f"\n{'t':>7s} {'online':>7s} {'open':>6s} {'drained':>8s} "
+                  f"{'assigned':>9s} {'expired':>8s} {'churned':>8s}")
+        for record in shown:
+            print(f"{record.time:7.2f} {record.online_workers:7d} "
+                  f"{record.open_tasks:6d} {record.drained_events:8d} "
+                  f"{record.assigned:9d} {record.expired_tasks:8d} "
+                  f"{record.churned_workers:8d}")
+        print(f"\n{result.summary().as_text()}")
+        if runtime.shard_executor is not None:
+            phases = result.metrics.phase_totals()
+            print("phases (s):        " + "  ".join(
+                f"{name} {seconds:.3f}" for name, seconds in phases.items()
+            ))
+            if runtime.shard_executor.rebalancer is not None:
+                print(f"shard repacks:     {result.metrics.total_repacks}")
+        if not runtime.done:
+            print(f"\nstopped after {args.max_rounds} rounds "
+                  "(stream not exhausted)")
+        if args.checkpoint is not None:
+            saved = runtime.checkpoint(args.checkpoint)
+            print(f"checkpoint: {saved}")
     return 0
 
 
@@ -548,6 +595,21 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("serial", "thread", "process"),
                         default="serial",
                         help="shard backend (requires --shards)")
+    stream.add_argument("--pipeline", action="store_true",
+                        help="overlap per-shard prepare/solve on the "
+                             "executor pool (requires --shards; "
+                             "bit-identical results, lower round latency)")
+    stream.add_argument("--rebalance", action="store_true",
+                        help="repack shard components from an EWMA of "
+                             "observed solve latency at deterministic "
+                             "round boundaries (requires --shards)")
+    stream.add_argument("--rebalance-interval", type=int, default=16,
+                        help="rounds between repack decisions")
+    stream.add_argument("--rebalance-alpha", type=float, default=0.25,
+                        help="EWMA smoothing factor in (0, 1]")
+    stream.add_argument("--rebalance-hysteresis", type=float, default=0.1,
+                        help="minimum relative bottleneck improvement "
+                             "before a repack is applied")
     stream.add_argument("--max-rounds", type=int, default=None,
                         help="stop after this many rounds (resumable)")
     stream.add_argument("--show-rounds", type=int, default=12,

@@ -24,6 +24,7 @@ import numpy as np
 from repro.exceptions import FlowError
 from repro.flow.network import FlowNetwork
 from repro.flow.potentials import (
+    ResidualPricing,
     bellman_ford_potentials,
     dijkstra_reduced,
     extract_path,
@@ -62,15 +63,25 @@ class MinCostMaxFlow:
         #: Final node potentials; ``None`` until :meth:`solve` runs.
         self.potential: np.ndarray | None = None
 
-    def _shortest_paths(self, source: int, sink: int, potential: np.ndarray):
+    def _shortest_paths(
+        self,
+        source: int,
+        sink: int,
+        potential: np.ndarray,
+        pricing: ResidualPricing | None = None,
+    ):
         engine = self.engine
         if engine == "auto":
             # Dense, shallow graphs (the assignment networks) are fastest
             # under whole-graph scans; sparse deep ones under the heap.
             engine = "scan" if 2 * self.network.num_edges >= 4 * self.network.num_nodes else "dijkstra"
         if engine == "scan":
-            return scan_shortest_paths(self.network, source, potential, sink=sink)
-        return dijkstra_reduced(self.network, source, potential, sink=sink)
+            return scan_shortest_paths(
+                self.network, source, potential, sink=sink, pricing=pricing
+            )
+        return dijkstra_reduced(
+            self.network, source, potential, sink=sink, pricing=pricing
+        )
 
     def solve(self, source: int, sink: int) -> FlowResult:
         """Run MCMF from ``source`` to ``sink``; mutates the network."""
@@ -88,17 +99,22 @@ class MinCostMaxFlow:
             potential = bellman_ford_potentials(network, source)
         else:
             potential = np.zeros(network.num_nodes)
+        # Incremental pricing: active flags and reduced costs are maintained
+        # across augmentations instead of recompacted from scratch per phase.
+        pricing = ResidualPricing(network, potential)
         total_flow = 0
         total_cost = 0.0
         while True:
-            distance, in_edge = self._shortest_paths(source, sink, potential)
+            distance, in_edge = self._shortest_paths(
+                source, sink, potential, pricing=pricing
+            )
             if in_edge[sink] == -1:
                 self.potential = potential
                 return FlowResult(max_flow=total_flow, total_cost=total_cost)
             # The search stops once the sink settles, so unsettled nodes only
             # carry tentative labels; capping at distance[sink] keeps every
             # residual reduced cost non-negative (Johnson's invariant).
-            potential += np.minimum(distance, distance[sink])
+            potential = potential + np.minimum(distance, distance[sink])
 
             path = extract_path(network, source, sink, in_edge)
             bottleneck = int(cap[path].min())
@@ -107,3 +123,4 @@ class MinCostMaxFlow:
             cap[path ^ 1] += bottleneck
             total_flow += bottleneck
             total_cost += bottleneck * float(cost[path].sum())
+            pricing.update(potential, path)

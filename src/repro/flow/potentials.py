@@ -12,6 +12,10 @@ the pieces both solvers share:
 
 * :func:`dijkstra_reduced` — reduced-cost Dijkstra over the CSR arrays with
   vectorized per-node relaxation;
+* :class:`ResidualPricing` — incrementally maintained active flags and
+  reduced costs over the full CSR adjacency, so successive augmentations
+  reprice only the edges whose potentials or residual status actually
+  changed instead of rebuilding the compaction from scratch;
 * :func:`bellman_ford_potentials` — a queue-based Bellman-Ford (SPFA) that
   bootstraps valid potentials when original costs may be negative, with an
   explicit relaxation-count guard that raises :class:`FlowError` on a
@@ -64,8 +68,104 @@ def _compact_reduced(
     return act_indptr, act_edges, act_heads, act_reduced
 
 
+class ResidualPricing:
+    """Incrementally maintained edge pricing across MCMF augmentations.
+
+    :func:`_compact_reduced` rebuilds the active-edge compaction and
+    re-prices *every* residual edge at the start of every shortest-path run
+    — O(E) work per augmentation even though a single augmentation flips
+    the residual status of only the path edges and, in the common
+    late-solve case (``distance[sink] == 0``), changes no potential at all.
+
+    This class keeps the *full* CSR slot layout fixed and maintains, per
+    slot, an ``active`` flag and the ``reduced`` cost priced at the current
+    potentials.  Because boolean masking preserves CSR order, iterating the
+    full layout filtered by ``active`` visits edges in exactly the order of
+    the compacted arrays, so both engines relax the same edges at the same
+    values in the same sequence — distances and parent edges stay
+    bit-identical to the compacting path.
+
+    :meth:`update` folds one augmentation in: path slots get their active
+    flags refreshed from capacities, and reduced costs are recomputed only
+    on slots incident to nodes whose potential value changed.  When the
+    change set is a large fraction of the graph the incremental gather
+    costs more than it saves, so a full vectorized reprice runs instead.
+
+    The invariant throughout: every slot (active or not) carries the
+    reduced cost of its edge at ``self.potential``, computed by the same
+    elementwise formula and clamp as :func:`_compact_reduced`.
+    """
+
+    #: Full reprice once potentials changed on >= 1/FRACTION of the nodes.
+    FULL_REPRICE_FRACTION = 4
+
+    def __init__(self, network: FlowNetwork, potential: np.ndarray) -> None:
+        self.network = network
+        indptr, csr_edges = network.csr()
+        self.indptr = indptr
+        self.csr_edges = csr_edges
+        self.heads = network.edge_to[csr_edges]
+        self._tails = network.edge_tail[csr_edges]
+        self._costs = network.edge_cost[csr_edges]
+        #: Slot of each edge id in the CSR layout (inverse permutation).
+        self._slot_of = np.empty(csr_edges.size, dtype=np.int64)
+        self._slot_of[csr_edges] = np.arange(csr_edges.size, dtype=np.int64)
+        # Incoming-slot index: slots grouped by head node, so one changed
+        # node locates both its outgoing and incoming slots in O(degree).
+        order = np.argsort(self.heads, kind="stable")
+        self._in_order = order
+        self._in_indptr = np.searchsorted(
+            self.heads[order], np.arange(network.num_nodes + 1)
+        )
+        self.active = network.edge_cap[csr_edges] > 0
+        self.potential = np.array(potential, dtype=float, copy=True)
+        self.reduced = np.empty(csr_edges.size)
+        self._reprice(slice(None))
+
+    def _reprice(self, slots) -> None:
+        """Recompute ``reduced`` on ``slots`` at the current potentials.
+
+        Same elementwise expression and zero clamp as
+        :func:`_compact_reduced` — bit-identity depends on it.
+        """
+        reduced = (
+            self._costs[slots]
+            + self.potential[self._tails[slots]]
+            - self.potential[self.heads[slots]]
+        )
+        np.maximum(reduced, 0.0, out=reduced)
+        self.reduced[slots] = reduced
+
+    def update(self, new_potential: np.ndarray, path: np.ndarray) -> None:
+        """Fold one augmentation into the pricing.
+
+        ``path`` is the augmented path's edge ids *after* the caller pushed
+        flow (capacities already updated); both twins of every path edge
+        refresh their active flags.  Reduced costs are then repriced only
+        on slots incident to nodes whose potential value changed — by value
+        comparison, so a ``-0.0``/``+0.0`` flip (never observable in the
+        reduced-cost formula) does not trigger work.
+        """
+        twins = np.concatenate([path, path ^ 1])
+        self.active[self._slot_of[twins]] = self.network.edge_cap[twins] > 0
+        changed = np.nonzero(new_potential != self.potential)[0]
+        if changed.size == 0:
+            return
+        self.potential[:] = new_potential
+        if self.FULL_REPRICE_FRACTION * changed.size >= self.network.num_nodes:
+            self._reprice(slice(None))
+            return
+        out_slots, _ = csr_gather(self.indptr, changed)
+        in_slots = self._in_order[csr_gather(self._in_indptr, changed)[0]]
+        self._reprice(np.unique(np.concatenate([out_slots, in_slots])))
+
+
 def dijkstra_reduced(
-    network: FlowNetwork, source: int, potential: np.ndarray, sink: int | None = None
+    network: FlowNetwork,
+    source: int,
+    potential: np.ndarray,
+    sink: int | None = None,
+    pricing: ResidualPricing | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Shortest reduced-cost distances from ``source`` over residual edges.
 
@@ -80,10 +180,22 @@ def dijkstra_reduced(
     search stops as soon as the sink settles — tentative labels of unsettled
     nodes are then lower-bounded by ``distance[sink]``, which is exactly the
     cap the caller must apply when folding distances back into potentials.
+
+    With ``pricing`` the compaction step is skipped: the heap loop slices
+    the full CSR layout and filters each node's slots by the maintained
+    active mask, visiting the same edges at the same reduced costs in the
+    same order (``potential`` is then only used for documentation of the
+    contract — the pricing object carries the current values).
     """
-    act_indptr, act_edges, act_heads, act_reduced = _compact_reduced(
-        network, potential
-    )
+    if pricing is None:
+        act_indptr, act_edges, act_heads, act_reduced = _compact_reduced(
+            network, potential
+        )
+        active = None
+    else:
+        act_indptr, act_edges = pricing.indptr, pricing.csr_edges
+        act_heads, act_reduced = pricing.heads, pricing.reduced
+        active = pricing.active
     distance = np.full(network.num_nodes, np.inf)
     in_edge = np.full(network.num_nodes, -1, dtype=np.int64)
     done = np.zeros(network.num_nodes, dtype=bool)
@@ -99,8 +211,15 @@ def dijkstra_reduced(
         low, high = act_indptr[node], act_indptr[node + 1]
         if low == high:
             continue
-        targets = act_heads[low:high]
-        candidates = node_distance + act_reduced[low:high]
+        if active is None:
+            targets = act_heads[low:high]
+            candidates = node_distance + act_reduced[low:high]
+            edge_ids = act_edges[low:high]
+        else:
+            mask = active[low:high]
+            targets = act_heads[low:high][mask]
+            candidates = node_distance + act_reduced[low:high][mask]
+            edge_ids = act_edges[low:high][mask]
         better = np.nonzero(candidates < distance[targets] - COST_EPS)[0]
         for position in better:
             target = int(targets[position])
@@ -108,13 +227,17 @@ def dijkstra_reduced(
             # Re-check: the batch may relax the same target twice.
             if candidate < distance[target] - COST_EPS:
                 distance[target] = candidate
-                in_edge[target] = int(act_edges[low + position])
+                in_edge[target] = int(edge_ids[position])
                 heapq.heappush(heap, (candidate, target))
     return distance, in_edge
 
 
 def scan_shortest_paths(
-    network: FlowNetwork, source: int, potential: np.ndarray, sink: int | None = None
+    network: FlowNetwork,
+    source: int,
+    potential: np.ndarray,
+    sink: int | None = None,
+    pricing: ResidualPricing | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Label-correcting shortest paths by vectorized frontier scans.
 
@@ -135,10 +258,23 @@ def scan_shortest_paths(
     callers must cap dual updates at ``distance[sink]``, exactly as for the
     early-exiting Dijkstra.  This kills the label-correcting churn that
     otherwise re-relaxes most of the graph every level.
+
+    With ``pricing`` the compaction step is skipped: each frontier scan
+    gathers slots from the full CSR layout and filters the batch by the
+    maintained active mask.  Boolean masking preserves gather order, so
+    the batch holds the same edges at the same reduced costs in the same
+    sequence as the compacted arrays — the re-scatter resolution and hence
+    distances and parent edges stay bit-identical.
     """
-    act_indptr, act_edges, act_heads, act_reduced = _compact_reduced(
-        network, potential
-    )
+    if pricing is None:
+        act_indptr, act_edges, act_heads, act_reduced = _compact_reduced(
+            network, potential
+        )
+        active = None
+    else:
+        act_indptr, act_edges = pricing.indptr, pricing.csr_edges
+        act_heads, act_reduced = pricing.heads, pricing.reduced
+        active = pricing.active
     distance = np.full(network.num_nodes, np.inf)
     in_edge = np.full(network.num_nodes, -1, dtype=np.int64)
     distance[source] = 0.0
@@ -149,10 +285,23 @@ def scan_shortest_paths(
             if frontier.size == 0:
                 break
         positions, counts = csr_gather(act_indptr, frontier)
-        if positions.size == 0:
-            break
-        heads_batch = act_heads[positions]
-        candidates = np.repeat(distance[frontier], counts) + act_reduced[positions]
+        if active is not None:
+            # Repeat BEFORE masking so each candidate keeps its own node's
+            # label, then drop inactive slots — order is preserved.
+            base = np.repeat(distance[frontier], counts)
+            mask = active[positions]
+            positions = positions[mask]
+            if positions.size == 0:
+                break
+            heads_batch = act_heads[positions]
+            candidates = base[mask] + act_reduced[positions]
+        else:
+            if positions.size == 0:
+                break
+            heads_batch = act_heads[positions]
+            candidates = (
+                np.repeat(distance[frontier], counts) + act_reduced[positions]
+            )
         touched: list[np.ndarray] = []
         while True:
             limit = distance[heads_batch]

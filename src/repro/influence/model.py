@@ -18,6 +18,7 @@ Ablations (Section V-B1) drop one factor:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -106,6 +107,11 @@ class InfluenceModel:
         self._inner_columns: dict[Task, np.ndarray] = {}
         self._rows_in_graph: np.ndarray | None = None
         self._propagation_version = propagation.version
+        # The column caches above are mutated on lookup (fill + eviction), so
+        # concurrent shard prepares under the pipelined runtime serialize
+        # through this lock; the numpy math itself runs outside any cache
+        # mutation and stays parallel.
+        self._lock = threading.RLock()
 
     #: Soft cap on cached per-task columns; beyond it the oldest entries are
     #: evicted (insertion order).  Bounds memory on long multi-day runs where
@@ -183,15 +189,19 @@ class InfluenceModel:
     # ------------------------------------------------------------------- API
     def sigma(self, worker_id: int) -> float:
         """Informed range of ``worker_id`` (the AP metric's per-worker term)."""
-        return float(self._sigma_all()[self.graph.index_of(worker_id)])
+        with self._lock:
+            return float(self._sigma_all()[self.graph.index_of(worker_id)])
 
     def propagation_to_others(self, worker_id: int) -> float:
         """``sum_{w_j != w} P_pro(w, w_j)`` — Equation 7's per-pair term.
 
         Equals the informed range minus the self term ``P_pro(w, w)``.
         """
-        index = self.graph.index_of(worker_id)
-        value = float(self._sigma_all()[index] - self._self_propagation()[index])
+        with self._lock:
+            index = self.graph.index_of(worker_id)
+            value = float(
+                self._sigma_all()[index] - self._self_propagation()[index]
+            )
         return max(value, 0.0)
 
     def influence_matrix(
@@ -200,6 +210,12 @@ class InfluenceModel:
         """``if(w, s)`` for every candidate worker x task: shape ``(C, T)``."""
         if not workers or not tasks:
             return np.zeros((len(workers), len(tasks)))
+        with self._lock:
+            return self._influence_matrix_locked(workers, tasks)
+
+    def _influence_matrix_locked(
+        self, workers: Sequence[Worker], tasks: Sequence[Task]
+    ) -> np.ndarray:
         self._check_propagation_freshness()
         candidate_idx = self.graph.indices_of([w.worker_id for w in workers])
         use = self.components

@@ -54,7 +54,7 @@ from repro.stream.runtime import (
     StreamResult,
     StreamRuntime,
 )
-from repro.stream.shards import ShardLayout
+from repro.stream.shards import ShardLayout, ShardRebalancer, pack_components
 from repro.stream.scheduler import (
     AdaptiveTrigger,
     CountTrigger,
@@ -97,6 +97,8 @@ __all__ = [
     "ADMISSION_POLICIES",
     "ShardExecutor",
     "ShardLayout",
+    "ShardRebalancer",
+    "pack_components",
     "EXECUTOR_BACKENDS",
     "save_checkpoint",
     "load_checkpoint",

@@ -19,7 +19,11 @@ A checkpoint captures everything the runtime needs to continue
   **RNG state** of the runtime's generator, keeping adaptive policies and
   stochastic extensions on the same trajectory;
 * for sharded runs, the **shard layout** and the **per-shard RNG states**,
-  so a resumed run partitions its rounds identically;
+  so a resumed run partitions its rounds identically; with latency-driven
+  rebalancing, the layout may be a repack of the planned one and the
+  rebalancer's **EWMA state** rides along, so repack decisions replay
+  exactly — the pipeline flag and rebalance config are validated up front
+  with fast mismatch errors;
 * for admission-controlled runs, the **controller state** — overload flag,
   deferred backlog (as publish event indices) and cumulative counters — so
   a resumed run defers/sheds exactly as the uninterrupted one.
@@ -49,7 +53,10 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
 #: v3: relocation-aware pool/assignment event indices, admission-controller
 #:     state, and the wider per-round metrics rows
 #:     (relocated/deferred/shed columns).
-CHECKPOINT_VERSION = 3
+#: v4: pipeline flag, rebalancer config + EWMA state, component ids in the
+#:     shard-layout cells, and per-phase timing / repack columns in the
+#:     metrics rows.
+CHECKPOINT_VERSION = 4
 
 _EMPTY = np.zeros(0, dtype=np.int64)
 
@@ -124,6 +131,7 @@ def save_checkpoint(runtime: "StreamRuntime", path: str | Path) -> Path:
         "patience_hours": runtime.patience_hours,
         "trigger_kind": runtime.trigger.kind,
         "trigger": runtime.trigger.state_dict(),
+        "pipeline": runtime.pipeline,
         "rng_state": (
             runtime.rng.bit_generator.state if runtime.rng is not None else None
         ),
@@ -196,6 +204,8 @@ def validate_checkpoint_meta(
     sharded: bool,
     shard_request: dict | None = None,
     admission: dict | None = None,
+    pipeline: bool = False,
+    rebalance: dict | None = None,
 ) -> None:
     """Check a checkpoint's meta against a run configuration.
 
@@ -233,6 +243,28 @@ def validate_checkpoint_meta(
                 f"shards={shard_request['shards']}, "
                 f"cell_km={shard_request['cell_km']}"
             )
+    if bool(meta.get("pipeline")) != bool(pipeline):
+        saved = "a pipelined" if meta.get("pipeline") else "a non-pipelined"
+        built = "pipelined" if pipeline else "non-pipelined"
+        raise DataError(
+            f"checkpoint was taken from {saved} run, this run is {built} — "
+            "pass the same pipeline configuration"
+        )
+    saved_rebalance = (meta.get("shards") or {}).get("rebalance")
+    if (saved_rebalance is None) != (rebalance is None):
+        saved = "without" if saved_rebalance is None else "with"
+        built = "with" if rebalance is not None else "without"
+        raise DataError(
+            f"checkpoint was taken {saved} shard rebalancing, this run is "
+            f"{built} it — pass the same rebalance configuration"
+        )
+    if saved_rebalance is not None and rebalance is not None:
+        for field in ("interval", "alpha", "hysteresis"):
+            if saved_rebalance.get(field) != rebalance.get(field):
+                raise DataError(
+                    f"checkpoint rebalance {field}={saved_rebalance.get(field)!r} "
+                    f"does not match this run's {rebalance.get(field)!r}"
+                )
     saved_admission = meta.get("admission")
     if (saved_admission is None) != (admission is None):
         saved = "without" if saved_admission is None else "with"
@@ -278,11 +310,37 @@ def restore_runtime(runtime: "StreamRuntime", path: str | Path) -> "StreamRuntim
             if runtime.admission is not None
             else None
         ),
+        pipeline=runtime.pipeline,
+        rebalance=(
+            runtime.shard_executor.rebalancer.state_dict()
+            if runtime.shard_executor is not None
+            and runtime.shard_executor.rebalancer is not None
+            else None
+        ),
     )
     shard_meta = meta.get("shards")
     if shard_meta is not None:
         saved_layout = ShardLayout.from_state_dict(shard_meta["layout"])
-        if saved_layout != runtime.shard_executor.layout:
+        planned_layout = runtime.shard_executor.layout
+        if runtime.shard_executor.rebalancer is not None:
+            # Under rebalancing the saved layout may be a repack of the
+            # planned one: same cells, components and halo, different
+            # component→bin packing.  Validate the immutable parts, then
+            # adopt the saved packing so the resumed run buckets exactly
+            # like the interrupted one.
+            if (
+                saved_layout.cell_km != planned_layout.cell_km
+                or saved_layout.max_radius_km != planned_layout.max_radius_km
+                or saved_layout.num_shards != planned_layout.num_shards
+                or saved_layout.components != planned_layout.components
+            ):
+                raise DataError(
+                    "checkpoint shard layout does not match the runtime's "
+                    "(different shard count, planning cell size or "
+                    "component partition?)"
+                )
+            runtime.shard_executor.layout = saved_layout
+        elif saved_layout != planned_layout:
             raise DataError(
                 "checkpoint shard layout does not match the runtime's "
                 "(different shard count or planning cell size?)"

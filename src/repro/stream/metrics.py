@@ -28,6 +28,15 @@ class RoundRecord:
     ``relocated_workers`` counts live-worker relocations applied in the
     round's drain; ``deferred_tasks`` / ``shed_tasks`` count publish events
     diverted by the admission controller (both stay 0 without one).
+
+    The phase timings attribute the round's cost: ``drain_seconds`` covers
+    the event-cursor scan that fed the round, and
+    ``prepare_seconds`` / ``solve_seconds`` / ``merge_seconds`` split the
+    assignment block.  They are *cumulative per-phase spans* — under a
+    pipelined executor the shards' prepare/solve spans overlap, so the
+    phase sums can exceed the ``round_seconds`` wall clock (that gap is
+    exactly the pipelining win).  ``repacks`` counts shard-layout repacks
+    applied at this round's boundary (0 or 1 without custom rebalancers).
     """
 
     index: int
@@ -43,6 +52,11 @@ class RoundRecord:
     relocated_workers: int = 0
     deferred_tasks: int = 0
     shed_tasks: int = 0
+    drain_seconds: float = 0.0
+    prepare_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    repacks: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -126,6 +140,7 @@ class StreamMetrics:
         self.total_deferred = 0
         self.total_shed = 0
         self.total_drained = 0
+        self.total_repacks = 0
         self.wall_seconds = 0.0
 
     # ------------------------------------------------------------ recording
@@ -140,6 +155,7 @@ class StreamMetrics:
         self.total_deferred += record.deferred_tasks
         self.total_shed += record.shed_tasks
         self.total_drained += record.drained_events
+        self.total_repacks += record.repacks
 
     def on_assigned(self, task_wait_hours: float, worker_wait_hours: float) -> None:
         """Record one matched pair's waits (publication/arrival to round)."""
@@ -157,6 +173,17 @@ class StreamMetrics:
         """Percentiles of per-round assignment latency in seconds."""
         latencies = [r.round_seconds for r in self.rounds]
         return {q: _percentile(latencies, q) for q in qs}
+
+    def phase_totals(self) -> dict[str, float]:
+        """Cumulative per-phase seconds across all recorded rounds.
+
+        Sums can exceed ``wall_seconds`` under a pipelined executor — the
+        phases are measured as per-shard spans, which overlap in time.
+        """
+        return {
+            phase: sum(getattr(r, f"{phase}_seconds") for r in self.rounds)
+            for phase in ("drain", "prepare", "solve", "merge")
+        }
 
     def task_wait_percentiles(
         self, qs: Sequence[float] = (50.0, 90.0, 99.0)
@@ -226,7 +253,11 @@ class StreamMetrics:
     def load_state_dict(self, state: dict[str, Any]) -> None:
         """Restore :meth:`state_dict` output bit-exactly."""
         fields = RoundRecord.__slots__
-        int_fields = {name for name in fields if name not in ("time", "round_seconds")}
+        float_fields = {
+            "time", "round_seconds", "drain_seconds", "prepare_seconds",
+            "solve_seconds", "merge_seconds",
+        }
+        int_fields = {name for name in fields if name not in float_fields}
         self.__init__()
         for row in np.asarray(state["rounds"], dtype=float).reshape(-1, len(fields)):
             values = {

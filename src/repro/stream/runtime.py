@@ -26,6 +26,19 @@ core the offline :class:`~repro.assignment.PartitionedAssigner` uses.
 Because no feasible pair crosses shards, the sharded round solves the same
 problem as the unsharded one, split into independent sub-problems.
 
+Two optional layers sit on top of sharding.  **Pipelining**
+(``StreamRuntime(pipeline=True)``) overlaps the per-shard phases on the
+executor's pool instead of running prepare-all-then-solve-all; results are
+collected and merged in ascending shard order, so the rounds stay
+bit-identical to the serial schedule.  **Latency-driven rebalancing**
+(``StreamRuntime(rebalance=ShardRebalancer(...))``) replaces the planner's
+count-based component→shard packing with an EWMA of observed per-component
+solve latency, repacked at deterministic round-index boundaries — whole
+components move between bins, so the never-split invariant (and hence
+assignment equivalence) is untouched.  Per-phase timings
+(drain/prepare/solve/merge) and repack counts land on every
+:class:`~repro.stream.metrics.RoundRecord`.
+
 The runtime is resumable: ``run(max_rounds=...)`` stops after a bounded
 number of rounds with all state intact, :meth:`checkpoint` snapshots that
 state to disk (including shard layout and per-shard RNG state), and
@@ -39,6 +52,7 @@ import os
 import time
 from concurrent.futures import Executor as _FuturesExecutor
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
@@ -52,7 +66,7 @@ from repro.influence import InfluenceModel
 from repro.stream.events import KIND_PUBLISH, EventLog
 from repro.stream.metrics import RoundRecord, StreamMetrics, StreamSummary
 from repro.stream.scheduler import Trigger
-from repro.stream.shards import ShardLayout
+from repro.stream.shards import ShardLayout, ShardRebalancer
 from repro.stream.state import StreamState
 
 
@@ -264,9 +278,32 @@ class AdmissionController:
         self._round_shed = 0
 
 
-def _assign_shard(assigner: Assigner, prepared: PreparedInstance) -> Assignment:
-    """One shard's solve — module-level so process pools can pickle it."""
-    return assigner.assign(prepared)
+def _solve_shard(
+    assigner: Assigner, shard: int, prepared: PreparedInstance
+) -> tuple[int, Assignment, float]:
+    """One shard's timed solve — module-level so process pools can pickle it."""
+    started = time.perf_counter()
+    part = assigner.assign(prepared)
+    return shard, part, time.perf_counter() - started
+
+
+@dataclass(frozen=True)
+class RoundExecution:
+    """One sharded round's outcome with its per-phase cost attribution.
+
+    The phase spans are *cumulative across shards*: under the pipelined
+    executor the per-shard prepare/solve spans overlap in time, so their
+    sum can exceed the round's wall clock — that gap is the overlap win.
+    ``shard_seconds`` keeps the per-shard solve spans for the latency
+    rebalancer's EWMA.
+    """
+
+    assignment: Assignment
+    waits: list[tuple[float, float]]
+    prepare_seconds: float
+    solve_seconds: float
+    merge_seconds: float
+    shard_seconds: dict[int, float] = field(default_factory=dict)
 
 
 class ShardExecutor:
@@ -279,10 +316,19 @@ class ShardExecutor:
     per shard), solve the shards on the configured backend, and merge the
     per-shard assignments in ascending shard order.
 
-    Preparation always happens in the calling thread — prepared instances
-    are fully materialized (feasibility, influence, entropy) before
-    dispatch, so worker threads/processes only run the solver and never
-    touch the shared influence-model caches concurrently.
+    In the default (non-pipelined) mode preparation happens in the calling
+    thread — prepared instances are fully materialized (feasibility,
+    influence, entropy) before dispatch, so workers only run the solver.
+    In **pipelined** mode (``run_round(..., pipeline=True)``) the phases
+    overlap: on the thread backend each shard's prepare+solve runs as one
+    unit on the pool (per-shard ``RoundState`` objects are disjoint and the
+    influence model's column caches are lock-protected, so concurrent
+    prepares are safe); on the process backend preparation stays in the
+    caller — the caches live in this process — but each shard is submitted
+    as soon as it is prepared, so earlier shards solve while later shards
+    prepare.  Results are always collected in ascending shard order and
+    every prepared instance is deterministic regardless of which thread
+    built it, so pipelined rounds are bit-identical to serial ones.
 
     Backends
     --------
@@ -314,6 +360,7 @@ class ShardExecutor:
         backend: str = "serial",
         max_workers: int | None = None,
         rng: np.random.Generator | None = None,
+        rebalancer: ShardRebalancer | None = None,
     ) -> None:
         if backend not in EXECUTOR_BACKENDS:
             raise ValueError(
@@ -325,6 +372,7 @@ class ShardExecutor:
         self.layout = layout
         self.influence = influence
         self.backend = backend
+        self.rebalancer = rebalancer
         # Cap the default at the core count: pools wider than the machine
         # only add fork/pickle overhead (notably on the process backend).
         self.max_workers = max_workers or min(
@@ -373,14 +421,48 @@ class ShardExecutor:
                 self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
         return self._pool
 
+    def _prepare_and_solve(
+        self,
+        shard: int,
+        state: StreamState,
+        sub_instance: SCInstance,
+        assigner: Assigner,
+    ) -> tuple[int, Assignment, float, float]:
+        """One shard's prepare+solve unit (the pipelined thread-pool task)."""
+        started = time.perf_counter()
+        prepared = self._prepare_shard(shard, state, sub_instance)
+        prepared_at = time.perf_counter()
+        part = assigner.assign(prepared)
+        return shard, part, prepared_at - started, time.perf_counter() - prepared_at
+
+    def _component_entities(self, state: StreamState) -> dict[int, int]:
+        """Pooled entities per layout component (rebalancer attribution)."""
+        layout = self.layout
+        counts: dict[int, int] = {}
+        for worker in state.workers.values():
+            component = layout.component_of(worker.location)
+            if component >= 0:
+                counts[component] = counts.get(component, 0) + 1
+        for task in state.tasks.values():
+            component = layout.component_of(task.location)
+            if component >= 0:
+                counts[component] = counts.get(component, 0) + 1
+        return counts
+
     def run_round(
-        self, state: StreamState, assigner: Assigner, now: float
-    ) -> tuple[Assignment, list[tuple[float, float]]]:
+        self,
+        state: StreamState,
+        assigner: Assigner,
+        now: float,
+        pipeline: bool = False,
+    ) -> RoundExecution:
         """Solve one round shard-by-shard and retire the matched pairs.
 
-        Returns the merged assignment plus per-pair waits, exactly like
-        :meth:`StreamState.run_assignment` — the runtime treats the two
-        paths interchangeably.
+        Returns a :class:`RoundExecution` whose assignment and waits match
+        :meth:`StreamState.run_assignment` bit-for-bit — the runtime treats
+        the two paths interchangeably.  ``pipeline=True`` overlaps the
+        per-shard phases (see the class docstring); it is a no-op on the
+        serial backend and for rounds with at most one populated shard.
         """
         layout = self.layout
         buckets = bucket_pools(
@@ -388,26 +470,105 @@ class ShardExecutor:
             (state.tasks[key] for key in sorted(state.tasks)),
             layout.shard_of,
         )
-        work: list[tuple[int, PreparedInstance]] = []
+        component_entities = (
+            self._component_entities(state) if self.rebalancer is not None else {}
+        )
+        shard_instances: list[tuple[int, SCInstance]] = []
         for shard in sorted(buckets):
             workers, tasks = buckets[shard]
             if not workers or not tasks:
                 continue
             sub_instance = state.base_instance.with_workers(workers).with_tasks(tasks)
             sub_instance.current_time = now
-            work.append((shard, self._prepare_shard(shard, state, sub_instance)))
+            shard_instances.append((shard, sub_instance))
 
-        if self.backend == "serial" or len(work) <= 1:
-            parts = [assigner.assign(prepared) for _, prepared in work]
-        else:
+        prepare_seconds = 0.0
+        solve_seconds = 0.0
+        shard_seconds: dict[int, float] = {}
+        parts: list[Assignment] = []
+
+        def collect(shard: int, part: Assignment, solved: float) -> None:
+            nonlocal solve_seconds
+            parts.append(part)
+            solve_seconds += solved
+            shard_seconds[shard] = shard_seconds.get(shard, 0.0) + solved
+
+        pipelined = (
+            pipeline and self.backend != "serial" and len(shard_instances) > 1
+        )
+        if pipelined and self.backend == "thread":
+            # Whole prepare+solve units on the pool: shard k+1 prepares
+            # while shard k solves, and collection in ascending shard
+            # order merges finished shards while later ones still run.
             pool = self._pool_executor()
             futures = [
-                pool.submit(_assign_shard, assigner, prepared)
-                for _, prepared in work
+                pool.submit(self._prepare_and_solve, shard, state, sub, assigner)
+                for shard, sub in shard_instances
             ]
-            parts = [future.result() for future in futures]
+            for future in futures:
+                shard, part, prep, solved = future.result()
+                prepare_seconds += prep
+                collect(shard, part, solved)
+        elif pipelined:
+            # Process backend: prepare in-caller (the influence caches live
+            # here), but submit each shard the moment it is prepared so
+            # earlier shards solve while later shards prepare.
+            pool = self._pool_executor()
+            futures = []
+            for shard, sub_instance in shard_instances:
+                started = time.perf_counter()
+                prepared = self._prepare_shard(shard, state, sub_instance)
+                prepare_seconds += time.perf_counter() - started
+                futures.append(pool.submit(_solve_shard, assigner, shard, prepared))
+            for future in futures:
+                collect(*future.result())
+        else:
+            work: list[tuple[int, PreparedInstance]] = []
+            for shard, sub_instance in shard_instances:
+                started = time.perf_counter()
+                work.append((shard, self._prepare_shard(shard, state, sub_instance)))
+                prepare_seconds += time.perf_counter() - started
+            if self.backend == "serial" or len(work) <= 1:
+                for shard, prepared in work:
+                    collect(*_solve_shard(assigner, shard, prepared))
+            else:
+                pool = self._pool_executor()
+                futures = [
+                    pool.submit(_solve_shard, assigner, shard, prepared)
+                    for shard, prepared in work
+                ]
+                for future in futures:
+                    collect(*future.result())
+
+        merge_started = time.perf_counter()
         merged = merge_assignments(parts)
-        return merged, state.retire_pairs(merged, now)
+        waits = state.retire_pairs(merged, now)
+        merge_seconds = time.perf_counter() - merge_started
+        if self.rebalancer is not None:
+            self.rebalancer.observe(layout, shard_seconds, component_entities)
+        return RoundExecution(
+            assignment=merged,
+            waits=waits,
+            prepare_seconds=prepare_seconds,
+            solve_seconds=solve_seconds,
+            merge_seconds=merge_seconds,
+            shard_seconds=shard_seconds,
+        )
+
+    def maybe_repack(self, round_index: int) -> int:
+        """Apply a latency-driven repack at this round boundary.
+
+        Returns the number of repacks applied (0 or 1).  Delegates the
+        decision to the configured :class:`ShardRebalancer`; without one
+        the layout is immutable and this is a no-op.
+        """
+        if self.rebalancer is None:
+            return 0
+        repacked = self.rebalancer.maybe_repack(round_index, self.layout)
+        if repacked is None:
+            return 0
+        self.layout = repacked
+        return 1
 
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:
@@ -418,19 +579,24 @@ class ShardExecutor:
 
     # ----------------------------------------------------------- checkpoints
     def state_dict(self) -> dict[str, Any]:
-        """Layout + per-shard RNG states (JSON-serializable)."""
-        return {
+        """Layout + per-shard RNG states (+ EWMA state when rebalancing)."""
+        state = {
             "layout": self.layout.state_dict(),
             "rngs": [
                 self.rngs[shard].bit_generator.state
                 for shard in range(self.layout.num_shards)
             ],
         }
+        if self.rebalancer is not None:
+            state["rebalance"] = self.rebalancer.state_dict()
+        return state
 
     def load_state_dict(self, state: dict[str, Any]) -> None:
-        """Restore per-shard RNG states (the layout is validated upstream)."""
+        """Restore per-shard RNG (and EWMA) state; layout validated upstream."""
         for shard, rng_state in enumerate(state["rngs"]):
             self.rngs[shard].bit_generator.state = rng_state
+        if self.rebalancer is not None and state.get("rebalance") is not None:
+            self.rebalancer.load_state_dict(state["rebalance"])
 
 
 class StreamRuntime:
@@ -480,6 +646,16 @@ class StreamRuntime:
     shard_cell_km:
         Planning cell size for the shard layout (default: the log's
         largest worker radius).
+    pipeline:
+        Overlap the per-shard round phases on the executor's worker pool
+        (see :class:`ShardExecutor`): bit-identical results, lower round
+        wall clock.  Requires ``shards``; a no-op on the serial backend.
+    rebalance:
+        Optional :class:`~repro.stream.shards.ShardRebalancer` repacking
+        the component→shard layout from an EWMA of observed per-component
+        solve latency at deterministic round boundaries.  Requires
+        ``shards``; assignments stay equivalent under any repack because
+        only whole never-split components move between bins.
     admission:
         Optional :class:`AdmissionController` deferring/shedding low-value
         task admissions when observed round latency exceeds its budget.
@@ -503,17 +679,24 @@ class StreamRuntime:
         executor: str = "serial",
         shard_cell_km: float | None = None,
         admission: AdmissionController | None = None,
+        pipeline: bool = False,
+        rebalance: ShardRebalancer | None = None,
     ) -> None:
         if patience_hours is not None and patience_hours < 0:
             raise ValueError(
                 f"patience_hours must be non-negative, got {patience_hours}"
             )
+        if pipeline and shards is None:
+            raise ValueError("pipeline=True requires shards")
+        if rebalance is not None and shards is None:
+            raise ValueError("rebalance requires shards")
         self.assigner = assigner
         self.trigger = trigger
         self.log = log
         self.patience_hours = patience_hours
         self.rng = rng
         self.admission = admission
+        self.pipeline = pipeline
         self.shard_executor: ShardExecutor | None = None
         #: The *requested* shard configuration (vs the planned layout, which
         #: may use fewer bins); persisted in checkpoints so a resume with a
@@ -522,7 +705,8 @@ class StreamRuntime:
         if shards is not None:
             layout = ShardLayout.plan(log, shards, cell_km=shard_cell_km)
             self.shard_executor = ShardExecutor(
-                layout, influence=influence_model, backend=executor, rng=rng
+                layout, influence=influence_model, backend=executor, rng=rng,
+                rebalancer=rebalance,
             )
             self.shard_request = {"shards": shards, "cell_km": shard_cell_km}
         self.state = StreamState(
@@ -643,27 +827,47 @@ class StreamRuntime:
 
     # ----------------------------------------------------------------- round
     def _fire_round(self, fire_time: float) -> RoundRecord:
+        drain_started = time.perf_counter()
         drained, expired, churned, cancelled, relocated = self._drain_until(
             fire_time
         )
+        drain_seconds = time.perf_counter() - drain_started
         state = self.state
         pool_workers = state.num_online_workers
         pool_tasks = state.num_open_tasks
         assigned = 0
         elapsed = 0.0
+        prepare_seconds = solve_seconds = merge_seconds = 0.0
         if pool_workers and pool_tasks:
             started = time.perf_counter()
             if self.shard_executor is not None:
-                assignment, waits = self.shard_executor.run_round(
-                    state, self.assigner, fire_time
+                execution = self.shard_executor.run_round(
+                    state, self.assigner, fire_time, pipeline=self.pipeline
                 )
+                assignment, waits = execution.assignment, execution.waits
+                prepare_seconds = execution.prepare_seconds
+                solve_seconds = execution.solve_seconds
+                merge_seconds = execution.merge_seconds
             else:
-                assignment, waits = state.run_assignment(self.assigner, fire_time)
+                # The unsharded composition of run_assignment, phase-timed.
+                prepared = state.prepare_round(fire_time)
+                prepare_seconds = time.perf_counter() - started
+                assignment = self.assigner.assign(prepared)
+                solve_seconds = time.perf_counter() - started - prepare_seconds
+                merge_started = time.perf_counter()
+                waits = state.retire_pairs(assignment, fire_time)
+                merge_seconds = time.perf_counter() - merge_started
             elapsed = time.perf_counter() - started
             for pair, (task_wait, worker_wait) in zip(assignment, waits):
                 self._result.assignment.add(pair.task, pair.worker)
                 self._result.metrics.on_assigned(task_wait, worker_wait)
             assigned = len(assignment)
+        repacks = 0
+        if self.shard_executor is not None:
+            # Latency-driven repacking fires at deterministic round-index
+            # boundaries, after this round's EWMA observation and before
+            # the next round's bucketing — never on wall-clock.
+            repacks = self.shard_executor.maybe_repack(len(self._result.rounds))
         deferred = shed = 0
         if self.admission is not None:
             deferred, shed = self.admission.take_round_counts()
@@ -681,6 +885,11 @@ class StreamRuntime:
             relocated_workers=relocated,
             deferred_tasks=deferred,
             shed_tasks=shed,
+            drain_seconds=drain_seconds,
+            prepare_seconds=prepare_seconds,
+            solve_seconds=solve_seconds,
+            merge_seconds=merge_seconds,
+            repacks=repacks,
         )
         self._result.metrics.on_round(record)
         self.trigger.on_round(record)
@@ -714,9 +923,16 @@ class StreamRuntime:
 
     def close(self) -> None:
         """Release executor resources (worker pools); the runtime stays
-        resumable — a later ``run`` simply recreates the pool."""
+        resumable — a later ``run`` simply recreates the pool.  Idempotent:
+        closing twice (or a runtime that never ran) is a no-op."""
         if self.shard_executor is not None:
             self.shard_executor.close()
+
+    def __enter__(self) -> "StreamRuntime":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ----------------------------------------------------------- checkpoints
     def checkpoint(self, path: str | Path) -> Path:
@@ -742,6 +958,8 @@ class StreamRuntime:
         executor: str = "serial",
         shard_cell_km: float | None = None,
         admission: AdmissionController | None = None,
+        pipeline: bool = False,
+        rebalance: ShardRebalancer | None = None,
     ) -> "StreamRuntime":
         """Reconstruct a runtime from a checkpoint and the original log.
 
@@ -751,7 +969,10 @@ class StreamRuntime:
         state (overload flag + deferred backlog), shard layout and RNG
         state (runtime-level and per-shard), after verifying the log
         fingerprint — and, for sharded runs, the replanned layout —
-        matches.
+        matches.  Pipeline/rebalance configuration must match the
+        checkpointed run too; with rebalancing, the saved (possibly
+        repacked) layout and EWMA state are adopted so repack decisions
+        replay exactly.
         """
         from repro.stream.checkpoint import restore_runtime
 
@@ -769,6 +990,8 @@ class StreamRuntime:
             executor=executor,
             shard_cell_km=shard_cell_km,
             admission=admission,
+            pipeline=pipeline,
+            rebalance=rebalance,
         )
         restore_runtime(runtime, path)
         return runtime

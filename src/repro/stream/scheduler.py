@@ -51,7 +51,16 @@ class Trigger(abc.ABC):
         return None
 
     def on_round(self, record: "RoundRecord") -> None:
-        """Observe a completed round (adaptive triggers tune themselves)."""
+        """Observe a completed round (adaptive triggers tune themselves).
+
+        The record carries per-phase timings
+        (``drain_seconds``/``prepare_seconds``/``solve_seconds``/
+        ``merge_seconds``) alongside ``round_seconds``; note the phase
+        spans are cumulative across shards and can exceed the wall clock
+        under the pipelined executor, so latency-budget policies (like
+        :class:`AdaptiveTrigger`'s default ``cost_of``) should keep keying
+        off ``round_seconds``, the true per-round wall time.
+        """
 
     def state_dict(self) -> dict[str, Any]:
         """Serializable adaptation state (empty when stateless)."""

@@ -11,7 +11,11 @@ asserts the three equivalences the streaming stack claims, bit for bit:
 2. **Sharded == unsharded** — across shard counts, assigners and
    executor backends, on the full scenario log (relocations, churn,
    cancellations and all).
-3. **Checkpoint/resume** — a v3 checkpoint taken mid-stream (mid-
+3. **Pipelined == serial** — the overlapped executor and latency-driven
+   shard rebalancing change wall-clock behaviour only: pairs, round
+   records and wait distributions stay bit-identical across the same
+   scenario / assigner / backend matrix.
+4. **Checkpoint/resume** — a v4 checkpoint taken mid-stream (mid-
    relocation wave where the scenario has one) resumes event-for-event
    identically, admission-control state included.
 
@@ -33,7 +37,12 @@ from repro.assignment import (
     NearestNeighborAssigner,
 )
 from repro.framework import OnlineSimulator
-from repro.stream import AdmissionController, StreamRuntime, TimeWindowTrigger
+from repro.stream import (
+    AdmissionController,
+    ShardRebalancer,
+    StreamRuntime,
+    TimeWindowTrigger,
+)
 from repro.stream.events import KIND_PUBLISH, KIND_RELOCATE
 
 from tests.scenarios.generators import SCENARIOS
@@ -188,6 +197,78 @@ class TestShardedUnsharded:
                     assert layout.shard_of(task.location) == shard
 
 
+def eager_rebalancer():
+    """A rebalancer that repacks as often as the hysteresis gate allows,
+    fed by a deterministic latency signal (entity counts, not wall time)."""
+    return ShardRebalancer(
+        interval=2, hysteresis=0.0, latency_of=lambda shard, n, seconds: float(n)
+    )
+
+
+class TestPipelinedSerial:
+    """Pipelining and rebalancing change wall clock only — never output."""
+
+    def test_all_scenarios_pipelined_thread(self, scenario, nn_reference):
+        shards = scenario.shard_counts[-1]
+        pipelined = run_stream(
+            scenario, NearestNeighborAssigner(), shards=shards,
+            executor="thread", pipeline=True,
+        )
+        assert pairs(pipelined) == pairs(nn_reference)
+        assert round_rows(pipelined) == round_rows(nn_reference)
+        assert sorted(pipelined.metrics.task_waits) == sorted(
+            nn_reference.metrics.task_waits
+        )
+
+    @pytest.mark.parametrize("assigner_cls", [
+        IAAssigner, MTAAssigner, EIAAssigner, MIAssigner,
+    ])
+    def test_all_assigners_pipelined(self, assigner_cls):
+        for name in ("multi_city", "mass_relocation"):
+            scenario = SCENARIOS[name]()
+            shards = scenario.shard_counts[-1]
+            serial = run_stream(scenario, assigner_cls(), shards=shards)
+            pipelined = run_stream(
+                scenario, assigner_cls(), shards=shards,
+                executor="thread", pipeline=True,
+            )
+            assert pairs(pipelined) == pairs(serial), name
+            assert round_rows(pipelined) == round_rows(serial), name
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_executor_backends_pipelined(self, backend):
+        scenario = SCENARIOS["mass_relocation"]()
+        plain = run_stream(scenario, NearestNeighborAssigner())
+        pipelined = run_stream(
+            scenario, NearestNeighborAssigner(), shards=4,
+            executor=backend, pipeline=True,
+        )
+        assert pairs(pipelined) == pairs(plain)
+        assert round_rows(pipelined) == round_rows(plain)
+
+    def test_rebalancing_is_assignment_equivalent(self, scenario, nn_reference):
+        shards = scenario.shard_counts[-1]
+        rebalanced = run_stream(
+            scenario, NearestNeighborAssigner(), shards=shards,
+            rebalance=eager_rebalancer(),
+        )
+        assert pairs(rebalanced) == pairs(nn_reference)
+        assert round_rows(rebalanced) == round_rows(nn_reference)
+        assert sorted(rebalanced.metrics.task_waits) == sorted(
+            nn_reference.metrics.task_waits
+        )
+
+    def test_pipelined_rebalancing_full_stack(self):
+        scenario = SCENARIOS["rush_hour_relocation"]()
+        plain = run_stream(scenario, NearestNeighborAssigner())
+        stacked = run_stream(
+            scenario, NearestNeighborAssigner(), shards=scenario.shard_counts[-1],
+            executor="thread", pipeline=True, rebalance=eager_rebalancer(),
+        )
+        assert pairs(stacked) == pairs(plain)
+        assert round_rows(stacked) == round_rows(plain)
+
+
 def mid_relocation_round(full_result, log) -> int:
     """A round count whose cursor lands inside the relocation window."""
     relocations = log.times[log.kinds == KIND_RELOCATE]
@@ -201,7 +282,7 @@ def mid_relocation_round(full_result, log) -> int:
 
 
 class TestCheckpointResume:
-    """v3 checkpoints resume event-for-event identically, mid-relocation."""
+    """v4 checkpoints resume event-for-event identically, mid-relocation."""
 
     def test_resume_matches_uninterrupted(self, scenario, nn_reference, tmp_path):
         stop_after = mid_relocation_round(nn_reference, scenario.log)
@@ -249,6 +330,34 @@ class TestCheckpointResume:
             patience_hours=scenario.patience_hours, shards=4,
             admission=controller(),
         ).run()
+        assert pairs(resumed) == pairs(full)
+        assert round_rows(resumed) == round_rows(full)
+
+    def test_pipelined_rebalanced_resume(self, tmp_path):
+        """A v4 checkpoint taken mid-pipeline — overlapped executor and
+        rebalancer EWMA state live — resumes event-for-event identically."""
+        scenario = SCENARIOS["mass_relocation"]()
+        kwargs = dict(shards=4, executor="thread", pipeline=True)
+        full = run_stream(
+            scenario, NearestNeighborAssigner(),
+            rebalance=eager_rebalancer(), **kwargs,
+        )
+        interrupted = make_runtime(
+            scenario, NearestNeighborAssigner(),
+            rebalance=eager_rebalancer(), **kwargs,
+        )
+        try:
+            interrupted.run(max_rounds=mid_relocation_round(full, scenario.log))
+            saved = interrupted.checkpoint(tmp_path / "pipelined.npz")
+        finally:
+            interrupted.close()
+        with StreamRuntime.resume(
+            saved, NearestNeighborAssigner(), None,
+            TimeWindowTrigger(scenario.batch_hours), scenario.base, scenario.log,
+            patience_hours=scenario.patience_hours,
+            rebalance=eager_rebalancer(), **kwargs,
+        ) as runtime:
+            resumed = runtime.run()
         assert pairs(resumed) == pairs(full)
         assert round_rows(resumed) == round_rows(full)
 

@@ -269,7 +269,7 @@ class TestCheckpointValidation:
         runtime.run(max_rounds=1)
         saved = runtime.checkpoint(tmp_path / "ck.npz")
         payload = load_checkpoint(saved)
-        assert payload["meta"]["version"] == 3
+        assert payload["meta"]["version"] == 4
 
         import json
 

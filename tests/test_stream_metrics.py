@@ -142,3 +142,54 @@ class TestAdmissionAndRelocationMetrics:
         assert record.relocated_workers == 0
         assert record.deferred_tasks == 0
         assert record.shed_tasks == 0
+
+
+class TestPhaseTimings:
+    def _phased_record(self, index=0, **phases):
+        return RoundRecord(
+            index=index, time=float(index), online_workers=0, open_tasks=0,
+            drained_events=0, assigned=0, expired_tasks=0, churned_workers=0,
+            cancelled_tasks=0, round_seconds=0.5, **phases,
+        )
+
+    def test_default_phase_fields_are_zero(self):
+        record = make_record()
+        assert record.drain_seconds == 0.0
+        assert record.prepare_seconds == 0.0
+        assert record.solve_seconds == 0.0
+        assert record.merge_seconds == 0.0
+        assert record.repacks == 0
+
+    def test_phase_totals_accumulate(self):
+        metrics = StreamMetrics()
+        metrics.on_round(self._phased_record(
+            0, drain_seconds=0.1, prepare_seconds=0.2, solve_seconds=0.3,
+            merge_seconds=0.05, repacks=1,
+        ))
+        metrics.on_round(self._phased_record(
+            1, drain_seconds=0.1, prepare_seconds=0.3, solve_seconds=0.1,
+        ))
+        totals = metrics.phase_totals()
+        assert totals["drain"] == pytest.approx(0.2)
+        assert totals["prepare"] == pytest.approx(0.5)
+        assert totals["solve"] == pytest.approx(0.4)
+        assert totals["merge"] == pytest.approx(0.05)
+        assert metrics.total_repacks == 1
+
+    def test_phase_fields_roundtrip_state_dict(self):
+        metrics = StreamMetrics()
+        metrics.on_round(self._phased_record(
+            0, drain_seconds=0.125, prepare_seconds=0.25, solve_seconds=0.0625,
+            merge_seconds=0.03125, repacks=2,
+        ))
+        restored = StreamMetrics()
+        restored.load_state_dict(metrics.state_dict())
+        record = restored.rounds[0]
+        assert record.drain_seconds == 0.125
+        assert record.prepare_seconds == 0.25
+        assert record.solve_seconds == 0.0625
+        assert record.merge_seconds == 0.03125
+        assert record.repacks == 2
+        assert isinstance(record.repacks, int)
+        assert restored.total_repacks == 2
+        assert restored.phase_totals() == metrics.phase_totals()

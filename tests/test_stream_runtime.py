@@ -445,3 +445,98 @@ class TestAdmissionFinalFlush:
         assert result.metrics.total_deferred == 4
         # The final round assigned the force-released tasks.
         assert result.total_assigned == 4
+
+
+def clustered(num_workers=60, num_tasks=70, seed=41):
+    from repro.stream import synthetic_stream
+
+    return synthetic_stream(
+        num_workers=num_workers, num_tasks=num_tasks, duration_hours=24.0,
+        area_km=20.0, valid_hours=4.0, reachable_km=8.0,
+        churn_fraction=0.05, cancel_fraction=0.02, clusters=4, seed=seed,
+    )
+
+
+def round_rows(result):
+    return [
+        (r.index, r.time, r.online_workers, r.open_tasks, r.drained_events,
+         r.assigned, r.expired_tasks, r.churned_workers, r.cancelled_tasks)
+        for r in result.rounds
+    ]
+
+
+class TestPipelinedRuntime:
+    """The overlapped executor: same output, phase timings recorded."""
+
+    def test_pipeline_requires_shards(self):
+        base, log = clustered(num_workers=10, num_tasks=10)
+        with pytest.raises(ValueError, match="pipeline=True requires shards"):
+            StreamRuntime(
+                NearestNeighborAssigner(), None, TimeWindowTrigger(1.0),
+                base, log, pipeline=True,
+            )
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_pipelined_matches_serial(self, backend):
+        base, log = clustered()
+        plain = StreamRuntime(
+            NearestNeighborAssigner(), None, HybridTrigger(32, 1.0), base, log,
+        ).run()
+        with StreamRuntime(
+            NearestNeighborAssigner(), None, HybridTrigger(32, 1.0), base, log,
+            shards=4, executor=backend, pipeline=True,
+        ) as runtime:
+            pipelined = runtime.run()
+        assert pairs(pipelined) == pairs(plain)
+        assert round_rows(pipelined) == round_rows(plain)
+
+    def test_phase_timings_recorded(self):
+        base, log = clustered()
+        with StreamRuntime(
+            NearestNeighborAssigner(), None, HybridTrigger(32, 1.0), base, log,
+            shards=4, executor="thread", pipeline=True,
+        ) as runtime:
+            result = runtime.run()
+        busy = [r for r in result.rounds if r.assigned > 0]
+        assert busy, "world must assign something"
+        for record in busy:
+            assert record.prepare_seconds > 0.0
+            assert record.solve_seconds > 0.0
+            assert record.merge_seconds >= 0.0
+            assert record.drain_seconds >= 0.0
+        totals = result.metrics.phase_totals()
+        assert set(totals) == {"drain", "prepare", "solve", "merge"}
+        assert totals["prepare"] == sum(r.prepare_seconds for r in result.rounds)
+
+    def test_unsharded_rounds_report_phases_too(self):
+        base, log = clustered()
+        result = StreamRuntime(
+            NearestNeighborAssigner(), None, HybridTrigger(32, 1.0), base, log,
+        ).run()
+        busy = [r for r in result.rounds if r.assigned > 0]
+        assert busy and all(r.prepare_seconds > 0.0 for r in busy)
+        assert all(r.repacks == 0 for r in result.rounds)
+
+    def test_close_is_idempotent_and_reusable_as_context_manager(self):
+        base, log = clustered(num_workers=20, num_tasks=20)
+        runtime = StreamRuntime(
+            NearestNeighborAssigner(), None, TimeWindowTrigger(2.0), base, log,
+            shards=2, executor="thread", pipeline=True,
+        )
+        runtime.run()
+        runtime.close()
+        runtime.close()  # second close must be a no-op, not an error
+
+        with StreamRuntime(
+            NearestNeighborAssigner(), None, TimeWindowTrigger(2.0), base, log,
+            shards=2, executor="thread",
+        ) as managed:
+            managed.run(max_rounds=2)
+        managed.close()  # close after __exit__ is also a no-op
+
+    def test_context_manager_returns_runtime(self):
+        base, log = clustered(num_workers=10, num_tasks=10)
+        with StreamRuntime(
+            NearestNeighborAssigner(), None, TimeWindowTrigger(4.0), base, log,
+        ) as runtime:
+            assert isinstance(runtime, StreamRuntime)
