@@ -203,6 +203,52 @@ def test_pipelined_vs_serial_rounds(benchmark, rate_factor):
 
 
 @pytest.mark.parametrize("rate_factor", [10, 100])
+def test_shared_process_vs_thread_rounds(benchmark, rate_factor):
+    """Fork-once shared-memory process workers vs the GIL-bound thread pool.
+
+    The process backend publishes the event log's payload slabs once and
+    ships per-round shard rectangles through reusable shared scratch, so
+    CPU-bound solves parallelise across cores instead of serialising on
+    the GIL.  Exactness against the thread backend is always asserted;
+    the p50 floor only arms on multi-core machines at full bench scale
+    (a single-core runner has no parallel speedup to measure).
+    """
+    base, log = make_clustered_stream(rate_factor)
+    threaded = run_sharded(
+        base, log, trigger=CountTrigger(PIPELINE_BATCH), executor="thread"
+    )
+    shared = benchmark.pedantic(
+        lambda: run_sharded(base, log, trigger=CountTrigger(PIPELINE_BATCH),
+                            executor="process"),
+        rounds=1, iterations=1,
+    )
+
+    assert sorted_pairs(shared) == sorted_pairs(threaded)
+    assert [r.assigned for r in shared.rounds] == [
+        r.assigned for r in threaded.rounds
+    ]
+
+    thread_summary = threaded.summary()
+    shared_summary = shared.summary()
+    speedup = (
+        thread_summary.round_latency_p50 / shared_summary.round_latency_p50
+        if shared_summary.round_latency_p50 > 0 else float("inf")
+    )
+    cores = os.cpu_count() or 1
+    print(
+        f"\n{rate_factor:>3}x rate, {CLUSTERS} shards, {cores} cores: "
+        f"{latency_columns('thread', thread_summary)}, "
+        f"{latency_columns('shared-process', shared_summary)} "
+        f"({speedup:.2f}x)"
+    )
+    if BENCH_SCALE >= 0.15 and rate_factor >= 100 and cores >= 2:
+        assert speedup >= 1.1, (
+            f"shared-memory process rounds failed to beat threads: "
+            f"{speedup:.2f}x < 1.1x"
+        )
+
+
+@pytest.mark.parametrize("rate_factor", [10, 100])
 def test_rebalance_on_vs_off(benchmark, rate_factor):
     """The EWMA repacker: identical output, no round-latency regression."""
     base, log = make_clustered_stream(rate_factor)

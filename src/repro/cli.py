@@ -317,6 +317,11 @@ def _validate_stream_flags(args: argparse.Namespace, trigger) -> str | None:
         return "--admission-policy requires --admission-budget"
     if args.admission_budget is not None and args.admission_budget <= 0:
         return f"--admission-budget must be positive, got {args.admission_budget}"
+    if args.checkpoint_every is not None:
+        if args.checkpoint is None:
+            return "--checkpoint-every requires --checkpoint"
+        if args.checkpoint_every < 1:
+            return f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
     if args.resume is None:
         return None
 
@@ -361,10 +366,19 @@ def cmd_stream(args: argparse.Namespace) -> int:
         ShardRebalancer,
         StreamRuntime,
         TimeWindowTrigger,
+        canonical_checkpoint_path,
         day_stream,
         multi_day_stream,
     )
     from repro.stream.events import KIND_ARRIVAL, KIND_RELOCATE
+
+    # One canonical on-disk path for every save/load below: bare paths get
+    # the .ckpt suffix here, so --checkpoint run/ckpt and --resume run/ckpt
+    # always mean the same manifest.
+    if args.checkpoint is not None:
+        args.checkpoint = canonical_checkpoint_path(args.checkpoint)
+    if args.resume is not None:
+        args.resume = canonical_checkpoint_path(args.resume)
 
     assigner = _assigner_registry()[args.algorithm]()
 
@@ -458,7 +472,22 @@ def cmd_stream(args: argparse.Namespace) -> int:
             mode = " pipelined" if args.pipeline else ""
             print(f"sharded: {layout.num_shards} shards over "
                   f"{len(layout.cells)} cells ({args.executor}{mode} backend)")
-        result = runtime.run(max_rounds=args.max_rounds)
+        if args.checkpoint_every is None:
+            result = runtime.run(max_rounds=args.max_rounds)
+        else:
+            remaining = args.max_rounds
+            result = runtime.run(max_rounds=0)
+            while not runtime.done and (remaining is None or remaining > 0):
+                step = (
+                    args.checkpoint_every if remaining is None
+                    else min(args.checkpoint_every, remaining)
+                )
+                result = runtime.run(max_rounds=step)
+                saved = runtime.checkpoint(args.checkpoint)
+                print(f"checkpoint: {saved} "
+                      f"(after round {len(result.rounds)})", flush=True)
+                if remaining is not None:
+                    remaining -= step
 
         active = [r for r in result.rounds if r.assigned or r.drained_events]
         shown = active[-args.show_rounds:] if args.show_rounds > 0 else []
@@ -615,7 +644,13 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--show-rounds", type=int, default=12,
                         help="how many active rounds to print")
     stream.add_argument("--checkpoint", type=Path, default=None,
-                        help="save runtime state here after the run")
+                        help="save runtime state here after the run "
+                             "(a bare path gets the canonical .ckpt suffix)")
+    stream.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="N",
+                        help="also save --checkpoint every N rounds during "
+                             "the run (atomic; interrupted runs resume from "
+                             "the last saved round)")
     stream.add_argument("--resume", type=Path, default=None,
                         help="resume from a checkpoint saved with --checkpoint")
     stream.set_defaults(handler=cmd_stream)

@@ -8,10 +8,12 @@ reload it for later inspection or regression comparison.
 from __future__ import annotations
 
 import csv
+import io
 import json
 from pathlib import Path
 
 from repro.experiments.runner import SweepResult
+from repro.ioutil import atomic_write_text
 from repro.framework.metrics import MetricsResult
 
 #: Serialized metric fields, in column order.
@@ -64,8 +66,9 @@ def save_sweep(result: SweepResult, path: str | Path) -> Path:
     """Write a sweep result as JSON; returns the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(sweep_to_dict(result), indent=2, sort_keys=True))
-    return path
+    return atomic_write_text(
+        path, json.dumps(sweep_to_dict(result), indent=2, sort_keys=True)
+    )
 
 
 def load_sweep(path: str | Path) -> SweepResult:
@@ -77,13 +80,13 @@ def export_csv(result: SweepResult, path: str | Path) -> Path:
     """Write the sweep as a flat CSV (one row per algorithm x value)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", newline="", encoding="utf-8") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(["algorithm", result.parameter, *(f for f in _FIELDS)])
-        for algorithm, rows in result.series.items():
-            for value in result.values:
-                metrics = rows[value]
-                writer.writerow(
-                    [algorithm, value, *(getattr(metrics, field) for field in _FIELDS)]
-                )
-    return path
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow(["algorithm", result.parameter, *(f for f in _FIELDS)])
+    for algorithm, rows in result.series.items():
+        for value in result.values:
+            metrics = rows[value]
+            writer.writerow(
+                [algorithm, value, *(getattr(metrics, field) for field in _FIELDS)]
+            )
+    return atomic_write_text(path, buffer.getvalue())

@@ -1,0 +1,69 @@
+"""Crash-safe file writes shared by checkpoints and experiment artifacts.
+
+Every durable artifact the project writes (checkpoint manifests, chunk
+files, sweep JSON, CSV exports) goes through :func:`atomic_write_bytes`:
+the payload lands in a temporary file *in the destination directory*
+(same filesystem, so the final rename cannot degrade into a copy), is
+fsynced, and is moved into place with :func:`os.replace`.  Readers
+therefore observe either the previous complete file or the new complete
+file — never a torn write — and a crash mid-save leaves the previous
+artifact untouched.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "fsync_directory"]
+
+
+def fsync_directory(path: str | Path) -> None:
+    """Best-effort fsync of a directory, making a rename in it durable.
+
+    POSIX only persists the directory entry created by ``os.replace`` once
+    the directory itself is synced; platforms that refuse ``O_RDONLY`` on
+    directories (or lack the concept) are silently skipped — atomicity
+    never depends on this, only power-loss durability does.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` all-or-nothing and return the path.
+
+    The temporary file is created next to the destination (never in a
+    global tmpdir) and fsynced before ``os.replace`` publishes it; on any
+    failure the temporary file is removed and the previous content of
+    ``path`` is left exactly as it was.
+    """
+    path = Path(path)
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    fsync_directory(path.parent)
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> Path:
+    """Text-mode convenience wrapper over :func:`atomic_write_bytes`."""
+    return atomic_write_bytes(path, text.encode(encoding))

@@ -19,12 +19,20 @@ day loop:
   round executor (serial / thread-pool / process-pool backends);
 * :mod:`repro.stream.shards` — :class:`ShardLayout`, the radius-aware
   cell partition that never splits a feasible (worker, task) pair;
-* :mod:`repro.stream.checkpoint` — npz snapshot + bit-identical resume
-  (including shard layout and per-shard RNG state).
+* :mod:`repro.stream.checkpoint` — atomic, content-addressed chunked
+  snapshots (v5 manifest + sha256 chunk store) with bit-identical resume
+  (including shard layout and per-shard RNG state);
+* :mod:`repro.stream.sharedmem` — fork-once shared-memory slabs backing
+  the process executor (entity tables published once per run, per-shard
+  round rectangles shipped through reusable scratch buffers).
 """
 
 from repro.stream.checkpoint import (
+    CHECKPOINT_SUFFIX,
+    canonical_checkpoint_path,
+    chunk_store_path,
     load_checkpoint,
+    load_checkpoint_manifest,
     load_checkpoint_meta,
     restore_runtime,
     save_checkpoint,
@@ -100,8 +108,12 @@ __all__ = [
     "ShardRebalancer",
     "pack_components",
     "EXECUTOR_BACKENDS",
+    "CHECKPOINT_SUFFIX",
+    "canonical_checkpoint_path",
+    "chunk_store_path",
     "save_checkpoint",
     "load_checkpoint",
+    "load_checkpoint_manifest",
     "load_checkpoint_meta",
     "validate_checkpoint_meta",
     "restore_runtime",

@@ -1,4 +1,4 @@
-"""Checkpoint/replay: snapshot a :class:`StreamRuntime` to npz and resume.
+"""Checkpoint/replay: chunked, content-addressed snapshots with resume.
 
 A checkpoint captures everything the runtime needs to continue
 *bit-identically* from where it stopped:
@@ -31,17 +31,45 @@ A checkpoint captures everything the runtime needs to continue
 Round wall-clock timings are data (they are part of the metrics arrays) but
 never inputs to control flow in deterministic triggers, so replay equality
 holds for everything except the timings themselves.
+
+**On-disk format (v5).**  A checkpoint is a small binary *manifest* plus a
+shared content-addressed *chunk store* directory (``repro-chunks/``) next
+to it.  Each state array's contiguous bytes are split into fixed-size
+chunks keyed by their sha256 digest; a chunk is written (atomically, via
+:func:`repro.ioutil.atomic_write_bytes`) only if the store does not
+already hold it, so successive snapshots of a multi-day run share every
+chunk whose bytes did not change — append-mostly arrays like the metrics
+rows re-use their entire prefix, making periodic saves cheap.  Arrays are
+chunked *independently* (never concatenated first) precisely so growth in
+one array cannot shift — and thus invalidate — the chunks of every array
+behind it.  The manifest is one struct-packed blob::
+
+    header   ``<4sHHQQQ``: magic ``RPCK``, version, flags,
+             meta-JSON length, index-JSON length, digest count
+    meta     JSON — the same compatibility/meta dict checkpoint v4 stored
+    index    JSON — per-array name / dtype / shape / nbytes / chunk refs
+    digests  ``digest count`` × 32 raw sha256 bytes (deduplicated)
+    trailer  sha256 over all preceding bytes
+
+and is itself published with an atomic temp-file + fsync +
+:func:`os.replace`, so every save is all-or-nothing: a crash mid-save
+leaves the previous manifest valid and its chunks untouched (chunk files
+are content-addressed, hence never rewritten in place).  Loads verify the
+trailer and every chunk digest before handing bytes to numpy.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import struct
 from pathlib import Path
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.exceptions import DataError
+from repro.ioutil import atomic_write_bytes
 from repro.stream.events import KIND_ARRIVAL, KIND_PUBLISH, KIND_RELOCATE, EventLog
 from repro.stream.shards import ShardLayout
 
@@ -56,9 +84,43 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
 #: v4: pipeline flag, rebalancer config + EWMA state, component ids in the
 #:     shard-layout cells, and per-phase timing / repack columns in the
 #:     metrics rows.
-CHECKPOINT_VERSION = 4
+#: v5: content-addressed chunked layout — struct-packed manifest + sha256
+#:     chunk store replacing the monolithic npz archive.
+CHECKPOINT_VERSION = 5
+
+#: Canonical checkpoint suffix, appended when the user supplies none —
+#: save, load and the CLI pre-flight all agree on this one path.
+CHECKPOINT_SUFFIX = ".ckpt"
+
+#: Directory (next to the manifest) holding the content-addressed chunks.
+#: Shared by all checkpoints saved into the same directory.
+CHUNK_DIR_NAME = "repro-chunks"
+
+#: Default chunk size.  Small enough that an appended metrics row only
+#: rewrites the final partial chunk, large enough that a paper-scale
+#: checkpoint stays in the tens of chunks.
+DEFAULT_CHUNK_BYTES = 1 << 16
+
+_MANIFEST_MAGIC = b"RPCK"
+_MANIFEST_HEADER = struct.Struct("<4sHHQQQ")
+_DIGEST_BYTES = 32
 
 _EMPTY = np.zeros(0, dtype=np.int64)
+
+
+def canonical_checkpoint_path(path: str | Path) -> Path:
+    """The one manifest path save/load/CLI all use for ``path``.
+
+    A bare path gains :data:`CHECKPOINT_SUFFIX`; an explicit suffix (any
+    suffix — ``.ckpt``, ``.npz``, …) is respected as-is.
+    """
+    path = Path(path)
+    return path if path.suffix else path.with_suffix(CHECKPOINT_SUFFIX)
+
+
+def chunk_store_path(path: str | Path) -> Path:
+    """The chunk-store directory serving the manifest at ``path``."""
+    return canonical_checkpoint_path(path).parent / CHUNK_DIR_NAME
 
 
 def _json_default(value):
@@ -91,9 +153,22 @@ def _entity_event_indices(log: EventLog, cursor: int) -> tuple[dict, dict]:
     return worker_index, task_index
 
 
-def save_checkpoint(runtime: "StreamRuntime", path: str | Path) -> Path:
-    """Write the runtime's complete state to ``path`` (npz, no pickle)."""
-    path = Path(path)
+def save_checkpoint(
+    runtime: "StreamRuntime",
+    path: str | Path,
+    *,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> Path:
+    """Write the runtime's complete state to ``path`` (v5 manifest + chunks).
+
+    Atomic: the manifest is replaced in one :func:`os.replace` after every
+    chunk it references is durable, so a crash at any point leaves the
+    previous checkpoint (if any) fully resumable.  Returns the canonical
+    manifest path.
+    """
+    if chunk_bytes < 1:
+        raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes}")
+    path = canonical_checkpoint_path(path)
     state = runtime.state
     worker_events, task_events = _entity_event_indices(runtime.log, runtime.cursor)
 
@@ -146,33 +221,170 @@ def save_checkpoint(runtime: "StreamRuntime", path: str | Path) -> Path:
             else None
         ),
     }
-    np.savez(
-        path,
-        meta=json.dumps(meta, default=_json_default),
-        pool_worker_events=pool_worker_events,
-        pool_worker_arrived_at=np.array(
+    arrays = {
+        "pool_worker_events": pool_worker_events,
+        "pool_worker_arrived_at": np.array(
             [state.arrived_at[i] for i in pool_worker_ids], dtype=float
         ),
-        pool_task_events=pool_task_events,
-        pool_task_published_at=np.array(
+        "pool_task_events": pool_task_events,
+        "pool_task_published_at": np.array(
             [state.published_at[i] for i in pool_task_ids], dtype=float
         ),
-        assigned_worker_events=assigned_worker_events,
-        assigned_task_events=assigned_task_events,
+        "assigned_worker_events": assigned_worker_events,
+        "assigned_task_events": assigned_task_events,
         **{
             f"metrics_{key}": np.asarray(value)
             for key, value in runtime.result.metrics.state_dict().items()
         },
+    }
+    _write_manifest(path, meta, arrays, chunk_bytes)
+    return path
+
+
+def _write_manifest(
+    path: Path, meta: dict, arrays: dict[str, np.ndarray], chunk_bytes: int
+) -> None:
+    """Publish ``arrays`` to the chunk store and atomically replace ``path``."""
+    store = path.parent / CHUNK_DIR_NAME
+    store.mkdir(parents=True, exist_ok=True)
+    digests: list[bytes] = []
+    digest_position: dict[bytes, int] = {}
+    entries = []
+    for name, value in arrays.items():
+        data = np.ascontiguousarray(value).tobytes()
+        refs = []
+        for offset in range(0, len(data), chunk_bytes):
+            chunk = data[offset : offset + chunk_bytes]
+            digest = hashlib.sha256(chunk).digest()
+            position = digest_position.get(digest)
+            if position is None:
+                position = len(digests)
+                digest_position[digest] = position
+                digests.append(digest)
+                # Content-addressed: an existing file already holds these
+                # exact bytes — skipping it is what makes successive
+                # snapshots share their unchanged chunks.
+                target = store / f"{digest.hex()}.chunk"
+                if not target.exists():
+                    atomic_write_bytes(target, chunk)
+            refs.append(position)
+        entries.append(
+            {
+                "name": name,
+                "dtype": value.dtype.str,
+                "shape": list(value.shape),
+                "nbytes": len(data),
+                "chunks": refs,
+            }
+        )
+    meta_blob = json.dumps(meta, default=_json_default).encode("utf-8")
+    index_blob = json.dumps(
+        {"chunk_bytes": chunk_bytes, "arrays": entries}
+    ).encode("utf-8")
+    header = _MANIFEST_HEADER.pack(
+        _MANIFEST_MAGIC,
+        CHECKPOINT_VERSION,
+        0,
+        len(meta_blob),
+        len(index_blob),
+        len(digests),
     )
-    # np.savez appends .npz when missing; report the real file.
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    body = b"".join((header, meta_blob, index_blob, *digests))
+    atomic_write_bytes(path, body + hashlib.sha256(body).digest())
+
+
+def _read_manifest(path: str | Path) -> tuple[Path, dict, dict, list[str]]:
+    """Parse and verify a manifest; returns (path, meta, index, digests)."""
+    path = canonical_checkpoint_path(path)
+    blob = path.read_bytes()
+    if blob[:2] == b"PK":
+        raise DataError(
+            f"unsupported checkpoint version (legacy npz archive at {path}; "
+            f"expected a v{CHECKPOINT_VERSION} chunked manifest — re-save "
+            "from a current runtime)"
+        )
+    if len(blob) < _MANIFEST_HEADER.size + _DIGEST_BYTES or blob[:4] != _MANIFEST_MAGIC:
+        raise DataError(f"not a stream checkpoint manifest: {path}")
+    magic, version, _flags, meta_len, index_len, digest_count = (
+        _MANIFEST_HEADER.unpack_from(blob)
+    )
+    if version != CHECKPOINT_VERSION:
+        raise DataError(
+            f"unsupported checkpoint version {version!r} "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    body_len = _MANIFEST_HEADER.size + meta_len + index_len
+    body_len += digest_count * _DIGEST_BYTES
+    if len(blob) != body_len + _DIGEST_BYTES:
+        raise DataError(f"truncated checkpoint manifest: {path}")
+    if hashlib.sha256(blob[:body_len]).digest() != blob[body_len:]:
+        raise DataError(f"corrupt checkpoint manifest (hash mismatch): {path}")
+    offset = _MANIFEST_HEADER.size
+    meta = json.loads(blob[offset : offset + meta_len].decode("utf-8"))
+    offset += meta_len
+    index = json.loads(blob[offset : offset + index_len].decode("utf-8"))
+    offset += index_len
+    digests = [
+        blob[offset + i * _DIGEST_BYTES : offset + (i + 1) * _DIGEST_BYTES].hex()
+        for i in range(digest_count)
+    ]
+    return path, meta, index, digests
+
+
+def load_checkpoint_manifest(path: str | Path) -> dict:
+    """Inspect a checkpoint without touching its chunks.
+
+    Returns ``{"meta", "chunk_bytes", "arrays", "digests"}`` — the tool/
+    test surface for chunk-reuse accounting (``digests`` is the manifest's
+    deduplicated sha256 hex list; intersect two manifests' sets to measure
+    how much of a snapshot was shared with its predecessor).
+    """
+    _, meta, index, digests = _read_manifest(path)
+    return {
+        "meta": meta,
+        "chunk_bytes": index["chunk_bytes"],
+        "arrays": index["arrays"],
+        "digests": digests,
+    }
 
 
 def load_checkpoint(path: str | Path) -> dict:
-    """Read a checkpoint into a plain dict of meta + arrays."""
-    with np.load(Path(path), allow_pickle=False) as data:
-        payload = {key: data[key] for key in data.files}
-    payload["meta"] = _parse_meta(payload["meta"])
+    """Read a checkpoint into a plain dict of meta + arrays.
+
+    Every chunk is re-hashed against its digest before its bytes reach
+    numpy, so silent store corruption surfaces as :class:`DataError`
+    rather than as wrong state.
+    """
+    path, meta, index, digests = _read_manifest(path)
+    store = path.parent / CHUNK_DIR_NAME
+    chunks: dict[str, bytes] = {}
+    payload: dict = {"meta": meta}
+    for entry in index["arrays"]:
+        parts = []
+        for position in entry["chunks"]:
+            digest = digests[position]
+            data = chunks.get(digest)
+            if data is None:
+                target = store / f"{digest}.chunk"
+                try:
+                    data = target.read_bytes()
+                except FileNotFoundError as error:
+                    raise DataError(
+                        f"checkpoint chunk {digest} missing from {store}"
+                    ) from error
+                if hashlib.sha256(data).hexdigest() != digest:
+                    raise DataError(f"corrupt checkpoint chunk: {target}")
+                chunks[digest] = data
+            parts.append(data)
+        raw = b"".join(parts)
+        if len(raw) != entry["nbytes"]:
+            raise DataError(
+                f"checkpoint array {entry['name']!r} reassembled to "
+                f"{len(raw)} bytes, manifest expects {entry['nbytes']}"
+            )
+        payload[entry["name"]] = np.frombuffer(
+            raw, dtype=np.dtype(entry["dtype"])
+        ).reshape(entry["shape"])
     return payload
 
 
@@ -180,20 +392,9 @@ def load_checkpoint_meta(path: str | Path) -> dict:
     """Read only a checkpoint's meta dict (no metrics/pool arrays).
 
     The cheap pre-flight read for :func:`validate_checkpoint_meta` callers
-    (npz members load lazily, so the arrays stay on disk).
+    — only the manifest is read; the chunk store stays untouched.
     """
-    with np.load(Path(path), allow_pickle=False) as data:
-        return _parse_meta(data["meta"])
-
-
-def _parse_meta(raw) -> dict:
-    meta = json.loads(str(raw))
-    version = meta.get("version")
-    if version != CHECKPOINT_VERSION:
-        raise DataError(
-            f"unsupported checkpoint version {version!r} "
-            f"(expected {CHECKPOINT_VERSION})"
-        )
+    _, meta, _, _ = _read_manifest(path)
     return meta
 
 

@@ -52,6 +52,7 @@ import os
 import time
 from concurrent.futures import Executor as _FuturesExecutor
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -67,6 +68,13 @@ from repro.stream.events import KIND_PUBLISH, EventLog
 from repro.stream.metrics import RoundRecord, StreamMetrics, StreamSummary
 from repro.stream.scheduler import Trigger
 from repro.stream.shards import ShardLayout, ShardRebalancer
+from repro.stream.sharedmem import (
+    ShardScratch,
+    SharedSlabs,
+    fork_capable_context,
+    init_shared_worker,
+    solve_shared_shard,
+)
 from repro.stream.state import StreamState
 
 
@@ -340,9 +348,18 @@ class ShardExecutor:
         A :class:`~concurrent.futures.ThreadPoolExecutor`; effective for
         numpy-heavy solvers that release the GIL.
     ``process``
-        A :class:`~concurrent.futures.ProcessPoolExecutor`; prepared
-        shards are pickled to the workers, so this pays off only when the
-        per-shard solve clearly dominates the shipping cost.
+        A fork-once :class:`~concurrent.futures.ProcessPoolExecutor` over
+        shared memory (when the executor knows its event log, the normal
+        runtime path): the log's payload slabs are published once per run
+        via :class:`~repro.stream.sharedmem.SharedSlabs`, each round ships
+        only payload slots + the prepared rectangles through per-shard
+        scratch blocks, and workers return plain index pairs — nothing but
+        the assigner itself is pickled per round, which is what lets
+        CPU-bound solves beat the thread backend.  Without a log (direct
+        construction), prepared shards fall back to being pickled whole.
+        A crashed worker surfaces as a :class:`RuntimeError` naming the
+        shard and round (not a bare ``BrokenProcessPool``), and
+        :meth:`close` stays safe afterwards.
 
     A per-shard :class:`numpy.random.Generator` stream is maintained and
     checkpointed: :meth:`rng_for` is the seed source for stochastic
@@ -361,6 +378,7 @@ class ShardExecutor:
         max_workers: int | None = None,
         rng: np.random.Generator | None = None,
         rebalancer: ShardRebalancer | None = None,
+        log: EventLog | None = None,
     ) -> None:
         if backend not in EXECUTOR_BACKENDS:
             raise ValueError(
@@ -373,6 +391,9 @@ class ShardExecutor:
         self.influence = influence
         self.backend = backend
         self.rebalancer = rebalancer
+        #: The event log backing the shared-memory process path; ``None``
+        #: keeps the legacy pickle-the-prepared-shard process backend.
+        self.log = log
         # Cap the default at the core count: pools wider than the machine
         # only add fork/pickle overhead (notably on the process backend).
         self.max_workers = max_workers or min(
@@ -392,6 +413,9 @@ class ShardExecutor:
                 for shard in range(layout.num_shards)
             }
         self._pool: _FuturesExecutor | None = None
+        self._broken = False
+        self._slabs: SharedSlabs | None = None
+        self._scratch: dict[int, ShardScratch] = {}
 
     def rng_for(self, shard: int) -> np.random.Generator:
         """The checkpointed random stream owned by ``shard``."""
@@ -413,13 +437,84 @@ class ShardExecutor:
         prepared.entropy_by_task
         return prepared
 
+    @property
+    def shares_memory(self) -> bool:
+        """Whether process-backend rounds go through the shared slabs."""
+        return self.backend == "process" and self.log is not None
+
     def _pool_executor(self) -> _FuturesExecutor:
         if self._pool is None:
             if self.backend == "thread":
                 self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            elif self.shares_memory:
+                # Fork-once: publish the log's payload slabs, then start a
+                # pool whose initializer attaches them — after this, rounds
+                # ship only slot vectors + scratch headers.
+                if self._slabs is None:
+                    self._slabs = SharedSlabs(self.log)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    mp_context=fork_capable_context(),
+                    initializer=init_shared_worker,
+                    initargs=(self._slabs.specs,),
+                )
             else:
                 self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
         return self._pool
+
+    def _shard_result(self, future, shard: int, round_index: int | None):
+        """Await one shard's future, translating pool breakage.
+
+        A crashed worker (OOM-killed, segfaulted C extension, ``os._exit``)
+        surfaces from :mod:`concurrent.futures` as a contextless
+        ``BrokenProcessPool``; name the shard and round instead, and mark
+        the pool broken so :meth:`close` never waits on it.
+        """
+        try:
+            return future.result()
+        except BrokenProcessPool as error:
+            self._broken = True
+            where = (
+                f"round {round_index}" if round_index is not None
+                else "the current round"
+            )
+            raise RuntimeError(
+                f"process-backend worker crashed while solving shard {shard} "
+                f"in {where}; the worker pool is broken — close() the "
+                "runtime and resume from its last checkpoint"
+            ) from error
+
+    def _publish_shard(
+        self, shard: int, prepared: PreparedInstance, now: float
+    ) -> dict:
+        """Copy one prepared shard's rectangles into its scratch block."""
+        feasible = prepared.feasible
+        log = self.log
+        worker_slots = np.fromiter(
+            (log.worker_slot_of(worker) for worker in feasible.workers),
+            dtype=np.int64, count=len(feasible.workers),
+        )
+        task_slots = np.fromiter(
+            (log.task_slot_of(task) for task in feasible.tasks),
+            dtype=np.int64, count=len(feasible.tasks),
+        )
+        entropy = np.fromiter(
+            (prepared.entropy_by_task[task.task_id] for task in feasible.tasks),
+            dtype=np.float64, count=len(feasible.tasks),
+        )
+        scratch = self._scratch.get(shard)
+        if scratch is None:
+            scratch = self._scratch[shard] = ShardScratch()
+        return scratch.publish(
+            shard=shard,
+            now=now,
+            distance=feasible.distance_km,
+            mask=feasible.mask,
+            influence=prepared.influence_matrix,
+            entropy=entropy,
+            worker_slots=worker_slots,
+            task_slots=task_slots,
+        )
 
     def _prepare_and_solve(
         self,
@@ -455,6 +550,7 @@ class ShardExecutor:
         assigner: Assigner,
         now: float,
         pipeline: bool = False,
+        round_index: int | None = None,
     ) -> RoundExecution:
         """Solve one round shard-by-shard and retire the matched pairs.
 
@@ -463,6 +559,7 @@ class ShardExecutor:
         the two paths interchangeably.  ``pipeline=True`` overlaps the
         per-shard phases (see the class docstring); it is a no-op on the
         serial backend and for rounds with at most one populated shard.
+        ``round_index`` only labels worker-crash errors.
         """
         layout = self.layout
         buckets = bucket_pools(
@@ -493,6 +590,15 @@ class ShardExecutor:
             solve_seconds += solved
             shard_seconds[shard] = shard_seconds.get(shard, 0.0) + solved
 
+        def collect_shared(shard, prepared, future) -> None:
+            # Workers return (row, column) index pairs; materialize them
+            # against the caller's full-fidelity prepared instance (which
+            # re-validates feasibility and one-to-one matching).
+            shard_, index_pairs, solved = self._shard_result(
+                future, shard, round_index
+            )
+            collect(shard, prepared.build_assignment(index_pairs), solved)
+
         pipelined = (
             pipeline and self.backend != "serial" and len(shard_instances) > 1
         )
@@ -505,23 +611,36 @@ class ShardExecutor:
                 pool.submit(self._prepare_and_solve, shard, state, sub, assigner)
                 for shard, sub in shard_instances
             ]
-            for future in futures:
-                shard, part, prep, solved = future.result()
+            for (shard, _), future in zip(shard_instances, futures):
+                shard, part, prep, solved = self._shard_result(
+                    future, shard, round_index
+                )
                 prepare_seconds += prep
                 collect(shard, part, solved)
         elif pipelined:
             # Process backend: prepare in-caller (the influence caches live
             # here), but submit each shard the moment it is prepared so
-            # earlier shards solve while later shards prepare.
+            # earlier shards solve while later shards prepare.  On the
+            # shared-memory path the rectangles go through the shard's
+            # scratch block and only a header dict is submitted.
             pool = self._pool_executor()
+            shared = self.shares_memory
             futures = []
             for shard, sub_instance in shard_instances:
                 started = time.perf_counter()
                 prepared = self._prepare_shard(shard, state, sub_instance)
+                if shared:
+                    header = self._publish_shard(shard, prepared, now)
+                    future = pool.submit(solve_shared_shard, assigner, header)
+                else:
+                    future = pool.submit(_solve_shard, assigner, shard, prepared)
                 prepare_seconds += time.perf_counter() - started
-                futures.append(pool.submit(_solve_shard, assigner, shard, prepared))
-            for future in futures:
-                collect(*future.result())
+                futures.append((shard, prepared, future))
+            for shard, prepared, future in futures:
+                if shared:
+                    collect_shared(shard, prepared, future)
+                else:
+                    collect(*self._shard_result(future, shard, round_index))
         else:
             work: list[tuple[int, PreparedInstance]] = []
             for shard, sub_instance in shard_instances:
@@ -531,14 +650,30 @@ class ShardExecutor:
             if self.backend == "serial" or len(work) <= 1:
                 for shard, prepared in work:
                     collect(*_solve_shard(assigner, shard, prepared))
+            elif self.shares_memory:
+                pool = self._pool_executor()
+                futures = [
+                    (
+                        shard,
+                        prepared,
+                        pool.submit(
+                            solve_shared_shard,
+                            assigner,
+                            self._publish_shard(shard, prepared, now),
+                        ),
+                    )
+                    for shard, prepared in work
+                ]
+                for shard, prepared, future in futures:
+                    collect_shared(shard, prepared, future)
             else:
                 pool = self._pool_executor()
                 futures = [
                     pool.submit(_solve_shard, assigner, shard, prepared)
                     for shard, prepared in work
                 ]
-                for future in futures:
-                    collect(*future.result())
+                for (shard, _), future in zip(work, futures):
+                    collect(*self._shard_result(future, shard, round_index))
 
         merge_started = time.perf_counter()
         merged = merge_assignments(parts)
@@ -572,10 +707,29 @@ class ShardExecutor:
 
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:
-        """Shut down the worker pool (no-op for the serial backend)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut down the pool and release shared memory (idempotent).
+
+        Safe after a worker crash: a broken process pool is shut down
+        without waiting (``shutdown(wait=True)`` can hang forever on
+        workers that will never answer), pending futures are cancelled,
+        and the shared slabs/scratch blocks are always unlinked.  The
+        executor stays reusable — the next round recreates everything.
+        """
+        pool, self._pool = self._pool, None
+        broken, self._broken = self._broken, False
+        try:
+            if pool is not None:
+                if broken:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                else:
+                    pool.shutdown(wait=True)
+        finally:
+            if self._slabs is not None:
+                self._slabs.close()
+                self._slabs = None
+            for scratch in self._scratch.values():
+                scratch.close()
+            self._scratch.clear()
 
     # ----------------------------------------------------------- checkpoints
     def state_dict(self) -> dict[str, Any]:
@@ -706,7 +860,7 @@ class StreamRuntime:
             layout = ShardLayout.plan(log, shards, cell_km=shard_cell_km)
             self.shard_executor = ShardExecutor(
                 layout, influence=influence_model, backend=executor, rng=rng,
-                rebalancer=rebalance,
+                rebalancer=rebalance, log=log,
             )
             self.shard_request = {"shards": shards, "cell_km": shard_cell_km}
         self.state = StreamState(
@@ -842,7 +996,8 @@ class StreamRuntime:
             started = time.perf_counter()
             if self.shard_executor is not None:
                 execution = self.shard_executor.run_round(
-                    state, self.assigner, fire_time, pipeline=self.pipeline
+                    state, self.assigner, fire_time, pipeline=self.pipeline,
+                    round_index=len(self._result.rounds),
                 )
                 assignment, waits = execution.assignment, execution.waits
                 prepare_seconds = execution.prepare_seconds
@@ -922,9 +1077,11 @@ class StreamRuntime:
         return self._result
 
     def close(self) -> None:
-        """Release executor resources (worker pools); the runtime stays
-        resumable — a later ``run`` simply recreates the pool.  Idempotent:
-        closing twice (or a runtime that never ran) is a no-op."""
+        """Release executor resources (worker pools, shared memory); the
+        runtime stays resumable — a later ``run`` simply recreates them.
+        Idempotent, including after a worker crash broke the process pool:
+        closing twice (or a runtime that never ran) is a no-op and never
+        hangs."""
         if self.shard_executor is not None:
             self.shard_executor.close()
 
@@ -936,7 +1093,13 @@ class StreamRuntime:
 
     # ----------------------------------------------------------- checkpoints
     def checkpoint(self, path: str | Path) -> Path:
-        """Snapshot the complete runtime state to an ``.npz`` file."""
+        """Snapshot the complete runtime state to a chunked v5 checkpoint.
+
+        Atomic (a crash mid-save leaves any previous checkpoint intact)
+        and incremental (successive snapshots share unchanged chunks
+        through the ``repro-chunks`` store), so calling this every few
+        rounds is cheap.  Returns the canonical manifest path.
+        """
         from repro.stream.checkpoint import save_checkpoint
 
         return save_checkpoint(self, path)

@@ -459,3 +459,113 @@ class TestAdmissionControl:
             ),
         )
         assert protected.metrics.total_shed == 0
+
+
+class RecordingController(AdmissionController):
+    """Records which parked tasks were discarded by an expiry/cancel drain."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.discarded: list[int] = []
+
+    def discard(self, task_id):
+        was_parked = super().discard(task_id)
+        if was_parked:
+            self.discarded.append(task_id)
+        return was_parked
+
+
+def storm_cost(record):
+    """Deterministic overload covering the quiet_then_burst publish burst.
+
+    The burst publishes inside 10h-12h with 3h validity, so parking the
+    whole burst until 14h guarantees part of the backlog out-lives its
+    deadline *inside* the backlog (expiry events drain at 13h-14h while
+    the tasks are still parked) and the rest is released with deadlines
+    imminent or just passed.
+    """
+    return 20.0 if 10.0 <= record.time < 14.0 else 0.0
+
+
+class TestDeferredExpiryInBacklog:
+    """Defer-parked tasks whose lifetime ends in the backlog stay dead."""
+
+    BUDGET = 10.0
+
+    def _controller(self, cls=AdmissionController):
+        return cls(self.BUDGET, "defer", cost_of=storm_cost)
+
+    def test_no_expired_task_resurrected(self):
+        scenario = SCENARIOS["quiet_then_burst"]()
+        controller = self._controller(RecordingController)
+        runtime = make_runtime(
+            scenario, NearestNeighborAssigner(), admission=controller
+        )
+        result = runtime.run()
+
+        assert result.metrics.total_deferred > 0, "storm parked nothing"
+        assert controller.discarded, "no parked task expired in the backlog"
+        # The load-bearing claim: a task that died while parked is never
+        # assigned afterwards — not by the release path, not by the final
+        # flush.
+        assigned_ids = {p.task.task_id for p in result.assignment.pairs}
+        assert not assigned_ids & set(controller.discarded)
+        # And it is not dropped either: defer conserves every publish.
+        publishes = int((scenario.log.kinds == KIND_PUBLISH).sum())
+        accounted = (
+            result.total_assigned + result.total_expired
+            + result.total_cancelled + runtime.state.num_open_tasks
+        )
+        assert accounted == publishes
+        assert controller.backlog_size == 0
+
+    def test_released_tasks_never_solved_past_deadline(self):
+        """A parked task released at or after its deadline expires in the
+        same round's sweep — the solver never even sees it."""
+
+        class AuditingAssigner(NearestNeighborAssigner):
+            def __init__(self):
+                super().__init__()
+                self.solved: list[tuple[float, int]] = []
+
+            def assign(self, prepared):
+                assignment = super().assign(prepared)
+                now = prepared.instance.current_time
+                self.solved.extend(
+                    (now, pair.task.task_id) for pair in assignment.pairs
+                )
+                return assignment
+
+        scenario = SCENARIOS["quiet_then_burst"]()
+        assigner = AuditingAssigner()
+        runtime = make_runtime(
+            scenario, assigner, admission=self._controller(RecordingController)
+        )
+        result = runtime.run()
+        assert result.metrics.total_deferred > 0
+        assert assigner.solved
+        deadline_of = {
+            task.task_id: task.publication_time + task.valid_hours
+            for task in scenario.sim_tasks
+        }
+        for solve_time, task_id in assigner.solved:
+            assert solve_time <= deadline_of[task_id], (
+                f"task {task_id} assigned at t={solve_time} after its "
+                f"deadline {deadline_of[task_id]}"
+            )
+
+    def test_cross_engine_identical_under_backlog_expiry(self):
+        """The differential: unsharded == sharded on every backend, with
+        the backlog-expiry storm active — no engine resurrects a task."""
+        scenario = SCENARIOS["quiet_then_burst"]()
+        reference = run_stream(
+            scenario, NearestNeighborAssigner(), admission=self._controller()
+        )
+        assert reference.metrics.total_deferred > 0
+        for backend in ("serial", "thread", "process"):
+            sharded = run_stream(
+                scenario, NearestNeighborAssigner(),
+                admission=self._controller(), shards=2, executor=backend,
+            )
+            assert pairs(sharded) == pairs(reference), backend
+            assert round_rows(sharded) == round_rows(reference), backend

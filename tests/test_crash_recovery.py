@@ -1,0 +1,126 @@
+"""Crash-recovery smoke: SIGKILL the stream CLI mid-run, resume, compare.
+
+The serving claim behind the v5 checkpoint format: a hard crash (OOM
+killer, power loss — modelled here as ``SIGKILL``, which skips every
+handler) between two periodic saves costs at most the rounds since the
+last manifest, and replaying from that manifest reproduces the
+uninterrupted run event for event.  The comparison is over the *final
+checkpoints* of both runs — every pool entry, metrics row and RNG word —
+excluding only the wall-clock timing columns, which honest measurement
+makes unequal.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.stream import load_checkpoint
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Columns of the ``metrics_rounds`` rectangle holding measured seconds
+#: (round/drain/prepare/solve/merge) — the only legitimately run-dependent
+#: state in a checkpoint.  Order is pinned by ``RoundRecord.__slots__``.
+TIMING_COLUMNS = (9, 13, 14, 15, 16)
+
+STREAM_ARGS = [
+    "stream", "--scale", "0.06", "--seed", "11", "--no-influence",
+    "--show-rounds", "0",
+]
+
+
+def cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return env
+
+
+def run_cli(args, cwd, timeout=300):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        cwd=cwd, env=cli_env(), timeout=timeout,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def checkpoint_payloads(path):
+    """(meta, arrays) of a manifest, timing state zeroed out."""
+    arrays = load_checkpoint(path)
+    meta = json.loads(json.dumps(arrays.pop("meta")))
+    rounds = np.array(arrays["metrics_rounds"], dtype=float)
+    if rounds.size:
+        rounds[:, TIMING_COLUMNS] = 0.0
+    arrays["metrics_rounds"] = rounds
+    arrays["metrics_wall_seconds"] = np.zeros(())
+    return meta, arrays
+
+
+def test_sigkill_mid_round_then_resume_is_event_identical(tmp_path):
+    reference_dir = tmp_path / "reference"
+    crash_dir = tmp_path / "crash"
+    reference_dir.mkdir()
+    crash_dir.mkdir()
+
+    # The uninterrupted reference run, final state checkpointed.
+    completed = run_cli(
+        [*STREAM_ARGS, "--checkpoint", "run"], cwd=reference_dir
+    )
+    assert completed.returncode == 0, completed.stdout
+    reference = reference_dir / "run.ckpt"
+    assert reference.exists()
+
+    # The victim: periodic saves every 2 rounds; SIGKILL it the moment the
+    # first manifest lands on disk.
+    victim = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *STREAM_ARGS,
+         "--checkpoint", "run", "--checkpoint-every", "2"],
+        cwd=crash_dir, env=cli_env(),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    manifest = crash_dir / "run.ckpt"
+    try:
+        deadline = time.monotonic() + 240
+        while not manifest.exists() and time.monotonic() < deadline:
+            if victim.poll() is not None:
+                pytest.fail(
+                    "stream CLI exited before its first periodic save:\n"
+                    + (victim.communicate()[0] or "")
+                )
+            time.sleep(0.01)
+        assert manifest.exists(), "no periodic checkpoint appeared in time"
+        killed_mid_run = victim.poll() is None
+        victim.send_signal(signal.SIGKILL)
+    finally:
+        victim.communicate(timeout=60)
+    assert killed_mid_run, "run finished before SIGKILL; nothing was tested"
+
+    # The manifest the crash left behind is complete and loadable (atomic
+    # replace means there is no torn state to find), and it stops short of
+    # the full stream.
+    crashed_meta, _ = checkpoint_payloads(manifest)
+    assert crashed_meta["done"] is False
+
+    # Resume from it to the end of the stream; final state checkpointed
+    # over the same manifest path.
+    resumed = run_cli(
+        [*STREAM_ARGS, "--resume", "run", "--checkpoint", "run"],
+        cwd=crash_dir,
+    )
+    assert resumed.returncode == 0, resumed.stdout
+    assert "resumed from" in resumed.stdout
+
+    ref_meta, ref_arrays = checkpoint_payloads(reference)
+    got_meta, got_arrays = checkpoint_payloads(manifest)
+    assert got_meta == ref_meta
+    assert sorted(got_arrays) == sorted(ref_arrays)
+    for name in ref_arrays:
+        np.testing.assert_array_equal(
+            got_arrays[name], ref_arrays[name], err_msg=name
+        )

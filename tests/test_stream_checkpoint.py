@@ -14,7 +14,11 @@ from repro.stream import (
     CountTrigger,
     StreamRuntime,
     TimeWindowTrigger,
+    canonical_checkpoint_path,
+    chunk_store_path,
     load_checkpoint,
+    load_checkpoint_manifest,
+    load_checkpoint_meta,
     log_from_arrivals,
     synthetic_stream,
 )
@@ -261,7 +265,7 @@ class TestCheckpointValidation:
                 base, log, patience_hours=5.0,
             )
 
-    def test_version_check(self, tmp_path):
+    def test_version_check(self, tmp_path, monkeypatch):
         base, log, _, _ = stream_world()
         runtime = StreamRuntime(
             NearestNeighborAssigner(), None, TimeWindowTrigger(1.0), base, log
@@ -269,25 +273,43 @@ class TestCheckpointValidation:
         runtime.run(max_rounds=1)
         saved = runtime.checkpoint(tmp_path / "ck.npz")
         payload = load_checkpoint(saved)
-        assert payload["meta"]["version"] == 4
+        assert payload["meta"]["version"] == 5
 
-        import json
+        from repro.stream import checkpoint as checkpoint_module
 
-        bad_meta = dict(payload["meta"], version=999)
-        arrays = {k: v for k, v in payload.items() if k != "meta"}
-        np.savez(tmp_path / "bad.npz", meta=json.dumps(bad_meta), **arrays)
-        with pytest.raises(DataError, match="version"):
-            load_checkpoint(tmp_path / "bad.npz")
+        monkeypatch.setattr(checkpoint_module, "CHECKPOINT_VERSION", 999)
+        bad = runtime.checkpoint(tmp_path / "bad.ckpt")
+        monkeypatch.undo()
+        with pytest.raises(DataError, match="version 999"):
+            load_checkpoint(bad)
 
-    def test_save_appends_npz_suffix(self, tmp_path):
+    def test_legacy_npz_rejected_with_clear_message(self, tmp_path):
+        legacy = tmp_path / "old.npz"
+        np.savez(legacy, meta=np.array("{}"))
+        with pytest.raises(DataError, match="legacy npz"):
+            load_checkpoint(legacy)
+
+    def test_save_uses_canonical_ckpt_suffix(self, tmp_path):
         base, log, _, _ = stream_world()
         runtime = StreamRuntime(
             NearestNeighborAssigner(), None, TimeWindowTrigger(1.0), base, log
         )
         runtime.run(max_rounds=1)
         saved = runtime.checkpoint(tmp_path / "bare")
-        assert saved.suffix == ".npz"
+        assert saved == canonical_checkpoint_path(tmp_path / "bare")
+        assert saved.suffix == ".ckpt"
         assert saved.exists()
+        # Save, load and resume all agree on the canonical path: the
+        # bare path the user supplied works everywhere downstream.
+        assert load_checkpoint_meta(tmp_path / "bare")["cursor"] == runtime.cursor
+        resumed = StreamRuntime.resume(
+            tmp_path / "bare",
+            NearestNeighborAssigner(), None, TimeWindowTrigger(1.0), base, log,
+        )
+        assert resumed.cursor == runtime.cursor
+        # An explicit suffix is respected rather than rewritten.
+        explicit = runtime.checkpoint(tmp_path / "other.npz")
+        assert explicit == tmp_path / "other.npz"
 
 
 def relocation_world(seed=61):
@@ -452,3 +474,160 @@ class TestRelocatedPoolRoundTrip:
         result = resumed.run()
         # Only the relocated position makes the far task reachable.
         assert pairs(result) == [(1, 0)]
+
+
+class TestChunkedFormat:
+    """v5 manifest + content-addressed chunk store behavior."""
+
+    def _multiday_runtime(self):
+        base, log = relocation_world()
+        return StreamRuntime(
+            NearestNeighborAssigner(), None, TimeWindowTrigger(1.0), base, log,
+        )
+
+    def test_successive_snapshots_share_chunks(self, tmp_path):
+        runtime = self._multiday_runtime()
+        runtime.run(max_rounds=16)
+        from repro.stream.checkpoint import save_checkpoint
+
+        first = save_checkpoint(runtime, tmp_path / "a.ckpt", chunk_bytes=64)
+        runtime.run(max_rounds=2)
+        second = save_checkpoint(runtime, tmp_path / "b.ckpt", chunk_bytes=64)
+
+        before = set(load_checkpoint_manifest(first)["digests"])
+        after = set(load_checkpoint_manifest(second)["digests"])
+        shared = len(before & after) / len(after)
+        # The append-mostly metrics/pool arrays keep their chunk prefixes,
+        # so a periodic snapshot re-uses at least half of its chunks.
+        assert shared >= 0.5, f"only {shared:.0%} of chunks shared"
+        # ... and the shared store holds each chunk exactly once.
+        store = chunk_store_path(first)
+        assert store == chunk_store_path(second)
+        on_disk = {p.stem for p in store.glob("*.chunk")}
+        assert (before | after) <= on_disk
+
+    def test_resume_equals_uninterrupted_with_small_chunks(self, tmp_path):
+        base, log = relocation_world()
+        full = StreamRuntime(
+            NearestNeighborAssigner(), None, TimeWindowTrigger(1.0), base, log,
+        ).run()
+
+        runtime = self._multiday_runtime()
+        runtime.run(max_rounds=7)
+        from repro.stream.checkpoint import save_checkpoint
+
+        saved = save_checkpoint(runtime, tmp_path / "mid", chunk_bytes=256)
+        resumed = StreamRuntime.resume(
+            saved, NearestNeighborAssigner(), None, TimeWindowTrigger(1.0),
+            base, log,
+        )
+        result = resumed.run()
+        assert pairs(result) == pairs(full)
+        assert round_tuples(result) == round_tuples(full)
+
+    def test_manifest_meta_matches_load(self, tmp_path):
+        runtime = self._multiday_runtime()
+        runtime.run(max_rounds=3)
+        saved = runtime.checkpoint(tmp_path / "m.ckpt")
+        manifest = load_checkpoint_manifest(saved)
+        assert manifest["meta"] == load_checkpoint_meta(saved)
+        names = {entry["name"] for entry in manifest["arrays"]}
+        assert "pool_worker_events" in names
+        assert "metrics_rounds" in names
+        # Array bytes round-trip exactly through the chunk store.
+        payload = load_checkpoint(saved)
+        for entry in manifest["arrays"]:
+            assert list(payload[entry["name"]].shape) == entry["shape"]
+
+    def test_missing_chunk_detected(self, tmp_path):
+        runtime = self._multiday_runtime()
+        runtime.run(max_rounds=3)
+        saved = runtime.checkpoint(tmp_path / "m.ckpt")
+        victim = next(iter(chunk_store_path(saved).glob("*.chunk")))
+        victim.unlink()
+        with pytest.raises(DataError, match="missing"):
+            load_checkpoint(saved)
+
+    def test_corrupt_chunk_detected(self, tmp_path):
+        runtime = self._multiday_runtime()
+        runtime.run(max_rounds=3)
+        saved = runtime.checkpoint(tmp_path / "m.ckpt")
+        victim = max(
+            chunk_store_path(saved).glob("*.chunk"),
+            key=lambda p: p.stat().st_size,
+        )
+        blob = bytearray(victim.read_bytes())
+        blob[0] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        with pytest.raises(DataError, match="corrupt checkpoint chunk"):
+            load_checkpoint(saved)
+
+    def test_corrupt_manifest_detected(self, tmp_path):
+        runtime = self._multiday_runtime()
+        runtime.run(max_rounds=3)
+        saved = runtime.checkpoint(tmp_path / "m.ckpt")
+        blob = bytearray(saved.read_bytes())
+        blob[-1] ^= 0xFF
+        saved.write_bytes(bytes(blob))
+        with pytest.raises(DataError, match="hash mismatch"):
+            load_checkpoint_meta(saved)
+
+
+class TestAtomicSave:
+    """A failure at any point mid-save leaves the previous snapshot intact."""
+
+    def _snapshot_then_fail(self, tmp_path, monkeypatch, fail_when):
+        base, log = relocation_world()
+        full = StreamRuntime(
+            NearestNeighborAssigner(), None, TimeWindowTrigger(1.0), base, log,
+        ).run()
+
+        runtime = StreamRuntime(
+            NearestNeighborAssigner(), None, TimeWindowTrigger(1.0), base, log,
+        )
+        runtime.run(max_rounds=5)
+        target = tmp_path / "ck.ckpt"
+        saved = runtime.checkpoint(target)
+        good_bytes = saved.read_bytes()
+        good_chunks = {
+            p.name: p.read_bytes() for p in chunk_store_path(saved).glob("*.chunk")
+        }
+
+        runtime.run(max_rounds=3)
+        import repro.ioutil as ioutil
+
+        real_replace = ioutil.os.replace
+
+        def exploding_replace(src, dst):
+            if fail_when(str(dst)):
+                raise OSError("disk full (injected)")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(ioutil.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="injected"):
+            runtime.checkpoint(target)
+        monkeypatch.undo()
+
+        # The previous manifest is byte-identical, its chunks untouched,
+        # and no temp files are left behind next to it.
+        assert saved.read_bytes() == good_bytes
+        for name, blob in good_chunks.items():
+            assert (chunk_store_path(saved) / name).read_bytes() == blob
+        assert not list(tmp_path.glob(".*.tmp"))
+
+        resumed = StreamRuntime.resume(
+            saved, NearestNeighborAssigner(), None, TimeWindowTrigger(1.0),
+            base, log,
+        )
+        result = resumed.run()
+        assert pairs(result) == pairs(full)
+
+    def test_failure_replacing_manifest(self, tmp_path, monkeypatch):
+        self._snapshot_then_fail(
+            tmp_path, monkeypatch, lambda dst: dst.endswith(".ckpt")
+        )
+
+    def test_failure_writing_a_chunk(self, tmp_path, monkeypatch):
+        self._snapshot_then_fail(
+            tmp_path, monkeypatch, lambda dst: dst.endswith(".chunk")
+        )

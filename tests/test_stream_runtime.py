@@ -540,3 +540,60 @@ class TestPipelinedRuntime:
             NearestNeighborAssigner(), None, TimeWindowTrigger(4.0), base, log,
         ) as runtime:
             assert isinstance(runtime, StreamRuntime)
+
+
+class CrashingAssigner(NearestNeighborAssigner):
+    """Kills the hosting *pool worker* mid-solve — an OOM/segfault stand-in.
+
+    Module-level so the process backend can pickle it to pool workers;
+    ``os._exit`` skips every handler, exactly like the kernel's OOM killer.
+    Single-shard rounds solve in the calling process (where this behaves
+    like its parent class), so only cross-process solves die.
+    """
+
+    def __init__(self):
+        import os
+
+        super().__init__()
+        self._parent_pid = os.getpid()
+
+    def assign(self, prepared):
+        import os
+
+        if os.getpid() == self._parent_pid:
+            return super().assign(prepared)
+        os._exit(1)
+
+
+class TestBrokenProcessPool:
+    def _crashing_runtime(self):
+        base, log = clustered()
+        return StreamRuntime(
+            CrashingAssigner(), None, HybridTrigger(32, 1.0), base, log,
+            shards=4, executor="process",
+        )
+
+    def test_worker_crash_names_shard_and_round(self):
+        with self._crashing_runtime() as runtime:
+            with pytest.raises(RuntimeError, match=r"shard \d+ in round \d+"):
+                runtime.run()
+
+    def test_crash_message_points_at_recovery(self):
+        with self._crashing_runtime() as runtime:
+            with pytest.raises(RuntimeError, match="resume from its last checkpoint"):
+                runtime.run()
+
+    def test_close_after_crash_is_idempotent_and_fast(self):
+        import time as _time
+
+        runtime = self._crashing_runtime()
+        with pytest.raises(RuntimeError):
+            runtime.run()
+        started = _time.perf_counter()
+        runtime.close()
+        runtime.close()  # second close after a broken pool is still a no-op
+        assert _time.perf_counter() - started < 30.0  # no hang on dead workers
+        # The executor's shared slabs and scratch blocks are gone too.
+        executor = runtime.shard_executor
+        assert executor._slabs is None
+        assert executor._scratch == {}

@@ -729,3 +729,64 @@ class TestShardedCheckpoint:
                 saved, NearestNeighborAssigner(), None, HybridTrigger(32, 1.0),
                 base, log, patience_hours=6.0, shards=4,
             )
+
+
+class TestSharedMemoryBackend:
+    """Fork-once slab lifecycle of the shared-memory process executor."""
+
+    def _process_runtime(self, base, log, **kwargs):
+        return StreamRuntime(
+            NearestNeighborAssigner(), None, HybridTrigger(32, 1.0), base, log,
+            patience_hours=6.0, shards=4, executor="process", **kwargs,
+        )
+
+    def test_slabs_published_once_and_reused_across_rounds(self):
+        base, log = clustered_world(num_workers=60, num_tasks=60, seed=9)
+        runtime = self._process_runtime(base, log)
+        try:
+            executor = runtime.shard_executor
+            assert executor.shares_memory
+            assert executor._slabs is None  # nothing published before round 1
+
+            runtime.run(max_rounds=4)
+            slabs = executor._slabs
+            assert slabs is not None
+            published = {name for _, name, _, _ in slabs.specs}
+
+            runtime.run()  # rest of the stream: the same blocks serve it
+            assert executor._slabs is slabs
+            assert {name for _, name, _, _ in executor._slabs.specs} == published
+            assert executor._scratch  # per-shard scratch got exercised
+        finally:
+            runtime.close()
+
+    def test_close_unlinks_slabs_and_scratch(self):
+        from multiprocessing import shared_memory
+
+        base, log = clustered_world(num_workers=60, num_tasks=60, seed=9)
+        runtime = self._process_runtime(base, log)
+        runtime.run()
+        executor = runtime.shard_executor
+        names = [name for _, name, _, _ in executor._slabs.specs]
+        names += [
+            scratch._block.name
+            for scratch in executor._scratch.values()
+            if scratch._block is not None
+        ]
+        assert names
+        runtime.close()
+        assert executor._slabs is None
+        assert executor._scratch == {}
+        for name in names:  # the segments are really gone from the OS
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        runtime.close()  # idempotent after release
+
+    def test_executor_without_log_falls_back_to_pickling(self):
+        """Direct construction (no event log) keeps the legacy path."""
+        _, log = clustered_world(num_workers=10, num_tasks=10)
+        executor = ShardExecutor(ShardLayout.plan(log, 2), backend="process")
+        assert not executor.shares_memory
+        with_log = ShardExecutor(ShardLayout.plan(log, 2), backend="process",
+                                 log=log)
+        assert with_log.shares_memory
