@@ -19,10 +19,13 @@ regress round latency while producing identical output).
 
 import os
 
+import numpy as np
 import pytest
+from figutil import bench_artifact
 
 from repro.assignment import MTAAssigner, NearestNeighborAssigner
 from repro.framework import OnlineSimulator, WorkerArrival
+from repro.obs import MetricsRegistry, Observability, Tracer
 from repro.stream import (
     AdaptiveTrigger,
     CountTrigger,
@@ -92,6 +95,11 @@ def test_stream_trigger_policies(benchmark, policy, rate_factor):
     # events landing exactly on or after the end may remain unconsumed.
     admissions = sum(1 for event in log if event.phase <= 1)
     assert summary.events_drained >= admissions
+    bench_artifact(
+        f"stream_trigger_{policy}_{rate_factor}x",
+        {"policy": policy, "rate_factor": rate_factor,
+         "bench_scale": BENCH_SCALE, **summary_payload(summary)},
+    )
 
 
 @pytest.mark.parametrize("rate_factor", [10])
@@ -142,11 +150,11 @@ PIPELINE_BATCH = 4096
 
 
 def run_sharded(base, log, *, trigger, executor="serial", pipeline=False,
-                rebalance=None):
+                rebalance=None, obs=None):
     with StreamRuntime(
         NearestNeighborAssigner(), None, trigger, base, log,
         patience_hours=6.0, shards=CLUSTERS, executor=executor,
-        pipeline=pipeline, rebalance=rebalance,
+        pipeline=pipeline, rebalance=rebalance, obs=obs,
     ) as runtime:
         return runtime.run()
 
@@ -163,6 +171,18 @@ def latency_columns(label, summary):
         f"{label} p50 {summary.round_latency_p50 * 1e3:.2f} ms / "
         f"p99 {summary.round_latency_p99 * 1e3:.2f} ms"
     )
+
+
+def summary_payload(summary):
+    """The artifact-worthy slice of a stream summary."""
+    return {
+        "rounds": summary.rounds,
+        "assigned": summary.assigned,
+        "events_per_second": summary.events_per_second,
+        "round_latency_p50_s": summary.round_latency_p50,
+        "round_latency_p99_s": summary.round_latency_p99,
+        "task_wait_p50_h": summary.task_wait_p50,
+    }
 
 
 @pytest.mark.parametrize("rate_factor", [10, 100])
@@ -196,6 +216,12 @@ def test_pipelined_vs_serial_rounds(benchmark, rate_factor):
         + "  ".join(f"{name} {seconds:.2f}" for name, seconds in phases.items())
     )
     assert phases["prepare"] > 0.0 and phases["solve"] > 0.0
+    bench_artifact(
+        f"stream_pipelined_{rate_factor}x",
+        {"rate_factor": rate_factor, "bench_scale": BENCH_SCALE,
+         "speedup": speedup, "serial": summary_payload(serial_summary),
+         "pipelined": summary_payload(pipelined_summary)},
+    )
     if BENCH_SCALE >= 0.15 and rate_factor >= 100:
         assert speedup >= 1.3, (
             f"pipelined round latency regressed: {speedup:.2f}x < 1.3x"
@@ -269,6 +295,55 @@ def test_rebalance_on_vs_off(benchmark, rate_factor):
         f"{on.metrics.total_repacks} repacks"
     )
     assert on_summary.assigned == off_summary.assigned > 0
+
+
+@pytest.mark.parametrize("rate_factor", [10, 100])
+def test_obs_on_vs_off_rounds(benchmark, rate_factor):
+    """Full telemetry (registry + tracer) vs the inert default.
+
+    Output must be bit-identical — the telemetry layer only reads values
+    the runtime already computed — and the round-p50 overhead must stay
+    under 5 %.  The overhead is measured on the raw per-round seconds (not
+    the histogram-quantized summary, whose ~3.7 % bucket error would eat
+    most of the budget).
+    """
+    base, log = make_clustered_stream(rate_factor)
+    off = run_sharded(base, log, trigger=CountTrigger(PIPELINE_BATCH),
+                      executor="thread", pipeline=True)
+    obs = Observability(registry=MetricsRegistry(), tracer=Tracer())
+    on = benchmark.pedantic(
+        lambda: run_sharded(base, log, trigger=CountTrigger(PIPELINE_BATCH),
+                            executor="thread", pipeline=True, obs=obs),
+        rounds=1, iterations=1,
+    )
+
+    assert sorted_pairs(on) == sorted_pairs(off)
+    assert [r.assigned for r in on.rounds] == [r.assigned for r in off.rounds]
+    # The sinks actually captured the run.
+    assert any(f.name == "repro_stream_rounds_total"
+               for f in obs.registry.families())
+    assert any(e["ph"] == "X" for e in obs.tracer.events())
+
+    off_p50 = float(np.percentile([r.round_seconds for r in off.rounds], 50))
+    on_p50 = float(np.percentile([r.round_seconds for r in on.rounds], 50))
+    overhead = on_p50 / off_p50 - 1.0 if off_p50 > 0 else 0.0
+    print(
+        f"\n{rate_factor:>3}x rate, {CLUSTERS} shards: "
+        f"obs-off p50 {off_p50 * 1e3:.2f} ms, "
+        f"obs-on p50 {on_p50 * 1e3:.2f} ms "
+        f"({overhead * 100:+.1f}% overhead, "
+        f"{len(obs.tracer.events())} trace events)"
+    )
+    bench_artifact(
+        f"stream_obs_overhead_{rate_factor}x",
+        {"rate_factor": rate_factor, "bench_scale": BENCH_SCALE,
+         "round_p50_off_s": off_p50, "round_p50_on_s": on_p50,
+         "overhead": overhead, "trace_events": len(obs.tracer.events())},
+    )
+    if BENCH_SCALE >= 0.15 and rate_factor >= 100:
+        assert overhead < 0.05, (
+            f"telemetry overhead regressed: {overhead * 100:.1f}% >= 5%"
+        )
 
 
 def test_stream_matches_online_simulator(benchmark):

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Sequence
 
 from repro.experiments import (
     ExperimentRunner,
@@ -10,6 +13,28 @@ from repro.experiments import (
     format_series,
     format_sweep_table,
 )
+from repro.ioutil import atomic_write_text
+
+#: Directory for machine-readable ``BENCH_*.json`` artifacts.  Unset (the
+#: default) disables emission entirely, so local runs stay side-effect-free;
+#: CI points it at a scratch directory and uploads the files.
+ARTIFACT_ENV = "REPRO_BENCH_ARTIFACTS"
+
+
+def bench_artifact(name: str, payload: dict[str, Any]) -> Path | None:
+    """Atomically write one benchmark result as ``BENCH_<name>.json``.
+
+    Returns the written path, or ``None`` when ``REPRO_BENCH_ARTIFACTS`` is
+    unset.  Payloads must be JSON-serializable; keys are sorted so repeated
+    runs of identical results produce byte-identical files.
+    """
+    root = os.environ.get(ARTIFACT_ENV)
+    if not root:
+        return None
+    directory = Path(root)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    return atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True))
 
 
 def run_and_print_ablation(

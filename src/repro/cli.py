@@ -313,6 +313,8 @@ def _validate_stream_flags(args: argparse.Namespace, trigger) -> str | None:
         return f"--max-rounds must be non-negative, got {args.max_rounds}"
     if args.days < 1:
         return f"--days must be >= 1, got {args.days}"
+    if args.metrics_port is not None and not 0 <= args.metrics_port <= 65535:
+        return f"--metrics-port must be in [0, 65535], got {args.metrics_port}"
     if args.admission_policy is not None and args.admission_budget is None:
         return "--admission-policy requires --admission-budget"
     if args.admission_budget is not None and args.admission_budget <= 0:
@@ -357,20 +359,13 @@ def _validate_stream_flags(args: argparse.Namespace, trigger) -> str | None:
 
 
 def cmd_stream(args: argparse.Namespace) -> int:
-    from repro.exceptions import DataError
     from repro.stream import (
         AdaptiveTrigger,
-        AdmissionController,
         CountTrigger,
         HybridTrigger,
-        ShardRebalancer,
-        StreamRuntime,
         TimeWindowTrigger,
         canonical_checkpoint_path,
-        day_stream,
-        multi_day_stream,
     )
-    from repro.stream.events import KIND_ARRIVAL, KIND_RELOCATE
 
     # One canonical on-disk path for every save/load below: bare paths get
     # the .ckpt suffix here, so --checkpoint run/ckpt and --resume run/ckpt
@@ -398,6 +393,42 @@ def cmd_stream(args: argparse.Namespace) -> int:
     if problem is not None:
         print(problem, file=sys.stderr)
         return 2
+
+    from repro.obs import MetricsRegistry, MetricsServer, Observability, Tracer
+
+    registry = MetricsRegistry() if args.metrics_port is not None else None
+    tracer = Tracer() if args.trace is not None else None
+    obs = (
+        Observability(registry=registry, tracer=tracer)
+        if registry is not None or tracer is not None
+        else None
+    )
+    server = None
+    try:
+        if registry is not None:
+            # Bind before the (potentially slow) dataset build and model
+            # fit so scrapers can reach /metrics for the whole run.
+            server = MetricsServer(registry, port=args.metrics_port).start()
+            print(f"metrics: {server.url}", flush=True)
+        return _run_stream(args, assigner, trigger, obs)
+    finally:
+        if server is not None:
+            server.close()
+        if tracer is not None:
+            written = tracer.write(args.trace)
+            print(f"trace: {written}", flush=True)
+
+
+def _run_stream(args: argparse.Namespace, assigner, trigger, obs) -> int:
+    from repro.exceptions import DataError
+    from repro.stream import (
+        AdmissionController,
+        ShardRebalancer,
+        StreamRuntime,
+        day_stream,
+        multi_day_stream,
+    )
+    from repro.stream.events import KIND_ARRIVAL, KIND_RELOCATE
 
     dataset = _dataset_from(args)
     builder = InstanceBuilder(dataset)
@@ -448,7 +479,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
                 patience_hours=args.patience_hours,
                 shards=args.shards, executor=args.executor,
                 admission=admission,
-                pipeline=args.pipeline, rebalance=rebalance,
+                pipeline=args.pipeline, rebalance=rebalance, obs=obs,
             )
         except DataError as error:
             print(f"cannot resume from {args.resume}: {error}", file=sys.stderr)
@@ -459,7 +490,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
             patience_hours=args.patience_hours,
             shards=args.shards, executor=args.executor,
             admission=admission,
-            pipeline=args.pipeline, rebalance=rebalance,
+            pipeline=args.pipeline, rebalance=rebalance, obs=obs,
         )
     # Context-managed so pipelined executors never leak worker threads,
     # whatever path exits the block (including validation errors below).
@@ -653,6 +684,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "the last saved round)")
     stream.add_argument("--resume", type=Path, default=None,
                         help="resume from a checkpoint saved with --checkpoint")
+    stream.add_argument("--trace", type=Path, default=None, metavar="FILE",
+                        help="write a Chrome trace-event (Perfetto-loadable) "
+                             "JSON timeline of round/shard/checkpoint spans "
+                             "to FILE")
+    stream.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve Prometheus text exposition at "
+                             "http://127.0.0.1:PORT/metrics for the run's "
+                             "duration (0 picks an ephemeral port)")
     stream.set_defaults(handler=cmd_stream)
 
     return parser

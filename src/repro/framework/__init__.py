@@ -14,7 +14,12 @@ This package wires the substrates together exactly as Figure 2 does:
 
 from repro.framework.config import PaperDefaults, PipelineConfig
 from repro.framework.dita import DITAPipeline, FittedModels
-from repro.framework.metrics import MetricsResult, evaluate_assignment
+from repro.framework.metrics import (
+    MetricsResult,
+    cpu_time_percentiles,
+    evaluate_assignment,
+    latency_percentiles,
+)
 from repro.framework.online import (
     OnlineResult,
     OnlineSimulator,
@@ -31,6 +36,8 @@ __all__ = [
     "FittedModels",
     "MetricsResult",
     "evaluate_assignment",
+    "latency_percentiles",
+    "cpu_time_percentiles",
     "AlgorithmRun",
     "Simulator",
     "OnlineSimulator",

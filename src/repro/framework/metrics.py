@@ -7,15 +7,47 @@
 * **travel cost** — average worker-to-task distance over assigned pairs;
 * **CPU time** — wall-clock seconds of the assignment computation
   (measured by the simulator, not here).
+
+Percentile math (CPU-time distributions across days/runs) goes through
+:class:`repro.obs.histo.LogHistogram` — the same bounded mergeable
+histogram the streaming runtime uses — so batch and stream reporting
+share one quantile implementation and one error bound.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.assignment.base import PreparedInstance
 from repro.entities import Assignment
 from repro.influence import InfluenceModel
+from repro.obs.histo import SECONDS_HISTOGRAM, LogHistogram
+
+
+def latency_percentiles(
+    seconds: Iterable[float],
+    qs: Sequence[float] = (50.0, 90.0, 99.0),
+) -> dict[float, float]:
+    """Percentiles of a latency sample set, quantized by the shared histogram.
+
+    Records every sample into a fresh ``SECONDS_HISTOGRAM``-shaped
+    :class:`LogHistogram` and reads the nearest-rank percentiles back, so the
+    numbers carry the same ~3.7 % relative-error bound as the streaming
+    runtime's round/wait reports.
+    """
+    histogram = LogHistogram(**SECONDS_HISTOGRAM)
+    for value in seconds:
+        histogram.record(float(value))
+    return histogram.percentiles(qs)
+
+
+def cpu_time_percentiles(
+    results: Iterable["MetricsResult"],
+    qs: Sequence[float] = (50.0, 90.0, 99.0),
+) -> dict[float, float]:
+    """CPU-time percentiles across a set of per-day/per-run metric results."""
+    return latency_percentiles((r.cpu_seconds for r in results), qs)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,253 @@
+"""Prometheus text exposition for a :class:`~repro.obs.registry.MetricsRegistry`.
+
+Two layers:
+
+* :func:`render_prometheus` — the registry's families in the Prometheus
+  text exposition format (version 0.0.4): ``# HELP`` / ``# TYPE`` comment
+  pairs followed by one sample line per series.  Histogram families expand
+  into the conventional ``_bucket{le=...}`` cumulative series (bucket upper
+  edges from the :class:`~repro.obs.histo.LogHistogram` configuration, a
+  final ``le="+Inf"``), plus ``_sum`` and ``_count``.
+* :class:`MetricsServer` — a stdlib :class:`~http.server.ThreadingHTTPServer`
+  on a daemon thread serving ``GET /metrics``; no third-party dependency.
+  Port 0 binds an ephemeral port (reported via ``.port``), which is what
+  the tests and the CI smoke job use.
+
+:func:`validate_exposition` is the format contract the CI smoke job runs
+over a live scrape: comment lines well-formed, sample lines matching the
+exposition grammar, every histogram family closed with a ``+Inf`` bucket
+and consistent ``_sum``/``_count`` series.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Iterable
+
+from repro.exceptions import DataError
+from repro.obs.histo import LogHistogram
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "MetricsServer",
+    "render_prometheus",
+    "validate_exposition",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))"
+    r"(?: [-+]?[0-9]+)?$"
+)
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def _labels_text(names: Iterable[str], values: Iterable[str]) -> str:
+    parts = [
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(names, values)
+    ]
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _histogram_lines(
+    name: str, labelnames: tuple[str, ...], key: tuple[str, ...],
+    histogram: LogHistogram,
+) -> list[str]:
+    lines = []
+    cumulative = 0
+    log_min = math.log10(histogram.min_value)
+    edges = [histogram.min_value] + [
+        10.0 ** (log_min + bucket / histogram.buckets_per_decade)
+        for bucket in range(1, histogram.counts.size - 1)
+    ]
+    for bucket, edge in enumerate(edges):
+        count = int(histogram.counts[bucket])
+        cumulative += count
+        # Empty interior buckets are elided (cumulative series allow it);
+        # the first and last finite edges always render, so the bucket
+        # grid's bounds stay visible even on an empty histogram.
+        if count == 0 and 0 < bucket < len(edges) - 1:
+            continue
+        labels = _labels_text(
+            [*labelnames, "le"], [*key, _format_value(edge)]
+        )
+        lines.append(f"{name}_bucket{labels} {cumulative}")
+    cumulative += int(histogram.counts[-1])
+    labels = _labels_text([*labelnames, "le"], [*key, "+Inf"])
+    lines.append(f"{name}_bucket{labels} {cumulative}")
+    plain = _labels_text(labelnames, key)
+    lines.append(f"{name}_sum{plain} {_format_value(histogram.total)}")
+    lines.append(f"{name}_count{plain} {histogram.count}")
+    return lines
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition format 0.0.4."""
+    lines: list[str] = []
+    for family in registry.families():
+        if not _NAME_RE.match(family.name):
+            raise ValueError(f"invalid metric name {family.name!r}")
+        help_text = family.help.replace("\\", "\\\\").replace("\n", "\\n")
+        lines.append(f"# HELP {family.name} {help_text}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key, child in family.children():
+            if isinstance(child, LogHistogram):
+                lines.extend(
+                    _histogram_lines(family.name, family.labelnames, key, child)
+                )
+            else:
+                labels = _labels_text(family.labelnames, key)
+                lines.append(
+                    f"{family.name}{labels} {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def validate_exposition(text: str) -> None:
+    """Check ``text`` against the exposition grammar; DataError on violation.
+
+    Beyond per-line syntax, enforces the histogram contract: every family
+    declared ``# TYPE ... histogram`` must expose a ``+Inf`` bucket and
+    ``_sum``/``_count`` series.
+    """
+    histogram_families: set[str] = set()
+    seen_inf: set[str] = set()
+    seen_sum: set[str] = set()
+    seen_count: set[str] = set()
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise DataError(f"line {number}: malformed comment: {line!r}")
+            if not _NAME_RE.match(parts[2]):
+                raise DataError(f"line {number}: bad metric name {parts[2]!r}")
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                ):
+                    raise DataError(f"line {number}: bad TYPE: {line!r}")
+                if parts[3] == "histogram":
+                    histogram_families.add(parts[2])
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise DataError(f"line {number}: malformed sample: {line!r}")
+        labels = match.group("labels")
+        if labels:
+            for pair in re.split(r",(?=[a-zA-Z_])", labels):
+                if not _LABEL_RE.match(pair.strip()):
+                    raise DataError(
+                        f"line {number}: malformed label pair {pair!r}"
+                    )
+        name = match.group("name")
+        for family in histogram_families:
+            if name == f"{family}_bucket" and 'le="+Inf"' in line:
+                seen_inf.add(family)
+            elif name == f"{family}_sum":
+                seen_sum.add(family)
+            elif name == f"{family}_count":
+                seen_count.add(family)
+    for family in histogram_families:
+        for required, seen in (
+            ("+Inf bucket", seen_inf), ("_sum", seen_sum), ("_count", seen_count)
+        ):
+            if family not in seen:
+                raise DataError(
+                    f"histogram family {family!r} is missing its {required}"
+                )
+
+
+class MetricsServer:
+    """A daemon-thread ``/metrics`` endpoint over a registry.
+
+    >>> server = MetricsServer(registry, port=0)   # doctest: +SKIP
+    >>> server.start()                             # doctest: +SKIP
+    >>> server.port                                # the bound port
+    >>> server.close()
+
+    Scrapes render the registry at request time, so the endpoint always
+    reflects the live instruments.  ``close`` is idempotent.
+    """
+
+    def __init__(
+        self, registry: MetricsRegistry, port: int = 0, host: str = "127.0.0.1"
+    ) -> None:
+        self.registry = registry
+        registry_ref = registry
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path.split("?")[0] != "/metrics":
+                    self.send_error(404, "only /metrics is served")
+                    return
+                body = render_prometheus(registry_ref).encode("utf-8")
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format: str, *args) -> None:
+                pass  # keep scrapes out of the CLI's stdout
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """The scrape URL."""
+        host = self._server.server_address[0]
+        return f"http://{host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-metrics",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._server.shutdown()
+            thread.join(timeout=5)
+        self._server.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -11,7 +11,8 @@ day loop:
   time window, hybrid, latency-adaptive);
 * :mod:`repro.stream.state` — live worker/task pools with an incrementally
   maintained spatial index, reusing the PR-1 round caches;
-* :mod:`repro.stream.metrics` — wait-time/latency percentiles, throughput,
+* :mod:`repro.stream.metrics` — wait-time/latency percentiles (backed by
+  the mergeable, checkpointable :mod:`repro.obs` histograms), throughput,
   expiry/churn rates;
 * :mod:`repro.stream.runtime` — :class:`StreamRuntime`, the loop tying it
   together (bit-identical to the batched ``OnlineSimulator`` under
@@ -20,8 +21,9 @@ day loop:
 * :mod:`repro.stream.shards` — :class:`ShardLayout`, the radius-aware
   cell partition that never splits a feasible (worker, task) pair;
 * :mod:`repro.stream.checkpoint` — atomic, content-addressed chunked
-  snapshots (v5 manifest + sha256 chunk store) with bit-identical resume
-  (including shard layout and per-shard RNG state);
+  snapshots (v6 manifest + sha256 chunk store) with bit-identical resume
+  (including shard layout, per-shard RNG state, and wait-histogram
+  state in the manifest meta);
 * :mod:`repro.stream.sharedmem` — fork-once shared-memory slabs backing
   the process executor (entity tables published once per run, per-shard
   round rectangles shipped through reusable scratch buffers).

@@ -32,7 +32,7 @@ Round wall-clock timings are data (they are part of the metrics arrays) but
 never inputs to control flow in deterministic triggers, so replay equality
 holds for everything except the timings themselves.
 
-**On-disk format (v5).**  A checkpoint is a small binary *manifest* plus a
+**On-disk format (v6).**  A checkpoint is a small binary *manifest* plus a
 shared content-addressed *chunk store* directory (``repro-chunks/``) next
 to it.  Each state array's contiguous bytes are split into fixed-size
 chunks keyed by their sha256 digest; a chunk is written (atomically, via
@@ -86,7 +86,11 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
 #:     metrics rows.
 #: v5: content-addressed chunked layout — struct-packed manifest + sha256
 #:     chunk store replacing the monolithic npz archive.
-CHECKPOINT_VERSION = 5
+#: v6: bounded wait histograms — the metrics wait distributions serialize
+#:     as LogHistogram state dicts in the manifest meta instead of
+#:     unbounded per-sample arrays in the chunk store (the round-latency
+#:     histogram is rebuilt from the metrics rows on restore).
+CHECKPOINT_VERSION = 6
 
 #: Canonical checkpoint suffix, appended when the user supplies none —
 #: save, load and the CLI pre-flight all agree on this one path.
@@ -159,16 +163,46 @@ def save_checkpoint(
     *,
     chunk_bytes: int = DEFAULT_CHUNK_BYTES,
 ) -> Path:
-    """Write the runtime's complete state to ``path`` (v5 manifest + chunks).
+    """Write the runtime's complete state to ``path`` (v6 manifest + chunks).
 
     Atomic: the manifest is replaced in one :func:`os.replace` after every
     chunk it references is durable, so a crash at any point leaves the
     previous checkpoint (if any) fully resumable.  Returns the canonical
     manifest path.
+
+    When the runtime carries a live tracer, the save emits a
+    ``checkpoint.save`` span annotated with the chunk-store reuse stats
+    (chunks written vs referenced, bytes written), and the registry's
+    checkpoint counters advance.
     """
     if chunk_bytes < 1:
         raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes}")
     path = canonical_checkpoint_path(path)
+    with runtime.obs.tracer.span(
+        "checkpoint.save", cat="checkpoint", path=str(path)
+    ) as span:
+        stats = _save_checkpoint(runtime, path, chunk_bytes)
+        span.note(**stats)
+    registry = runtime.obs.registry
+    if registry.enabled:
+        registry.counter(
+            "repro_checkpoint_saves_total", "Checkpoint manifests written."
+        ).inc()
+        registry.counter(
+            "repro_checkpoint_chunks_written_total",
+            "New chunk files published to the checkpoint store.",
+        ).inc(stats["chunks_written"])
+        registry.counter(
+            "repro_checkpoint_bytes_written_total",
+            "Bytes of new chunk data written to the checkpoint store.",
+        ).inc(stats["bytes_written"])
+    return path
+
+
+def _save_checkpoint(
+    runtime: "StreamRuntime", path: Path, chunk_bytes: int
+) -> dict:
+    """Build meta + arrays and publish them; returns the chunk-write stats."""
     state = runtime.state
     worker_events, task_events = _entity_event_indices(runtime.log, runtime.cursor)
 
@@ -193,6 +227,7 @@ def save_checkpoint(
             f"runtime state references an entity absent from the log: {error}"
         ) from error
 
+    metrics_state = runtime.result.metrics.state_dict()
     meta = {
         "version": CHECKPOINT_VERSION,
         "fingerprint": runtime.log.fingerprint(),
@@ -220,6 +255,13 @@ def save_checkpoint(
             if runtime.admission is not None
             else None
         ),
+        # Wait histograms are simulated-time state (deterministic across
+        # replays), so they live in the meta; wall-clock values stay in the
+        # chunked arrays, keeping the meta timing-free for replay checks.
+        "metrics": {
+            "task_waits": metrics_state["task_waits"],
+            "worker_waits": metrics_state["worker_waits"],
+        },
     }
     arrays = {
         "pool_worker_events": pool_worker_events,
@@ -232,26 +274,33 @@ def save_checkpoint(
         ),
         "assigned_worker_events": assigned_worker_events,
         "assigned_task_events": assigned_task_events,
-        **{
-            f"metrics_{key}": np.asarray(value)
-            for key, value in runtime.result.metrics.state_dict().items()
-        },
+        "metrics_rounds": np.asarray(metrics_state["rounds"]),
+        "metrics_wall_seconds": np.asarray(metrics_state["wall_seconds"]),
     }
-    _write_manifest(path, meta, arrays, chunk_bytes)
-    return path
+    return _write_manifest(path, meta, arrays, chunk_bytes)
 
 
 def _write_manifest(
     path: Path, meta: dict, arrays: dict[str, np.ndarray], chunk_bytes: int
-) -> None:
-    """Publish ``arrays`` to the chunk store and atomically replace ``path``."""
+) -> dict:
+    """Publish ``arrays`` to the chunk store and atomically replace ``path``.
+
+    Returns the chunk-store write accounting for this save: how many of the
+    manifest's (deduplicated) chunks already existed vs were newly written,
+    and the byte volumes on both axes — the numbers behind the
+    ``checkpoint.save`` span's reuse ratio.
+    """
     store = path.parent / CHUNK_DIR_NAME
     store.mkdir(parents=True, exist_ok=True)
     digests: list[bytes] = []
     digest_position: dict[bytes, int] = {}
     entries = []
+    chunks_written = 0
+    bytes_written = 0
+    bytes_total = 0
     for name, value in arrays.items():
         data = np.ascontiguousarray(value).tobytes()
+        bytes_total += len(data)
         refs = []
         for offset in range(0, len(data), chunk_bytes):
             chunk = data[offset : offset + chunk_bytes]
@@ -267,6 +316,8 @@ def _write_manifest(
                 target = store / f"{digest.hex()}.chunk"
                 if not target.exists():
                     atomic_write_bytes(target, chunk)
+                    chunks_written += 1
+                    bytes_written += len(chunk)
             refs.append(position)
         entries.append(
             {
@@ -291,6 +342,16 @@ def _write_manifest(
     )
     body = b"".join((header, meta_blob, index_blob, *digests))
     atomic_write_bytes(path, body + hashlib.sha256(body).digest())
+    chunks_total = len(digests)
+    return {
+        "chunks_total": chunks_total,
+        "chunks_written": chunks_written,
+        "chunk_reuse_ratio": (
+            (chunks_total - chunks_written) / chunks_total if chunks_total else 0.0
+        ),
+        "bytes_total": bytes_total,
+        "bytes_written": bytes_written,
+    }
 
 
 def _read_manifest(path: str | Path) -> tuple[Path, dict, dict, list[str]]:
@@ -490,6 +551,13 @@ def restore_runtime(runtime: "StreamRuntime", path: str | Path) -> "StreamRuntim
     checked) and equivalent deterministic collaborators; trigger and RNG
     state are overwritten from the snapshot.
     """
+    with runtime.obs.tracer.span(
+        "checkpoint.load", cat="checkpoint", path=str(path)
+    ):
+        return _restore_runtime(runtime, path)
+
+
+def _restore_runtime(runtime: "StreamRuntime", path: str | Path) -> "StreamRuntime":
     payload = load_checkpoint(path)
     meta = payload["meta"]
     if meta["fingerprint"] != runtime.log.fingerprint():
@@ -576,8 +644,8 @@ def restore_runtime(runtime: "StreamRuntime", path: str | Path) -> "StreamRuntim
     runtime.result.metrics.load_state_dict(
         {
             "rounds": payload["metrics_rounds"],
-            "task_waits": payload["metrics_task_waits"],
-            "worker_waits": payload["metrics_worker_waits"],
+            "task_waits": meta["metrics"]["task_waits"],
+            "worker_waits": meta["metrics"]["worker_waits"],
             "wall_seconds": float(payload["metrics_wall_seconds"]),
         }
     )

@@ -6,6 +6,17 @@ wait between publication and assignment, how expensive rounds are at the
 tail, and how fast the runtime drains its event stream.
 :class:`StreamMetrics` collects all of it incrementally and serializes to a
 checkpointable state dict.
+
+The distributions live in bounded
+:class:`~repro.obs.histo.LogHistogram` buckets, not sample lists: a
+multi-day horizon assigns O(rounds·tasks) pairs, and the per-sample lists
+this module used to keep grew without bound while every consumer only ever
+asked for percentiles.  Waits record in *simulated hours* (deterministic,
+so the histograms checkpoint/replay bit-exactly and ride in the checkpoint
+meta); round latency records measured wall-clock seconds and is rebuilt
+from the ``rounds`` rows on restore rather than persisted separately —
+the rows are the source of truth the crash-recovery comparison already
+normalizes.
 """
 
 from __future__ import annotations
@@ -14,6 +25,8 @@ from dataclasses import dataclass
 from typing import Any, Sequence
 
 import numpy as np
+
+from repro.obs.histo import LogHistogram, SECONDS_HISTOGRAM, WAIT_HOURS_HISTOGRAM
 
 
 @dataclass(frozen=True, slots=True)
@@ -115,23 +128,21 @@ class StreamSummary:
         return "\n".join(lines)
 
 
-def _percentile(values: Sequence[float], q: float) -> float:
-    if not len(values):
-        return 0.0
-    return float(np.percentile(np.asarray(values, dtype=float), q))
-
-
 class StreamMetrics:
     """Incrementally collected streaming statistics.
 
-    All state lives in plain lists/counters so :meth:`state_dict` /
-    :meth:`load_state_dict` round-trip exactly through a checkpoint.
+    Counters and per-round records are exact; wait and round-latency
+    distributions are bounded :class:`~repro.obs.histo.LogHistogram`\\ s, so
+    memory stays fixed over arbitrarily long horizons while percentiles
+    keep a ~3.7 % relative-error bound.  :meth:`state_dict` /
+    :meth:`load_state_dict` round-trip the whole collector exactly.
     """
 
     def __init__(self) -> None:
         self.rounds: list[RoundRecord] = []
-        self.task_waits: list[float] = []
-        self.worker_waits: list[float] = []
+        self.task_wait_histogram = LogHistogram(**WAIT_HOURS_HISTOGRAM)
+        self.worker_wait_histogram = LogHistogram(**WAIT_HOURS_HISTOGRAM)
+        self.round_latency_histogram = LogHistogram(**SECONDS_HISTOGRAM)
         self.total_assigned = 0
         self.total_expired = 0
         self.total_churned = 0
@@ -147,6 +158,7 @@ class StreamMetrics:
     def on_round(self, record: RoundRecord) -> None:
         """Record one completed round."""
         self.rounds.append(record)
+        self.round_latency_histogram.record(record.round_seconds)
         self.total_assigned += record.assigned
         self.total_expired += record.expired_tasks
         self.total_churned += record.churned_workers
@@ -159,8 +171,8 @@ class StreamMetrics:
 
     def on_assigned(self, task_wait_hours: float, worker_wait_hours: float) -> None:
         """Record one matched pair's waits (publication/arrival to round)."""
-        self.task_waits.append(task_wait_hours)
-        self.worker_waits.append(worker_wait_hours)
+        self.task_wait_histogram.record(task_wait_hours)
+        self.worker_wait_histogram.record(worker_wait_hours)
 
     def add_wall_seconds(self, seconds: float) -> None:
         """Accumulate wall-clock time spent inside ``run`` (drain + rounds)."""
@@ -171,8 +183,7 @@ class StreamMetrics:
         self, qs: Sequence[float] = (50.0, 90.0, 99.0)
     ) -> dict[float, float]:
         """Percentiles of per-round assignment latency in seconds."""
-        latencies = [r.round_seconds for r in self.rounds]
-        return {q: _percentile(latencies, q) for q in qs}
+        return self.round_latency_histogram.percentiles(qs)
 
     def phase_totals(self) -> dict[str, float]:
         """Cumulative per-phase seconds across all recorded rounds.
@@ -189,7 +200,7 @@ class StreamMetrics:
         self, qs: Sequence[float] = (50.0, 90.0, 99.0)
     ) -> dict[float, float]:
         """Percentiles of publication-to-assignment wait in sim hours."""
-        return {q: _percentile(self.task_waits, q) for q in qs}
+        return self.task_wait_histogram.percentiles(qs)
 
     @property
     def sim_hours(self) -> float:
@@ -238,20 +249,33 @@ class StreamMetrics:
 
     # ----------------------------------------------------------- checkpoints
     def state_dict(self) -> dict[str, Any]:
-        """All collector state as plain arrays/scalars (for checkpoints)."""
+        """All collector state for checkpoints.
+
+        ``rounds`` is a dense float array; the wait histograms serialize as
+        their JSON-safe :meth:`~repro.obs.histo.LogHistogram.state_dict`
+        snapshots.  The round-latency histogram is deliberately *not*
+        included: it is a pure function of the ``rounds`` rows (replayed by
+        :meth:`load_state_dict` through :meth:`on_round`), and keeping it
+        out of the persisted state keeps checkpoint metadata free of
+        wall-clock timing noise for the crash-recovery comparison.
+        """
         fields = RoundRecord.__slots__
         return {
             "rounds": np.array(
                 [[getattr(r, name) for name in fields] for r in self.rounds],
                 dtype=float,
             ).reshape(len(self.rounds), len(fields)),
-            "task_waits": np.asarray(self.task_waits, dtype=float),
-            "worker_waits": np.asarray(self.worker_waits, dtype=float),
+            "task_waits": self.task_wait_histogram.state_dict(),
+            "worker_waits": self.worker_wait_histogram.state_dict(),
             "wall_seconds": self.wall_seconds,
         }
 
     def load_state_dict(self, state: dict[str, Any]) -> None:
-        """Restore :meth:`state_dict` output bit-exactly."""
+        """Restore :meth:`state_dict` output bit-exactly.
+
+        Raises :class:`~repro.exceptions.DataError` when a saved wait
+        histogram's bucket configuration does not match the current build's.
+        """
         fields = RoundRecord.__slots__
         float_fields = {
             "time", "round_seconds", "drain_seconds", "prepare_seconds",
@@ -265,6 +289,6 @@ class StreamMetrics:
                 for name, value in zip(fields, row)
             }
             self.on_round(RoundRecord(**values))
-        self.task_waits = [float(v) for v in np.asarray(state["task_waits"])]
-        self.worker_waits = [float(v) for v in np.asarray(state["worker_waits"])]
+        self.task_wait_histogram.load_state_dict(state["task_waits"])
+        self.worker_wait_histogram.load_state_dict(state["worker_waits"])
         self.wall_seconds = float(state["wall_seconds"])

@@ -49,6 +49,7 @@ state to disk (including shard layout and per-shard RNG state), and
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import Executor as _FuturesExecutor
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -64,6 +65,8 @@ from repro.assignment.partitioned import bucket_pools, merge_assignments
 from repro.data.instance import SCInstance
 from repro.entities import Assignment
 from repro.influence import InfluenceModel
+from repro.obs import NULL_OBS, Observability
+from repro.obs.histo import SECONDS_HISTOGRAM
 from repro.stream.events import KIND_PUBLISH, EventLog
 from repro.stream.metrics import RoundRecord, StreamMetrics, StreamSummary
 from repro.stream.scheduler import Trigger
@@ -286,13 +289,25 @@ class AdmissionController:
         self._round_shed = 0
 
 
+def _span_tuple(start_ns: int, end_ns: int) -> tuple[int, int, int, int]:
+    """A shippable ``(start_ns, end_ns, pid, tid)`` solve-span record."""
+    return (start_ns, end_ns, os.getpid(), threading.get_ident())
+
+
 def _solve_shard(
     assigner: Assigner, shard: int, prepared: PreparedInstance
-) -> tuple[int, Assignment, float]:
-    """One shard's timed solve — module-level so process pools can pickle it."""
+) -> tuple[int, Assignment, float, tuple[int, int, int, int]]:
+    """One shard's timed solve — module-level so process pools can pickle it.
+
+    The trailing span tuple places the solve on the wall-clock timeline
+    (worker pid/tid included), so the parent's tracer can attribute it even
+    when the solve ran in a pool process.
+    """
     started = time.perf_counter()
+    start_ns = time.time_ns()
     part = assigner.assign(prepared)
-    return shard, part, time.perf_counter() - started
+    elapsed = time.perf_counter() - started
+    return shard, part, elapsed, _span_tuple(start_ns, time.time_ns())
 
 
 @dataclass(frozen=True)
@@ -379,6 +394,7 @@ class ShardExecutor:
         rng: np.random.Generator | None = None,
         rebalancer: ShardRebalancer | None = None,
         log: EventLog | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if backend not in EXECUTOR_BACKENDS:
             raise ValueError(
@@ -391,6 +407,7 @@ class ShardExecutor:
         self.influence = influence
         self.backend = backend
         self.rebalancer = rebalancer
+        self.obs = obs if obs is not None else NULL_OBS
         #: The event log backing the shared-memory process path; ``None``
         #: keeps the legacy pickle-the-prepared-shard process backend.
         self.log = log
@@ -522,13 +539,32 @@ class ShardExecutor:
         state: StreamState,
         sub_instance: SCInstance,
         assigner: Assigner,
-    ) -> tuple[int, Assignment, float, float]:
-        """One shard's prepare+solve unit (the pipelined thread-pool task)."""
+    ) -> tuple[
+        int, Assignment, float, float,
+        tuple[int, int, int, int], tuple[int, int, int, int],
+    ]:
+        """One shard's prepare+solve unit (the pipelined thread-pool task).
+
+        The two trailing tuples are the prepare and solve spans — this unit
+        runs on a pool thread, so the spans carry their own tid for the
+        parent tracer to attribute.
+        """
         started = time.perf_counter()
+        prepare_start_ns = time.time_ns()
         prepared = self._prepare_shard(shard, state, sub_instance)
         prepared_at = time.perf_counter()
+        solve_start_ns = time.time_ns()
         part = assigner.assign(prepared)
-        return shard, part, prepared_at - started, time.perf_counter() - prepared_at
+        solved = time.perf_counter() - prepared_at
+        end_ns = time.time_ns()
+        return (
+            shard,
+            part,
+            prepared_at - started,
+            solved,
+            _span_tuple(prepare_start_ns, solve_start_ns),
+            _span_tuple(solve_start_ns, end_ns),
+        )
 
     def _component_entities(self, state: StreamState) -> dict[int, int]:
         """Pooled entities per layout component (rebalancer attribution)."""
@@ -583,21 +619,32 @@ class ShardExecutor:
         solve_seconds = 0.0
         shard_seconds: dict[int, float] = {}
         parts: list[Assignment] = []
+        tracer = self.obs.tracer
 
-        def collect(shard: int, part: Assignment, solved: float) -> None:
+        def emit(name: str, span: tuple[int, int, int, int], shard: int) -> None:
+            tracer.complete(
+                name, span[0], span[1], cat="shard", pid=span[2], tid=span[3],
+                args={"shard": shard, "round": round_index},
+            )
+
+        def collect(
+            shard: int, part: Assignment, solved: float, span=None
+        ) -> None:
             nonlocal solve_seconds
             parts.append(part)
             solve_seconds += solved
             shard_seconds[shard] = shard_seconds.get(shard, 0.0) + solved
+            if span is not None and tracer.enabled:
+                emit("shard.solve", span, shard)
 
         def collect_shared(shard, prepared, future) -> None:
             # Workers return (row, column) index pairs; materialize them
             # against the caller's full-fidelity prepared instance (which
             # re-validates feasibility and one-to-one matching).
-            shard_, index_pairs, solved = self._shard_result(
+            shard_, index_pairs, solved, span = self._shard_result(
                 future, shard, round_index
             )
-            collect(shard, prepared.build_assignment(index_pairs), solved)
+            collect(shard, prepared.build_assignment(index_pairs), solved, span)
 
         pipelined = (
             pipeline and self.backend != "serial" and len(shard_instances) > 1
@@ -612,11 +659,13 @@ class ShardExecutor:
                 for shard, sub in shard_instances
             ]
             for (shard, _), future in zip(shard_instances, futures):
-                shard, part, prep, solved = self._shard_result(
-                    future, shard, round_index
+                shard, part, prep, solved, prep_span, solve_span = (
+                    self._shard_result(future, shard, round_index)
                 )
                 prepare_seconds += prep
-                collect(shard, part, solved)
+                if tracer.enabled:
+                    emit("shard.prepare", prep_span, shard)
+                collect(shard, part, solved, solve_span)
         elif pipelined:
             # Process backend: prepare in-caller (the influence caches live
             # here), but submit each shard the moment it is prepared so
@@ -628,7 +677,14 @@ class ShardExecutor:
             futures = []
             for shard, sub_instance in shard_instances:
                 started = time.perf_counter()
+                prepare_start_ns = time.time_ns()
                 prepared = self._prepare_shard(shard, state, sub_instance)
+                if tracer.enabled:
+                    emit(
+                        "shard.prepare",
+                        _span_tuple(prepare_start_ns, time.time_ns()),
+                        shard,
+                    )
                 if shared:
                     header = self._publish_shard(shard, prepared, now)
                     future = pool.submit(solve_shared_shard, assigner, header)
@@ -645,8 +701,15 @@ class ShardExecutor:
             work: list[tuple[int, PreparedInstance]] = []
             for shard, sub_instance in shard_instances:
                 started = time.perf_counter()
+                prepare_start_ns = time.time_ns()
                 work.append((shard, self._prepare_shard(shard, state, sub_instance)))
                 prepare_seconds += time.perf_counter() - started
+                if tracer.enabled:
+                    emit(
+                        "shard.prepare",
+                        _span_tuple(prepare_start_ns, time.time_ns()),
+                        shard,
+                    )
             if self.backend == "serial" or len(work) <= 1:
                 for shard, prepared in work:
                     collect(*_solve_shard(assigner, shard, prepared))
@@ -676,9 +739,15 @@ class ShardExecutor:
                     collect(*self._shard_result(future, shard, round_index))
 
         merge_started = time.perf_counter()
+        merge_start_ns = time.time_ns()
         merged = merge_assignments(parts)
         waits = state.retire_pairs(merged, now)
         merge_seconds = time.perf_counter() - merge_started
+        if tracer.enabled:
+            tracer.complete(
+                "round.merge", merge_start_ns, time.time_ns(), cat="stream",
+                args={"round": round_index, "pairs": len(merged)},
+            )
         if self.rebalancer is not None:
             self.rebalancer.observe(layout, shard_seconds, component_entities)
         return RoundExecution(
@@ -815,6 +884,12 @@ class StreamRuntime:
         task admissions when observed round latency exceeds its budget.
         ``None`` (the default) replays the exact ungated path — disabled
         admission control is provably a no-op.
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle (metrics registry
+        + span tracer).  The default, :data:`~repro.obs.NULL_OBS`, is fully
+        inert; telemetry is pure observation either way — instruments only
+        read values the runtime already computed, so obs-on and obs-off
+        runs produce bit-identical results (pinned by differential tests).
     """
 
     def __init__(
@@ -835,6 +910,7 @@ class StreamRuntime:
         admission: AdmissionController | None = None,
         pipeline: bool = False,
         rebalance: ShardRebalancer | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if patience_hours is not None and patience_hours < 0:
             raise ValueError(
@@ -851,6 +927,8 @@ class StreamRuntime:
         self.rng = rng
         self.admission = admission
         self.pipeline = pipeline
+        self.obs = obs if obs is not None else NULL_OBS
+        self._instruments: dict[str, Any] | None = None
         self.shard_executor: ShardExecutor | None = None
         #: The *requested* shard configuration (vs the planned layout, which
         #: may use fewer bins); persisted in checkpoints so a resume with a
@@ -860,7 +938,7 @@ class StreamRuntime:
             layout = ShardLayout.plan(log, shards, cell_km=shard_cell_km)
             self.shard_executor = ShardExecutor(
                 layout, influence=influence_model, backend=executor, rng=rng,
-                rebalancer=rebalance, log=log,
+                rebalancer=rebalance, log=log, obs=self.obs,
             )
             self.shard_request = {"shards": shards, "cell_km": shard_cell_km}
         self.state = StreamState(
@@ -981,11 +1059,19 @@ class StreamRuntime:
 
     # ----------------------------------------------------------------- round
     def _fire_round(self, fire_time: float) -> RoundRecord:
+        tracer = self.obs.tracer
+        round_index = len(self._result.rounds)
+        round_start_ns = time.time_ns()
         drain_started = time.perf_counter()
         drained, expired, churned, cancelled, relocated = self._drain_until(
             fire_time
         )
         drain_seconds = time.perf_counter() - drain_started
+        if tracer.enabled:
+            tracer.complete(
+                "round.drain", round_start_ns, time.time_ns(), cat="stream",
+                args={"round": round_index, "events": drained},
+            )
         state = self.state
         pool_workers = state.num_online_workers
         pool_tasks = state.num_open_tasks
@@ -1005,13 +1091,31 @@ class StreamRuntime:
                 merge_seconds = execution.merge_seconds
             else:
                 # The unsharded composition of run_assignment, phase-timed.
+                prepare_start_ns = time.time_ns()
                 prepared = state.prepare_round(fire_time)
                 prepare_seconds = time.perf_counter() - started
+                solve_start_ns = time.time_ns()
                 assignment = self.assigner.assign(prepared)
                 solve_seconds = time.perf_counter() - started - prepare_seconds
                 merge_started = time.perf_counter()
+                merge_start_ns = time.time_ns()
                 waits = state.retire_pairs(assignment, fire_time)
                 merge_seconds = time.perf_counter() - merge_started
+                if tracer.enabled:
+                    phase_args = {"round": round_index}
+                    tracer.complete(
+                        "round.prepare", prepare_start_ns, solve_start_ns,
+                        cat="stream", args=phase_args,
+                    )
+                    tracer.complete(
+                        "round.solve", solve_start_ns, merge_start_ns,
+                        cat="stream", args=phase_args,
+                    )
+                    tracer.complete(
+                        "round.merge", merge_start_ns, time.time_ns(),
+                        cat="stream",
+                        args={"round": round_index, "pairs": len(assignment)},
+                    )
             elapsed = time.perf_counter() - started
             for pair, (task_wait, worker_wait) in zip(assignment, waits):
                 self._result.assignment.add(pair.task, pair.worker)
@@ -1054,7 +1158,125 @@ class StreamRuntime:
         self._pending_start_round = False
         if fire_time >= self._end_time:
             self._done = True
+        if tracer.enabled:
+            tracer.complete(
+                "round", round_start_ns, time.time_ns(), cat="stream",
+                args={
+                    "round": record.index,
+                    "time": record.time,
+                    "online_workers": record.online_workers,
+                    "open_tasks": record.open_tasks,
+                    "assigned": record.assigned,
+                },
+            )
+        if self.obs.enabled:
+            self._observe_round(record)
         return record
+
+    def _observe_round(self, record: RoundRecord) -> None:
+        """Fold one finished round into the registry + instant events.
+
+        Pure observation: everything recorded here is read off the
+        :class:`RoundRecord` the runtime already built, so enabling
+        telemetry cannot perturb results.
+        """
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            if record.deferred_tasks or record.shed_tasks:
+                tracer.instant(
+                    "admission.diverted", cat="admission",
+                    args={
+                        "round": record.index,
+                        "deferred": record.deferred_tasks,
+                        "shed": record.shed_tasks,
+                        "overloaded": bool(
+                            self.admission is not None
+                            and self.admission.overloaded
+                        ),
+                    },
+                )
+            if record.repacks:
+                decision = (
+                    self.shard_executor.rebalancer.last_decision
+                    if self.shard_executor is not None
+                    and self.shard_executor.rebalancer is not None
+                    else None
+                )
+                tracer.instant(
+                    "shards.repack", cat="shard",
+                    args=decision or {"round": record.index},
+                )
+        registry = self.obs.registry
+        if not registry.enabled:
+            return
+        if self._instruments is None:
+            self._instruments = {
+                "rounds": registry.counter(
+                    "repro_stream_rounds_total", "Assignment rounds fired."
+                ),
+                "events": registry.counter(
+                    "repro_stream_events_drained_total",
+                    "Event-log entries drained into rounds.",
+                ),
+                "assigned": registry.counter(
+                    "repro_stream_assigned_total",
+                    "Task-worker pairs assigned.",
+                ),
+                "expired": registry.counter(
+                    "repro_stream_expired_tasks_total",
+                    "Tasks that expired unassigned.",
+                ),
+                "churned": registry.counter(
+                    "repro_stream_churned_workers_total",
+                    "Workers that left unassigned.",
+                ),
+                "deferred": registry.counter(
+                    "repro_stream_deferred_tasks_total",
+                    "Task admissions deferred by the admission controller.",
+                ),
+                "shed": registry.counter(
+                    "repro_stream_shed_tasks_total",
+                    "Task admissions shed by the admission controller.",
+                ),
+                "repacks": registry.counter(
+                    "repro_stream_repacks_total",
+                    "Shard-layout repacks applied at round boundaries.",
+                ),
+                "workers": registry.gauge(
+                    "repro_stream_online_workers",
+                    "Online workers at the last round's start.",
+                ),
+                "tasks": registry.gauge(
+                    "repro_stream_open_tasks",
+                    "Open tasks at the last round's start.",
+                ),
+                "round_seconds": registry.histogram(
+                    "repro_stream_round_seconds",
+                    "Wall-clock cost of the assignment computation per round.",
+                    **SECONDS_HISTOGRAM,
+                ),
+                "phase_seconds": registry.histogram(
+                    "repro_stream_phase_seconds",
+                    "Per-round phase spans (cumulative across shards).",
+                    labels=("phase",),
+                    **SECONDS_HISTOGRAM,
+                ),
+            }
+        instruments = self._instruments
+        instruments["rounds"].inc()
+        instruments["events"].inc(record.drained_events)
+        instruments["assigned"].inc(record.assigned)
+        instruments["expired"].inc(record.expired_tasks)
+        instruments["churned"].inc(record.churned_workers)
+        instruments["deferred"].inc(record.deferred_tasks)
+        instruments["shed"].inc(record.shed_tasks)
+        instruments["repacks"].inc(record.repacks)
+        instruments["workers"].set(record.online_workers)
+        instruments["tasks"].set(record.open_tasks)
+        instruments["round_seconds"].record(record.round_seconds)
+        phases = instruments["phase_seconds"]
+        for phase in ("drain", "prepare", "solve", "merge"):
+            phases.labels(phase).record(getattr(record, f"{phase}_seconds"))
 
     # ------------------------------------------------------------------- run
     def run(self, max_rounds: int | None = None) -> StreamResult:
@@ -1093,7 +1315,7 @@ class StreamRuntime:
 
     # ----------------------------------------------------------- checkpoints
     def checkpoint(self, path: str | Path) -> Path:
-        """Snapshot the complete runtime state to a chunked v5 checkpoint.
+        """Snapshot the complete runtime state to a chunked v6 checkpoint.
 
         Atomic (a crash mid-save leaves any previous checkpoint intact)
         and incremental (successive snapshots share unchanged chunks
@@ -1123,6 +1345,7 @@ class StreamRuntime:
         admission: AdmissionController | None = None,
         pipeline: bool = False,
         rebalance: ShardRebalancer | None = None,
+        obs: Observability | None = None,
     ) -> "StreamRuntime":
         """Reconstruct a runtime from a checkpoint and the original log.
 
@@ -1155,6 +1378,7 @@ class StreamRuntime:
             admission=admission,
             pipeline=pipeline,
             rebalance=rebalance,
+            obs=obs,
         )
         restore_runtime(runtime, path)
         return runtime

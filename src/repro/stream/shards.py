@@ -366,6 +366,12 @@ class ShardRebalancer:
         self.ewma: dict[int, float] = {}
         self.last_repack = -1
         self.observed_rounds = 0
+        #: Telemetry for the most recent *applied* repack: round index and
+        #: predicted bottleneck-bin latency before/after.  Observational
+        #: only — deliberately absent from :meth:`state_dict`, since the
+        #: bottleneck figures derive from wall-clock EWMA samples and the
+        #: checkpoint meta must stay timing-free.
+        self.last_decision: dict[str, float] | None = None
 
     # --------------------------------------------------------------- observe
     def observe(
@@ -433,9 +439,15 @@ class ShardRebalancer:
         current_max = max_bin(current)
         if current_max <= 0.0:
             return None
-        if (current_max - max_bin(candidate)) / current_max <= self.hysteresis:
+        candidate_max = max_bin(candidate)
+        if (current_max - candidate_max) / current_max <= self.hysteresis:
             return None
         self.last_repack = int(round_index)
+        self.last_decision = {
+            "round": int(round_index),
+            "bottleneck_before": float(current_max),
+            "bottleneck_after": float(candidate_max),
+        }
         return layout.repacked(candidate)
 
     # ----------------------------------------------------------- checkpoints

@@ -29,6 +29,8 @@ the CPU-bound part, is all that crosses the process boundary.
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from multiprocessing import get_context, shared_memory
 
@@ -233,7 +235,7 @@ def _attach_scratch(shard: int, name: str) -> shared_memory.SharedMemory:
 
 def solve_shared_shard(
     assigner: Assigner, header: dict
-) -> tuple[int, list[tuple[int, int]], float]:
+) -> tuple[int, list[tuple[int, int]], float, tuple[int, int, int, int]]:
     """One shard's solve against shared state; runs in the pool worker.
 
     Entities are rebuilt from the slab rows the header's slot vectors
@@ -242,6 +244,10 @@ def solve_shared_shard(
     influence/entropy rectangles, ids and publication times, all of which
     ride along) — and the caller materializes the returned index pairs
     against its own full-fidelity prepared instance anyway.
+
+    The trailing ``(start_ns, end_ns, pid, tid)`` tuple is the solve span
+    on the worker's wall clock: the parent's tracer (when one is live)
+    replays it onto the shared timeline, attributed to the worker process.
     """
     block = _attach_scratch(header["shard"], header["name"])
     workers_n, tasks_n = header["workers"], header["tasks"]
@@ -292,8 +298,10 @@ def solve_shared_shard(
         for task, value in zip(tasks, views["entropy"])
     }
     started = time.perf_counter()
+    start_ns = time.time_ns()
     part = assigner.assign(prepared)
     solved = time.perf_counter() - started
+    span = (start_ns, time.time_ns(), os.getpid(), threading.get_ident())
     row_of = {worker.worker_id: row for row, worker in enumerate(workers)}
     column_of = {task.task_id: column for column, task in enumerate(tasks)}
     pairs = [
@@ -303,4 +311,4 @@ def solve_shared_shard(
     # Views die here; only the cached SharedMemory handles persist, so a
     # regrown scratch block can be re-attached without BufferError.
     del views, prepared, part
-    return header["shard"], pairs, solved
+    return header["shard"], pairs, solved, span

@@ -18,6 +18,10 @@ asserts the three equivalences the streaming stack claims, bit for bit:
 4. **Checkpoint/resume** — a v4 checkpoint taken mid-stream (mid-
    relocation wave where the scenario has one) resumes event-for-event
    identically, admission-control state included.
+5. **Observability on == off** — full telemetry (live registry + tracer)
+   reads values the runtime already computed and nothing else: pairs,
+   round records and wait distributions stay bit-identical across the
+   scenario matrix and every executor backend.
 
 Plus the admission-control contract: disabled (or never-overloaded)
 admission control is a provable no-op, and the defer/shed policies behave
@@ -37,6 +41,14 @@ from repro.assignment import (
     NearestNeighborAssigner,
 )
 from repro.framework import OnlineSimulator
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    render_prometheus,
+    validate_exposition,
+    validate_trace_events,
+)
 from repro.stream import (
     AdmissionController,
     ShardRebalancer,
@@ -61,6 +73,21 @@ def round_rows(result):
          r.assigned, r.expired_tasks, r.churned_workers, r.cancelled_tasks,
          r.relocated_workers, r.deferred_tasks, r.shed_tasks)
         for r in result.rounds
+    ]
+
+
+def wait_profile(result):
+    """Order-independent wait-distribution state for cross-engine compares.
+
+    ``total`` is excluded on purpose: engines retire pairs in different
+    orders, and float addition order can shift its last ulp.
+    """
+    return [
+        (hist.count, hist.counts.tolist(), hist.min_seen, hist.max_seen)
+        for hist in (
+            result.metrics.task_wait_histogram,
+            result.metrics.worker_wait_histogram,
+        )
     ]
 
 
@@ -142,9 +169,7 @@ class TestShardedUnsharded:
             )
             assert pairs(sharded) == pairs(nn_reference), f"shards={shards}"
             assert round_rows(sharded) == round_rows(nn_reference)
-            assert sorted(sharded.metrics.task_waits) == sorted(
-                nn_reference.metrics.task_waits
-            )
+            assert wait_profile(sharded) == wait_profile(nn_reference)
 
     @pytest.mark.parametrize("assigner_cls", [
         IAAssigner, MTAAssigner, EIAAssigner, MIAssigner,
@@ -216,9 +241,7 @@ class TestPipelinedSerial:
         )
         assert pairs(pipelined) == pairs(nn_reference)
         assert round_rows(pipelined) == round_rows(nn_reference)
-        assert sorted(pipelined.metrics.task_waits) == sorted(
-            nn_reference.metrics.task_waits
-        )
+        assert wait_profile(pipelined) == wait_profile(nn_reference)
 
     @pytest.mark.parametrize("assigner_cls", [
         IAAssigner, MTAAssigner, EIAAssigner, MIAssigner,
@@ -254,9 +277,7 @@ class TestPipelinedSerial:
         )
         assert pairs(rebalanced) == pairs(nn_reference)
         assert round_rows(rebalanced) == round_rows(nn_reference)
-        assert sorted(rebalanced.metrics.task_waits) == sorted(
-            nn_reference.metrics.task_waits
-        )
+        assert wait_profile(rebalanced) == wait_profile(nn_reference)
 
     def test_pipelined_rebalancing_full_stack(self):
         scenario = SCENARIOS["rush_hour_relocation"]()
@@ -267,6 +288,69 @@ class TestPipelinedSerial:
         )
         assert pairs(stacked) == pairs(plain)
         assert round_rows(stacked) == round_rows(plain)
+
+
+def full_obs():
+    """Every telemetry sink live: a real registry plus a real tracer."""
+    return Observability(registry=MetricsRegistry(), tracer=Tracer())
+
+
+class TestObservabilityDifferential:
+    """Telemetry on vs off is bit-identical — obs only reads results."""
+
+    def test_all_scenarios_unsharded(self, scenario, nn_reference):
+        obs = full_obs()
+        observed = run_stream(scenario, NearestNeighborAssigner(), obs=obs)
+        assert pairs(observed) == pairs(nn_reference)
+        assert round_rows(observed) == round_rows(nn_reference)
+        assert wait_profile(observed) == wait_profile(nn_reference)
+        # The sinks were live, not silently disconnected.
+        names = {family.name for family in obs.registry.families()}
+        assert "repro_stream_rounds_total" in names
+        assert any(event["name"] == "round" for event in obs.tracer.events())
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_executor_backends_sharded(self, backend):
+        scenario = SCENARIOS["mass_relocation"]()
+        plain = run_stream(
+            scenario, NearestNeighborAssigner(), shards=4, executor=backend
+        )
+        obs = full_obs()
+        observed = run_stream(
+            scenario, NearestNeighborAssigner(), shards=4, executor=backend,
+            obs=obs,
+        )
+        assert pairs(observed) == pairs(plain)
+        assert round_rows(observed) == round_rows(plain)
+        assert wait_profile(observed) == wait_profile(plain)
+        assert any(
+            event["name"] == "shard.solve" for event in obs.tracer.events()
+        ), backend
+
+    def test_pipelined_rebalanced_full_stack_emits_valid_telemetry(self):
+        scenario = SCENARIOS["rush_hour_relocation"]()
+        shards = scenario.shard_counts[-1]
+        kwargs = dict(
+            shards=shards, executor="thread", pipeline=True,
+        )
+        plain = run_stream(
+            scenario, NearestNeighborAssigner(),
+            rebalance=eager_rebalancer(), **kwargs,
+        )
+        obs = full_obs()
+        observed = run_stream(
+            scenario, NearestNeighborAssigner(),
+            rebalance=eager_rebalancer(), obs=obs, **kwargs,
+        )
+        assert pairs(observed) == pairs(plain)
+        assert round_rows(observed) == round_rows(plain)
+        # And what came out the other end is well-formed: the trace passes
+        # the trace-event schema, the registry renders valid exposition.
+        span_names = {event["name"] for event in obs.tracer.events()}
+        assert {"round", "round.drain", "shard.prepare", "shard.solve",
+                "round.merge"} <= span_names
+        validate_trace_events(obs.tracer.to_payload())
+        validate_exposition(render_prometheus(obs.registry))
 
 
 def mid_relocation_round(full_result, log) -> int:

@@ -231,6 +231,76 @@ class TestStream:
         assert "--patience-hours" in capsys.readouterr().err
 
 
+class TestStreamObservability:
+    """The --trace / --metrics-port surface: files, endpoint, validation."""
+
+    def test_trace_file_written_and_schema_valid(self, tmp_path, capsys):
+        from repro.obs import validate_trace_events
+
+        trace = tmp_path / "trace.json"
+        assert main(["stream", *FAST, "--no-influence", "--max-rounds", "3",
+                     "--show-rounds", "0", "--trace", str(trace)]) == 0
+        assert f"trace: {trace}" in capsys.readouterr().out
+        payload = json.loads(trace.read_text())
+        validate_trace_events(payload)
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert {"process_name", "round", "round.drain"} <= names
+
+    def test_trace_covers_sharded_pipelined_runs(self, tmp_path, capsys):
+        from repro.obs import validate_trace_events
+
+        trace = tmp_path / "pipelined.json"
+        assert main(["stream", *FAST, "--no-influence", "--shards", "4",
+                     "--executor", "thread", "--pipeline", "--show-rounds", "0",
+                     "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        payload = json.loads(trace.read_text())
+        validate_trace_events(payload)
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert {"shard.prepare", "shard.solve", "round.merge"} <= names
+
+    def test_metrics_port_serves_valid_exposition(self, capsys):
+        import socket
+        import threading
+        import time
+        import urllib.request
+
+        from repro.obs import validate_exposition
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        url = f"http://127.0.0.1:{port}/metrics"
+        scraped: list[str] = []
+        done = threading.Event()
+
+        def scrape():
+            while not done.is_set():
+                try:
+                    with urllib.request.urlopen(url, timeout=1) as response:
+                        scraped.append(response.read().decode("utf-8"))
+                except OSError:
+                    pass
+                time.sleep(0.01)
+
+        thread = threading.Thread(target=scrape, daemon=True)
+        thread.start()
+        try:
+            assert main(["stream", *FAST, "--no-influence", "--show-rounds",
+                         "0", "--metrics-port", str(port)]) == 0
+        finally:
+            done.set()
+            thread.join(timeout=10)
+        assert f"metrics: {url}" in capsys.readouterr().out
+        assert scraped, "no scrape landed while the endpoint was up"
+        validate_exposition(scraped[-1])
+
+    def test_invalid_metrics_port_fails_fast(self, capsys):
+        assert main(["stream", *FAST, "--no-influence",
+                     "--metrics-port", "70000"]) == 2
+        assert "--metrics-port" in capsys.readouterr().err
+
+
 class TestStreamMultiDayAndAdmission:
     """The --days and --admission-* surface: runs and flag validation."""
 

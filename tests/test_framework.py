@@ -126,6 +126,29 @@ class TestMetrics:
         result = evaluate_assignment("IA", assignment, prepared)
         assert result.average_travel_km == pytest.approx(assignment.average_travel_km())
 
+    def test_percentiles_share_the_obs_histogram(self):
+        """Batch percentile math goes through obs.histo, same error bound."""
+        from repro.framework import cpu_time_percentiles, latency_percentiles
+        from repro.obs.histo import SECONDS_HISTOGRAM, LogHistogram
+
+        samples = [0.01, 0.02, 0.04, 0.08, 0.5]
+        oracle = LogHistogram(**SECONDS_HISTOGRAM)
+        for value in samples:
+            oracle.record(value)
+        assert latency_percentiles(samples, (50.0, 99.0)) == (
+            oracle.percentiles((50.0, 99.0))
+        )
+
+        from repro.framework import MetricsResult
+
+        results = [
+            MetricsResult("X", 1, 0.0, 0.0, 0.0, cpu_seconds=value)
+            for value in samples
+        ]
+        assert cpu_time_percentiles(results, (50.0,)) == (
+            oracle.percentiles((50.0,))
+        )
+
 
 class TestSimulator:
     def test_scoring_model_validated(self):

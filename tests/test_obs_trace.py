@@ -1,0 +1,120 @@
+"""Tests for repro.obs.trace — span recording and trace-event schema."""
+
+import json
+
+import pytest
+
+from repro.exceptions import DataError
+from repro.obs.trace import NULL_TRACER, Tracer, validate_trace_events
+
+
+class TestTracer:
+    def test_span_context_manager_records_complete_event(self):
+        tracer = Tracer()
+        with tracer.span("solve", cat="shard", shard=3) as span:
+            span.note(pairs=17)
+        (event,) = tracer.events()
+        assert event["name"] == "solve"
+        assert event["ph"] == "X"
+        assert event["cat"] == "shard"
+        assert event["dur"] >= 0.0
+        assert event["args"] == {"shard": 3, "pairs": 17}
+
+    def test_complete_attributes_worker_pid_tid(self):
+        """Spans shipped back from pool workers keep the worker's timeline."""
+        tracer = Tracer()
+        start = tracer.epoch_ns + 1_000
+        tracer.complete(
+            "shard.solve", start, start + 2_000,
+            cat="shard", pid=4242, tid=7, args={"shard": 1},
+        )
+        (event,) = tracer.events()
+        assert event["pid"] == 4242
+        assert event["tid"] == 7
+        assert event["ts"] == pytest.approx(1.0)  # µs past the epoch
+        assert event["dur"] == pytest.approx(2.0)
+
+    def test_instant_is_process_scoped(self):
+        tracer = Tracer()
+        tracer.instant("admission.diverted", cat="admission",
+                       args={"deferred": 2})
+        (event,) = tracer.events()
+        assert event["ph"] == "i"
+        assert event["s"] == "p"
+        assert event["args"] == {"deferred": 2}
+
+    def test_payload_has_process_metadata_and_validates(self):
+        tracer = Tracer(process_name="unit-test")
+        with tracer.span("round"):
+            pass
+        tracer.instant("tick")
+        payload = tracer.to_payload()
+        metadata = payload["traceEvents"][0]
+        assert metadata["ph"] == "M"
+        assert metadata["args"]["name"] == "unit-test"
+        assert payload["displayTimeUnit"] == "ms"
+        validate_trace_events(payload)
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("round", round=0):
+            pass
+        path = tracer.write(tmp_path / "trace.json")
+        validate_trace_events(json.loads(path.read_text()))
+
+    def test_null_tracer_records_nothing(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("round") as span:
+            span.note(x=1)
+        NULL_TRACER.instant("tick")
+        NULL_TRACER.complete("x", 0, 1)
+        assert NULL_TRACER.events() == []
+
+
+class TestValidation:
+    @staticmethod
+    def base_event(**overrides):
+        event = {"name": "x", "ph": "X", "ts": 0.0, "dur": 1.0,
+                 "pid": 1, "tid": 1}
+        event.update(overrides)
+        return event
+
+    def test_rejects_non_object_payload(self):
+        with pytest.raises(DataError):
+            validate_trace_events([])
+        with pytest.raises(DataError):
+            validate_trace_events({"events": []})
+        with pytest.raises(DataError):
+            validate_trace_events({"traceEvents": "nope"})
+
+    def test_accepts_the_emitted_shapes(self):
+        validate_trace_events({"traceEvents": [
+            self.base_event(),
+            self.base_event(ph="i", s="g"),
+            {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+             "args": {"name": "x"}},
+        ]})
+
+    @pytest.mark.parametrize("corrupt", [
+        lambda e: e.pop("name"),
+        lambda e: e.update(name=""),
+        lambda e: e.pop("pid"),
+        lambda e: e.update(ph="B"),
+        lambda e: e.update(pid="main"),
+        lambda e: e.update(dur=-1.0),
+        lambda e: e.pop("dur"),
+        lambda e: e.update(ts="soon"),
+        lambda e: e.update(ph="i", s="q"),
+        lambda e: e.update(args=[1, 2]),
+    ])
+    def test_rejects_corrupted_events(self, corrupt):
+        event = self.base_event()
+        corrupt(event)
+        with pytest.raises(DataError):
+            validate_trace_events({"traceEvents": [event]})
+
+    def test_error_names_the_offending_position(self):
+        with pytest.raises(DataError, match=r"traceEvents\[1\]"):
+            validate_trace_events(
+                {"traceEvents": [self.base_event(), {"ph": "X"}]}
+            )

@@ -89,8 +89,16 @@ class TestCheckpointResume:
         result = resumed.run()
         assert pairs(result) == pairs(uninterrupted)
         assert round_tuples(result) == round_tuples(uninterrupted)
-        assert result.metrics.task_waits == uninterrupted.metrics.task_waits
-        assert result.metrics.worker_waits == uninterrupted.metrics.worker_waits
+        # Same replay order, so the histograms match bit-exactly — totals
+        # included.
+        assert (
+            result.metrics.task_wait_histogram
+            == uninterrupted.metrics.task_wait_histogram
+        )
+        assert (
+            result.metrics.worker_wait_histogram
+            == uninterrupted.metrics.worker_wait_histogram
+        )
 
     def test_checkpoint_mid_batch_with_count_trigger(self, tmp_path):
         """Stop while the count trigger's next batch is partially admitted:
@@ -273,7 +281,7 @@ class TestCheckpointValidation:
         runtime.run(max_rounds=1)
         saved = runtime.checkpoint(tmp_path / "ck.npz")
         payload = load_checkpoint(saved)
-        assert payload["meta"]["version"] == 5
+        assert payload["meta"]["version"] == 6
 
         from repro.stream import checkpoint as checkpoint_module
 
@@ -571,6 +579,66 @@ class TestChunkedFormat:
         saved.write_bytes(bytes(blob))
         with pytest.raises(DataError, match="hash mismatch"):
             load_checkpoint_meta(saved)
+
+
+def rewrite_meta(path, mutate):
+    """Re-publish a manifest with a mutated meta dict (valid trailer)."""
+    import hashlib
+    import json
+
+    from repro.stream import checkpoint as cp
+
+    blob = path.read_bytes()
+    magic, version, flags, meta_len, index_len, digest_count = (
+        cp._MANIFEST_HEADER.unpack_from(blob)
+    )
+    offset = cp._MANIFEST_HEADER.size
+    meta = json.loads(blob[offset:offset + meta_len].decode("utf-8"))
+    mutate(meta)
+    meta_blob = json.dumps(meta).encode("utf-8")
+    rest = blob[offset + meta_len:len(blob) - cp._DIGEST_BYTES]
+    header = cp._MANIFEST_HEADER.pack(
+        magic, version, flags, len(meta_blob), index_len, digest_count
+    )
+    body = header + meta_blob + rest
+    path.write_bytes(body + hashlib.sha256(body).digest())
+
+
+class TestHistogramStateInMeta:
+    """v6: the wait histograms persist in the manifest meta, not the chunks."""
+
+    def _interrupted(self, tmp_path):
+        base, log = relocation_world()
+        runtime = StreamRuntime(
+            NearestNeighborAssigner(), None, TimeWindowTrigger(1.0), base, log,
+        )
+        runtime.run(max_rounds=7)
+        assert runtime.result.metrics.task_wait_histogram.count > 0
+        return base, log, runtime.checkpoint(tmp_path / "hist.ckpt")
+
+    def test_wait_histograms_live_in_meta_only(self, tmp_path):
+        _, _, saved = self._interrupted(tmp_path)
+        manifest = load_checkpoint_manifest(saved)
+        meta = manifest["meta"]
+        assert meta["version"] == 6
+        assert meta["metrics"]["task_waits"]["count"] > 0
+        assert meta["metrics"]["worker_waits"]["count"] > 0
+        # The unbounded per-sample wait arrays of v5 and earlier are gone.
+        names = {entry["name"] for entry in manifest["arrays"]}
+        assert not any("wait" in name for name in names)
+
+    def test_histogram_config_mismatch_rejected(self, tmp_path):
+        base, log, saved = self._interrupted(tmp_path)
+
+        def shrink_buckets(meta):
+            meta["metrics"]["task_waits"]["buckets_per_decade"] = 8
+
+        rewrite_meta(saved, shrink_buckets)
+        with pytest.raises(DataError, match="bucket configuration mismatch"):
+            StreamRuntime.resume(
+                saved, NearestNeighborAssigner(), None, TimeWindowTrigger(1.0),
+                base, log,
+            )
 
 
 class TestAtomicSave:

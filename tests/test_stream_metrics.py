@@ -33,9 +33,17 @@ class TestCounters:
         metrics = StreamMetrics()
         metrics.on_assigned(1.5, 0.5)
         metrics.on_assigned(2.5, 1.0)
-        assert metrics.task_waits == [1.5, 2.5]
-        assert metrics.worker_waits == [0.5, 1.0]
-        assert metrics.task_wait_percentiles((50.0,))[50.0] == pytest.approx(2.0)
+        assert metrics.task_wait_histogram.count == 2
+        assert metrics.task_wait_histogram.min_seen == 1.5
+        assert metrics.task_wait_histogram.max_seen == 2.5
+        assert metrics.worker_wait_histogram.count == 2
+        assert metrics.worker_wait_histogram.mean == pytest.approx(0.75)
+        # Nearest-rank p50 of {1.5, 2.5} is the 1.5 sample, reported within
+        # the histogram's bucket-width relative-error bound.
+        p50 = metrics.task_wait_percentiles((50.0,))[50.0]
+        assert p50 == pytest.approx(
+            1.5, rel=metrics.task_wait_histogram.relative_error
+        )
 
     def test_percentiles_empty_safe(self):
         metrics = StreamMetrics()
@@ -62,7 +70,11 @@ class TestSummary:
         # 4 assigned + 1 expired + 1 cancelled tasks seen; 4 + 2 workers seen.
         assert summary.expiry_rate == pytest.approx(1 / 6)
         assert summary.churn_rate == pytest.approx(2 / 6)
-        assert summary.round_latency_p99 == pytest.approx(0.398, abs=1e-3)
+        # Nearest-rank p99 of {0.2, 0.4} is the 0.4 sample, within the
+        # histogram's quantization bound.
+        assert summary.round_latency_p99 == pytest.approx(
+            0.4, rel=metrics.round_latency_histogram.relative_error
+        )
 
     def test_zero_division_guards(self):
         summary = StreamMetrics().summary()
@@ -91,8 +103,10 @@ class TestStateDict:
         restored = StreamMetrics()
         restored.load_state_dict(metrics.state_dict())
         assert restored.rounds == metrics.rounds
-        assert restored.task_waits == metrics.task_waits
-        assert restored.worker_waits == metrics.worker_waits
+        assert restored.task_wait_histogram == metrics.task_wait_histogram
+        assert restored.worker_wait_histogram == metrics.worker_wait_histogram
+        # Round latency is rebuilt by replaying the rounds, not persisted.
+        assert restored.round_latency_histogram == metrics.round_latency_histogram
         assert restored.wall_seconds == metrics.wall_seconds
         assert restored.total_assigned == metrics.total_assigned
         assert restored.total_drained == metrics.total_drained

@@ -359,8 +359,10 @@ class TestEdgeCases:
             make_instance(tasks), log_from_arrivals(arrivals, tasks),
         )
         result = runtime.run()
-        assert result.metrics.task_waits == [pytest.approx(0.0)]
-        assert result.metrics.worker_waits == [pytest.approx(0.0)]
+        assert result.metrics.task_wait_histogram.count == 1
+        assert result.metrics.task_wait_histogram.max_seen == pytest.approx(0.0)
+        assert result.metrics.worker_wait_histogram.count == 1
+        assert result.metrics.worker_wait_histogram.max_seen == pytest.approx(0.0)
         summary = result.summary()
         assert summary.assigned == 1
         assert summary.rounds == len(result.rounds)

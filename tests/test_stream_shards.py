@@ -147,8 +147,15 @@ class TestShardedRoundDeterminism:
         assert plain.total_assigned > 0
         assert sorted_pairs(sharded) == sorted_pairs(plain)
         assert round_rows(sharded) == round_rows(plain)
-        assert sorted(sharded.metrics.task_waits) == sorted(plain.metrics.task_waits)
-        assert sorted(sharded.metrics.worker_waits) == sorted(plain.metrics.worker_waits)
+        # Engines may record waits in different order, so compare the
+        # order-independent histogram state (buckets + exact min/max);
+        # ``total`` is excluded — float addition order shifts its last ulp.
+        for name in ("task_wait_histogram", "worker_wait_histogram"):
+            ours, theirs = getattr(sharded.metrics, name), getattr(plain.metrics, name)
+            assert ours.count == theirs.count
+            assert ours.counts.tolist() == theirs.counts.tolist()
+            assert ours.min_seen == theirs.min_seen
+            assert ours.max_seen == theirs.max_seen
 
     @pytest.mark.parametrize("seed", [3, 11, 29])
     def test_property_random_worlds(self, seed):
