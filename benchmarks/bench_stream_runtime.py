@@ -24,15 +24,23 @@ import pytest
 from figutil import bench_artifact
 
 from repro.assignment import MTAAssigner, NearestNeighborAssigner
+from repro.assignment.lexico import LexicographicCostAssigner
+from repro.data.instance import SCInstance
+from repro.entities import Task, Worker
 from repro.framework import OnlineSimulator, WorkerArrival
+from repro.geo import Point
 from repro.obs import MetricsRegistry, Observability, Tracer
 from repro.stream import (
     AdaptiveTrigger,
     CountTrigger,
+    EventLog,
     HybridTrigger,
     ShardRebalancer,
     StreamRuntime,
+    TaskPublishEvent,
     TimeWindowTrigger,
+    WorkerArrivalEvent,
+    expiry_events,
     log_from_arrivals,
     synthetic_stream,
 )
@@ -295,6 +303,126 @@ def test_rebalance_on_vs_off(benchmark, rate_factor):
         f"{on.metrics.total_repacks} repacks"
     )
     assert on_summary.assigned == off_summary.assigned > 0
+
+
+class SubstrateDistanceAssigner(LexicographicCostAssigner):
+    """Tie-free distance-cost lexicographic assigner on the substrate engine.
+
+    Continuous pairwise distances make the optimum unique, so warm and cold
+    runs must return identical pairs (not just equal objectives).  Both
+    sides of the warm column pin ``engine="substrate"`` — the only
+    carry-capable engine — so the measured ratio isolates the warm-start
+    mechanism from engine selection.  Module-level for pickling.
+    """
+
+    name = "DistLex"
+
+    def __init__(self):
+        super().__init__(engine="substrate")
+
+    def edge_costs(self, prepared):
+        return prepared.feasible.distance_km
+
+
+#: District geometry for the warm column (mirrors the flow-level bench):
+#: every city pairs a worker-surplus district with a task-surplus district
+#: farther apart than any worker's reach.  The surpluses survive in place
+#: round after round — the retired-pair carry the warm solver prunes.
+#: Uniform worlds like ``make_clustered_stream`` clear their scarce side
+#: every round, leaving no carry for warm starts to exploit.
+DISTRICT_GAP_KM = 12.0
+DISTRICT_REACH_KM = 5.0
+
+
+def make_district_stream(rate_factor: int, seed: int = 37):
+    rng = np.random.default_rng(seed)
+    num_workers = max(int(PAPER_DAY_WORKERS * rate_factor * BENCH_SCALE), 80)
+    num_tasks = max(int(PAPER_DAY_TASKS * rate_factor * BENCH_SCALE), 80)
+    events = []
+    for worker_id in range(num_workers):
+        city_x = 80.0 * (worker_id % CLUSTERS)
+        offset = 0.0 if rng.random() < 0.85 else DISTRICT_GAP_KM
+        location = Point(
+            city_x + offset + float(rng.normal(0.0, 1.5)),
+            float(rng.normal(0.0, 1.5)),
+        )
+        events.append(WorkerArrivalEvent(
+            time=float(rng.uniform(0.0, 24.0)),
+            worker=Worker(
+                worker_id=worker_id, location=location,
+                reachable_km=DISTRICT_REACH_KM,
+            ),
+        ))
+    tasks = []
+    for task_id in range(num_tasks):
+        city_x = 80.0 * (task_id % CLUSTERS)
+        offset = DISTRICT_GAP_KM if rng.random() < 0.85 else 0.0
+        tasks.append(Task(
+            task_id=task_id,
+            location=Point(
+                city_x + offset + float(rng.normal(0.0, 1.5)),
+                float(rng.normal(0.0, 1.5)),
+            ),
+            publication_time=float(rng.uniform(0.0, 24.0)),
+            valid_hours=4.0,
+        ))
+    events.extend(TaskPublishEvent(time=t.publication_time, task=t) for t in tasks)
+    events.extend(expiry_events(tasks))
+    base = SCInstance(
+        name="district-stream", current_time=0.0, tasks=[], workers=[],
+        histories={}, social_edges=[],
+        all_worker_ids=tuple(range(num_workers)),
+    )
+    return base, EventLog(events)
+
+
+@pytest.mark.parametrize("rate_factor", [10, 100])
+def test_warm_vs_cold_rounds(benchmark, rate_factor):
+    """The warm column: carried duals + retired-pair pruning per shard.
+
+    Warm and cold runs must be bit-identical — pairs and per-round
+    assigned counts — before any timing claim; the column then compares
+    the p50 of per-round solve time.  The floor arms where the carry is
+    meaningful: default scale and the 100x rate, whose per-shard pools
+    hold hundreds of surviving entities between rounds.
+    """
+    base, log = make_district_stream(rate_factor)
+
+    def run(warm):
+        with StreamRuntime(
+            SubstrateDistanceAssigner(), None, CountTrigger(PIPELINE_BATCH),
+            base, log, patience_hours=6.0, shards=CLUSTERS, warm=warm,
+        ) as runtime:
+            return runtime.run()
+
+    cold = run(False)
+    warm = benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
+
+    assert sorted_pairs(warm) == sorted_pairs(cold)
+    assert [r.assigned for r in warm.rounds] == [
+        r.assigned for r in cold.rounds
+    ]
+
+    cold_p50 = float(np.percentile([r.solve_seconds for r in cold.rounds], 50))
+    warm_p50 = float(np.percentile([r.solve_seconds for r in warm.rounds], 50))
+    speedup = cold_p50 / warm_p50 if warm_p50 > 0 else float("inf")
+    print(
+        f"\n{rate_factor:>3}x rate, {CLUSTERS} shards: "
+        f"cold solve p50 {cold_p50 * 1e3:.2f} ms, "
+        f"warm solve p50 {warm_p50 * 1e3:.2f} ms ({speedup:.2f}x), "
+        f"{warm.summary().rounds} rounds, {warm.total_assigned} assigned"
+    )
+    bench_artifact(
+        f"stream_warm_{rate_factor}x",
+        {"rate_factor": rate_factor, "bench_scale": BENCH_SCALE,
+         "solve_p50_cold_s": cold_p50, "solve_p50_warm_s": warm_p50,
+         "speedup": speedup, "cold": summary_payload(cold.summary()),
+         "warm": summary_payload(warm.summary())},
+    )
+    if BENCH_SCALE >= 0.15 and rate_factor >= 100:
+        assert speedup >= 1.3, (
+            f"warm-started round solves regressed: {speedup:.2f}x < 1.3x"
+        )
 
 
 @pytest.mark.parametrize("rate_factor", [10, 100])

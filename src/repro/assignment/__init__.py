@@ -34,9 +34,11 @@ from repro.assignment.base import (
 )
 from repro.assignment.candidates import CandidatePair, candidate_pairs
 from repro.assignment.hungarian import hungarian, solve_lexicographic_hungarian
+from repro.assignment.lexico import LexicographicCostAssigner
 from repro.assignment.solvers import (
     solve_lexicographic,
     solve_lexicographic_dense,
+    solve_lexicographic_matching,
     solve_lexicographic_mcmf,
     solve_lexicographic_substrate,
 )
@@ -57,9 +59,11 @@ __all__ = [
     "CandidatePair",
     "candidate_pairs",
     "hungarian",
+    "LexicographicCostAssigner",
     "solve_lexicographic",
     "solve_lexicographic_dense",
     "solve_lexicographic_hungarian",
+    "solve_lexicographic_matching",
     "solve_lexicographic_mcmf",
     "solve_lexicographic_substrate",
     "MTAAssigner",

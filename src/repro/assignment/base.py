@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.data.instance import SCInstance
 from repro.entities import Assignment, Task, Worker
+from repro.flow.bipartite import MatchingResult
 from repro.geo import pairwise_euclidean
 from repro.influence import InfluenceModel, entropy_of_tasks
 
@@ -116,9 +117,39 @@ class PreparedInstance:
             [self.entropy_by_task[t.task_id] for t in self.instance.tasks]
         )
 
-    def build_assignment(self, pairs: list[tuple[int, int]]) -> Assignment:
+    def build_assignment(
+        self,
+        pairs: "list[tuple[int, int]] | tuple[np.ndarray, np.ndarray] | MatchingResult",
+    ) -> Assignment:
         """Materialize an :class:`Assignment` from (worker_row, task_column)
-        index pairs, validating feasibility and one-to-one matching."""
+        index pairs, validating feasibility and one-to-one matching.
+
+        Accepts a list of index tuples, a ``(rows, cols)`` pair of index
+        arrays, or a :class:`~repro.flow.MatchingResult` directly — the
+        array forms validate vectorized and only fall back to the scalar
+        walk to reproduce its precise error messages.
+        """
+        if isinstance(pairs, MatchingResult):
+            pairs = (pairs.rows, pairs.cols)
+        if (
+            isinstance(pairs, tuple)
+            and len(pairs) == 2
+            and isinstance(pairs[0], np.ndarray)
+        ):
+            rows = np.asarray(pairs[0], dtype=np.int64)
+            columns = np.asarray(pairs[1], dtype=np.int64)
+            valid = (
+                np.unique(rows).size == rows.size
+                and np.unique(columns).size == columns.size
+                and (rows.size == 0 or bool(self.feasible.mask[rows, columns].all()))
+            )
+            if valid:
+                assignment = Assignment()
+                workers, tasks = self.instance.workers, self.instance.tasks
+                for row, column in zip(rows.tolist(), columns.tolist()):
+                    assignment.add(tasks[column], workers[row])
+                return assignment
+            pairs = list(zip(rows.tolist(), columns.tolist()))
         assignment = Assignment()
         used_rows: set[int] = set()
         used_columns: set[int] = set()

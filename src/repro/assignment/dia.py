@@ -13,18 +13,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.assignment.base import Assigner, PreparedInstance
-from repro.assignment.solvers import solve_lexicographic
-from repro.entities import Assignment
+from repro.assignment.base import PreparedInstance
+from repro.assignment.lexico import LexicographicCostAssigner
 
 
-class DIAAssigner(Assigner):
+class DIAAssigner(LexicographicCostAssigner):
     """Distance-discounted influence-aware MCMF assignment."""
 
     name = "DIA"
-
-    def __init__(self, engine: str = "auto") -> None:
-        self.engine = engine
 
     def edge_costs(self, prepared: PreparedInstance) -> np.ndarray:
         """The DIA cost matrix ``1 / (F * if + 1)``."""
@@ -34,12 +30,3 @@ class DIAAssigner(Assigner):
             ratio = np.where(radius > 0, feasible.distance_km / np.maximum(radius, 1e-12), 1.0)
         discount = 1.0 - np.minimum(1.0, ratio)
         return 1.0 / (discount * prepared.influence_matrix + 1.0)
-
-    def assign(self, prepared: PreparedInstance) -> Assignment:
-        feasible = prepared.feasible
-        if feasible.num_feasible == 0:
-            return Assignment()
-        pairs = solve_lexicographic(
-            self.edge_costs(prepared), feasible.mask, engine=self.engine
-        )
-        return prepared.build_assignment(pairs)

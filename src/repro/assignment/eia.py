@@ -14,29 +14,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.assignment.base import Assigner, PreparedInstance
-from repro.assignment.solvers import solve_lexicographic
-from repro.entities import Assignment
+from repro.assignment.base import PreparedInstance
+from repro.assignment.lexico import LexicographicCostAssigner
 
 
-class EIAAssigner(Assigner):
+class EIAAssigner(LexicographicCostAssigner):
     """Entropy-weighted influence-aware MCMF assignment."""
 
     name = "EIA"
-
-    def __init__(self, engine: str = "auto") -> None:
-        self.engine = engine
 
     def edge_costs(self, prepared: PreparedInstance) -> np.ndarray:
         """The EIA cost matrix ``(s.e + 1) / (if + 1)``."""
         entropy = prepared.entropy_vector()[None, :]
         return (entropy + 1.0) / (prepared.influence_matrix + 1.0)
-
-    def assign(self, prepared: PreparedInstance) -> Assignment:
-        feasible = prepared.feasible
-        if feasible.num_feasible == 0:
-            return Assignment()
-        pairs = solve_lexicographic(
-            self.edge_costs(prepared), feasible.mask, engine=self.engine
-        )
-        return prepared.build_assignment(pairs)

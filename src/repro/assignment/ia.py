@@ -12,28 +12,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.assignment.base import Assigner, PreparedInstance
-from repro.assignment.solvers import solve_lexicographic
-from repro.entities import Assignment
+from repro.assignment.base import PreparedInstance
+from repro.assignment.lexico import LexicographicCostAssigner
 
 
-class IAAssigner(Assigner):
+class IAAssigner(LexicographicCostAssigner):
     """Influence-aware MCMF assignment."""
 
     name = "IA"
 
-    def __init__(self, engine: str = "auto") -> None:
-        self.engine = engine
-
     def edge_costs(self, prepared: PreparedInstance) -> np.ndarray:
         """The IA cost matrix ``1 / (if + 1)``."""
         return 1.0 / (prepared.influence_matrix + 1.0)
-
-    def assign(self, prepared: PreparedInstance) -> Assignment:
-        feasible = prepared.feasible
-        if feasible.num_feasible == 0:
-            return Assignment()
-        pairs = solve_lexicographic(
-            self.edge_costs(prepared), feasible.mask, engine=self.engine
-        )
-        return prepared.build_assignment(pairs)

@@ -24,12 +24,14 @@ edge cost second.  Three exact solvers are provided:
 
 from __future__ import annotations
 
+from typing import Hashable, Sequence
+
 import numpy as np
 from scipy.optimize import linear_sum_assignment
 
 from repro.exceptions import FlowError
 from repro.flow import FlowNetwork, MinCostMaxFlow
-from repro.flow.bipartite import min_cost_matching
+from repro.flow.bipartite import MatchingResult, WarmStart, min_cost_matching
 
 
 def solve_lexicographic_dense(
@@ -166,3 +168,57 @@ def solve_lexicographic(
     ):
         return solve_lexicographic_substrate(cost, feasible)
     return solve_lexicographic_dense(cost, feasible)
+
+
+def solve_lexicographic_matching(
+    cost: np.ndarray,
+    feasible: np.ndarray,
+    engine: str = "auto",
+    dense_threshold: int = 60_000,
+    *,
+    warm: WarmStart | None = None,
+    worker_ids: Sequence[Hashable] | None = None,
+    task_ids: Sequence[Hashable] | None = None,
+) -> MatchingResult:
+    """Array-native variant of :func:`solve_lexicographic`.
+
+    Returns the full :class:`~repro.flow.MatchingResult` — ``(rows, cols)``
+    int64 arrays instead of a list of tuples — so downstream merge paths
+    never re-loop over Python pairs.  On the substrate engine the optional
+    ``warm`` state (with its worker/task ids) is threaded straight through
+    to :func:`~repro.flow.min_cost_matching`; the list-based engines have no
+    incremental structure to seed, so they ignore it and report their
+    cardinality as the augmentation count (each SSP augmentation matches
+    exactly one more pair, so the two measures coincide on cold solves).
+
+    A *tracked* solve — one passing ``warm`` or the id vectors — pins
+    ``"auto"`` to the substrate engine even above ``dense_threshold``:
+    falling through to the scipy reduction there would drop the carry and
+    turn warm streaming into a silent no-op exactly at the instance sizes
+    where it pays.  Explicit engine choices are honored as given (and
+    return ``warm=None``, which callers treat as staying cold).
+    """
+    if engine not in ("auto", "dense", "mcmf", "hungarian", "substrate"):
+        raise ValueError(f"unknown engine {engine!r}")
+    tracked = (
+        warm is not None or worker_ids is not None or task_ids is not None
+    )
+    if engine == "substrate" or (
+        engine == "auto"
+        and (tracked or np.asarray(cost).size <= dense_threshold)
+    ):
+        try:
+            return min_cost_matching(
+                cost, feasible,
+                warm=warm, worker_ids=worker_ids, task_ids=task_ids,
+            )
+        except FlowError as error:
+            raise ValueError(str(error)) from error
+    pairs = solve_lexicographic(cost, feasible, engine, dense_threshold)
+    rows = np.fromiter((r for r, _ in pairs), dtype=np.int64, count=len(pairs))
+    cols = np.fromiter((c for _, c in pairs), dtype=np.int64, count=len(pairs))
+    cost = np.asarray(cost, dtype=float)
+    total = float(cost[rows, cols].sum()) if rows.size else 0.0
+    return MatchingResult(
+        rows=rows, cols=cols, total_cost=total, augmentations=len(pairs)
+    )

@@ -25,7 +25,9 @@ propagation engine uses):
 * :func:`min_cost_matching` — the SSP machinery specialized to the
   three-layer bipartite assignment graphs: a dense reduced-cost matrix
   plus vectorized sweeps, 15-40x faster than the general solver on the
-  Figure-4 instances (same exact optimum, oracle-tested).
+  Figure-4 instances (same exact optimum, oracle-tested); accepts a
+  :class:`WarmStart` carrying a previous solve's duals + matching so
+  streaming rounds re-augment only what changed.
 """
 
 from repro.flow.network import FlowNetwork
@@ -37,7 +39,7 @@ from repro.flow.potentials import (
     dijkstra_reduced,
     scan_shortest_paths,
 )
-from repro.flow.bipartite import MatchingResult, min_cost_matching
+from repro.flow.bipartite import MatchingResult, WarmStart, min_cost_matching
 
 __all__ = [
     "FlowNetwork",
@@ -50,5 +52,6 @@ __all__ = [
     "dijkstra_reduced",
     "scan_shortest_paths",
     "MatchingResult",
+    "WarmStart",
     "min_cost_matching",
 ]

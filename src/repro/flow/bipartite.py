@@ -22,11 +22,64 @@ The algorithm is the one the general solver runs, specialized:
 Infeasible pairs are priced ``inf``, which makes the same code solve the
 *lexicographic* objective (maximum cardinality first, minimum cost second):
 augmentation stops exactly when no feasible augmenting path remains.
+
+Warm starts
+-----------
+
+Streaming rounds solve near-identical instances back to back: surviving
+workers and tasks carry spatial prices from one micro-batch to the next,
+so the previous round's duals are an almost-optimal potential for the next
+round's matrix.  A :class:`WarmStart` carries the final duals and matching
+keyed by *caller ids* (worker/task identities, not row/column indices —
+rows shift between rounds).
+
+Warm solves run the successive-shortest-path machinery in its general
+form: the residual network's virtual source and sink carry their own
+potentials ``U`` and ``V`` (the Jonker–Volgenant restart), so per-entity
+carried duals are legal as long as the full reduced-cost system is
+non-negative:
+
+* ``c - u - v >= 0`` on feasible pairs, exactly ``0`` on seeded matches;
+* the source band ``u_matched <= U <= u_free`` (source arcs to free rows
+  price ``u - U >= 0``, which is where free rows start the label sweep);
+* the sink band ``v_matched <= V <= v_free`` (sink arcs from free columns
+  price ``v - V >= 0``, added to a column's label when competing for the
+  cheapest augmenting path).
+
+Seeding re-establishes this system for arbitrary input: carried duals are
+sanitized and price-capped per column, and a monotone fixpoint pass
+rejects any carried match that breaks tightness or the bands.  A cold
+solve is the special case ``u = v = 0``, ``U = V = 0``, where every
+band term is exactly ``0.0`` — the cold path is unchanged, byte for byte.
+Because validity is re-established by construction rather than trusted,
+*any* carried state — including adversarially perturbed duals — yields the
+same lexicographic optimum as a cold solve; only the amount of remaining
+augmentation work varies.
+
+Retired-pair geometry
+---------------------
+
+A retire-everything stream re-pools *neither* side of an assigned pair,
+so no carried match ever survives — but that very structure is the warm
+accelerator.  Every entity the carry knows (a *stale* id, keyed in the
+carried dual maps) was **free** in the previous round's maximum matching;
+a feasible stale-stale pair would have been an augmenting path of length
+one, contradicting maximality, and feasibility only shrinks between
+rounds (locations are static while warm state lives — relocations
+invalidate it — and deadlines tighten).  The feasible region of a warm
+matrix is therefore an **L-shape**: fresh rows against all columns, plus
+stale rows against fresh columns; the stale-stale block is dead.  The
+solver verifies that claim against the mask in one pass (a lying carry
+degrades gracefully to the full sweep), permutes stale entities last so
+the two live blocks are contiguous, and then every label sweep and every
+dual fold runs on the L-shape only — the dominant win when a mature pool
+of stranded entities dwarfs each round's arrivals.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
 
 import numpy as np
 
@@ -34,17 +87,174 @@ from repro.exceptions import FlowError
 from repro.flow.potentials import COST_EPS
 
 
-@dataclass(frozen=True)
+@dataclass
+class WarmStart:
+    """Dual/matching state carried between consecutive matching solves.
+
+    Keys are caller-supplied worker/task ids (row and column indices are
+    meaningless across rounds).  Contents are advisory: the solver never
+    trusts them, it re-validates everything at seed time.
+    """
+
+    #: Final worker duals ``u`` of the producing solve, by worker id.
+    worker_duals: dict[Hashable, float] = field(default_factory=dict)
+    #: Final task duals ``v`` of the producing solve, by task id.
+    task_duals: dict[Hashable, float] = field(default_factory=dict)
+    #: Matched pairs of the producing solve, worker id -> task id.
+    matches: dict[Hashable, Hashable] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, eq=False)
 class MatchingResult:
     """Outcome of a lexicographic bipartite matching."""
 
-    #: ``(worker_row, task_column)`` pairs, ascending by worker row.
-    pairs: list[tuple[int, int]]
+    #: Matched worker rows, ascending, int64.
+    rows: np.ndarray
+    #: Matched task columns aligned with :attr:`rows`, int64.
+    cols: np.ndarray
     #: Total cost over the matched pairs.
     total_cost: float
+    #: Augmenting-path searches performed (solver effort; a warm solve of
+    #: an unchanged instance performs zero).
+    augmentations: int = 0
+    #: Matched pairs accepted from the warm seed (0 on cold solves).
+    seeded: int = 0
+    #: Updated carry-over state when ids were supplied, else ``None``.
+    warm: WarmStart | None = None
+
+    @property
+    def pairs(self) -> list[tuple[int, int]]:
+        """``(worker_row, task_column)`` tuples, ascending by worker row."""
+        return [
+            (int(row), int(col)) for row, col in zip(self.rows, self.cols)
+        ]
 
 
-def min_cost_matching(cost: np.ndarray, feasible: np.ndarray) -> MatchingResult:
+def _seed_from_warm(
+    cost: np.ndarray,
+    feasible: np.ndarray,
+    warm: WarmStart,
+    worker_ids: Sequence[Hashable],
+    task_ids: Sequence[Hashable],
+) -> tuple[
+    np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, int,
+    float, float,
+]:
+    """Build ``(reduced, u, v, row_match, col_match, seeded, U, V)``.
+
+    The warm loop's exactness needs the full reduced-cost system of the
+    residual network to be non-negative, including the virtual source and
+    sink arcs, whatever the carry contains:
+
+    * every feasible reduced cost ``c - u - v`` is non-negative and exactly
+      ``0.0`` on seeded matches;
+    * a source potential ``U`` with ``u <= U`` on matched rows and
+      ``u >= U`` on free rows (source arcs price ``u - U``);
+    * a sink potential ``V`` with ``v <= V`` on matched columns and
+      ``v >= V`` on free feasible columns (sink arcs price ``v - V``).
+
+    Free-entity duals are otherwise unconstrained — that is the point: a
+    retire-everything stream seeds zero matches, and with an empty matching
+    the bands are just ``U = min(u)``/``V = min(v)``, so every carried
+    price survives.
+
+    Sanitized duals are clipped to the instance's own cost span; each
+    column's price is capped at ``bound = min_i(c - u)`` (lowering a free
+    column's price only raises reduced costs, so the cap is always safe).
+    A carried match is accepted only if both ids are present, the pair is
+    feasible and exactly tight, and the column is unclaimed.  A fixpoint
+    pass then rejects any match whose column price breaks its bound (a
+    negative reduced cost elsewhere in the column) or whose duals stick
+    out of the bands; each rejection frees its endpoints — which satisfy
+    the *free*-side band inequalities by the very violation that rejected
+    them, or are re-capped — but can drag ``U``/``V`` down, so the pass
+    repeats until stable.  Matches only ever leave, so it terminates.
+
+    Exact float comparisons throughout: ``v <= bound <= c - u`` entry-wise
+    makes ``(c - u) - v >= 0`` exact by IEEE monotonicity, so no clamping
+    is needed and seeded tightness survives the subtraction.
+    """
+    num_workers, num_tasks = cost.shape
+    finite = cost[feasible]
+    span = (float(finite.max()) + 1.0) * (min(num_workers, num_tasks) + 1.0)
+
+    v = np.zeros(num_tasks, dtype=float)
+    if warm.task_duals:
+        duals = warm.task_duals
+        for column, task_id in enumerate(task_ids):
+            v[column] = duals.get(task_id, 0.0)
+        v[~np.isfinite(v)] = 0.0
+        np.clip(v, -span, span, out=v)
+    u = np.zeros(num_workers, dtype=float)
+    if warm.worker_duals:
+        duals = warm.worker_duals
+        for row, worker_id in enumerate(worker_ids):
+            u[row] = duals.get(worker_id, 0.0)
+        u[~np.isfinite(u)] = 0.0
+        np.clip(u, -span, 0.0, out=u)
+
+    row_match = np.full(num_workers, -1, dtype=np.int64)
+    col_match = np.full(num_tasks, -1, dtype=np.int64)
+    if warm.matches:
+        row_of = {worker_id: row for row, worker_id in enumerate(worker_ids)}
+        col_of = {task_id: column for column, task_id in enumerate(task_ids)}
+        for worker_id, task_id in warm.matches.items():
+            row = row_of.get(worker_id)
+            column = col_of.get(task_id)
+            if row is None or column is None:
+                continue
+            if not feasible[row, column] or col_match[column] >= 0:
+                continue
+            if cost[row, column] - u[row] - v[column] != 0.0:
+                continue  # not tight under the carried duals
+            row_match[row] = column
+            col_match[column] = row
+
+    feasible_cols = feasible.any(axis=0)
+    # Per-column price cap (u is fixed from here on, so it never moves).
+    shifted = np.where(feasible, cost - u[:, None], np.inf)
+    bound = shifted.min(axis=0)
+    free_cols = (col_match < 0) & feasible_cols
+    v[free_cols] = np.minimum(v[free_cols], bound[free_cols])
+    while True:
+        free_rows = row_match < 0
+        source_floor = float(u[free_rows].min()) if free_rows.any() else np.inf
+        free_cols = (col_match < 0) & feasible_cols
+        sink_floor = float(v[free_cols].min()) if free_cols.any() else np.inf
+        matched_cols = np.nonzero(col_match >= 0)[0]
+        if matched_cols.size == 0:
+            break
+        rows_m = col_match[matched_cols]
+        bad = matched_cols[
+            (v[matched_cols] > bound[matched_cols])
+            | (v[matched_cols] > sink_floor)
+            | (u[rows_m] > source_floor)
+        ]
+        if bad.size == 0:
+            break
+        row_match[col_match[bad]] = -1
+        col_match[bad] = -1
+        # Freed columns are free now: cap their price (safe lowering).
+        v[bad] = np.minimum(v[bad], bound[bad])
+    v[~feasible_cols] = 0.0
+    if not np.isfinite(source_floor):
+        source_floor = 0.0  # no free rows: the loop exits before sweeping
+    if not np.isfinite(sink_floor):
+        sink_floor = 0.0  # no open feasible column: no path can complete
+
+    reduced = np.where(feasible, cost - u[:, None] - v[None, :], np.inf)
+    seeded = int((row_match >= 0).sum())
+    return reduced, u, v, row_match, col_match, seeded, source_floor, sink_floor
+
+
+def min_cost_matching(
+    cost: np.ndarray,
+    feasible: np.ndarray,
+    *,
+    warm: WarmStart | None = None,
+    worker_ids: Sequence[Hashable] | None = None,
+    task_ids: Sequence[Hashable] | None = None,
+) -> MatchingResult:
     """Maximum-cardinality, then minimum-cost matching on a cost matrix.
 
     Parameters
@@ -54,6 +264,15 @@ def min_cost_matching(cost: np.ndarray, feasible: np.ndarray) -> MatchingResult:
         ignored).
     feasible:
         ``W x T`` boolean mask of allowed pairs.
+    warm:
+        Optional :class:`WarmStart` from a previous solve of a similar
+        instance.  Requires ``worker_ids``/``task_ids``.  The result is the
+        same lexicographic optimum a cold solve computes; the seed only
+        reduces the number of augmentations.
+    worker_ids / task_ids:
+        Stable per-row / per-column identities.  Supplying them (even with
+        ``warm=None``) makes the result carry an updated :attr:`~MatchingResult.warm`
+        state for the next solve.
 
     Computes the exact optimum of the paper's MCMF formulation (equal flow
     value and equal total cost — oracle-tested against both the general
@@ -64,32 +283,128 @@ def min_cost_matching(cost: np.ndarray, feasible: np.ndarray) -> MatchingResult:
     if cost.shape != feasible.shape:
         raise FlowError(f"shape mismatch: cost {cost.shape} vs mask {feasible.shape}")
     num_workers, num_tasks = cost.shape
+    track = worker_ids is not None or task_ids is not None
+    if track:
+        if worker_ids is None or task_ids is None:
+            raise FlowError("worker_ids and task_ids must be supplied together")
+        if len(worker_ids) != num_workers or len(task_ids) != num_tasks:
+            raise FlowError(
+                "id/axis mismatch: "
+                f"{len(worker_ids)} worker ids for {num_workers} rows, "
+                f"{len(task_ids)} task ids for {num_tasks} columns"
+            )
+    if warm is not None and not track:
+        raise FlowError("warm starts require worker_ids and task_ids")
+    empty = np.empty(0, dtype=np.int64)
     if cost.size == 0 or not feasible.any():
-        return MatchingResult(pairs=[], total_cost=0.0)
+        return MatchingResult(
+            rows=empty, cols=empty, total_cost=0.0,
+            warm=WarmStart() if track else None,
+        )
     if np.any(cost[feasible] < 0):
         raise FlowError("min_cost_matching requires non-negative costs")
 
-    # Reduced costs under the running duals; infeasible pairs never relax.
-    reduced = np.where(feasible, cost, np.inf)
-    row_match = np.full(num_workers, -1, dtype=np.int64)
-    col_match = np.full(num_tasks, -1, dtype=np.int64)
+    if warm is not None:
+        (
+            reduced, u, v, row_match, col_match, seeded,
+            source_floor, sink_floor,
+        ) = _seed_from_warm(cost, feasible, warm, worker_ids, task_ids)
+    else:
+        # Reduced costs under the running duals; infeasible pairs never
+        # relax.  (The cold path: zero duals, empty matching.)
+        reduced = np.where(feasible, cost, np.inf)
+        u = np.zeros(num_workers, dtype=float)
+        v = np.zeros(num_tasks, dtype=float)
+        row_match = np.full(num_workers, -1, dtype=np.int64)
+        col_match = np.full(num_tasks, -1, dtype=np.int64)
+        seeded = 0
+        source_floor = 0.0
+        sink_floor = 0.0
+    # Heterogeneous seeded duals need the general source/sink potentials:
+    # free rows start their label at the source-arc price ``u - U`` and
+    # open columns compete on ``label + (v - V)``.  On a cold solve both
+    # terms are exactly ``0.0``, so the biased arithmetic is gated to keep
+    # the cold path byte-identical.
+    biased = warm is not None
+    sink_bias = v - sink_floor if biased else None
+    # Retired-pair geometry (module docstring): every id the carry knows
+    # was free in the previous maximum matching, so a genuine stream carry
+    # has no feasible stale-stale pair.  Verify the claim in one pass —
+    # once the mask itself confirms it, the optimization is sound whatever
+    # the carry's history — and permute stale entities last so the live
+    # L-shape is two contiguous blocks.
+    lshaped = False
+    if warm is not None:
+        stale_row = np.fromiter(
+            (worker_id in warm.worker_duals for worker_id in worker_ids),
+            dtype=bool, count=num_workers,
+        )
+        stale_col = np.fromiter(
+            (task_id in warm.task_duals for task_id in task_ids),
+            dtype=bool, count=num_tasks,
+        )
+        if stale_row.any() and stale_col.any():
+            lshaped = not feasible[np.ix_(stale_row, stale_col)].any()
+    if lshaped:
+        row_perm = np.argsort(stale_row, kind="stable")  # fresh rows first
+        col_perm = np.argsort(stale_col, kind="stable")
+        row_inv = np.empty_like(row_perm)
+        row_inv[row_perm] = np.arange(num_workers)
+        col_inv = np.empty_like(col_perm)
+        col_inv[col_perm] = np.arange(num_tasks)
+        reduced = reduced[np.ix_(row_perm, col_perm)]
+        u = u[row_perm]
+        v = v[col_perm]
+        shuffled = row_match[row_perm]
+        row_match = np.where(shuffled >= 0, col_inv[shuffled], -1)
+        shuffled = col_match[col_perm]
+        col_match = np.where(shuffled >= 0, row_inv[shuffled], -1)
+        sink_bias = v - sink_floor
+        fresh_row_count = num_workers - int(stale_row.sum())
+        fresh_col_count = num_tasks - int(stale_col.sum())
     columns = np.arange(num_tasks)
+    augmentations = 0
 
     while True:
         free_rows = np.nonzero(row_match < 0)[0]
         if free_rows.size == 0:
             break
-        dist_w = np.where(row_match < 0, 0.0, np.inf)
+        dist_w = np.where(row_match < 0, u - source_floor, np.inf)
         dist_t = np.full(num_tasks, np.inf)
         parent_t = np.full(num_tasks, -1, dtype=np.int64)
         best_cost = np.inf
         best_t = -1
         rows = free_rows
         while rows.size:
-            # Forward sweep: cheapest entry per column over the improved rows.
-            sub = dist_w[rows, None] + reduced[rows]
-            winner = np.argmin(sub, axis=0)
-            values = sub[winner, columns]
+            # Forward sweep: cheapest entry per column over the improved
+            # rows — restricted to the live L-shape when the retired-pair
+            # geometry holds (stale rows only ever reach fresh columns).
+            if lshaped:
+                fresh_rows = rows[rows < fresh_row_count]
+                stale_rows = rows[rows >= fresh_row_count]
+                values = np.full(num_tasks, np.inf)
+                origin = np.full(num_tasks, -1, dtype=np.int64)
+                if fresh_rows.size:
+                    sub = dist_w[fresh_rows, None] + reduced[fresh_rows]
+                    winner = np.argmin(sub, axis=0)
+                    values = sub[winner, columns]
+                    origin = fresh_rows[winner]
+                if stale_rows.size and fresh_col_count:
+                    sub = (
+                        dist_w[stale_rows, None]
+                        + reduced[stale_rows, :fresh_col_count]
+                    )
+                    winner = np.argmin(sub, axis=0)
+                    stale_vals = sub[winner, np.arange(fresh_col_count)]
+                    gain = stale_vals < values[:fresh_col_count]
+                    cols_won = np.nonzero(gain)[0]
+                    values[cols_won] = stale_vals[gain]
+                    origin[cols_won] = stale_rows[winner[gain]]
+            else:
+                sub = dist_w[rows, None] + reduced[rows]
+                winner = np.argmin(sub, axis=0)
+                values = sub[winner, columns]
+                origin = rows[winner]
             improved = values < dist_t - COST_EPS
             if best_t >= 0:
                 improved &= values < best_cost - COST_EPS
@@ -97,14 +412,22 @@ def min_cost_matching(cost: np.ndarray, feasible: np.ndarray) -> MatchingResult:
             if hit.size == 0:
                 break
             dist_t[hit] = values[hit]
-            parent_t[hit] = rows[winner[hit]]
-            # Sink relaxation: an improved unmatched column ends a path.
+            parent_t[hit] = origin[hit]
+            # Sink relaxation: an improved unmatched column ends a path,
+            # at its label plus the sink-arc price (zero on cold solves).
             open_cols = hit[col_match[hit] < 0]
             if open_cols.size:
-                candidate = open_cols[np.argmin(dist_t[open_cols])]
-                if dist_t[candidate] < best_cost - COST_EPS:
-                    best_cost = float(dist_t[candidate])
-                    best_t = int(candidate)
+                if biased:
+                    sink_vals = dist_t[open_cols] + sink_bias[open_cols]
+                    pick = int(np.argmin(sink_vals))
+                    value = float(sink_vals[pick])
+                    candidate = int(open_cols[pick])
+                else:
+                    candidate = int(open_cols[np.argmin(dist_t[open_cols])])
+                    value = float(dist_t[candidate])
+                if value < best_cost - COST_EPS:
+                    best_cost = value
+                    best_t = candidate
             # Reverse sweep: matched columns hand their (zero-reduced-cost)
             # label to their matched worker — conflict-free, the matching
             # is injective.
@@ -120,14 +443,36 @@ def min_cost_matching(cost: np.ndarray, feasible: np.ndarray) -> MatchingResult:
             dist_w[rows] = labels[better]
         if best_t < 0:
             break  # no augmenting path: maximum cardinality reached
+        augmentations += 1
         # Fold labels into the duals, capped at the sink label (pruned and
         # unreached nodes carry the cap), preserving rc >= 0 everywhere and
         # rc == 0 on matched pairs.
-        reduced += (
-            np.minimum(dist_w, best_cost)[:, None]
-            - np.minimum(dist_t, best_cost)[None, :]
-        )
-        np.maximum(reduced, 0.0, out=reduced)
+        fold_w = np.minimum(dist_w, best_cost)
+        fold_t = np.minimum(dist_t, best_cost)
+        if lshaped:
+            # Only the live blocks fold; the dead stale-stale block stays
+            # ``inf`` and is never read.
+            live = reduced[:fresh_row_count]
+            live += fold_w[:fresh_row_count, None] - fold_t[None, :]
+            np.maximum(live, 0.0, out=live)
+            if fresh_col_count:
+                live = reduced[fresh_row_count:, :fresh_col_count]
+                live += (
+                    fold_w[fresh_row_count:, None]
+                    - fold_t[:fresh_col_count][None, :]
+                )
+                np.maximum(live, 0.0, out=live)
+        else:
+            reduced += fold_w[:, None] - fold_t[None, :]
+            np.maximum(reduced, 0.0, out=reduced)
+        if track:
+            u -= fold_w
+            v += fold_t
+        if biased:
+            # The sink potential advances by the path length (the source
+            # potential never moves: the source's own distance is zero).
+            sink_floor += best_cost
+            sink_bias = v - sink_floor
         # Flip the matching along the parent chain.
         column = best_t
         while True:
@@ -140,6 +485,42 @@ def min_cost_matching(cost: np.ndarray, feasible: np.ndarray) -> MatchingResult:
             column = previous
 
     matched_rows = np.nonzero(row_match >= 0)[0]
-    pairs = [(int(row), int(row_match[row])) for row in matched_rows]
-    total = float(cost[matched_rows, row_match[matched_rows]].sum()) if pairs else 0.0
-    return MatchingResult(pairs=pairs, total_cost=total)
+    matched_cols = row_match[matched_rows]
+    if lshaped:
+        # Back to caller index space (the permutation was internal).
+        matched_rows = row_perm[matched_rows]
+        matched_cols = col_perm[matched_cols]
+        order = np.argsort(matched_rows)
+        matched_rows = matched_rows[order]
+        matched_cols = matched_cols[order]
+        restored = np.empty_like(u)
+        restored[row_perm] = u
+        u = restored
+        restored = np.empty_like(v)
+        restored[col_perm] = v
+        v = restored
+    total = (
+        float(cost[matched_rows, matched_cols].sum()) if matched_rows.size else 0.0
+    )
+    warm_out: WarmStart | None = None
+    if track:
+        warm_out = WarmStart(
+            worker_duals={
+                worker_id: float(dual) for worker_id, dual in zip(worker_ids, u)
+            },
+            task_duals={
+                task_id: float(dual) for task_id, dual in zip(task_ids, v)
+            },
+            matches={
+                worker_ids[int(row)]: task_ids[int(col)]
+                for row, col in zip(matched_rows, matched_cols)
+            },
+        )
+    return MatchingResult(
+        rows=matched_rows.astype(np.int64, copy=False),
+        cols=matched_cols.astype(np.int64, copy=False),
+        total_cost=total,
+        augmentations=augmentations,
+        seeded=seeded,
+        warm=warm_out,
+    )

@@ -54,7 +54,28 @@ from repro.stream import (
     log_from_arrivals,
     synthetic_stream,
 )
+from repro.assignment.base import PreparedInstance
+from repro.assignment.lexico import LexicographicCostAssigner
 from repro.stream.events import KIND_ARRIVAL, KIND_PUBLISH, KIND_RELOCATE
+
+
+class DistanceLexAssigner(LexicographicCostAssigner):
+    """Lexicographic matching over raw distances — tie-free by construction.
+
+    The influence-based assigners can price many edges identically (IA with
+    no social graph costs every edge 1.0), which makes *which* optimal
+    matching the solver returns degenerate.  Continuous pairwise distances
+    from the synthetic generators are distinct almost surely, so this
+    assigner has a unique optimum per round — the right probe for warm-vs-
+    cold differentials that assert pair-level (not just objective-level)
+    bit-identity across the scenario matrix.  Module-level so the process
+    backend can pickle it.
+    """
+
+    name = "DistLex"
+
+    def edge_costs(self, prepared: PreparedInstance) -> np.ndarray:
+        return prepared.feasible.distance_km
 
 
 @dataclass

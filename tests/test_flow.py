@@ -109,6 +109,56 @@ class TestMaxFlow:
         assert edmonds_karp(net_a, 0, n - 1) == Dinic(net_b).max_flow(0, n - 1)
 
 
+class TestThreeLevelUnitPhase:
+    """The vectorized figure-4 blocking-flow phase and its fallbacks."""
+
+    def test_parallel_source_arcs_fall_back_to_walk(self):
+        # Two parallel source arcs into the same middle node break the
+        # one-unit-path-per-node framing; the phase must decline and let
+        # the generic walk answer.
+        network = FlowNetwork(4)
+        network.add_edge(0, 1, 1)
+        network.add_edge(0, 1, 1)
+        network.add_edge(1, 2, 1)
+        network.add_edge(2, 3, 1)
+        assert Dinic(network).max_flow(0, 3) == 1
+
+    def test_parallel_sink_arcs_fall_back_to_walk(self):
+        network = FlowNetwork(4)
+        network.add_edge(0, 1, 1)
+        network.add_edge(1, 2, 1)
+        network.add_edge(2, 3, 1)
+        network.add_edge(2, 3, 1)
+        assert Dinic(network).max_flow(0, 3) == 1
+
+    def test_phase_without_source_arcs_pushes_nothing(self):
+        network = FlowNetwork(4)
+        network.add_edge(0, 1, 1)
+        dinic = Dinic(network)
+        empty = np.empty(0, dtype=np.int64)
+        offsets = np.zeros(network.num_nodes + 1, dtype=np.int64)
+        assert dinic._three_level_unit_phase(
+            empty, empty, empty, offsets, 0, 3
+        ) == 0
+
+    def test_phase_with_only_dead_columns_pushes_nothing(self):
+        # The left node's sole arc lands on a right node with no sink arc
+        # (a dead end the cursor skips); the open right node has no
+        # proposer.  Deferred acceptance must converge to zero matches.
+        network = FlowNetwork(5)
+        source_arc = network.add_edge(0, 1, 1)
+        dead_arc = network.add_edge(1, 2, 1)
+        sink_arc = network.add_edge(4, 3, 1)
+        dinic = Dinic(network)
+        arc_edges = np.array([source_arc, dead_arc, sink_arc], dtype=np.int64)
+        arc_tails = np.array([0, 1, 4], dtype=np.int64)
+        arc_heads = np.array([1, 2, 3], dtype=np.int64)
+        offsets = np.array([0, 1, 2, 2, 2, 3], dtype=np.int64)
+        assert dinic._three_level_unit_phase(
+            arc_edges, arc_tails, arc_heads, offsets, 0, 3
+        ) == 0
+
+
 class TestMinCostMaxFlow:
     def test_prefers_cheap_path(self):
         # Two parallel unit paths with different costs; flow 2 uses both,

@@ -1,0 +1,236 @@
+"""Warm-started lexicographic matching: bit-identity with cold solves.
+
+The warm-start contract is that carried state is *purely an accelerator*:
+for any ``WarmStart`` — the previous round's genuine carry, a stale one,
+or adversarially corrupted duals — the solve returns the same objective
+value and cardinality as a cold solve of the same matrix.  Costs in the
+property tests are dyadic rationals (multiples of 1/8) with small
+magnitudes, so every sum the solver forms is exact in float64 and the
+bit-identity assertions are ``==``, not approx.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FlowError
+from repro.flow import WarmStart, min_cost_matching
+
+
+def solve_cold(cost, feasible):
+    return min_cost_matching(cost, feasible)
+
+
+def assert_same_optimum(result, reference):
+    """Same lexicographic optimum: cardinality, then exact total cost."""
+    assert result.rows.size == reference.rows.size
+    assert result.total_cost == reference.total_cost
+
+
+@st.composite
+def dyadic_instances(draw):
+    """A cost matrix of dyadic rationals plus a feasibility mask."""
+    workers = draw(st.integers(1, 7))
+    tasks = draw(st.integers(1, 7))
+    cost = np.array(
+        [
+            [draw(st.integers(0, 64)) / 8.0 for _ in range(tasks)]
+            for _ in range(workers)
+        ]
+    )
+    mask = np.array(
+        [[draw(st.booleans()) for _ in range(tasks)] for _ in range(workers)]
+    )
+    return cost, mask
+
+
+@st.composite
+def perturbed_warms(draw, worker_ids, task_ids):
+    """An arbitrary (possibly hostile) carry for the given id sets."""
+    hostile = st.one_of(
+        st.integers(-8, 8).map(lambda n: n / 4.0),
+        st.sampled_from([np.inf, -np.inf, np.nan, 1e300, -1e300]),
+    )
+    warm = WarmStart()
+    for worker_id in worker_ids:
+        if draw(st.booleans()):
+            warm.worker_duals[worker_id] = draw(hostile)
+    for task_id in task_ids:
+        if draw(st.booleans()):
+            warm.task_duals[task_id] = draw(hostile)
+    for worker_id in worker_ids:
+        if draw(st.booleans()):
+            warm.matches[worker_id] = draw(
+                st.sampled_from(list(task_ids) + ["ghost-task"])
+            )
+    return warm
+
+
+class TestWarmBitIdentity:
+    @given(dyadic_instances())
+    @settings(max_examples=150)
+    def test_empty_warm_matches_cold(self, instance):
+        cost, mask = instance
+        worker_ids = [f"w{i}" for i in range(cost.shape[0])]
+        task_ids = [f"t{j}" for j in range(cost.shape[1])]
+        cold = solve_cold(cost, mask)
+        warmed = min_cost_matching(
+            cost, mask, warm=WarmStart(),
+            worker_ids=worker_ids, task_ids=task_ids,
+        )
+        assert_same_optimum(warmed, cold)
+
+    @given(dyadic_instances(), dyadic_instances(), st.data())
+    @settings(max_examples=150)
+    def test_carried_warm_matches_cold_on_next_instance(
+        self, first, second, data
+    ):
+        """A genuine carry from solve k seeds solve k+1 to the same optimum.
+
+        The two instances share id space on their overlapping rows/columns
+        (streaming rounds: some entities survive, some are new), which is
+        exactly the shape the runtime produces.
+        """
+        cost_a, mask_a = first
+        cost_b, mask_b = second
+        ids_a = (
+            [f"w{i}" for i in range(cost_a.shape[0])],
+            [f"t{j}" for j in range(cost_a.shape[1])],
+        )
+        ids_b = (
+            [f"w{i}" for i in range(cost_b.shape[0])],
+            [f"t{j}" for j in range(cost_b.shape[1])],
+        )
+        carry = min_cost_matching(
+            cost_a, mask_a, worker_ids=ids_a[0], task_ids=ids_a[1]
+        ).warm
+        cold = solve_cold(cost_b, mask_b)
+        warmed = min_cost_matching(
+            cost_b, mask_b, warm=carry,
+            worker_ids=ids_b[0], task_ids=ids_b[1],
+        )
+        assert_same_optimum(warmed, cold)
+
+    @given(dyadic_instances(), st.data())
+    @settings(max_examples=150)
+    def test_adversarial_warm_matches_cold(self, instance, data):
+        """Hostile duals (inf/nan/huge) and garbage matches are harmless."""
+        cost, mask = instance
+        worker_ids = [f"w{i}" for i in range(cost.shape[0])]
+        task_ids = [f"t{j}" for j in range(cost.shape[1])]
+        warm = data.draw(perturbed_warms(worker_ids, task_ids))
+        cold = solve_cold(cost, mask)
+        warmed = min_cost_matching(
+            cost, mask, warm=warm, worker_ids=worker_ids, task_ids=task_ids
+        )
+        assert_same_optimum(warmed, cold)
+
+    def test_resolve_of_unchanged_instance_runs_zero_augmentations(self):
+        rng = np.random.default_rng(0)
+        cost = rng.integers(0, 40, size=(12, 15)) / 8.0
+        mask = rng.random((12, 15)) < 0.7
+        worker_ids = list(range(12))
+        task_ids = list(range(100, 115))
+        first = min_cost_matching(
+            cost, mask, worker_ids=worker_ids, task_ids=task_ids
+        )
+        again = min_cost_matching(
+            cost, mask, warm=first.warm,
+            worker_ids=worker_ids, task_ids=task_ids,
+        )
+        assert again.augmentations == 0
+        assert again.seeded == first.rows.size
+        assert_same_optimum(again, first)
+
+    def test_warm_survives_row_and_column_permutation(self):
+        """Ids, not indices, key the carry: a shuffled instance still seeds."""
+        rng = np.random.default_rng(1)
+        cost = rng.integers(0, 40, size=(9, 11)) / 8.0
+        mask = rng.random((9, 11)) < 0.8
+        worker_ids = [f"w{i}" for i in range(9)]
+        task_ids = [f"t{j}" for j in range(11)]
+        carry = min_cost_matching(
+            cost, mask, worker_ids=worker_ids, task_ids=task_ids
+        ).warm
+        rows = rng.permutation(9)
+        cols = rng.permutation(11)
+        shuffled = min_cost_matching(
+            cost[np.ix_(rows, cols)],
+            mask[np.ix_(rows, cols)],
+            warm=carry,
+            worker_ids=[worker_ids[i] for i in rows],
+            task_ids=[task_ids[j] for j in cols],
+        )
+        assert shuffled.augmentations == 0
+        reference = solve_cold(cost, mask)
+        assert_same_optimum(shuffled, reference)
+
+
+class TestWarmInterface:
+    def test_warm_requires_ids(self):
+        cost = np.ones((2, 2))
+        mask = np.ones((2, 2), dtype=bool)
+        with pytest.raises(FlowError, match="warm starts require"):
+            min_cost_matching(cost, mask, warm=WarmStart())
+
+    def test_ids_must_come_together(self):
+        cost = np.ones((2, 2))
+        mask = np.ones((2, 2), dtype=bool)
+        with pytest.raises(FlowError, match="supplied together"):
+            min_cost_matching(cost, mask, worker_ids=["a", "b"])
+
+    def test_id_axis_mismatch(self):
+        cost = np.ones((2, 3))
+        mask = np.ones((2, 3), dtype=bool)
+        with pytest.raises(FlowError, match="id/axis mismatch"):
+            min_cost_matching(
+                cost, mask, worker_ids=["a"], task_ids=["x", "y", "z"]
+            )
+
+    def test_tracked_empty_instance_returns_fresh_warm(self):
+        cost = np.ones((2, 2))
+        mask = np.zeros((2, 2), dtype=bool)
+        result = min_cost_matching(
+            cost, mask, worker_ids=["a", "b"], task_ids=["x", "y"]
+        )
+        assert result.rows.size == 0
+        assert isinstance(result.warm, WarmStart)
+        assert not result.warm.matches
+
+    def test_untracked_solve_carries_no_warm(self):
+        cost = np.zeros((2, 2))
+        mask = np.ones((2, 2), dtype=bool)
+        result = min_cost_matching(cost, mask)
+        assert result.warm is None
+        assert result.seeded == 0
+
+    def test_pairs_property_compat(self):
+        cost = np.array([[0.0, 1.0], [1.0, 0.0]])
+        mask = np.ones((2, 2), dtype=bool)
+        result = min_cost_matching(cost, mask)
+        assert result.pairs == [(0, 0), (1, 1)]
+        assert all(
+            isinstance(row, int) and isinstance(col, int)
+            for row, col in result.pairs
+        )
+
+    def test_carry_duals_price_matched_pairs_tight(self):
+        rng = np.random.default_rng(2)
+        cost = rng.integers(0, 40, size=(8, 8)) / 8.0
+        mask = rng.random((8, 8)) < 0.75
+        worker_ids = list("abcdefgh")
+        task_ids = list(range(8))
+        result = min_cost_matching(
+            cost, mask, worker_ids=worker_ids, task_ids=task_ids
+        )
+        carry = result.warm
+        for worker_id, task_id in carry.matches.items():
+            row = worker_ids.index(worker_id)
+            column = task_ids.index(task_id)
+            reduced = (
+                cost[row, column]
+                - carry.worker_duals[worker_id]
+                - carry.task_duals[task_id]
+            )
+            assert reduced == pytest.approx(0.0, abs=1e-9)

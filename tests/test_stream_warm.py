@@ -1,0 +1,271 @@
+"""Warm-started round solves in the streaming runtime.
+
+``StreamRuntime(warm=True)`` carries :class:`~repro.flow.WarmStart` duals
+and surviving matches between rounds for the lexicographic assigner
+family.  The contract under test:
+
+* warm runs are **bit-identical** to cold runs — pairs and per-round
+  records — across serial/thread/process backends and pipelining (pinned
+  here with a tie-free distance-cost assigner whose optimum is unique);
+* carried state is invalidated whenever shard membership can shift under
+  an entity: relocation waves, layout repacks, and checkpoint resumes
+  (warm state is never persisted — the v6 format is untouched);
+* non-lexicographic assigners ignore the flag entirely;
+* the warm path feeds the solver-effort telemetry
+  (``repro_stream_solve_augmentations``, ``repro_stream_warm_hit``)
+  without perturbing results.
+"""
+
+import pytest
+
+from repro.assignment import NearestNeighborAssigner
+from repro.flow import WarmStart
+from repro.geo import Point
+from repro.obs import MetricsRegistry, Observability, Tracer
+from repro.stream import (
+    EventLog,
+    HybridTrigger,
+    StreamRuntime,
+    TaskPublishEvent,
+    TimeWindowTrigger,
+    WorkerArrivalEvent,
+    WorkerRelocateEvent,
+    synthetic_stream,
+)
+from tests.scenarios.generators import DistanceLexAssigner
+from tests.test_stream_runtime import (
+    make_arrival,
+    make_instance,
+    make_task,
+    pairs,
+    round_rows,
+)
+
+
+def clustered(num_workers=60, num_tasks=70, seed=41):
+    return synthetic_stream(
+        num_workers=num_workers, num_tasks=num_tasks, duration_hours=24.0,
+        area_km=20.0, valid_hours=4.0, reachable_km=8.0,
+        churn_fraction=0.05, cancel_fraction=0.02, clusters=4, seed=seed,
+    )
+
+
+def run(runtime):
+    try:
+        return runtime.run()
+    finally:
+        runtime.close()
+
+
+class RecordingLexAssigner(DistanceLexAssigner):
+    """A spy capturing the ``warm`` argument of every warm solve."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.received: list = []
+
+    def assign_warm(self, prepared, warm):
+        self.received.append(warm)
+        return super().assign_warm(prepared, warm)
+
+
+class TestWarmBitIdentity:
+    def test_unsharded_warm_matches_cold(self):
+        base, log = clustered()
+        cold = run(StreamRuntime(
+            DistanceLexAssigner(), None, HybridTrigger(32, 1.0), base, log,
+        ))
+        warm = run(StreamRuntime(
+            DistanceLexAssigner(), None, HybridTrigger(32, 1.0), base, log,
+            warm=True,
+        ))
+        assert cold.total_assigned > 0
+        assert pairs(warm) == pairs(cold)
+        assert round_rows(warm) == round_rows(cold)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("pipeline", [False, True])
+    def test_sharded_warm_matches_cold(self, backend, pipeline):
+        base, log = clustered()
+        cold = run(StreamRuntime(
+            DistanceLexAssigner(), None, HybridTrigger(32, 1.0), base, log,
+        ))
+        warm = run(StreamRuntime(
+            DistanceLexAssigner(), None, HybridTrigger(32, 1.0), base, log,
+            shards=4, executor=backend, pipeline=pipeline, warm=True,
+        ))
+        assert pairs(warm) == pairs(cold)
+        assert round_rows(warm) == round_rows(cold)
+
+    def test_warm_flag_is_inert_for_non_lexicographic_assigners(self):
+        base, log = clustered(num_workers=30, num_tasks=30)
+        cold = run(StreamRuntime(
+            NearestNeighborAssigner(), None, TimeWindowTrigger(1.0), base, log,
+        ))
+        warm = run(StreamRuntime(
+            NearestNeighborAssigner(), None, TimeWindowTrigger(1.0), base, log,
+            warm=True,
+        ))
+        assert pairs(warm) == pairs(cold)
+        assert round_rows(warm) == round_rows(cold)
+
+
+def relocation_world(relocate: bool):
+    """Two assigning rounds; optionally a relocation drained by round two."""
+    tasks = (
+        [make_task(i, float(i), published=0.2, phi=8.0) for i in range(3)]
+        + [make_task(10 + i, float(i), published=1.7, phi=8.0)
+           for i in range(3)]
+    )
+    events = [
+        WorkerArrivalEvent(time=0.1, worker=make_arrival(i, 0.5 * i, 0.0, at=0.1).worker)
+        for i in range(5)
+    ] + [TaskPublishEvent(time=t.publication_time, task=t) for t in tasks]
+    if relocate:
+        # Worker 3 stays pooled after round one (rounds match three of the
+        # five workers), so its relocation genuinely counts as a wave — a
+        # relocate of an already-assigned worker would be a no-op.
+        events.append(
+            WorkerRelocateEvent(time=1.5, worker_id=3, location=Point(3.0, 0.0))
+        )
+    return make_instance(tasks), EventLog(events)
+
+
+class TestWarmInvalidation:
+    @pytest.mark.parametrize("relocate", [False, True])
+    def test_relocation_wave_drops_the_carry(self, relocate):
+        base, log = relocation_world(relocate)
+        spy = RecordingLexAssigner()
+        result = run(StreamRuntime(
+            spy, None, TimeWindowTrigger(1.0), base, log, end_time=3.0,
+            warm=True,
+        ))
+        assert result.total_assigned > 0
+        assert len(spy.received) >= 2
+        assert spy.received[0] is None  # first round is always cold
+        if relocate:
+            # The wave drained right before round two's solve: carry dropped.
+            assert spy.received[1] is None
+        else:
+            assert isinstance(spy.received[1], WarmStart)
+
+    def test_repack_clears_shard_carries(self):
+        from repro.stream import ShardLayout
+        from repro.stream.runtime import ShardExecutor
+
+        _, log = clustered(num_workers=10, num_tasks=10)
+        layout = ShardLayout.plan(log, 2)
+
+        class AlwaysRepack:
+            def maybe_repack(self, round_index, current):
+                return current.repacked(current.component_bins())
+
+        executor = ShardExecutor(
+            layout, rebalancer=AlwaysRepack(), warm=True
+        )
+        executor.warm_states[0] = WarmStart()
+        executor.warm_states[1] = WarmStart()
+        assert executor.maybe_repack(round_index=1) == 1
+        assert executor.warm_states == {}
+        executor.close()
+
+    def test_invalidate_warm_is_idempotent(self):
+        from repro.stream import ShardLayout
+        from repro.stream.runtime import ShardExecutor
+
+        _, log = clustered(num_workers=10, num_tasks=10)
+        executor = ShardExecutor(ShardLayout.plan(log, 2), warm=True)
+        executor.warm_states[0] = WarmStart()
+        executor.invalidate_warm()
+        executor.invalidate_warm()
+        assert executor.warm_states == {}
+        executor.close()
+
+
+class TestWarmCheckpointResume:
+    def test_resume_rebuilds_cold_and_stays_bit_identical(self, tmp_path):
+        base, log = clustered()
+        args = (DistanceLexAssigner(), None, HybridTrigger(32, 1.0), base, log)
+        cold = run(StreamRuntime(*args))
+        uninterrupted = run(StreamRuntime(*args, warm=True))
+
+        first = StreamRuntime(*args, warm=True)
+        first.run(max_rounds=3)
+        assert not first.done
+        saved = first.checkpoint(tmp_path / "warm.npz")
+        first.close()
+        resumed = StreamRuntime.resume(saved, *args, warm=True)
+        # Warm state is never persisted: the resumed runtime starts cold.
+        assert resumed._warm_state is None
+        result = run(resumed)
+
+        assert pairs(result) == pairs(uninterrupted)
+        assert round_rows(result) == round_rows(uninterrupted)
+        assert pairs(result) == pairs(cold)
+
+    def test_sharded_resume_starts_with_no_shard_carries(self, tmp_path):
+        base, log = clustered()
+        args = (DistanceLexAssigner(), None, HybridTrigger(32, 1.0), base, log)
+        first = StreamRuntime(*args, shards=4, warm=True)
+        first.run(max_rounds=3)
+        assert first.shard_executor.warm_states  # genuinely warmed up
+        saved = first.checkpoint(tmp_path / "warm-sharded.npz")
+        first.close()
+        resumed = StreamRuntime.resume(saved, *args, shards=4, warm=True)
+        assert resumed.shard_executor.warm_states == {}
+        result = run(resumed)
+        reference = run(StreamRuntime(*args))
+        assert pairs(result) == pairs(reference)
+        assert round_rows(result) == round_rows(reference)
+
+
+class TestWarmObservability:
+    def test_solver_effort_instruments_recorded(self):
+        base, log = clustered()
+        obs = Observability(registry=MetricsRegistry(), tracer=Tracer())
+        plain = run(StreamRuntime(
+            DistanceLexAssigner(), None, HybridTrigger(32, 1.0), base, log,
+            warm=True,
+        ))
+        observed = run(StreamRuntime(
+            DistanceLexAssigner(), None, HybridTrigger(32, 1.0), base, log,
+            warm=True, obs=obs,
+        ))
+        assert pairs(observed) == pairs(plain)
+        assert round_rows(observed) == round_rows(plain)
+        names = {family.name for family in obs.registry.families()}
+        assert "repro_stream_solve_augmentations" in names
+        assert "repro_stream_warm_hit" in names
+        solves = [
+            event for event in obs.tracer.events()
+            if event["name"] == "round.solve" and "args" in event
+        ]
+        assert any("augmentations" in event["args"] for event in solves)
+
+    def test_cold_runs_never_record_warm_instruments(self):
+        base, log = clustered(num_workers=20, num_tasks=20)
+        obs = Observability(registry=MetricsRegistry(), tracer=Tracer())
+        run(StreamRuntime(
+            DistanceLexAssigner(), None, TimeWindowTrigger(1.0), base, log,
+            obs=obs,
+        ))
+        by_name = {family.name: family for family in obs.registry.families()}
+        # Registered (the exposition is stable) but untouched on cold runs.
+        for name in ("repro_stream_solve_augmentations", "repro_stream_warm_hit"):
+            family = by_name[name]
+            assert all(child.value == 0.0 for _, child in family.children())
+
+    def test_warm_run_records_nonzero_solver_effort(self):
+        base, log = clustered()
+        obs = Observability(registry=MetricsRegistry(), tracer=Tracer())
+        run(StreamRuntime(
+            DistanceLexAssigner(), None, HybridTrigger(32, 1.0), base, log,
+            warm=True, obs=obs,
+        ))
+        by_name = {family.name: family for family in obs.registry.families()}
+        augment = by_name["repro_stream_solve_augmentations"]
+        assert any(child.value > 0.0 for _, child in augment.children())
+        warm_hit = by_name["repro_stream_warm_hit"]
+        assert all(
+            0.0 <= child.value <= 1.0 for _, child in warm_hit.children()
+        )
