@@ -313,6 +313,8 @@ def _validate_stream_flags(args: argparse.Namespace, trigger) -> str | None:
         return f"--max-rounds must be non-negative, got {args.max_rounds}"
     if args.days < 1:
         return f"--days must be >= 1, got {args.days}"
+    if args.segment_days is not None and args.segment_days < 1:
+        return f"--segment-days must be >= 1, got {args.segment_days}"
     if args.metrics_port is not None and not 0 <= args.metrics_port <= 65535:
         return f"--metrics-port must be in [0, 65535], got {args.metrics_port}"
     if args.admission_policy is not None and args.admission_budget is None:
@@ -346,12 +348,13 @@ def _validate_stream_flags(args: argparse.Namespace, trigger) -> str | None:
             admission=_admission_request(args),
             pipeline=args.pipeline,
             rebalance=_rebalance_request(args),
+            segmented=args.segment_days is not None,
         )
     except DataError as error:
         return (
             f"cannot resume from {args.resume}: {error} "
             "(--trigger/--patience-hours/--shards/--pipeline/--rebalance-*/"
-            "--admission-* must match the checkpointed run)"
+            "--admission-*/--segment-days must match the checkpointed run)"
         )
     except (OSError, ValueError) as error:
         return f"cannot read checkpoint {args.resume}: {error}"
@@ -450,6 +453,15 @@ def _run_stream(args: argparse.Namespace, assigner, trigger, obs) -> int:
           f"({int((log.kinds == KIND_ARRIVAL).sum())} arrivals, "
           f"{int((log.kinds == KIND_RELOCATE).sum())} relocations, "
           f"{len(instance.tasks)} tasks)")
+
+    if args.segment_days is not None:
+        from repro.stream import SegmentedEventLog
+
+        log = SegmentedEventLog.from_log(
+            log, segment_hours=24.0 * args.segment_days
+        )
+        print(f"segments: {log.segment_count} windows of "
+              f"{args.segment_days} day(s), {len(log)} events")
 
     admission = None
     if args.admission_budget is not None:
@@ -627,6 +639,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="replay this many consecutive days as one "
                              "continuous stream with overnight relocation "
                              "and churn (default: 1)")
+    stream.add_argument("--segment-days", type=int, default=None,
+                        metavar="N",
+                        help="stream the horizon through bounded-memory "
+                             "event-log segments of N days each instead of "
+                             "one materialized log (bit-identical replay; "
+                             "peak memory follows the segment window)")
     stream.add_argument("--valid-hours", type=float, default=5.0)
     stream.add_argument("--radius", type=float, default=25.0)
     stream.add_argument("--algorithm", choices=ASSIGNER_NAMES, default="IA")

@@ -11,9 +11,16 @@ import math
 from collections import defaultdict
 from typing import Generic, Hashable, Iterable, Iterator, TypeVar
 
+from repro.exceptions import DataError
 from repro.geo.point import Point
 
 T = TypeVar("T", bound=Hashable)
+
+#: Valid quantized cell-index range: ``|k| < MAX_CELL_INDEX``.  Mirrors the
+#: int64 packing bound of :meth:`repro.stream.events.EventLog.cell_keys`
+#: (``CELL_OFFSET`` there) so the scalar and columnar quantizers reject the
+#: same inputs instead of silently aliasing distinct cells.
+MAX_CELL_INDEX = 2**25
 
 
 def cell_key(x: float, y: float, cell_km: float) -> tuple[int, int]:
@@ -24,8 +31,20 @@ def cell_key(x: float, y: float, cell_km: float) -> tuple[int, int]:
     :class:`~repro.assignment.PartitionedAssigner` cells, and the streaming
     shard planner — so an entity lands in the same cell no matter which
     layer asks.
+
+    Raises :class:`~repro.exceptions.DataError` when either quantized
+    index falls outside ``|k| < MAX_CELL_INDEX`` — a coordinate that far
+    out (or a ``cell_km`` that small) would alias distinct cells once
+    packed into an int64 key.
     """
-    return (math.floor(x / cell_km), math.floor(y / cell_km))
+    kx = math.floor(x / cell_km)
+    ky = math.floor(y / cell_km)
+    if abs(kx) >= MAX_CELL_INDEX or abs(ky) >= MAX_CELL_INDEX:
+        raise DataError(
+            f"coordinate ({x}, {y}) quantizes to cell ({kx}, {ky}) outside "
+            f"|k| < {MAX_CELL_INDEX} at cell_km={cell_km}"
+        )
+    return (kx, ky)
 
 
 def cell_gap_km(cell_a: tuple[int, int], cell_b: tuple[int, int], cell_km: float) -> float:

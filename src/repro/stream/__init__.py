@@ -20,10 +20,15 @@ day loop:
   round executor (serial / thread-pool / process-pool backends);
 * :mod:`repro.stream.shards` — :class:`ShardLayout`, the radius-aware
   cell partition that never splits a feasible (worker, task) pair;
+* :mod:`repro.stream.segments` — :class:`SegmentedEventLog`, the
+  bounded-memory drop-in for :class:`EventLog`: the horizon is built
+  lazily in time-window segments, cached under a small LRU budget and
+  released as the cursor passes, with replay bit-identical to the
+  materialized log;
 * :mod:`repro.stream.checkpoint` — atomic, content-addressed chunked
-  snapshots (v6 manifest + sha256 chunk store) with bit-identical resume
-  (including shard layout, per-shard RNG state, and wait-histogram
-  state in the manifest meta);
+  snapshots (v7 manifest + sha256 chunk store) with bit-identical resume
+  (including shard layout, per-shard RNG state, wait-histogram state and
+  the segmented-log fingerprint chain in the manifest meta);
 * :mod:`repro.stream.sharedmem` — fork-once shared-memory slabs backing
   the process executor (entity tables published once per run, per-shard
   round rectangles shipped through reusable scratch buffers).
@@ -56,6 +61,7 @@ from repro.stream.events import (
     synthetic_stream,
 )
 from repro.stream.metrics import RoundRecord, StreamMetrics, StreamSummary
+from repro.stream.segments import SegmentedEventLog, SegmentInfo
 from repro.stream.runtime import (
     ADMISSION_POLICIES,
     EXECUTOR_BACKENDS,
@@ -84,6 +90,8 @@ __all__ = [
     "WorkerChurnEvent",
     "WorkerRelocateEvent",
     "EventLog",
+    "SegmentedEventLog",
+    "SegmentInfo",
     "expiry_events",
     "log_from_arrivals",
     "day_stream",

@@ -90,7 +90,14 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
 #:     as LogHistogram state dicts in the manifest meta instead of
 #:     unbounded per-sample arrays in the chunk store (the round-latency
 #:     histogram is rebuilt from the metrics rows on restore).
-CHECKPOINT_VERSION = 6
+#: v7: segmented event logs — when the run streamed a
+#:     :class:`~repro.stream.segments.SegmentedEventLog` the meta gains a
+#:     ``segments`` block (boundaries, per-segment fingerprint chain and
+#:     the global cursor as ``(segment, offset)``), and the top-level
+#:     fingerprint is the chain digest.  Resume fails fast on a
+#:     segmented/materialized mode mismatch, naming the first mismatching
+#:     segment when the chain disagrees.
+CHECKPOINT_VERSION = 7
 
 #: Canonical checkpoint suffix, appended when the user supplies none —
 #: save, load and the CLI pre-flight all agree on this one path.
@@ -144,16 +151,22 @@ def _entity_event_indices(log: EventLog, cursor: int) -> tuple[dict, dict]:
     Relocation rows carry the synthesized relocated worker, so a pooled (or
     assigned) worker that moved resolves to the relocation row that last
     produced its current state.
+
+    The scan runs slab-by-slab (:meth:`EventLog.slices`) so a segmented
+    log resolves its payloads from whichever segment slab holds each row —
+    the recorded indices are global, exactly what ``worker_at``/``task_at``
+    accept on restore.
     """
     worker_index: dict = {}
     task_index: dict = {}
-    kinds = log.kinds
-    for position in range(cursor):
-        kind = int(kinds[position])
-        if kind == KIND_ARRIVAL or kind == KIND_RELOCATE:
-            worker_index[log.worker_at(position)] = position
-        elif kind == KIND_PUBLISH:
-            task_index[log.task_at(position)] = position
+    for slab, local_start, local_stop, base in log.slices(0, cursor):
+        kinds = slab.kinds
+        for position in range(local_start, local_stop):
+            kind = int(kinds[position])
+            if kind == KIND_ARRIVAL or kind == KIND_RELOCATE:
+                worker_index[slab.worker_at(position)] = base + position
+            elif kind == KIND_PUBLISH:
+                task_index[slab.task_at(position)] = base + position
     return worker_index, task_index
 
 
@@ -163,7 +176,7 @@ def save_checkpoint(
     *,
     chunk_bytes: int = DEFAULT_CHUNK_BYTES,
 ) -> Path:
-    """Write the runtime's complete state to ``path`` (v6 manifest + chunks).
+    """Write the runtime's complete state to ``path`` (v7 manifest + chunks).
 
     Atomic: the manifest is replaced in one :func:`os.replace` after every
     chunk it references is durable, so a crash at any point leaves the
@@ -253,6 +266,19 @@ def _save_checkpoint(
         "admission": (
             runtime.admission.state_dict()
             if runtime.admission is not None
+            else None
+        ),
+        # Segmented runs record the seam geometry and the per-segment
+        # fingerprint chain, so a resume can name the first segment whose
+        # synthesized content drifted instead of a bare chain mismatch.
+        "segments": (
+            {
+                "count": runtime.log.segment_count,
+                "boundaries": list(runtime.log.boundaries),
+                "fingerprints": list(runtime.log.segment_fingerprints),
+                "cursor": list(runtime.log.locate(runtime.cursor)),
+            }
+            if runtime.log.segmented
             else None
         ),
         # Wait histograms are simulated-time state (deterministic across
@@ -468,6 +494,7 @@ def validate_checkpoint_meta(
     admission: dict | None = None,
     pipeline: bool = False,
     rebalance: dict | None = None,
+    segmented: bool | None = None,
 ) -> None:
     """Check a checkpoint's meta against a run configuration.
 
@@ -477,7 +504,21 @@ def validate_checkpoint_meta(
     mismatched ``--resume`` fails in milliseconds with the same message
     instead of after minutes of fitting.  Raises :class:`DataError` on the
     first mismatch.
+
+    ``segmented`` (when not ``None``) asserts the event-log mode: a
+    checkpoint taken against a segmented log must resume against one and
+    vice versa — their cursors index the same global row space, but the
+    fingerprint disciplines differ (chain digest vs whole-log hash), so a
+    silent cross-mode resume could never verify it replays the same world.
     """
+    if segmented is not None and (meta.get("segments") is not None) != segmented:
+        saved = "a segmented" if meta.get("segments") is not None else "a materialized"
+        built = "segmented" if segmented else "materialized"
+        raise DataError(
+            f"checkpoint was taken from {saved} event-log run, this run "
+            f"streams {built} events — pass the same --segment-days "
+            "configuration"
+        )
     if meta["trigger_kind"] != trigger_kind:
         raise DataError(
             f"checkpoint was taken with a {meta['trigger_kind']!r} trigger, "
@@ -560,7 +601,35 @@ def restore_runtime(runtime: "StreamRuntime", path: str | Path) -> "StreamRuntim
 def _restore_runtime(runtime: "StreamRuntime", path: str | Path) -> "StreamRuntime":
     payload = load_checkpoint(path)
     meta = payload["meta"]
+    saved_segments = meta.get("segments")
+    if (saved_segments is not None) != runtime.log.segmented:
+        saved = "a segmented" if saved_segments is not None else "a materialized"
+        built = "segmented" if runtime.log.segmented else "materialized"
+        raise DataError(
+            f"checkpoint was taken from {saved} event-log run, this run "
+            f"streams {built} events — pass the same --segment-days "
+            "configuration"
+        )
     if meta["fingerprint"] != runtime.log.fingerprint():
+        if saved_segments is not None:
+            current = runtime.log.segment_fingerprints
+            saved_chain = saved_segments["fingerprints"]
+            for index, (before, after) in enumerate(zip(saved_chain, current)):
+                if before != after:
+                    raise DataError(
+                        f"checkpoint segment {index} (starting at t="
+                        f"{saved_segments['boundaries'][index]}) has "
+                        "fingerprint "
+                        f"{before[:12]}…, this run synthesized {after[:12]}… "
+                        "— the segmented horizon is not the checkpointed one"
+                    )
+            raise DataError(
+                f"checkpoint was taken over {saved_segments['count']} "
+                f"segments at boundaries {saved_segments['boundaries']}, "
+                f"this run built {runtime.log.segment_count} at "
+                f"{list(runtime.log.boundaries)} — pass the same "
+                "--segment-days configuration"
+            )
         raise DataError(
             "checkpoint was taken against a different event log "
             "(fingerprint mismatch)"

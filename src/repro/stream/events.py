@@ -72,6 +72,7 @@ applies as a no-op.
 from __future__ import annotations
 
 import hashlib
+import math
 import struct
 from dataclasses import dataclass
 from itertools import chain
@@ -264,6 +265,11 @@ class EventLog:
     and resumed runs re-read the identical tail.
     """
 
+    #: Whether this log streams in bounded-memory windows.  ``False`` here;
+    #: :class:`~repro.stream.segments.SegmentedEventLog` overrides it so the
+    #: runtime/checkpoint layers can branch without isinstance probes.
+    segmented = False
+
     def __init__(self, events: Iterable[StreamEvent] = ()) -> None:
         staged = list(events)
         count = len(staged)
@@ -308,11 +314,14 @@ class EventLog:
         ``payload`` holds, per row, the index of the row's worker (arrival
         rows, into ``workers``) or task (publish rows, into ``tasks``) and
         -1 elsewhere; when omitted, arrival/publish rows are matched to the
-        side-tables in row order.  Relocation rows carry no payload: their
-        new coordinates come from the ``x``/``y`` columns (required
-        whenever a ``KIND_RELOCATE`` row is present) and the relocated
-        worker is synthesized from the entity's most recent prior
-        arrival/relocation.  Rows may be in any order — the constructor
+        side-tables in row order.  Relocation rows come in two forms: with
+        payload -1 their new coordinates come from the ``x``/``y`` columns
+        (required for such rows) and the relocated worker is synthesized
+        from the entity's most recent prior arrival/relocation; with an
+        explicit payload ``>= 0`` the row references a post-move
+        :class:`Worker` in ``workers`` directly — the form segment slabs
+        use so a mid-horizon window is self-contained without replaying
+        earlier windows.  Rows may be in any order — the constructor
         applies the canonical ``(time, phase, entity_id)`` stable sort
         itself.
 
@@ -339,25 +348,6 @@ class EventLog:
         if time.size and not np.isfinite(time).all():
             raise DataError("time column contains non-finite values")
         relocating = kind == KIND_RELOCATE
-        if relocating.any():
-            if x is None or y is None:
-                raise DataError(
-                    "relocation rows require the x and y coordinate columns"
-                )
-        if x is not None or y is not None:
-            if x is None or y is None:
-                raise DataError("x and y columns must be given together")
-            x = np.ascontiguousarray(x, dtype=np.float64)
-            y = np.ascontiguousarray(y, dtype=np.float64)
-            if not (len(x) == len(y) == len(time)):
-                raise DataError("x and y columns must have the row count")
-            bad_coords = relocating & (np.isnan(x) | np.isnan(y))
-            if bad_coords.any():
-                raise DataError(
-                    "relocation rows "
-                    f"{np.flatnonzero(bad_coords).tolist()[:5]} have NaN "
-                    "coordinates"
-                )
         if payload is None:
             payload = np.full(len(time), -1, dtype=np.int64)
             payload[kind == KIND_ARRIVAL] = np.arange(
@@ -380,6 +370,35 @@ class EventLog:
                         f"payload indices of kind-{kind_code} rows must lie in "
                         f"[0, {len(table)}) — the {label} side-table"
                     )
+            refs = payload[relocating]
+            if refs.size and (refs.min() < -1 or refs.max() >= len(workers)):
+                raise DataError(
+                    f"payload indices of kind-{KIND_RELOCATE} rows must be -1 "
+                    f"(synthesize from x/y) or lie in [0, {len(workers)}) — "
+                    "the workers side-table"
+                )
+        # Relocations without an explicit payload need coordinates to
+        # synthesize the moved worker from.
+        synthesized = relocating & (payload < 0)
+        if synthesized.any():
+            if x is None or y is None:
+                raise DataError(
+                    "relocation rows require the x and y coordinate columns"
+                )
+        if x is not None or y is not None:
+            if x is None or y is None:
+                raise DataError("x and y columns must be given together")
+            x = np.ascontiguousarray(x, dtype=np.float64)
+            y = np.ascontiguousarray(y, dtype=np.float64)
+            if not (len(x) == len(y) == len(time)):
+                raise DataError("x and y columns must have the row count")
+            bad_coords = synthesized & (np.isnan(x) | np.isnan(y))
+            if bad_coords.any():
+                raise DataError(
+                    "relocation rows "
+                    f"{np.flatnonzero(bad_coords).tolist()[:5]} have NaN "
+                    "coordinates"
+                )
         log = cls.__new__(cls)
         log._init_from_arrays(
             time, kind, entity_id, payload, list(workers), list(tasks), x, y
@@ -453,16 +472,22 @@ class EventLog:
                     worker = workers[source_payload[row]]
                     latest_worker[int(sorted_entity[row])] = worker
                 elif row_kind == KIND_RELOCATE:
-                    previous = latest_worker.get(int(sorted_entity[row]))
-                    if previous is None:
-                        raise DataError(
-                            f"relocation of worker {int(sorted_entity[row])} "
-                            f"at t={float(columns['time'][row])} precedes any "
-                            "arrival of that worker"
+                    if source_payload[row] >= 0:
+                        # Self-contained form: the post-move worker ships in
+                        # the side-table (segment slabs) — no prior arrival
+                        # needs to exist in this log.
+                        worker = workers[source_payload[row]]
+                    else:
+                        previous = latest_worker.get(int(sorted_entity[row]))
+                        if previous is None:
+                            raise DataError(
+                                f"relocation of worker {int(sorted_entity[row])} "
+                                f"at t={float(columns['time'][row])} precedes any "
+                                "arrival of that worker"
+                            )
+                        worker = previous.moved_to(
+                            Point(float(source_x[row]), float(source_y[row]))
                         )
-                    worker = previous.moved_to(
-                        Point(float(source_x[row]), float(source_y[row]))
-                    )
                     latest_worker[int(sorted_entity[row])] = worker
                 elif row_kind == KIND_PUBLISH:
                     task = tasks[source_payload[row]]
@@ -704,6 +729,33 @@ class EventLog:
         )
         return max(cursor, cut)
 
+    def slices(
+        self, start: int, stop: int
+    ) -> Iterator[tuple["EventLog", int, int, int]]:
+        """Yield ``(log, local_start, local_stop, base)`` slabs covering
+        global rows ``[start, stop)``.
+
+        The uniform cursor-walk API shared with
+        :class:`~repro.stream.segments.SegmentedEventLog`: a materialized
+        log is a single slab at base 0, a segmented log yields one tuple
+        per touched segment.  Consumers index ``log`` with local positions
+        and recover the global position as ``base + local``.
+        """
+        if start < stop:
+            yield self, start, stop, 0
+
+    def cell_key_counts(self, cell_km: float) -> tuple[np.ndarray, np.ndarray]:
+        """``(occupied_packed_keys, counts)`` over the located event rows.
+
+        The shard planner's aggregate input, answered without exposing the
+        full per-row key column — which lets
+        :class:`~repro.stream.segments.SegmentedEventLog` union the same
+        occupancy per segment under bounded memory.
+        """
+        packed = self.cell_keys(cell_km)
+        located = ~np.isnan(self.columns["x"])
+        return np.unique(packed[located], return_counts=True)
+
     def next_count_time(
         self, cursor: int, count: int, limit_time: float
     ) -> float | None:
@@ -721,6 +773,17 @@ class EventLog:
         fire = float(self.columns["time"][self._admissions[target]])
         return fire if fire <= limit_time else None
 
+    def admissions_after(self, cursor: int) -> int:
+        """How many admission rows lie at or after ``cursor``.
+
+        The per-segment count :class:`~repro.stream.segments.SegmentedEventLog`
+        aggregates to answer :meth:`next_count_time` across seams.
+        """
+        return int(
+            len(self._admissions)
+            - np.searchsorted(self._admissions, cursor, side="left")
+        )
+
     def cell_keys(self, cell_km: float) -> np.ndarray:
         """Grid-cell key per event row, quantizing ``x``/``y`` by ``cell_km``.
 
@@ -730,6 +793,11 @@ class EventLog:
         valid for ``|k| < CELL_OFFSET`` — tens of millions of cells per
         axis), matching :func:`repro.geo.cell_key` on the payload
         locations — the shard planner's input.
+
+        Raises :class:`DataError` when any located row quantizes outside
+        ``|k| < CELL_OFFSET``: such keys would silently alias distinct
+        cells (or the unlocated sentinel), which can merge unrelated shard
+        components or break the never-split invariant.
         """
         if cell_km <= 0:
             raise ValueError(f"cell_km must be positive, got {cell_km}")
@@ -738,8 +806,19 @@ class EventLog:
         located = ~np.isnan(xs)
         kx = np.full(len(xs), CELL_OFFSET, dtype=np.int64)
         ky = np.full(len(ys), CELL_OFFSET, dtype=np.int64)
-        kx[located] = np.floor(xs[located] / cell_km).astype(np.int64)
-        ky[located] = np.floor(ys[located] / cell_km).astype(np.int64)
+        with np.errstate(invalid="ignore"):
+            fx = np.floor(xs[located] / cell_km)
+            fy = np.floor(ys[located] / cell_km)
+        bad = (np.abs(fx) >= CELL_OFFSET) | (np.abs(fy) >= CELL_OFFSET)
+        if bad.any():
+            row = int(np.flatnonzero(located)[np.flatnonzero(bad)[0]])
+            raise DataError(
+                f"event row {row} at ({xs[row]}, {ys[row]}) quantizes to cell "
+                f"({math.floor(xs[row] / cell_km)}, {math.floor(ys[row] / cell_km)}) "
+                f"outside |k| < {CELL_OFFSET} at cell_km={cell_km}"
+            )
+        kx[located] = fx.astype(np.int64)
+        ky[located] = fy.astype(np.int64)
         return (kx + CELL_OFFSET) * (2 * CELL_OFFSET) + (ky + CELL_OFFSET)
 
     def max_reachable_km(self) -> float:

@@ -504,14 +504,18 @@ class ShardExecutor:
             elif self.shares_memory:
                 # Fork-once: publish the log's payload slabs, then start a
                 # pool whose initializer attaches them — after this, rounds
-                # ship only slot vectors + scratch headers.
-                if self._slabs is None:
+                # ship only slot vectors + scratch headers.  Segmented logs
+                # publish nothing run-wide (their payload tables live in
+                # transient per-segment slabs); their rounds ship the
+                # entity rows inline in the scratch blocks instead.
+                if self._slabs is None and not self.log.segmented:
                     self._slabs = SharedSlabs(self.log)
+                specs = self._slabs.specs if self._slabs is not None else ()
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.max_workers,
                     mp_context=fork_capable_context(),
                     initializer=init_shared_worker,
-                    initargs=(self._slabs.specs,),
+                    initargs=(specs,),
                 )
             else:
                 self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
@@ -542,17 +546,53 @@ class ShardExecutor:
     def _publish_shard(
         self, shard: int, prepared: PreparedInstance, now: float
     ) -> dict:
-        """Copy one prepared shard's rectangles into its scratch block."""
+        """Copy one prepared shard's rectangles into its scratch block.
+
+        Materialized logs address entities by *slot* — rows of the run-wide
+        :class:`SharedSlabs` payload tables the pool attached at fork.
+        Segmented logs have no such run-wide table (payload slabs come and
+        go with the cursor), so their rounds ship the pooled entities'
+        attribute rows inline — O(workers + tasks) per round beside the
+        O(workers x tasks) rectangles already copied.
+        """
         feasible = prepared.feasible
         log = self.log
-        worker_slots = np.fromiter(
-            (log.worker_slot_of(worker) for worker in feasible.workers),
-            dtype=np.int64, count=len(feasible.workers),
-        )
-        task_slots = np.fromiter(
-            (log.task_slot_of(task) for task in feasible.tasks),
-            dtype=np.int64, count=len(feasible.tasks),
-        )
+        if log.segmented:
+            workers_n = len(feasible.workers)
+            tasks_n = len(feasible.tasks)
+            worker_attrs = np.empty((workers_n, 4), dtype=np.float64)
+            worker_ids = np.empty(workers_n, dtype=np.int64)
+            for row, worker in enumerate(feasible.workers):
+                worker_attrs[row, 0] = worker.location.x
+                worker_attrs[row, 1] = worker.location.y
+                worker_attrs[row, 2] = worker.reachable_km
+                worker_attrs[row, 3] = worker.speed_kmh
+                worker_ids[row] = worker.worker_id
+            task_attrs = np.empty((tasks_n, 4), dtype=np.float64)
+            task_ids = np.empty(tasks_n, dtype=np.int64)
+            for column, task in enumerate(feasible.tasks):
+                task_attrs[column, 0] = task.location.x
+                task_attrs[column, 1] = task.location.y
+                task_attrs[column, 2] = task.publication_time
+                task_attrs[column, 3] = task.valid_hours
+                task_ids[column] = task.task_id
+            entities = {
+                "worker_attrs": worker_attrs,
+                "worker_ids": worker_ids,
+                "task_attrs": task_attrs,
+                "task_ids": task_ids,
+            }
+        else:
+            entities = {
+                "worker_slots": np.fromiter(
+                    (log.worker_slot_of(worker) for worker in feasible.workers),
+                    dtype=np.int64, count=len(feasible.workers),
+                ),
+                "task_slots": np.fromiter(
+                    (log.task_slot_of(task) for task in feasible.tasks),
+                    dtype=np.int64, count=len(feasible.tasks),
+                ),
+            }
         entropy = np.fromiter(
             (prepared.entropy_by_task[task.task_id] for task in feasible.tasks),
             dtype=np.float64, count=len(feasible.tasks),
@@ -567,8 +607,7 @@ class ShardExecutor:
             mask=feasible.mask,
             influence=prepared.influence_matrix,
             entropy=entropy,
-            worker_slots=worker_slots,
-            task_slots=task_slots,
+            **entities,
         )
 
     def _prepare_and_solve(
@@ -1153,10 +1192,12 @@ class StreamRuntime:
         ``time <= fire_time``; deferred events (expiry/churn) only when
         strictly earlier, so deadlines on the boundary do not bind in this
         round.  The due range is located with two ``searchsorted`` calls on
-        the columnar log and applied straight from the columns.  With an
-        admission controller configured, a healthy round first re-admits
-        the deferred backlog (original publication times intact), then
-        gates the new publishes.
+        the columnar log and applied straight from the columns — slab by
+        slab through :meth:`EventLog.slices`, so a segmented log drains
+        with only its current windows alive (and everything behind the
+        cursor is released afterwards).  With an admission controller
+        configured, a healthy round first re-admits the deferred backlog
+        (original publication times intact), then gates the new publishes.
         """
         state = self.state
         stop = self.log.drain_stop(self._cursor, fire_time)
@@ -1172,11 +1213,21 @@ class StreamRuntime:
                 )
             if final_flush and self.admission.policy == "defer":
                 gate = None  # deferring at the end of the stream drops work
-        expired, churned, cancelled, relocated = state.apply_log_slice(
-            self.log, self._cursor, stop, admission=gate
-        )
+        expired = churned = cancelled = relocated = 0
+        for slab, local_start, local_stop, base in self.log.slices(
+            self._cursor, stop
+        ):
+            slab_counts = state.apply_log_slice(
+                slab, local_start, local_stop, admission=gate, offset=base
+            )
+            expired += slab_counts[0]
+            churned += slab_counts[1]
+            cancelled += slab_counts[2]
+            relocated += slab_counts[3]
         drained = stop - self._cursor
         self._cursor = stop
+        if self.log.segmented:
+            self.log.release_before(self._cursor)
         expired += len(state.expire_tasks(fire_time))
         churned += len(state.churn_workers(fire_time, self.patience_hours))
         return drained, expired, churned, cancelled, relocated

@@ -25,6 +25,7 @@ capture adaptation state; stateless triggers return ``{}``.
 from __future__ import annotations
 
 import abc
+import math
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -197,7 +198,24 @@ class AdaptiveTrigger(Trigger):
         return {"window_hours": self.window_hours}
 
     def load_state_dict(self, state: dict[str, Any]) -> None:
-        self.window_hours = float(state["window_hours"])
+        """Restore adaptation state, re-imposing this trigger's bounds.
+
+        A checkpoint written under different bounds (or a hand-edited one)
+        may carry a ``window_hours`` outside ``[min_window_hours,
+        max_window_hours]``; accepting it verbatim would let
+        :meth:`on_round`'s clamp arms pin the window there.  Non-finite or
+        non-positive values are corrupt state and rejected outright.
+        """
+        from repro.exceptions import DataError
+
+        window = float(state["window_hours"])
+        if not math.isfinite(window) or window <= 0.0:
+            raise DataError(
+                f"checkpointed window_hours must be finite and positive, got {window}"
+            )
+        self.window_hours = min(
+            max(window, self.min_window_hours), self.max_window_hours
+        )
 
     def __repr__(self) -> str:
         return (

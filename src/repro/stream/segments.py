@@ -1,0 +1,538 @@
+"""Bounded-memory event-log segments: stream a horizon without holding it.
+
+:class:`SegmentedEventLog` presents the same replay surface as a columnar
+:class:`~repro.stream.events.EventLog` — global integer cursor,
+``drain_stop``/``next_count_time`` scheduling queries, ``worker_at``/
+``task_at`` payload access, a fingerprint — while the horizon itself lives
+behind *builders*: deterministic zero-argument callables, one per time
+window, each producing a full columnar :class:`EventLog` slab on demand.
+Segment ``s`` owns the half-open window ``[starts[s], starts[s+1])`` (the
+last is unbounded above), which is exactly the per-day structure
+:func:`~repro.stream.events.multi_day_stream` produces, so a 30-day world
+is thirty one-day slabs of which only a couple exist in memory at once.
+
+**Seam exactness.**  The columnar sort key is ``(time, phase, entity,
+kind)`` with time primary, and windows partition events by time, so the
+concatenation of per-segment sorted slabs *is* the globally sorted log —
+every global row index, admission count and drain boundary is recoverable
+from per-segment metadata plus at most one or two live slabs:
+
+* ``drain_stop(cursor, T)``: the target segment is the one whose window
+  contains ``T``.  Every earlier segment drains completely (all its times
+  are strictly below its window end, hence strictly below ``T`` — deferred
+  expiry/churn rows included), every later segment not at all, and the cut
+  inside the target segment is the materialized ``drain_stop`` on that one
+  slab.
+* ``next_count_time``: admission counts per segment are recorded by the
+  construction-time scan, so the query walks metadata and builds only the
+  segment containing the answer.
+
+**Memory model.**  Construction runs one bounded scan: each segment is
+built once, validated against its window, reduced to a
+:class:`SegmentInfo` (row/admission counts, fingerprint, aggregates) and
+released.  After that at most ``max_cached`` slabs are alive at a time
+(LRU), and :meth:`release_before` lets the runtime drop everything behind
+its cursor as replay advances.  Peak memory is therefore a few windows,
+not the horizon — the whole point.
+
+**Fingerprints.**  :meth:`fingerprint` chains the per-segment EventLog
+fingerprints with the window boundaries, so checkpoints can fail fast on
+the *first mismatching segment* without ever materializing the horizon.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.entities import Task, Worker
+from repro.exceptions import DataError
+from repro.stream.events import (
+    KIND_ARRIVAL,
+    KIND_PUBLISH,
+    KIND_RELOCATE,
+    EventLog,
+)
+
+__all__ = ["SegmentInfo", "SegmentedEventLog"]
+
+#: Domain separator of the segmented fingerprint chain.
+_CHAIN_DOMAIN = b"repro-eventlog-segments-v1"
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """Construction-scan metadata of one segment (slab released after)."""
+
+    start: float
+    rows: int
+    admissions: int
+    workers: int
+    tasks: int
+    fingerprint: str
+    first_admission_time: float | None
+    last_expiry_time: float | None
+    max_reachable_km: float
+
+
+def _slice_log(log: EventLog, lo: int, hi: int) -> EventLog:
+    """Rows ``[lo, hi)`` of a materialized log as a self-contained slab.
+
+    Worker rows (arrivals *and* relocations — the source log synthesized
+    relocated payloads at construction) and task rows reference compacted
+    copies of the source side-tables; relocation rows keep their explicit
+    post-move payloads so the slab replays without the preceding horizon.
+    """
+    columns = log.columns[lo:hi]
+    kind = np.ascontiguousarray(columns["kind"])
+    payload = columns["payload"]
+    worker_rows = np.flatnonzero((kind == KIND_ARRIVAL) | (kind == KIND_RELOCATE))
+    publish_rows = np.flatnonzero(kind == KIND_PUBLISH)
+    workers = [log._workers[int(payload[row])] for row in worker_rows]
+    tasks = [log._tasks[int(payload[row])] for row in publish_rows]
+    compact = np.full(hi - lo, -1, dtype=np.int64)
+    compact[worker_rows] = np.arange(len(worker_rows), dtype=np.int64)
+    compact[publish_rows] = np.arange(len(publish_rows), dtype=np.int64)
+    return EventLog.from_columns(
+        columns["time"],
+        kind,
+        columns["entity_id"],
+        payload=compact,
+        workers=workers,
+        tasks=tasks,
+        x=columns["x"],
+        y=columns["y"],
+    )
+
+
+class SegmentedEventLog:
+    """A horizon of :class:`EventLog` windows, built lazily and released.
+
+    Parameters
+    ----------
+    builders:
+        One deterministic zero-argument callable per segment, each
+        returning the segment's :class:`EventLog`.  Determinism is the
+        contract that makes release-and-rebuild exact: a rebuilt slab must
+        be identical to the scanned one (row counts are re-checked on
+        every rebuild; fingerprints pin it end-to-end via checkpoints).
+    starts:
+        Strictly increasing window starts, one per builder; segment ``s``
+        owns ``[starts[s], starts[s+1])``, the last segment is unbounded
+        above.  Every event of segment ``s`` must fall in its window —
+        validated by the construction scan, because the seam-exactness
+        argument (see module docstring) depends on it.
+    max_cached:
+        How many built slabs may be alive at once (LRU; >= 1).
+    """
+
+    #: Counterpart of :attr:`EventLog.segmented`.
+    segmented = True
+
+    def __init__(
+        self,
+        builders: Sequence[Callable[[], EventLog]],
+        starts: Sequence[float],
+        *,
+        max_cached: int = 2,
+    ) -> None:
+        if not builders:
+            raise DataError("a segmented log needs at least one segment builder")
+        if len(builders) != len(starts):
+            raise DataError(
+                f"{len(builders)} builders but {len(starts)} window starts"
+            )
+        starts = [float(value) for value in starts]
+        if not all(math.isfinite(value) for value in starts):
+            raise DataError(f"window starts must be finite, got {starts}")
+        if any(later <= earlier for earlier, later in zip(starts, starts[1:])):
+            raise DataError(
+                f"window starts must be strictly increasing, got {starts}"
+            )
+        if max_cached < 1:
+            raise ValueError(f"max_cached must be >= 1, got {max_cached}")
+        self._builders = tuple(builders)
+        self._starts = np.asarray(starts, dtype=np.float64)
+        self.max_cached = int(max_cached)
+        self._cache: OrderedDict[int, EventLog] = OrderedDict()
+        self._infos: list[SegmentInfo] = []
+        bases = [0]
+        for index in range(len(self._builders)):
+            segment = self._build(index, validate_window=True)
+            self._infos.append(self._scan(index, segment))
+            bases.append(bases[-1] + len(segment))
+            # The scan holds exactly one slab at a time: metadata is kept,
+            # the slab is dropped (no cache seeding — replay starts cold).
+            del segment
+        self._bases = np.asarray(bases, dtype=np.int64)
+
+    # ------------------------------------------------------------- building
+    def _build(self, index: int, validate_window: bool = False) -> EventLog:
+        segment = self._builders[index]()
+        if not isinstance(segment, EventLog):
+            raise DataError(
+                f"segment builder {index} returned "
+                f"{type(segment).__name__}, expected an EventLog"
+            )
+        if validate_window:
+            times = segment.times
+            if len(times):
+                lo = float(self._starts[index])
+                if float(times[0]) < lo:
+                    raise DataError(
+                        f"segment {index} contains t={float(times[0])} before "
+                        f"its window start {lo}"
+                    )
+                if index + 1 < len(self._starts):
+                    hi = float(self._starts[index + 1])
+                    if float(times[-1]) >= hi:
+                        raise DataError(
+                            f"segment {index} contains t={float(times[-1])} at "
+                            f"or past the next window start {hi}"
+                        )
+        elif len(segment) != self._infos[index].rows:
+            raise DataError(
+                f"segment builder {index} is not deterministic: rebuild "
+                f"produced {len(segment)} rows, the construction scan saw "
+                f"{self._infos[index].rows}"
+            )
+        return segment
+
+    def _scan(self, index: int, segment: EventLog) -> SegmentInfo:
+        return SegmentInfo(
+            start=float(self._starts[index]),
+            rows=len(segment),
+            admissions=segment.admissions_after(0),
+            workers=len(segment._workers),
+            tasks=len(segment._tasks),
+            fingerprint=segment.fingerprint(),
+            first_admission_time=segment.start_time(),
+            last_expiry_time=segment.last_deadline(),
+            max_reachable_km=segment.max_reachable_km(),
+        )
+
+    def segment(self, index: int) -> EventLog:
+        """Segment ``index``'s slab, building (and LRU-caching) on demand."""
+        if not 0 <= index < len(self._builders):
+            raise IndexError(f"segment {index} out of range")
+        cached = self._cache.get(index)
+        if cached is not None:
+            self._cache.move_to_end(index)
+            return cached
+        segment = self._build(index)
+        self._cache[index] = segment
+        while len(self._cache) > self.max_cached:
+            self._cache.popitem(last=False)
+        return segment
+
+    def release_before(self, cursor: int) -> int:
+        """Drop cached slabs fully behind the global ``cursor``.
+
+        The runtime calls this after each drain so replay holds only the
+        cursor's segment (plus whatever the LRU admitted for lookahead
+        queries).  Returns the number of slabs released.
+        """
+        current = self.segment_of(cursor)
+        stale = [index for index in self._cache if index < current]
+        for index in stale:
+            del self._cache[index]
+        return len(stale)
+
+    @property
+    def cached_segments(self) -> tuple[int, ...]:
+        """Indices of the currently alive slabs (observability/tests)."""
+        return tuple(sorted(self._cache))
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def segment_count(self) -> int:
+        return len(self._builders)
+
+    @property
+    def boundaries(self) -> tuple[float, ...]:
+        """The window starts (``starts[s]`` opens segment ``s``)."""
+        return tuple(float(value) for value in self._starts)
+
+    @property
+    def segment_fingerprints(self) -> tuple[str, ...]:
+        """Per-segment EventLog fingerprints, in order."""
+        return tuple(info.fingerprint for info in self._infos)
+
+    @property
+    def segment_infos(self) -> tuple[SegmentInfo, ...]:
+        return tuple(self._infos)
+
+    def __len__(self) -> int:
+        return int(self._bases[-1])
+
+    def segment_of(self, index: int) -> int:
+        """The segment owning global row ``index`` (end-cursor clamps last).
+
+        With empty segments the owner is the *last* segment starting at or
+        before the row — ``searchsorted right`` — so a cursor sitting on a
+        seam belongs to the later segment, matching ``base + local``
+        arithmetic everywhere.
+        """
+        segment = int(np.searchsorted(self._bases, index, side="right")) - 1
+        return min(max(segment, 0), len(self._builders) - 1)
+
+    def locate(self, index: int) -> tuple[int, int]:
+        """Global row ``index`` as a ``(segment, offset)`` pair."""
+        segment = self.segment_of(index)
+        return segment, int(index - self._bases[segment])
+
+    def slices(self, start: int, stop: int) -> Iterator[tuple[EventLog, int, int, int]]:
+        """``(slab, local_start, local_stop, base)`` per touched segment.
+
+        The segmented counterpart of :meth:`EventLog.slices`: slabs are
+        built through the LRU cache as the iteration reaches them, so a
+        consumer walking a long range still holds ``max_cached`` slabs.
+        """
+        if stop > self._bases[-1]:
+            raise IndexError(
+                f"slice stop {stop} exceeds the log length {int(self._bases[-1])}"
+            )
+        position = start
+        while position < stop:
+            segment = self.segment_of(position)
+            base = int(self._bases[segment])
+            local_stop = min(stop, int(self._bases[segment + 1])) - base
+            yield self.segment(segment), position - base, local_stop, base
+            position = base + local_stop
+
+    # ------------------------------------------------------------ scheduling
+    def drain_stop(self, cursor: int, fire_time: float) -> int:
+        """Global first-undrained index for a round at ``fire_time``.
+
+        Exact across seams: the cut lies in the segment whose window
+        contains ``fire_time`` (earlier windows end strictly below it, so
+        even their deferred rows drain; later windows start strictly above
+        it, so nothing there does), and within that one slab the
+        materialized ``drain_stop`` applies verbatim.
+        """
+        target = int(np.searchsorted(self._starts, fire_time, side="right")) - 1
+        if target < 0:
+            return cursor
+        cut = int(self._bases[target]) + self.segment(target).drain_stop(
+            0, fire_time
+        )
+        return max(cursor, cut)
+
+    def next_count_time(
+        self, cursor: int, count: int, limit_time: float
+    ) -> float | None:
+        """When the ``count``-th admission at/after ``cursor`` occurs.
+
+        Walks the per-segment admission counts recorded by the scan and
+        builds at most two slabs: the cursor's (to subtract the admissions
+        already behind it) and the one containing the answer.
+        """
+        segment_index, local = self.locate(cursor)
+        remaining = count
+        for index in range(segment_index, len(self._builders)):
+            info = self._infos[index]
+            if index == segment_index:
+                segment = self.segment(index)
+                available = segment.admissions_after(local)
+                if available >= remaining:
+                    return segment.next_count_time(local, remaining, limit_time)
+            else:
+                if info.start > limit_time:
+                    return None
+                if info.admissions >= remaining:
+                    return self.segment(index).next_count_time(
+                        0, remaining, limit_time
+                    )
+                available = info.admissions
+            remaining -= available
+        return None
+
+    # ------------------------------------------------------------ aggregates
+    def start_time(self) -> float | None:
+        """Earliest admission time (from metadata — no slab builds)."""
+        for info in self._infos:
+            if info.admissions:
+                return info.first_admission_time
+        return None
+
+    def has_arrivals(self) -> bool:
+        return any(info.workers for info in self._infos)
+
+    def last_deadline(self) -> float | None:
+        deadlines = [
+            info.last_expiry_time
+            for info in self._infos
+            if info.last_expiry_time is not None
+        ]
+        return max(deadlines) if deadlines else None
+
+    def max_reachable_km(self) -> float:
+        return max((info.max_reachable_km for info in self._infos), default=0.0)
+
+    def cell_key_counts(self, cell_km: float) -> tuple[np.ndarray, np.ndarray]:
+        """Occupied planning cells unioned across segments, bounded memory.
+
+        The shard planner's input: each segment contributes its own
+        ``cell_key_counts`` (one slab alive at a time through the cache)
+        and the dictionaries merge — O(occupied cells), never O(events) —
+        which is how the never-split invariant is planned up front without
+        materializing payloads.
+        """
+        merged: dict[int, int] = {}
+        for index in range(len(self._builders)):
+            keys, counts = self.segment(index).cell_key_counts(cell_km)
+            for key, load in zip(keys.tolist(), counts.tolist()):
+                merged[key] = merged.get(key, 0) + load
+        ordered = sorted(merged)
+        return (
+            np.asarray(ordered, dtype=np.int64),
+            np.asarray([merged[key] for key in ordered], dtype=np.int64),
+        )
+
+    # --------------------------------------------------------------- payloads
+    def worker_at(self, index: int) -> Worker:
+        """The worker payload at global row ``index``."""
+        segment, local = self._locate_strict(index)
+        return self.segment(segment).worker_at(local)
+
+    def task_at(self, index: int) -> Task:
+        """The task payload at global row ``index``."""
+        segment, local = self._locate_strict(index)
+        return self.segment(segment).task_at(local)
+
+    def _locate_strict(self, index: int) -> tuple[int, int]:
+        if not 0 <= index < len(self):
+            raise IndexError(f"event index {index} out of range")
+        return self.locate(index)
+
+    # ------------------------------------------------------------ fingerprint
+    def fingerprint(self) -> str:
+        """The segment fingerprint chain digest.
+
+        Chains ``(window start, EventLog fingerprint)`` per segment under a
+        domain tag, so it changes iff any segment's content or the
+        partition itself changes — checkpoints store both this digest and
+        the per-segment list, and a resume names the first mismatching
+        segment instead of rehashing a horizon it cannot hold.
+        """
+        digest = hashlib.sha256()
+        digest.update(_CHAIN_DOMAIN)
+        digest.update(struct.pack("<q", len(self._infos)))
+        for info in self._infos:
+            digest.update(struct.pack("<d", info.start))
+            digest.update(bytes.fromhex(info.fingerprint))
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------ conversions
+    @classmethod
+    def from_log(
+        cls,
+        log: EventLog,
+        segment_hours: float = 24.0,
+        *,
+        boundaries: Sequence[float] | None = None,
+        max_cached: int = 2,
+    ) -> "SegmentedEventLog":
+        """Window a materialized log into segments (the compatibility path).
+
+        Builders slice the source log's columns by time window, so the
+        *source* stays materialized — this is the differential/resume twin
+        and the CLI's ``--segment-days`` route for logs that already fit in
+        memory.  True bounded-memory runs construct builders that
+        synthesize or load each window from scratch instead.
+
+        ``segment_hours`` windows align to multiples of the period (a
+        24-hour period yields day boundaries, exactly the
+        :func:`~repro.stream.events.multi_day_stream` seams); an explicit
+        ``boundaries`` sequence overrides it for arbitrary partitions.
+        """
+        times = log.times
+        if boundaries is None:
+            if segment_hours <= 0:
+                raise ValueError(
+                    f"segment_hours must be positive, got {segment_hours}"
+                )
+            if not len(times):
+                starts = [0.0]
+            else:
+                first = math.floor(float(times[0]) / segment_hours) * segment_hours
+                starts = [first]
+                while starts[-1] + segment_hours <= float(times[-1]):
+                    starts.append(starts[-1] + segment_hours)
+        else:
+            starts = [float(value) for value in boundaries]
+            if not starts:
+                raise DataError("boundaries must name at least one window start")
+            if len(times) and float(times[0]) < starts[0]:
+                raise DataError(
+                    f"first window start {starts[0]} is after the log's "
+                    f"earliest event t={float(times[0])}"
+                )
+
+        edges = [
+            int(np.searchsorted(times, start, side="left")) for start in starts
+        ] + [len(log)]
+
+        def builder_for(lo: int, hi: int) -> Callable[[], EventLog]:
+            return lambda: _slice_log(log, lo, hi)
+
+        return cls(
+            [builder_for(edges[s], edges[s + 1]) for s in range(len(starts))],
+            starts,
+            max_cached=max_cached,
+        )
+
+    def materialize(self) -> EventLog:
+        """Concatenate every segment into one materialized :class:`EventLog`.
+
+        The O(horizon) escape hatch for differentials and benches — it
+        round-trips: for windows that partition a source log by time, the
+        result is fingerprint-identical to that log, because the columnar
+        sort and payload renumbering are both window-respecting.
+        """
+        times, kinds, entities, payloads, xs, ys = [], [], [], [], [], []
+        workers: list[Worker] = []
+        tasks: list[Task] = []
+        for index in range(len(self._builders)):
+            segment = self.segment(index)
+            columns = segment.columns
+            payload = columns["payload"].astype(np.int64)
+            kind = columns["kind"]
+            worker_rows = (kind == KIND_ARRIVAL) | (kind == KIND_RELOCATE)
+            payload = payload.copy()
+            payload[worker_rows & (payload >= 0)] += len(workers)
+            payload[(kind == KIND_PUBLISH) & (payload >= 0)] += len(tasks)
+            times.append(columns["time"])
+            kinds.append(kind)
+            entities.append(columns["entity_id"])
+            payloads.append(payload)
+            xs.append(columns["x"])
+            ys.append(columns["y"])
+            workers.extend(segment._workers)
+            tasks.extend(segment._tasks)
+        return EventLog.from_columns(
+            np.concatenate(times) if times else np.zeros(0),
+            np.concatenate(kinds) if kinds else np.zeros(0, dtype=np.int64),
+            np.concatenate(entities) if entities else np.zeros(0, dtype=np.int64),
+            payload=(
+                np.concatenate(payloads)
+                if payloads
+                else np.zeros(0, dtype=np.int64)
+            ),
+            workers=workers,
+            tasks=tasks,
+            x=np.concatenate(xs) if xs else np.zeros(0),
+            y=np.concatenate(ys) if ys else np.zeros(0),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentedEventLog(segments={self.segment_count}, "
+            f"events={len(self)}, cached={list(self.cached_segments)})"
+        )

@@ -128,6 +128,13 @@ class ShardLayout:
         unioned; the resulting components are packed into at most
         ``num_shards`` bins, largest-load first onto the least-loaded bin
         (ties by bin index) — fully deterministic for a given log.
+
+        The planner consumes only the *aggregate* cell occupancy
+        (``log.cell_key_counts``), so a
+        :class:`~repro.stream.segments.SegmentedEventLog` plans the same
+        layout by unioning per-segment occupancy up front — O(occupied
+        cells) memory, never the materialized horizon — and the
+        never-split invariant holds across every window.
         """
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -140,9 +147,7 @@ class ShardLayout:
         if cell_km <= 0:
             raise ValueError(f"cell_km must be positive, got {cell_km}")
 
-        packed = log.cell_keys(cell_km)
-        located = ~np.isnan(log.columns["x"])
-        occupied, loads = np.unique(packed[located], return_counts=True)
+        occupied, loads = log.cell_key_counts(cell_km)
         keys = [unpack_cell(value) for value in occupied]
         if not keys:
             return cls(cell_km=cell_km, num_shards=1, max_radius_km=radius)
@@ -262,12 +267,8 @@ class ShardLayout:
         :meth:`shard_of_cell` never fires during replay.  False means the
         log was not the one this layout was planned for.
         """
-        packed = log.cell_keys(self.cell_km)
-        located = ~np.isnan(log.columns["x"])
-        return all(
-            unpack_cell(int(value)) in self.cells
-            for value in np.unique(packed[located])
-        )
+        occupied, _ = log.cell_key_counts(self.cell_km)
+        return all(unpack_cell(int(value)) in self.cells for value in occupied)
 
     # ----------------------------------------------------------- checkpoints
     def state_dict(self) -> dict[str, Any]:

@@ -117,31 +117,64 @@ class SharedSlabs:
                 pass
 
 
-def _scratch_views(buffer, workers: int, tasks: int) -> dict[str, np.ndarray]:
-    """Deterministic layout of one shard's round rectangles in a buffer.
+def _scratch_fields(workers: int, tasks: int, inline: bool):
+    """Field layout of one shard's scratch block, in buffer order.
 
-    Publisher and solver both derive the views from ``(workers, tasks)``
-    alone, so no offsets travel in the per-round message.  The 8-byte
-    dtypes come first, the byte-wide mask last, keeping every view aligned.
+    Two variants share the common rectangles; what follows them differs:
+
+    * legacy (``inline=False``): per-round *slot vectors* naming rows of
+      the per-run :class:`SharedSlabs` payload tables (materialized logs,
+      whose side-tables exist for the whole run);
+    * inline (``inline=True``): the entity attribute rectangles and id
+      vectors themselves, in shard-row order.  Segmented logs use this —
+      their payload tables live inside transient per-segment slabs, so no
+      stable run-wide slot space exists to point into.
     """
-    offset = 0
-    views: dict[str, np.ndarray] = {}
-    for name, dtype, shape in (
+    fields = [
         ("distance", np.float64, (workers, tasks)),
         ("influence", np.float64, (workers, tasks)),
         ("entropy", np.float64, (tasks,)),
-        ("worker_slots", np.int64, (workers,)),
-        ("task_slots", np.int64, (tasks,)),
-        ("mask", np.bool_, (workers, tasks)),
-    ):
+    ]
+    if inline:
+        fields += [
+            ("worker_attrs", np.float64, (workers, 4)),
+            ("task_attrs", np.float64, (tasks, 4)),
+            ("worker_ids", np.int64, (workers,)),
+            ("task_ids", np.int64, (tasks,)),
+        ]
+    else:
+        fields += [
+            ("worker_slots", np.int64, (workers,)),
+            ("task_slots", np.int64, (tasks,)),
+        ]
+    fields.append(("mask", np.bool_, (workers, tasks)))
+    return fields
+
+
+def _scratch_views(
+    buffer, workers: int, tasks: int, inline: bool = False
+) -> dict[str, np.ndarray]:
+    """Deterministic layout of one shard's round rectangles in a buffer.
+
+    Publisher and solver both derive the views from ``(workers, tasks,
+    inline)`` alone, so no offsets travel in the per-round message.  The
+    8-byte dtypes come first, the byte-wide mask last, keeping every view
+    aligned.
+    """
+    offset = 0
+    views: dict[str, np.ndarray] = {}
+    for name, dtype, shape in _scratch_fields(workers, tasks, inline):
         view = np.ndarray(shape, dtype=dtype, buffer=buffer, offset=offset)
         views[name] = view
         offset += view.nbytes
     return views
 
 
-def _scratch_bytes(workers: int, tasks: int) -> int:
-    return 8 * (2 * workers * tasks + tasks + workers + tasks) + workers * tasks
+def _scratch_bytes(workers: int, tasks: int, inline: bool = False) -> int:
+    return sum(
+        np.dtype(dtype).itemsize * int(np.prod(shape, dtype=np.int64))
+        for _, dtype, shape in _scratch_fields(workers, tasks, inline)
+    )
 
 
 class ShardScratch:
@@ -164,23 +197,41 @@ class ShardScratch:
         mask: np.ndarray,
         influence: np.ndarray,
         entropy: np.ndarray,
-        worker_slots: np.ndarray,
-        task_slots: np.ndarray,
+        worker_slots: np.ndarray | None = None,
+        task_slots: np.ndarray | None = None,
+        worker_attrs: np.ndarray | None = None,
+        worker_ids: np.ndarray | None = None,
+        task_attrs: np.ndarray | None = None,
+        task_ids: np.ndarray | None = None,
     ) -> dict:
-        """Copy one round's rectangles in and return the solve header."""
+        """Copy one round's rectangles in and return the solve header.
+
+        Exactly one entity addressing mode must be supplied: the legacy
+        slot vectors (rows into the run-wide :class:`SharedSlabs`), or the
+        inline attribute rectangles + id vectors for logs whose payload
+        tables are transient (segmented replay).  The header's ``inline``
+        flag tells :func:`solve_shared_shard` which layout to map.
+        """
+        inline = worker_attrs is not None
         workers, tasks = distance.shape
-        needed = _scratch_bytes(workers, tasks)
+        needed = _scratch_bytes(workers, tasks, inline)
         if self._block is None or self._block.size < needed:
             self.close()
             self._block = shared_memory.SharedMemory(
                 create=True, size=max(needed, 4096)
             )
-        views = _scratch_views(self._block.buf, workers, tasks)
+        views = _scratch_views(self._block.buf, workers, tasks, inline)
         views["distance"][...] = distance
         views["influence"][...] = influence
         views["entropy"][...] = entropy
-        views["worker_slots"][...] = worker_slots
-        views["task_slots"][...] = task_slots
+        if inline:
+            views["worker_attrs"][...] = worker_attrs
+            views["task_attrs"][...] = task_attrs
+            views["worker_ids"][...] = worker_ids
+            views["task_ids"][...] = task_ids
+        else:
+            views["worker_slots"][...] = worker_slots
+            views["task_slots"][...] = task_slots
         views["mask"][...] = mask
         del views
         return {
@@ -189,6 +240,7 @@ class ShardScratch:
             "workers": workers,
             "tasks": tasks,
             "now": now,
+            "inline": inline,
         }
 
     def close(self) -> None:
@@ -244,7 +296,10 @@ def solve_shared_shard(
     """One shard's solve against shared state; runs in the pool worker.
 
     Entities are rebuilt from the slab rows the header's slot vectors
-    name.  The rebuilt ``Task`` drops ``categories``/``venue_id`` — no
+    name — or, when the header carries ``inline=True`` (segmented logs,
+    which have no run-wide payload slabs), from the attribute rectangles
+    shipped inside the scratch block itself.  The rebuilt ``Task`` drops
+    ``categories``/``venue_id`` — no
     assigner consults them at solve time (they only read the feasibility/
     influence/entropy rectangles, ids and publication times, all of which
     ride along) — and the caller materializes the returned index pairs
@@ -264,11 +319,24 @@ def solve_shared_shard(
     """
     block = _attach_scratch(header["shard"], header["name"])
     workers_n, tasks_n = header["workers"], header["tasks"]
-    views = _scratch_views(block.buf, workers_n, tasks_n)
-    worker_attrs = _worker_slabs["worker_attrs"]
-    worker_ids = _worker_slabs["worker_ids"]
-    task_attrs = _worker_slabs["task_attrs"]
-    task_ids = _worker_slabs["task_ids"]
+    inline = bool(header.get("inline"))
+    views = _scratch_views(block.buf, workers_n, tasks_n, inline)
+    if inline:
+        # Segmented logs ship the entity rows in the scratch block itself
+        # (shard-row order), so the rows are addressed directly.
+        worker_attrs = views["worker_attrs"]
+        worker_ids = views["worker_ids"]
+        task_attrs = views["task_attrs"]
+        task_ids = views["task_ids"]
+        worker_rows = range(workers_n)
+        task_rows = range(tasks_n)
+    else:
+        worker_attrs = _worker_slabs["worker_attrs"]
+        worker_ids = _worker_slabs["worker_ids"]
+        task_attrs = _worker_slabs["task_attrs"]
+        task_ids = _worker_slabs["task_ids"]
+        worker_rows = views["worker_slots"]
+        task_rows = views["task_slots"]
     workers = tuple(
         Worker(
             worker_id=int(worker_ids[slot]),
@@ -276,7 +344,7 @@ def solve_shared_shard(
             reachable_km=float(worker_attrs[slot, 2]),
             speed_kmh=float(worker_attrs[slot, 3]),
         )
-        for slot in views["worker_slots"]
+        for slot in worker_rows
     )
     tasks = tuple(
         Task(
@@ -285,7 +353,7 @@ def solve_shared_shard(
             publication_time=float(task_attrs[slot, 2]),
             valid_hours=float(task_attrs[slot, 3]),
         )
-        for slot in views["task_slots"]
+        for slot in task_rows
     )
     instance = SCInstance(
         name=f"shard-{header['shard']}",

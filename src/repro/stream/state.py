@@ -175,7 +175,7 @@ class StreamState:
         return False, False
 
     def apply_log_slice(
-        self, log: EventLog, start: int, stop: int, admission=None
+        self, log: EventLog, start: int, stop: int, admission=None, offset: int = 0
     ) -> tuple[int, int, int, int]:
         """Apply log rows ``[start, stop)`` straight from the columns.
 
@@ -191,6 +191,12 @@ class StreamState:
         first discard any backlog entry (``discard(task_id)``), counting
         the retirement even though the task never reached the pool.  With
         ``admission=None`` the path is exactly the ungated replay.
+
+        ``offset`` shifts the positions *offered to the gate* (only): when
+        the runtime drains a segmented log slab-by-slab, ``start``/``stop``
+        are slab-local but backlog entries must carry global cursor
+        positions so deferred re-admission and checkpoints stay exact
+        across segment seams.
         """
         kinds = log.kinds
         times = log.times
@@ -205,7 +211,7 @@ class StreamState:
             elif kind == KIND_PUBLISH:
                 task = log.task_at(position)
                 if admission is not None and not admission.offer(
-                    position, task, float(times[position])
+                    offset + position, task, float(times[position])
                 ):
                     continue
             elif admission is not None and kind in (KIND_EXPIRY, KIND_CANCEL):

@@ -51,6 +51,7 @@ from repro.obs import (
 )
 from repro.stream import (
     AdmissionController,
+    SegmentedEventLog,
     ShardRebalancer,
     StreamRuntime,
     TimeWindowTrigger,
@@ -402,6 +403,128 @@ class TestWarmDifferential:
         assert "repro_stream_warm_hit" in names
         validate_trace_events(obs.tracer.to_payload())
         validate_exposition(render_prometheus(obs.registry))
+
+
+def segmented_log(scenario, segment_hours=6.0, **kwargs):
+    segmented = SegmentedEventLog.from_log(
+        scenario.log, segment_hours=segment_hours, **kwargs
+    )
+    assert segmented.segment_count >= 2, "scenario too short to segment"
+    return segmented
+
+
+class TestSegmentedMaterialized:
+    """Segmented replay == materialized replay, bit for bit.
+
+    The bounded-memory event-log segments claim: windowing the horizon
+    changes *when slabs exist in memory*, never what replays — pairs,
+    per-round records and wait distributions stay identical across the
+    scenario matrix, every assigner and every executor backend.
+    """
+
+    def test_all_scenarios_unsharded(self, scenario, nn_reference):
+        streamed = run_stream(
+            scenario, NearestNeighborAssigner(), log=segmented_log(scenario)
+        )
+        assert pairs(streamed) == pairs(nn_reference)
+        assert round_rows(streamed) == round_rows(nn_reference)
+        assert wait_profile(streamed) == wait_profile(nn_reference)
+
+    @pytest.mark.parametrize("assigner_cls", [
+        IAAssigner, MTAAssigner, EIAAssigner, MIAssigner,
+    ])
+    def test_all_assigners_sharded(self, assigner_cls):
+        for name in ("multi_city", "mass_relocation"):
+            scenario = SCENARIOS[name]()
+            plain = run_stream(scenario, assigner_cls())
+            streamed = run_stream(
+                scenario, assigner_cls(), log=segmented_log(scenario),
+                shards=scenario.shard_counts[-1],
+            )
+            assert pairs(streamed) == pairs(plain), name
+            assert round_rows(streamed) == round_rows(plain), name
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("pipeline", [False, True])
+    def test_executor_backends(self, backend, pipeline):
+        scenario = SCENARIOS["mass_relocation"]()
+        plain = run_stream(scenario, NearestNeighborAssigner())
+        streamed = run_stream(
+            scenario, NearestNeighborAssigner(), log=segmented_log(scenario),
+            shards=4, executor=backend, pipeline=pipeline,
+        )
+        assert pairs(streamed) == pairs(plain)
+        assert round_rows(streamed) == round_rows(plain)
+        assert wait_profile(streamed) == wait_profile(plain)
+
+    def test_admission_backlog_positions_cross_seams(self):
+        """Defer-parked backlog entries carry *global* cursor positions, so
+        a storm parked in one segment releases identically after the seam."""
+        scenario = SCENARIOS["quiet_then_burst"]()
+        controller = lambda: AdmissionController(  # noqa: E731
+            10.0, "defer", cost_of=storm_cost
+        )
+        reference = run_stream(
+            scenario, NearestNeighborAssigner(), admission=controller()
+        )
+        assert reference.metrics.total_deferred > 0
+        streamed = run_stream(
+            scenario, NearestNeighborAssigner(),
+            log=segmented_log(scenario), admission=controller(),
+        )
+        assert pairs(streamed) == pairs(reference)
+        assert round_rows(streamed) == round_rows(reference)
+
+    def test_checkpoint_resume_mid_segment(self, tmp_path):
+        """A checkpoint whose cursor sits strictly inside a middle segment
+        resumes bit-identically against a *freshly built* segmented log."""
+        scenario = SCENARIOS["mass_relocation"]()
+        segmented = segmented_log(scenario)
+        full = run_stream(
+            scenario, NearestNeighborAssigner(), log=segmented, shards=4
+        )
+        interrupted = make_runtime(
+            scenario, NearestNeighborAssigner(), log=segmented, shards=4
+        )
+        interrupted.run(max_rounds=mid_relocation_round(full, scenario.log))
+        segment, offset = segmented.locate(interrupted.cursor)
+        assert 0 < segment < segmented.segment_count - 1
+        assert offset > 0, "cursor must land strictly inside the segment"
+        saved = interrupted.checkpoint(tmp_path / "segmented.npz")
+        interrupted.close()
+        resumed = StreamRuntime.resume(
+            saved, NearestNeighborAssigner(), None,
+            TimeWindowTrigger(scenario.batch_hours), scenario.base,
+            segmented_log(scenario),
+            patience_hours=scenario.patience_hours, shards=4,
+        ).run()
+        assert pairs(resumed) == pairs(full)
+        assert round_rows(resumed) == round_rows(full)
+
+    def test_resume_refuses_the_wrong_mode_or_partition(self, tmp_path):
+        from repro.exceptions import DataError
+
+        scenario = SCENARIOS["mass_relocation"]()
+        interrupted = make_runtime(
+            scenario, NearestNeighborAssigner(), log=segmented_log(scenario)
+        )
+        interrupted.run(max_rounds=2)
+        saved = interrupted.checkpoint(tmp_path / "seg.npz")
+        interrupted.close()
+        resume_args = (
+            saved, NearestNeighborAssigner(), None,
+            TimeWindowTrigger(scenario.batch_hours), scenario.base,
+        )
+        with pytest.raises(DataError, match="materialized"):
+            StreamRuntime.resume(
+                *resume_args, scenario.log,
+                patience_hours=scenario.patience_hours,
+            )
+        with pytest.raises(DataError, match="segment 0"):
+            StreamRuntime.resume(
+                *resume_args, segmented_log(scenario, segment_hours=12.0),
+                patience_hours=scenario.patience_hours,
+            )
 
 
 def mid_relocation_round(full_result, log) -> int:

@@ -179,6 +179,32 @@ class TestStream:
         assert "sharded:" in out
         assert "rounds:" in out
 
+    def test_segmented_run(self, capsys):
+        assert main(["stream", *FAST, "--no-influence", "--days", "3",
+                     "--segment-days", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "segments:" in out
+        assert "rounds:" in out
+
+    def test_segment_days_must_be_positive(self, capsys):
+        assert main(["stream", *FAST, "--no-influence",
+                     "--segment-days", "0"]) == 2
+        assert "--segment-days must be >= 1" in capsys.readouterr().err
+
+    def test_resume_with_mismatched_segmentation_fails_fast(
+        self, tmp_path, capsys
+    ):
+        checkpoint = tmp_path / "stream.npz"
+        assert main(["stream", *FAST, "--no-influence", "--days", "3",
+                     "--segment-days", "1", "--max-rounds", "2",
+                     "--checkpoint", str(checkpoint)]) == 0
+        capsys.readouterr()
+        assert main(["stream", *FAST, "--no-influence", "--days", "3",
+                     "--resume", str(checkpoint)]) == 2
+        err = capsys.readouterr().err
+        assert "segmented event-log run" in err
+        assert "--segment-days" in err
+
     def test_executor_requires_shards(self, capsys):
         assert main(["stream", *FAST, "--no-influence",
                      "--executor", "thread"]) == 2

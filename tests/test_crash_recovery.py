@@ -35,6 +35,11 @@ STREAM_ARGS = [
     "--show-rounds", "0",
 ]
 
+#: The segmented variant: a multi-day world streamed through one-day
+#: event-log segments, so the crash lands while only a window of the
+#: horizon exists in memory.
+SEGMENTED_ARGS = [*STREAM_ARGS, "--days", "3", "--segment-days", "1"]
+
 
 def cli_env():
     env = dict(os.environ)
@@ -111,6 +116,71 @@ def test_sigkill_mid_round_then_resume_is_event_identical(tmp_path):
     # over the same manifest path.
     resumed = run_cli(
         [*STREAM_ARGS, "--resume", "run", "--checkpoint", "run"],
+        cwd=crash_dir,
+    )
+    assert resumed.returncode == 0, resumed.stdout
+    assert "resumed from" in resumed.stdout
+
+    ref_meta, ref_arrays = checkpoint_payloads(reference)
+    got_meta, got_arrays = checkpoint_payloads(manifest)
+    assert got_meta == ref_meta
+    assert sorted(got_arrays) == sorted(ref_arrays)
+    for name in ref_arrays:
+        np.testing.assert_array_equal(
+            got_arrays[name], ref_arrays[name], err_msg=name
+        )
+
+
+def test_sigkill_mid_segment_then_resume_is_event_identical(tmp_path):
+    """The segmented twin: the victim streams one-day event-log segments,
+    dies mid-segment, and the resume rebuilds the horizon lazily — final
+    state still matches the uninterrupted segmented run bit for bit."""
+    reference_dir = tmp_path / "reference"
+    crash_dir = tmp_path / "crash"
+    reference_dir.mkdir()
+    crash_dir.mkdir()
+
+    completed = run_cli(
+        [*SEGMENTED_ARGS, "--checkpoint", "run"], cwd=reference_dir
+    )
+    assert completed.returncode == 0, completed.stdout
+    reference = reference_dir / "run.ckpt"
+    assert reference.exists()
+
+    victim = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *SEGMENTED_ARGS,
+         "--checkpoint", "run", "--checkpoint-every", "2"],
+        cwd=crash_dir, env=cli_env(),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    manifest = crash_dir / "run.ckpt"
+    try:
+        deadline = time.monotonic() + 240
+        while not manifest.exists() and time.monotonic() < deadline:
+            if victim.poll() is not None:
+                pytest.fail(
+                    "stream CLI exited before its first periodic save:\n"
+                    + (victim.communicate()[0] or "")
+                )
+            time.sleep(0.01)
+        assert manifest.exists(), "no periodic checkpoint appeared in time"
+        killed_mid_run = victim.poll() is None
+        victim.send_signal(signal.SIGKILL)
+    finally:
+        victim.communicate(timeout=60)
+    assert killed_mid_run, "run finished before SIGKILL; nothing was tested"
+
+    crashed_meta, _ = checkpoint_payloads(manifest)
+    assert crashed_meta["done"] is False
+    # The crash left a v7 segmented manifest whose cursor names a spot
+    # strictly inside a segment — the resume has to rebuild that window.
+    segments = crashed_meta["segments"]
+    assert segments is not None and segments["count"] >= 2
+    segment, offset = segments["cursor"]
+    assert offset > 0, "checkpoint cursor landed on a seam; nothing tested"
+
+    resumed = run_cli(
+        [*SEGMENTED_ARGS, "--resume", "run", "--checkpoint", "run"],
         cwd=crash_dir,
     )
     assert resumed.returncode == 0, resumed.stdout

@@ -281,7 +281,7 @@ class TestCheckpointValidation:
         runtime.run(max_rounds=1)
         saved = runtime.checkpoint(tmp_path / "ck.npz")
         payload = load_checkpoint(saved)
-        assert payload["meta"]["version"] == 6
+        assert payload["meta"]["version"] == 7
 
         from repro.stream import checkpoint as checkpoint_module
 
@@ -620,7 +620,7 @@ class TestHistogramStateInMeta:
         _, _, saved = self._interrupted(tmp_path)
         manifest = load_checkpoint_manifest(saved)
         meta = manifest["meta"]
-        assert meta["version"] == 6
+        assert meta["version"] == 7
         assert meta["metrics"]["task_waits"]["count"] > 0
         assert meta["metrics"]["worker_waits"]["count"] > 0
         # The unbounded per-sample wait arrays of v5 and earlier are gone.

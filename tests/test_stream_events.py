@@ -432,6 +432,43 @@ class TestColumnarAccess:
         with pytest.raises(ValueError):
             log.cell_keys(0.0)
 
+    def test_cell_keys_rejects_out_of_range_quantization(self):
+        import numpy as np
+
+        from repro.exceptions import DataError
+        from repro.stream.events import CELL_OFFSET
+
+        def log_at(x):
+            worker = Worker(worker_id=1, location=Point(x, 0.0), reachable_km=5.0)
+            return EventLog.from_columns(
+                np.array([1.0]), np.array([0]), np.array([1]), workers=[worker],
+            )
+
+        # The last valid cell index on either side of zero passes …
+        log_at(float(CELL_OFFSET - 1)).cell_keys(1.0)
+        log_at(-float(CELL_OFFSET - 1)).cell_keys(1.0)
+        # … but quantizing to |k| >= CELL_OFFSET must not silently alias.
+        with pytest.raises(DataError, match=r"33554432"):
+            log_at(float(CELL_OFFSET)).cell_keys(1.0)
+        with pytest.raises(DataError, match="cell_km"):
+            log_at(-float(CELL_OFFSET)).cell_keys(1.0)
+        # A tiny cell size blows the same bound from ordinary coordinates.
+        with pytest.raises(DataError, match="cell_km"):
+            log_at(50.0).cell_keys(1e-9)
+
+    def test_geo_cell_key_rejects_out_of_range_quantization(self):
+        from repro.exceptions import DataError
+        from repro.geo import cell_key
+        from repro.stream.events import CELL_OFFSET
+
+        assert cell_key(float(CELL_OFFSET - 1), 0.0, 1.0) == (CELL_OFFSET - 1, 0)
+        with pytest.raises(DataError, match="cell_km"):
+            cell_key(float(CELL_OFFSET), 0.0, 1.0)
+        with pytest.raises(DataError, match="cell_km"):
+            cell_key(0.0, -float(CELL_OFFSET), 1.0)
+        with pytest.raises(DataError, match="cell_km"):
+            cell_key(50.0, 0.0, 1e-9)
+
 
 class TestLogBuilders:
     def test_log_from_arrivals_has_publish_and_expiry_per_task(self):

@@ -114,6 +114,28 @@ class TestAdaptiveTrigger:
         fresh.load_state_dict(state)
         assert fresh.window_hours == trigger.window_hours
 
+    def test_load_state_dict_clamps_to_bounds(self):
+        trigger = AdaptiveTrigger(
+            target_seconds=1.0, initial_window_hours=0.5,
+            min_window_hours=0.4, max_window_hours=0.6,
+        )
+        trigger.load_state_dict({"window_hours": 5.0})
+        assert trigger.window_hours == pytest.approx(0.6)
+        trigger.load_state_dict({"window_hours": 0.01})
+        assert trigger.window_hours == pytest.approx(0.4)
+        # In-range values restore verbatim.
+        trigger.load_state_dict({"window_hours": 0.45})
+        assert trigger.window_hours == pytest.approx(0.45)
+
+    def test_load_state_dict_rejects_bad_windows(self):
+        from repro.exceptions import DataError
+
+        trigger = AdaptiveTrigger(target_seconds=1.0, initial_window_hours=2.0)
+        for bad in (float("nan"), float("inf"), float("-inf"), 0.0, -1.0):
+            with pytest.raises(DataError, match="window_hours"):
+                trigger.load_state_dict({"window_hours": bad})
+        assert trigger.window_hours == pytest.approx(2.0)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             AdaptiveTrigger(target_seconds=0.0)
